@@ -1,0 +1,197 @@
+// Ablations for the design choices DESIGN.md §5 calls out (not a paper
+// figure; supporting evidence for defaults):
+//  1. RowBlock size — point-read latency vs storage footprint.
+//  2. Zone-map scans — selective predicate via Scan() vs brute-force
+//     fetch-all-and-filter.
+//  3. LSH similarity threshold tau — Zillow storage at different
+//     clustering aggressiveness.
+//
+// Knobs: MISTIQUE_DNN_EXAMPLES (default 256), MISTIQUE_ZILLOW_PROPS
+// (default 2000).
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "core/mistique.h"
+#include "nn/cifar.h"
+#include "nn/model_zoo.h"
+#include "pipeline/templates.h"
+#include "pipeline/zillow.h"
+
+namespace mistique {
+namespace bench {
+namespace {
+
+void RowBlockAblation(const std::string& workspace,
+                      std::shared_ptr<const Tensor> input) {
+  PrintHeader(
+      "Ablation 1: RowBlock size (reads round up to block granularity; "
+      "smaller blocks -> cheaper point reads, more chunks to manage)");
+
+  std::printf("%-10s %14s %16s %16s\n", "block", "footprint",
+              "1-row fetch", "all-rows fetch");
+  for (uint64_t block : {64u, 256u, 1024u}) {
+    MistiqueOptions opts;
+    opts.store.directory = workspace + "/rb" + std::to_string(block);
+    opts.strategy = StorageStrategy::kDedup;
+    opts.dnn_scheme = QuantScheme::kLp32;
+    opts.pool_sigma = 2;
+    opts.row_block_size = block;
+    opts.store.memory_budget_bytes = 4u << 20;  // Small pool: reads cost.
+    // Partitions sized near the block scale so a point read touches one
+    // small partition rather than decompressing a 4MB default unit.
+    opts.store.partition_target_bytes = 256u << 10;
+    Mistique mq;
+    CheckOk(mq.Open(opts), "open");
+    auto net = BuildCifarCnn({});
+    CheckOk(mq.LogNetwork(net.get(), input, "cifar", "cnn").status(), "log");
+    CheckOk(mq.Flush(), "flush");
+
+    FetchRequest req;
+    req.project = "cifar";
+    req.model = "cnn";
+    req.intermediate = "layer4";
+    req.force_read = true;
+
+    req.row_ids = {static_cast<uint64_t>(input->n - 1)};
+    Stopwatch watch;
+    CheckOk(mq.Fetch(req).status(), "point");
+    const double point_sec = watch.ElapsedSeconds();
+
+    req.row_ids.clear();
+    watch.Reset();
+    CheckOk(mq.Fetch(req).status(), "full");
+    const double full_sec = watch.ElapsedSeconds();
+
+    std::printf("%-10llu %14s %15.4fs %15.4fs\n",
+                static_cast<unsigned long long>(block),
+                HumanBytes(static_cast<double>(mq.StorageFootprintBytes()))
+                    .c_str(),
+                point_sec, full_sec);
+  }
+}
+
+void ZoneMapAblation(const std::string& workspace,
+                     std::shared_ptr<const Tensor> input) {
+  PrintHeader(
+      "Ablation 2: zone-map scans vs brute force (narrow predicate on a "
+      "neuron column)");
+
+  MistiqueOptions opts;
+  opts.store.directory = workspace + "/scan";
+  opts.strategy = StorageStrategy::kDedup;
+  opts.dnn_scheme = QuantScheme::kLp32;
+  opts.pool_sigma = 2;
+  opts.row_block_size = 64;
+  opts.store.memory_budget_bytes = 4u << 20;
+  Mistique mq;
+  CheckOk(mq.Open(opts), "open");
+  auto net = BuildCifarCnn({});
+  CheckOk(mq.LogNetwork(net.get(), input, "cifar", "cnn").status(), "log");
+  CheckOk(mq.Flush(), "flush");
+
+  // Probe a live neuron and a threshold near its maximum.
+  FetchRequest probe;
+  probe.project = "cifar";
+  probe.model = "cnn";
+  probe.intermediate = "layer7";
+  probe.force_read = true;
+  FetchResult fc1 = CheckOk(mq.Fetch(probe), "probe");
+  size_t busiest = 0;
+  double best_max = -1;
+  for (size_t n = 0; n < fc1.columns.size(); ++n) {
+    for (double v : fc1.columns[n]) {
+      if (v > best_max) {
+        best_max = v;
+        busiest = n;
+      }
+    }
+  }
+
+  ScanRequest scan;
+  scan.project = "cifar";
+  scan.model = "cnn";
+  scan.intermediate = "layer7";
+  scan.predicate_column = "n" + std::to_string(busiest);
+  scan.lo = best_max * 0.9;
+
+  Stopwatch watch;
+  ScanResult via_scan = CheckOk(mq.Scan(scan), "scan");
+  const double scan_sec = watch.ElapsedSeconds();
+
+  watch.Reset();
+  FetchRequest all = probe;
+  all.columns = {scan.predicate_column};
+  FetchResult column = CheckOk(mq.Fetch(all), "full column");
+  std::vector<uint64_t> brute;
+  for (size_t i = 0; i < column.columns[0].size(); ++i) {
+    if (column.columns[0][i] >= scan.lo) brute.push_back(i);
+  }
+  const double brute_sec = watch.ElapsedSeconds();
+
+  std::printf("matches: %zu rows (scan) vs %zu rows (brute force)\n",
+              via_scan.row_ids.size(), brute.size());
+  std::printf("blocks: %llu scanned, %llu pruned by zone maps\n",
+              static_cast<unsigned long long>(via_scan.blocks_scanned),
+              static_cast<unsigned long long>(via_scan.blocks_pruned));
+  std::printf("time: %.4fs (scan) vs %.4fs (fetch-all + filter)\n",
+              scan_sec, brute_sec);
+}
+
+void TauAblation(const std::string& workspace) {
+  PrintHeader(
+      "Ablation 3: LSH similarity threshold tau (lower tau -> larger "
+      "clusters -> better co-location but noisier partitions)");
+
+  ZillowConfig config;
+  config.num_properties =
+      static_cast<size_t>(EnvInt("MISTIQUE_ZILLOW_PROPS", 2000));
+  config.num_train = config.num_properties * 3 / 4;
+  config.num_test = config.num_properties / 4;
+  const std::string csv_dir = workspace + "/csv";
+  CheckOk(WriteZillowCsvs(GenerateZillow(config), csv_dir), "csvs");
+
+  std::printf("%-8s %14s %12s\n", "tau", "footprint", "clusters");
+  for (double tau : {0.3, 0.5, 0.8}) {
+    MistiqueOptions opts;
+    opts.store.directory = workspace + "/tau" + std::to_string(tau);
+    opts.strategy = StorageStrategy::kDedup;
+    opts.dedup.tau = tau;
+    Mistique mq;
+    CheckOk(mq.Open(opts), "open");
+    std::vector<std::unique_ptr<Pipeline>> keepalive;
+    for (int variant = 0; variant < 3; ++variant) {
+      auto p = CheckOk(BuildZillowPipeline(4, variant, csv_dir), "build");
+      CheckOk(mq.LogPipeline(p.get(), "zillow").status(), "log");
+      keepalive.push_back(std::move(p));
+    }
+    CheckOk(mq.Flush(), "flush");
+    std::printf("%-8.1f %14s %12llu\n", tau,
+                HumanBytes(static_cast<double>(mq.StorageFootprintBytes()))
+                    .c_str(),
+                static_cast<unsigned long long>(
+                    mq.dedup().clusters_created()));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace mistique
+
+int main() {
+  mistique::bench::BenchDir workspace("ablation");
+  mistique::CifarConfig config;
+  // Block/pruning effects need several RowBlocks to show.
+  config.num_examples =
+      std::max(512, mistique::bench::EnvInt("MISTIQUE_DNN_EXAMPLES", 512));
+  const mistique::CifarData data = mistique::GenerateCifar(config);
+  auto input = std::make_shared<mistique::Tensor>(data.images);
+  mistique::bench::RowBlockAblation(workspace.path(), input);
+  mistique::bench::ZoneMapAblation(workspace.path(), input);
+  mistique::bench::TauAblation(workspace.path());
+  std::printf("\n");
+  return 0;
+}

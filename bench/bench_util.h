@@ -1,0 +1,89 @@
+#ifndef MISTIQUE_BENCH_BENCH_UTIL_H_
+#define MISTIQUE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "common/status.h"
+
+namespace mistique {
+namespace bench {
+
+/// Integer knob from the environment (experiment scales), with a default.
+inline int EnvInt(const char* name, int def) {
+  const char* v = std::getenv(name);
+  return v ? std::atoi(v) : def;
+}
+
+inline double EnvDouble(const char* name, double def) {
+  const char* v = std::getenv(name);
+  return v ? std::atof(v) : def;
+}
+
+/// Workspace directory under /tmp, wiped at construction.
+class BenchDir {
+ public:
+  explicit BenchDir(const std::string& tag) {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("mistique_bench_" + tag))
+                .string();
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~BenchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Aborts the bench with a message on a non-OK status (benches are
+/// experiment drivers; failing loudly is correct).
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL in %s: %s\n", what,
+                 status.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+T CheckOk(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL in %s: %s\n", what,
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).ValueOrDie();
+}
+
+/// Pretty-prints byte counts ("1.23 GB").
+inline std::string HumanBytes(double bytes) {
+  char buf[64];
+  if (bytes >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", bytes / 1e9);
+  } else if (bytes >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", bytes / 1e6);
+  } else if (bytes >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2f KB", bytes / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f B", bytes);
+  }
+  return buf;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+}  // namespace bench
+}  // namespace mistique
+
+#endif  // MISTIQUE_BENCH_BENCH_UTIL_H_

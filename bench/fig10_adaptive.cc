@@ -1,0 +1,192 @@
+// Reproduces Fig. 10: adaptive materialization on a synthetic 25-query
+// Zillow workload.
+//  Left: storage footprint of ADAPTIVE vs DEDUP vs STORE_ALL.
+//  Right: per-query latency evolution for three queries with the paper's
+//  three behaviours — VIS and COL_DIFF drop sharply once their
+//  intermediates materialize; COL_DIST stays flat (its γ never crosses).
+//
+// γ is set as sec/KB like the paper (0.5 s/KB there); the default here is
+// tuned to the reduced scale so the crossing happens mid-workload.
+// Knobs: MISTIQUE_ZILLOW_PROPS (default 2000), MISTIQUE_GAMMA_SEC_PER_KB.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "core/mistique.h"
+#include "diagnostics/queries.h"
+#include "pipeline/templates.h"
+#include "pipeline/zillow.h"
+
+namespace mistique {
+namespace bench {
+namespace {
+
+namespace dq = diagnostics;
+
+struct Workload {
+  // The three tracked queries hit different intermediates so their γ
+  // trajectories differ.
+  enum Kind { kVis, kColDiff, kColDist };
+  Kind kind;
+};
+
+double RunQuery(Mistique* mq, Workload::Kind kind) {
+  Stopwatch watch;
+  FetchRequest req;
+  req.project = "zillow";
+  req.model = "P1_v0";
+  switch (kind) {
+    case Workload::kVis: {
+      // VIS: average feature values over the (wide) training matrix.
+      req.intermediate = "x_train";
+      FetchResult all = CheckOk(mq->Fetch(req), "vis fetch");
+      dq::MeanPerColumn(all.columns);
+      break;
+    }
+    case Workload::kColDiff: {
+      // COL_DIFF: predictions of two variants grouped by land-use.
+      req.intermediate = "pred_valid";
+      FetchResult a = CheckOk(mq->Fetch(req), "coldiff a");
+      req.model = "P1_v1";
+      FetchResult b = CheckOk(mq->Fetch(req), "coldiff b");
+      std::vector<double> diff(a.columns[0].size());
+      for (size_t i = 0; i < diff.size(); ++i) {
+        diff[i] = a.columns[0][i] - b.columns[0][i];
+      }
+      dq::ComputeHistogram(diff, 20);
+      break;
+    }
+    case Workload::kColDist: {
+      // COL_DIST: distribution of a raw input column. The properties table
+      // is the TRAD analog of a DNN's Layer1 — large but almost free to
+      // recreate (one CSV parse) — so its γ never crosses the threshold.
+      req.intermediate = "properties";
+      req.columns = {"taxamount"};
+      FetchResult errs = CheckOk(mq->Fetch(req), "coldist");
+      dq::ComputeHistogram(errs.columns[0], 40);
+      break;
+    }
+  }
+  return watch.ElapsedSeconds();
+}
+
+void Run() {
+  BenchDir workspace("fig10");
+  ZillowConfig config;
+  config.num_properties =
+      static_cast<size_t>(EnvInt("MISTIQUE_ZILLOW_PROPS", 2000));
+  config.num_train = config.num_properties * 3 / 4;
+  config.num_test = config.num_properties / 4;
+  const std::string csv_dir = workspace.path() + "/csv";
+  CheckOk(WriteZillowCsvs(GenerateZillow(config), csv_dir), "csvs");
+
+  PrintHeader(
+      "Fig 10: adaptive materialization (paper: ADAPTIVE footprint tiny; "
+      "VIS 20s->1.7s after 15 queries, COL_DIFF 75s->26s after 5, "
+      "COL_DIST unchanged)");
+
+  // Storage footprint comparison (left panel).
+  uint64_t footprints[3] = {0, 0, 0};
+  const StorageStrategy strategies[3] = {StorageStrategy::kStoreAll,
+                                         StorageStrategy::kDedup,
+                                         StorageStrategy::kAdaptive};
+  const char* names[3] = {"STORE_ALL", "DEDUP", "ADAPTIVE"};
+
+  // γ threshold: by default tuned to this machine as ~2.5x the γ one VIS
+  // query contributes, so VIS materializes after ~3 queries, COL_DIFF
+  // (tiny intermediate, expensive re-run) after its first, and COL_DIST
+  // (cheap-to-recreate raw table) never — the paper's three behaviours.
+  // Override in sec/KB via MISTIQUE_GAMMA_SEC_PER_KB (paper used 0.5).
+  const double gamma_knob = EnvDouble("MISTIQUE_GAMMA_SEC_PER_KB", 0.0);
+  double gamma_min = gamma_knob * 1e6;  // sec/KB -> sec/GB.
+
+  std::unique_ptr<Mistique> adaptive;
+  std::vector<std::unique_ptr<Pipeline>> keepalive;
+  for (int s = 0; s < 3; ++s) {
+    auto mq = std::make_unique<Mistique>();
+    MistiqueOptions opts;
+    opts.store.directory = workspace.path() + "/" + names[s];
+    opts.strategy = strategies[s];
+    opts.gamma_min = 1e18;  // Final value set after calibration below.
+    opts.calibrate_on_open = true;
+    CheckOk(mq->Open(opts), "open");
+    for (int variant = 0; variant < 2; ++variant) {
+      auto pipeline =
+          CheckOk(BuildZillowPipeline(1, variant, csv_dir), "build");
+      CheckOk(mq->LogPipeline(pipeline.get(), "zillow").status(), "log");
+      keepalive.push_back(std::move(pipeline));
+    }
+    CheckOk(mq->Flush(), "flush");
+    footprints[s] = mq->StorageFootprintBytes();
+    if (strategies[s] == StorageStrategy::kAdaptive) {
+      adaptive = std::move(mq);
+    }
+  }
+
+  if (gamma_min <= 0) {
+    // Auto-tune from the VIS target's calibrated metadata.
+    const ModelId id =
+        CheckOk(adaptive->metadata().FindModel("zillow", "P1_v0"), "find");
+    const ModelInfo* model =
+        CheckOk(std::as_const(adaptive->metadata()).GetModel(id), "model");
+    const IntermediateInfo* x_train = CheckOk(
+        std::as_const(adaptive->metadata()).FindIntermediate(id, "x_train"),
+        "x_train");
+    IntermediateInfo probe = *x_train;
+    probe.n_query = 1;
+    const uint64_t est_bytes =
+        probe.num_rows * probe.columns.size() * sizeof(double);
+    gamma_min =
+        2.5 * adaptive->cost_model().Gamma(*model, probe, est_bytes);
+  }
+  adaptive->set_gamma_min(gamma_min);
+  std::printf("storage after logging 2 pipelines (before queries):\n");
+  for (int s = 0; s < 3; ++s) {
+    std::printf("  %-10s %12s\n", names[s],
+                HumanBytes(static_cast<double>(footprints[s])).c_str());
+  }
+
+  // Query-latency evolution (right panel): 25 queries sampled from the
+  // three kinds, round-robin with repetition like the paper's random mix.
+  std::printf("\nquery latencies over the 25-query workload (gamma_min=%.3g "
+              "s/GB):\n", gamma_min);
+  std::printf("%-4s %-9s %10s %14s\n", "#", "query", "seconds",
+              "store bytes");
+  Rng rng(13);
+  const Workload::Kind kinds[3] = {Workload::kVis, Workload::kColDiff,
+                                   Workload::kColDist};
+  const char* kind_names[3] = {"VIS", "COL_DIFF", "COL_DIST"};
+  double first_sec[3] = {0, 0, 0};
+  double last_sec[3] = {0, 0, 0};
+  for (int q = 0; q < 25; ++q) {
+    const int kind = static_cast<int>(rng.NextBelow(3));
+    const double sec = RunQuery(adaptive.get(), kinds[kind]);
+    if (first_sec[kind] == 0) first_sec[kind] = sec;
+    last_sec[kind] = sec;
+    std::printf("%-4d %-9s %9.4fs %14s\n", q + 1, kind_names[kind], sec,
+                HumanBytes(static_cast<double>(
+                               adaptive->StorageFootprintBytes()))
+                    .c_str());
+  }
+  std::printf("\nfirst->last latency per query kind:\n");
+  for (int kind = 0; kind < 3; ++kind) {
+    std::printf("  %-9s %9.4fs -> %9.4fs (%.1fx)\n", kind_names[kind],
+                first_sec[kind], last_sec[kind],
+                first_sec[kind] / std::max(last_sec[kind], 1e-9));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace mistique
+
+int main() {
+  mistique::bench::Run();
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Reproduces Fig. 14 (appendix): column-compression micro-benchmark.
+// A matrix of float32 columns is generated with varying column similarity
+// (0 = all columns independent, 0.5 = half of each column's values shared
+// with a base column, 1 = all columns identical) and stored two ways:
+//   co-located : similar columns placed in the same partition (MISTIQUE's
+//                dedup placement), compressed together;
+//   scattered  : columns round-robined across partitions, destroying
+//                locality.
+// Paper shape: storing similar values together compresses dramatically
+// better, and the gap grows with similarity.
+//
+// Knobs: MISTIQUE_MICRO_ROWS (default 20000; paper 100000),
+//        MISTIQUE_MICRO_COLS (default 100).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "storage/data_store.h"
+
+namespace mistique {
+namespace bench {
+namespace {
+
+std::vector<std::vector<double>> MakeColumns(size_t rows, size_t cols,
+                                             double similarity) {
+  Rng rng(42);
+  std::vector<double> base(rows);
+  for (double& v : base) v = rng.Gaussian();
+  std::vector<std::vector<double>> out(cols, std::vector<double>(rows));
+  for (size_t c = 0; c < cols; ++c) {
+    for (size_t r = 0; r < rows; ++r) {
+      out[c][r] = rng.Bernoulli(similarity) ? base[r] : rng.Gaussian();
+    }
+  }
+  return out;
+}
+
+uint64_t StoreBytes(const std::vector<std::vector<double>>& columns,
+                    const std::string& dir, bool colocate) {
+  DataStoreOptions opts;
+  opts.directory = dir;
+  opts.partition_target_bytes = 1ull << 30;  // Seal manually.
+  DataStore store;
+  CheckOk(store.Open(opts), "open");
+
+  if (colocate) {
+    // All similar columns into one partition, compressed as one unit.
+    const PartitionId pid = store.CreatePartition();
+    for (const auto& col : columns) {
+      CheckOk(store.AddChunk(pid, ColumnChunk::FromDoubles(
+                                      col, DType::kFloat32))
+                  .status(),
+              "add");
+    }
+  } else {
+    // Scatter across 16 partitions round-robin.
+    std::vector<PartitionId> pids;
+    for (int i = 0; i < 16; ++i) pids.push_back(store.CreatePartition());
+    for (size_t c = 0; c < columns.size(); ++c) {
+      CheckOk(store.AddChunk(pids[c % pids.size()],
+                             ColumnChunk::FromDoubles(columns[c],
+                                                      DType::kFloat32))
+                  .status(),
+              "add");
+    }
+  }
+  CheckOk(store.Flush(), "flush");
+  return store.stored_bytes();
+}
+
+void Run() {
+  BenchDir workspace("fig14");
+  const size_t rows =
+      static_cast<size_t>(EnvInt("MISTIQUE_MICRO_ROWS", 20000));
+  const size_t cols =
+      static_cast<size_t>(EnvInt("MISTIQUE_MICRO_COLS", 100));
+
+  PrintHeader(
+      "Fig 14: column-compression micro-benchmark (paper: co-locating "
+      "similar columns compresses far better; gap grows with similarity)");
+  const double raw_bytes = static_cast<double>(rows * cols * 4);
+  std::printf("matrix: %zu x %zu float32 = %s raw\n\n", rows, cols,
+              HumanBytes(raw_bytes).c_str());
+
+  std::printf("%-11s %14s %14s %10s\n", "similarity", "co-located",
+              "scattered", "gap");
+  int run = 0;
+  for (double similarity : {0.0, 0.5, 1.0}) {
+    const auto columns = MakeColumns(rows, cols, similarity);
+    const uint64_t together =
+        StoreBytes(columns, workspace.path() + "/t" + std::to_string(run),
+                   /*colocate=*/true);
+    const uint64_t scattered =
+        StoreBytes(columns, workspace.path() + "/s" + std::to_string(run),
+                   /*colocate=*/false);
+    run++;
+    std::printf("%-11.1f %14s %14s %9.2fx\n", similarity,
+                HumanBytes(static_cast<double>(together)).c_str(),
+                HumanBytes(static_cast<double>(scattered)).c_str(),
+                static_cast<double>(scattered) /
+                    static_cast<double>(together));
+  }
+  std::printf(
+      "\n(scattered partitions hold ~6 columns each, so identical columns\n"
+      "still compress within a partition at similarity 1.0 — the paper's\n"
+      "gzip-per-file baseline corresponds to the 0.0 row's gap of ~1x)\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace mistique
+
+int main() {
+  mistique::bench::Run();
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,363 @@
+// Reproduces Fig. 5: end-to-end diagnostic query times, RERUN vs MISTIQUE
+// (read), with the cost model's pick starred.
+//  (a) TRAD: eight queries from Table 5 against Zillow pipelines.
+//  (b-d) DNN: the same query set against CIFAR10_VGG16 at Layer21 (last),
+//        Layer11 (middle), Layer1 (first) — where the paper shows the
+//        trade-off flipping.
+//
+// Scale knobs: MISTIQUE_ZILLOW_PROPS (default 2000), MISTIQUE_DNN_EXAMPLES
+// (default 256; paper 50000).
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "core/mistique.h"
+#include "diagnostics/queries.h"
+#include "nn/cifar.h"
+#include "nn/model_zoo.h"
+#include "pipeline/templates.h"
+#include "pipeline/zillow.h"
+
+namespace mistique {
+namespace bench {
+namespace {
+
+namespace dq = diagnostics;
+
+struct QueryTiming {
+  double rerun_sec = 0;
+  double read_sec = 0;
+  bool model_picks_read = false;
+};
+
+/// Runs `body` twice — forcing re-run, then forcing read — and records the
+/// wall time of each (fetch + compute, Eq. 1).
+QueryTiming TimeBothWays(
+    const std::function<void(Mistique*, bool)>& body, Mistique* mq,
+    const std::function<bool()>& picks_read) {
+  QueryTiming t;
+  Stopwatch watch;
+  body(mq, /*force_read=*/false);
+  t.rerun_sec = watch.ElapsedSeconds();
+  watch.Reset();
+  body(mq, /*force_read=*/true);
+  t.read_sec = watch.ElapsedSeconds();
+  t.model_picks_read = picks_read();
+  return t;
+}
+
+void PrintRow(const char* name, const char* category, const QueryTiming& t) {
+  std::printf("%-18s %-5s %10.4fs%s %10.4fs%s %9.1fx\n", name, category,
+              t.rerun_sec, t.model_picks_read ? " " : "*", t.read_sec,
+              t.model_picks_read ? "*" : " ",
+              t.rerun_sec / std::max(t.read_sec, 1e-9));
+}
+
+FetchResult Fetch(Mistique* mq, FetchRequest req, bool force_read) {
+  req.force_read = force_read;
+  return CheckOk(mq->Fetch(req), "fetch");
+}
+
+// ------------------------------------------------------------------ TRAD
+
+void RunTrad(const std::string& workspace) {
+  PrintHeader(
+      "Fig 5a: TRAD end-to-end query times (paper: read wins always, "
+      "2.5x-390x)");
+
+  ZillowConfig config;
+  config.num_properties =
+      static_cast<size_t>(EnvInt("MISTIQUE_ZILLOW_PROPS", 2000));
+  config.num_train = config.num_properties * 3 / 4;
+  config.num_test = config.num_properties / 4;
+  const std::string csv_dir = workspace + "/zillow_csv";
+  CheckOk(WriteZillowCsvs(GenerateZillow(config), csv_dir), "csvs");
+
+  MistiqueOptions opts;
+  opts.store.directory = workspace + "/trad_store";
+  opts.strategy = StorageStrategy::kDedup;
+  opts.calibrate_on_open = true;
+  Mistique mq;
+  CheckOk(mq.Open(opts), "open");
+
+  auto p1v0 = CheckOk(BuildZillowPipeline(1, 0, csv_dir), "P1_v0");
+  auto p1v1 = CheckOk(BuildZillowPipeline(1, 1, csv_dir), "P1_v1");
+  CheckOk(mq.LogPipeline(p1v0.get(), "zillow").status(), "log P1_v0");
+  CheckOk(mq.LogPipeline(p1v1.get(), "zillow").status(), "log P1_v1");
+  CheckOk(mq.Flush(), "flush");
+
+  const auto make_req = [](const std::string& interm) {
+    FetchRequest req;
+    req.project = "zillow";
+    req.model = "P1_v0";
+    req.intermediate = interm;
+    return req;
+  };
+  // Cost-model pick for the request shape the query makes most.
+  const auto picker = [&mq, &make_req](const std::string& interm,
+                                       std::vector<std::string> cols,
+                                       uint64_t n_ex) {
+    return [&mq, make_req, interm, cols, n_ex]() {
+      FetchRequest req = make_req(interm);
+      req.columns = cols;
+      req.n_ex = n_ex;
+      FetchResult r = CheckOk(mq.Fetch(req), "probe");
+      return r.predicted_read_sec <= r.predicted_rerun_sec;
+    };
+  };
+
+  std::printf("%-18s %-5s %12s %12s %9s   (* = cost model pick)\n", "query",
+              "cat", "RERUN", "MISTIQUE", "speedup");
+
+  // POINTQ (FCFR): one feature of one home.
+  PrintRow("POINTQ", "FCFR",
+           TimeBothWays(
+               [&](Mistique* m, bool read) {
+                 FetchRequest req = make_req("x_all");
+                 req.columns = {"lotsizesquarefeet"};
+                 req.row_ids = {135};
+                 Fetch(m, req, read);
+               },
+               &mq, picker("x_all", {"lotsizesquarefeet"}, 1)));
+
+  // TOPK (FCFR): error on the 10 most recently built homes.
+  PrintRow("TOPK", "FCFR",
+           TimeBothWays(
+               [&](Mistique* m, bool read) {
+                 FetchRequest req = make_req("x_all");
+                 req.columns = {"yearbuilt"};
+                 FetchResult years = Fetch(m, req, read);
+                 const auto top = dq::TopK(years.columns[0], 10);
+                 FetchRequest err = make_req("train_merged");
+                 err.columns = {"logerror"};
+                 for (const auto& [row, v] : top) err.row_ids.push_back(row);
+                 Fetch(m, err, read);
+               },
+               &mq, picker("x_all", {"yearbuilt"}, 0)));
+
+  // COL_DIFF (FCMR): P1_v0 vs P1_v1 test predictions grouped by land-use
+  // type (pred_test rows align 1:1 with test_merged rows).
+  PrintRow("COL_DIFF", "FCMR",
+           TimeBothWays(
+               [&](Mistique* m, bool read) {
+                 FetchRequest req = make_req("pred_test");
+                 FetchResult a = Fetch(m, req, read);
+                 req.model = "P1_v1";
+                 FetchResult b = Fetch(m, req, read);
+                 FetchRequest grp = make_req("test_merged");
+                 grp.columns = {"propertylandusetypeid"};
+                 FetchResult g = Fetch(m, grp, read);
+                 std::vector<double> diff(a.columns[0].size());
+                 for (size_t i = 0; i < diff.size(); ++i) {
+                   diff[i] = a.columns[0][i] - b.columns[0][i];
+                 }
+                 dq::GroupedMeans(diff, g.columns[0]);
+               },
+               &mq, picker("pred_test", {}, 0)));
+
+  // COL_DIST (FCMR): error-rate histogram over all homes.
+  PrintRow("COL_DIST", "FCMR",
+           TimeBothWays(
+               [&](Mistique* m, bool read) {
+                 FetchRequest req = make_req("train_merged");
+                 req.columns = {"logerror"};
+                 FetchResult errs = Fetch(m, req, read);
+                 dq::ComputeHistogram(errs.columns[0], 40);
+               },
+               &mq, picker("train_merged", {"logerror"}, 0)));
+
+  // KNN (MCFR): 10 homes most similar to Home-50.
+  PrintRow("KNN", "MCFR",
+           TimeBothWays(
+               [&](Mistique* m, bool read) {
+                 FetchResult all = Fetch(m, make_req("x_all"), read);
+                 dq::Knn(all.columns, 50, 10);
+               },
+               &mq, picker("x_all", {}, 0)));
+
+  // ROW_DIFF (MCFR): features of Home-50 vs Home-55.
+  PrintRow("ROW_DIFF", "MCFR",
+           TimeBothWays(
+               [&](Mistique* m, bool read) {
+                 FetchRequest req = make_req("x_all");
+                 req.row_ids = {50, 55};
+                 FetchResult rows = Fetch(m, req, read);
+                 dq::RowDiff(rows.columns, 0, 1);
+               },
+               &mq, picker("x_all", {}, 2)));
+
+  // VIS (MCMR): average features of old vs new homes.
+  PrintRow("VIS", "MCMR",
+           TimeBothWays(
+               [&](Mistique* m, bool read) {
+                 FetchResult all = Fetch(m, make_req("x_all"), read);
+                 FetchRequest yreq = make_req("x_all");
+                 yreq.columns = {"yearbuilt"};
+                 FetchResult years = Fetch(m, yreq, read);
+                 std::vector<int> old_home(years.columns[0].size());
+                 for (size_t i = 0; i < old_home.size(); ++i) {
+                   old_home[i] = years.columns[0][i] < 1960 ? 1 : 0;
+                 }
+                 dq::MeanPerColumnByClass(all.columns, old_home, 2);
+               },
+               &mq, picker("x_all", {}, 0)));
+
+  // SVCCA (MCMR): correlation structure between features and residuals.
+  PrintRow("SVCCA", "MCMR",
+           TimeBothWays(
+               [&](Mistique* m, bool read) {
+                 FetchResult feats = Fetch(m, make_req("x_train"), read);
+                 FetchResult pred =
+                     Fetch(m, make_req("train_pred_lgbm"), read);
+                 (void)dq::SvccaSimilarity(feats.columns, pred.columns);
+               },
+               &mq, picker("x_train", {}, 0)));
+}
+
+// ------------------------------------------------------------------- DNN
+
+void RunDnnLayer(Mistique* mq, const IntermediateInfo& interm,
+                 const std::string& layer, const std::string& logits_layer) {
+  const auto make_req = [&layer](const std::string& l) {
+    FetchRequest req;
+    req.project = "cifar";
+    req.model = "vgg";
+    req.intermediate = l.empty() ? layer : l;
+    return req;
+  };
+  Mistique& m = *mq;
+  const auto picker = [&m, make_req](std::vector<std::string> cols,
+                                     uint64_t n_ex) {
+    return [&m, make_req, cols, n_ex]() {
+      FetchRequest req = make_req("");
+      req.columns = cols;
+      req.n_ex = n_ex;
+      FetchResult r = CheckOk(m.Fetch(req), "probe");
+      return r.predicted_read_sec <= r.predicted_rerun_sec;
+    };
+  };
+
+  // Column names for one channel (POINTQ's "activation map of neuron-k").
+  const int channel = std::min(3, interm.channels - 1);
+  std::vector<std::string> map_cols;
+  if (interm.channels > 0) {
+    auto range =
+        CheckOk(Mistique::ChannelColumns(interm, channel), "channel cols");
+    for (size_t c = range.first; c < range.second; ++c) {
+      map_cols.push_back(interm.columns[c].name);
+    }
+  } else {
+    map_cols.push_back(interm.columns[0].name);
+  }
+  const std::string one_col =
+      interm.columns[std::min<size_t>(35, interm.columns.size() - 1)].name;
+
+  PrintRow(("POINTQ/" + layer).c_str(), "FCFR",
+           TimeBothWays(
+               [&](Mistique* mqp, bool read) {
+                 FetchRequest req = make_req("");
+                 req.columns = map_cols;
+                 req.row_ids = {45};
+                 Fetch(mqp, req, read);
+               },
+               mq, picker(map_cols, 1)));
+
+  PrintRow(("TOPK/" + layer).c_str(), "FCFR",
+           TimeBothWays(
+               [&](Mistique* mqp, bool read) {
+                 FetchRequest req = make_req("");
+                 req.columns = {one_col};
+                 FetchResult col = Fetch(mqp, req, read);
+                 dq::TopK(col.columns[0], 10);
+               },
+               mq, picker({one_col}, 0)));
+
+  PrintRow(("COL_DIST/" + layer).c_str(), "FCMR",
+           TimeBothWays(
+               [&](Mistique* mqp, bool read) {
+                 FetchRequest req = make_req("");
+                 req.columns = {one_col};
+                 FetchResult col = Fetch(mqp, req, read);
+                 dq::ComputeHistogram(col.columns[0], 40);
+               },
+               mq, picker({one_col}, 0)));
+
+  PrintRow(("KNN/" + layer).c_str(), "MCFR",
+           TimeBothWays(
+               [&](Mistique* mqp, bool read) {
+                 FetchResult all = Fetch(mqp, make_req(""), read);
+                 dq::Knn(all.columns, 51, 10);
+               },
+               mq, picker({}, 0)));
+
+  PrintRow(("VIS/" + layer).c_str(), "MCMR",
+           TimeBothWays(
+               [&](Mistique* mqp, bool read) {
+                 FetchResult all = Fetch(mqp, make_req(""), read);
+                 dq::MeanPerColumn(all.columns);
+               },
+               mq, picker({}, 0)));
+
+  PrintRow(("SVCCA/" + layer).c_str(), "MCMR",
+           TimeBothWays(
+               [&](Mistique* mqp, bool read) {
+                 FetchResult reps = Fetch(mqp, make_req(""), read);
+                 FetchResult logits = Fetch(mqp, make_req(logits_layer), read);
+                 (void)dq::SvccaSimilarity(reps.columns, logits.columns);
+               },
+               mq, picker({}, 0)));
+}
+
+void RunDnn(const std::string& workspace) {
+  const int n_examples = EnvInt("MISTIQUE_DNN_EXAMPLES", 256);
+  PrintHeader(
+      "Fig 5b-d: DNN query times on CIFAR10_VGG16 (paper: Layer21 read "
+      "60-210x faster; Layer11 2-42x; Layer1 re-run up to 2.5x faster)");
+  std::printf("examples=%d (paper: 50000), store=POOL_QT(2)+LP_QT(32)\n\n",
+              n_examples);
+
+  CifarConfig data_config;
+  data_config.num_examples = n_examples;
+  const CifarData data = GenerateCifar(data_config);
+  auto input = std::make_shared<Tensor>(data.images);
+
+  MistiqueOptions opts;
+  opts.store.directory = workspace + "/dnn_store";
+  opts.strategy = StorageStrategy::kDedup;
+  opts.dnn_scheme = QuantScheme::kLp32;
+  opts.pool_sigma = 2;
+  opts.row_block_size = 128;
+  opts.calibrate_on_open = true;
+  Mistique mq;
+  CheckOk(mq.Open(opts), "open dnn");
+
+  auto net = BuildVgg16Cifar({});
+  CheckOk(mq.LogNetwork(net.get(), input, "cifar", "vgg").status(),
+          "log vgg");
+  CheckOk(mq.Flush(), "flush");
+
+  const ModelId id = CheckOk(mq.metadata().FindModel("cifar", "vgg"), "find");
+  std::printf("%-18s %-5s %12s %12s %9s   (* = cost model pick)\n", "query",
+              "cat", "RERUN", "MISTIQUE", "speedup");
+  for (const char* layer : {"layer21", "layer11", "layer1"}) {
+    const IntermediateInfo* interm = CheckOk(
+        std::as_const(mq.metadata()).FindIntermediate(id, layer), "interm");
+    RunDnnLayer(&mq, *interm, layer, "layer20");
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace mistique
+
+int main() {
+  mistique::bench::BenchDir workspace("fig5");
+  mistique::bench::RunTrad(workspace.path());
+  mistique::bench::RunDnn(workspace.path());
+  return 0;
+}

@@ -1,0 +1,191 @@
+// Reproduces Fig. 6: intermediate storage cost.
+//  (a) Zillow: raw data vs STORE_ALL vs DEDUP across 50 pipelines, plus the
+//      cumulative-by-pipeline growth curve.
+//  (b) CIFAR10_CNN / CIFAR10_VGG16: STORE_ALL, LP_QT, 8BIT_QT, POOL_QT(2),
+//      POOL_QT(32), and POOL_QT(2)+DEDUP across training checkpoints.
+//
+// Scale knobs (paper values in brackets):
+//   MISTIQUE_ZILLOW_PROPS     properties rows        (default 2000) [~3M]
+//   MISTIQUE_ZILLOW_PIPELINES pipelines to log       (default 50)   [50]
+//   MISTIQUE_DNN_EXAMPLES     images logged          (default 256)  [50000]
+//   MISTIQUE_DNN_EPOCHS       checkpoints per model  (default 3)    [10]
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/mistique.h"
+#include "nn/cifar.h"
+#include "nn/model_zoo.h"
+#include "pipeline/templates.h"
+#include "pipeline/zillow.h"
+
+namespace mistique {
+namespace bench {
+namespace {
+
+uint64_t DirBytes(const std::string& dir) {
+  uint64_t total = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file()) total += entry.file_size();
+  }
+  return total;
+}
+
+void RunZillow(const std::string& workspace) {
+  PrintHeader(
+      "Fig 6a: Zillow storage cost (paper: raw 168MB, STORE_ALL 67GB, "
+      "DEDUP 611MB => 110x)");
+
+  ZillowConfig config;
+  config.num_properties =
+      static_cast<size_t>(EnvInt("MISTIQUE_ZILLOW_PROPS", 2000));
+  config.num_train = config.num_properties * 3 / 4;
+  config.num_test = config.num_properties / 4;
+  const int num_pipelines = EnvInt("MISTIQUE_ZILLOW_PIPELINES", 50);
+
+  const std::string csv_dir = workspace + "/zillow_csv";
+  CheckOk(WriteZillowCsvs(GenerateZillow(config), csv_dir), "zillow csvs");
+  const uint64_t raw_bytes = DirBytes(csv_dir);
+  std::printf("raw input (3 csv files): %s\n",
+              HumanBytes(static_cast<double>(raw_bytes)).c_str());
+
+  struct StrategyRun {
+    const char* name;
+    StorageStrategy strategy;
+    uint64_t total = 0;
+    std::vector<uint64_t> cumulative;
+  };
+  StrategyRun runs[2] = {{"STORE_ALL", StorageStrategy::kStoreAll},
+                         {"DEDUP", StorageStrategy::kDedup}};
+
+  for (StrategyRun& run : runs) {
+    MistiqueOptions opts;
+    opts.store.directory =
+        workspace + "/zillow_" + std::string(run.name);
+    opts.strategy = run.strategy;
+    Mistique mq;
+    CheckOk(mq.Open(opts), "open");
+
+    std::vector<std::unique_ptr<Pipeline>> pipelines;
+    for (int i = 0; i < num_pipelines; ++i) {
+      const int template_id = i / kNumZillowVariants + 1;
+      const int variant = i % kNumZillowVariants;
+      auto pipeline = CheckOk(
+          BuildZillowPipeline(template_id, variant, csv_dir), "build");
+      CheckOk(mq.LogPipeline(pipeline.get(), "zillow").status(), "log");
+      pipelines.push_back(std::move(pipeline));
+      CheckOk(mq.Flush(), "flush");
+      run.cumulative.push_back(mq.StorageFootprintBytes());
+    }
+    run.total = mq.StorageFootprintBytes();
+  }
+
+  std::printf("\n%-12s %14s %10s\n", "strategy", "stored", "vs raw");
+  for (const StrategyRun& run : runs) {
+    std::printf("%-12s %14s %9.1fx\n", run.name,
+                HumanBytes(static_cast<double>(run.total)).c_str(),
+                static_cast<double>(run.total) /
+                    static_cast<double>(raw_bytes));
+  }
+  std::printf("DEDUP reduction over STORE_ALL: %.1fx\n",
+              static_cast<double>(runs[0].total) /
+                  static_cast<double>(runs[1].total));
+
+  std::printf("\ncumulative storage by #pipelines logged:\n");
+  std::printf("%-10s %14s %14s\n", "#pipelines", "STORE_ALL", "DEDUP");
+  for (size_t i = 0; i < runs[0].cumulative.size(); ++i) {
+    if ((i + 1) % 5 == 0 || i == 0) {
+      std::printf("%-10zu %14s %14s\n", i + 1,
+                  HumanBytes(static_cast<double>(runs[0].cumulative[i]))
+                      .c_str(),
+                  HumanBytes(static_cast<double>(runs[1].cumulative[i]))
+                      .c_str());
+    }
+  }
+}
+
+struct DnnScheme {
+  const char* name;
+  StorageStrategy strategy;
+  QuantScheme scheme;
+  int pool_sigma;
+};
+
+void RunDnn(const std::string& workspace, const char* which) {
+  const int n_examples = EnvInt("MISTIQUE_DNN_EXAMPLES", 256);
+  const int epochs = EnvInt("MISTIQUE_DNN_EPOCHS", 3);
+  const bool is_vgg = std::string(which) == "vgg16";
+
+  PrintHeader(is_vgg ? "Fig 6b: CIFAR10_VGG16 storage (paper: STORE_ALL "
+                       "350GB, pool2 58GB=6x, pool32 4.19GB=83x, "
+                       "pool2+DEDUP 5.997GB=60x)"
+                     : "Fig 6b: CIFAR10_CNN storage (paper: STORE_ALL 242GB, "
+                       "LP 128GB, 8BIT 72.4GB, pool2 39GB=6.2x, pool32 "
+                       "2.53GB=95x; DEDUP adds little)");
+  std::printf("examples=%d epochs=%d (paper: 50000 x 10)\n", n_examples,
+              epochs);
+
+  CifarConfig data_config;
+  data_config.num_examples = n_examples;
+  const CifarData data = GenerateCifar(data_config);
+  auto input = std::make_shared<Tensor>(data.images);
+
+  const DnnScheme schemes[] = {
+      {"STORE_ALL(f32)", StorageStrategy::kStoreAll, QuantScheme::kLp32, 1},
+      {"LP_QT(f16)", StorageStrategy::kStoreAll, QuantScheme::kLp16, 1},
+      {"8BIT_QT", StorageStrategy::kStoreAll, QuantScheme::kKBit, 1},
+      {"POOL_QT(2)", StorageStrategy::kStoreAll, QuantScheme::kLp32, 2},
+      {"POOL_QT(32)", StorageStrategy::kStoreAll, QuantScheme::kLp32, 32},
+      {"POOL_QT(2)+DEDUP", StorageStrategy::kDedup, QuantScheme::kLp32, 2},
+  };
+
+  std::printf("\n%-18s %14s %10s\n", "scheme", "stored", "vs f32");
+  double store_all_bytes = 0;
+  for (const DnnScheme& scheme : schemes) {
+    MistiqueOptions opts;
+    opts.store.directory = workspace + "/" + which + "_" + scheme.name;
+    opts.strategy = scheme.strategy;
+    opts.dnn_scheme = scheme.scheme;
+    opts.pool_sigma = scheme.pool_sigma;
+    opts.row_block_size = 128;
+    Mistique mq;
+    CheckOk(mq.Open(opts), "open");
+
+    DnnScaleConfig scale;
+    auto net = is_vgg ? BuildVgg16Cifar(scale) : BuildCifarCnn(scale);
+    for (int epoch = 0; epoch < epochs; ++epoch) {
+      if (epoch > 0) {
+        // Simulated training step between checkpoints; for the VGG16
+        // fine-tune only the FC head moves (trunk frozen).
+        net->PerturbTrainable(1000 + static_cast<uint64_t>(epoch),
+                              0.02);
+      }
+      CheckOk(mq.LogNetwork(net.get(), input, "cifar",
+                            std::string(which) + "_ep" +
+                                std::to_string(epoch))
+                  .status(),
+              "log network");
+    }
+    CheckOk(mq.Flush(), "flush");
+    const double bytes = static_cast<double>(mq.StorageFootprintBytes());
+    if (store_all_bytes == 0) store_all_bytes = bytes;
+    std::printf("%-18s %14s %9.1fx\n", scheme.name,
+                HumanBytes(bytes).c_str(), store_all_bytes / bytes);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace mistique
+
+int main() {
+  mistique::bench::BenchDir workspace("fig6");
+  mistique::bench::RunZillow(workspace.path());
+  mistique::bench::RunDnn(workspace.path(), "cnn");
+  mistique::bench::RunDnn(workspace.path(), "vgg16");
+  std::printf("\n");
+  return 0;
+}

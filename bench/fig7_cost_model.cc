@@ -1,0 +1,131 @@
+// Reproduces Fig. 7: validating the query cost model on CIFAR10_VGG16.
+//  (a) time to re-run the model up to each layer (fixed model-load cost +
+//      per-layer forward cost), for several n_ex.
+//  (b) time to read each layer's stored intermediate under different
+//      quantization schemes (8BIT_QT slowest per byte due to
+//      reconstruction; pool(32) fastest).
+//
+// Scale knob: MISTIQUE_DNN_EXAMPLES (default 256; paper 50000).
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "core/mistique.h"
+#include "nn/cifar.h"
+#include "nn/model_zoo.h"
+
+namespace mistique {
+namespace bench {
+namespace {
+
+const int kLayers[] = {1, 5, 11, 18, 21};
+
+void RunRerunTimes(const std::string& workspace,
+                   std::shared_ptr<const Tensor> input) {
+  PrintHeader(
+      "Fig 7a: t_rerun by layer and n_ex (paper: linear in layer depth and "
+      "n_ex, fixed 1.2s model-load offset)");
+
+  MistiqueOptions opts;
+  opts.store.directory = workspace + "/rerun_store";
+  opts.strategy = StorageStrategy::kAdaptive;  // Metadata only; no storage.
+  opts.gamma_min = 1e18;
+  Mistique mq;
+  CheckOk(mq.Open(opts), "open");
+  auto net = BuildVgg16Cifar({});
+  CheckOk(mq.LogNetwork(net.get(), input, "cifar", "vgg").status(), "log");
+
+  const int total = input->n;
+  std::vector<int> n_ex_values = {total / 4, total / 2, total};
+
+  std::printf("%-8s", "layer");
+  for (int n_ex : n_ex_values) std::printf(" n_ex=%-6d", n_ex);
+  std::printf("  (measured wall seconds)\n");
+  for (int layer : kLayers) {
+    std::printf("%-8d", layer);
+    for (int n_ex : n_ex_values) {
+      FetchRequest req;
+      req.project = "cifar";
+      req.model = "vgg";
+      req.intermediate = "layer" + std::to_string(layer);
+      req.n_ex = static_cast<uint64_t>(n_ex);
+      req.force_read = false;
+      Stopwatch watch;
+      CheckOk(mq.Fetch(req).status(), "rerun fetch");
+      std::printf(" %9.3fs ", watch.ElapsedSeconds());
+    }
+    std::printf("\n");
+  }
+}
+
+void RunReadTimes(const std::string& workspace,
+                  std::shared_ptr<const Tensor> input) {
+  PrintHeader(
+      "Fig 7b: t_read by layer and scheme (paper: 8BIT_QT slowest due to "
+      "reconstruction, then LP_QT, pool(2), pool(32))");
+
+  struct Scheme {
+    const char* name;
+    QuantScheme scheme;
+    int sigma;
+  };
+  const Scheme schemes[] = {
+      {"8BIT_QT", QuantScheme::kKBit, 1},
+      {"LP_QT(16)", QuantScheme::kLp16, 1},
+      {"pool(2)", QuantScheme::kLp32, 2},
+      {"pool(32)", QuantScheme::kLp32, 32},
+  };
+
+  std::vector<std::unique_ptr<Mistique>> stores;
+  for (const Scheme& scheme : schemes) {
+    MistiqueOptions opts;
+    opts.store.directory = workspace + "/read_" + scheme.name;
+    opts.strategy = StorageStrategy::kDedup;
+    opts.dnn_scheme = scheme.scheme;
+    opts.pool_sigma = scheme.sigma;
+    opts.row_block_size = 128;
+    auto mq = std::make_unique<Mistique>();
+    CheckOk(mq->Open(opts), "open");
+    auto net = BuildVgg16Cifar({});
+    CheckOk(mq->LogNetwork(net.get(), input, "cifar", "vgg").status(), "log");
+    CheckOk(mq->Flush(), "flush");
+    stores.push_back(std::move(mq));
+  }
+
+  std::printf("%-8s", "layer");
+  for (const Scheme& scheme : schemes) std::printf(" %-11s", scheme.name);
+  std::printf(" (seconds to read all rows, all columns)\n");
+  for (int layer : kLayers) {
+    std::printf("%-8d", layer);
+    for (size_t s = 0; s < stores.size(); ++s) {
+      FetchRequest req;
+      req.project = "cifar";
+      req.model = "vgg";
+      req.intermediate = "layer" + std::to_string(layer);
+      req.force_read = true;
+      Stopwatch watch;
+      CheckOk(stores[s]->Fetch(req).status(), "read fetch");
+      std::printf(" %9.4fs ", watch.ElapsedSeconds());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace mistique
+
+int main() {
+  mistique::bench::BenchDir workspace("fig7");
+  mistique::CifarConfig config;
+  config.num_examples = mistique::bench::EnvInt("MISTIQUE_DNN_EXAMPLES", 256);
+  const mistique::CifarData data = mistique::GenerateCifar(config);
+  auto input = std::make_shared<mistique::Tensor>(data.images);
+  mistique::bench::RunRerunTimes(workspace.path(), input);
+  mistique::bench::RunReadTimes(workspace.path(), input);
+  std::printf("\n");
+  return 0;
+}

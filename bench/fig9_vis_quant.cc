@@ -1,0 +1,124 @@
+// Reproduces Fig. 9: effect of quantization on the VIS query (mean
+// activation heatmap of a mid-network layer). The paper shows the heatmap
+// is visually identical for full precision, LP_QT(16), 8BIT_QT and pool
+// schemes, but degrades for 3BIT_QT and THRESHOLD_QT. We quantify
+// "visually identical" as mean-abs-deviation (in units of the heatmap's
+// dynamic range) and Spearman rank correlation against full precision —
+// a visualization with <256 shades is faithful when ranks are preserved.
+//
+// Scale knob: MISTIQUE_DNN_EXAMPLES (default 256; paper 50000).
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "core/mistique.h"
+#include "diagnostics/queries.h"
+#include "nn/cifar.h"
+#include "nn/model_zoo.h"
+
+namespace mistique {
+namespace bench {
+namespace {
+
+namespace dq = diagnostics;
+
+std::vector<double> HeatmapUnder(const std::string& workspace,
+                                 std::shared_ptr<const Tensor> input,
+                                 const char* tag, QuantScheme scheme,
+                                 int kbits, int sigma) {
+  MistiqueOptions opts;
+  opts.store.directory = workspace + "/" + tag;
+  opts.strategy = StorageStrategy::kDedup;
+  opts.dnn_scheme = scheme;
+  opts.kbits = kbits;
+  opts.pool_sigma = sigma;
+  opts.row_block_size = 128;
+  Mistique mq;
+  CheckOk(mq.Open(opts), "open");
+  auto net = BuildVgg16Cifar({});
+  CheckOk(mq.LogNetwork(net.get(), input, "cifar", "vgg").status(), "log");
+  CheckOk(mq.Flush(), "flush");
+
+  // VIS: mean activation per channel of layer 9 (conv3_3). Per-channel
+  // means aggregate over the channel's (possibly pooled) map columns, so
+  // heatmaps are comparable across pooling levels.
+  FetchRequest req;
+  req.project = "cifar";
+  req.model = "vgg";
+  req.intermediate = "layer9";
+  req.force_read = true;
+  FetchResult result = CheckOk(mq.Fetch(req), "fetch");
+  const std::vector<double> col_means = dq::MeanPerColumn(result.columns);
+
+  const ModelId id = CheckOk(mq.metadata().FindModel("cifar", "vgg"), "find");
+  const IntermediateInfo* interm = CheckOk(
+      std::as_const(mq.metadata()).FindIntermediate(id, "layer9"), "interm");
+  std::vector<double> heatmap(static_cast<size_t>(interm->channels), 0.0);
+  const size_t per_map =
+      static_cast<size_t>(interm->height) * interm->width;
+  for (int c = 0; c < interm->channels; ++c) {
+    double sum = 0;
+    for (size_t i = 0; i < per_map; ++i) {
+      sum += col_means[static_cast<size_t>(c) * per_map + i];
+    }
+    heatmap[static_cast<size_t>(c)] = sum / static_cast<double>(per_map);
+  }
+  return heatmap;
+}
+
+void Run() {
+  BenchDir workspace("fig9");
+  CifarConfig config;
+  config.num_examples = EnvInt("MISTIQUE_DNN_EXAMPLES", 256);
+  const CifarData data = GenerateCifar(config);
+  auto input = std::make_shared<Tensor>(data.images);
+
+  PrintHeader(
+      "Fig 9: VIS heatmap fidelity under quantization (paper: full, f16, "
+      "8bit, pool visually identical; 3bit & threshold visibly off)");
+
+  const std::vector<double> reference = HeatmapUnder(
+      workspace.path(), input, "full", QuantScheme::kNone, 8, 1);
+  double range = 0;
+  for (double v : reference) range = std::max(range, std::abs(v));
+  range = std::max(range, 1e-12);
+
+  struct SchemeRow {
+    const char* name;
+    QuantScheme scheme;
+    int kbits;
+    int sigma;
+  };
+  const SchemeRow rows[] = {
+      {"LP_QT(16)", QuantScheme::kLp16, 8, 1},
+      {"8BIT_QT", QuantScheme::kKBit, 8, 1},
+      {"POOL_QT(2)", QuantScheme::kLp32, 8, 2},
+      {"POOL_QT(32)", QuantScheme::kLp32, 8, 32},
+      {"3BIT_QT", QuantScheme::kKBit, 3, 1},
+      {"THRESHOLD_QT", QuantScheme::kThreshold, 8, 1},
+  };
+
+  std::printf("%-14s %16s %12s\n", "scheme", "MAD (of range)", "rank corr");
+  std::printf("%-14s %16s %12s\n", "full precision", "0.0000", "1.0000");
+  for (const SchemeRow& row : rows) {
+    const std::vector<double> heatmap = HeatmapUnder(
+        workspace.path(), input, row.name, row.scheme, row.kbits, row.sigma);
+    const double mad = dq::MeanAbsDeviation(reference, heatmap) / range;
+    const double rank = dq::SpearmanCorrelation(reference, heatmap);
+    std::printf("%-14s %15.4f%% %12.4f\n", row.name, 100.0 * mad, rank);
+  }
+  std::printf(
+      "\nexpected shape: LP/8BIT/POOL rows near 0%% MAD and rank ~1.0;\n"
+      "3BIT_QT and THRESHOLD_QT visibly worse on both metrics.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace mistique
+
+int main() {
+  mistique::bench::Run();
+  std::printf("\n");
+  return 0;
+}

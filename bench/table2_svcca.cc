@@ -1,0 +1,100 @@
+// Reproduces Table 2: mean CCA coefficient between the network logits and
+// layer representations, comparing full-precision intermediates against
+// 8BIT_QT and POOL_QT(2) stores. Paper shape: 8BIT_QT tracks full
+// precision almost exactly; pool(2) introduces a discrepancy that shrinks
+// with layer depth.
+//
+// Scale knob: MISTIQUE_DNN_EXAMPLES (default 192; paper 50000).
+
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "bench_util.h"
+#include "core/mistique.h"
+#include "diagnostics/queries.h"
+#include "nn/cifar.h"
+#include "nn/model_zoo.h"
+
+namespace mistique {
+namespace bench {
+namespace {
+
+namespace dq = diagnostics;
+
+struct Store {
+  const char* name;
+  QuantScheme scheme;
+  int sigma;
+  std::unique_ptr<Mistique> mq;
+};
+
+FetchResult FetchLayer(Mistique* mq, const std::string& layer) {
+  FetchRequest req;
+  req.project = "cifar";
+  req.model = "vgg";
+  req.intermediate = layer;
+  req.force_read = true;
+  return CheckOk(mq->Fetch(req), "fetch layer");
+}
+
+void Run() {
+  BenchDir workspace("table2");
+  CifarConfig config;
+  config.num_examples = EnvInt("MISTIQUE_DNN_EXAMPLES", 192);
+  const CifarData data = GenerateCifar(config);
+  auto input = std::make_shared<Tensor>(data.images);
+
+  PrintHeader(
+      "Table 2: SVCCA mean CCA coefficient vs logits (paper: 8BIT_QT ~= "
+      "full precision; pool(2) discrepancy shrinks with depth)");
+
+  Store stores[3] = {
+      {"full", QuantScheme::kNone, 1, nullptr},
+      {"8BIT_QT", QuantScheme::kKBit, 1, nullptr},
+      {"POOL_QT(2)", QuantScheme::kLp32, 2, nullptr},
+  };
+  for (Store& store : stores) {
+    MistiqueOptions opts;
+    opts.store.directory = workspace.path() + "/" + store.name;
+    opts.strategy = StorageStrategy::kDedup;
+    opts.dnn_scheme = store.scheme;
+    opts.pool_sigma = store.sigma;
+    opts.row_block_size = 128;
+    store.mq = std::make_unique<Mistique>();
+    CheckOk(store.mq->Open(opts), "open");
+    auto net = BuildVgg16Cifar({});
+    CheckOk(store.mq->LogNetwork(net.get(), input, "cifar", "vgg").status(),
+            "log");
+    CheckOk(store.mq->Flush(), "flush");
+  }
+
+  const char* layers[] = {"layer7", "layer11", "layer16", "layer19"};
+  std::printf("%-8s %12s %12s %12s\n", "layer", "full", "8BIT_QT",
+              "POOL_QT(2)");
+  for (const char* layer : layers) {
+    std::printf("%-8s", layer);
+    for (Store& store : stores) {
+      // Alg. 1: SVCCA(layer representation, logits) on this store's data.
+      FetchResult reps = FetchLayer(store.mq.get(), layer);
+      FetchResult logits = FetchLayer(store.mq.get(), "layer20");
+      const double cca = CheckOk(
+          dq::SvccaSimilarity(reps.columns, logits.columns), "svcca");
+      std::printf(" %12.4f", cca);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nexpected shape: 8BIT_QT column within ~0.01 of full; POOL column\n"
+      "off at shallow layers, converging toward full at deep layers.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace mistique
+
+int main() {
+  mistique::bench::Run();
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Reproduces Table 3: KNN accuracy under quantization — the fraction of
+// the true k nearest neighbours (computed on full-precision activations)
+// recovered when the same query runs on 8BIT_QT and POOL_QT(2) stores.
+// Paper shape (k=50, layers 11/16/19): 8BIT_QT ~0.94-1.0, pool(2)
+// ~0.74-1.0, both improving with layer depth.
+//
+// Scale knobs: MISTIQUE_DNN_EXAMPLES (default 192; paper 50000),
+// MISTIQUE_KNN_K (default 20; paper 50).
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "core/mistique.h"
+#include "diagnostics/queries.h"
+#include "nn/cifar.h"
+#include "nn/model_zoo.h"
+
+namespace mistique {
+namespace bench {
+namespace {
+
+namespace dq = diagnostics;
+
+std::unique_ptr<Mistique> MakeStore(const std::string& dir,
+                                    std::shared_ptr<const Tensor> input,
+                                    QuantScheme scheme, int sigma) {
+  MistiqueOptions opts;
+  opts.store.directory = dir;
+  opts.strategy = StorageStrategy::kDedup;
+  opts.dnn_scheme = scheme;
+  opts.pool_sigma = sigma;
+  opts.row_block_size = 128;
+  auto mq = std::make_unique<Mistique>();
+  CheckOk(mq->Open(opts), "open");
+  auto net = BuildVgg16Cifar({});
+  CheckOk(mq->LogNetwork(net.get(), input, "cifar", "vgg").status(), "log");
+  CheckOk(mq->Flush(), "flush");
+  return mq;
+}
+
+std::vector<size_t> KnnOn(Mistique* mq, const char* layer, size_t query_row,
+                          size_t k) {
+  FetchRequest req;
+  req.project = "cifar";
+  req.model = "vgg";
+  req.intermediate = layer;
+  req.force_read = true;
+  FetchResult result = CheckOk(mq->Fetch(req), "fetch");
+  return dq::Knn(result.columns, query_row, k);
+}
+
+void Run() {
+  BenchDir workspace("table3");
+  CifarConfig config;
+  config.num_examples = EnvInt("MISTIQUE_DNN_EXAMPLES", 192);
+  const CifarData data = GenerateCifar(config);
+  auto input = std::make_shared<Tensor>(data.images);
+  const size_t k = static_cast<size_t>(EnvInt("MISTIQUE_KNN_K", 20));
+
+  PrintHeader(
+      "Table 3: KNN overlap with full-precision neighbours (paper, k=50: "
+      "8BIT_QT {0.94,0.96,1.0}, pool(2) {0.74,0.84,1.0} at layers "
+      "{11,16,19})");
+
+  auto full = MakeStore(workspace.path() + "/full", input,
+                        QuantScheme::kNone, 1);
+  auto kbit = MakeStore(workspace.path() + "/kbit", input,
+                        QuantScheme::kKBit, 1);
+  auto pool = MakeStore(workspace.path() + "/pool", input,
+                        QuantScheme::kLp32, 2);
+
+  const char* layers[] = {"layer11", "layer16", "layer19"};
+  const size_t queries[] = {5, 17, 51, 101};
+
+  std::printf("k=%zu, averaged over %zu query images\n\n", k,
+              std::size(queries));
+  std::printf("%-8s %12s %12s %12s\n", "layer", "full", "8BIT_QT",
+              "POOL_QT(2)");
+  for (const char* layer : layers) {
+    double kbit_overlap = 0, pool_overlap = 0;
+    for (size_t query : queries) {
+      const auto truth = KnnOn(full.get(), layer, query, k);
+      kbit_overlap +=
+          dq::NeighbourOverlap(truth, KnnOn(kbit.get(), layer, query, k));
+      pool_overlap +=
+          dq::NeighbourOverlap(truth, KnnOn(pool.get(), layer, query, k));
+    }
+    const double n = static_cast<double>(std::size(queries));
+    std::printf("%-8s %12.2f %12.2f %12.2f\n", layer, 1.0,
+                kbit_overlap / n, pool_overlap / n);
+  }
+  std::printf(
+      "\nexpected shape: both columns below 1.0 at shallow layers and\n"
+      "approaching 1.0 by layer19, with 8BIT_QT >= POOL_QT(2).\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace mistique
+
+int main() {
+  mistique::bench::Run();
+  std::printf("\n");
+  return 0;
+}

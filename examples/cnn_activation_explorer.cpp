@@ -1,0 +1,149 @@
+// DNN activation exploration — the ActiVis / DeepVis-style scenario from
+// the paper's introduction. Logs a CNN's per-layer activations (pooled +
+// quantized), then answers interpretability queries: neuron heatmaps by
+// class, top-activating images per neuron, nearest-neighbour images in
+// representation space, and SVCCA layer similarity.
+//
+//   build/examples/cnn_activation_explorer
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/mistique.h"
+#include "diagnostics/queries.h"
+#include "nn/cifar.h"
+#include "nn/model_zoo.h"
+
+using namespace mistique;  // NOLINT: example brevity.
+namespace dq = diagnostics;
+
+namespace {
+
+void Check(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Check(Result<T> result) {
+  Check(result.status());
+  return std::move(result).ValueOrDie();
+}
+
+}  // namespace
+
+int main() {
+  const std::string workspace = "/tmp/mistique_cnn_explorer";
+  std::filesystem::remove_all(workspace);
+
+  // Synthetic class-structured CIFAR-like data + a small CNN.
+  CifarConfig data_config;
+  data_config.num_examples = 256;
+  const CifarData data = GenerateCifar(data_config);
+  auto input = std::make_shared<Tensor>(data.images);
+  auto net = BuildCifarCnn({});
+
+  // Log with the paper's default storage scheme: POOL_QT(2) + float32.
+  MistiqueOptions options;
+  options.store.directory = workspace + "/store";
+  options.strategy = StorageStrategy::kDedup;
+  options.dnn_scheme = QuantScheme::kLp32;
+  options.pool_sigma = 2;
+  options.row_block_size = 128;
+  options.calibrate_on_open = true;
+  Mistique mq;
+  Check(mq.Open(options));
+  Check(mq.LogNetwork(net.get(), input, "cifar", "cnn").status());
+  Check(mq.Flush());
+  std::printf("logged %zu layers of CIFAR10_CNN over %d images; footprint "
+              "%.1f MB\n",
+              net->num_layers(), data_config.num_examples,
+              mq.StorageFootprintBytes() / 1e6);
+
+  // --- VIS: class-conditioned mean activations of the penultimate layer.
+  FetchRequest req;
+  req.project = "cifar";
+  req.model = "cnn";
+  req.intermediate = "layer7";  // fc1.
+  FetchResult fc1 = Check(mq.Fetch(req));
+  std::printf("\nfetched layer7 (%zu neurons x %zu images) via %s in "
+              "%.1f ms\n",
+              fc1.columns.size(), fc1.columns[0].size(),
+              fc1.used_read ? "READ" : "RERUN", fc1.fetch_seconds * 1e3);
+  const auto by_class =
+      dq::MeanPerColumnByClass(fc1.columns, data.labels, 10);
+  std::printf("class-mean activation of neuron 0 (ActiVis-style heatmap "
+              "row):\n  ");
+  for (int k = 0; k < 10; ++k) std::printf("%6.3f", by_class[k][0]);
+  std::printf("\n");
+
+  // --- TOPK: which images drive the busiest neuron hardest? (Pick the
+  // neuron with the highest mean activation — ReLU leaves many dead.)
+  const auto neuron_means = dq::MeanPerColumn(fc1.columns);
+  size_t busiest = 0;
+  for (size_t n = 1; n < neuron_means.size(); ++n) {
+    if (neuron_means[n] > neuron_means[busiest]) busiest = n;
+  }
+  const auto top = dq::TopK(fc1.columns[busiest], 5);
+  std::printf("\ntop-5 images for neuron %zu (image: activation, class):\n",
+              busiest);
+  for (const auto& [row, act] : top) {
+    std::printf("  img %3llu: %8.3f  class %d\n",
+                static_cast<unsigned long long>(row), act,
+                data.labels[row]);
+  }
+
+  // --- KNN: representation-space neighbours of image 7.
+  const auto neighbours = dq::Knn(fc1.columns, 7, 5);
+  std::printf("\nnearest neighbours of image 7 (class %d) in layer7 "
+              "space:\n  ",
+              data.labels[7]);
+  int same_class = 0;
+  for (size_t n : neighbours) {
+    std::printf("img %zu (class %d)  ", n, data.labels[n]);
+    same_class += data.labels[n] == data.labels[7];
+  }
+  std::printf("\n  %d/5 neighbours share image 7's class\n", same_class);
+
+  // --- SVCCA: how similar is each layer's representation to the logits?
+  req.intermediate = "layer8";
+  FetchResult logits = Check(mq.Fetch(req));
+  std::printf("\nSVCCA similarity to the logits:\n");
+  for (const char* layer : {"layer3", "layer6", "layer7"}) {
+    req.intermediate = layer;
+    FetchResult reps = Check(mq.Fetch(req));
+    const double cca =
+        Check(dq::SvccaSimilarity(reps.columns, logits.columns));
+    std::printf("  %-8s %.4f\n", layer, cca);
+  }
+
+  // --- Confusion matrix from the softmax output.
+  req.intermediate = "layer9";
+  FetchResult softmax = Check(mq.Fetch(req));
+  std::vector<int> predicted(static_cast<size_t>(input->n), 0);
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    int best = 0;
+    for (int k = 1; k < 10; ++k) {
+      if (softmax.columns[static_cast<size_t>(k)][i] >
+          softmax.columns[static_cast<size_t>(best)][i]) {
+        best = k;
+      }
+    }
+    predicted[i] = best;
+  }
+  const auto confusion = dq::ConfusionMatrix(data.labels, predicted, 10);
+  uint64_t diag = 0, total = 0;
+  for (int t = 0; t < 10; ++t) {
+    for (int p = 0; p < 10; ++p) {
+      total += confusion[t][p];
+      if (t == p) diag += confusion[t][p];
+    }
+  }
+  std::printf("\n(untrained-network sanity stat: %llu/%llu images land on "
+              "the diagonal)\n",
+              static_cast<unsigned long long>(diag),
+              static_cast<unsigned long long>(total));
+  return 0;
+}

@@ -1,0 +1,181 @@
+// mistique_cli — inspect and query a persisted MISTIQUE store from the
+// shell. Demonstrates catalog persistence: any store directory written
+// with Mistique::SaveCatalog() can be explored without the original
+// process, models, or data.
+//
+//   mistique_cli <store_dir> ls
+//   mistique_cli <store_dir> ls <project.model>
+//   mistique_cli <store_dir> fetch <project.model.intermediate.column> [n]
+//   mistique_cli <store_dir> scan <project.model.intermediate> <column> <lo> <hi>
+//   mistique_cli <store_dir> delete <project.model>
+//   mistique_cli <store_dir> stats
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "core/mistique.h"
+
+using namespace mistique;  // NOLINT: CLI brevity.
+
+namespace {
+
+void Check(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Check(Result<T> result) {
+  Check(result.status());
+  return std::move(result).ValueOrDie();
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: mistique_cli <store_dir> <command>\n"
+      "  ls                              list models\n"
+      "  ls <project.model>              list a model's intermediates\n"
+      "  fetch <proj.model.interm.col> [n]   print first n values (def 10)\n"
+      "  scan <proj.model.interm> <col> <lo> <hi>   predicate scan\n"
+      "  delete <project.model>          delete a model + vacuum storage\n"
+      "  stats                           storage statistics\n");
+  return 2;
+}
+
+void ListModels(const Mistique& mq) {
+  std::printf("%-30s %-6s %s\n", "model", "kind", "intermediates");
+  for (ModelId id : mq.metadata().ListModels()) {
+    const ModelInfo* model = Check(mq.metadata().GetModel(id));
+    std::printf("%-30s %-6s %zu\n",
+                (model->project + "." + model->name).c_str(),
+                model->kind == ModelKind::kTrad ? "TRAD" : "DNN",
+                model->intermediates.size());
+  }
+}
+
+void ListIntermediates(const Mistique& mq, const std::string& target) {
+  const size_t dot = target.find('.');
+  if (dot == std::string::npos) {
+    std::fprintf(stderr, "expected project.model\n");
+    std::exit(2);
+  }
+  const ModelId id = Check(
+      mq.metadata().FindModel(target.substr(0, dot), target.substr(dot + 1)));
+  const ModelInfo* model = Check(mq.metadata().GetModel(id));
+  std::printf("%-20s %8s %8s %12s %8s %s\n", "intermediate", "rows", "cols",
+              "stored", "queries", "scheme");
+  for (const IntermediateInfo& interm : model->intermediates) {
+    uint64_t stored = 0;
+    for (const ColumnInfo& col : interm.columns) stored += col.stored_bytes;
+    std::printf("%-20s %8llu %8zu %10.1fKB %8llu %s%s\n",
+                interm.name.c_str(),
+                static_cast<unsigned long long>(interm.num_rows),
+                interm.columns.size(), stored / 1e3,
+                static_cast<unsigned long long>(interm.n_query),
+                QuantSchemeName(interm.scheme, interm.kbits).c_str(),
+                interm.pool_sigma > 1
+                    ? ("+pool(" + std::to_string(interm.pool_sigma) + ")")
+                          .c_str()
+                    : "");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string store_dir = argv[1];
+  const std::string command = argv[2];
+
+  if (!std::filesystem::exists(store_dir + "/catalog.mq")) {
+    std::fprintf(stderr,
+                 "no catalog found in %s (was SaveCatalog() called?)\n",
+                 store_dir.c_str());
+    return 1;
+  }
+  MistiqueOptions options;
+  options.store.directory = store_dir;
+  Mistique mq;
+  Check(mq.Open(options));
+
+  if (command == "ls" && argc == 3) {
+    ListModels(mq);
+    return 0;
+  }
+  if (command == "ls" && argc == 4) {
+    ListIntermediates(mq, argv[3]);
+    return 0;
+  }
+  if (command == "fetch" && argc >= 4) {
+    const uint64_t n = argc >= 5 ? std::strtoull(argv[4], nullptr, 10) : 10;
+    FetchResult result = Check(mq.GetIntermediates({argv[3]}, n));
+    for (size_t c = 0; c < result.column_names.size(); ++c) {
+      std::printf("%s%s", c ? "," : "", result.column_names[c].c_str());
+    }
+    std::printf("\n");
+    const size_t rows = result.columns.empty() ? 0 : result.columns[0].size();
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < result.columns.size(); ++c) {
+        std::printf("%s%.8g", c ? "," : "", result.columns[c][r]);
+      }
+      std::printf("\n");
+    }
+    std::fprintf(stderr, "(%zu rows via %s)\n", rows,
+                 result.used_read ? "read" : "re-run");
+    return 0;
+  }
+  if (command == "scan" && argc == 7) {
+    ScanRequest scan;
+    const std::string target = argv[3];
+    const size_t d1 = target.find('.');
+    const size_t d2 = target.find('.', d1 + 1);
+    if (d1 == std::string::npos || d2 == std::string::npos) {
+      std::fprintf(stderr, "expected project.model.intermediate\n");
+      return 2;
+    }
+    scan.project = target.substr(0, d1);
+    scan.model = target.substr(d1 + 1, d2 - d1 - 1);
+    scan.intermediate = target.substr(d2 + 1);
+    scan.predicate_column = argv[4];
+    scan.lo = std::atof(argv[5]);
+    scan.hi = std::atof(argv[6]);
+    ScanResult result = Check(mq.Scan(scan));
+    for (uint64_t row : result.row_ids) {
+      std::printf("%llu\n", static_cast<unsigned long long>(row));
+    }
+    std::fprintf(stderr, "(%zu rows; %llu blocks scanned, %llu pruned)\n",
+                 result.row_ids.size(),
+                 static_cast<unsigned long long>(result.blocks_scanned),
+                 static_cast<unsigned long long>(result.blocks_pruned));
+    return 0;
+  }
+  if (command == "delete" && argc == 4) {
+    const std::string target = argv[3];
+    const size_t dot = target.find('.');
+    if (dot == std::string::npos) {
+      std::fprintf(stderr, "expected project.model\n");
+      return 2;
+    }
+    Check(mq.DeleteModel(target.substr(0, dot), target.substr(dot + 1)));
+    const uint64_t reclaimed = Check(mq.Vacuum());
+    Check(mq.SaveCatalog());
+    std::printf("deleted %s; reclaimed %llu bytes\n", target.c_str(),
+                static_cast<unsigned long long>(reclaimed));
+    return 0;
+  }
+  if (command == "stats") {
+    std::printf("models:            %zu\n", mq.metadata().num_models());
+    std::printf("partitions on disk: %zu\n",
+                mq.store().disk().num_partitions());
+    std::printf("compressed bytes:  %llu\n",
+                static_cast<unsigned long long>(mq.store().stored_bytes()));
+    std::printf("chunks indexed:    %zu\n", mq.store().num_chunks());
+    return 0;
+  }
+  return Usage();
+}

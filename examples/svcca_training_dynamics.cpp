@@ -1,0 +1,111 @@
+// SVCCA training-dynamics study — the second use-case Raghu et al. give
+// for SVCCA and one of the paper's headline motivations: checkpoint the
+// model during (simulated) training, log every checkpoint's activations,
+// and measure per-layer convergence by comparing each epoch's
+// representation against the final epoch's. Frozen layers converge
+// trivially (identical, and de-duplicated in storage); trainable layers
+// drift.
+//
+//   build/examples/svcca_training_dynamics
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/mistique.h"
+#include "diagnostics/queries.h"
+#include "nn/cifar.h"
+#include "nn/model_zoo.h"
+
+using namespace mistique;  // NOLINT: example brevity.
+namespace dq = diagnostics;
+
+namespace {
+
+void Check(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Check(Result<T> result) {
+  Check(result.status());
+  return std::move(result).ValueOrDie();
+}
+
+FetchResult FetchLayer(Mistique* mq, const std::string& model,
+                       const std::string& layer) {
+  FetchRequest req;
+  req.project = "cifar";
+  req.model = model;
+  req.intermediate = layer;
+  return Check(mq->Fetch(req));
+}
+
+}  // namespace
+
+int main() {
+  const std::string workspace = "/tmp/mistique_svcca_dynamics";
+  std::filesystem::remove_all(workspace);
+
+  CifarConfig data_config;
+  data_config.num_examples = 160;
+  const CifarData data = GenerateCifar(data_config);
+  auto input = std::make_shared<Tensor>(data.images);
+
+  MistiqueOptions options;
+  options.store.directory = workspace + "/store";
+  options.strategy = StorageStrategy::kDedup;
+  options.dnn_scheme = QuantScheme::kLp32;
+  options.pool_sigma = 2;
+  options.row_block_size = 128;
+  Mistique mq;
+  Check(mq.Open(options));
+
+  // Simulate fine-tuning: the VGG trunk is frozen, the FC head moves a
+  // little less each epoch (decaying steps = convergence).
+  constexpr int kEpochs = 4;
+  auto net = BuildVgg16Cifar({});
+  for (int epoch = 0; epoch < kEpochs; ++epoch) {
+    if (epoch > 0) {
+      net->PerturbTrainable(500 + static_cast<uint64_t>(epoch),
+                            0.05 / epoch);
+    }
+    Check(mq.LogNetwork(net.get(), input, "cifar",
+                        "vgg_ep" + std::to_string(epoch))
+              .status());
+  }
+  Check(mq.Flush());
+  std::printf(
+      "logged %d checkpoints x 21 layers over %d images; footprint %.1f MB\n"
+      "(frozen trunk layers de-duplicated: %llu duplicate chunks skipped)\n\n",
+      kEpochs, data_config.num_examples,
+      mq.StorageFootprintBytes() / 1e6,
+      static_cast<unsigned long long>(mq.dedup().duplicate_chunks()));
+
+  // Per-layer convergence: SVCCA(epoch e, final epoch).
+  const std::string final_model = "vgg_ep" + std::to_string(kEpochs - 1);
+  const char* layers[] = {"layer11", "layer18", "layer19", "layer20"};
+  std::printf("%-8s", "epoch");
+  for (const char* layer : layers) std::printf(" %10s", layer);
+  std::printf("   (SVCCA vs final checkpoint)\n");
+  for (int epoch = 0; epoch < kEpochs; ++epoch) {
+    const std::string model = "vgg_ep" + std::to_string(epoch);
+    std::printf("%-8d", epoch);
+    for (const char* layer : layers) {
+      FetchResult a = FetchLayer(&mq, model, layer);
+      FetchResult b = FetchLayer(&mq, final_model, layer);
+      const double cca =
+          Check(dq::SvccaSimilarity(a.columns, b.columns));
+      std::printf(" %10.4f", cca);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nexpected: trunk layers (11, 18) pinned at 1.0 (frozen weights);\n"
+      "FC layers (19, 20) drift early and approach 1.0 as the simulated\n"
+      "training converges — exactly the study the paper says requires\n"
+      "storing per-epoch intermediates (350GB at full scale).\n");
+  return 0;
+}

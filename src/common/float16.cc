@@ -1,0 +1,79 @@
+#include "common/float16.h"
+
+namespace mistique {
+
+namespace {
+
+inline uint32_t FloatBits(float f) {
+  uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+
+inline float BitsToFloat(uint32_t u) {
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
+
+}  // namespace
+
+uint16_t FloatToHalf(float f) {
+  const uint32_t bits = FloatBits(f);
+  const uint32_t sign = (bits >> 16) & 0x8000u;
+  int32_t exp = static_cast<int32_t>((bits >> 23) & 0xffu) - 127 + 15;
+  uint32_t mant = bits & 0x7fffffu;
+
+  if (((bits >> 23) & 0xffu) == 0xffu) {
+    // Inf / NaN. Preserve NaN-ness with a quiet mantissa bit.
+    return static_cast<uint16_t>(sign | 0x7c00u | (mant ? 0x200u : 0u));
+  }
+  if (exp >= 0x1f) {
+    // Overflow to infinity.
+    return static_cast<uint16_t>(sign | 0x7c00u);
+  }
+  if (exp <= 0) {
+    // Subnormal half or zero.
+    if (exp < -10) return static_cast<uint16_t>(sign);
+    mant |= 0x800000u;  // Implicit leading bit.
+    const int shift = 14 - exp;
+    uint32_t half_mant = mant >> shift;
+    // Round to nearest even.
+    const uint32_t rem = mant & ((1u << shift) - 1);
+    const uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half_mant & 1))) half_mant++;
+    return static_cast<uint16_t>(sign | half_mant);
+  }
+  // Normalized half. Round mantissa from 23 to 10 bits, nearest even.
+  uint32_t half = sign | (static_cast<uint32_t>(exp) << 10) | (mant >> 13);
+  const uint32_t rem = mant & 0x1fffu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half & 1))) half++;  // May carry
+                                                                // into exp:
+                                                                // correct.
+  return static_cast<uint16_t>(half);
+}
+
+float HalfToFloat(uint16_t h) {
+  const uint32_t sign = (static_cast<uint32_t>(h) & 0x8000u) << 16;
+  uint32_t exp = (h >> 10) & 0x1fu;
+  uint32_t mant = h & 0x3ffu;
+
+  if (exp == 0x1fu) {
+    return BitsToFloat(sign | 0x7f800000u | (mant << 13));
+  }
+  if (exp == 0) {
+    if (mant == 0) return BitsToFloat(sign);
+    // Subnormal: normalize.
+    int shift = 0;
+    while (!(mant & 0x400u)) {
+      mant <<= 1;
+      shift++;
+    }
+    mant &= 0x3ffu;
+    exp = static_cast<uint32_t>(1 - shift);
+    return BitsToFloat(sign | ((exp - 15 + 127) << 23) | (mant << 13));
+  }
+  return BitsToFloat(sign | ((exp - 15 + 127) << 23) | (mant << 13));
+}
+
+}  // namespace mistique

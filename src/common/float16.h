@@ -1,0 +1,20 @@
+#ifndef MISTIQUE_COMMON_FLOAT16_H_
+#define MISTIQUE_COMMON_FLOAT16_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace mistique {
+
+/// IEEE-754 binary16 conversion. MISTIQUE's LP_QT scheme stores activations
+/// as half-precision floats; these routines implement round-to-nearest-even
+/// encoding and exact decoding, including subnormals and infinities.
+uint16_t FloatToHalf(float f);
+float HalfToFloat(uint16_t h);
+
+/// Round-trips a float through binary16 (the value LP_QT reconstructs).
+inline float HalfRound(float f) { return HalfToFloat(FloatToHalf(f)); }
+
+}  // namespace mistique
+
+#endif  // MISTIQUE_COMMON_FLOAT16_H_

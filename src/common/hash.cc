@@ -1,0 +1,22 @@
+#include "common/hash.h"
+
+namespace mistique {
+
+uint64_t Fnv1a64(const void* data, size_t len, uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+Fingerprint FingerprintBytes(const void* data, size_t len) {
+  Fingerprint f;
+  f.lo = Mix64(Fnv1a64(data, len, 0xcbf29ce484222325ULL));
+  f.hi = Mix64(Fnv1a64(data, len, 0x9e3779b97f4a7c15ULL) ^ len);
+  return f;
+}
+
+}  // namespace mistique

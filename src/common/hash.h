@@ -1,0 +1,60 @@
+#ifndef MISTIQUE_COMMON_HASH_H_
+#define MISTIQUE_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace mistique {
+
+/// 64-bit FNV-1a hash of a byte range. Used for exact-duplicate detection of
+/// ColumnChunks together with Murmur-style finalization for chunk fingerprints.
+uint64_t Fnv1a64(const void* data, size_t len, uint64_t seed = 0xcbf29ce484222325ULL);
+
+/// MurmurHash3 finalizer — a cheap, well-mixed 64->64 bit hash. Used to derive
+/// the independent hash families needed by MinHash.
+inline uint64_t Mix64(uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+/// Combines two hashes (boost::hash_combine style, 64-bit).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+/// Convenience: hash a string.
+inline uint64_t HashString(std::string_view s, uint64_t seed = 0) {
+  return Fnv1a64(s.data(), s.size(), seed ^ 0xcbf29ce484222325ULL);
+}
+
+/// A 128-bit content fingerprint for exact chunk de-duplication. Collision
+/// probability is negligible at the chunk counts MISTIQUE stores.
+struct Fingerprint {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  bool operator==(const Fingerprint& o) const {
+    return lo == o.lo && hi == o.hi;
+  }
+  bool operator<(const Fingerprint& o) const {
+    return hi != o.hi ? hi < o.hi : lo < o.lo;
+  }
+};
+
+/// Fingerprints a byte range with two independently-seeded 64-bit hashes.
+Fingerprint FingerprintBytes(const void* data, size_t len);
+
+struct FingerprintHasher {
+  size_t operator()(const Fingerprint& f) const {
+    return static_cast<size_t>(HashCombine(f.lo, f.hi));
+  }
+};
+
+}  // namespace mistique
+
+#endif  // MISTIQUE_COMMON_HASH_H_

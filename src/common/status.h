@@ -1,0 +1,158 @@
+#ifndef MISTIQUE_COMMON_STATUS_H_
+#define MISTIQUE_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mistique {
+
+/// Error categories used across the library. Mirrors the coarse taxonomy
+/// used by Arrow/RocksDB style storage engines.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kIoError,
+  kCorruption,
+  kNotImplemented,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a status code ("OK", "IOError"...).
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value. All fallible public APIs in
+/// mistique return Status (or Result<T> when they produce a value); the
+/// library never throws across its public boundary.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "<CodeName>: <message>" or "OK".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error container, analogous to arrow::Result. Holds T on
+/// success, a non-OK Status on failure. Accessing the value of a failed
+/// Result aborts (programming error).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` in Result-returning code.
+  Result(T value) : var_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: allows `return Status::IoError(...)`.
+  Result(Status status) : var_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(var_).ok()) {
+      std::fprintf(stderr, "Result constructed from OK status\n");
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  /// Status of the result: OK when a value is present.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(var_);
+  }
+
+  const T& ValueOrDie() const& {
+    CheckOk();
+    return std::get<T>(var_);
+  }
+  T& ValueOrDie() & {
+    CheckOk();
+    return std::get<T>(var_);
+  }
+  T&& ValueOrDie() && {
+    CheckOk();
+    return std::get<T>(std::move(var_));
+  }
+
+  /// Alias matching common Result APIs.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+                   std::get<Status>(var_).ToString().c_str());
+      std::abort();
+    }
+  }
+  std::variant<T, Status> var_;
+};
+
+}  // namespace mistique
+
+/// Propagates a non-OK Status from an expression, RocksDB-style.
+#define MISTIQUE_RETURN_NOT_OK(expr)                 \
+  do {                                               \
+    ::mistique::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+/// Evaluates a Result expression, assigning the value to `lhs` or
+/// propagating the error.
+#define MISTIQUE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).ValueOrDie();
+
+#define MISTIQUE_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define MISTIQUE_ASSIGN_OR_RETURN_NAME(x, y) \
+  MISTIQUE_ASSIGN_OR_RETURN_CONCAT(x, y)
+
+#define MISTIQUE_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  MISTIQUE_ASSIGN_OR_RETURN_IMPL(                                         \
+      MISTIQUE_ASSIGN_OR_RETURN_NAME(_result_tmp_, __COUNTER__), lhs, rexpr)
+
+#endif  // MISTIQUE_COMMON_STATUS_H_

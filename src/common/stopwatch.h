@@ -1,0 +1,32 @@
+#ifndef MISTIQUE_COMMON_STOPWATCH_H_
+#define MISTIQUE_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace mistique {
+
+/// Monotonic wall-clock stopwatch used by the cost model calibration and the
+/// experiment harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mistique
+
+#endif  // MISTIQUE_COMMON_STOPWATCH_H_

@@ -1,0 +1,113 @@
+#ifndef MISTIQUE_COMMON_THREAD_POOL_H_
+#define MISTIQUE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mistique {
+
+/// A minimal fixed-size worker pool with a blocking ParallelFor.
+///
+/// MISTIQUE's logging path encodes thousands of independent ColumnChunks
+/// per batch (quantize + pack + fingerprint); ParallelFor spreads that
+/// across cores while the (stateful) dedup/placement stage stays on the
+/// calling thread.
+class ThreadPool {
+ public:
+  /// `num_threads` 0 = hardware concurrency (at least 1).
+  explicit ThreadPool(size_t num_threads = 0) {
+    if (num_threads == 0) {
+      num_threads = std::max<size_t>(std::thread::hardware_concurrency(), 1);
+    }
+    workers_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs body(i) for i in [0, n), blocking until all iterations finish.
+  /// The body must not throw. Iterations are chunked to limit queue
+  /// overhead; ordering across iterations is unspecified.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body) {
+    if (n == 0) return;
+    if (n == 1 || workers_.size() == 1) {
+      for (size_t i = 0; i < n; ++i) body(i);
+      return;
+    }
+    const size_t chunks = std::min(n, workers_.size() * 4);
+    const size_t per_chunk = (n + chunks - 1) / chunks;
+
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    size_t pending = 0;
+    {
+      std::lock_guard<std::mutex> lock(done_mutex);
+      for (size_t c = 0; c < chunks; ++c) {
+        const size_t begin = c * per_chunk;
+        if (begin >= n) break;
+        const size_t end = std::min(begin + per_chunk, n);
+        pending++;
+        Submit([&, begin, end] {
+          for (size_t i = begin; i < end; ++i) body(i);
+          std::lock_guard<std::mutex> done_lock(done_mutex);
+          pending--;
+          done_cv.notify_one();
+        });
+      }
+    }
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return pending == 0; });
+  }
+
+ private:
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push(std::move(task));
+    }
+    wake_.notify_one();
+  }
+
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (stopping_ && queue_.empty()) return;
+        task = std::move(queue_.front());
+        queue_.pop();
+      }
+      task();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace mistique
+
+#endif  // MISTIQUE_COMMON_THREAD_POOL_H_

@@ -1,0 +1,48 @@
+#include "compress/codec.h"
+
+#include "compress/lzss.h"
+#include "compress/simple_codecs.h"
+
+namespace mistique {
+
+const char* CodecTypeName(CodecType type) {
+  switch (type) {
+    case CodecType::kNone:
+      return "none";
+    case CodecType::kRle:
+      return "rle";
+    case CodecType::kDelta:
+      return "delta";
+    case CodecType::kDictionary:
+      return "dictionary";
+    case CodecType::kLzss:
+      return "lzss";
+  }
+  return "unknown";
+}
+
+Result<const Codec*> GetCodec(CodecType type) {
+  // Codecs are stateless; function-local statics avoid global destructors
+  // (pointers to heap objects intentionally leaked at exit).
+  static const NullCodec* const kNull = new NullCodec();
+  static const RleCodec* const kRle = new RleCodec();
+  static const DeltaCodec* const kDelta = new DeltaCodec();
+  static const DictionaryCodec* const kDict = new DictionaryCodec();
+  static const LzssCodec* const kLzss = new LzssCodec();
+  switch (type) {
+    case CodecType::kNone:
+      return static_cast<const Codec*>(kNull);
+    case CodecType::kRle:
+      return static_cast<const Codec*>(kRle);
+    case CodecType::kDelta:
+      return static_cast<const Codec*>(kDelta);
+    case CodecType::kDictionary:
+      return static_cast<const Codec*>(kDict);
+    case CodecType::kLzss:
+      return static_cast<const Codec*>(kLzss);
+  }
+  return Status::InvalidArgument("unknown codec tag " +
+                                 std::to_string(static_cast<int>(type)));
+}
+
+}  // namespace mistique

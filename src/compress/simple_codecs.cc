@@ -1,0 +1,170 @@
+#include "compress/simple_codecs.h"
+
+#include <array>
+
+#include "common/bytes.h"
+
+namespace mistique {
+
+Status NullCodec::Compress(const std::vector<uint8_t>& input,
+                           std::vector<uint8_t>* output) const {
+  *output = input;
+  return Status::OK();
+}
+
+Status NullCodec::Decompress(const std::vector<uint8_t>& input,
+                             std::vector<uint8_t>* output) const {
+  *output = input;
+  return Status::OK();
+}
+
+Status RleCodec::Compress(const std::vector<uint8_t>& input,
+                          std::vector<uint8_t>* output) const {
+  output->clear();
+  ByteWriter w;
+  w.PutU64(input.size());
+  size_t i = 0;
+  while (i < input.size()) {
+    const uint8_t b = input[i];
+    size_t run = 1;
+    while (i + run < input.size() && input[i + run] == b && run < 255) run++;
+    w.PutU8(static_cast<uint8_t>(run));
+    w.PutU8(b);
+    i += run;
+  }
+  *output = w.TakeBytes();
+  return Status::OK();
+}
+
+Status RleCodec::Decompress(const std::vector<uint8_t>& input,
+                            std::vector<uint8_t>* output) const {
+  ByteReader r(input);
+  uint64_t out_len = 0;
+  MISTIQUE_RETURN_NOT_OK(r.GetU64(&out_len));
+  output->clear();
+  output->reserve(out_len);
+  while (output->size() < out_len) {
+    uint8_t run = 0, b = 0;
+    MISTIQUE_RETURN_NOT_OK(r.GetU8(&run));
+    MISTIQUE_RETURN_NOT_OK(r.GetU8(&b));
+    if (run == 0) return Status::Corruption("rle: zero-length run");
+    if (output->size() + run > out_len) {
+      return Status::Corruption("rle: run overruns declared length");
+    }
+    output->insert(output->end(), run, b);
+  }
+  return Status::OK();
+}
+
+Status DeltaCodec::Compress(const std::vector<uint8_t>& input,
+                            std::vector<uint8_t>* output) const {
+  // Byte-wise delta then RLE: long monotone or repeating regions become
+  // constant-zero deltas.
+  std::vector<uint8_t> deltas(input.size());
+  uint8_t prev = 0;
+  for (size_t i = 0; i < input.size(); ++i) {
+    deltas[i] = static_cast<uint8_t>(input[i] - prev);
+    prev = input[i];
+  }
+  return RleCodec().Compress(deltas, output);
+}
+
+Status DeltaCodec::Decompress(const std::vector<uint8_t>& input,
+                              std::vector<uint8_t>* output) const {
+  std::vector<uint8_t> deltas;
+  MISTIQUE_RETURN_NOT_OK(RleCodec().Decompress(input, &deltas));
+  output->resize(deltas.size());
+  uint8_t prev = 0;
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    prev = static_cast<uint8_t>(prev + deltas[i]);
+    (*output)[i] = prev;
+  }
+  return Status::OK();
+}
+
+namespace {
+constexpr uint8_t kDictPacked = 1;
+constexpr uint8_t kDictVerbatim = 0;
+}  // namespace
+
+Status DictionaryCodec::Compress(const std::vector<uint8_t>& input,
+                                 std::vector<uint8_t>* output) const {
+  // Collect distinct byte values; bail to verbatim beyond 16.
+  std::array<int, 256> index;
+  index.fill(-1);
+  std::vector<uint8_t> dict;
+  bool packable = true;
+  for (uint8_t b : input) {
+    if (index[b] < 0) {
+      if (dict.size() == 16) {
+        packable = false;
+        break;
+      }
+      index[b] = static_cast<int>(dict.size());
+      dict.push_back(b);
+    }
+  }
+
+  ByteWriter w;
+  w.PutU64(input.size());
+  if (!packable) {
+    w.PutU8(kDictVerbatim);
+    w.PutRaw(input.data(), input.size());
+    *output = w.TakeBytes();
+    return Status::OK();
+  }
+  w.PutU8(kDictPacked);
+  w.PutU8(static_cast<uint8_t>(dict.size()));
+  w.PutRaw(dict.data(), dict.size());
+  uint8_t nibble_pair = 0;
+  bool have_low = false;
+  for (uint8_t b : input) {
+    const auto code = static_cast<uint8_t>(index[b]);
+    if (!have_low) {
+      nibble_pair = code;
+      have_low = true;
+    } else {
+      w.PutU8(static_cast<uint8_t>(nibble_pair | (code << 4)));
+      have_low = false;
+    }
+  }
+  if (have_low) w.PutU8(nibble_pair);
+  *output = w.TakeBytes();
+  return Status::OK();
+}
+
+Status DictionaryCodec::Decompress(const std::vector<uint8_t>& input,
+                                   std::vector<uint8_t>* output) const {
+  ByteReader r(input);
+  uint64_t out_len = 0;
+  MISTIQUE_RETURN_NOT_OK(r.GetU64(&out_len));
+  uint8_t mode = 0;
+  MISTIQUE_RETURN_NOT_OK(r.GetU8(&mode));
+  output->clear();
+  output->reserve(out_len);
+  if (mode == kDictVerbatim) {
+    output->resize(out_len);
+    return r.GetRaw(output->data(), out_len);
+  }
+  if (mode != kDictPacked) return Status::Corruption("dictionary: bad mode");
+  uint8_t dict_size = 0;
+  MISTIQUE_RETURN_NOT_OK(r.GetU8(&dict_size));
+  if (dict_size > 16) return Status::Corruption("dictionary: oversized dict");
+  std::array<uint8_t, 16> dict{};
+  MISTIQUE_RETURN_NOT_OK(r.GetRaw(dict.data(), dict_size));
+  while (output->size() < out_len) {
+    uint8_t pair = 0;
+    MISTIQUE_RETURN_NOT_OK(r.GetU8(&pair));
+    const uint8_t lo = pair & 0x0f;
+    const uint8_t hi = pair >> 4;
+    if (lo >= dict_size) return Status::Corruption("dictionary: bad code");
+    output->push_back(dict[lo]);
+    if (output->size() < out_len) {
+      if (hi >= dict_size) return Status::Corruption("dictionary: bad code");
+      output->push_back(dict[hi]);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mistique

@@ -1,0 +1,56 @@
+#ifndef MISTIQUE_COMPRESS_SIMPLE_CODECS_H_
+#define MISTIQUE_COMPRESS_SIMPLE_CODECS_H_
+
+#include "compress/codec.h"
+
+namespace mistique {
+
+/// Identity codec: stores bytes verbatim. Used for the STORE_ALL
+/// "uncompressed" baselines and as the fallback when a codec would expand.
+class NullCodec : public Codec {
+ public:
+  CodecType type() const override { return CodecType::kNone; }
+  Status Compress(const std::vector<uint8_t>& input,
+                  std::vector<uint8_t>* output) const override;
+  Status Decompress(const std::vector<uint8_t>& input,
+                    std::vector<uint8_t>* output) const override;
+};
+
+/// Byte-level run-length encoding: (count u8 in 1..255, byte) pairs.
+/// Effective on THRESHOLD_QT bitmaps and constant columns.
+class RleCodec : public Codec {
+ public:
+  CodecType type() const override { return CodecType::kRle; }
+  Status Compress(const std::vector<uint8_t>& input,
+                  std::vector<uint8_t>* output) const override;
+  Status Decompress(const std::vector<uint8_t>& input,
+                    std::vector<uint8_t>* output) const override;
+};
+
+/// Byte-wise zigzag delta coding followed by RLE. A cheap transform that
+/// helps on monotone id columns (row_id, parcelid) before LZ.
+class DeltaCodec : public Codec {
+ public:
+  CodecType type() const override { return CodecType::kDelta; }
+  Status Compress(const std::vector<uint8_t>& input,
+                  std::vector<uint8_t>* output) const override;
+  Status Decompress(const std::vector<uint8_t>& input,
+                    std::vector<uint8_t>* output) const override;
+};
+
+/// Dictionary codec for low-cardinality byte streams (e.g. 8BIT_QT bins of
+/// a near-constant activation): when <=16 distinct byte values appear, each
+/// byte packs into 4 bits against an explicit dictionary; otherwise falls
+/// back to verbatim with a marker.
+class DictionaryCodec : public Codec {
+ public:
+  CodecType type() const override { return CodecType::kDictionary; }
+  Status Compress(const std::vector<uint8_t>& input,
+                  std::vector<uint8_t>* output) const override;
+  Status Decompress(const std::vector<uint8_t>& input,
+                    std::vector<uint8_t>* output) const override;
+};
+
+}  // namespace mistique
+
+#endif  // MISTIQUE_COMPRESS_SIMPLE_CODECS_H_

@@ -1,0 +1,72 @@
+#ifndef MISTIQUE_CORE_COST_MODEL_H_
+#define MISTIQUE_CORE_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "metadata/metadata_db.h"
+#include "storage/data_store.h"
+
+namespace mistique {
+
+/// Calibration constants for the query cost model (Sec. 5.1).
+struct CostModelParams {
+  /// ρ_d: effective bytes/sec for reading an intermediate back — includes
+  /// decompression and reconstruction (Eq. 4 folds these into one constant).
+  double read_bytes_per_sec = 400e6;
+  /// ρ: bytes/sec for streaming model input from its source (Eq. 3's input
+  /// term). Input is pre-fetched in most experiments, making this large.
+  double input_bytes_per_sec = 2e9;
+};
+
+/// MISTIQUE's query + storage cost models (Eq. 2-5). All model-specific
+/// quantities (per-layer cumulative compute seconds, model load time,
+/// per-example stored bytes) come from the MetadataDb entries populated at
+/// logging time.
+class CostModel {
+ public:
+  CostModel() = default;
+  explicit CostModel(CostModelParams params) : params_(params) {}
+
+  const CostModelParams& params() const { return params_; }
+  void set_params(CostModelParams params) { params_ = params; }
+
+  /// Measures effective read bandwidth against a live DataStore by timing
+  /// a round-trip of `probe_bytes` through seal + read.
+  Status Calibrate(DataStore* store, size_t probe_bytes = 4u << 20);
+
+  /// Eq. 2/3: seconds to re-run `model` up to `intermediate` for n_ex
+  /// examples. DNNs scale with n_ex (batched forward + model load + input
+  /// read); TRAD pipelines re-execute whole frames, so n_ex does not
+  /// shorten them.
+  double RerunSeconds(const ModelInfo& model,
+                      const IntermediateInfo& intermediate,
+                      uint64_t n_ex) const;
+
+  /// Eq. 4: seconds to read n_ex examples of the stored intermediate
+  /// (optionally only `column_fraction` of its columns). Reads whole
+  /// RowBlocks, so n_ex rounds up to block granularity.
+  double ReadSeconds(const IntermediateInfo& intermediate, uint64_t n_ex,
+                     double column_fraction = 1.0) const;
+
+  /// The read-vs-rerun decision: true = read the stored intermediate.
+  bool ShouldRead(const ModelInfo& model, const IntermediateInfo& intermediate,
+                  uint64_t n_ex, double column_fraction = 1.0) const {
+    return intermediate.columns.empty()
+               ? false
+               : ReadSeconds(intermediate, n_ex, column_fraction) <=
+                     RerunSeconds(model, intermediate, n_ex);
+  }
+
+  /// Eq. 5: γ in seconds per GB — query time saved per GB of storage if
+  /// this intermediate were materialized, given its query count.
+  double Gamma(const ModelInfo& model, const IntermediateInfo& intermediate,
+               uint64_t estimated_bytes) const;
+
+ private:
+  CostModelParams params_;
+};
+
+}  // namespace mistique
+
+#endif  // MISTIQUE_CORE_COST_MODEL_H_

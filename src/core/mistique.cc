@@ -1,0 +1,1115 @@
+#include "core/mistique.h"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+
+#include "common/hash.h"
+#include "common/stopwatch.h"
+
+namespace mistique {
+
+namespace {
+
+/// Encode-side quantizer state for one intermediate during logging or
+/// materialization.
+struct ActiveQuantizer {
+  QuantScheme scheme = QuantScheme::kNone;
+  KBitQuantizer kbit{8};
+  ThresholdQuantizer threshold;
+
+  Result<ColumnChunk> Encode(const std::vector<double>& values) const {
+    switch (scheme) {
+      case QuantScheme::kNone:
+      case QuantScheme::kLp32:
+      case QuantScheme::kLp16:
+        return LpQuantize(values, scheme);
+      case QuantScheme::kKBit:
+        return kbit.Quantize(values);
+      case QuantScheme::kThreshold:
+        return threshold.Quantize(values);
+    }
+    return Status::Internal("unknown quant scheme");
+  }
+};
+
+/// Builds an encode-side quantizer from an intermediate's stored tables.
+Result<ActiveQuantizer> QuantizerFor(const IntermediateInfo& interm) {
+  ActiveQuantizer q;
+  q.scheme = interm.scheme;
+  if (interm.scheme == QuantScheme::kKBit) {
+    MISTIQUE_ASSIGN_OR_RETURN(
+        q.kbit, KBitQuantizer::FromTables(interm.kbits, interm.edges,
+                                          interm.recon.centers));
+  } else if (interm.scheme == QuantScheme::kThreshold) {
+    q.threshold = ThresholdQuantizer::FromThreshold(0.005, interm.threshold);
+  }
+  return q;
+}
+
+/// Fits the value quantizer (if the scheme needs fitting) from a sample
+/// and writes the tables into `interm`.
+Status FitQuantizer(QuantScheme scheme, int kbits, double alpha,
+                    const std::vector<double>& sample,
+                    IntermediateInfo* interm) {
+  interm->scheme = scheme;
+  interm->kbits = kbits;
+  if (scheme == QuantScheme::kKBit) {
+    KBitQuantizer q(kbits);
+    MISTIQUE_RETURN_NOT_OK(q.Fit(sample));
+    interm->recon = q.reconstruction();
+    interm->edges = q.edges();
+  } else if (scheme == QuantScheme::kThreshold) {
+    ThresholdQuantizer q(alpha);
+    MISTIQUE_RETURN_NOT_OK(q.Fit(sample));
+    interm->threshold = q.threshold();
+  }
+  return Status::OK();
+}
+
+size_t BitsPerValue(const IntermediateInfo& interm) {
+  switch (interm.scheme) {
+    case QuantScheme::kNone:
+      return 64;
+    case QuantScheme::kLp32:
+      return 32;
+    case QuantScheme::kLp16:
+      return 16;
+    case QuantScheme::kKBit:
+      return static_cast<size_t>(interm.kbits);
+    case QuantScheme::kThreshold:
+      return 1;
+  }
+  return 64;
+}
+
+}  // namespace
+
+const char* StorageStrategyName(StorageStrategy s) {
+  switch (s) {
+    case StorageStrategy::kStoreAll:
+      return "STORE_ALL";
+    case StorageStrategy::kDedup:
+      return "DEDUP";
+    case StorageStrategy::kAdaptive:
+      return "ADAPTIVE";
+  }
+  return "UNKNOWN";
+}
+
+Status Mistique::Open(const MistiqueOptions& options) {
+  options_ = options;
+  if (options_.checkpoint_dir.empty()) {
+    options_.checkpoint_dir = options_.store.directory + "/ckpt";
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options_.checkpoint_dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create checkpoint dir: " + ec.message());
+  }
+
+  MISTIQUE_RETURN_NOT_OK(store_.Open(options_.store));
+
+  DedupOptions dedup = options_.dedup;
+  if (options_.strategy == StorageStrategy::kStoreAll) {
+    // STORE_ALL deliberately bypasses all de-duplication.
+    dedup.exact = false;
+    dedup.similarity = false;
+  }
+  dedup_ = std::make_unique<Deduplicator>(&store_, dedup);
+  encode_pool_ = std::make_unique<ThreadPool>(options_.encode_threads);
+
+  cost_model_.set_params(options_.cost);
+  if (options_.calibrate_on_open) {
+    MISTIQUE_RETURN_NOT_OK(cost_model_.Calibrate(&store_));
+  }
+
+  // Reopen an existing store: recover the catalog and the chunk index.
+  const std::string catalog_path = options_.store.directory + "/catalog.mq";
+  if (std::filesystem::exists(catalog_path)) {
+    MISTIQUE_RETURN_NOT_OK(metadata_.LoadFromFile(catalog_path));
+    MISTIQUE_RETURN_NOT_OK(store_.RecoverIndex());
+    RebuildChunkRefs();
+  }
+  return Status::OK();
+}
+
+void Mistique::RebuildChunkRefs() {
+  chunk_refs_.clear();
+  dead_chunks_.clear();
+  for (ModelId id : metadata_.ListModels()) {
+    const ModelInfo* model = metadata_.GetModel(id).ValueOrDie();
+    for (const IntermediateInfo& interm : model->intermediates) {
+      for (const ColumnInfo& col : interm.columns) {
+        for (ChunkId chunk : col.chunks) RefChunk(chunk);
+      }
+    }
+  }
+}
+
+Status Mistique::DeleteModel(const std::string& project,
+                             const std::string& name) {
+  MISTIQUE_ASSIGN_OR_RETURN(ModelId id, metadata_.FindModel(project, name));
+  MISTIQUE_ASSIGN_OR_RETURN(const ModelInfo* model, metadata_.GetModel(id));
+
+  std::unordered_set<ChunkId> newly_dead;
+  for (const IntermediateInfo& interm : model->intermediates) {
+    for (const ColumnInfo& col : interm.columns) {
+      for (ChunkId chunk : col.chunks) {
+        auto it = chunk_refs_.find(chunk);
+        if (it == chunk_refs_.end()) continue;
+        if (--it->second == 0) {
+          chunk_refs_.erase(it);
+          newly_dead.insert(chunk);
+        }
+      }
+    }
+  }
+  dead_chunks_.insert(newly_dead.begin(), newly_dead.end());
+  dedup_->ForgetChunks(newly_dead);
+
+  MISTIQUE_RETURN_NOT_OK(metadata_.RemoveModel(id));
+  pipelines_.erase(id);
+  networks_.erase(id);
+  InvalidateCache();
+  return Status::OK();
+}
+
+Result<uint64_t> Mistique::Vacuum() {
+  MISTIQUE_RETURN_NOT_OK(store_.Flush());
+  const uint64_t before = store_.stored_bytes();
+
+  // Group dead chunks by their partition.
+  std::unordered_map<PartitionId, std::unordered_set<ChunkId>> dead_by_part;
+  for (ChunkId chunk : dead_chunks_) {
+    auto pid = store_.PartitionOf(chunk);
+    if (pid.ok()) dead_by_part[*pid].insert(chunk);
+  }
+
+  for (const auto& [pid, dead] : dead_by_part) {
+    // keep = partition's chunks minus the dead set.
+    MISTIQUE_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                              store_.disk().ReadPartition(pid));
+    MISTIQUE_ASSIGN_OR_RETURN(std::vector<ChunkId> ids,
+                              Partition::ReadChunkIds(bytes));
+    std::unordered_set<ChunkId> keep;
+    for (ChunkId chunk : ids) {
+      if (!dead.count(chunk)) keep.insert(chunk);
+    }
+    MISTIQUE_RETURN_NOT_OK(store_.RewritePartition(pid, keep));
+  }
+  dead_chunks_.clear();
+  const uint64_t after = store_.stored_bytes();
+  return before > after ? before - after : 0;
+}
+
+Status Mistique::SaveCatalog() {
+  MISTIQUE_RETURN_NOT_OK(Flush());
+  return metadata_.SaveToFile(options_.store.directory + "/catalog.mq");
+}
+
+Status Mistique::AttachPipeline(const std::string& project,
+                                const std::string& name, Pipeline* pipeline) {
+  MISTIQUE_ASSIGN_OR_RETURN(ModelId id, metadata_.FindModel(project, name));
+  MISTIQUE_ASSIGN_OR_RETURN(const ModelInfo* model, metadata_.GetModel(id));
+  if (model->kind != ModelKind::kTrad) {
+    return Status::InvalidArgument("model " + name + " is not a pipeline");
+  }
+  pipelines_[id] = pipeline;
+  return Status::OK();
+}
+
+Status Mistique::AttachNetwork(const std::string& project,
+                               const std::string& name, Network* network,
+                               std::shared_ptr<const Tensor> input) {
+  MISTIQUE_ASSIGN_OR_RETURN(ModelId id, metadata_.FindModel(project, name));
+  MISTIQUE_ASSIGN_OR_RETURN(const ModelInfo* model, metadata_.GetModel(id));
+  if (model->kind != ModelKind::kDnn) {
+    return Status::InvalidArgument("model " + name + " is not a network");
+  }
+  DnnSource source;
+  source.network = network;
+  source.input = std::move(input);
+  source.checkpoint_path =
+      options_.checkpoint_dir + "/" + project + "_" + name + ".ckpt";
+  if (!std::filesystem::exists(source.checkpoint_path)) {
+    return Status::NotFound("no checkpoint at " + source.checkpoint_path);
+  }
+  networks_[id] = std::move(source);
+  return Status::OK();
+}
+
+Status Mistique::StoreColumn(const IntermediateInfo& interm,
+                             ColumnInfo* column,
+                             const std::vector<double>& values,
+                             uint64_t first_row, uint64_t group) {
+  (void)first_row;
+  MISTIQUE_ASSIGN_OR_RETURN(ActiveQuantizer quantizer, QuantizerFor(interm));
+  const uint64_t block = interm.row_block_size;
+  for (uint64_t start = 0; start < values.size(); start += block) {
+    const uint64_t end = std::min<uint64_t>(start + block, values.size());
+    std::vector<double> slice(values.begin() + static_cast<ptrdiff_t>(start),
+                              values.begin() + static_cast<ptrdiff_t>(end));
+    MISTIQUE_ASSIGN_OR_RETURN(ColumnChunk chunk, quantizer.Encode(slice));
+    const size_t chunk_bytes = chunk.byte_size();
+    column->chunk_min.push_back(chunk.min_value());
+    column->chunk_max.push_back(chunk.max_value());
+    MISTIQUE_ASSIGN_OR_RETURN(Deduplicator::AddResult added,
+                              dedup_->AddChunk(std::move(chunk), group));
+    column->chunks.push_back(added.chunk_id);
+    RefChunk(added.chunk_id);
+    column->encoded_bytes += chunk_bytes;
+    if (!added.was_duplicate) column->stored_bytes += chunk_bytes;
+  }
+  column->materialized = true;
+  return Status::OK();
+}
+
+Result<ModelId> Mistique::LogPipeline(Pipeline* pipeline,
+                                      const std::string& project) {
+  MISTIQUE_ASSIGN_OR_RETURN(
+      ModelId id, metadata_.RegisterModel(project, pipeline->name(),
+                                          ModelKind::kTrad));
+  pipelines_[id] = pipeline;
+  MISTIQUE_ASSIGN_OR_RETURN(ModelInfo * model, metadata_.GetModel(id));
+  const bool materialize = options_.strategy != StorageStrategy::kAdaptive;
+
+  // Pass 1: run + log. Training happens here (stages fit lazily).
+  PipelineContext ctx;
+  auto log_observer = [&](size_t stage_idx, const DataFrame& frame,
+                          double secs) -> Status {
+    (void)secs;
+    IntermediateInfo interm;
+    interm.name = pipeline->stage(stage_idx).output_key();
+    interm.stage_index = static_cast<int>(stage_idx);
+    interm.num_rows = frame.num_rows();
+    interm.row_block_size = options_.row_block_size;
+    interm.scheme = QuantScheme::kNone;  // TRAD: full precision.
+
+    // DEDUP places TRAD chunks by similarity (group 0); STORE_ALL mirrors
+    // the paper's baseline — each intermediate compressed as its own unit,
+    // no cross-intermediate window.
+    const uint64_t group =
+        options_.strategy == StorageStrategy::kStoreAll
+            ? HashCombine(static_cast<uint64_t>(id) + 1,
+                          static_cast<uint64_t>(stage_idx) + 1)
+            : 0;
+    uint64_t encoded = 0;
+    for (size_t c = 0; c < frame.num_cols(); ++c) {
+      ColumnInfo col;
+      col.name = frame.NameAt(c);
+      if (materialize) {
+        MISTIQUE_RETURN_NOT_OK(
+            StoreColumn(interm, &col, frame.ColumnAt(c), 0, group));
+      }
+      encoded += col.encoded_bytes;
+      interm.columns.push_back(std::move(col));
+    }
+    interm.stored_bytes_per_ex =
+        interm.num_rows == 0
+            ? 0
+            : static_cast<double>(materialize
+                                      ? encoded
+                                      : EstimateEncodedBytes(interm)) /
+                  static_cast<double>(interm.num_rows);
+    model->intermediates.push_back(std::move(interm));
+    return Status::OK();
+  };
+  MISTIQUE_RETURN_NOT_OK(pipeline->Run(&ctx, -1, log_observer));
+
+  // Pass 2: calibrate re-run cost. Fitted transformers are reused, so this
+  // measures the cost the ChunkReader would actually pay.
+  PipelineContext ctx2;
+  double cum_sec = 0;
+  auto calib_observer = [&](size_t stage_idx, const DataFrame& frame,
+                            double secs) -> Status {
+    cum_sec += secs;
+    IntermediateInfo& interm = model->intermediates[stage_idx];
+    interm.cum_exec_sec_per_ex =
+        frame.num_rows() == 0 ? 0
+                              : cum_sec / static_cast<double>(frame.num_rows());
+    return Status::OK();
+  };
+  MISTIQUE_RETURN_NOT_OK(pipeline->Run(&ctx2, -1, calib_observer));
+  return id;
+}
+
+Result<ModelId> Mistique::LogNetwork(Network* network,
+                                     std::shared_ptr<const Tensor> input,
+                                     const std::string& project,
+                                     const std::string& model_name) {
+  if (network == nullptr || input == nullptr || input->n == 0) {
+    return Status::InvalidArgument("LogNetwork: null network or empty input");
+  }
+  MISTIQUE_ASSIGN_OR_RETURN(
+      ModelId id,
+      metadata_.RegisterModel(project, model_name, ModelKind::kDnn));
+  MISTIQUE_ASSIGN_OR_RETURN(ModelInfo * model, metadata_.GetModel(id));
+
+  DnnSource source;
+  source.network = network;
+  source.input = input;
+  source.checkpoint_path =
+      options_.checkpoint_dir + "/" + project + "_" + model_name + ".ckpt";
+  MISTIQUE_RETURN_NOT_OK(network->SaveCheckpoint(source.checkpoint_path));
+  {
+    Stopwatch watch;
+    MISTIQUE_RETURN_NOT_OK(network->LoadCheckpoint(source.checkpoint_path));
+    model->model_load_sec = watch.ElapsedSeconds();
+  }
+  networks_[id] = source;
+
+  // Calibrate per-layer forward cost on a small batch.
+  const int cal_n = std::min(input->n, 128);
+  Tensor cal_batch(cal_n, input->c, input->h, input->w);
+  std::copy(input->data.begin(),
+            input->data.begin() +
+                static_cast<ptrdiff_t>(cal_batch.data.size()),
+            cal_batch.data.begin());
+  std::vector<double> cum_secs(network->num_layers() + 1, 0.0);
+  {
+    Stopwatch watch;
+    auto timing = [&](int layer, const std::string& lname,
+                      const Tensor& t) -> Status {
+      (void)lname;
+      (void)t;
+      cum_secs[static_cast<size_t>(layer)] = watch.ElapsedSeconds();
+      return Status::OK();
+    };
+    MISTIQUE_ASSIGN_OR_RETURN(Tensor unused,
+                              network->Forward(cal_batch, 0, timing));
+    (void)unused;
+  }
+
+  // Register one intermediate per layer with its (post-pooling) shape.
+  const std::vector<Network::Shape> shapes =
+      network->LayerShapes(input->c, input->h, input->w);
+  const PoolQuantizer pooler(options_.pool_sigma, options_.pool_mode);
+  const bool materialize = options_.strategy != StorageStrategy::kAdaptive;
+
+  for (size_t layer = 1; layer <= network->num_layers(); ++layer) {
+    const Network::Shape& shape = shapes[layer];
+    IntermediateInfo interm;
+    interm.name = "layer" + std::to_string(layer);
+    interm.stage_index = static_cast<int>(layer);
+    interm.num_rows = static_cast<uint64_t>(input->n);
+    interm.row_block_size = options_.row_block_size;
+    interm.cum_exec_sec_per_ex =
+        cum_secs[layer] / static_cast<double>(cal_n);
+    const bool spatial = shape.h > 1 || shape.w > 1;
+    if (spatial && options_.pool_sigma > 1) {
+      interm.channels = shape.c;
+      interm.height = pooler.OutSide(shape.h);
+      interm.width = pooler.OutSide(shape.w);
+      interm.pool_sigma = options_.pool_sigma;
+    } else {
+      interm.channels = shape.c;
+      interm.height = shape.h;
+      interm.width = shape.w;
+      interm.pool_sigma = 1;
+    }
+    const size_t cols = static_cast<size_t>(interm.channels) *
+                        interm.height * interm.width;
+    interm.columns.resize(cols);
+    for (size_t c = 0; c < cols; ++c) {
+      interm.columns[c].name = "n" + std::to_string(c);
+    }
+    model->intermediates.push_back(std::move(interm));
+  }
+
+  if (!materialize) {
+    // ADAPTIVE: metadata only; fill in size estimates for the cost model.
+    for (IntermediateInfo& interm : model->intermediates) {
+      interm.scheme = options_.dnn_scheme;
+      interm.kbits = options_.kbits;
+      interm.stored_bytes_per_ex =
+          interm.num_rows == 0
+              ? 0
+              : static_cast<double>(EstimateEncodedBytes(interm)) /
+                    static_cast<double>(interm.num_rows);
+    }
+    return id;
+  }
+
+  // Logging pass: stream batches (one RowBlock per batch) through the
+  // network and store every layer's columns.
+  std::vector<bool> fitted(network->num_layers() + 1, false);
+  std::vector<ActiveQuantizer> quantizers(network->num_layers() + 1);
+  auto log_observer = [&](int layer, const std::string& lname,
+                          const Tensor& t) -> Status {
+    (void)lname;
+    IntermediateInfo& interm =
+        model->intermediates[static_cast<size_t>(layer - 1)];
+    // Pool if configured and spatial.
+    const bool pool = interm.pool_sigma > 1;
+    const size_t cols = interm.columns.size();
+
+    // Column-major staging for this batch.
+    std::vector<std::vector<double>> staged(cols);
+    for (auto& s : staged) s.reserve(static_cast<size_t>(t.n));
+    std::vector<double> example(t.PerExample());
+    for (int ex = 0; ex < t.n; ++ex) {
+      const float* src = t.Example(ex);
+      for (size_t i = 0; i < example.size(); ++i) example[i] = src[i];
+      if (pool) {
+        std::vector<double> pooled =
+            pooler.PoolChw(example, t.c, t.h, t.w);
+        for (size_t j = 0; j < cols; ++j) staged[j].push_back(pooled[j]);
+      } else {
+        for (size_t j = 0; j < cols; ++j) staged[j].push_back(example[j]);
+      }
+    }
+
+    // Fit the value quantizer on the first batch of this layer.
+    if (!fitted[static_cast<size_t>(layer)]) {
+      std::vector<double> sample;
+      const size_t want = 4096;
+      for (size_t j = 0; j < cols && sample.size() < want; ++j) {
+        for (double v : staged[j]) {
+          sample.push_back(v);
+          if (sample.size() >= want) break;
+        }
+      }
+      MISTIQUE_RETURN_NOT_OK(FitQuantizer(options_.dnn_scheme, options_.kbits,
+                                          options_.threshold_alpha, sample,
+                                          &interm));
+      MISTIQUE_ASSIGN_OR_RETURN(quantizers[static_cast<size_t>(layer)],
+                                QuantizerFor(interm));
+      fitted[static_cast<size_t>(layer)] = true;
+    }
+    const ActiveQuantizer& quantizer = quantizers[static_cast<size_t>(layer)];
+
+    // One chunk per column for this batch (batch size == RowBlock size).
+    // Encoding (quantize + pack + fingerprint + stats) is independent per
+    // column and runs on the pool; the stateful dedup/placement stage
+    // stays serial on this thread.
+    const uint64_t group =
+        HashCombine(static_cast<uint64_t>(id) + 1,
+                    static_cast<uint64_t>(layer) + 1);
+    std::vector<ColumnChunk> chunks(cols);
+    std::vector<Status> encode_status(cols);
+    encode_pool_->ParallelFor(cols, [&](size_t j) {
+      Result<ColumnChunk> encoded = quantizer.Encode(staged[j]);
+      if (!encoded.ok()) {
+        encode_status[j] = encoded.status();
+        return;
+      }
+      chunks[j] = std::move(encoded).ValueOrDie();
+      chunks[j].fingerprint();  // Warm the lazy caches off-thread.
+      chunks[j].min_value();
+    });
+    for (size_t j = 0; j < cols; ++j) {
+      MISTIQUE_RETURN_NOT_OK(encode_status[j]);
+      ColumnInfo& col = interm.columns[j];
+      const size_t chunk_bytes = chunks[j].byte_size();
+      col.chunk_min.push_back(chunks[j].min_value());
+      col.chunk_max.push_back(chunks[j].max_value());
+      MISTIQUE_ASSIGN_OR_RETURN(
+          Deduplicator::AddResult added,
+          dedup_->AddChunk(std::move(chunks[j]), group));
+      col.chunks.push_back(added.chunk_id);
+      RefChunk(added.chunk_id);
+      col.encoded_bytes += chunk_bytes;
+      if (!added.was_duplicate) col.stored_bytes += chunk_bytes;
+      col.materialized = true;
+    }
+    return Status::OK();
+  };
+
+  MISTIQUE_ASSIGN_OR_RETURN(
+      Tensor final_out,
+      network->ForwardBatched(*input,
+                              static_cast<int>(options_.row_block_size), 0,
+                              log_observer));
+  (void)final_out;
+
+  for (IntermediateInfo& interm : model->intermediates) {
+    uint64_t encoded = 0;
+    for (const ColumnInfo& col : interm.columns) encoded += col.encoded_bytes;
+    interm.stored_bytes_per_ex =
+        interm.num_rows == 0
+            ? 0
+            : static_cast<double>(encoded) /
+                  static_cast<double>(interm.num_rows);
+  }
+  return id;
+}
+
+Status Mistique::Flush() { return store_.Flush(); }
+
+uint64_t Mistique::EstimateEncodedBytes(const IntermediateInfo& interm,
+                                        size_t num_columns) {
+  const size_t cols =
+      num_columns == 0 ? interm.columns.size() : num_columns;
+  const size_t bits = BitsPerValue(interm);
+  return (interm.num_rows * cols * bits + 7) / 8;
+}
+
+Result<std::pair<size_t, size_t>> Mistique::ChannelColumns(
+    const IntermediateInfo& intermediate, int channel) {
+  if (intermediate.channels <= 0 || channel < 0 ||
+      channel >= intermediate.channels) {
+    return Status::InvalidArgument("channel out of range");
+  }
+  const size_t per_map = static_cast<size_t>(intermediate.height) *
+                         intermediate.width;
+  const size_t first = static_cast<size_t>(channel) * per_map;
+  return std::make_pair(first, first + per_map);
+}
+
+Status Mistique::ReadColumns(const ModelInfo& model,
+                             const IntermediateInfo& interm,
+                             const std::vector<size_t>& column_indices,
+                             const std::vector<uint64_t>& rows,
+                             FetchResult* out) {
+  (void)model;
+  const uint64_t block = interm.row_block_size;
+  const ReconstructionTable* recon =
+      interm.scheme == QuantScheme::kKBit ? &interm.recon : nullptr;
+
+  // Block-outer scan order: all requested columns of one RowBlock are
+  // read before moving to the next block. Chunks of the same (layer,
+  // block) are co-located in the same partition, so this order
+  // decompresses each partition once instead of thrashing the buffer pool
+  // when columns span several partitions.
+  // Partitions touched by this read stay pinned until it completes:
+  // de-duplicated chunks may live in other intermediates' partitions, and
+  // without the pin two partitions larger than the buffer pool would
+  // thrash each other on alternating columns.
+  std::unordered_map<PartitionId, std::shared_ptr<const Partition>> pinned;
+  const auto get_chunk = [&](ChunkId id) -> Result<const ColumnChunk*> {
+    MISTIQUE_ASSIGN_OR_RETURN(PartitionId pid, store_.PartitionOf(id));
+    auto it = pinned.find(pid);
+    if (it != pinned.end()) {
+      return it->second->Get(id);
+    }
+    MISTIQUE_ASSIGN_OR_RETURN(ChunkRef ref, store_.GetChunk(id));
+    if (ref.holder != nullptr) pinned.emplace(pid, ref.holder);
+    return ref.chunk;
+  };
+
+  out->columns.assign(column_indices.size(),
+                      std::vector<double>(rows.size()));
+  size_t r = 0;
+  while (r < rows.size()) {
+    const uint64_t block_idx = rows[r] / block;
+    size_t r_end = r;
+    while (r_end < rows.size() && rows[r_end] / block == block_idx) r_end++;
+
+    for (size_t oi = 0; oi < column_indices.size(); ++oi) {
+      const ColumnInfo& col = interm.columns[column_indices[oi]];
+      if (block_idx >= col.chunks.size()) {
+        return Status::OutOfRange("row " + std::to_string(rows[r]) +
+                                  " beyond stored blocks");
+      }
+      MISTIQUE_ASSIGN_OR_RETURN(const ColumnChunk* chunk,
+                                get_chunk(col.chunks[block_idx]));
+      MISTIQUE_ASSIGN_OR_RETURN(std::vector<double> decoded,
+                                chunk->DecodeAsDouble(recon));
+      std::vector<double>& out_col = out->columns[oi];
+      for (size_t k = r; k < r_end; ++k) {
+        const uint64_t offset = rows[k] % block;
+        if (offset >= decoded.size()) {
+          return Status::OutOfRange("row offset beyond chunk");
+        }
+        out_col[k] = decoded[offset];
+      }
+    }
+    r = r_end;
+  }
+  return Status::OK();
+}
+
+Status Mistique::RerunColumns(ModelId model_id, size_t interm_index,
+                              const std::vector<size_t>& column_indices,
+                              const std::vector<uint64_t>& rows,
+                              FetchResult* out) {
+  MISTIQUE_ASSIGN_OR_RETURN(ModelInfo * model, metadata_.GetModel(model_id));
+  IntermediateInfo& interm = model->intermediates[interm_index];
+
+  if (model->kind == ModelKind::kTrad) {
+    auto it = pipelines_.find(model_id);
+    if (it == pipelines_.end()) {
+      return Status::Internal("no pipeline executor registered for model");
+    }
+    Pipeline* pipeline = it->second;
+    PipelineContext ctx;
+    MISTIQUE_RETURN_NOT_OK(pipeline->Run(&ctx, interm.stage_index));
+    MISTIQUE_ASSIGN_OR_RETURN(
+        const DataFrame* frame,
+        ctx.Frame(pipeline->stage(static_cast<size_t>(interm.stage_index))
+                      .output_key()));
+    out->columns.assign(column_indices.size(), {});
+    for (size_t oi = 0; oi < column_indices.size(); ++oi) {
+      const std::string& cname = interm.columns[column_indices[oi]].name;
+      MISTIQUE_ASSIGN_OR_RETURN(const std::vector<double>* col,
+                                frame->Column(cname));
+      std::vector<double>& out_col = out->columns[oi];
+      out_col.reserve(rows.size());
+      for (uint64_t r : rows) {
+        if (r >= col->size()) return Status::OutOfRange("row beyond frame");
+        out_col.push_back((*col)[r]);
+      }
+    }
+    return Status::OK();
+  }
+
+  // DNN: reload the checkpoint (real model-load cost), forward enough rows
+  // to cover the request, capture the target layer.
+  auto it = networks_.find(model_id);
+  if (it == networks_.end()) {
+    return Status::Internal("no network registered for model");
+  }
+  DnnSource& src = it->second;
+  MISTIQUE_RETURN_NOT_OK(src.network->LoadCheckpoint(src.checkpoint_path));
+
+  uint64_t needed = 0;
+  for (uint64_t r : rows) needed = std::max(needed, r + 1);
+  if (needed > static_cast<uint64_t>(src.input->n)) {
+    return Status::OutOfRange("row beyond logged input");
+  }
+  Tensor input_slice(static_cast<int>(needed), src.input->c, src.input->h,
+                     src.input->w);
+  std::copy(src.input->data.begin(),
+            src.input->data.begin() +
+                static_cast<ptrdiff_t>(input_slice.data.size()),
+            input_slice.data.begin());
+
+  const PoolQuantizer pooler(interm.pool_sigma, options_.pool_mode);
+  const int target_layer = interm.stage_index;
+  std::vector<std::vector<double>> staged(interm.columns.size());
+  for (auto& s : staged) s.reserve(needed);
+
+  auto observer = [&](int layer, const std::string& lname,
+                      const Tensor& t) -> Status {
+    (void)lname;
+    if (layer != target_layer) return Status::OK();
+    std::vector<double> example(t.PerExample());
+    for (int ex = 0; ex < t.n; ++ex) {
+      const float* sp = t.Example(ex);
+      for (size_t i = 0; i < example.size(); ++i) example[i] = sp[i];
+      if (interm.pool_sigma > 1) {
+        std::vector<double> pooled = pooler.PoolChw(example, t.c, t.h, t.w);
+        for (size_t j = 0; j < staged.size(); ++j) {
+          staged[j].push_back(pooled[j]);
+        }
+      } else {
+        for (size_t j = 0; j < staged.size(); ++j) {
+          staged[j].push_back(example[j]);
+        }
+      }
+    }
+    return Status::OK();
+  };
+  MISTIQUE_ASSIGN_OR_RETURN(
+      Tensor unused,
+      src.network->ForwardBatched(input_slice,
+                                  static_cast<int>(options_.row_block_size),
+                                  target_layer, observer));
+  (void)unused;
+
+  out->columns.assign(column_indices.size(), {});
+  for (size_t oi = 0; oi < column_indices.size(); ++oi) {
+    const std::vector<double>& full = staged[column_indices[oi]];
+    std::vector<double>& out_col = out->columns[oi];
+    out_col.reserve(rows.size());
+    for (uint64_t r : rows) out_col.push_back(full[r]);
+  }
+  return Status::OK();
+}
+
+Status Mistique::MaterializeColumns(
+    ModelId model_id, size_t interm_index,
+    const std::vector<size_t>& column_indices) {
+  MISTIQUE_ASSIGN_OR_RETURN(ModelInfo * model, metadata_.GetModel(model_id));
+  IntermediateInfo& interm = model->intermediates[interm_index];
+
+  std::vector<size_t> targets;
+  if (column_indices.empty()) {
+    for (size_t i = 0; i < interm.columns.size(); ++i) targets.push_back(i);
+  } else {
+    targets = column_indices;
+  }
+  // Skip columns that already made it to storage.
+  targets.erase(std::remove_if(targets.begin(), targets.end(),
+                               [&](size_t i) {
+                                 return interm.columns[i].materialized;
+                               }),
+                targets.end());
+  if (targets.empty()) return Status::OK();
+
+  // Recreate the needed columns for every row with one re-run.
+  std::vector<uint64_t> all_rows(interm.num_rows);
+  for (uint64_t i = 0; i < interm.num_rows; ++i) all_rows[i] = i;
+  FetchResult full;
+  MISTIQUE_RETURN_NOT_OK(
+      RerunColumns(model_id, interm_index, targets, all_rows, &full));
+
+  // Fit the value quantizer now if the scheme needs tables.
+  if ((interm.scheme == QuantScheme::kKBit && interm.recon.centers.empty()) ||
+      (interm.scheme == QuantScheme::kThreshold && interm.threshold == 0)) {
+    std::vector<double> sample;
+    const size_t want = 4096;
+    for (const auto& col : full.columns) {
+      for (double v : col) {
+        sample.push_back(v);
+        if (sample.size() >= want) break;
+      }
+      if (sample.size() >= want) break;
+    }
+    MISTIQUE_RETURN_NOT_OK(FitQuantizer(interm.scheme, interm.kbits,
+                                        options_.threshold_alpha, sample,
+                                        &interm));
+  }
+
+  const uint64_t group =
+      model->kind == ModelKind::kDnn
+          ? HashCombine(static_cast<uint64_t>(model_id) + 1,
+                        static_cast<uint64_t>(interm.stage_index) + 1)
+          : 0;
+  for (size_t ti = 0; ti < targets.size(); ++ti) {
+    MISTIQUE_RETURN_NOT_OK(StoreColumn(interm,
+                                       &interm.columns[targets[ti]],
+                                       full.columns[ti], 0, group));
+  }
+
+  // Per-example byte rate, extrapolated from the materialized columns so
+  // ReadSeconds' column-fraction scaling stays consistent while the
+  // intermediate is only partially materialized.
+  uint64_t encoded = 0;
+  size_t materialized_cols = 0;
+  for (const ColumnInfo& col : interm.columns) {
+    if (col.materialized) {
+      encoded += col.encoded_bytes;
+      materialized_cols++;
+    }
+  }
+  if (interm.num_rows > 0 && materialized_cols > 0) {
+    interm.stored_bytes_per_ex =
+        static_cast<double>(encoded) / static_cast<double>(interm.num_rows) *
+        static_cast<double>(interm.columns.size()) /
+        static_cast<double>(materialized_cols);
+  }
+  return Status::OK();
+}
+
+uint64_t Mistique::RequestKey(const FetchRequest& request) {
+  uint64_t h = HashString(request.project);
+  h = HashCombine(h, HashString(request.model));
+  h = HashCombine(h, HashString(request.intermediate));
+  for (const std::string& col : request.columns) {
+    h = HashCombine(h, HashString(col));
+  }
+  h = HashCombine(h, request.n_ex);
+  for (uint64_t r : request.row_ids) h = HashCombine(h, Mix64(r + 1));
+  h = HashCombine(h, request.force_read.has_value()
+                         ? (*request.force_read ? 2u : 1u)
+                         : 0u);
+  h = HashCombine(h,
+                  static_cast<uint64_t>(request.sample_fraction * 1e6));
+  return Mix64(h);
+}
+
+void Mistique::InvalidateCache() {
+  query_cache_.clear();
+  query_cache_order_.clear();
+}
+
+Result<FetchResult> Mistique::Fetch(const FetchRequest& request) {
+  MISTIQUE_ASSIGN_OR_RETURN(ModelId model_id,
+                            metadata_.FindModel(request.project,
+                                                request.model));
+  MISTIQUE_ASSIGN_OR_RETURN(ModelInfo * model, metadata_.GetModel(model_id));
+
+  size_t interm_index = model->intermediates.size();
+  for (size_t i = 0; i < model->intermediates.size(); ++i) {
+    if (model->intermediates[i].name == request.intermediate) {
+      interm_index = i;
+      break;
+    }
+  }
+  if (interm_index == model->intermediates.size()) {
+    return Status::NotFound("model " + request.model +
+                            " has no intermediate " + request.intermediate);
+  }
+  IntermediateInfo& interm = model->intermediates[interm_index];
+  interm.n_query++;
+
+  // Session result cache: identical repeated queries are free (Sec. 10's
+  // caching direction).
+  const uint64_t cache_key =
+      options_.query_cache_entries > 0 ? RequestKey(request) : 0;
+  if (options_.query_cache_entries > 0) {
+    auto it = query_cache_.find(cache_key);
+    if (it != query_cache_.end()) {
+      cache_hits_++;
+      FetchResult hit = it->second;
+      hit.from_cache = true;
+      hit.fetch_seconds = 0;
+      return hit;
+    }
+  }
+
+  // Resolve columns.
+  std::vector<size_t> col_idx;
+  if (request.columns.empty()) {
+    col_idx.resize(interm.columns.size());
+    for (size_t i = 0; i < col_idx.size(); ++i) col_idx[i] = i;
+  } else {
+    for (const std::string& name : request.columns) {
+      bool found = false;
+      for (size_t i = 0; i < interm.columns.size(); ++i) {
+        if (interm.columns[i].name == name) {
+          col_idx.push_back(i);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::NotFound("intermediate " + interm.name +
+                                " has no column " + name);
+      }
+    }
+  }
+
+  // Resolve rows.
+  std::vector<uint64_t> rows;
+  if (!request.row_ids.empty()) {
+    rows = request.row_ids;
+    std::sort(rows.begin(), rows.end());
+    for (uint64_t r : rows) {
+      if (r >= interm.num_rows) {
+        return Status::OutOfRange("row_id " + std::to_string(r) +
+                                  " >= " + std::to_string(interm.num_rows));
+      }
+    }
+  } else {
+    const uint64_t n = request.n_ex == 0
+                           ? interm.num_rows
+                           : std::min<uint64_t>(request.n_ex, interm.num_rows);
+    if (request.sample_fraction > 0 && request.sample_fraction < 1.0) {
+      // Approximate fetch: keep every k-th RowBlock's rows.
+      const auto stride = static_cast<uint64_t>(
+          std::lround(1.0 / request.sample_fraction));
+      const uint64_t block = std::max<uint64_t>(interm.row_block_size, 1);
+      for (uint64_t i = 0; i < n; ++i) {
+        if ((i / block) % stride == 0) rows.push_back(i);
+      }
+      if (rows.empty()) rows.push_back(0);
+    } else {
+      rows.resize(n);
+      for (uint64_t i = 0; i < n; ++i) rows[i] = i;
+    }
+  }
+
+  const bool materialized =
+      !interm.columns.empty() &&
+      std::all_of(col_idx.begin(), col_idx.end(),
+                  [&](size_t i) { return interm.columns[i].materialized; });
+  const double col_fraction =
+      interm.columns.empty()
+          ? 1.0
+          : static_cast<double>(col_idx.size()) /
+                static_cast<double>(interm.columns.size());
+
+  FetchResult out;
+  out.predicted_rerun_sec = cost_model_.RerunSeconds(
+      *model, interm, static_cast<uint64_t>(rows.size()));
+  out.predicted_read_sec = cost_model_.ReadSeconds(
+      interm, static_cast<uint64_t>(rows.size()), col_fraction);
+
+  // Models recovered from a persisted catalog have no executor until one
+  // is re-attached; they can only serve reads.
+  const bool has_executor =
+      pipelines_.count(model_id) != 0 || networks_.count(model_id) != 0;
+
+  bool use_read;
+  if (request.force_read.has_value()) {
+    use_read = *request.force_read;
+    if (use_read && !materialized) {
+      return Status::InvalidArgument(
+          "force_read requested but intermediate is not materialized");
+    }
+  } else {
+    use_read = materialized &&
+               (!has_executor ||
+                out.predicted_read_sec <= out.predicted_rerun_sec);
+  }
+  if (!use_read && !has_executor) {
+    return Status::NotFound(
+        "model " + request.model +
+        " has no executor attached for re-run (reopened store?) and the "
+        "intermediate is not materialized");
+  }
+
+  out.column_names.reserve(col_idx.size());
+  for (size_t i : col_idx) out.column_names.push_back(interm.columns[i].name);
+  out.row_ids = rows;
+  out.used_read = use_read;
+
+  Stopwatch watch;
+  if (use_read) {
+    MISTIQUE_RETURN_NOT_OK(ReadColumns(*model, interm, col_idx, rows, &out));
+  } else {
+    MISTIQUE_RETURN_NOT_OK(
+        RerunColumns(model_id, interm_index, col_idx, rows, &out));
+  }
+  out.fetch_seconds = watch.ElapsedSeconds();
+
+  // Adaptive materialization (Alg. 4, column granularity): a re-run query
+  // may tip γ over the threshold, materializing the *queried columns* for
+  // future queries. γ uses the byte cost of just those columns, so hot
+  // narrow columns materialize sooner than whole wide intermediates.
+  if (!use_read && !materialized &&
+      options_.strategy == StorageStrategy::kAdaptive) {
+    const double gamma = cost_model_.Gamma(
+        *model, interm, EstimateEncodedBytes(interm, col_idx.size()));
+    if (gamma >= options_.gamma_min) {
+      MISTIQUE_RETURN_NOT_OK(
+          MaterializeColumns(model_id, interm_index, col_idx));
+      out.materialized_now = true;
+      // Cached decisions are stale once the store changed shape.
+      InvalidateCache();
+    }
+  }
+
+  if (options_.query_cache_entries > 0 && !out.materialized_now) {
+    if (query_cache_order_.size() >= options_.query_cache_entries) {
+      query_cache_.erase(query_cache_order_.front());
+      query_cache_order_.erase(query_cache_order_.begin());
+    }
+    query_cache_.emplace(cache_key, out);
+    query_cache_order_.push_back(cache_key);
+  }
+  return out;
+}
+
+Result<ScanResult> Mistique::Scan(const ScanRequest& request) {
+  MISTIQUE_ASSIGN_OR_RETURN(ModelId model_id,
+                            metadata_.FindModel(request.project,
+                                                request.model));
+  MISTIQUE_ASSIGN_OR_RETURN(IntermediateInfo * interm,
+                            metadata_.FindIntermediate(model_id,
+                                                       request.intermediate));
+  interm->n_query++;
+
+  size_t pidx = interm->columns.size();
+  for (size_t i = 0; i < interm->columns.size(); ++i) {
+    if (interm->columns[i].name == request.predicate_column) {
+      pidx = i;
+      break;
+    }
+  }
+  if (pidx == interm->columns.size()) {
+    return Status::NotFound("intermediate " + interm->name +
+                            " has no column " + request.predicate_column);
+  }
+  if (request.lo > request.hi) {
+    return Status::InvalidArgument("scan range is empty (lo > hi)");
+  }
+
+  // Maps a stored-domain zone-map bound to the user's value domain
+  // (KBIT_QT zone maps hold bin indices).
+  const auto to_user_domain = [&](double stored) {
+    if (interm->scheme != QuantScheme::kKBit || interm->recon.centers.empty()) {
+      return stored;
+    }
+    auto bin = static_cast<size_t>(std::max(stored, 0.0));
+    bin = std::min(bin, interm->recon.centers.size() - 1);
+    return interm->recon.centers[bin];
+  };
+
+  ScanResult out;
+  const ColumnInfo& pcol = interm->columns[pidx];
+  const ReconstructionTable* recon =
+      interm->scheme == QuantScheme::kKBit ? &interm->recon : nullptr;
+
+  if (pcol.materialized && !pcol.chunks.empty()) {
+    const uint64_t block = interm->row_block_size;
+    for (size_t b = 0; b < pcol.chunks.size(); ++b) {
+      // Zone-map pruning: skip blocks whose value range cannot intersect
+      // the predicate interval.
+      if (b < pcol.chunk_min.size() && b < pcol.chunk_max.size()) {
+        const double user_min = to_user_domain(pcol.chunk_min[b]);
+        const double user_max = to_user_domain(pcol.chunk_max[b]);
+        if (user_max < request.lo || user_min > request.hi) {
+          out.blocks_pruned++;
+          continue;
+        }
+      }
+      out.blocks_scanned++;
+      MISTIQUE_ASSIGN_OR_RETURN(ChunkRef ref,
+                                store_.GetChunk(pcol.chunks[b]));
+      MISTIQUE_ASSIGN_OR_RETURN(std::vector<double> decoded,
+                                ref.chunk->DecodeAsDouble(recon));
+      for (size_t offset = 0; offset < decoded.size(); ++offset) {
+        const double v = decoded[offset];
+        if (v >= request.lo && v <= request.hi) {
+          out.row_ids.push_back(b * block + offset);
+        }
+      }
+    }
+  } else {
+    // Unmaterialized: recreate the predicate column, filter in memory.
+    FetchRequest fetch;
+    fetch.project = request.project;
+    fetch.model = request.model;
+    fetch.intermediate = request.intermediate;
+    fetch.columns = {request.predicate_column};
+    MISTIQUE_ASSIGN_OR_RETURN(FetchResult full, Fetch(fetch));
+    out.blocks_scanned = interm->NumRowBlocks();
+    for (size_t i = 0; i < full.columns[0].size(); ++i) {
+      const double v = full.columns[0][i];
+      if (v >= request.lo && v <= request.hi) {
+        out.row_ids.push_back(i);
+      }
+    }
+  }
+
+  // Output columns for the matching rows.
+  out.column_names = request.columns;
+  if (!request.columns.empty() && !out.row_ids.empty()) {
+    FetchRequest fetch;
+    fetch.project = request.project;
+    fetch.model = request.model;
+    fetch.intermediate = request.intermediate;
+    fetch.columns = request.columns;
+    fetch.row_ids = out.row_ids;
+    MISTIQUE_ASSIGN_OR_RETURN(FetchResult values, Fetch(fetch));
+    out.columns = std::move(values.columns);
+  } else {
+    out.columns.assign(request.columns.size(), {});
+  }
+  return out;
+}
+
+Result<FetchResult> Mistique::GetIntermediates(
+    const std::vector<std::string>& keys, uint64_t n_ex) {
+  if (keys.empty()) {
+    return Status::InvalidArgument("GetIntermediates: no keys");
+  }
+  FetchRequest request;
+  request.n_ex = n_ex;
+  bool all_columns = false;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    MISTIQUE_ASSIGN_OR_RETURN(ColumnKey key, ParseColumnKey(keys[i]));
+    if (i == 0) {
+      request.project = key.project;
+      request.model = key.model;
+      request.intermediate = key.intermediate;
+    } else if (key.project != request.project || key.model != request.model ||
+               key.intermediate != request.intermediate) {
+      return Status::InvalidArgument(
+          "GetIntermediates keys must target one intermediate");
+    }
+    if (key.column == "*") {
+      all_columns = true;
+    } else {
+      request.columns.push_back(key.column);
+    }
+  }
+  if (all_columns) request.columns.clear();
+  return Fetch(request);
+}
+
+}  // namespace mistique

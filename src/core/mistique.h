@@ -1,0 +1,291 @@
+#ifndef MISTIQUE_CORE_MISTIQUE_H_
+#define MISTIQUE_CORE_MISTIQUE_H_
+
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/cost_model.h"
+#include "dedup/deduplicator.h"
+#include "metadata/metadata_db.h"
+#include "nn/network.h"
+#include "pipeline/stage.h"
+#include "quantize/quantizer.h"
+#include "storage/data_store.h"
+
+namespace mistique {
+
+/// How intermediates are materialized at logging time (Sec. 4/8):
+/// STORE_ALL stores everything with no de-duplication, DEDUP stores
+/// everything through the dedup layer, ADAPTIVE stores nothing up front and
+/// materializes intermediates whose γ exceeds the threshold as queries
+/// arrive (Sec. 4.3).
+enum class StorageStrategy : uint8_t { kStoreAll = 0, kDedup = 1, kAdaptive = 2 };
+
+const char* StorageStrategyName(StorageStrategy s);
+
+/// Configuration for one Mistique instance.
+struct MistiqueOptions {
+  DataStoreOptions store;
+  DedupOptions dedup;
+  StorageStrategy strategy = StorageStrategy::kDedup;
+
+  /// Value quantization for DNN activations (TRAD intermediates are always
+  /// stored at full precision, as in the paper).
+  QuantScheme dnn_scheme = QuantScheme::kLp32;
+  int kbits = 8;                 ///< for kKBit
+  double threshold_alpha = 0.005;  ///< for kThreshold
+  /// POOL_QT window σ (1 = no pooling) and aggregation.
+  int pool_sigma = 1;
+  PoolMode pool_mode = PoolMode::kAvg;
+
+  uint64_t row_block_size = 1024;
+
+  /// ADAPTIVE: materialize an intermediate once γ (sec/GB) crosses this.
+  double gamma_min = 500.0;
+
+  /// Session query-result cache (paper §10's caching future work): repeated
+  /// identical fetches within a diagnosis session are served from memory.
+  /// Off by default (0) so measurements stay honest; interactive sessions
+  /// should turn it on.
+  size_t query_cache_entries = 0;
+
+  /// Worker threads for the column-encode stage of DNN logging
+  /// (quantization + packing + fingerprinting are embarrassingly parallel
+  /// per column). 0 = hardware concurrency, 1 = serial.
+  size_t encode_threads = 0;
+
+  CostModelParams cost;
+  /// Measure real store read bandwidth at Open (recommended for benches;
+  /// off by default so unit tests stay fast).
+  bool calibrate_on_open = false;
+
+  /// Where DNN checkpoints are written (defaults to <store.directory>/ckpt).
+  std::string checkpoint_dir;
+};
+
+/// One intermediate-fetch request — the engine behind the paper's
+/// get_intermediates() API.
+struct FetchRequest {
+  std::string project;
+  std::string model;
+  std::string intermediate;
+  /// Columns to fetch; empty = all columns.
+  std::vector<std::string> columns;
+  /// First n examples (0 = all). Ignored when row_ids is non-empty.
+  uint64_t n_ex = 0;
+  /// Explicit example ids (row_id = position in the logged input).
+  std::vector<uint64_t> row_ids;
+  /// Overrides the cost model for experiments: true = force read,
+  /// false = force re-run.
+  std::optional<bool> force_read;
+  /// Approximate fetch (paper §10 future work): read only every k-th
+  /// RowBlock where k = round(1/sample_fraction). 1.0 = exact. Aggregate
+  /// queries (VIS, COL_DIST) trade exactness for proportionally less I/O.
+  double sample_fraction = 1.0;
+};
+
+/// A predicate scan over one intermediate: select rows whose
+/// `predicate_column` value lies in [lo, hi], returning `columns` for the
+/// matching rows — the paper's "find predictions for examples with
+/// neuron-50 activation > 0.5" query shape.
+struct ScanRequest {
+  std::string project;
+  std::string model;
+  std::string intermediate;
+  std::string predicate_column;
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  /// Output columns; empty = only row ids.
+  std::vector<std::string> columns;
+};
+
+struct ScanResult {
+  std::vector<uint64_t> row_ids;  ///< Matching rows, ascending.
+  std::vector<std::string> column_names;
+  std::vector<std::vector<double>> columns;  ///< Column-major, matching rows.
+  uint64_t blocks_scanned = 0;
+  uint64_t blocks_pruned = 0;  ///< Skipped via zone maps without any I/O.
+};
+
+/// Fetched columns plus the execution decision and timing breakdown.
+struct FetchResult {
+  std::vector<std::string> column_names;
+  /// Column-major values, decoded to double.
+  std::vector<std::vector<double>> columns;
+  std::vector<uint64_t> row_ids;
+
+  bool used_read = false;          ///< true = read store, false = re-ran model
+  bool from_cache = false;         ///< served from the session result cache
+  double fetch_seconds = 0;        ///< measured wall time
+  double predicted_read_sec = 0;   ///< cost-model estimates (Eq. 3/4)
+  double predicted_rerun_sec = 0;
+  bool materialized_now = false;   ///< adaptive: this fetch triggered
+                                   ///< materialization
+};
+
+/// MISTIQUE: Model Intermediate STore and QUery Engine.
+///
+/// Ties together the PipelineExecutor (TRAD pipelines + DNN forward
+/// passes), the DataStore (quantization, dedup, partitions, buffer pool,
+/// disk), the MetadataDb, and the ChunkReader with its cost model (Fig. 3).
+class Mistique {
+ public:
+  Mistique() = default;
+  Mistique(const Mistique&) = delete;
+  Mistique& operator=(const Mistique&) = delete;
+
+  Status Open(const MistiqueOptions& options);
+
+  /// Runs `pipeline` end to end and logs every stage output as an
+  /// intermediate of model `pipeline->name()` under `project`. The
+  /// pipeline object must outlive this Mistique (it is the stored
+  /// "transformer" used for re-runs).
+  Result<ModelId> LogPipeline(Pipeline* pipeline, const std::string& project);
+
+  /// Runs `network` forward over `input` and logs every layer's
+  /// activations under `project`.`model_name`. The network and input must
+  /// outlive this Mistique; the input doubles as the re-run data source
+  /// (the paper pre-fetches DNN inputs into memory).
+  Result<ModelId> LogNetwork(Network* network,
+                             std::shared_ptr<const Tensor> input,
+                             const std::string& project,
+                             const std::string& model_name);
+
+  /// Seals all open partitions.
+  Status Flush();
+
+  /// Flushes and persists the metadata catalog next to the partition files
+  /// (<store.directory>/catalog.mq). A later Open on the same directory
+  /// recovers every logged model for read-path queries.
+  Status SaveCatalog();
+
+  /// Re-registers an executor for a model recovered from a persisted
+  /// catalog, re-enabling the re-run path (and adaptive materialization)
+  /// for it. The pipeline/network must match the one originally logged.
+  Status AttachPipeline(const std::string& project, const std::string& name,
+                        Pipeline* pipeline);
+  Status AttachNetwork(const std::string& project, const std::string& name,
+                       Network* network, std::shared_ptr<const Tensor> input);
+
+  /// Deletes a model from the catalog. Chunks shared with other models
+  /// (via de-duplication) survive; chunks only this model referenced
+  /// become dead and are reclaimed by the next Vacuum().
+  Status DeleteModel(const std::string& project, const std::string& name);
+
+  /// Rewrites sealed partitions to drop dead chunks left by DeleteModel,
+  /// deleting partitions that become empty. Returns reclaimed compressed
+  /// bytes.
+  Result<uint64_t> Vacuum();
+
+  /// Fetches an intermediate, deciding read-vs-re-run via the cost model
+  /// (Alg. 3). Updates query statistics and, under ADAPTIVE, may
+  /// materialize the intermediate.
+  Result<FetchResult> Fetch(const FetchRequest& request);
+
+  /// Paper-style key API: each key is project.model.intermediate.column
+  /// (column "*" = all). All keys must target the same intermediate.
+  Result<FetchResult> GetIntermediates(const std::vector<std::string>& keys,
+                                       uint64_t n_ex = 0);
+
+  /// Predicate scan with zone-map pruning. Materialized columns skip
+  /// RowBlocks whose [min, max] cannot satisfy the predicate; an
+  /// unmaterialized predicate column falls back to re-running the model
+  /// and filtering.
+  Result<ScanResult> Scan(const ScanRequest& request);
+
+  /// Column index range [first, last) covering channel `channel` of a
+  /// spatial intermediate (for activation-map queries like POINTQ).
+  static Result<std::pair<size_t, size_t>> ChannelColumns(
+      const IntermediateInfo& intermediate, int channel);
+
+  MetadataDb& metadata() { return metadata_; }
+  const MetadataDb& metadata() const { return metadata_; }
+  DataStore& store() { return store_; }
+  CostModel& cost_model() { return cost_model_; }
+  Deduplicator& dedup() { return *dedup_; }
+  const MistiqueOptions& options() const { return options_; }
+
+  /// Adjusts the ADAPTIVE materialization threshold at runtime (the Fig. 10
+  /// experiment sweeps γ_min after logging).
+  void set_gamma_min(double gamma_min) { options_.gamma_min = gamma_min; }
+
+  /// Total compressed bytes on disk + uncompressed in open partitions.
+  uint64_t StorageFootprintBytes() const {
+    return store_.stored_bytes() + store_.open_bytes();
+  }
+
+ private:
+  struct DnnSource {
+    Network* network = nullptr;
+    std::shared_ptr<const Tensor> input;
+    std::string checkpoint_path;
+  };
+
+  /// Stores one column's RowBlock chunks through quantization + dedup and
+  /// updates `column`. `group` selects DNN co-location (0 for TRAD).
+  Status StoreColumn(const IntermediateInfo& interm, ColumnInfo* column,
+                     const std::vector<double>& values, uint64_t first_row,
+                     uint64_t group);
+
+  /// Reads columns [read path of Alg. 3].
+  Status ReadColumns(const ModelInfo& model, const IntermediateInfo& interm,
+                     const std::vector<size_t>& column_indices,
+                     const std::vector<uint64_t>& rows, FetchResult* out);
+
+  /// Re-runs the model to recreate the intermediate [re-run path].
+  Status RerunColumns(ModelId model_id, size_t interm_index,
+                      const std::vector<size_t>& column_indices,
+                      const std::vector<uint64_t>& rows, FetchResult* out);
+
+  /// ADAPTIVE: materializes the given columns (Alg. 4 decides at column
+  /// granularity) by re-running the model once; empty = all columns.
+  Status MaterializeColumns(ModelId model_id, size_t interm_index,
+                            const std::vector<size_t>& column_indices);
+
+  /// Estimated encoded bytes if `num_columns` of this intermediate were
+  /// materialized (0 = all).
+  static uint64_t EstimateEncodedBytes(const IntermediateInfo& interm,
+                                       size_t num_columns = 0);
+
+  /// Fingerprint of a FetchRequest for the result cache.
+  static uint64_t RequestKey(const FetchRequest& request);
+  /// Invalidate cached results for one model (called on materialization).
+  void InvalidateCache();
+  /// Reference-count bookkeeping for chunk sharing across columns/models.
+  void RefChunk(ChunkId id) { chunk_refs_[id]++; }
+  void RebuildChunkRefs();
+
+  MistiqueOptions options_;
+  MetadataDb metadata_;
+  DataStore store_;
+  CostModel cost_model_;
+  std::unique_ptr<Deduplicator> dedup_;
+  std::unique_ptr<ThreadPool> encode_pool_;
+
+  std::unordered_map<ModelId, Pipeline*> pipelines_;
+  std::unordered_map<ModelId, DnnSource> networks_;
+
+  // Tiny FIFO-evicted result cache; key -> result. Hit results are
+  // returned by value with from_cache set.
+  std::unordered_map<uint64_t, FetchResult> query_cache_;
+  std::vector<uint64_t> query_cache_order_;
+  uint64_t cache_hits_ = 0;
+
+  // How many catalog references each chunk has (dedup shares chunks across
+  // columns and models); chunks at zero references await Vacuum().
+  std::unordered_map<ChunkId, uint32_t> chunk_refs_;
+  std::unordered_set<ChunkId> dead_chunks_;
+
+ public:
+  uint64_t query_cache_hits() const { return cache_hits_; }
+};
+
+}  // namespace mistique
+
+#endif  // MISTIQUE_CORE_MISTIQUE_H_

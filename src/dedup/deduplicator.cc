@@ -1,0 +1,75 @@
+#include "dedup/deduplicator.h"
+
+namespace mistique {
+
+void Deduplicator::ForgetChunks(const std::unordered_set<ChunkId>& dead) {
+  for (auto it = exact_index_.begin(); it != exact_index_.end();) {
+    it = dead.count(it->second) ? exact_index_.erase(it) : std::next(it);
+  }
+}
+
+PartitionId Deduplicator::PartitionForCluster(uint64_t cluster) {
+  auto it = cluster_partition_.find(cluster);
+  if (it != cluster_partition_.end() && store_->IsOpen(it->second)) {
+    return it->second;
+  }
+  const PartitionId id = store_->CreatePartition();
+  cluster_partition_[cluster] = id;
+  return id;
+}
+
+Result<Deduplicator::AddResult> Deduplicator::AddChunk(
+    ColumnChunk chunk, uint64_t colocation_group) {
+  // 1. Exact de-duplication: identical content is never stored twice.
+  if (options_.exact) {
+    const Fingerprint& fp = chunk.fingerprint();
+    auto it = exact_index_.find(fp);
+    if (it != exact_index_.end()) {
+      duplicate_chunks_++;
+      duplicate_bytes_ += chunk.byte_size();
+      MISTIQUE_ASSIGN_OR_RETURN(PartitionId pid,
+                                store_->PartitionOf(it->second));
+      return AddResult{it->second, /*was_duplicate=*/true, pid};
+    }
+  }
+
+  // 2. Placement.
+  PartitionId target;
+  if (colocation_group != 0) {
+    auto it = group_partition_.find(colocation_group);
+    if (it != group_partition_.end() && store_->IsOpen(it->second)) {
+      target = it->second;
+    } else {
+      target = store_->CreatePartition();
+      group_partition_[colocation_group] = target;
+    }
+  } else if (options_.similarity) {
+    const MinHashSignature sig = ComputeMinHash(chunk, options_.minhash);
+    const auto similar = lsh_.Similar(sig, options_.tau);
+    uint64_t cluster = 0;
+    for (const auto& [candidate, jaccard] : similar) {
+      (void)jaccard;
+      cluster = candidate;
+      break;  // Best (highest-estimate) cluster.
+    }
+    if (cluster == 0) {
+      cluster = next_cluster_++;
+      lsh_.Insert(cluster, sig);  // First chunk's signature represents it.
+    }
+    target = PartitionForCluster(cluster);
+  } else {
+    // No similarity clustering: keep one rolling partition (cluster 0
+    // semantics) so chunks still batch into large compression units.
+    target = PartitionForCluster(0);
+  }
+
+  const size_t chunk_bytes = chunk.byte_size();
+  const Fingerprint fp = options_.exact ? chunk.fingerprint() : Fingerprint{};
+  MISTIQUE_ASSIGN_OR_RETURN(ChunkId id,
+                            store_->AddChunk(target, std::move(chunk)));
+  (void)chunk_bytes;
+  if (options_.exact) exact_index_[fp] = id;
+  return AddResult{id, /*was_duplicate=*/false, target};
+}
+
+}  // namespace mistique

@@ -1,0 +1,64 @@
+#include "dedup/lsh_index.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/hash.h"
+
+namespace mistique {
+
+LshIndex::LshIndex(int num_hashes, int num_bands)
+    : num_hashes_(num_hashes),
+      num_bands_(num_bands),
+      rows_per_band_(num_hashes / num_bands),
+      buckets_(static_cast<size_t>(num_bands)) {}
+
+uint64_t LshIndex::BandHash(const MinHashSignature& sig, int band) const {
+  uint64_t h = Mix64(static_cast<uint64_t>(band) + 1);
+  const int start = band * rows_per_band_;
+  for (int i = 0; i < rows_per_band_; ++i) {
+    h = HashCombine(h, sig.values[static_cast<size_t>(start + i)]);
+  }
+  return h;
+}
+
+void LshIndex::Insert(uint64_t key, const MinHashSignature& signature) {
+  if (static_cast<int>(signature.values.size()) != num_hashes_) return;
+  for (int band = 0; band < num_bands_; ++band) {
+    buckets_[static_cast<size_t>(band)][BandHash(signature, band)].push_back(
+        key);
+  }
+  signatures_[key] = signature;
+}
+
+std::vector<uint64_t> LshIndex::Candidates(
+    const MinHashSignature& query) const {
+  std::vector<uint64_t> out;
+  if (static_cast<int>(query.values.size()) != num_hashes_) return out;
+  std::unordered_set<uint64_t> seen;
+  for (int band = 0; band < num_bands_; ++band) {
+    const auto& bucket_map = buckets_[static_cast<size_t>(band)];
+    auto it = bucket_map.find(BandHash(query, band));
+    if (it == bucket_map.end()) continue;
+    for (uint64_t key : it->second) {
+      if (seen.insert(key).second) out.push_back(key);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<uint64_t, double>> LshIndex::Similar(
+    const MinHashSignature& query, double tau) const {
+  std::vector<std::pair<uint64_t, double>> out;
+  for (uint64_t key : Candidates(query)) {
+    const auto sig_it = signatures_.find(key);
+    if (sig_it == signatures_.end()) continue;
+    const double j = query.EstimateJaccard(sig_it->second);
+    if (j >= tau) out.emplace_back(key, j);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+}  // namespace mistique

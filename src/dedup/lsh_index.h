@@ -1,0 +1,54 @@
+#ifndef MISTIQUE_DEDUP_LSH_INDEX_H_
+#define MISTIQUE_DEDUP_LSH_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "dedup/minhash.h"
+
+namespace mistique {
+
+/// Banded LSH over MinHash signatures (Sec. 4.2.1).
+///
+/// Signatures are split into `num_bands` bands of `rows_per_band` hashes;
+/// a band's hash keys a bucket, and two signatures colliding in any band
+/// become candidates. With 128 hashes split 32×4 the candidate probability
+/// curve has its S-bend near Jaccard ≈ 0.4, suitable for the paper's
+/// "similar column" threshold.
+class LshIndex {
+ public:
+  /// `num_hashes` must be divisible by `num_bands`.
+  LshIndex(int num_hashes = 128, int num_bands = 32);
+
+  /// Inserts a signature labeled by an arbitrary 64-bit key (MISTIQUE uses
+  /// the owning Partition's cluster id).
+  void Insert(uint64_t key, const MinHashSignature& signature);
+
+  /// Returns candidate keys sharing at least one band bucket with `query`,
+  /// deduplicated, in insertion-discovery order.
+  std::vector<uint64_t> Candidates(const MinHashSignature& query) const;
+
+  /// Convenience: candidates filtered to estimated Jaccard >= tau, paired
+  /// with the estimate, best first. Requires the original signatures, which
+  /// the index retains.
+  std::vector<std::pair<uint64_t, double>> Similar(
+      const MinHashSignature& query, double tau) const;
+
+  size_t size() const { return signatures_.size(); }
+
+ private:
+  uint64_t BandHash(const MinHashSignature& sig, int band) const;
+
+  int num_hashes_;
+  int num_bands_;
+  int rows_per_band_;
+  // band -> bucket hash -> keys.
+  std::vector<std::unordered_map<uint64_t, std::vector<uint64_t>>> buckets_;
+  std::unordered_map<uint64_t, MinHashSignature> signatures_;
+};
+
+}  // namespace mistique
+
+#endif  // MISTIQUE_DEDUP_LSH_INDEX_H_

@@ -1,0 +1,86 @@
+#include "dedup/minhash.h"
+
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+#include "common/hash.h"
+
+namespace mistique {
+
+namespace {
+
+// Decodes a chunk for similarity purposes: narrow encodings decode through
+// an identity table (bin indices compare raw — similarity of the *stored*
+// representation is what drives compression benefit).
+std::vector<double> DecodeForSimilarity(const ColumnChunk& chunk) {
+  ReconstructionTable identity;
+  identity.centers.resize(256);
+  for (int i = 0; i < 256; ++i) identity.centers[i] = i;
+  auto decoded = chunk.DecodeAsDouble(&identity);
+  if (!decoded.ok()) return {};
+  return std::move(decoded).ValueOrDie();
+}
+
+// Discretized set element for (row, value).
+inline uint64_t ElementOf(size_t row, double value, int buckets) {
+  double scaled = value * buckets;
+  if (!std::isfinite(scaled)) scaled = 0;
+  const auto q = static_cast<int64_t>(std::llround(scaled));
+  return HashCombine(Mix64(row + 1), Mix64(static_cast<uint64_t>(q)));
+}
+
+}  // namespace
+
+double MinHashSignature::EstimateJaccard(const MinHashSignature& other) const {
+  if (values.empty() || values.size() != other.values.size()) return 0.0;
+  size_t agree = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i] == other.values[i]) agree++;
+  }
+  return static_cast<double>(agree) / static_cast<double>(values.size());
+}
+
+MinHashSignature ComputeMinHash(const ColumnChunk& chunk,
+                                const MinHashOptions& options) {
+  MinHashSignature sig;
+  sig.values.assign(options.num_hashes,
+                    std::numeric_limits<uint64_t>::max());
+  const std::vector<double> values = DecodeForSimilarity(chunk);
+  for (size_t row = 0; row < values.size(); ++row) {
+    const uint64_t element =
+        ElementOf(row, values[row], options.discretize_buckets);
+    // Hash family i = Mix64(element ^ seed_i); one pass updates all minima.
+    for (int i = 0; i < options.num_hashes; ++i) {
+      const uint64_t h =
+          Mix64(element ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+      if (h < sig.values[i]) sig.values[i] = h;
+    }
+  }
+  return sig;
+}
+
+double ExactJaccard(const ColumnChunk& a, const ColumnChunk& b,
+                    const MinHashOptions& options) {
+  const std::vector<double> va = DecodeForSimilarity(a);
+  const std::vector<double> vb = DecodeForSimilarity(b);
+  std::unordered_set<uint64_t> sa, sb;
+  sa.reserve(va.size());
+  sb.reserve(vb.size());
+  for (size_t i = 0; i < va.size(); ++i) {
+    sa.insert(ElementOf(i, va[i], options.discretize_buckets));
+  }
+  for (size_t i = 0; i < vb.size(); ++i) {
+    sb.insert(ElementOf(i, vb[i], options.discretize_buckets));
+  }
+  if (sa.empty() && sb.empty()) return 1.0;
+  size_t inter = 0;
+  for (uint64_t e : sa) {
+    if (sb.count(e)) inter++;
+  }
+  const size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 1.0
+                  : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace mistique

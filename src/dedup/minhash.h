@@ -1,0 +1,46 @@
+#ifndef MISTIQUE_DEDUP_MINHASH_H_
+#define MISTIQUE_DEDUP_MINHASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/column_chunk.h"
+
+namespace mistique {
+
+/// Parameters for MinHash signatures over discretized ColumnChunks.
+struct MinHashOptions {
+  /// Number of hash functions (= signature length). Must be a multiple of
+  /// the LSH band count.
+  int num_hashes = 128;
+  /// Values are discretized to this many buckets over the chunk's value
+  /// range before hashing, so nearly-equal floats count as equal set
+  /// elements (Sec. 4.2.1 "after discretizing the values").
+  int discretize_buckets = 64;
+};
+
+/// A MinHash signature: element i is the minimum of hash family i over the
+/// chunk's element set. Expected fraction of equal positions between two
+/// signatures estimates the Jaccard similarity of the underlying sets.
+struct MinHashSignature {
+  std::vector<uint64_t> values;
+
+  /// Fraction of agreeing positions; signatures must be the same length.
+  double EstimateJaccard(const MinHashSignature& other) const;
+};
+
+/// Computes the signature of a chunk. The chunk's element set is
+/// {(row_offset, discretized value)} so two columns are similar when they
+/// hold close values in the same rows — the notion of column similarity the
+/// partition co-location policy needs.
+MinHashSignature ComputeMinHash(const ColumnChunk& chunk,
+                                const MinHashOptions& options);
+
+/// Exact Jaccard between two chunks under the same discretization, for
+/// verification in tests and threshold checks.
+double ExactJaccard(const ColumnChunk& a, const ColumnChunk& b,
+                    const MinHashOptions& options);
+
+}  // namespace mistique
+
+#endif  // MISTIQUE_DEDUP_MINHASH_H_

@@ -1,0 +1,220 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace mistique {
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = at(i, k);
+      if (a == 0.0) continue;
+      const double* brow = &other.data_[k * other.cols_];
+      double* orow = &out.data_[i * other.cols_];
+      for (size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) out.at(j, i) = at(i, j);
+  }
+  return out;
+}
+
+Matrix Matrix::Gram() const {
+  Matrix out(cols_, cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row = &data_[i * cols_];
+    for (size_t a = 0; a < cols_; ++a) {
+      const double va = row[a];
+      if (va == 0.0) continue;
+      for (size_t b = a; b < cols_; ++b) out.at(a, b) += va * row[b];
+    }
+  }
+  for (size_t a = 0; a < cols_; ++a) {
+    for (size_t b = 0; b < a; ++b) out.at(a, b) = out.at(b, a);
+  }
+  return out;
+}
+
+void Matrix::CenterColumns() {
+  for (size_t j = 0; j < cols_; ++j) {
+    double mean = 0;
+    for (size_t i = 0; i < rows_; ++i) mean += at(i, j);
+    mean /= static_cast<double>(rows_ == 0 ? 1 : rows_);
+    for (size_t i = 0; i < rows_; ++i) at(i, j) -= mean;
+  }
+}
+
+void Matrix::StandardizeColumns() {
+  for (size_t j = 0; j < cols_; ++j) {
+    double ss = 0;
+    for (size_t i = 0; i < rows_; ++i) ss += at(i, j) * at(i, j);
+    const double sd = std::sqrt(ss / static_cast<double>(rows_ == 0 ? 1 : rows_));
+    if (sd < 1e-12) continue;
+    for (size_t i = 0; i < rows_; ++i) at(i, j) /= sd;
+  }
+}
+
+Result<SvdResult> ComputeSvd(const Matrix& a, int max_sweeps, double tol) {
+  if (a.rows() == 0 || a.cols() == 0) {
+    return Status::InvalidArgument("SVD of empty matrix");
+  }
+  // One-sided Jacobi requires m >= n; transpose otherwise and swap U/V.
+  if (a.rows() < a.cols()) {
+    MISTIQUE_ASSIGN_OR_RETURN(SvdResult t,
+                              ComputeSvd(a.Transposed(), max_sweeps, tol));
+    SvdResult out;
+    out.u = std::move(t.v);
+    out.v = std::move(t.u);
+    out.singular_values = std::move(t.singular_values);
+    return out;
+  }
+
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+  Matrix w = a;          // Columns rotate toward mutual orthogonality.
+  Matrix v(n, n);        // Accumulates the rotations.
+  for (size_t i = 0; i < n; ++i) v.at(i, i) = 1.0;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool rotated = false;
+    for (size_t p = 0; p + 1 < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        double alpha = 0, beta = 0, gamma = 0;
+        for (size_t i = 0; i < m; ++i) {
+          const double wp = w.at(i, p);
+          const double wq = w.at(i, q);
+          alpha += wp * wp;
+          beta += wq * wq;
+          gamma += wp * wq;
+        }
+        if (std::abs(gamma) <= tol * std::sqrt(alpha * beta)) continue;
+        rotated = true;
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t_val =
+            (zeta >= 0 ? 1.0 : -1.0) /
+            (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t_val * t_val);
+        const double s = c * t_val;
+        for (size_t i = 0; i < m; ++i) {
+          const double wp = w.at(i, p);
+          const double wq = w.at(i, q);
+          w.at(i, p) = c * wp - s * wq;
+          w.at(i, q) = s * wp + c * wq;
+        }
+        for (size_t i = 0; i < n; ++i) {
+          const double vp = v.at(i, p);
+          const double vq = v.at(i, q);
+          v.at(i, p) = c * vp - s * vq;
+          v.at(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (!rotated) break;
+  }
+
+  // Column norms are the singular values; sort descending.
+  std::vector<double> sv(n);
+  for (size_t j = 0; j < n; ++j) {
+    double ss = 0;
+    for (size_t i = 0; i < m; ++i) ss += w.at(i, j) * w.at(i, j);
+    sv[j] = std::sqrt(ss);
+  }
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return sv[x] > sv[y]; });
+
+  SvdResult out;
+  out.u = Matrix(m, n);
+  out.v = Matrix(n, n);
+  out.singular_values.resize(n);
+  for (size_t jj = 0; jj < n; ++jj) {
+    const size_t src = order[jj];
+    out.singular_values[jj] = sv[src];
+    const double inv = sv[src] > 1e-300 ? 1.0 / sv[src] : 0.0;
+    for (size_t i = 0; i < m; ++i) out.u.at(i, jj) = w.at(i, src) * inv;
+    for (size_t i = 0; i < n; ++i) out.v.at(i, jj) = v.at(i, src);
+  }
+  return out;
+}
+
+Result<Matrix> SvdProject(const Matrix& a, double variance_frac) {
+  MISTIQUE_ASSIGN_OR_RETURN(SvdResult svd, ComputeSvd(a));
+  double total = 0;
+  for (double s : svd.singular_values) total += s * s;
+  if (total <= 0) return Status::InvalidArgument("zero matrix in SvdProject");
+
+  size_t k = 0;
+  double acc = 0;
+  while (k < svd.singular_values.size() && acc < variance_frac * total) {
+    acc += svd.singular_values[k] * svd.singular_values[k];
+    k++;
+  }
+  if (k == 0) k = 1;
+
+  // Scores = U_k * diag(s_k).
+  Matrix scores(a.rows(), k);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      scores.at(i, j) = svd.u.at(i, j) * svd.singular_values[j];
+    }
+  }
+  return scores;
+}
+
+Result<std::vector<double>> ComputeCca(const Matrix& x, const Matrix& y,
+                                       double eps) {
+  if (x.rows() != y.rows()) {
+    return Status::InvalidArgument("CCA inputs need equal row counts");
+  }
+  Matrix xc = x;
+  Matrix yc = y;
+  xc.CenterColumns();
+  yc.CenterColumns();
+
+  // Whiten via thin SVD: X = U S V^T  =>  orthonormal basis U_x of col(X).
+  MISTIQUE_ASSIGN_OR_RETURN(SvdResult sx, ComputeSvd(xc));
+  MISTIQUE_ASSIGN_OR_RETURN(SvdResult sy, ComputeSvd(yc));
+
+  const auto rank_of = [eps](const SvdResult& s) {
+    const double cutoff =
+        s.singular_values.empty() ? 0 : s.singular_values[0] * eps;
+    size_t r = 0;
+    while (r < s.singular_values.size() && s.singular_values[r] > cutoff &&
+           s.singular_values[r] > 0) {
+      r++;
+    }
+    return std::max<size_t>(r, 1);
+  };
+  const size_t rx = rank_of(sx);
+  const size_t ry = rank_of(sy);
+
+  // M = U_x^T U_y (rx × ry); its singular values are the canonical
+  // correlations.
+  Matrix m(rx, ry);
+  for (size_t i = 0; i < rx; ++i) {
+    for (size_t j = 0; j < ry; ++j) {
+      double dot = 0;
+      for (size_t r = 0; r < x.rows(); ++r) {
+        dot += sx.u.at(r, i) * sy.u.at(r, j);
+      }
+      m.at(i, j) = dot;
+    }
+  }
+  MISTIQUE_ASSIGN_OR_RETURN(SvdResult sm, ComputeSvd(m));
+  std::vector<double> rho = std::move(sm.singular_values);
+  for (double& r : rho) r = std::min(r, 1.0);  // Clamp numerical overshoot.
+  rho.resize(std::min(rx, ry));
+  return rho;
+}
+
+}  // namespace mistique

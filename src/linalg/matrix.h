@@ -1,0 +1,81 @@
+#ifndef MISTIQUE_LINALG_MATRIX_H_
+#define MISTIQUE_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mistique {
+
+/// Dense row-major double matrix — the minimal linear-algebra substrate the
+/// SVCCA diagnostic needs (SVD + CCA on activation matrices).
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+  Matrix(size_t rows, size_t cols, std::vector<double> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// Returns this * other; dimensions must agree.
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Returns the transpose.
+  Matrix Transposed() const;
+
+  /// Returns this^T * this (Gram matrix), exploiting symmetry.
+  Matrix Gram() const;
+
+  /// Subtracts each column's mean in place (required before SVCCA).
+  void CenterColumns();
+
+  /// Scales each column to unit standard deviation in place; constant
+  /// columns are left untouched.
+  void StandardizeColumns();
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Thin SVD result: A (m×n) = U (m×r) * diag(s) * V^T (r×n), singular
+/// values descending, r = min(m, n).
+struct SvdResult {
+  Matrix u;
+  std::vector<double> singular_values;
+  Matrix v;  ///< n×r, columns are right singular vectors.
+};
+
+/// One-sided Jacobi SVD. Robust for the moderate sizes SVCCA uses
+/// (activations projected to tens of dimensions). `max_sweeps` bounds
+/// iteration; convergence is reached when all column pairs are orthogonal
+/// to `tol` relative accuracy.
+Result<SvdResult> ComputeSvd(const Matrix& a, int max_sweeps = 60,
+                             double tol = 1e-12);
+
+/// Keeps the smallest prefix of SVD directions explaining `variance_frac`
+/// of total squared singular value mass; returns A's projection onto those
+/// directions (scores matrix, m×k) — step 1 of SVCCA (Alg. 1).
+Result<Matrix> SvdProject(const Matrix& a, double variance_frac);
+
+/// Canonical correlation analysis between column-centered X (m×p) and Y
+/// (m×q): returns the canonical correlations, descending, length
+/// min(p, q). Uses the SVD-based whitening formulation with
+/// regularization `eps` on the whitening inverses.
+Result<std::vector<double>> ComputeCca(const Matrix& x, const Matrix& y,
+                                       double eps = 1e-8);
+
+}  // namespace mistique
+
+#endif  // MISTIQUE_LINALG_MATRIX_H_

@@ -1,0 +1,178 @@
+#ifndef MISTIQUE_METADATA_METADATA_DB_H_
+#define MISTIQUE_METADATA_METADATA_DB_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "quantize/quantizer.h"
+#include "storage/column_chunk.h"
+#include "storage/partition.h"
+
+namespace mistique {
+
+/// Model family, mirroring the paper's TRAD / DNN split.
+enum class ModelKind : uint8_t { kTrad = 0, kDnn = 1 };
+
+using ModelId = uint32_t;
+constexpr ModelId kInvalidModelId = 0;
+
+/// Catalog entry for one stored column of an intermediate.
+struct ColumnInfo {
+  std::string name;
+
+  /// One chunk per RowBlock, in row order. Empty while the column is
+  /// unmaterialized (adaptive mode).
+  std::vector<ChunkId> chunks;
+  bool materialized = false;
+
+  /// Per-chunk zone maps (min/max in the *stored* domain — bin indices for
+  /// KBIT_QT), aligned with `chunks`. They make predicate scans prune
+  /// RowBlocks without touching partitions.
+  std::vector<double> chunk_min;
+  std::vector<double> chunk_max;
+
+  /// Encoded (post-quantization, pre-compression) bytes of this column —
+  /// what a read must decode, regardless of dedup.
+  uint64_t encoded_bytes = 0;
+  /// Encoded bytes actually added to storage (0 when every chunk was an
+  /// exact duplicate of a previously stored one).
+  uint64_t stored_bytes = 0;
+};
+
+/// Catalog entry for one model intermediate (a pipeline stage output or a
+/// DNN layer activation).
+struct IntermediateInfo {
+  std::string name;
+  int stage_index = 0;
+  uint64_t num_rows = 0;
+  uint64_t row_block_size = 1024;
+
+  /// Activation-map shape after any pooling (0s for flat TRAD columns).
+  int channels = 0;
+  int height = 0;
+  int width = 0;
+  /// POOL_QT sigma applied at logging time (1 = none).
+  int pool_sigma = 1;
+
+  /// Value quantization applied to every column of this intermediate, plus
+  /// the tables needed to reconstruct floats at read time.
+  QuantScheme scheme = QuantScheme::kNone;
+  int kbits = 8;              ///< for kKBit
+  double threshold = 0;       ///< for kThreshold
+  ReconstructionTable recon;  ///< for kKBit decoding
+  std::vector<double> edges;  ///< kKBit bin boundaries (encode side)
+
+  std::vector<ColumnInfo> columns;
+
+  /// --- cost-model calibration (per Sec. 5) ---
+  /// Seconds of forward/stage compute per example to produce this
+  /// intermediate from the model input (cumulative over stages).
+  double cum_exec_sec_per_ex = 0;
+  /// Encoded bytes per example as stored (post quantization).
+  double stored_bytes_per_ex = 0;
+
+  /// --- adaptive materialization stats ---
+  uint64_t n_query = 0;
+
+  size_t num_columns() const { return columns.size(); }
+  uint64_t NumRowBlocks() const {
+    return row_block_size == 0
+               ? 0
+               : (num_rows + row_block_size - 1) / row_block_size;
+  }
+};
+
+/// Catalog entry for one logged model (pipeline or network).
+struct ModelInfo {
+  ModelId id = kInvalidModelId;
+  std::string project;
+  std::string name;
+  ModelKind kind = ModelKind::kTrad;
+  /// Fixed model-load cost for re-running (seconds), measured at log time.
+  double model_load_sec = 0;
+  std::vector<IntermediateInfo> intermediates;
+};
+
+/// A fully qualified column key: project.model.intermediate.column, the key
+/// format of the paper's get_intermediates API.
+struct ColumnKey {
+  std::string project;
+  std::string model;
+  std::string intermediate;
+  std::string column;
+
+  std::string ToString() const {
+    return project + "." + model + "." + intermediate + "." + column;
+  }
+};
+
+/// Parses "project.model.intermediate.column". Column may be "*" meaning
+/// all columns. Returns InvalidArgument on malformed keys.
+Result<ColumnKey> ParseColumnKey(const std::string& key);
+
+/// The central repository tying MISTIQUE's components together (Fig. 3):
+/// which models exist, which intermediates/columns they produced, where
+/// each column's chunks live, and the statistics the cost model needs.
+class MetadataDb {
+ public:
+  MetadataDb() = default;
+  MetadataDb(const MetadataDb&) = delete;
+  MetadataDb& operator=(const MetadataDb&) = delete;
+
+  /// Registers a model; AlreadyExists if (project, name) is taken.
+  Result<ModelId> RegisterModel(const std::string& project,
+                                const std::string& name, ModelKind kind);
+
+  /// Mutable access for the logging path; NotFound for unknown ids.
+  Result<ModelInfo*> GetModel(ModelId id);
+  Result<const ModelInfo*> GetModel(ModelId id) const;
+  Result<ModelId> FindModel(const std::string& project,
+                            const std::string& name) const;
+
+  /// Finds an intermediate inside a model by name.
+  Result<IntermediateInfo*> FindIntermediate(ModelId id,
+                                             const std::string& name);
+  Result<const IntermediateInfo*> FindIntermediate(
+      ModelId id, const std::string& name) const;
+
+  /// Resolves a column key to (model, intermediate index, column index).
+  struct ColumnHandle {
+    ModelId model = kInvalidModelId;
+    size_t intermediate_index = 0;
+    size_t column_index = 0;
+  };
+  Result<ColumnHandle> ResolveColumn(const ColumnKey& key) const;
+
+  /// Records one query against an intermediate (drives Eq. 5's n_query).
+  Status NoteQuery(ModelId id, const std::string& intermediate_name);
+
+  /// Removes a model and all its catalog entries; NotFound for unknown
+  /// ids. Chunk data is untouched (the caller owns storage reclamation).
+  Status RemoveModel(ModelId id);
+
+  std::vector<ModelId> ListModels() const;
+  size_t num_models() const { return models_.size(); }
+
+  /// Serializes the whole catalog (all models, intermediates, columns,
+  /// chunk lists, and quantization tables) for persistence across
+  /// sessions. Load replaces this database's contents.
+  void Save(ByteWriter* writer) const;
+  Status Load(ByteReader* reader);
+
+  /// Convenience file wrappers.
+  Status SaveToFile(const std::string& path) const;
+  Status LoadFromFile(const std::string& path);
+
+ private:
+  std::unordered_map<ModelId, ModelInfo> models_;
+  std::unordered_map<std::string, ModelId> by_name_;
+  ModelId next_id_ = 1;
+};
+
+}  // namespace mistique
+
+#endif  // MISTIQUE_METADATA_METADATA_DB_H_

@@ -1,0 +1,34 @@
+#ifndef MISTIQUE_NN_CIFAR_H_
+#define MISTIQUE_NN_CIFAR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace mistique {
+
+/// Scale knobs for the synthetic CIFAR10 stand-in. The paper uses the full
+/// 50K-image dataset; experiments here default to a few thousand examples.
+struct CifarConfig {
+  int num_examples = 2000;
+  int num_classes = 10;
+  uint64_t seed = 17;
+};
+
+/// A labeled image batch.
+struct CifarData {
+  Tensor images;                ///< [N, 3, 32, 32], values in [0, 1]
+  std::vector<int> labels;      ///< class id per example
+};
+
+/// Generates class-structured synthetic images: each class is a distinct
+/// deterministic spatial pattern (frequency/orientation/color signature)
+/// plus per-example noise and jitter, so network activations carry real
+/// class structure (KNN neighbours are same-class, SVCCA correlations are
+/// meaningful, NetDissect concepts align with patterns).
+CifarData GenerateCifar(const CifarConfig& config);
+
+}  // namespace mistique
+
+#endif  // MISTIQUE_NN_CIFAR_H_

@@ -1,0 +1,235 @@
+#include "nn/layers.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mistique {
+
+Conv2dLayer::Conv2dLayer(std::string name, int in_channels, int out_channels,
+                         int kernel, uint64_t seed, bool relu)
+    : Layer(std::move(name)),
+      in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      pad_(kernel / 2),
+      relu_(relu),
+      weights_(static_cast<size_t>(out_channels) * in_channels * kernel *
+               kernel),
+      bias_(static_cast<size_t>(out_channels), 0.0f) {
+  // He-normal init: std = sqrt(2 / fan_in).
+  Rng rng(seed);
+  const double stddev =
+      std::sqrt(2.0 / (static_cast<double>(in_channels) * kernel * kernel));
+  for (float& w : weights_) {
+    w = static_cast<float>(rng.Gaussian() * stddev);
+  }
+}
+
+Result<Tensor> Conv2dLayer::Forward(const Tensor& input) const {
+  if (input.c != in_channels_) {
+    return Status::InvalidArgument(
+        name() + ": expected " + std::to_string(in_channels_) +
+        " input channels, got " + std::to_string(input.c));
+  }
+  Tensor out(input.n, out_channels_, input.h, input.w);
+  const int kh = kernel_, kw = kernel_;
+  const int h = input.h, w = input.w;
+  const size_t plane = static_cast<size_t>(h) * w;
+  for (int ni = 0; ni < input.n; ++ni) {
+    float* out_base = out.Example(ni);
+    const float* in_base = input.Example(ni);
+    for (int oc = 0; oc < out_channels_; ++oc) {
+      float* oplane = out_base + static_cast<size_t>(oc) * plane;
+      std::fill(oplane, oplane + plane, bias_[static_cast<size_t>(oc)]);
+    }
+    // Plane-accumulation order: the inner loop is a contiguous
+    // multiply-add over a row, which the compiler vectorizes.
+    for (int ic = 0; ic < in_channels_; ++ic) {
+      const float* iplane = in_base + static_cast<size_t>(ic) * plane;
+      for (int oc = 0; oc < out_channels_; ++oc) {
+        float* oplane = out_base + static_cast<size_t>(oc) * plane;
+        const float* wk =
+            &weights_[(static_cast<size_t>(oc) * in_channels_ + ic) * kh *
+                      kw];
+        for (int dy = 0; dy < kh; ++dy) {
+          for (int dx = 0; dx < kw; ++dx) {
+            const float wv = wk[dy * kw + dx];
+            if (wv == 0.0f) continue;
+            const int oy_lo = std::max(0, pad_ - dy);
+            const int oy_hi = std::min(h, h + pad_ - dy);
+            const int ox_lo = std::max(0, pad_ - dx);
+            const int ox_hi = std::min(w, w + pad_ - dx);
+            for (int y = oy_lo; y < oy_hi; ++y) {
+              const float* irow =
+                  iplane + static_cast<size_t>(y + dy - pad_) * w +
+                  (ox_lo + dx - pad_);
+              float* orow = oplane + static_cast<size_t>(y) * w + ox_lo;
+              const int span = ox_hi - ox_lo;
+              for (int x = 0; x < span; ++x) orow[x] += wv * irow[x];
+            }
+          }
+        }
+      }
+    }
+    if (relu_) {
+      float* planes = out_base;
+      const size_t total = static_cast<size_t>(out_channels_) * plane;
+      for (size_t i = 0; i < total; ++i) planes[i] = std::max(planes[i], 0.0f);
+    }
+  }
+  return out;
+}
+
+void Conv2dLayer::SaveWeights(ByteWriter* w) const {
+  w->PutU64(weights_.size());
+  w->PutRaw(weights_.data(), weights_.size() * sizeof(float));
+  w->PutU64(bias_.size());
+  w->PutRaw(bias_.data(), bias_.size() * sizeof(float));
+}
+
+Status Conv2dLayer::LoadWeights(ByteReader* r) {
+  uint64_t n = 0;
+  MISTIQUE_RETURN_NOT_OK(r->GetU64(&n));
+  if (n != weights_.size()) {
+    return Status::Corruption(name() + ": weight count mismatch");
+  }
+  MISTIQUE_RETURN_NOT_OK(r->GetRaw(weights_.data(), n * sizeof(float)));
+  MISTIQUE_RETURN_NOT_OK(r->GetU64(&n));
+  if (n != bias_.size()) {
+    return Status::Corruption(name() + ": bias count mismatch");
+  }
+  return r->GetRaw(bias_.data(), n * sizeof(float));
+}
+
+void Conv2dLayer::Perturb(Rng* rng, double magnitude) {
+  for (float& w : weights_) {
+    w += static_cast<float>(rng->Gaussian() * magnitude);
+  }
+  for (float& b : bias_) {
+    b += static_cast<float>(rng->Gaussian() * magnitude * 0.1);
+  }
+}
+
+Result<Tensor> ReluLayer::Forward(const Tensor& input) const {
+  Tensor out = input;
+  for (float& v : out.data) v = std::max(v, 0.0f);
+  return out;
+}
+
+Result<Tensor> MaxPoolLayer::Forward(const Tensor& input) const {
+  if (input.h < 2 || input.w < 2) {
+    return Status::InvalidArgument(name() + ": input too small to pool");
+  }
+  Tensor out(input.n, input.c, input.h / 2, input.w / 2);
+  for (int ni = 0; ni < input.n; ++ni) {
+    for (int ci = 0; ci < input.c; ++ci) {
+      for (int y = 0; y < out.h; ++y) {
+        for (int x = 0; x < out.w; ++x) {
+          const float a = input.at(ni, ci, 2 * y, 2 * x);
+          const float b = input.at(ni, ci, 2 * y, 2 * x + 1);
+          const float c = input.at(ni, ci, 2 * y + 1, 2 * x);
+          const float d = input.at(ni, ci, 2 * y + 1, 2 * x + 1);
+          out.at(ni, ci, y, x) = std::max(std::max(a, b), std::max(c, d));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<Tensor> FlattenLayer::Forward(const Tensor& input) const {
+  Tensor out = input;
+  out.c = input.c * input.h * input.w;
+  out.h = 1;
+  out.w = 1;
+  return out;
+}
+
+DenseLayer::DenseLayer(std::string name, int in_features, int out_features,
+                       uint64_t seed, bool relu)
+    : Layer(std::move(name)),
+      in_features_(in_features),
+      out_features_(out_features),
+      relu_(relu),
+      weights_(static_cast<size_t>(in_features) * out_features),
+      bias_(static_cast<size_t>(out_features), 0.0f) {
+  Rng rng(seed);
+  const double stddev = std::sqrt(2.0 / static_cast<double>(in_features));
+  for (float& w : weights_) {
+    w = static_cast<float>(rng.Gaussian() * stddev);
+  }
+}
+
+Result<Tensor> DenseLayer::Forward(const Tensor& input) const {
+  if (static_cast<int>(input.PerExample()) != in_features_) {
+    return Status::InvalidArgument(
+        name() + ": expected " + std::to_string(in_features_) +
+        " features, got " + std::to_string(input.PerExample()));
+  }
+  Tensor out(input.n, out_features_, 1, 1);
+  for (int ni = 0; ni < input.n; ++ni) {
+    const float* in = input.Example(ni);
+    float* o = out.Example(ni);
+    for (int f = 0; f < out_features_; ++f) o[f] = bias_[static_cast<size_t>(f)];
+    for (int i = 0; i < in_features_; ++i) {
+      const float v = in[i];
+      if (v == 0.0f) continue;
+      const float* wrow = &weights_[static_cast<size_t>(i) * out_features_];
+      for (int f = 0; f < out_features_; ++f) o[f] += v * wrow[f];
+    }
+    if (relu_) {
+      for (int f = 0; f < out_features_; ++f) o[f] = std::max(o[f], 0.0f);
+    }
+  }
+  return out;
+}
+
+void DenseLayer::SaveWeights(ByteWriter* w) const {
+  w->PutU64(weights_.size());
+  w->PutRaw(weights_.data(), weights_.size() * sizeof(float));
+  w->PutU64(bias_.size());
+  w->PutRaw(bias_.data(), bias_.size() * sizeof(float));
+}
+
+Status DenseLayer::LoadWeights(ByteReader* r) {
+  uint64_t n = 0;
+  MISTIQUE_RETURN_NOT_OK(r->GetU64(&n));
+  if (n != weights_.size()) {
+    return Status::Corruption(name() + ": weight count mismatch");
+  }
+  MISTIQUE_RETURN_NOT_OK(r->GetRaw(weights_.data(), n * sizeof(float)));
+  MISTIQUE_RETURN_NOT_OK(r->GetU64(&n));
+  if (n != bias_.size()) {
+    return Status::Corruption(name() + ": bias count mismatch");
+  }
+  return r->GetRaw(bias_.data(), n * sizeof(float));
+}
+
+void DenseLayer::Perturb(Rng* rng, double magnitude) {
+  for (float& w : weights_) {
+    w += static_cast<float>(rng->Gaussian() * magnitude);
+  }
+  for (float& b : bias_) {
+    b += static_cast<float>(rng->Gaussian() * magnitude * 0.1);
+  }
+}
+
+Result<Tensor> SoftmaxLayer::Forward(const Tensor& input) const {
+  Tensor out = input;
+  const size_t per = input.PerExample();
+  for (int ni = 0; ni < input.n; ++ni) {
+    float* row = out.Example(ni);
+    float mx = row[0];
+    for (size_t i = 1; i < per; ++i) mx = std::max(mx, row[i]);
+    float sum = 0;
+    for (size_t i = 0; i < per; ++i) {
+      row[i] = std::exp(row[i] - mx);
+      sum += row[i];
+    }
+    const float inv = sum > 0 ? 1.0f / sum : 0.0f;
+    for (size_t i = 0; i < per; ++i) row[i] *= inv;
+  }
+  return out;
+}
+
+}  // namespace mistique

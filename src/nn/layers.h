@@ -1,0 +1,160 @@
+#ifndef MISTIQUE_NN_LAYERS_H_
+#define MISTIQUE_NN_LAYERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "nn/tensor.h"
+
+namespace mistique {
+
+/// A forward-only network layer. MISTIQUE only needs inference (activations
+/// per layer); training dynamics are simulated through checkpointed weight
+/// sets (see Network::PerturbTrainable).
+class Layer {
+ public:
+  explicit Layer(std::string name) : name_(std::move(name)) {}
+  virtual ~Layer() = default;
+
+  const std::string& name() const { return name_; }
+
+  /// Computes the layer output for a batch.
+  virtual Result<Tensor> Forward(const Tensor& input) const = 0;
+
+  /// Output shape (c,h,w) for a given input shape.
+  virtual void OutShape(int in_c, int in_h, int in_w, int* out_c, int* out_h,
+                        int* out_w) const = 0;
+
+  /// True when the layer has weights that training would update.
+  virtual bool HasWeights() const { return false; }
+  /// Serializes weights (no-op when !HasWeights()).
+  virtual void SaveWeights(ByteWriter* w) const { (void)w; }
+  virtual Status LoadWeights(ByteReader* r) { (void)r; return Status::OK(); }
+  /// Adds deterministic noise to weights (simulated training step).
+  virtual void Perturb(Rng* rng, double magnitude) {
+    (void)rng;
+    (void)magnitude;
+  }
+
+ private:
+  std::string name_;
+};
+
+/// 3×3 (or k×k) convolution, stride 1, zero "same" padding, He-initialized.
+/// `relu` fuses the activation so conv+ReLU count as one layer, matching
+/// the paper's 21-layer VGG16 indexing.
+class Conv2dLayer : public Layer {
+ public:
+  Conv2dLayer(std::string name, int in_channels, int out_channels,
+              int kernel = 3, uint64_t seed = 1, bool relu = true);
+
+  Result<Tensor> Forward(const Tensor& input) const override;
+  void OutShape(int in_c, int in_h, int in_w, int* out_c, int* out_h,
+                int* out_w) const override {
+    (void)in_c;
+    *out_c = out_channels_;
+    *out_h = in_h;
+    *out_w = in_w;
+  }
+  bool HasWeights() const override { return true; }
+  void SaveWeights(ByteWriter* w) const override;
+  Status LoadWeights(ByteReader* r) override;
+  void Perturb(Rng* rng, double magnitude) override;
+
+  int out_channels() const { return out_channels_; }
+
+ private:
+  int in_channels_, out_channels_, kernel_, pad_;
+  bool relu_;
+  std::vector<float> weights_;  // [out_c][in_c][k][k]
+  std::vector<float> bias_;
+};
+
+/// Elementwise max(0, x).
+class ReluLayer : public Layer {
+ public:
+  explicit ReluLayer(std::string name) : Layer(std::move(name)) {}
+  Result<Tensor> Forward(const Tensor& input) const override;
+  void OutShape(int in_c, int in_h, int in_w, int* out_c, int* out_h,
+                int* out_w) const override {
+    *out_c = in_c;
+    *out_h = in_h;
+    *out_w = in_w;
+  }
+};
+
+/// 2×2 max pooling, stride 2.
+class MaxPoolLayer : public Layer {
+ public:
+  explicit MaxPoolLayer(std::string name) : Layer(std::move(name)) {}
+  Result<Tensor> Forward(const Tensor& input) const override;
+  void OutShape(int in_c, int in_h, int in_w, int* out_c, int* out_h,
+                int* out_w) const override {
+    *out_c = in_c;
+    *out_h = in_h / 2;
+    *out_w = in_w / 2;
+  }
+};
+
+/// Collapses (c,h,w) into a flat feature vector.
+class FlattenLayer : public Layer {
+ public:
+  explicit FlattenLayer(std::string name) : Layer(std::move(name)) {}
+  Result<Tensor> Forward(const Tensor& input) const override;
+  void OutShape(int in_c, int in_h, int in_w, int* out_c, int* out_h,
+                int* out_w) const override {
+    *out_c = in_c * in_h * in_w;
+    *out_h = 1;
+    *out_w = 1;
+  }
+};
+
+/// Fully connected layer; `relu` fuses the activation (hidden FC layers),
+/// false leaves a linear output (logit layers).
+class DenseLayer : public Layer {
+ public:
+  DenseLayer(std::string name, int in_features, int out_features,
+             uint64_t seed = 1, bool relu = false);
+
+  Result<Tensor> Forward(const Tensor& input) const override;
+  void OutShape(int in_c, int in_h, int in_w, int* out_c, int* out_h,
+                int* out_w) const override {
+    (void)in_c;
+    (void)in_h;
+    (void)in_w;
+    *out_c = out_features_;
+    *out_h = 1;
+    *out_w = 1;
+  }
+  bool HasWeights() const override { return true; }
+  void SaveWeights(ByteWriter* w) const override;
+  Status LoadWeights(ByteReader* r) override;
+  void Perturb(Rng* rng, double magnitude) override;
+
+ private:
+  int in_features_, out_features_;
+  bool relu_;
+  std::vector<float> weights_;  // [out][in]
+  std::vector<float> bias_;
+};
+
+/// Row-wise softmax over the feature dimension.
+class SoftmaxLayer : public Layer {
+ public:
+  explicit SoftmaxLayer(std::string name) : Layer(std::move(name)) {}
+  Result<Tensor> Forward(const Tensor& input) const override;
+  void OutShape(int in_c, int in_h, int in_w, int* out_c, int* out_h,
+                int* out_w) const override {
+    *out_c = in_c;
+    *out_h = in_h;
+    *out_w = in_w;
+  }
+};
+
+}  // namespace mistique
+
+#endif  // MISTIQUE_NN_LAYERS_H_

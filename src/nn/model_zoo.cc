@@ -1,0 +1,79 @@
+#include "nn/model_zoo.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mistique {
+
+namespace {
+
+int Scaled(int base, double scale) {
+  return std::max(2, static_cast<int>(std::lround(base * scale)));
+}
+
+}  // namespace
+
+std::unique_ptr<Network> BuildVgg16Cifar(const DnnScaleConfig& config) {
+  auto net = std::make_unique<Network>("CIFAR10_VGG16");
+  const double s = config.vgg_scale;
+  uint64_t seed = config.seed;
+
+  // Block structure of VGG16: (convs per block, base width).
+  const struct {
+    int convs;
+    int width;
+  } blocks[5] = {{2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512}};
+
+  int in_c = 3;
+  for (int b = 0; b < 5; ++b) {
+    const int width = Scaled(blocks[b].width, s);
+    for (int k = 0; k < blocks[b].convs; ++k) {
+      const std::string name =
+          "conv" + std::to_string(b + 1) + "_" + std::to_string(k + 1);
+      // Trunk conv layers are frozen: fine-tuning only trains the FC head,
+      // so their activations are identical across training checkpoints.
+      net->AddLayer(std::make_unique<Conv2dLayer>(name, in_c, width, 3,
+                                                  seed++),
+                    /*frozen=*/true);
+      in_c = width;
+    }
+    net->AddLayer(std::make_unique<MaxPoolLayer>("pool" + std::to_string(b + 1)),
+                  /*frozen=*/true);
+  }
+
+  // 32x32 input halves five times -> 1x1 spatial; FC head sees in_c feats.
+  const int fc1_width = Scaled(256, s * 2);  // Paper: "two smaller FC layers".
+  net->AddLayer(std::make_unique<DenseLayer>("fc1", in_c, fc1_width, seed++,
+                                             /*relu=*/true));
+  net->AddLayer(
+      std::make_unique<DenseLayer>("fc2", fc1_width, 10, seed++,
+                                   /*relu=*/false));
+  net->AddLayer(std::make_unique<SoftmaxLayer>("softmax"));
+  return net;
+}
+
+std::unique_ptr<Network> BuildCifarCnn(const DnnScaleConfig& config) {
+  auto net = std::make_unique<Network>("CIFAR10_CNN");
+  const double s = config.cnn_scale;
+  uint64_t seed = config.seed + 1000;
+
+  const int w32 = Scaled(32, s);
+  const int w64 = Scaled(64, s);
+  const int dense = Scaled(512, s);
+
+  net->AddLayer(std::make_unique<Conv2dLayer>("conv1", 3, w32, 3, seed++));
+  net->AddLayer(std::make_unique<Conv2dLayer>("conv2", w32, w32, 3, seed++));
+  net->AddLayer(std::make_unique<MaxPoolLayer>("pool1"));
+  net->AddLayer(std::make_unique<Conv2dLayer>("conv3", w32, w64, 3, seed++));
+  net->AddLayer(std::make_unique<Conv2dLayer>("conv4", w64, w64, 3, seed++));
+  net->AddLayer(std::make_unique<MaxPoolLayer>("pool2"));
+  // 32x32 -> 8x8 after two pools.
+  net->AddLayer(std::make_unique<DenseLayer>("fc1", w64 * 8 * 8, dense,
+                                             seed++, /*relu=*/true));
+  net->AddLayer(std::make_unique<DenseLayer>("fc2", dense, 10, seed++,
+                                             /*relu=*/false));
+  net->AddLayer(std::make_unique<SoftmaxLayer>("softmax"));
+  return net;
+}
+
+}  // namespace mistique

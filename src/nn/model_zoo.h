@@ -1,0 +1,35 @@
+#ifndef MISTIQUE_NN_MODEL_ZOO_H_
+#define MISTIQUE_NN_MODEL_ZOO_H_
+
+#include <memory>
+#include <string>
+
+#include "nn/network.h"
+
+namespace mistique {
+
+/// Channel scale for the VGG16-shaped model: base VGG16 widths (64..512)
+/// are multiplied by `scale`. The paper ran the full network on GPUs; on
+/// CPU we default to scale = 1/8, which preserves the layer-size profile
+/// (early layers huge, late layers small) that drives every read-vs-rerun
+/// trade-off.
+struct DnnScaleConfig {
+  double vgg_scale = 0.125;
+  double cnn_scale = 0.5;
+  uint64_t seed = 99;
+};
+
+/// Builds CIFAR10_VGG16: the 13-conv-layer VGG16 trunk (frozen — the paper
+/// fine-tunes with these weights fixed) + 2 trainable FC layers + softmax.
+/// Layer indexing: conv/pool stack = layers 1..18, flatten = 19 (fused into
+/// fc input), fc1 = 19, fc2 = 20, softmax = 21; "Layer21" is the softmax
+/// output and "Layer11" sits mid-trunk, as in Fig. 5.
+std::unique_ptr<Network> BuildVgg16Cifar(const DnnScaleConfig& config = {});
+
+/// Builds CIFAR10_CNN (the well-known Keras example: 4 conv + 2 dense),
+/// fully trainable.
+std::unique_ptr<Network> BuildCifarCnn(const DnnScaleConfig& config = {});
+
+}  // namespace mistique
+
+#endif  // MISTIQUE_NN_MODEL_ZOO_H_

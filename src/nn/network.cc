@@ -1,0 +1,138 @@
+#include "nn/network.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+namespace mistique {
+
+namespace {
+constexpr uint32_t kCheckpointMagic = 0x4d51434bu;  // "MQCK"
+}  // namespace
+
+void Network::AddLayer(std::unique_ptr<Layer> layer, bool frozen) {
+  layers_.push_back(std::move(layer));
+  frozen_.push_back(frozen);
+}
+
+Result<Tensor> Network::Forward(const Tensor& input, int up_to_layer,
+                                const ActivationObserver& observer) const {
+  const size_t last = up_to_layer <= 0
+                          ? layers_.size()
+                          : std::min(layers_.size(),
+                                     static_cast<size_t>(up_to_layer));
+  Tensor current = input;
+  for (size_t i = 0; i < last; ++i) {
+    MISTIQUE_ASSIGN_OR_RETURN(Tensor next, layers_[i]->Forward(current));
+    current = std::move(next);
+    if (observer) {
+      MISTIQUE_RETURN_NOT_OK(observer(static_cast<int>(i) + 1,
+                                      layers_[i]->name(), current));
+    }
+  }
+  return current;
+}
+
+Result<Tensor> Network::ForwardBatched(const Tensor& input, int batch_size,
+                                       int up_to_layer,
+                                       const ActivationObserver& observer) const {
+  if (batch_size <= 0) batch_size = input.n;
+  Tensor out;
+  bool first = true;
+  for (int start = 0; start < input.n; start += batch_size) {
+    const int bn = std::min(batch_size, input.n - start);
+    Tensor batch(bn, input.c, input.h, input.w);
+    std::memcpy(batch.data.data(), input.Example(start),
+                batch.data.size() * sizeof(float));
+    MISTIQUE_ASSIGN_OR_RETURN(Tensor result,
+                              Forward(batch, up_to_layer, observer));
+    if (first) {
+      out = Tensor(input.n, result.c, result.h, result.w);
+      first = false;
+    }
+    std::memcpy(out.Example(start), result.data.data(),
+                result.data.size() * sizeof(float));
+  }
+  return out;
+}
+
+void Network::PerturbTrainable(uint64_t seed, double magnitude) {
+  Rng rng(seed);
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    if (frozen_[i] || !layers_[i]->HasWeights()) continue;
+    layers_[i]->Perturb(&rng, magnitude);
+  }
+}
+
+Status Network::SaveCheckpoint(const std::string& path) const {
+  ByteWriter w;
+  w.PutU32(kCheckpointMagic);
+  w.PutString(name_);
+  w.PutU32(static_cast<uint32_t>(layers_.size()));
+  for (const auto& layer : layers_) {
+    w.PutString(layer->name());
+    layer->SaveWeights(&w);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path + " for write");
+  out.write(reinterpret_cast<const char*>(w.bytes().data()),
+            static_cast<std::streamsize>(w.size()));
+  out.flush();
+  if (!out) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+Status Network::LoadCheckpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IoError("cannot open " + path);
+  const auto size = static_cast<size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<uint8_t> bytes(size);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(size));
+  if (static_cast<size_t>(in.gcount()) != size) {
+    return Status::IoError("short read from " + path);
+  }
+
+  ByteReader r(bytes);
+  uint32_t magic = 0;
+  MISTIQUE_RETURN_NOT_OK(r.GetU32(&magic));
+  if (magic != kCheckpointMagic) {
+    return Status::Corruption("bad checkpoint magic in " + path);
+  }
+  std::string saved_name;
+  MISTIQUE_RETURN_NOT_OK(r.GetString(&saved_name));
+  uint32_t count = 0;
+  MISTIQUE_RETURN_NOT_OK(r.GetU32(&count));
+  if (count != layers_.size()) {
+    return Status::Corruption("checkpoint layer count mismatch");
+  }
+  for (auto& layer : layers_) {
+    std::string lname;
+    MISTIQUE_RETURN_NOT_OK(r.GetString(&lname));
+    if (lname != layer->name()) {
+      return Status::Corruption("checkpoint layer name mismatch: " + lname +
+                                " vs " + layer->name());
+    }
+    MISTIQUE_RETURN_NOT_OK(layer->LoadWeights(&r));
+  }
+  return Status::OK();
+}
+
+std::vector<Network::Shape> Network::LayerShapes(int in_c, int in_h,
+                                                 int in_w) const {
+  std::vector<Shape> shapes(layers_.size() + 1);
+  shapes[0] = Shape{in_c, in_h, in_w};
+  int c = in_c, h = in_h, w = in_w;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    int oc = 0, oh = 0, ow = 0;
+    layers_[i]->OutShape(c, h, w, &oc, &oh, &ow);
+    shapes[i + 1] = Shape{oc, oh, ow};
+    c = oc;
+    h = oh;
+    w = ow;
+  }
+  return shapes;
+}
+
+}  // namespace mistique

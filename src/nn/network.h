@@ -1,0 +1,76 @@
+#ifndef MISTIQUE_NN_NETWORK_H_
+#define MISTIQUE_NN_NETWORK_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/layers.h"
+
+namespace mistique {
+
+/// A forward-only sequential network with per-layer activation capture —
+/// the DNN side of MISTIQUE's PipelineExecutor.
+///
+/// Layers are indexed from 1 ("Layer1" is the first layer's output),
+/// matching the paper's Layer1 / Layer11 / Layer21 references for VGG16.
+class Network {
+ public:
+  explicit Network(std::string name) : name_(std::move(name)) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  const std::string& name() const { return name_; }
+  size_t num_layers() const { return layers_.size(); }
+  const Layer& layer(size_t i) const { return *layers_[i]; }
+
+  /// Appends a layer. `frozen` marks weights that fine-tuning does not
+  /// update (the 13 pretrained VGG16 conv layers in the paper's setup).
+  void AddLayer(std::unique_ptr<Layer> layer, bool frozen = false);
+
+  /// Observer called after each layer with (1-based layer index, layer
+  /// name, activations for this batch).
+  using ActivationObserver =
+      std::function<Status(int, const std::string&, const Tensor&)>;
+
+  /// Runs `input` forward through layers [1, up_to_layer] (all layers when
+  /// up_to_layer <= 0), invoking `observer` (may be null) per layer, and
+  /// returns the final tensor.
+  Result<Tensor> Forward(const Tensor& input, int up_to_layer = 0,
+                         const ActivationObserver& observer = nullptr) const;
+
+  /// Splits input into batches of `batch_size` and forwards each; returns
+  /// the concatenated output of the last requested layer.
+  Result<Tensor> ForwardBatched(const Tensor& input, int batch_size,
+                                int up_to_layer = 0,
+                                const ActivationObserver& observer =
+                                    nullptr) const;
+
+  /// Simulates one training checkpoint: perturbs every non-frozen layer's
+  /// weights deterministically. `magnitude` decays as training converges.
+  void PerturbTrainable(uint64_t seed, double magnitude);
+
+  /// Serializes all layer weights to a checkpoint file / restores them.
+  /// The layer topology must already match.
+  Status SaveCheckpoint(const std::string& path) const;
+  Status LoadCheckpoint(const std::string& path);
+
+  /// Output shape of each layer for a given input shape, 1-based index 0
+  /// unused. Useful for sizing intermediates without running data.
+  struct Shape {
+    int c = 0, h = 0, w = 0;
+    size_t PerExample() const { return static_cast<size_t>(c) * h * w; }
+  };
+  std::vector<Shape> LayerShapes(int in_c, int in_h, int in_w) const;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Layer>> layers_;
+  std::vector<bool> frozen_;
+};
+
+}  // namespace mistique
+
+#endif  // MISTIQUE_NN_NETWORK_H_

@@ -1,0 +1,143 @@
+#include "nn/rnn.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace mistique {
+
+RnnLayer::RnnLayer(std::string name, int in_features, int hidden_units,
+                   uint64_t seed)
+    : Layer(std::move(name)),
+      in_features_(in_features),
+      hidden_units_(hidden_units),
+      w_input_(static_cast<size_t>(hidden_units) * in_features),
+      w_hidden_(static_cast<size_t>(hidden_units) * hidden_units),
+      bias_(static_cast<size_t>(hidden_units), 0.0f) {
+  Rng rng(seed);
+  const double in_std = std::sqrt(1.0 / in_features);
+  for (float& w : w_input_) {
+    w = static_cast<float>(rng.Gaussian() * in_std);
+  }
+  // Orthogonal-ish small recurrent init keeps the state bounded.
+  const double hid_std = std::sqrt(0.5 / hidden_units);
+  for (float& w : w_hidden_) {
+    w = static_cast<float>(rng.Gaussian() * hid_std);
+  }
+}
+
+Result<Tensor> RnnLayer::Forward(const Tensor& input) const {
+  if (input.c != in_features_ || input.w != 1) {
+    return Status::InvalidArgument(
+        name() + ": expected sequence tensor [n, " +
+        std::to_string(in_features_) + ", T, 1], got [n, " +
+        std::to_string(input.c) + ", " + std::to_string(input.h) + ", " +
+        std::to_string(input.w) + "]");
+  }
+  const int timesteps = input.h;
+  Tensor out(input.n, hidden_units_, timesteps, 1);
+  std::vector<float> state(static_cast<size_t>(hidden_units_));
+  std::vector<float> next(static_cast<size_t>(hidden_units_));
+  for (int ni = 0; ni < input.n; ++ni) {
+    std::fill(state.begin(), state.end(), 0.0f);
+    for (int t = 0; t < timesteps; ++t) {
+      for (int u = 0; u < hidden_units_; ++u) {
+        float acc = bias_[static_cast<size_t>(u)];
+        const float* wx = &w_input_[static_cast<size_t>(u) * in_features_];
+        for (int f = 0; f < in_features_; ++f) {
+          acc += wx[f] * input.at(ni, f, t, 0);
+        }
+        const float* wh = &w_hidden_[static_cast<size_t>(u) * hidden_units_];
+        for (int p = 0; p < hidden_units_; ++p) {
+          acc += wh[p] * state[static_cast<size_t>(p)];
+        }
+        next[static_cast<size_t>(u)] = std::tanh(acc);
+      }
+      std::swap(state, next);
+      for (int u = 0; u < hidden_units_; ++u) {
+        out.at(ni, u, t, 0) = state[static_cast<size_t>(u)];
+      }
+    }
+  }
+  return out;
+}
+
+void RnnLayer::SaveWeights(ByteWriter* w) const {
+  w->PutU64(w_input_.size());
+  w->PutRaw(w_input_.data(), w_input_.size() * sizeof(float));
+  w->PutU64(w_hidden_.size());
+  w->PutRaw(w_hidden_.data(), w_hidden_.size() * sizeof(float));
+  w->PutU64(bias_.size());
+  w->PutRaw(bias_.data(), bias_.size() * sizeof(float));
+}
+
+Status RnnLayer::LoadWeights(ByteReader* r) {
+  for (std::vector<float>* weights : {&w_input_, &w_hidden_, &bias_}) {
+    uint64_t n = 0;
+    MISTIQUE_RETURN_NOT_OK(r->GetU64(&n));
+    if (n != weights->size()) {
+      return Status::Corruption(name() + ": weight count mismatch");
+    }
+    MISTIQUE_RETURN_NOT_OK(r->GetRaw(weights->data(), n * sizeof(float)));
+  }
+  return Status::OK();
+}
+
+void RnnLayer::Perturb(Rng* rng, double magnitude) {
+  for (std::vector<float>* weights : {&w_input_, &w_hidden_, &bias_}) {
+    for (float& w : *weights) {
+      w += static_cast<float>(rng->Gaussian() * magnitude);
+    }
+  }
+}
+
+Result<Tensor> LastStepLayer::Forward(const Tensor& input) const {
+  if (input.w != 1 || input.h < 1) {
+    return Status::InvalidArgument(name() + ": expected sequence tensor");
+  }
+  Tensor out(input.n, input.c, 1, 1);
+  for (int ni = 0; ni < input.n; ++ni) {
+    for (int c = 0; c < input.c; ++c) {
+      out.at(ni, c, 0, 0) = input.at(ni, c, input.h - 1, 0);
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<Network> BuildSequenceRnn(int features, int timesteps,
+                                          int hidden, int classes,
+                                          uint64_t seed) {
+  (void)timesteps;  // The layers are length-agnostic.
+  auto net = std::make_unique<Network>("SEQ_RNN");
+  net->AddLayer(std::make_unique<RnnLayer>("rnn1", features, hidden, seed));
+  net->AddLayer(std::make_unique<RnnLayer>("rnn2", hidden, hidden, seed + 1));
+  net->AddLayer(std::make_unique<LastStepLayer>("last_step"));
+  net->AddLayer(std::make_unique<DenseLayer>("fc", hidden, classes, seed + 2,
+                                             /*relu=*/false));
+  net->AddLayer(std::make_unique<SoftmaxLayer>("softmax"));
+  return net;
+}
+
+SequenceData GenerateSequences(int num_examples, int features, int timesteps,
+                               int num_classes, uint64_t seed) {
+  SequenceData out;
+  out.sequences = Tensor(num_examples, features, timesteps, 1);
+  out.labels.resize(static_cast<size_t>(num_examples));
+  Rng rng(seed);
+  for (int i = 0; i < num_examples; ++i) {
+    const int label =
+        static_cast<int>(rng.NextBelow(static_cast<uint64_t>(num_classes)));
+    out.labels[static_cast<size_t>(i)] = label;
+    const double freq = 0.4 + 0.5 * label;
+    const double phase = rng.Uniform(0, 1.0);
+    for (int t = 0; t < timesteps; ++t) {
+      for (int f = 0; f < features; ++f) {
+        const double v = std::sin(freq * t + phase + 0.7 * f) +
+                         0.15 * rng.Gaussian();
+        out.sequences.at(i, f, t, 0) = static_cast<float>(v);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mistique

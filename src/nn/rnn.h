@@ -1,0 +1,86 @@
+#ifndef MISTIQUE_NN_RNN_H_
+#define MISTIQUE_NN_RNN_H_
+
+#include <memory>
+
+#include "nn/layers.h"
+#include "nn/network.h"
+
+namespace mistique {
+
+/// Elman recurrent layer — the paper's §10 "extending our work to other
+/// types of models, e.g., recurrent neural networks" direction.
+///
+/// Input layout: a sequence lives in a Tensor as c = features per step,
+/// h = timesteps, w = 1. The layer emits the hidden state at every
+/// timestep (c = hidden units, h = timesteps), so MISTIQUE logs per-step
+/// hidden representations exactly like spatial activation maps — and the
+/// POINTQ/TOPK/VIS queries work per (unit, timestep) column unchanged.
+///
+///   h_t = tanh(W_x · x_t + W_h · h_{t-1} + b)
+class RnnLayer : public Layer {
+ public:
+  RnnLayer(std::string name, int in_features, int hidden_units,
+           uint64_t seed = 1);
+
+  Result<Tensor> Forward(const Tensor& input) const override;
+  void OutShape(int in_c, int in_h, int in_w, int* out_c, int* out_h,
+                int* out_w) const override {
+    (void)in_c;
+    (void)in_w;
+    *out_c = hidden_units_;
+    *out_h = in_h;  // One hidden state per timestep.
+    *out_w = 1;
+  }
+  bool HasWeights() const override { return true; }
+  void SaveWeights(ByteWriter* w) const override;
+  Status LoadWeights(ByteReader* r) override;
+  void Perturb(Rng* rng, double magnitude) override;
+
+  int hidden_units() const { return hidden_units_; }
+
+ private:
+  int in_features_, hidden_units_;
+  std::vector<float> w_input_;   // [hidden][in]
+  std::vector<float> w_hidden_;  // [hidden][hidden]
+  std::vector<float> bias_;
+};
+
+/// Takes the last timestep of a sequence tensor (c features × h steps)
+/// as a flat feature vector — the usual bridge from an RNN stack to a
+/// classification head.
+class LastStepLayer : public Layer {
+ public:
+  explicit LastStepLayer(std::string name) : Layer(std::move(name)) {}
+  Result<Tensor> Forward(const Tensor& input) const override;
+  void OutShape(int in_c, int in_h, int in_w, int* out_c, int* out_h,
+                int* out_w) const override {
+    (void)in_h;
+    (void)in_w;
+    *out_c = in_c;
+    *out_h = 1;
+    *out_w = 1;
+  }
+};
+
+/// A small sequence classifier: two stacked RNN layers + classification
+/// head, for `timesteps` steps of `features`-dimensional input.
+std::unique_ptr<Network> BuildSequenceRnn(int features = 8,
+                                          int timesteps = 16,
+                                          int hidden = 32, int classes = 4,
+                                          uint64_t seed = 77);
+
+/// Deterministic synthetic sequences with class structure: each class is a
+/// distinct frequency/phase pattern plus noise. Returns a Tensor shaped
+/// [n, features, timesteps, 1] and per-example labels.
+struct SequenceData {
+  Tensor sequences;
+  std::vector<int> labels;
+};
+SequenceData GenerateSequences(int num_examples, int features = 8,
+                               int timesteps = 16, int num_classes = 4,
+                               uint64_t seed = 21);
+
+}  // namespace mistique
+
+#endif  // MISTIQUE_NN_RNN_H_

@@ -1,0 +1,40 @@
+#ifndef MISTIQUE_NN_TENSOR_H_
+#define MISTIQUE_NN_TENSOR_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace mistique {
+
+/// A batch of activations in NCHW layout. Fully-connected layers use
+/// h = w = 1 and c = feature count. float32 matches the DNN substrate the
+/// paper logs from (TensorFlow single precision).
+struct Tensor {
+  int n = 0;  ///< batch size
+  int c = 0;  ///< channels / features
+  int h = 1;
+  int w = 1;
+  std::vector<float> data;  ///< size n*c*h*w
+
+  Tensor() = default;
+  Tensor(int n_, int c_, int h_, int w_)
+      : n(n_), c(c_), h(h_), w(w_),
+        data(static_cast<size_t>(n_) * c_ * h_ * w_, 0.0f) {}
+
+  size_t PerExample() const { return static_cast<size_t>(c) * h * w; }
+  size_t size() const { return data.size(); }
+
+  float* Example(int i) { return data.data() + PerExample() * i; }
+  const float* Example(int i) const { return data.data() + PerExample() * i; }
+
+  float& at(int ni, int ci, int hi, int wi) {
+    return data[((static_cast<size_t>(ni) * c + ci) * h + hi) * w + wi];
+  }
+  float at(int ni, int ci, int hi, int wi) const {
+    return data[((static_cast<size_t>(ni) * c + ci) * h + hi) * w + wi];
+  }
+};
+
+}  // namespace mistique
+
+#endif  // MISTIQUE_NN_TENSOR_H_

@@ -1,0 +1,84 @@
+#include "pipeline/csv.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace mistique {
+
+Status WriteCsv(const DataFrame& frame, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path + " for write");
+  for (size_t c = 0; c < frame.num_cols(); ++c) {
+    if (c) out << ',';
+    out << frame.NameAt(c);
+  }
+  out << '\n';
+  char buf[64];
+  for (size_t r = 0; r < frame.num_rows(); ++r) {
+    std::string line;
+    for (size_t c = 0; c < frame.num_cols(); ++c) {
+      if (c) line += ',';
+      const double v = frame.at(r, c);
+      if (!std::isnan(v)) {
+        std::snprintf(buf, sizeof(buf), "%.10g", v);
+        line += buf;
+      }
+    }
+    line += '\n';
+    out << line;
+  }
+  out.flush();
+  if (!out) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+Result<DataFrame> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+
+  std::string header;
+  if (!std::getline(in, header)) {
+    return Status::Corruption("empty csv: " + path);
+  }
+  std::vector<std::string> names;
+  {
+    std::stringstream ss(header);
+    std::string field;
+    while (std::getline(ss, field, ',')) names.push_back(field);
+  }
+  if (names.empty()) return Status::Corruption("headerless csv: " + path);
+
+  std::vector<std::vector<double>> columns(names.size());
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::string line;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    line_no++;
+    size_t col = 0;
+    size_t start = 0;
+    while (col < names.size()) {
+      size_t end = line.find(',', start);
+      if (end == std::string::npos) end = line.size();
+      if (end == start) {
+        columns[col].push_back(nan);
+      } else {
+        columns[col].push_back(std::strtod(line.c_str() + start, nullptr));
+      }
+      col++;
+      start = end + 1;
+      if (end == line.size()) break;
+    }
+    while (col < names.size()) columns[col++].push_back(nan);
+  }
+
+  DataFrame out;
+  for (size_t c = 0; c < names.size(); ++c) {
+    MISTIQUE_RETURN_NOT_OK(out.AddColumn(names[c], std::move(columns[c])));
+  }
+  return out;
+}
+
+}  // namespace mistique

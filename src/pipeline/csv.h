@@ -1,0 +1,21 @@
+#ifndef MISTIQUE_PIPELINE_CSV_H_
+#define MISTIQUE_PIPELINE_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "pipeline/dataframe.h"
+
+namespace mistique {
+
+/// Writes a frame as a headered CSV file; NaN cells become empty fields.
+Status WriteCsv(const DataFrame& frame, const std::string& path);
+
+/// Parses a headered CSV of numeric fields (empty fields -> NaN).
+/// The real I/O + parse cost here is what makes ReadCSV stages take
+/// realistic time in the pipeline-overhead experiments.
+Result<DataFrame> ReadCsv(const std::string& path);
+
+}  // namespace mistique
+
+#endif  // MISTIQUE_PIPELINE_CSV_H_

@@ -1,0 +1,119 @@
+#include "pipeline/dataframe.h"
+
+#include <cstddef>
+#include <limits>
+
+namespace mistique {
+
+Status DataFrame::AddColumn(const std::string& name,
+                            std::vector<double> values) {
+  if (index_.count(name)) {
+    return Status::AlreadyExists("column already exists: " + name);
+  }
+  if (!names_.empty() && values.size() != num_rows_) {
+    return Status::InvalidArgument(
+        "column " + name + " has " + std::to_string(values.size()) +
+        " rows, frame has " + std::to_string(num_rows_));
+  }
+  if (names_.empty()) num_rows_ = values.size();
+  index_[name] = names_.size();
+  names_.push_back(name);
+  columns_.push_back(std::move(values));
+  return Status::OK();
+}
+
+Status DataFrame::SetColumn(const std::string& name,
+                            std::vector<double> values) {
+  auto it = index_.find(name);
+  if (it == index_.end()) return Status::NotFound("no column " + name);
+  if (values.size() != num_rows_) {
+    return Status::InvalidArgument("row count mismatch for " + name);
+  }
+  columns_[it->second] = std::move(values);
+  return Status::OK();
+}
+
+Result<const std::vector<double>*> DataFrame::Column(
+    const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return Status::NotFound("no column " + name);
+  return &columns_[it->second];
+}
+
+Result<std::vector<double>*> DataFrame::MutableColumn(
+    const std::string& name) {
+  auto it = index_.find(name);
+  if (it == index_.end()) return Status::NotFound("no column " + name);
+  return &columns_[it->second];
+}
+
+Status DataFrame::DropColumn(const std::string& name) {
+  auto it = index_.find(name);
+  if (it == index_.end()) return Status::NotFound("no column " + name);
+  const size_t pos = it->second;
+  names_.erase(names_.begin() + static_cast<ptrdiff_t>(pos));
+  columns_.erase(columns_.begin() + static_cast<ptrdiff_t>(pos));
+  index_.erase(it);
+  for (auto& [n, i] : index_) {
+    (void)n;
+    if (i > pos) i--;
+  }
+  if (names_.empty()) num_rows_ = 0;
+  return Status::OK();
+}
+
+Result<DataFrame> DataFrame::Select(
+    const std::vector<std::string>& keep) const {
+  DataFrame out;
+  for (const std::string& name : keep) {
+    MISTIQUE_ASSIGN_OR_RETURN(const std::vector<double>* col, Column(name));
+    MISTIQUE_RETURN_NOT_OK(out.AddColumn(name, *col));
+  }
+  return out;
+}
+
+DataFrame DataFrame::TakeRows(const std::vector<size_t>& rows) const {
+  DataFrame out;
+  for (size_t c = 0; c < names_.size(); ++c) {
+    std::vector<double> col(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) col[i] = columns_[c][rows[i]];
+    (void)out.AddColumn(names_[c], std::move(col));
+  }
+  return out;
+}
+
+Result<DataFrame> DataFrame::LeftJoin(const DataFrame& right,
+                                      const std::string& key) const {
+  MISTIQUE_ASSIGN_OR_RETURN(const std::vector<double>* left_key, Column(key));
+  MISTIQUE_ASSIGN_OR_RETURN(const std::vector<double>* right_key,
+                            right.Column(key));
+
+  std::unordered_map<int64_t, size_t> right_index;
+  right_index.reserve(right_key->size());
+  for (size_t i = 0; i < right_key->size(); ++i) {
+    const auto k = static_cast<int64_t>((*right_key)[i]);
+    right_index.emplace(k, i);  // First occurrence wins.
+  }
+
+  DataFrame out;
+  for (size_t c = 0; c < names_.size(); ++c) {
+    MISTIQUE_RETURN_NOT_OK(out.AddColumn(names_[c], columns_[c]));
+  }
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (size_t c = 0; c < right.num_cols(); ++c) {
+    const std::string& name = right.NameAt(c);
+    if (name == key) continue;
+    std::vector<double> col(num_rows_, nan);
+    for (size_t i = 0; i < num_rows_; ++i) {
+      auto it = right_index.find(static_cast<int64_t>((*left_key)[i]));
+      if (it != right_index.end()) col[i] = right.ColumnAt(c)[it->second];
+    }
+    // Right columns that collide with left names get a suffix, like
+    // pandas' merge suffixes.
+    std::string out_name = out.HasColumn(name) ? name + "_r" : name;
+    MISTIQUE_RETURN_NOT_OK(out.AddColumn(out_name, std::move(col)));
+  }
+  return out;
+}
+
+}  // namespace mistique

@@ -1,0 +1,75 @@
+#ifndef MISTIQUE_PIPELINE_DATAFRAME_H_
+#define MISTIQUE_PIPELINE_DATAFRAME_H_
+
+#include <cmath>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mistique {
+
+/// In-memory columnar table flowing between pipeline stages — the paper's
+/// "dataframe" view of a model intermediate (Sec. 3, footnote 3).
+///
+/// All cells are doubles; categorical features carry integer codes and
+/// missing values are NaN. Column order is stable and significant (it is
+/// the order intermediates are logged in).
+class DataFrame {
+ public:
+  DataFrame() = default;
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_cols() const { return names_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+
+  bool HasColumn(const std::string& name) const {
+    return index_.find(name) != index_.end();
+  }
+
+  /// Appends a column; AlreadyExists on duplicate name, InvalidArgument on
+  /// row-count mismatch against existing columns.
+  Status AddColumn(const std::string& name, std::vector<double> values);
+
+  /// Replaces an existing column's values (same length required).
+  Status SetColumn(const std::string& name, std::vector<double> values);
+
+  /// Column values; NotFound for unknown names.
+  Result<const std::vector<double>*> Column(const std::string& name) const;
+  Result<std::vector<double>*> MutableColumn(const std::string& name);
+
+  /// Column by position.
+  const std::vector<double>& ColumnAt(size_t i) const { return columns_[i]; }
+  const std::string& NameAt(size_t i) const { return names_[i]; }
+
+  /// Removes a column; NotFound if absent.
+  Status DropColumn(const std::string& name);
+
+  /// New frame with only `keep` columns, in the given order.
+  Result<DataFrame> Select(const std::vector<std::string>& keep) const;
+
+  /// New frame with the given subset of rows (indices into this frame).
+  DataFrame TakeRows(const std::vector<size_t>& rows) const;
+
+  /// Left join on integer-valued key columns: every row of this frame is
+  /// kept; matching `right` columns are appended (right's key column is not
+  /// duplicated). Unmatched rows get NaN. Duplicate keys in `right` keep
+  /// the first occurrence.
+  Result<DataFrame> LeftJoin(const DataFrame& right,
+                             const std::string& key) const;
+
+  double at(size_t row, size_t col) const { return columns_[col][row]; }
+
+  static bool IsMissing(double v) { return std::isnan(v); }
+
+ private:
+  size_t num_rows_ = 0;
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> columns_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace mistique
+
+#endif  // MISTIQUE_PIPELINE_DATAFRAME_H_

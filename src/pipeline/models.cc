@@ -1,0 +1,428 @@
+#include "pipeline/models.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+namespace mistique {
+
+namespace {
+
+double SoftThreshold(double z, double gamma) {
+  if (z > gamma) return z - gamma;
+  if (z < -gamma) return z + gamma;
+  return 0.0;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ElasticNetModel>> ElasticNetModel::Fit(
+    const DataFrame& x, const std::vector<double>& y,
+    const ElasticNetParams& params) {
+  if (y.size() != x.num_rows()) {
+    return Status::InvalidArgument("ElasticNet: y size mismatch");
+  }
+  if (x.num_rows() == 0 || x.num_cols() == 0) {
+    return Status::InvalidArgument("ElasticNet: empty input");
+  }
+  const size_t n = x.num_rows();
+  const size_t p = x.num_cols();
+
+  auto model = std::make_unique<ElasticNetModel>();
+  model->feature_names_ = x.names();
+  model->means_.resize(p);
+  model->scales_.assign(p, 1.0);
+
+  // Dense working copy with NaN -> mean imputation, centered (+scaled).
+  std::vector<std::vector<double>> cols(p);
+  for (size_t j = 0; j < p; ++j) {
+    const std::vector<double>& raw = x.ColumnAt(j);
+    double sum = 0;
+    size_t cnt = 0;
+    for (double v : raw) {
+      if (!std::isnan(v)) {
+        sum += v;
+        cnt++;
+      }
+    }
+    const double mean = cnt ? sum / static_cast<double>(cnt) : 0.0;
+    model->means_[j] = mean;
+    cols[j].resize(n);
+    double ss = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const double v = std::isnan(raw[i]) ? mean : raw[i];
+      cols[j][i] = v - mean;
+      ss += cols[j][i] * cols[j][i];
+    }
+    if (params.normalize) {
+      const double sd = std::sqrt(ss / static_cast<double>(n));
+      if (sd > 1e-12) {
+        model->scales_[j] = sd;
+        for (double& v : cols[j]) v /= sd;
+      }
+    }
+  }
+
+  const double y_mean =
+      std::accumulate(y.begin(), y.end(), 0.0) / static_cast<double>(n);
+  std::vector<double> resid(n);
+  for (size_t i = 0; i < n; ++i) resid[i] = y[i] - y_mean;
+
+  std::vector<double> w(p, 0.0);
+  std::vector<double> col_sq(p);
+  for (size_t j = 0; j < p; ++j) {
+    col_sq[j] = std::inner_product(cols[j].begin(), cols[j].end(),
+                                   cols[j].begin(), 0.0) /
+                static_cast<double>(n);
+  }
+
+  const double l1 = params.alpha * params.l1_ratio;
+  const double l2 = params.alpha * (1.0 - params.l1_ratio);
+  for (int iter = 0; iter < params.max_iter; ++iter) {
+    double max_delta = 0;
+    for (size_t j = 0; j < p; ++j) {
+      if (col_sq[j] < 1e-14) continue;
+      // rho = (1/n) x_j . (resid + x_j * w_j)
+      double rho = 0;
+      for (size_t i = 0; i < n; ++i) rho += cols[j][i] * resid[i];
+      rho = rho / static_cast<double>(n) + col_sq[j] * w[j];
+      const double w_new = SoftThreshold(rho, l1) / (col_sq[j] + l2);
+      const double delta = w_new - w[j];
+      if (delta != 0.0) {
+        for (size_t i = 0; i < n; ++i) resid[i] -= delta * cols[j][i];
+        w[j] = w_new;
+        max_delta = std::max(max_delta, std::abs(delta));
+      }
+    }
+    if (max_delta < params.tol) break;
+  }
+
+  model->weights_ = std::move(w);
+  model->intercept_ = y_mean;
+  return model;
+}
+
+Result<std::vector<double>> ElasticNetModel::Predict(const DataFrame& x) const {
+  std::vector<const std::vector<double>*> cols(feature_names_.size());
+  for (size_t j = 0; j < feature_names_.size(); ++j) {
+    MISTIQUE_ASSIGN_OR_RETURN(cols[j], x.Column(feature_names_[j]));
+  }
+  const size_t n = x.num_rows();
+  std::vector<double> out(n, intercept_);
+  for (size_t j = 0; j < feature_names_.size(); ++j) {
+    const double wj = weights_[j];
+    if (wj == 0.0) continue;
+    const double mean = means_[j];
+    const double scale = scales_[j];
+    for (size_t i = 0; i < n; ++i) {
+      const double raw = (*cols[j])[i];
+      const double v = std::isnan(raw) ? mean : raw;
+      out[i] += wj * (v - mean) / scale;
+    }
+  }
+  return out;
+}
+
+double GbtModel::Tree::PredictRow(const DataFrame& x, size_t row,
+                                  const std::vector<int>& col_map) const {
+  int node = 0;
+  while (nodes[static_cast<size_t>(node)].feature >= 0) {
+    const Node& nd = nodes[static_cast<size_t>(node)];
+    const double v =
+        x.ColumnAt(static_cast<size_t>(col_map[static_cast<size_t>(nd.feature)]))[row];
+    node = (std::isnan(v) || v <= nd.threshold) ? nd.left : nd.right;
+  }
+  return nodes[static_cast<size_t>(node)].value;
+}
+
+namespace {
+
+/// Split candidate for one node.
+struct Split {
+  int feature = -1;
+  double threshold = 0;
+  double gain = 0;
+  std::vector<size_t> left_rows;
+  std::vector<size_t> right_rows;
+};
+
+struct NodeStats {
+  double sum = 0;
+  size_t count = 0;
+};
+
+NodeStats StatsOf(const std::vector<double>& residual,
+                  const std::vector<size_t>& rows) {
+  NodeStats s;
+  for (size_t r : rows) s.sum += residual[r];
+  s.count = rows.size();
+  return s;
+}
+
+// Finds the best variance-reduction split over sampled thresholds.
+Split BestSplit(const std::vector<const std::vector<double>*>& features,
+                const std::vector<bool>& feature_mask,
+                const std::vector<double>& residual,
+                const std::vector<size_t>& rows, int min_data, double lambda) {
+  Split best;
+  const NodeStats total = StatsOf(residual, rows);
+  if (total.count < static_cast<size_t>(2 * min_data)) return best;
+  const double parent_score =
+      total.sum * total.sum / (static_cast<double>(total.count) + lambda);
+
+  for (size_t f = 0; f < features.size(); ++f) {
+    if (!feature_mask[f]) continue;
+    const std::vector<double>& col = *features[f];
+    // Candidate thresholds: up to 15 quantiles of the in-node values.
+    std::vector<double> vals;
+    vals.reserve(rows.size());
+    for (size_t r : rows) {
+      if (!std::isnan(col[r])) vals.push_back(col[r]);
+    }
+    if (vals.size() < static_cast<size_t>(2 * min_data)) continue;
+    std::sort(vals.begin(), vals.end());
+    std::vector<double> cands;
+    for (int q = 1; q <= 15; ++q) {
+      const double t = vals[vals.size() * static_cast<size_t>(q) / 16];
+      if (cands.empty() || t != cands.back()) cands.push_back(t);
+    }
+
+    for (double t : cands) {
+      double left_sum = 0;
+      size_t left_cnt = 0;
+      for (size_t r : rows) {
+        const double v = col[r];
+        if (std::isnan(v) || v <= t) {
+          left_sum += residual[r];
+          left_cnt++;
+        }
+      }
+      const size_t right_cnt = rows.size() - left_cnt;
+      if (left_cnt < static_cast<size_t>(min_data) ||
+          right_cnt < static_cast<size_t>(min_data)) {
+        continue;
+      }
+      const double right_sum = total.sum - left_sum;
+      const double score =
+          left_sum * left_sum / (static_cast<double>(left_cnt) + lambda) +
+          right_sum * right_sum / (static_cast<double>(right_cnt) + lambda);
+      const double gain = score - parent_score;
+      if (gain > best.gain) {
+        best.feature = static_cast<int>(f);
+        best.threshold = t;
+        best.gain = gain;
+      }
+    }
+  }
+
+  if (best.feature >= 0) {
+    const std::vector<double>& col = *features[static_cast<size_t>(best.feature)];
+    for (size_t r : rows) {
+      const double v = col[r];
+      if (std::isnan(v) || v <= best.threshold) {
+        best.left_rows.push_back(r);
+      } else {
+        best.right_rows.push_back(r);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+GbtModel::Tree GbtModel::FitTree(
+    const std::vector<const std::vector<double>*>& features,
+    const std::vector<double>& residual, const std::vector<size_t>& rows,
+    Rng* rng) const {
+  Tree tree;
+  std::vector<bool> mask(features.size(), true);
+  if (params_.sub_feature < 1.0) {
+    for (size_t f = 0; f < features.size(); ++f) {
+      mask[f] = rng->Bernoulli(params_.sub_feature);
+    }
+    if (std::find(mask.begin(), mask.end(), true) == mask.end()) {
+      mask[rng->NextBelow(mask.size())] = true;
+    }
+  }
+
+  const auto leaf_value = [&](const std::vector<size_t>& rs) {
+    const NodeStats s = StatsOf(residual, rs);
+    if (s.count == 0) return 0.0;
+    // XGBoost-style leaf weight with L1 soft-thresholding and L2 shrinkage.
+    const double g = SoftThreshold(s.sum, params_.alpha_l1);
+    return g / (static_cast<double>(s.count) + params_.lambda);
+  };
+
+  // Work item: node index + rows + depth.
+  struct Item {
+    int node;
+    std::vector<size_t> rows;
+    int depth;
+    double gain;  // For leaf-wise priority.
+    Split split;
+  };
+
+  tree.nodes.push_back(Node{});
+  if (params_.growth == TreeGrowth::kLevelWise) {
+    std::vector<Item> frontier;
+    frontier.push_back(Item{0, rows, 0, 0, {}});
+    while (!frontier.empty()) {
+      std::vector<Item> next;
+      for (Item& item : frontier) {
+        const auto node_idx = static_cast<size_t>(item.node);
+        Split split =
+            item.depth < params_.max_depth
+                ? BestSplit(features, mask, residual, item.rows,
+                            params_.min_data, params_.lambda)
+                : Split{};
+        if (split.feature < 0 || split.gain <= 1e-12) {
+          tree.nodes[node_idx].value = leaf_value(item.rows);
+          continue;
+        }
+        const int left = static_cast<int>(tree.nodes.size());
+        tree.nodes.push_back(Node{});
+        const int right = static_cast<int>(tree.nodes.size());
+        tree.nodes.push_back(Node{});
+        // Index-based writes: the push_backs above may reallocate.
+        tree.nodes[node_idx].feature = split.feature;
+        tree.nodes[node_idx].threshold = split.threshold;
+        tree.nodes[node_idx].left = left;
+        tree.nodes[node_idx].right = right;
+        next.push_back(
+            Item{left, std::move(split.left_rows), item.depth + 1, 0, {}});
+        next.push_back(
+            Item{right, std::move(split.right_rows), item.depth + 1, 0, {}});
+      }
+      frontier = std::move(next);
+    }
+  } else {
+    // Leaf-wise: repeatedly split the leaf with the largest gain until the
+    // leaf budget is exhausted.
+    auto cmp = [](const Item& a, const Item& b) { return a.gain < b.gain; };
+    std::priority_queue<Item, std::vector<Item>, decltype(cmp)> heap(cmp);
+
+    const auto enqueue = [&](int node_idx, std::vector<size_t> node_rows,
+                             int depth) {
+      Split split = BestSplit(features, mask, residual, node_rows,
+                              params_.min_data, params_.lambda);
+      Item item{node_idx, std::move(node_rows), depth, split.gain,
+                std::move(split)};
+      if (item.split.feature < 0 || item.gain <= 1e-12) {
+        tree.nodes[static_cast<size_t>(node_idx)].value =
+            leaf_value(item.rows);
+      } else {
+        heap.push(std::move(item));
+      }
+    };
+
+    enqueue(0, rows, 0);
+    int leaves = 1;
+    while (!heap.empty() && leaves < params_.max_leaves) {
+      Item item = heap.top();
+      heap.pop();
+      Node& node = tree.nodes[static_cast<size_t>(item.node)];
+      node.feature = item.split.feature;
+      node.threshold = item.split.threshold;
+      const int left = static_cast<int>(tree.nodes.size());
+      tree.nodes.push_back(Node{});
+      const int right = static_cast<int>(tree.nodes.size());
+      tree.nodes.push_back(Node{});
+      tree.nodes[static_cast<size_t>(item.node)].left = left;
+      tree.nodes[static_cast<size_t>(item.node)].right = right;
+      leaves++;  // One leaf became two.
+      enqueue(left, std::move(item.split.left_rows), item.depth + 1);
+      enqueue(right, std::move(item.split.right_rows), item.depth + 1);
+    }
+    // Anything left in the heap stays a leaf.
+    while (!heap.empty()) {
+      const Item& item = heap.top();
+      tree.nodes[static_cast<size_t>(item.node)].value = leaf_value(item.rows);
+      tree.nodes[static_cast<size_t>(item.node)].feature = -1;
+      heap.pop();
+    }
+  }
+  return tree;
+}
+
+Result<std::unique_ptr<GbtModel>> GbtModel::Fit(const DataFrame& x,
+                                                const std::vector<double>& y,
+                                                const GbtParams& params) {
+  if (y.size() != x.num_rows()) {
+    return Status::InvalidArgument("GBT: y size mismatch");
+  }
+  if (x.num_rows() == 0 || x.num_cols() == 0) {
+    return Status::InvalidArgument("GBT: empty input");
+  }
+  auto model = std::make_unique<GbtModel>();
+  model->params_ = params;
+  model->feature_names_ = x.names();
+
+  std::vector<const std::vector<double>*> features(x.num_cols());
+  for (size_t j = 0; j < x.num_cols(); ++j) features[j] = &x.ColumnAt(j);
+
+  const size_t n = x.num_rows();
+  model->base_score_ =
+      std::accumulate(y.begin(), y.end(), 0.0) / static_cast<double>(n);
+
+  std::vector<double> pred(n, model->base_score_);
+  std::vector<double> residual(n);
+  Rng rng(params.seed);
+
+  for (int t = 0; t < params.n_estimators; ++t) {
+    for (size_t i = 0; i < n; ++i) residual[i] = y[i] - pred[i];
+
+    std::vector<size_t> rows;
+    if (params.bagging_fraction < 1.0) {
+      for (size_t i = 0; i < n; ++i) {
+        if (rng.Bernoulli(params.bagging_fraction)) rows.push_back(i);
+      }
+      if (rows.size() < static_cast<size_t>(2 * params.min_data)) {
+        rows.resize(n);
+        std::iota(rows.begin(), rows.end(), size_t{0});
+      }
+    } else {
+      rows.resize(n);
+      std::iota(rows.begin(), rows.end(), size_t{0});
+    }
+
+    Tree tree = model->FitTree(features, residual, rows, &rng);
+    std::vector<int> identity(x.num_cols());
+    std::iota(identity.begin(), identity.end(), 0);
+    for (size_t i = 0; i < n; ++i) {
+      pred[i] += params.learning_rate * tree.PredictRow(x, i, identity);
+    }
+    model->trees_.push_back(std::move(tree));
+  }
+  return model;
+}
+
+Result<std::vector<double>> GbtModel::Predict(const DataFrame& x) const {
+  // Map fit-time feature index -> column index in x.
+  std::vector<int> col_map(feature_names_.size());
+  for (size_t j = 0; j < feature_names_.size(); ++j) {
+    bool found = false;
+    for (size_t c = 0; c < x.num_cols(); ++c) {
+      if (x.NameAt(c) == feature_names_[j]) {
+        col_map[j] = static_cast<int>(c);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument("GBT predict: missing feature " +
+                                     feature_names_[j]);
+    }
+  }
+  std::vector<double> out(x.num_rows(), base_score_);
+  for (const Tree& tree : trees_) {
+    for (size_t i = 0; i < x.num_rows(); ++i) {
+      out[i] += params_.learning_rate * tree.PredictRow(x, i, col_map);
+    }
+  }
+  return out;
+}
+
+}  // namespace mistique

@@ -1,0 +1,124 @@
+#ifndef MISTIQUE_PIPELINE_MODELS_H_
+#define MISTIQUE_PIPELINE_MODELS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "pipeline/dataframe.h"
+
+namespace mistique {
+
+/// A fitted regression model usable by Train*/Predict stages. Fitting
+/// happens once at pipeline logging time; re-runs reuse the stored model
+/// (the paper's "previously stored transformers").
+class RegressionModel {
+ public:
+  virtual ~RegressionModel() = default;
+
+  /// Predicts one value per row of `x`. Columns must match the fit-time
+  /// feature set (same names, same order).
+  virtual Result<std::vector<double>> Predict(const DataFrame& x) const = 0;
+
+  /// Rough per-example prediction cost indicator, used only for reporting.
+  virtual const char* name() const = 0;
+};
+
+/// ElasticNet linear regression fit by cyclic coordinate descent, matching
+/// scikit-learn's parameterization:
+///   min_w  1/(2n) ||y - Xw - b||^2 + alpha * (l1_ratio*||w||_1
+///                                             + (1-l1_ratio)/2*||w||^2)
+struct ElasticNetParams {
+  double alpha = 0.001;
+  double l1_ratio = 0.5;
+  double tol = 1e-5;
+  int max_iter = 200;
+  /// Standardize features internally before fitting (sklearn `normalize`).
+  bool normalize = true;
+};
+
+class ElasticNetModel : public RegressionModel {
+ public:
+  /// Fits on the numeric columns of `x` (NaNs are treated as the column
+  /// mean). `y` must have x.num_rows() entries.
+  static Result<std::unique_ptr<ElasticNetModel>> Fit(
+      const DataFrame& x, const std::vector<double>& y,
+      const ElasticNetParams& params);
+
+  Result<std::vector<double>> Predict(const DataFrame& x) const override;
+  const char* name() const override { return "elastic_net"; }
+
+  const std::vector<double>& weights() const { return weights_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  std::vector<std::string> feature_names_;
+  std::vector<double> weights_;
+  std::vector<double> means_;   // Per-feature, for NaN imputation/centering.
+  std::vector<double> scales_;  // Per-feature std (1.0 when !normalize).
+  double intercept_ = 0;
+};
+
+/// Tree-growth strategy: level-wise mirrors XGBoost's default, leaf-wise
+/// mirrors LightGBM's. These are the two boosted-tree stand-ins the Zillow
+/// pipelines use.
+enum class TreeGrowth : uint8_t { kLevelWise = 0, kLeafWise = 1 };
+
+struct GbtParams {
+  int n_estimators = 40;
+  double learning_rate = 0.1;
+  int max_depth = 5;        ///< level-wise depth cap
+  int max_leaves = 31;      ///< leaf-wise leaf cap
+  int min_data = 20;        ///< minimum rows per leaf
+  double sub_feature = 1.0; ///< fraction of features per tree
+  double bagging_fraction = 1.0;  ///< fraction of rows per tree
+  double lambda = 1.0;      ///< L2 on leaf values
+  double alpha_l1 = 0.0;    ///< L1 (soft-threshold) on leaf values
+  TreeGrowth growth = TreeGrowth::kLevelWise;
+  uint64_t seed = 7;
+};
+
+/// Gradient-boosted regression trees (squared loss). NaN feature values
+/// always route to the left child.
+class GbtModel : public RegressionModel {
+ public:
+  static Result<std::unique_ptr<GbtModel>> Fit(const DataFrame& x,
+                                               const std::vector<double>& y,
+                                               const GbtParams& params);
+
+  Result<std::vector<double>> Predict(const DataFrame& x) const override;
+  const char* name() const override {
+    return params_.growth == TreeGrowth::kLeafWise ? "lightgbm" : "xgboost";
+  }
+
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  struct Node {
+    int feature = -1;       ///< -1 marks a leaf
+    double threshold = 0;
+    double value = 0;       ///< leaf prediction
+    int left = -1;
+    int right = -1;
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+    double PredictRow(const DataFrame& x, size_t row,
+                      const std::vector<int>& col_map) const;
+  };
+
+  Tree FitTree(const std::vector<const std::vector<double>*>& features,
+               const std::vector<double>& residual,
+               const std::vector<size_t>& rows, Rng* rng) const;
+
+  GbtParams params_;
+  std::vector<std::string> feature_names_;
+  double base_score_ = 0;
+  std::vector<Tree> trees_;
+};
+
+}  // namespace mistique
+
+#endif  // MISTIQUE_PIPELINE_MODELS_H_

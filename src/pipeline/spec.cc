@@ -1,0 +1,511 @@
+#include "pipeline/spec.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "pipeline/stages.h"
+#include "pipeline/zillow.h"
+
+namespace mistique {
+
+// ----------------------------------------------------------- YamlNode
+
+YamlNode YamlNode::Scalar(std::string value) {
+  YamlNode node;
+  node.kind_ = Kind::kScalar;
+  node.scalar_ = std::move(value);
+  return node;
+}
+
+YamlNode YamlNode::Mapping() {
+  YamlNode node;
+  node.kind_ = Kind::kMapping;
+  return node;
+}
+
+YamlNode YamlNode::Sequence() {
+  YamlNode node;
+  node.kind_ = Kind::kSequence;
+  return node;
+}
+
+void YamlNode::Add(std::string key, YamlNode value) {
+  entries_.emplace_back(std::move(key), std::move(value));
+}
+
+void YamlNode::Append(YamlNode value) { items_.push_back(std::move(value)); }
+
+Result<double> YamlNode::AsDouble() const {
+  if (!IsScalar()) return Status::InvalidArgument("node is not a scalar");
+  char* end = nullptr;
+  const double v = std::strtod(scalar_.c_str(), &end);
+  if (end == scalar_.c_str() || *end != '\0') {
+    return Status::InvalidArgument("not a number: " + scalar_);
+  }
+  return v;
+}
+
+Result<int64_t> YamlNode::AsInt() const {
+  MISTIQUE_ASSIGN_OR_RETURN(double v, AsDouble());
+  return static_cast<int64_t>(v);
+}
+
+bool YamlNode::AsBool(bool def) const {
+  if (!IsScalar()) return def;
+  if (scalar_ == "true" || scalar_ == "yes" || scalar_ == "on" ||
+      scalar_ == "1") {
+    return true;
+  }
+  if (scalar_ == "false" || scalar_ == "no" || scalar_ == "off" ||
+      scalar_ == "0") {
+    return false;
+  }
+  return def;
+}
+
+bool YamlNode::Has(const std::string& key) const {
+  for (const auto& [k, v] : entries_) {
+    (void)v;
+    if (k == key) return true;
+  }
+  return false;
+}
+
+Result<const YamlNode*> YamlNode::Get(const std::string& key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return &v;
+  }
+  return Status::NotFound("yaml mapping has no key '" + key + "'");
+}
+
+std::string YamlNode::GetString(const std::string& key,
+                                const std::string& def) const {
+  auto node = Get(key);
+  return node.ok() && (*node)->IsScalar() ? (*node)->scalar() : def;
+}
+
+double YamlNode::GetDouble(const std::string& key, double def) const {
+  auto node = Get(key);
+  if (!node.ok()) return def;
+  auto v = (*node)->AsDouble();
+  return v.ok() ? *v : def;
+}
+
+int64_t YamlNode::GetInt(const std::string& key, int64_t def) const {
+  auto node = Get(key);
+  if (!node.ok()) return def;
+  auto v = (*node)->AsInt();
+  return v.ok() ? *v : def;
+}
+
+// ------------------------------------------------------------- Parser
+
+namespace {
+
+struct SpecLine {
+  int indent = 0;
+  std::string content;
+  size_t number = 0;
+};
+
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t");
+  if (begin == std::string::npos) return "";
+  size_t end = s.find_last_not_of(" \t");
+  return s.substr(begin, end - begin + 1);
+}
+
+// Strips a trailing comment (a '#' at start or preceded by whitespace).
+std::string StripComment(const std::string& s) {
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '#' && (i == 0 || s[i - 1] == ' ' || s[i - 1] == '\t')) {
+      return s.substr(0, i);
+    }
+  }
+  return s;
+}
+
+Status LineError(const SpecLine& line, const std::string& what) {
+  return Status::InvalidArgument("yaml line " + std::to_string(line.number) +
+                                 ": " + what);
+}
+
+// Parses a scalar or inline flow sequence "[a, b, c]".
+YamlNode ParseValue(const std::string& raw) {
+  const std::string value = Trim(raw);
+  if (value.size() >= 2 && value.front() == '[' && value.back() == ']') {
+    YamlNode seq = YamlNode::Sequence();
+    const std::string inner = value.substr(1, value.size() - 2);
+    size_t start = 0;
+    while (start <= inner.size()) {
+      size_t comma = inner.find(',', start);
+      if (comma == std::string::npos) comma = inner.size();
+      const std::string item = Trim(inner.substr(start, comma - start));
+      if (!item.empty()) seq.Append(YamlNode::Scalar(item));
+      start = comma + 1;
+    }
+    return seq;
+  }
+  // Strip matching quotes.
+  if (value.size() >= 2 &&
+      ((value.front() == '"' && value.back() == '"') ||
+       (value.front() == '\'' && value.back() == '\''))) {
+    return YamlNode::Scalar(value.substr(1, value.size() - 2));
+  }
+  return YamlNode::Scalar(value);
+}
+
+class Parser {
+ public:
+  using Entry = std::pair<std::string, YamlNode>;
+
+  explicit Parser(std::vector<SpecLine> lines) : lines_(std::move(lines)) {}
+
+  Result<YamlNode> ParseBlock(int indent) {
+    if (pos_ >= lines_.size()) return YamlNode::Mapping();
+    if (lines_[pos_].content.rfind("- ", 0) == 0 ||
+        lines_[pos_].content == "-") {
+      return ParseSequence(indent);
+    }
+    return ParseMapping(indent);
+  }
+
+  bool AtEnd() const { return pos_ >= lines_.size(); }
+  const SpecLine& Current() const { return lines_[pos_]; }
+
+ private:
+  Result<YamlNode> ParseSequence(int indent) {
+    YamlNode seq = YamlNode::Sequence();
+    while (pos_ < lines_.size() && lines_[pos_].indent == indent &&
+           (lines_[pos_].content.rfind("- ", 0) == 0 ||
+            lines_[pos_].content == "-")) {
+      const SpecLine line = lines_[pos_];
+      const std::string rest =
+          line.content == "-" ? "" : Trim(line.content.substr(2));
+      if (rest.empty()) {
+        // Item body on following, deeper lines.
+        pos_++;
+        if (pos_ >= lines_.size() || lines_[pos_].indent <= indent) {
+          return LineError(line, "empty sequence item");
+        }
+        MISTIQUE_ASSIGN_OR_RETURN(YamlNode item,
+                                  ParseBlock(lines_[pos_].indent));
+        seq.Append(std::move(item));
+        continue;
+      }
+      const size_t colon = FindKeyColon(rest);
+      if (colon == std::string::npos) {
+        seq.Append(ParseValue(rest));
+        pos_++;
+        continue;
+      }
+      // "- key: value" starts an inline mapping whose further entries sit
+      // at indent + 2 on the following lines.
+      YamlNode item = YamlNode::Mapping();
+      const std::string key = Trim(rest.substr(0, colon));
+      const std::string value = Trim(rest.substr(colon + 1));
+      pos_++;
+      if (value.empty()) {
+        if (pos_ < lines_.size() && lines_[pos_].indent > indent + 2) {
+          MISTIQUE_ASSIGN_OR_RETURN(YamlNode sub,
+                                    ParseBlock(lines_[pos_].indent));
+          item.Add(key, std::move(sub));
+        } else {
+          item.Add(key, YamlNode::Scalar(""));
+        }
+      } else {
+        item.Add(key, ParseValue(value));
+      }
+      // Remaining entries of this mapping item.
+      while (pos_ < lines_.size() && lines_[pos_].indent == indent + 2 &&
+             lines_[pos_].content.rfind("- ", 0) != 0) {
+        MISTIQUE_ASSIGN_OR_RETURN(Entry entry,
+                                  ParseMappingEntry(indent + 2));
+        item.Add(std::move(entry.first), std::move(entry.second));
+      }
+      seq.Append(std::move(item));
+    }
+    return seq;
+  }
+
+  Result<YamlNode> ParseMapping(int indent) {
+    YamlNode map = YamlNode::Mapping();
+    while (pos_ < lines_.size() && lines_[pos_].indent == indent &&
+           lines_[pos_].content.rfind("- ", 0) != 0) {
+      MISTIQUE_ASSIGN_OR_RETURN(Entry entry, ParseMappingEntry(indent));
+      map.Add(std::move(entry.first), std::move(entry.second));
+    }
+    if (pos_ < lines_.size() && lines_[pos_].indent > indent) {
+      return LineError(lines_[pos_], "unexpected indentation");
+    }
+    return map;
+  }
+
+  Result<Entry> ParseMappingEntry(int indent) {
+    const SpecLine line = lines_[pos_];
+    const size_t colon = FindKeyColon(line.content);
+    if (colon == std::string::npos) {
+      return LineError(line, "expected 'key: value'");
+    }
+    const std::string key = Trim(line.content.substr(0, colon));
+    const std::string value = Trim(line.content.substr(colon + 1));
+    if (key.empty()) return LineError(line, "empty mapping key");
+    pos_++;
+    if (!value.empty()) {
+      return std::make_pair(key, ParseValue(value));
+    }
+    // Nested block (mapping or sequence) at deeper indentation.
+    if (pos_ < lines_.size() && lines_[pos_].indent > indent) {
+      MISTIQUE_ASSIGN_OR_RETURN(YamlNode sub, ParseBlock(lines_[pos_].indent));
+      return std::make_pair(key, std::move(sub));
+    }
+    return std::make_pair(key, YamlNode::Scalar(""));
+  }
+
+  // Finds the colon separating key from value ("url: http://x" must split
+  // at the first colon followed by space or end-of-line).
+  static size_t FindKeyColon(const std::string& s) {
+    for (size_t i = 0; i < s.size(); ++i) {
+      if (s[i] == ':' && (i + 1 == s.size() || s[i + 1] == ' ')) return i;
+    }
+    return std::string::npos;
+  }
+
+  std::vector<SpecLine> lines_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<YamlNode> ParseYaml(const std::string& text) {
+  std::vector<SpecLine> lines;
+  size_t start = 0;
+  size_t number = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    number++;
+    std::string raw = StripComment(text.substr(start, end - start));
+    start = end + 1;
+    // Measure indentation; tabs are rejected like real YAML.
+    int indent = 0;
+    size_t i = 0;
+    while (i < raw.size() && raw[i] == ' ') {
+      indent++;
+      i++;
+    }
+    if (i < raw.size() && raw[i] == '\t') {
+      return Status::InvalidArgument("yaml line " + std::to_string(number) +
+                                     ": tabs are not allowed");
+    }
+    const std::string content = Trim(raw);
+    if (content.empty() || content == "---") continue;
+    lines.push_back(SpecLine{indent, content, number});
+  }
+  Parser parser(std::move(lines));
+  MISTIQUE_ASSIGN_OR_RETURN(YamlNode root, parser.ParseBlock(0));
+  if (!parser.AtEnd()) {
+    return Status::InvalidArgument(
+        "yaml line " + std::to_string(parser.Current().number) +
+        ": trailing content at unexpected indentation");
+  }
+  return root;
+}
+
+// ------------------------------------------------------------ Builder
+
+namespace {
+
+Result<std::vector<std::string>> StringList(const YamlNode& parent,
+                                            const std::string& key) {
+  MISTIQUE_ASSIGN_OR_RETURN(const YamlNode* node, parent.Get(key));
+  if (!node->IsSequence()) {
+    return Status::InvalidArgument("spec key '" + key + "' must be a list");
+  }
+  std::vector<std::string> out;
+  for (const YamlNode& item : node->items()) {
+    if (!item.IsScalar()) {
+      return Status::InvalidArgument("spec list '" + key +
+                                     "' must hold scalars");
+    }
+    out.push_back(item.scalar());
+  }
+  return out;
+}
+
+Result<std::unique_ptr<Stage>> BuildStage(const YamlNode& spec,
+                                          const std::string& base_dir) {
+  const std::string kind = spec.GetString("stage", "");
+  const std::string output = spec.GetString("output", "");
+  if (kind.empty()) {
+    return Status::InvalidArgument("pipeline stage missing 'stage:' kind");
+  }
+  if (output.empty()) {
+    return Status::InvalidArgument("stage '" + kind +
+                                   "' missing 'output:' key");
+  }
+
+  if (kind == "read_csv") {
+    std::string path = spec.GetString("path", "");
+    if (path.empty()) {
+      return Status::InvalidArgument("read_csv needs 'path:'");
+    }
+    if (!path.empty() && path[0] != '/') path = base_dir + "/" + path;
+    return std::unique_ptr<Stage>(new ReadCsvStage(output, path));
+  }
+  if (kind == "join") {
+    return std::unique_ptr<Stage>(
+        new JoinStage(output, spec.GetString("left", ""),
+                      spec.GetString("right", ""),
+                      spec.GetString("on", "parcelid")));
+  }
+  if (kind == "select_column") {
+    return std::unique_ptr<Stage>(new SelectColumnStage(
+        output, spec.GetString("input", ""), spec.GetString("column", ""),
+        spec.GetString("series", "y")));
+  }
+  if (kind == "drop_columns") {
+    MISTIQUE_ASSIGN_OR_RETURN(std::vector<std::string> cols,
+                              StringList(spec, "columns"));
+    return std::unique_ptr<Stage>(new DropColumnsStage(
+        output, spec.GetString("input", ""), std::move(cols)));
+  }
+  if (kind == "train_test_split") {
+    return std::unique_ptr<Stage>(new TrainTestSplitStage(
+        output, spec.GetString("x", "x_all"), spec.GetString("y", "y"),
+        spec.GetString("x_valid", "x_valid"),
+        spec.GetString("y_train", "y_train"),
+        spec.GetString("y_valid", "y_valid"),
+        spec.GetDouble("train_frac", 0.8),
+        static_cast<uint64_t>(spec.GetInt("seed", 13))));
+  }
+  if (kind == "fillna") {
+    return std::unique_ptr<Stage>(
+        new FillNaStage(output, spec.GetString("input", "")));
+  }
+  if (kind == "one_hot") {
+    std::vector<std::string> cols;
+    if (spec.Has("columns")) {
+      MISTIQUE_ASSIGN_OR_RETURN(cols, StringList(spec, "columns"));
+    } else {
+      cols = ZillowCategoricalColumns();
+    }
+    return std::unique_ptr<Stage>(
+        new OneHotStage(output, spec.GetString("input", ""), std::move(cols)));
+  }
+  if (kind == "avg_features") {
+    return std::unique_ptr<Stage>(
+        new AvgFeaturesStage(output, spec.GetString("input", "")));
+  }
+  if (kind == "construction_recency") {
+    return std::unique_ptr<Stage>(
+        new ConstructionRecencyStage(output, spec.GetString("input", "")));
+  }
+  if (kind == "neighborhood") {
+    return std::unique_ptr<Stage>(new NeighborhoodStage(
+        output, spec.GetString("input", ""),
+        static_cast<int>(spec.GetInt("cells", 16))));
+  }
+  if (kind == "is_residential") {
+    std::vector<int64_t> codes = {0, 1, 2};
+    if (spec.Has("codes")) {
+      MISTIQUE_ASSIGN_OR_RETURN(std::vector<std::string> raw,
+                                StringList(spec, "codes"));
+      codes.clear();
+      for (const std::string& c : raw) codes.push_back(std::atoll(c.c_str()));
+    }
+    return std::unique_ptr<Stage>(new IsResidentialStage(
+        output, spec.GetString("input", ""), std::move(codes)));
+  }
+  if (kind == "train") {
+    const std::string learner = spec.GetString("learner", "");
+    LearnerKind lk;
+    if (learner == "elastic_net") {
+      lk = LearnerKind::kElasticNet;
+    } else if (learner == "xgboost") {
+      lk = LearnerKind::kXgBoost;
+    } else if (learner == "lightgbm") {
+      lk = LearnerKind::kLightGbm;
+    } else {
+      return Status::InvalidArgument(
+          "train stage needs learner: elastic_net | xgboost | lightgbm");
+    }
+    ElasticNetParams enet;
+    enet.alpha = spec.GetDouble("alpha", enet.alpha);
+    enet.l1_ratio = spec.GetDouble("l1_ratio", enet.l1_ratio);
+    enet.tol = spec.GetDouble("tol", enet.tol);
+    enet.max_iter = static_cast<int>(spec.GetInt("max_iter", enet.max_iter));
+    if (auto n = spec.Get("normalize"); n.ok()) {
+      enet.normalize = (*n)->AsBool(enet.normalize);
+    }
+    GbtParams gbt;
+    gbt.learning_rate =
+        spec.GetDouble("learning_rate", spec.GetDouble("eta", gbt.learning_rate));
+    gbt.n_estimators =
+        static_cast<int>(spec.GetInt("n_estimators", gbt.n_estimators));
+    gbt.max_depth = static_cast<int>(spec.GetInt("max_depth", gbt.max_depth));
+    gbt.max_leaves =
+        static_cast<int>(spec.GetInt("max_leaves", gbt.max_leaves));
+    gbt.min_data = static_cast<int>(spec.GetInt("min_data", gbt.min_data));
+    gbt.sub_feature = spec.GetDouble("sub_feature", gbt.sub_feature);
+    gbt.bagging_fraction =
+        spec.GetDouble("bagging_fraction", gbt.bagging_fraction);
+    gbt.lambda = spec.GetDouble("lambda", gbt.lambda);
+    // For boosted trees "alpha" is the L1 leaf penalty (XGBoost naming).
+    gbt.alpha_l1 = spec.GetDouble("alpha", gbt.alpha_l1);
+    gbt.seed = static_cast<uint64_t>(spec.GetInt("seed", 7));
+    return std::unique_ptr<Stage>(new TrainModelStage(
+        output, lk, spec.GetString("x", "x_train"),
+        spec.GetString("y", "y_train"),
+        spec.GetString("model_key", learner), enet, gbt));
+  }
+  if (kind == "predict") {
+    MISTIQUE_ASSIGN_OR_RETURN(std::vector<std::string> models,
+                              StringList(spec, "models"));
+    std::vector<double> weights;
+    if (spec.Has("weights")) {
+      MISTIQUE_ASSIGN_OR_RETURN(std::vector<std::string> raw,
+                                StringList(spec, "weights"));
+      for (const std::string& w : raw) weights.push_back(std::atof(w.c_str()));
+    }
+    return std::unique_ptr<Stage>(new PredictStage(
+        output, spec.GetString("x", ""), std::move(models),
+        std::move(weights)));
+  }
+  return Status::InvalidArgument("unknown stage kind '" + kind + "'");
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Pipeline>> BuildPipelineFromSpec(
+    const YamlNode& root, const std::string& base_dir) {
+  if (!root.IsMapping()) {
+    return Status::InvalidArgument("pipeline spec must be a mapping");
+  }
+  const std::string name = root.GetString("pipeline", "");
+  if (name.empty()) {
+    return Status::InvalidArgument("spec missing 'pipeline:' name");
+  }
+  MISTIQUE_ASSIGN_OR_RETURN(const YamlNode* stages, root.Get("stages"));
+  if (!stages->IsSequence() || stages->items().empty()) {
+    return Status::InvalidArgument("'stages:' must be a non-empty list");
+  }
+  auto pipeline = std::make_unique<Pipeline>(name);
+  for (const YamlNode& stage_spec : stages->items()) {
+    if (!stage_spec.IsMapping()) {
+      return Status::InvalidArgument("each stage must be a mapping");
+    }
+    MISTIQUE_ASSIGN_OR_RETURN(std::unique_ptr<Stage> stage,
+                              BuildStage(stage_spec, base_dir));
+    pipeline->AddStage(std::move(stage));
+  }
+  return pipeline;
+}
+
+Result<std::unique_ptr<Pipeline>> BuildPipelineFromYaml(
+    const std::string& yaml_text, const std::string& base_dir) {
+  MISTIQUE_ASSIGN_OR_RETURN(YamlNode root, ParseYaml(yaml_text));
+  return BuildPipelineFromSpec(root, base_dir);
+}
+
+}  // namespace mistique

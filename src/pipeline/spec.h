@@ -1,0 +1,108 @@
+#ifndef MISTIQUE_PIPELINE_SPEC_H_
+#define MISTIQUE_PIPELINE_SPEC_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "pipeline/stage.h"
+
+namespace mistique {
+
+/// A minimal YAML-subset document node, sufficient for the pipeline spec
+/// format the paper describes ("a YAML specification modeled after Apache
+/// Airflow ... used to express scikit-learn pipelines in a standard
+/// format", Sec. 3).
+///
+/// Supported syntax: nested mappings by 2-space indentation, block lists
+/// with "- " items (scalar or mapping items), scalar values (string /
+/// number), and '#' comments. Anchors, flow style, and multi-line scalars
+/// are not supported.
+class YamlNode {
+ public:
+  enum class Kind { kScalar, kMapping, kSequence };
+
+  Kind kind() const { return kind_; }
+  bool IsScalar() const { return kind_ == Kind::kScalar; }
+  bool IsMapping() const { return kind_ == Kind::kMapping; }
+  bool IsSequence() const { return kind_ == Kind::kSequence; }
+
+  /// Scalar access.
+  const std::string& scalar() const { return scalar_; }
+  Result<double> AsDouble() const;
+  Result<int64_t> AsInt() const;
+  bool AsBool(bool def = false) const;
+
+  /// Mapping access. Get returns NotFound for missing keys.
+  bool Has(const std::string& key) const;
+  Result<const YamlNode*> Get(const std::string& key) const;
+  /// Convenience scalar lookups with defaults.
+  std::string GetString(const std::string& key, const std::string& def) const;
+  double GetDouble(const std::string& key, double def) const;
+  int64_t GetInt(const std::string& key, int64_t def) const;
+  const std::vector<std::pair<std::string, YamlNode>>& entries() const {
+    return entries_;
+  }
+
+  /// Sequence access.
+  const std::vector<YamlNode>& items() const { return items_; }
+
+  static YamlNode Scalar(std::string value);
+  static YamlNode Mapping();
+  static YamlNode Sequence();
+
+  /// Mutators used by the parser / tests.
+  void Add(std::string key, YamlNode value);
+  void Append(YamlNode value);
+
+ private:
+  Kind kind_ = Kind::kScalar;
+  std::string scalar_;
+  std::vector<std::pair<std::string, YamlNode>> entries_;  // Ordered.
+  std::vector<YamlNode> items_;
+};
+
+/// Parses a YAML-subset document. Returns InvalidArgument with a line
+/// number on malformed input.
+Result<YamlNode> ParseYaml(const std::string& text);
+
+/// Builds a Pipeline from a spec document of the form:
+///
+///   pipeline: my_model
+///   stages:
+///     - stage: read_csv
+///       output: properties
+///       path: data/properties.csv
+///     - stage: join
+///       output: train_merged
+///       left: train
+///       right: properties
+///       on: parcelid
+///     - stage: train
+///       output: train_pred
+///       learner: lightgbm       # lightgbm | xgboost | elastic_net
+///       x: x_train
+///       y: y_train
+///       model_key: lgbm
+///       learning_rate: 0.05
+///     - stage: predict
+///       output: pred_test
+///       x: x_test
+///       models: [handled as nested list]
+///
+/// Stage vocabulary matches Table 4: read_csv, join, select_column,
+/// drop_columns, train_test_split, fillna, one_hot, avg_features,
+/// construction_recency, neighborhood, is_residential, train, predict.
+/// `base_dir` is prefixed to relative read_csv paths.
+Result<std::unique_ptr<Pipeline>> BuildPipelineFromSpec(
+    const YamlNode& root, const std::string& base_dir);
+
+/// Convenience: parse + build in one call.
+Result<std::unique_ptr<Pipeline>> BuildPipelineFromYaml(
+    const std::string& yaml_text, const std::string& base_dir);
+
+}  // namespace mistique
+
+#endif  // MISTIQUE_PIPELINE_SPEC_H_

@@ -1,0 +1,30 @@
+#include "pipeline/stage.h"
+
+#include "common/stopwatch.h"
+
+namespace mistique {
+
+Result<const DataFrame*> Stage::Execute(PipelineContext* ctx) {
+  MISTIQUE_ASSIGN_OR_RETURN(DataFrame out, Run(ctx));
+  auto [it, inserted] = ctx->frames.insert_or_assign(output_key_, std::move(out));
+  (void)inserted;
+  return &it->second;
+}
+
+Status Pipeline::Run(PipelineContext* ctx, int up_to,
+                     const StageObserver& observer) {
+  const size_t last =
+      up_to < 0 ? stages_.size() : std::min(stages_.size(),
+                                            static_cast<size_t>(up_to) + 1);
+  for (size_t i = 0; i < last; ++i) {
+    Stopwatch watch;
+    MISTIQUE_ASSIGN_OR_RETURN(const DataFrame* out, stages_[i]->Execute(ctx));
+    const double elapsed = watch.ElapsedSeconds();
+    if (observer) {
+      MISTIQUE_RETURN_NOT_OK(observer(i, *out, elapsed));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mistique

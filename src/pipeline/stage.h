@@ -1,0 +1,102 @@
+#ifndef MISTIQUE_PIPELINE_STAGE_H_
+#define MISTIQUE_PIPELINE_STAGE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "pipeline/dataframe.h"
+#include "pipeline/models.h"
+
+namespace mistique {
+
+/// Mutable state flowing through one pipeline execution: named frames,
+/// named scalar series (targets, predictions), and fitted models published
+/// by Train stages for Predict stages.
+struct PipelineContext {
+  std::unordered_map<std::string, DataFrame> frames;
+  std::unordered_map<std::string, std::vector<double>> series;
+  std::unordered_map<std::string, std::shared_ptr<const RegressionModel>>
+      models;
+
+  Result<const DataFrame*> Frame(const std::string& key) const {
+    auto it = frames.find(key);
+    if (it == frames.end()) {
+      return Status::NotFound("pipeline context has no frame " + key);
+    }
+    return &it->second;
+  }
+  Result<const std::vector<double>*> Series(const std::string& key) const {
+    auto it = series.find(key);
+    if (it == series.end()) {
+      return Status::NotFound("pipeline context has no series " + key);
+    }
+    return &it->second;
+  }
+};
+
+/// One pipeline stage (the paper's "transformer"). A stage fits any
+/// learnable state on its first execution and reuses it afterwards, so
+/// re-running a logged pipeline replays stored transformers rather than
+/// re-training (Sec. 6).
+class Stage {
+ public:
+  /// `output_key` names both the frame this stage publishes into the
+  /// context and the logged intermediate.
+  Stage(std::string name, std::string output_key)
+      : name_(std::move(name)), output_key_(std::move(output_key)) {}
+  virtual ~Stage() = default;
+
+  const std::string& name() const { return name_; }
+  const std::string& output_key() const { return output_key_; }
+
+  /// Executes the stage: reads inputs from `ctx`, publishes its output
+  /// frame under output_key(), and returns a pointer to it.
+  Result<const DataFrame*> Execute(PipelineContext* ctx);
+
+ protected:
+  /// Stage-specific work; must return the output frame.
+  virtual Result<DataFrame> Run(PipelineContext* ctx) = 0;
+
+ private:
+  std::string name_;
+  std::string output_key_;
+};
+
+/// A linear sequence of stages — one TRAD model pipeline. Owns its stages
+/// (and through them all fitted state).
+class Pipeline {
+ public:
+  explicit Pipeline(std::string name) : name_(std::move(name)) {}
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  const std::string& name() const { return name_; }
+  size_t num_stages() const { return stages_.size(); }
+  const Stage& stage(size_t i) const { return *stages_[i]; }
+
+  void AddStage(std::unique_ptr<Stage> stage) {
+    stages_.push_back(std::move(stage));
+  }
+
+  /// Observer invoked after each stage with (stage index, output frame,
+  /// stage wall-seconds).
+  using StageObserver =
+      std::function<Status(size_t, const DataFrame&, double)>;
+
+  /// Runs stages [0, up_to] (all when up_to < 0) against a fresh or
+  /// provided context. The observer may be null.
+  Status Run(PipelineContext* ctx, int up_to = -1,
+             const StageObserver& observer = nullptr);
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Stage>> stages_;
+};
+
+}  // namespace mistique
+
+#endif  // MISTIQUE_PIPELINE_STAGE_H_

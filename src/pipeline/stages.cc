@@ -1,0 +1,299 @@
+#include "pipeline/stages.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+#include "common/random.h"
+#include "pipeline/csv.h"
+
+namespace mistique {
+
+Result<DataFrame> ReadCsvStage::Run(PipelineContext* ctx) {
+  (void)ctx;
+  return ReadCsv(path_);
+}
+
+Result<DataFrame> JoinStage::Run(PipelineContext* ctx) {
+  MISTIQUE_ASSIGN_OR_RETURN(const DataFrame* left, ctx->Frame(left_));
+  MISTIQUE_ASSIGN_OR_RETURN(const DataFrame* right, ctx->Frame(right_));
+  return left->LeftJoin(*right, on_);
+}
+
+Result<DataFrame> SelectColumnStage::Run(PipelineContext* ctx) {
+  MISTIQUE_ASSIGN_OR_RETURN(const DataFrame* input, ctx->Frame(input_));
+  MISTIQUE_ASSIGN_OR_RETURN(const std::vector<double>* col,
+                            input->Column(column_));
+  ctx->series[series_key_] = *col;
+  DataFrame out;
+  MISTIQUE_RETURN_NOT_OK(out.AddColumn(column_, *col));
+  return out;
+}
+
+Result<DataFrame> DropColumnsStage::Run(PipelineContext* ctx) {
+  MISTIQUE_ASSIGN_OR_RETURN(const DataFrame* input, ctx->Frame(input_));
+  DataFrame out = *input;
+  for (const std::string& name : columns_) {
+    if (out.HasColumn(name)) {
+      MISTIQUE_RETURN_NOT_OK(out.DropColumn(name));
+    }
+  }
+  return out;
+}
+
+Result<DataFrame> TrainTestSplitStage::Run(PipelineContext* ctx) {
+  MISTIQUE_ASSIGN_OR_RETURN(const DataFrame* x, ctx->Frame(x_input_));
+  MISTIQUE_ASSIGN_OR_RETURN(const std::vector<double>* y,
+                            ctx->Series(y_series_));
+  if (y->size() != x->num_rows()) {
+    return Status::InvalidArgument("TrainTestSplit: x/y row mismatch");
+  }
+  Rng rng(seed_);
+  std::vector<size_t> train_rows, valid_rows;
+  for (size_t i = 0; i < x->num_rows(); ++i) {
+    (rng.Bernoulli(train_frac_) ? train_rows : valid_rows).push_back(i);
+  }
+  if (train_rows.empty()) train_rows.push_back(0);
+  if (valid_rows.empty()) valid_rows.push_back(x->num_rows() - 1);
+
+  std::vector<double> y_train(train_rows.size()), y_valid(valid_rows.size());
+  for (size_t i = 0; i < train_rows.size(); ++i) y_train[i] = (*y)[train_rows[i]];
+  for (size_t i = 0; i < valid_rows.size(); ++i) y_valid[i] = (*y)[valid_rows[i]];
+
+  ctx->frames[x_valid_key_] = x->TakeRows(valid_rows);
+  ctx->series[y_train_key_] = std::move(y_train);
+  ctx->series[y_valid_key_] = std::move(y_valid);
+  return x->TakeRows(train_rows);
+}
+
+Result<DataFrame> FillNaStage::Run(PipelineContext* ctx) {
+  MISTIQUE_ASSIGN_OR_RETURN(const DataFrame* input, ctx->Frame(input_));
+  if (!fitted_) {
+    fitted_names_ = input->names();
+    medians_.resize(input->num_cols());
+    for (size_t c = 0; c < input->num_cols(); ++c) {
+      std::vector<double> vals;
+      vals.reserve(input->num_rows());
+      for (double v : input->ColumnAt(c)) {
+        if (!std::isnan(v)) vals.push_back(v);
+      }
+      if (vals.empty()) {
+        medians_[c] = 0;
+      } else {
+        const size_t mid = vals.size() / 2;
+        std::nth_element(vals.begin(), vals.begin() + static_cast<ptrdiff_t>(mid),
+                         vals.end());
+        medians_[c] = vals[mid];
+      }
+    }
+    fitted_ = true;
+  }
+
+  DataFrame out;
+  for (size_t c = 0; c < input->num_cols(); ++c) {
+    std::vector<double> col = input->ColumnAt(c);
+    // Use the fitted median for this column name if we saw it at fit time.
+    double median = 0;
+    for (size_t f = 0; f < fitted_names_.size(); ++f) {
+      if (fitted_names_[f] == input->NameAt(c)) {
+        median = medians_[f];
+        break;
+      }
+    }
+    for (double& v : col) {
+      if (std::isnan(v)) v = median;
+    }
+    MISTIQUE_RETURN_NOT_OK(out.AddColumn(input->NameAt(c), std::move(col)));
+  }
+  return out;
+}
+
+Result<DataFrame> OneHotStage::Run(PipelineContext* ctx) {
+  MISTIQUE_ASSIGN_OR_RETURN(const DataFrame* input, ctx->Frame(input_));
+  if (!fitted_) {
+    categories_.resize(columns_.size());
+    for (size_t k = 0; k < columns_.size(); ++k) {
+      if (!input->HasColumn(columns_[k])) continue;
+      MISTIQUE_ASSIGN_OR_RETURN(const std::vector<double>* col,
+                                input->Column(columns_[k]));
+      std::unordered_set<int64_t> seen;
+      for (double v : *col) {
+        if (!std::isnan(v)) seen.insert(static_cast<int64_t>(v));
+      }
+      categories_[k].assign(seen.begin(), seen.end());
+      std::sort(categories_[k].begin(), categories_[k].end());
+    }
+    fitted_ = true;
+  }
+
+  DataFrame out;
+  for (size_t c = 0; c < input->num_cols(); ++c) {
+    const std::string& name = input->NameAt(c);
+    const auto it = std::find(columns_.begin(), columns_.end(), name);
+    if (it == columns_.end()) {
+      MISTIQUE_RETURN_NOT_OK(out.AddColumn(name, input->ColumnAt(c)));
+      continue;
+    }
+    const size_t k = static_cast<size_t>(it - columns_.begin());
+    const std::vector<double>& col = input->ColumnAt(c);
+    for (int64_t category : categories_[k]) {
+      std::vector<double> indicator(col.size(), 0.0);
+      for (size_t i = 0; i < col.size(); ++i) {
+        if (!std::isnan(col[i]) && static_cast<int64_t>(col[i]) == category) {
+          indicator[i] = 1.0;
+        }
+      }
+      MISTIQUE_RETURN_NOT_OK(out.AddColumn(
+          name + "_" + std::to_string(category), std::move(indicator)));
+    }
+  }
+  return out;
+}
+
+Result<DataFrame> AvgFeaturesStage::Run(PipelineContext* ctx) {
+  MISTIQUE_ASSIGN_OR_RETURN(const DataFrame* input, ctx->Frame(input_));
+  DataFrame out = *input;
+  const auto ratio = [&](const char* a, const char* b,
+                         const char* name) -> Status {
+    if (!input->HasColumn(a) || !input->HasColumn(b)) return Status::OK();
+    MISTIQUE_ASSIGN_OR_RETURN(const std::vector<double>* ca, input->Column(a));
+    MISTIQUE_ASSIGN_OR_RETURN(const std::vector<double>* cb, input->Column(b));
+    std::vector<double> r(ca->size());
+    for (size_t i = 0; i < r.size(); ++i) {
+      const double denom = (*cb)[i];
+      r[i] = (std::isnan((*ca)[i]) || std::isnan(denom) || denom == 0.0)
+                 ? std::numeric_limits<double>::quiet_NaN()
+                 : (*ca)[i] / denom;
+    }
+    return out.AddColumn(name, std::move(r));
+  };
+  MISTIQUE_RETURN_NOT_OK(
+      ratio("taxamount", "calculatedfinishedsquarefeet", "avg_tax_per_sqft"));
+  MISTIQUE_RETURN_NOT_OK(
+      ratio("calculatedfinishedsquarefeet", "roomcnt", "avg_room_size"));
+  MISTIQUE_RETURN_NOT_OK(ratio("structuretaxvaluedollarcnt",
+                               "taxvaluedollarcnt", "avg_structure_share"));
+  return out;
+}
+
+Result<DataFrame> ConstructionRecencyStage::Run(PipelineContext* ctx) {
+  MISTIQUE_ASSIGN_OR_RETURN(const DataFrame* input, ctx->Frame(input_));
+  DataFrame out = *input;
+  MISTIQUE_ASSIGN_OR_RETURN(const std::vector<double>* yb,
+                            input->Column("yearbuilt"));
+  std::vector<double> recency(yb->size());
+  for (size_t i = 0; i < yb->size(); ++i) {
+    recency[i] = std::isnan((*yb)[i])
+                     ? std::numeric_limits<double>::quiet_NaN()
+                     : 2016.0 - (*yb)[i];
+  }
+  MISTIQUE_RETURN_NOT_OK(out.AddColumn("construction_recency",
+                                       std::move(recency)));
+  return out;
+}
+
+Result<DataFrame> NeighborhoodStage::Run(PipelineContext* ctx) {
+  MISTIQUE_ASSIGN_OR_RETURN(const DataFrame* input, ctx->Frame(input_));
+  MISTIQUE_ASSIGN_OR_RETURN(const std::vector<double>* lat,
+                            input->Column("latitude"));
+  MISTIQUE_ASSIGN_OR_RETURN(const std::vector<double>* lon,
+                            input->Column("longitude"));
+  if (!fitted_) {
+    lat_min_ = lat_max_ = (*lat)[0];
+    lon_min_ = lon_max_ = (*lon)[0];
+    for (size_t i = 0; i < lat->size(); ++i) {
+      lat_min_ = std::min(lat_min_, (*lat)[i]);
+      lat_max_ = std::max(lat_max_, (*lat)[i]);
+      lon_min_ = std::min(lon_min_, (*lon)[i]);
+      lon_max_ = std::max(lon_max_, (*lon)[i]);
+    }
+    fitted_ = true;
+  }
+  const double lat_span = std::max(lat_max_ - lat_min_, 1e-9);
+  const double lon_span = std::max(lon_max_ - lon_min_, 1e-9);
+  std::vector<double> hood(lat->size());
+  for (size_t i = 0; i < lat->size(); ++i) {
+    const int gy = std::clamp(
+        static_cast<int>(((*lat)[i] - lat_min_) / lat_span * cells_), 0,
+        cells_ - 1);
+    const int gx = std::clamp(
+        static_cast<int>(((*lon)[i] - lon_min_) / lon_span * cells_), 0,
+        cells_ - 1);
+    hood[i] = static_cast<double>(gy * cells_ + gx);
+  }
+  DataFrame out = *input;
+  MISTIQUE_RETURN_NOT_OK(out.AddColumn("neighborhood", std::move(hood)));
+  return out;
+}
+
+Result<DataFrame> IsResidentialStage::Run(PipelineContext* ctx) {
+  MISTIQUE_ASSIGN_OR_RETURN(const DataFrame* input, ctx->Frame(input_));
+  MISTIQUE_ASSIGN_OR_RETURN(const std::vector<double>* landuse,
+                            input->Column("propertylandusetypeid"));
+  std::vector<double> flag(landuse->size(), 0.0);
+  for (size_t i = 0; i < landuse->size(); ++i) {
+    if (std::isnan((*landuse)[i])) continue;
+    const auto code = static_cast<int64_t>((*landuse)[i]);
+    if (std::find(codes_.begin(), codes_.end(), code) != codes_.end()) {
+      flag[i] = 1.0;
+    }
+  }
+  DataFrame out = *input;
+  MISTIQUE_RETURN_NOT_OK(out.AddColumn("is_residential", std::move(flag)));
+  return out;
+}
+
+Result<DataFrame> TrainModelStage::Run(PipelineContext* ctx) {
+  MISTIQUE_ASSIGN_OR_RETURN(const DataFrame* x, ctx->Frame(x_key_));
+  if (model_ == nullptr) {
+    MISTIQUE_ASSIGN_OR_RETURN(const std::vector<double>* y,
+                              ctx->Series(y_key_));
+    if (kind_ == LearnerKind::kElasticNet) {
+      MISTIQUE_ASSIGN_OR_RETURN(std::unique_ptr<ElasticNetModel> m,
+                                ElasticNetModel::Fit(*x, *y, enet_params_));
+      model_ = std::move(m);
+    } else {
+      GbtParams params = gbt_params_;
+      params.growth = kind_ == LearnerKind::kLightGbm ? TreeGrowth::kLeafWise
+                                                      : TreeGrowth::kLevelWise;
+      MISTIQUE_ASSIGN_OR_RETURN(std::unique_ptr<GbtModel> m,
+                                GbtModel::Fit(*x, *y, params));
+      model_ = std::move(m);
+    }
+  }
+  ctx->models[model_key_] = model_;
+  MISTIQUE_ASSIGN_OR_RETURN(std::vector<double> pred, model_->Predict(*x));
+  DataFrame out;
+  MISTIQUE_RETURN_NOT_OK(out.AddColumn("pred", std::move(pred)));
+  return out;
+}
+
+Result<DataFrame> PredictStage::Run(PipelineContext* ctx) {
+  MISTIQUE_ASSIGN_OR_RETURN(const DataFrame* x, ctx->Frame(x_key_));
+  if (model_keys_.empty()) {
+    return Status::InvalidArgument("PredictStage without models");
+  }
+  std::vector<double> weights = weights_;
+  if (weights.empty()) {
+    weights.assign(model_keys_.size(), 1.0 / static_cast<double>(model_keys_.size()));
+  }
+  if (weights.size() != model_keys_.size()) {
+    return Status::InvalidArgument("PredictStage: weight count mismatch");
+  }
+  std::vector<double> pred(x->num_rows(), 0.0);
+  for (size_t m = 0; m < model_keys_.size(); ++m) {
+    auto it = ctx->models.find(model_keys_[m]);
+    if (it == ctx->models.end()) {
+      return Status::NotFound("no trained model " + model_keys_[m] +
+                              " in context");
+    }
+    MISTIQUE_ASSIGN_OR_RETURN(std::vector<double> p, it->second->Predict(*x));
+    for (size_t i = 0; i < pred.size(); ++i) pred[i] += weights[m] * p[i];
+  }
+  DataFrame out;
+  MISTIQUE_RETURN_NOT_OK(out.AddColumn("pred", std::move(pred)));
+  return out;
+}
+
+}  // namespace mistique

@@ -1,0 +1,266 @@
+#ifndef MISTIQUE_PIPELINE_STAGES_H_
+#define MISTIQUE_PIPELINE_STAGES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pipeline/models.h"
+#include "pipeline/stage.h"
+
+namespace mistique {
+
+/// ReadCSV: parses a CSV file into a frame.
+class ReadCsvStage : public Stage {
+ public:
+  ReadCsvStage(std::string output_key, std::string path)
+      : Stage("ReadCSV(" + output_key + ")", std::move(output_key)),
+        path_(std::move(path)) {}
+
+ protected:
+  Result<DataFrame> Run(PipelineContext* ctx) override;
+
+ private:
+  std::string path_;
+};
+
+/// Join: left-joins two context frames on an integer key column.
+class JoinStage : public Stage {
+ public:
+  JoinStage(std::string output_key, std::string left, std::string right,
+            std::string on)
+      : Stage("Join(" + left + "," + right + ")", std::move(output_key)),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        on_(std::move(on)) {}
+
+ protected:
+  Result<DataFrame> Run(PipelineContext* ctx) override;
+
+ private:
+  std::string left_, right_, on_;
+};
+
+/// SelectColumn: extracts the target column as both a 1-column frame and a
+/// context series (for Train stages).
+class SelectColumnStage : public Stage {
+ public:
+  SelectColumnStage(std::string output_key, std::string input,
+                    std::string column, std::string series_key)
+      : Stage("SelectColumn(" + column + ")", std::move(output_key)),
+        input_(std::move(input)),
+        column_(std::move(column)),
+        series_key_(std::move(series_key)) {}
+
+ protected:
+  Result<DataFrame> Run(PipelineContext* ctx) override;
+
+ private:
+  std::string input_, column_, series_key_;
+};
+
+/// DropColumns: removes columns (ignoring ones that are already absent).
+class DropColumnsStage : public Stage {
+ public:
+  DropColumnsStage(std::string output_key, std::string input,
+                   std::vector<std::string> columns)
+      : Stage("DropColumns(" + input + ")", std::move(output_key)),
+        input_(std::move(input)),
+        columns_(std::move(columns)) {}
+
+ protected:
+  Result<DataFrame> Run(PipelineContext* ctx) override;
+
+ private:
+  std::string input_;
+  std::vector<std::string> columns_;
+};
+
+/// TrainTestSplit: deterministically splits the feature frame and target
+/// series into train/valid parts, publishing x_valid / y_train / y_valid as
+/// side outputs; the stage's own output is x_train.
+class TrainTestSplitStage : public Stage {
+ public:
+  TrainTestSplitStage(std::string output_key, std::string x_input,
+                      std::string y_series, std::string x_valid_key,
+                      std::string y_train_key, std::string y_valid_key,
+                      double train_frac = 0.8, uint64_t seed = 13)
+      : Stage("TrainTestSplit", std::move(output_key)),
+        x_input_(std::move(x_input)),
+        y_series_(std::move(y_series)),
+        x_valid_key_(std::move(x_valid_key)),
+        y_train_key_(std::move(y_train_key)),
+        y_valid_key_(std::move(y_valid_key)),
+        train_frac_(train_frac),
+        seed_(seed) {}
+
+ protected:
+  Result<DataFrame> Run(PipelineContext* ctx) override;
+
+ private:
+  std::string x_input_, y_series_, x_valid_key_, y_train_key_, y_valid_key_;
+  double train_frac_;
+  uint64_t seed_;
+};
+
+/// FillNA: imputes missing values with per-column medians. Medians are
+/// fitted on the first frame this stage sees and reused afterwards.
+class FillNaStage : public Stage {
+ public:
+  FillNaStage(std::string output_key, std::string input)
+      : Stage("FillNA(" + input + ")", std::move(output_key)),
+        input_(std::move(input)) {}
+
+ protected:
+  Result<DataFrame> Run(PipelineContext* ctx) override;
+
+ private:
+  std::string input_;
+  bool fitted_ = false;
+  std::vector<std::string> fitted_names_;
+  std::vector<double> medians_;
+};
+
+/// OneHotEncoding: expands integer-coded categorical columns into 0/1
+/// indicator columns. Categories are fitted on first execution.
+class OneHotStage : public Stage {
+ public:
+  OneHotStage(std::string output_key, std::string input,
+              std::vector<std::string> columns)
+      : Stage("OneHotEncoding", std::move(output_key)),
+        input_(std::move(input)),
+        columns_(std::move(columns)) {}
+
+ protected:
+  Result<DataFrame> Run(PipelineContext* ctx) override;
+
+ private:
+  std::string input_;
+  std::vector<std::string> columns_;
+  bool fitted_ = false;
+  std::vector<std::vector<int64_t>> categories_;  // Per column, sorted.
+};
+
+/// Avg: adds derived ratio features (tax per sqft, sqft per room, average
+/// room size) — the feature-engineering "Avg" stage of Table 4.
+class AvgFeaturesStage : public Stage {
+ public:
+  AvgFeaturesStage(std::string output_key, std::string input)
+      : Stage("Avg", std::move(output_key)), input_(std::move(input)) {}
+
+ protected:
+  Result<DataFrame> Run(PipelineContext* ctx) override;
+
+ private:
+  std::string input_;
+};
+
+/// GetConstructionRecency: adds (2016 - yearbuilt).
+class ConstructionRecencyStage : public Stage {
+ public:
+  ConstructionRecencyStage(std::string output_key, std::string input)
+      : Stage("GetConstructionRecency", std::move(output_key)),
+        input_(std::move(input)) {}
+
+ protected:
+  Result<DataFrame> Run(PipelineContext* ctx) override;
+
+ private:
+  std::string input_;
+};
+
+/// ComputeNeighborhood: grid-quantizes (latitude, longitude) into an
+/// integer neighborhood code; `cells` is the per-axis grid resolution
+/// (the ComputeNeighborhood_params hyperparameter).
+class NeighborhoodStage : public Stage {
+ public:
+  NeighborhoodStage(std::string output_key, std::string input, int cells)
+      : Stage("ComputeNeighborhood", std::move(output_key)),
+        input_(std::move(input)),
+        cells_(cells) {}
+
+ protected:
+  Result<DataFrame> Run(PipelineContext* ctx) override;
+
+ private:
+  std::string input_;
+  int cells_;
+  bool fitted_ = false;
+  double lat_min_ = 0, lat_max_ = 1, lon_min_ = 0, lon_max_ = 1;
+};
+
+/// IsResidential: 0/1 feature from propertylandusetypeid membership
+/// (IsResidential_params selects which codes count as residential).
+class IsResidentialStage : public Stage {
+ public:
+  IsResidentialStage(std::string output_key, std::string input,
+                     std::vector<int64_t> residential_codes)
+      : Stage("IsResidential", std::move(output_key)),
+        input_(std::move(input)),
+        codes_(std::move(residential_codes)) {}
+
+ protected:
+  Result<DataFrame> Run(PipelineContext* ctx) override;
+
+ private:
+  std::string input_;
+  std::vector<int64_t> codes_;
+};
+
+/// Which learner a Train stage fits.
+enum class LearnerKind : uint8_t { kElasticNet, kXgBoost, kLightGbm };
+
+/// TrainElasticNet / TrainXGBoost / TrainLightGBM: fits once, publishes the
+/// fitted model under `model_key`, and outputs in-sample predictions. On
+/// re-runs the stored model is reused (prediction only).
+class TrainModelStage : public Stage {
+ public:
+  TrainModelStage(std::string output_key, LearnerKind kind, std::string x_key,
+                  std::string y_key, std::string model_key,
+                  ElasticNetParams enet_params = {}, GbtParams gbt_params = {})
+      : Stage(kind == LearnerKind::kElasticNet ? "TrainElasticNet"
+              : kind == LearnerKind::kXgBoost  ? "TrainXGBoost"
+                                               : "TrainLightGBM",
+              std::move(output_key)),
+        kind_(kind),
+        x_key_(std::move(x_key)),
+        y_key_(std::move(y_key)),
+        model_key_(std::move(model_key)),
+        enet_params_(enet_params),
+        gbt_params_(gbt_params) {}
+
+ protected:
+  Result<DataFrame> Run(PipelineContext* ctx) override;
+
+ private:
+  LearnerKind kind_;
+  std::string x_key_, y_key_, model_key_;
+  ElasticNetParams enet_params_;
+  GbtParams gbt_params_;
+  std::shared_ptr<const RegressionModel> model_;  // Fitted state.
+};
+
+/// Predict: weighted-ensemble prediction over previously trained models on
+/// an arbitrary feature frame.
+class PredictStage : public Stage {
+ public:
+  PredictStage(std::string output_key, std::string x_key,
+               std::vector<std::string> model_keys,
+               std::vector<double> weights = {})
+      : Stage("Predict(" + x_key + ")", std::move(output_key)),
+        x_key_(std::move(x_key)),
+        model_keys_(std::move(model_keys)),
+        weights_(std::move(weights)) {}
+
+ protected:
+  Result<DataFrame> Run(PipelineContext* ctx) override;
+
+ private:
+  std::string x_key_;
+  std::vector<std::string> model_keys_;
+  std::vector<double> weights_;
+};
+
+}  // namespace mistique
+
+#endif  // MISTIQUE_PIPELINE_STAGES_H_

@@ -1,0 +1,301 @@
+#include "pipeline/templates.h"
+
+#include "pipeline/stages.h"
+#include "pipeline/zillow.h"
+
+namespace mistique {
+
+namespace {
+
+// Hyperparameter grids: 5 variants per template (Appendix E: "5 different
+// setting combinations").
+struct LgbmVariant {
+  double learning_rate, sub_feature;
+  int min_data;
+};
+constexpr LgbmVariant kLgbmVariants[kNumZillowVariants] = {
+    {0.10, 1.00, 20}, {0.05, 0.80, 20}, {0.10, 0.60, 40},
+    {0.02, 1.00, 10}, {0.07, 0.90, 30},
+};
+
+struct XgbVariant {
+  double eta, lambda, alpha;
+  int max_depth;
+};
+constexpr XgbVariant kXgbVariants[kNumZillowVariants] = {
+    {0.10, 1.0, 0.0, 5}, {0.05, 2.0, 0.1, 4}, {0.10, 0.5, 0.0, 6},
+    {0.03, 1.0, 0.2, 5}, {0.08, 4.0, 0.0, 3},
+};
+
+struct EnetVariant {
+  double l1_ratio, tol;
+  bool normalize;
+};
+constexpr EnetVariant kEnetVariants[kNumZillowVariants] = {
+    {0.50, 1e-4, true}, {0.20, 1e-4, true}, {0.80, 1e-5, true},
+    {0.95, 1e-4, false}, {0.10, 1e-3, true},
+};
+
+struct EnsembleVariant {
+  double xgb_weight, second_weight;
+};
+constexpr EnsembleVariant kEnsembleVariants[kNumZillowVariants] = {
+    {0.7, 0.3}, {0.5, 0.5}, {0.8, 0.2}, {0.6, 0.4}, {0.9, 0.1},
+};
+
+constexpr int kNeighborhoodCells[kNumZillowVariants] = {8, 12, 16, 24, 32};
+
+GbtParams MakeLgbm(int variant) {
+  const LgbmVariant& v = kLgbmVariants[variant];
+  GbtParams p;
+  p.learning_rate = v.learning_rate;
+  p.sub_feature = v.sub_feature;
+  p.min_data = v.min_data;
+  p.n_estimators = 30;
+  p.max_leaves = 31;
+  p.growth = TreeGrowth::kLeafWise;
+  return p;
+}
+
+GbtParams MakeXgb(int variant) {
+  const XgbVariant& v = kXgbVariants[variant];
+  GbtParams p;
+  p.learning_rate = v.eta;
+  p.lambda = v.lambda;
+  p.alpha_l1 = v.alpha;
+  p.max_depth = v.max_depth;
+  p.n_estimators = 30;
+  p.growth = TreeGrowth::kLevelWise;
+  return p;
+}
+
+ElasticNetParams MakeEnet(int variant) {
+  const EnetVariant& v = kEnetVariants[variant];
+  ElasticNetParams p;
+  p.l1_ratio = v.l1_ratio;
+  p.tol = v.tol;
+  p.normalize = v.normalize;
+  p.alpha = 0.0005;
+  return p;
+}
+
+GbtParams MakeLgbmBagged(int variant) {
+  GbtParams p = MakeLgbm(variant);
+  p.bagging_fraction = 0.7 + 0.05 * variant;
+  return p;
+}
+
+// Columns never used as features.
+std::vector<std::string> DropForTrain() {
+  return {"parcelid", "logerror", "transactiondate"};
+}
+std::vector<std::string> DropForTest() {
+  return {"parcelid", "transactiondate"};
+}
+
+/// Assembles a pipeline from flags selecting the Table 4 template shape.
+struct TemplateSpec {
+  bool avg = false;
+  bool recency = false;
+  bool neighborhood = false;
+  bool is_residential = false;
+  bool onehot = false;   // Implies FillNA(2) right after, as in Table 4.
+  enum class Learner { kLgbm, kXgb, kEnet, kXgbPlusEnet } learner;
+  bool bagged_lgbm = false;
+};
+
+std::unique_ptr<Pipeline> Assemble(const std::string& name,
+                                   const TemplateSpec& spec, int variant,
+                                   const std::string& csv_dir) {
+  auto p = std::make_unique<Pipeline>(name);
+
+  // ReadCSV(3).
+  p->AddStage(std::make_unique<ReadCsvStage>("properties",
+                                             csv_dir + "/properties.csv"));
+  p->AddStage(std::make_unique<ReadCsvStage>("train", csv_dir + "/train.csv"));
+  p->AddStage(std::make_unique<ReadCsvStage>("test", csv_dir + "/test.csv"));
+
+  // Feature engineering on the properties table.
+  std::string props = "properties";
+  if (spec.avg) {
+    p->AddStage(std::make_unique<AvgFeaturesStage>("properties_avg", props));
+    props = "properties_avg";
+  }
+  if (spec.recency) {
+    p->AddStage(
+        std::make_unique<ConstructionRecencyStage>("properties_rec", props));
+    props = "properties_rec";
+  }
+  if (spec.neighborhood) {
+    p->AddStage(std::make_unique<NeighborhoodStage>(
+        "properties_hood", props, kNeighborhoodCells[variant]));
+    props = "properties_hood";
+  }
+  if (spec.is_residential) {
+    // Variant rotates which land-use codes count as residential.
+    std::vector<int64_t> codes = {0, 1, 2};
+    for (int extra = 0; extra < variant; ++extra) codes.push_back(3 + extra);
+    p->AddStage(std::make_unique<IsResidentialStage>("properties_res", props,
+                                                     std::move(codes)));
+    props = "properties_res";
+  }
+  if (spec.onehot) {
+    p->AddStage(std::make_unique<OneHotStage>("properties_ohe", props,
+                                              ZillowCategoricalColumns()));
+    props = "properties_ohe";
+    // FillNA(2): properties and train, as the Table 4 templates list.
+    p->AddStage(std::make_unique<FillNaStage>("properties_filled", props));
+    props = "properties_filled";
+    p->AddStage(std::make_unique<FillNaStage>("train_filled", "train"));
+  }
+  const std::string train_src = spec.onehot ? "train_filled" : "train";
+
+  // Join(2).
+  p->AddStage(std::make_unique<JoinStage>("train_merged", train_src, props,
+                                          "parcelid"));
+  p->AddStage(
+      std::make_unique<JoinStage>("test_merged", "test", props, "parcelid"));
+
+  // SelectColumn (target) + DropColumns(2).
+  p->AddStage(std::make_unique<SelectColumnStage>("y_frame", "train_merged",
+                                                  "logerror", "y"));
+  p->AddStage(std::make_unique<DropColumnsStage>("x_all", "train_merged",
+                                                 DropForTrain()));
+  p->AddStage(std::make_unique<DropColumnsStage>("x_test", "test_merged",
+                                                 DropForTest()));
+
+  // TrainTestSplit.
+  p->AddStage(std::make_unique<TrainTestSplitStage>(
+      "x_train", "x_all", "y", "x_valid", "y_train", "y_valid"));
+
+  // Learner(s).
+  std::vector<std::string> model_keys;
+  std::vector<double> weights;
+  switch (spec.learner) {
+    case TemplateSpec::Learner::kLgbm:
+      p->AddStage(std::make_unique<TrainModelStage>(
+          "train_pred_lgbm", LearnerKind::kLightGbm, "x_train", "y_train",
+          "lgbm", ElasticNetParams{},
+          spec.bagged_lgbm ? MakeLgbmBagged(variant) : MakeLgbm(variant)));
+      model_keys = {"lgbm"};
+      break;
+    case TemplateSpec::Learner::kXgb:
+      p->AddStage(std::make_unique<TrainModelStage>(
+          "train_pred_xgb", LearnerKind::kXgBoost, "x_train", "y_train",
+          "xgb", ElasticNetParams{}, MakeXgb(variant)));
+      model_keys = {"xgb"};
+      break;
+    case TemplateSpec::Learner::kEnet:
+      p->AddStage(std::make_unique<TrainModelStage>(
+          "train_pred_enet", LearnerKind::kElasticNet, "x_train", "y_train",
+          "enet", MakeEnet(variant)));
+      model_keys = {"enet"};
+      break;
+    case TemplateSpec::Learner::kXgbPlusEnet: {
+      p->AddStage(std::make_unique<TrainModelStage>(
+          "train_pred_xgb", LearnerKind::kXgBoost, "x_train", "y_train",
+          "xgb", ElasticNetParams{}, MakeXgb(variant)));
+      p->AddStage(std::make_unique<TrainModelStage>(
+          "train_pred_enet", LearnerKind::kElasticNet, "x_train", "y_train",
+          "enet", MakeEnet(variant)));
+      model_keys = {"xgb", "enet"};
+      const EnsembleVariant& w = kEnsembleVariants[variant];
+      weights = {w.xgb_weight, w.second_weight};
+      break;
+    }
+  }
+
+  // Predict(2): validation split and test set.
+  p->AddStage(std::make_unique<PredictStage>("pred_valid", "x_valid",
+                                             model_keys, weights));
+  p->AddStage(
+      std::make_unique<PredictStage>("pred_test", "x_test", model_keys,
+                                     weights));
+  return p;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Pipeline>> BuildZillowPipeline(
+    int template_id, int variant, const std::string& csv_dir) {
+  if (template_id < 1 || template_id > kNumZillowTemplates) {
+    return Status::InvalidArgument("template_id must be 1..10");
+  }
+  if (variant < 0 || variant >= kNumZillowVariants) {
+    return Status::InvalidArgument("variant must be 0..4");
+  }
+
+  TemplateSpec spec;
+  using L = TemplateSpec::Learner;
+  switch (template_id) {
+    case 1:  // ReadCSV Join Select Drop Split TrainLightGBM Predict
+      spec.learner = L::kLgbm;
+      break;
+    case 2:  // ... TrainXGBoost ...
+      spec.learner = L::kXgb;
+      break;
+    case 3:  // OneHot + FillNA + ElasticNet
+      spec.onehot = true;
+      spec.learner = L::kEnet;
+      break;
+    case 4:  // Avg + OneHot + FillNA + ElasticNet
+      spec.avg = true;
+      spec.onehot = true;
+      spec.learner = L::kEnet;
+      break;
+    case 5:  // XGBoost + ElasticNet ensemble
+      spec.learner = L::kXgbPlusEnet;
+      break;
+    case 6:  // Avg + LightGBM (bagged)
+      spec.avg = true;
+      spec.learner = L::kLgbm;
+      spec.bagged_lgbm = true;
+      break;
+    case 7:  // Avg + ElasticNet
+      spec.avg = true;
+      spec.learner = L::kEnet;
+      break;
+    case 8:  // Avg + Recency + OneHot + FillNA + ElasticNet
+      spec.avg = true;
+      spec.recency = true;
+      spec.onehot = true;
+      spec.learner = L::kEnet;
+      break;
+    case 9:  // + ComputeNeighborhood
+      spec.avg = true;
+      spec.recency = true;
+      spec.neighborhood = true;
+      spec.onehot = true;
+      spec.learner = L::kEnet;
+      break;
+    case 10:  // + IsResidential
+      spec.avg = true;
+      spec.recency = true;
+      spec.is_residential = true;
+      spec.onehot = true;
+      spec.learner = L::kEnet;
+      break;
+    default:
+      return Status::Internal("unreachable");
+  }
+
+  const std::string name =
+      "P" + std::to_string(template_id) + "_v" + std::to_string(variant);
+  return Assemble(name, spec, variant, csv_dir);
+}
+
+Result<std::vector<std::unique_ptr<Pipeline>>> BuildAllZillowPipelines(
+    const std::string& csv_dir) {
+  std::vector<std::unique_ptr<Pipeline>> out;
+  out.reserve(kNumZillowTemplates * kNumZillowVariants);
+  for (int t = 1; t <= kNumZillowTemplates; ++t) {
+    for (int v = 0; v < kNumZillowVariants; ++v) {
+      MISTIQUE_ASSIGN_OR_RETURN(std::unique_ptr<Pipeline> p,
+                                BuildZillowPipeline(t, v, csv_dir));
+      out.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+}  // namespace mistique

@@ -1,0 +1,31 @@
+#ifndef MISTIQUE_PIPELINE_TEMPLATES_H_
+#define MISTIQUE_PIPELINE_TEMPLATES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "pipeline/stage.h"
+
+namespace mistique {
+
+/// Number of pipeline templates (Table 4) and hyperparameter variants per
+/// template; 10 × 5 = the paper's 50 Zillow pipelines.
+constexpr int kNumZillowTemplates = 10;
+constexpr int kNumZillowVariants = 5;
+
+/// Builds Zillow pipeline P<template_id> (1-based, per Table 4) at
+/// hyperparameter variant `variant` (0..4). `csv_dir` must contain
+/// properties.csv / train.csv / test.csv (see WriteZillowCsvs). The
+/// pipeline is named "P<template_id>_v<variant>".
+Result<std::unique_ptr<Pipeline>> BuildZillowPipeline(
+    int template_id, int variant, const std::string& csv_dir);
+
+/// Builds all 50 pipelines.
+Result<std::vector<std::unique_ptr<Pipeline>>> BuildAllZillowPipelines(
+    const std::string& csv_dir);
+
+}  // namespace mistique
+
+#endif  // MISTIQUE_PIPELINE_TEMPLATES_H_

@@ -1,0 +1,168 @@
+#include "pipeline/zillow.h"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <limits>
+
+#include "common/random.h"
+#include "pipeline/csv.h"
+
+namespace mistique {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// Injects missingness with probability p.
+double MaybeMissing(Rng* rng, double value, double p) {
+  return rng->Bernoulli(p) ? kNaN : value;
+}
+
+}  // namespace
+
+const std::vector<std::string>& ZillowCategoricalColumns() {
+  static const std::vector<std::string>* const kCols =
+      new std::vector<std::string>{"regionidzip", "propertylandusetypeid",
+                                   "heatingorsystemtypeid",
+                                   "buildingqualitytypeid"};
+  return *kCols;
+}
+
+ZillowDataset GenerateZillow(const ZillowConfig& config) {
+  Rng rng(config.seed);
+  const size_t n = config.num_properties;
+
+  std::vector<double> parcelid(n);
+  std::vector<double> bathroomcnt(n), bedroomcnt(n), sqft(n), lotsize(n),
+      yearbuilt(n), latitude(n), longitude(n), garagecnt(n), poolcnt(n),
+      roomcnt(n), unitcnt(n), stories(n), taxvalue(n), structuretax(n),
+      landtax(n), taxamount(n), regionzip(n), landuse(n), heating(n),
+      quality(n), fireplacecnt(n);
+
+  for (size_t i = 0; i < n; ++i) {
+    parcelid[i] = static_cast<double>(10000000 + i);
+
+    // A latent "home size/quality" factor correlates the numeric features.
+    const double size_factor = rng.Gaussian();
+    const double wealth_factor = 0.6 * size_factor + 0.8 * rng.Gaussian();
+
+    bedroomcnt[i] = std::clamp(std::round(3.0 + 1.2 * size_factor), 1.0, 8.0);
+    bathroomcnt[i] =
+        std::clamp(std::round(2.0 + size_factor + 0.5 * rng.Gaussian()), 1.0,
+                   6.0);
+    sqft[i] = std::max(400.0, 1800.0 + 700.0 * size_factor +
+                                  250.0 * rng.Gaussian());
+    lotsize[i] = std::max(800.0, 6000.0 + 3000.0 * size_factor +
+                                     2500.0 * rng.Gaussian());
+    yearbuilt[i] = std::clamp(
+        std::round(1975.0 + 18.0 * rng.Gaussian()), 1900.0, 2016.0);
+    latitude[i] = 34.0 + 0.5 * rng.NextDouble();
+    longitude[i] = -118.5 + 0.6 * rng.NextDouble();
+    garagecnt[i] = std::round(std::clamp(1.0 + 0.8 * size_factor, 0.0, 4.0));
+    poolcnt[i] = rng.Bernoulli(0.2 + 0.1 * std::max(0.0, wealth_factor)) ? 1 : 0;
+    roomcnt[i] = bedroomcnt[i] + bathroomcnt[i] +
+                 std::round(2.0 + rng.NextDouble() * 2.0);
+    unitcnt[i] = rng.Bernoulli(0.9) ? 1 : std::round(2 + 2 * rng.NextDouble());
+    stories[i] = rng.Bernoulli(0.65) ? 1 : 2;
+    fireplacecnt[i] = rng.Bernoulli(0.3) ? 1 : 0;
+
+    structuretax[i] =
+        std::max(20000.0, 180000.0 + 90000.0 * wealth_factor +
+                              30000.0 * rng.Gaussian());
+    landtax[i] = std::max(10000.0, 220000.0 + 110000.0 * wealth_factor +
+                                       40000.0 * rng.Gaussian());
+    taxvalue[i] = structuretax[i] + landtax[i];
+    taxamount[i] = taxvalue[i] * (0.011 + 0.002 * rng.NextDouble());
+
+    regionzip[i] = static_cast<double>(rng.NextBelow(40));
+    landuse[i] = static_cast<double>(rng.NextBelow(8));
+    heating[i] = static_cast<double>(rng.NextBelow(6));
+    quality[i] = std::clamp(
+        std::round(6.0 + 2.0 * wealth_factor + rng.Gaussian()), 1.0, 12.0);
+
+    // Missingness patterns roughly like the Kaggle data.
+    lotsize[i] = MaybeMissing(&rng, lotsize[i], 0.08);
+    garagecnt[i] = MaybeMissing(&rng, garagecnt[i], 0.25);
+    yearbuilt[i] = MaybeMissing(&rng, yearbuilt[i], 0.02);
+    unitcnt[i] = MaybeMissing(&rng, unitcnt[i], 0.30);
+    quality[i] = MaybeMissing(&rng, quality[i], 0.33);
+    heating[i] = MaybeMissing(&rng, heating[i], 0.35);
+    fireplacecnt[i] = MaybeMissing(&rng, fireplacecnt[i], 0.10);
+  }
+
+  ZillowDataset out;
+  auto add = [&](const char* name, std::vector<double> col) {
+    (void)out.properties.AddColumn(name, std::move(col));
+  };
+  add("parcelid", parcelid);
+  add("bathroomcnt", bathroomcnt);
+  add("bedroomcnt", bedroomcnt);
+  add("calculatedfinishedsquarefeet", sqft);
+  add("fireplacecnt", fireplacecnt);
+  add("garagecarcnt", garagecnt);
+  add("latitude", latitude);
+  add("longitude", longitude);
+  add("lotsizesquarefeet", lotsize);
+  add("poolcnt", poolcnt);
+  add("roomcnt", roomcnt);
+  add("unitcnt", unitcnt);
+  add("yearbuilt", yearbuilt);
+  add("numberofstories", stories);
+  add("structuretaxvaluedollarcnt", structuretax);
+  add("landtaxvaluedollarcnt", landtax);
+  add("taxvaluedollarcnt", taxvalue);
+  add("taxamount", taxamount);
+  add("regionidzip", regionzip);
+  add("propertylandusetypeid", landuse);
+  add("heatingorsystemtypeid", heating);
+  add("buildingqualitytypeid", quality);
+
+  // Training transactions: the target is Zillow's log-error, a noisy
+  // nonlinear function of the home's attributes (so models can learn it).
+  std::vector<double> tr_parcel(config.num_train), tr_date(config.num_train),
+      tr_logerror(config.num_train);
+  for (size_t i = 0; i < config.num_train; ++i) {
+    const size_t prop = rng.NextBelow(n);
+    tr_parcel[i] = parcelid[prop];
+    tr_date[i] = static_cast<double>(1 + rng.NextBelow(365));
+    const double sq = std::isnan(sqft[prop]) ? 1800.0 : sqft[prop];
+    const double yb = std::isnan(yearbuilt[prop]) ? 1975.0 : yearbuilt[prop];
+    const double q = std::isnan(quality[prop]) ? 6.0 : quality[prop];
+    double signal = 0.00003 * (sq - 1800.0) - 0.002 * (2016.0 - yb) * 0.1 +
+                    0.01 * (q - 6.0) + 0.05 * std::sin(sq / 400.0) +
+                    0.03 * (taxamount[prop] / taxvalue[prop] - 0.012) * 100.0;
+    // Old homes are systematically harder to price (the "old Victorian
+    // homes" failure mode from the paper's intro).
+    if (yb < 1940.0) signal += 0.08 + 0.05 * rng.Gaussian();
+    tr_logerror[i] = signal + 0.06 * rng.Gaussian();
+  }
+  (void)out.train.AddColumn("parcelid", std::move(tr_parcel));
+  (void)out.train.AddColumn("transactiondate", std::move(tr_date));
+  (void)out.train.AddColumn("logerror", std::move(tr_logerror));
+
+  std::vector<double> te_parcel(config.num_test), te_date(config.num_test);
+  for (size_t i = 0; i < config.num_test; ++i) {
+    te_parcel[i] = parcelid[rng.NextBelow(n)];
+    te_date[i] = static_cast<double>(1 + rng.NextBelow(365));
+  }
+  (void)out.test.AddColumn("parcelid", std::move(te_parcel));
+  (void)out.test.AddColumn("transactiondate", std::move(te_date));
+  return out;
+}
+
+Status WriteZillowCsvs(const ZillowDataset& dataset,
+                       const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::IoError("cannot create " + directory + ": " + ec.message());
+  }
+  MISTIQUE_RETURN_NOT_OK(
+      WriteCsv(dataset.properties, directory + "/properties.csv"));
+  MISTIQUE_RETURN_NOT_OK(WriteCsv(dataset.train, directory + "/train.csv"));
+  MISTIQUE_RETURN_NOT_OK(WriteCsv(dataset.test, directory + "/test.csv"));
+  return Status::OK();
+}
+
+}  // namespace mistique

@@ -1,0 +1,46 @@
+#ifndef MISTIQUE_PIPELINE_ZILLOW_H_
+#define MISTIQUE_PIPELINE_ZILLOW_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "pipeline/dataframe.h"
+
+namespace mistique {
+
+/// Scale knobs for the synthetic Zestimate workload. Defaults are sized for
+/// laptop-scale experiments; the paper's Kaggle data is ~3M properties.
+struct ZillowConfig {
+  size_t num_properties = 8000;
+  size_t num_train = 6000;
+  size_t num_test = 2000;
+  uint64_t seed = 42;
+};
+
+/// The three input tables of the Kaggle Zestimate task (Appendix E):
+/// home attributes, training transactions with the Zestimate log-error
+/// target, and test transactions to score.
+struct ZillowDataset {
+  DataFrame properties;
+  DataFrame train;  ///< parcelid, transactiondate, logerror
+  DataFrame test;   ///< parcelid, transactiondate
+};
+
+/// Deterministically generates the dataset. Properties have correlated
+/// numeric features, integer-coded categoricals (region, land-use, heating,
+/// quality), and realistic missingness; logerror is a noisy nonlinear
+/// function of the features so trained models have signal to find.
+ZillowDataset GenerateZillow(const ZillowConfig& config);
+
+/// Writes the three tables as properties.csv / train.csv / test.csv under
+/// `directory` (created if needed), so ReadCSV stages parse real files.
+Status WriteZillowCsvs(const ZillowDataset& dataset,
+                       const std::string& directory);
+
+/// Names of the integer-coded categorical columns in properties, the set
+/// OneHotEncoding expands.
+const std::vector<std::string>& ZillowCategoricalColumns();
+
+}  // namespace mistique
+
+#endif  // MISTIQUE_PIPELINE_ZILLOW_H_

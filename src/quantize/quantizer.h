@@ -1,0 +1,129 @@
+#ifndef MISTIQUE_QUANTIZE_QUANTIZER_H_
+#define MISTIQUE_QUANTIZE_QUANTIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/column_chunk.h"
+
+namespace mistique {
+
+/// The quantization schemes of Sec. 4.1. kPool composes with a value scheme
+/// (the paper's default store is POOL_QT(2) over float32).
+enum class QuantScheme : uint8_t {
+  kNone = 0,       ///< full precision float64
+  kLp32 = 1,       ///< LP_QT to float32
+  kLp16 = 2,       ///< LP_QT to float16
+  kKBit = 3,       ///< KBIT_QT quantile bins (k in [1,8])
+  kThreshold = 4,  ///< THRESHOLD_QT percentile binarization
+};
+
+/// Printable scheme name ("LP_QT(16)", "8BIT_QT", ...).
+std::string QuantSchemeName(QuantScheme scheme, int k = 8);
+
+/// KBIT_QT (Sec. 4.1): fits 2^k quantile bins on a sample of the activation
+/// distribution, then maps each value to its bin index. Reconstruction maps
+/// a bin back to the median of its quantile range.
+class KBitQuantizer {
+ public:
+  /// k = bits per value, 1..8. Default matches the paper (k=8, 256 bins).
+  explicit KBitQuantizer(int k = 8);
+
+  /// Computes bin edges/centers from a sample of the value distribution.
+  /// The sample must be non-empty.
+  Status Fit(std::vector<double> sample);
+
+  bool fitted() const { return fitted_; }
+  int k() const { return k_; }
+
+  /// Bin index of one value (0 .. 2^k-1). Requires fitted().
+  uint8_t BinOf(double value) const;
+
+  /// Quantizes values into a bit-packed chunk (kUInt8 when k=8).
+  Result<ColumnChunk> Quantize(const std::vector<double>& values) const;
+
+  /// Bin -> representative value table used when decoding.
+  const ReconstructionTable& reconstruction() const { return recon_; }
+
+  /// Internal bin boundaries (size 2^k - 1), for persistence.
+  const std::vector<double>& edges() const { return edges_; }
+
+  /// Restores a fitted quantizer from persisted edges + centers.
+  static Result<KBitQuantizer> FromTables(int k, std::vector<double> edges,
+                                          std::vector<double> centers);
+
+ private:
+  int k_;
+  bool fitted_ = false;
+  std::vector<double> edges_;  // 2^k - 1 ascending boundaries.
+  ReconstructionTable recon_;  // 2^k centers.
+};
+
+/// THRESHOLD_QT (Sec. 4.1): binarizes against the (1 - alpha) percentile of
+/// the fitted distribution, as Netdissect does with alpha = 0.005. Once
+/// fitted, the data cannot be re-binarized at another threshold.
+class ThresholdQuantizer {
+ public:
+  explicit ThresholdQuantizer(double alpha = 0.005) : alpha_(alpha) {}
+
+  /// Computes the threshold from a sample. The sample must be non-empty.
+  Status Fit(std::vector<double> sample);
+
+  bool fitted() const { return fitted_; }
+  double threshold() const { return threshold_; }
+  double alpha() const { return alpha_; }
+
+  /// Binarizes values into a packed bitmap chunk.
+  Result<ColumnChunk> Quantize(const std::vector<double>& values) const;
+
+  /// Restores from a persisted threshold.
+  static ThresholdQuantizer FromThreshold(double alpha, double threshold);
+
+ private:
+  double alpha_;
+  bool fitted_ = false;
+  double threshold_ = 0;
+};
+
+/// Pooling aggregation for POOL_QT.
+enum class PoolMode : uint8_t { kAvg = 0, kMax = 1 };
+
+/// POOL_QT (Sec. 4.1): reduces an S×S activation map with a σ×σ window,
+/// shrinking storage by S²/σ². σ = S collapses each map to a single value
+/// (the paper's pool(32) for CIFAR10).
+class PoolQuantizer {
+ public:
+  explicit PoolQuantizer(int sigma = 2, PoolMode mode = PoolMode::kAvg)
+      : sigma_(sigma), mode_(mode) {}
+
+  int sigma() const { return sigma_; }
+  PoolMode mode() const { return mode_; }
+
+  /// Output side length for an input side of `s` (ceil division; σ > s
+  /// collapses to 1).
+  int OutSide(int s) const { return (s + sigma_ - 1) / sigma_; }
+
+  /// Pools one H×W map (row-major). Windows at the right/bottom edge may be
+  /// partial and aggregate only in-bounds cells.
+  std::vector<double> PoolMap(const std::vector<double>& map, int height,
+                              int width) const;
+
+  /// Pools a [C,H,W] row-major activation into [C,H',W'].
+  std::vector<double> PoolChw(const std::vector<double>& chw, int channels,
+                              int height, int width) const;
+
+ private:
+  int sigma_;
+  PoolMode mode_;
+};
+
+/// LP_QT: re-encodes doubles at a narrower float width. scheme must be
+/// kNone, kLp32 or kLp16.
+Result<ColumnChunk> LpQuantize(const std::vector<double>& values,
+                               QuantScheme scheme);
+
+}  // namespace mistique
+
+#endif  // MISTIQUE_QUANTIZE_QUANTIZER_H_

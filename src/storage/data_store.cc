@@ -1,0 +1,177 @@
+#include "storage/data_store.h"
+
+#include <iterator>
+#include <algorithm>
+
+namespace mistique {
+
+Status DataStore::Open(const DataStoreOptions& options) {
+  options_ = options;
+  memory_ = InMemoryStore(options.memory_budget_bytes);
+  return disk_.Open(options.directory);
+}
+
+Status DataStore::RecoverIndex() {
+  chunk_partition_.clear();
+  ChunkId max_chunk = 0;
+  PartitionId max_partition = 0;
+  // Reading a partition file's header+directory is cheap (the payload
+  // blob is skipped by ReadChunkIds).
+  for (PartitionId pid : disk_.ListPartitions()) {
+    MISTIQUE_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                              disk_.ReadPartition(pid));
+    MISTIQUE_ASSIGN_OR_RETURN(std::vector<ChunkId> ids,
+                              Partition::ReadChunkIds(bytes));
+    for (ChunkId id : ids) {
+      chunk_partition_[id] = pid;
+      max_chunk = std::max(max_chunk, id);
+    }
+    max_partition = std::max(max_partition, pid);
+  }
+  next_chunk_ = max_chunk + 1;
+  next_partition_ = max_partition + 1;
+  return Status::OK();
+}
+
+PartitionId DataStore::CreatePartition() {
+  const PartitionId id = next_partition_++;
+  open_[id] = std::make_shared<Partition>(id);
+  return id;
+}
+
+Result<ChunkId> DataStore::AddChunk(PartitionId partition, ColumnChunk chunk) {
+  auto it = open_.find(partition);
+  if (it == open_.end()) {
+    return Status::InvalidArgument("partition " + std::to_string(partition) +
+                                   " is not open");
+  }
+  const ChunkId id = next_chunk_++;
+  logical_bytes_ += chunk.byte_size();
+  MISTIQUE_RETURN_NOT_OK(it->second->Add(id, std::move(chunk)));
+  chunk_partition_[id] = partition;
+  if (it->second->data_bytes() >= options_.partition_target_bytes) {
+    MISTIQUE_RETURN_NOT_OK(SealPartition(partition));
+  }
+  return id;
+}
+
+Result<PartitionId> DataStore::PartitionOf(ChunkId id) const {
+  auto it = chunk_partition_.find(id);
+  if (it == chunk_partition_.end()) {
+    return Status::NotFound("unknown chunk " + std::to_string(id));
+  }
+  return it->second;
+}
+
+Result<ChunkRef> DataStore::GetChunk(ChunkId id) {
+  MISTIQUE_ASSIGN_OR_RETURN(PartitionId pid, PartitionOf(id));
+
+  // 1. Still open?
+  auto open_it = open_.find(pid);
+  if (open_it != open_.end()) {
+    MISTIQUE_ASSIGN_OR_RETURN(const ColumnChunk* c, open_it->second->Get(id));
+    return ChunkRef{open_it->second, c};
+  }
+
+  // 2. Buffer pool?
+  if (auto cached = memory_.Lookup(pid)) {
+    MISTIQUE_ASSIGN_OR_RETURN(const ColumnChunk* c, cached->Get(id));
+    return ChunkRef{cached, c};
+  }
+
+  // 3. Disk: read, decompress, cache.
+  MISTIQUE_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                            disk_.ReadPartition(pid));
+  disk_read_bytes_ += bytes.size();
+  MISTIQUE_ASSIGN_OR_RETURN(Partition p, Partition::Deserialize(bytes));
+  auto shared = std::make_shared<const Partition>(std::move(p));
+  // Evicted partitions are already sealed on disk; just drop them.
+  memory_.Insert(shared);
+  MISTIQUE_ASSIGN_OR_RETURN(const ColumnChunk* c, shared->Get(id));
+  return ChunkRef{shared, c};
+}
+
+Status DataStore::SealPartition(PartitionId id) {
+  auto it = open_.find(id);
+  if (it == open_.end()) return Status::OK();  // Already sealed.
+  std::shared_ptr<Partition> p = it->second;
+  open_.erase(it);
+
+  MISTIQUE_ASSIGN_OR_RETURN(const Codec* codec, GetCodec(options_.codec));
+  MISTIQUE_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, p->Serialize(*codec));
+  MISTIQUE_RETURN_NOT_OK(disk_.WritePartition(id, bytes));
+  memory_.Insert(std::shared_ptr<const Partition>(std::move(p)));
+  return Status::OK();
+}
+
+Status DataStore::Flush() {
+  // Collect ids first: SealPartition mutates open_.
+  std::vector<PartitionId> ids;
+  ids.reserve(open_.size());
+  for (const auto& [id, p] : open_) {
+    (void)p;
+    ids.push_back(id);
+  }
+  for (PartitionId id : ids) {
+    MISTIQUE_RETURN_NOT_OK(SealPartition(id));
+  }
+  return Status::OK();
+}
+
+Status DataStore::DropPartition(PartitionId id) {
+  open_.erase(id);
+  memory_.Erase(id);
+  if (disk_.Contains(id)) {
+    MISTIQUE_RETURN_NOT_OK(disk_.DeletePartition(id));
+  }
+  for (auto it = chunk_partition_.begin(); it != chunk_partition_.end();) {
+    it = it->second == id ? chunk_partition_.erase(it) : std::next(it);
+  }
+  return Status::OK();
+}
+
+Status DataStore::RewritePartition(PartitionId id,
+                                   const std::unordered_set<ChunkId>& keep) {
+  if (open_.count(id)) {
+    return Status::InvalidArgument("cannot rewrite open partition " +
+                                   std::to_string(id));
+  }
+  if (!disk_.Contains(id)) {
+    return Status::NotFound("partition " + std::to_string(id) +
+                            " not on disk");
+  }
+  MISTIQUE_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                            disk_.ReadPartition(id));
+  MISTIQUE_ASSIGN_OR_RETURN(Partition old, Partition::Deserialize(bytes));
+
+  Partition rewritten(id);
+  std::vector<ChunkId> dropped;
+  for (ChunkId chunk_id : old.chunk_ids()) {
+    if (keep.count(chunk_id)) {
+      MISTIQUE_ASSIGN_OR_RETURN(const ColumnChunk* chunk, old.Get(chunk_id));
+      MISTIQUE_RETURN_NOT_OK(rewritten.Add(chunk_id, *chunk));
+    } else {
+      dropped.push_back(chunk_id);
+    }
+  }
+  memory_.Erase(id);
+  for (ChunkId chunk_id : dropped) chunk_partition_.erase(chunk_id);
+  if (rewritten.num_chunks() == 0) {
+    return disk_.DeletePartition(id);
+  }
+  MISTIQUE_ASSIGN_OR_RETURN(const Codec* codec, GetCodec(options_.codec));
+  MISTIQUE_ASSIGN_OR_RETURN(std::vector<uint8_t> out,
+                            rewritten.Serialize(*codec));
+  return disk_.WritePartition(id, out);
+}
+
+uint64_t DataStore::open_bytes() const {
+  uint64_t total = 0;
+  for (const auto& [id, p] : open_) {
+    (void)id;
+    total += p->data_bytes();
+  }
+  return total;
+}
+
+}  // namespace mistique

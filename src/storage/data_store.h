@@ -1,0 +1,129 @@
+#ifndef MISTIQUE_STORAGE_DATA_STORE_H_
+#define MISTIQUE_STORAGE_DATA_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "compress/codec.h"
+#include "storage/disk_store.h"
+#include "storage/in_memory_store.h"
+#include "storage/partition.h"
+
+namespace mistique {
+
+/// Configuration for a DataStore instance.
+struct DataStoreOptions {
+  /// Directory for sealed partition files.
+  std::string directory = "mistique_data";
+  /// Buffer-pool budget for decompressed partitions.
+  size_t memory_budget_bytes = 256ull << 20;
+  /// A partition is sealed (compressed + persisted) once its uncompressed
+  /// payload reaches this size.
+  size_t partition_target_bytes = 1ull << 22;
+  /// Codec applied to sealed partitions.
+  CodecType codec = CodecType::kLzss;
+};
+
+/// A borrowed chunk plus the shared ownership that keeps it alive.
+struct ChunkRef {
+  std::shared_ptr<const Partition> holder;
+  const ColumnChunk* chunk = nullptr;
+};
+
+/// The MISTIQUE DataStore (Sec. 3/4 of the paper): column-oriented storage
+/// of intermediates as ColumnChunks grouped into Partitions, fronted by an
+/// in-memory buffer pool and backed by an on-disk store.
+///
+/// Placement is caller-directed: the dedup layer picks the target partition
+/// so similar chunks are co-located. A partition auto-seals once it reaches
+/// the target size; sealed partitions are immutable.
+class DataStore {
+ public:
+  DataStore() : memory_(0) {}
+  DataStore(const DataStore&) = delete;
+  DataStore& operator=(const DataStore&) = delete;
+
+  /// Opens the backing directory and sizes the buffer pool.
+  Status Open(const DataStoreOptions& options);
+
+  /// Rebuilds the chunk -> partition index from the partition files already
+  /// in the directory (reopening a persisted store). Only reads partition
+  /// directories, never decompresses payloads. Resets id counters past the
+  /// recovered maxima.
+  Status RecoverIndex();
+
+  /// Creates a new open partition and returns its id.
+  PartitionId CreatePartition();
+
+  /// True while a partition accepts new chunks.
+  bool IsOpen(PartitionId id) const {
+    return open_.find(id) != open_.end();
+  }
+
+  /// Appends `chunk` to the open partition `partition` and returns the new
+  /// chunk's id. Seals the partition afterwards if it reached the target
+  /// size. InvalidArgument if the partition is sealed or unknown.
+  Result<ChunkId> AddChunk(PartitionId partition, ColumnChunk chunk);
+
+  /// Fetches a chunk wherever it lives: open partition, buffer pool, or
+  /// disk (decompressing and caching the partition).
+  Result<ChunkRef> GetChunk(ChunkId id);
+
+  /// Partition that owns a chunk; NotFound for unknown ids.
+  Result<PartitionId> PartitionOf(ChunkId id) const;
+
+  /// Seals one open partition: serializes, compresses, persists, and moves
+  /// it into the buffer pool. No-op (OK) if already sealed.
+  Status SealPartition(PartitionId id);
+
+  /// Seals every open partition (called at the end of a logging session).
+  Status Flush();
+
+  /// Removes a partition entirely — open buffer, cache, disk file, and its
+  /// chunks' index entries. Used for scratch data (cost-model calibration
+  /// probes); chunks referencing it become unknown.
+  Status DropPartition(PartitionId id);
+
+  /// Rewrites a *sealed* partition keeping only the chunks in `keep`
+  /// (vacuum after model deletion). Chunk ids are preserved; removed
+  /// chunks' index entries are erased. Dropping every chunk removes the
+  /// partition. InvalidArgument for open partitions.
+  Status RewritePartition(PartitionId id,
+                          const std::unordered_set<ChunkId>& keep);
+
+  /// --- Statistics for the experiments & cost model ---
+
+  /// Sum of encoded (uncompressed) chunk payload bytes ever added.
+  uint64_t logical_bytes() const { return logical_bytes_; }
+  /// Compressed bytes currently on disk.
+  uint64_t stored_bytes() const { return disk_.total_bytes(); }
+  /// Uncompressed bytes sitting in not-yet-sealed partitions.
+  uint64_t open_bytes() const;
+  /// Bytes read back from disk (compressed) since Open.
+  uint64_t disk_read_bytes() const { return disk_read_bytes_; }
+  size_t num_chunks() const { return chunk_partition_.size(); }
+
+  const InMemoryStore& memory() const { return memory_; }
+  const DiskStore& disk() const { return disk_; }
+
+ private:
+  DataStoreOptions options_;
+  InMemoryStore memory_;
+  DiskStore disk_;
+
+  std::unordered_map<PartitionId, std::shared_ptr<Partition>> open_;
+  std::unordered_map<ChunkId, PartitionId> chunk_partition_;
+  PartitionId next_partition_ = 1;
+  ChunkId next_chunk_ = 1;
+  uint64_t logical_bytes_ = 0;
+  uint64_t disk_read_bytes_ = 0;
+};
+
+}  // namespace mistique
+
+#endif  // MISTIQUE_STORAGE_DATA_STORE_H_

@@ -1,0 +1,129 @@
+#include "storage/disk_store.h"
+
+#include <cstdio>
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+namespace mistique {
+
+namespace fs = std::filesystem;
+
+Status DiskStore::Open(const std::string& directory) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    return Status::IoError("cannot create " + directory + ": " + ec.message());
+  }
+  directory_ = directory;
+  sizes_.clear();
+  total_bytes_ = 0;
+  for (const auto& entry : fs::directory_iterator(directory, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    // Partition files are named part-<id>.mq.
+    if (name.rfind("part-", 0) != 0) continue;
+    const size_t dot = name.find('.', 5);
+    if (dot == std::string::npos) continue;
+    PartitionId id = 0;
+    try {
+      id = static_cast<PartitionId>(std::stoul(name.substr(5, dot - 5)));
+    } catch (...) {
+      continue;
+    }
+    const uint64_t size = entry.file_size();
+    sizes_[id] = size;
+    total_bytes_ += size;
+  }
+  if (ec) {
+    return Status::IoError("cannot scan " + directory + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+std::string DiskStore::PathFor(PartitionId id) const {
+  return directory_ + "/part-" + std::to_string(id) + ".mq";
+}
+
+Status DiskStore::WritePartition(PartitionId id,
+                                 const std::vector<uint8_t>& bytes) {
+  if (directory_.empty()) return Status::Internal("disk store not opened");
+  const std::string path = PathFor(id);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path + " for write");
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) return Status::IoError("short write to " + path);
+
+  auto it = sizes_.find(id);
+  if (it != sizes_.end()) total_bytes_ -= it->second;
+  sizes_[id] = bytes.size();
+  total_bytes_ += bytes.size();
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> DiskStore::ReadPartition(PartitionId id) const {
+  auto it = sizes_.find(id);
+  if (it == sizes_.end()) {
+    return Status::NotFound("partition " + std::to_string(id) +
+                            " not on disk");
+  }
+  const std::string path = PathFor(id);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::vector<uint8_t> bytes(it->second);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (static_cast<uint64_t>(in.gcount()) != it->second) {
+    return Status::IoError("short read from " + path);
+  }
+  return bytes;
+}
+
+Result<uint64_t> DiskStore::PartitionSize(PartitionId id) const {
+  auto it = sizes_.find(id);
+  if (it == sizes_.end()) {
+    return Status::NotFound("partition " + std::to_string(id) +
+                            " not on disk");
+  }
+  return it->second;
+}
+
+std::vector<PartitionId> DiskStore::ListPartitions() const {
+  std::vector<PartitionId> out;
+  out.reserve(sizes_.size());
+  for (const auto& [id, size] : sizes_) {
+    (void)size;
+    out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status DiskStore::DeletePartition(PartitionId id) {
+  auto it = sizes_.find(id);
+  if (it == sizes_.end()) return Status::OK();
+  std::error_code ec;
+  fs::remove(PathFor(id), ec);
+  if (ec) {
+    return Status::IoError("cannot remove partition file: " + ec.message());
+  }
+  total_bytes_ -= it->second;
+  sizes_.erase(it);
+  return Status::OK();
+}
+
+Status DiskStore::Clear() {
+  for (const auto& [id, size] : sizes_) {
+    (void)size;
+    std::error_code ec;
+    fs::remove(PathFor(id), ec);
+    if (ec) return Status::IoError("cannot remove partition file: " + ec.message());
+  }
+  sizes_.clear();
+  total_bytes_ = 0;
+  return Status::OK();
+}
+
+}  // namespace mistique

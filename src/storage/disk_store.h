@@ -1,0 +1,65 @@
+#ifndef MISTIQUE_STORAGE_DISK_STORE_H_
+#define MISTIQUE_STORAGE_DISK_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/partition.h"
+
+namespace mistique {
+
+/// Persistent partition storage: one file per sealed partition under a
+/// directory, plus an in-memory index of compressed sizes. Read/write paths
+/// report byte counts so the cost model can calibrate ρ_d (effective read
+/// bandwidth including decompression).
+class DiskStore {
+ public:
+  DiskStore() = default;
+  DiskStore(const DiskStore&) = delete;
+  DiskStore& operator=(const DiskStore&) = delete;
+
+  /// Opens (creating if needed) the storage directory and indexes any
+  /// partition files already present.
+  Status Open(const std::string& directory);
+
+  /// Writes serialized partition bytes; overwrites any previous version.
+  Status WritePartition(PartitionId id, const std::vector<uint8_t>& bytes);
+
+  /// Reads a partition's serialized bytes; NotFound if never written.
+  Result<std::vector<uint8_t>> ReadPartition(PartitionId id) const;
+
+  bool Contains(PartitionId id) const {
+    return sizes_.find(id) != sizes_.end();
+  }
+
+  /// Compressed on-disk size of one partition; NotFound if absent.
+  Result<uint64_t> PartitionSize(PartitionId id) const;
+
+  /// Ids of all partitions on disk, ascending.
+  std::vector<PartitionId> ListPartitions() const;
+
+  /// Total compressed bytes across all partitions.
+  uint64_t total_bytes() const { return total_bytes_; }
+  size_t num_partitions() const { return sizes_.size(); }
+  const std::string& directory() const { return directory_; }
+
+  /// Deletes one partition's file; no-op (OK) if absent.
+  Status DeletePartition(PartitionId id);
+
+  /// Deletes every partition file and resets the index.
+  Status Clear();
+
+ private:
+  std::string PathFor(PartitionId id) const;
+
+  std::string directory_;
+  std::unordered_map<PartitionId, uint64_t> sizes_;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace mistique
+
+#endif  // MISTIQUE_STORAGE_DISK_STORE_H_

@@ -1,0 +1,51 @@
+#include "storage/in_memory_store.h"
+
+namespace mistique {
+
+std::vector<std::shared_ptr<const Partition>> InMemoryStore::Insert(
+    std::shared_ptr<const Partition> partition) {
+  const PartitionId id = partition->id();
+  auto it = map_.find(id);
+  if (it != map_.end()) {
+    size_bytes_ -= it->second->partition->data_bytes();
+    lru_.erase(it->second);
+    map_.erase(it);
+  }
+  size_bytes_ += partition->data_bytes();
+  lru_.push_front(Node{std::move(partition)});
+  map_[id] = lru_.begin();
+
+  std::vector<std::shared_ptr<const Partition>> evicted;
+  // Evict from the tail, but never the partition just inserted.
+  while (size_bytes_ > capacity_bytes_ && lru_.size() > 1) {
+    Node victim = std::move(lru_.back());
+    lru_.pop_back();
+    map_.erase(victim.partition->id());
+    size_bytes_ -= victim.partition->data_bytes();
+    evicted.push_back(std::move(victim.partition));
+  }
+  return evicted;
+}
+
+std::shared_ptr<const Partition> InMemoryStore::Lookup(PartitionId id) {
+  auto it = map_.find(id);
+  if (it == map_.end()) {
+    misses_++;
+    return nullptr;
+  }
+  hits_++;
+  // Refresh recency.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  it->second = lru_.begin();
+  return it->second->partition;
+}
+
+void InMemoryStore::Erase(PartitionId id) {
+  auto it = map_.find(id);
+  if (it == map_.end()) return;
+  size_bytes_ -= it->second->partition->data_bytes();
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+}  // namespace mistique

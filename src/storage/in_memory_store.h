@@ -1,0 +1,71 @@
+#ifndef MISTIQUE_STORAGE_IN_MEMORY_STORE_H_
+#define MISTIQUE_STORAGE_IN_MEMORY_STORE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "storage/partition.h"
+
+namespace mistique {
+
+/// Bounded LRU buffer pool of decompressed Partitions.
+///
+/// New intermediates land here first (Fig. 3 of the paper); sealed
+/// partitions read back from disk are also cached here. Eviction hands the
+/// victim back to the caller via Insert's return value so the DataStore can
+/// decide whether a flush to disk is needed.
+class InMemoryStore {
+ public:
+  /// `capacity_bytes` bounds the sum of partition data_bytes(); at least one
+  /// partition is always admitted even if it alone exceeds the budget.
+  explicit InMemoryStore(size_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  InMemoryStore(const InMemoryStore&) = delete;
+  InMemoryStore& operator=(const InMemoryStore&) = delete;
+  // Movable so owners can re-initialize with a new budget. std::list
+  // iterators survive the move, keeping map_ valid.
+  InMemoryStore(InMemoryStore&&) = default;
+  InMemoryStore& operator=(InMemoryStore&&) = default;
+
+  /// Inserts (or replaces) a partition and returns the partitions evicted to
+  /// fit the budget, most-stale first. The inserted partition is made
+  /// most-recently-used.
+  std::vector<std::shared_ptr<const Partition>> Insert(
+      std::shared_ptr<const Partition> partition);
+
+  /// Looks up a cached partition, refreshing its recency. Null if absent.
+  std::shared_ptr<const Partition> Lookup(PartitionId id);
+
+  /// Removes a partition without treating it as an eviction (e.g. after the
+  /// DataStore seals and rewrites it). No-op if absent.
+  void Erase(PartitionId id);
+
+  size_t size_bytes() const { return size_bytes_; }
+  size_t capacity_bytes() const { return capacity_bytes_; }
+  size_t num_partitions() const { return map_.size(); }
+
+  /// Cache observability for tests and the cost model.
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Node {
+    std::shared_ptr<const Partition> partition;
+  };
+  using LruList = std::list<Node>;
+
+  size_t capacity_bytes_;
+  size_t size_bytes_ = 0;
+  LruList lru_;  // Front = most recent.
+  std::unordered_map<PartitionId, LruList::iterator> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace mistique
+
+#endif  // MISTIQUE_STORAGE_IN_MEMORY_STORE_H_

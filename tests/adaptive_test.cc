@@ -1,0 +1,188 @@
+#include "core/mistique.h"
+#include "gtest/gtest.h"
+#include "pipeline/templates.h"
+#include "pipeline/zillow.h"
+#include "test_util.h"
+
+namespace mistique {
+namespace {
+
+class AdaptiveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<TempDir>("adaptive");
+    ZillowConfig config;
+    config.num_properties = 400;
+    config.num_train = 300;
+    config.num_test = 100;
+    ASSERT_OK(WriteZillowCsvs(GenerateZillow(config), dir_->path()));
+  }
+
+  MistiqueOptions Options(double gamma_min) {
+    MistiqueOptions opts;
+    opts.store.directory = dir_->path() + "/store" + std::to_string(n_++);
+    opts.strategy = StorageStrategy::kAdaptive;
+    opts.gamma_min = gamma_min;
+    opts.row_block_size = 128;
+    // Deterministic cost model so γ crossings are reproducible.
+    opts.cost.read_bytes_per_sec = 200e6;
+    return opts;
+  }
+
+  std::unique_ptr<TempDir> dir_;
+  int n_ = 0;
+};
+
+TEST_F(AdaptiveTest, LoggingStoresNothing) {
+  Mistique mq;
+  ASSERT_OK(mq.Open(Options(100.0)));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Pipeline> pipeline,
+                       BuildZillowPipeline(1, 0, dir_->path()));
+  ASSERT_OK_AND_ASSIGN(ModelId id, mq.LogPipeline(pipeline.get(), "zillow"));
+  EXPECT_EQ(mq.StorageFootprintBytes(), 0u);
+  ASSERT_OK_AND_ASSIGN(const ModelInfo* model, mq.metadata().GetModel(id));
+  for (const IntermediateInfo& interm : model->intermediates) {
+    for (const ColumnInfo& col : interm.columns) {
+      EXPECT_FALSE(col.materialized);
+    }
+  }
+}
+
+TEST_F(AdaptiveTest, FirstQueriesRerun) {
+  Mistique mq;
+  // Effectively infinite γ threshold: never materialize.
+  ASSERT_OK(mq.Open(Options(1e18)));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Pipeline> pipeline,
+                       BuildZillowPipeline(1, 0, dir_->path()));
+  ASSERT_OK(mq.LogPipeline(pipeline.get(), "zillow").status());
+
+  FetchRequest req;
+  req.project = "zillow";
+  req.model = "P1_v0";
+  req.intermediate = "pred_test";
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_OK_AND_ASSIGN(FetchResult result, mq.Fetch(req));
+    EXPECT_FALSE(result.used_read);
+    EXPECT_FALSE(result.materialized_now);
+  }
+  EXPECT_EQ(mq.StorageFootprintBytes(), 0u);
+}
+
+TEST_F(AdaptiveTest, RepeatedQueriesTriggerMaterialization) {
+  Mistique mq;
+  // Tiny γ threshold: the first query's γ crosses it immediately for any
+  // intermediate whose rerun beats read.
+  ASSERT_OK(mq.Open(Options(1e-6)));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Pipeline> pipeline,
+                       BuildZillowPipeline(1, 0, dir_->path()));
+  ASSERT_OK(mq.LogPipeline(pipeline.get(), "zillow").status());
+
+  FetchRequest req;
+  req.project = "zillow";
+  req.model = "P1_v0";
+  req.intermediate = "pred_test";
+
+  ASSERT_OK_AND_ASSIGN(FetchResult first, mq.Fetch(req));
+  EXPECT_FALSE(first.used_read);
+  EXPECT_TRUE(first.materialized_now);
+  EXPECT_GT(mq.StorageFootprintBytes(), 0u);
+
+  // Later queries read the materialized copy and match the rerun values.
+  ASSERT_OK_AND_ASSIGN(FetchResult second, mq.Fetch(req));
+  EXPECT_TRUE(second.used_read);
+  ASSERT_EQ(second.columns[0].size(), first.columns[0].size());
+  for (size_t i = 0; i < first.columns[0].size(); ++i) {
+    EXPECT_EQ(second.columns[0][i], first.columns[0][i]);
+  }
+}
+
+TEST_F(AdaptiveTest, GammaAccumulatesAcrossQueries) {
+  Mistique mq;
+  // Threshold set after logging from this instance's own calibrated
+  // metadata, so the γ crossings are deterministic.
+  ASSERT_OK(mq.Open(Options(1e18)));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Pipeline> pipeline,
+                       BuildZillowPipeline(1, 0, dir_->path()));
+  ASSERT_OK_AND_ASSIGN(ModelId id, mq.LogPipeline(pipeline.get(), "zillow"));
+
+  // γ of the first query for this intermediate; threshold at ~2.5γ makes
+  // the third query trigger (Eq. 5's numerator grows per query).
+  ASSERT_OK_AND_ASSIGN(const ModelInfo* model, mq.metadata().GetModel(id));
+  const IntermediateInfo* target = nullptr;
+  for (const auto& interm : model->intermediates) {
+    if (interm.name == "pred_test") target = &interm;
+  }
+  ASSERT_NE(target, nullptr);
+  IntermediateInfo probe = *target;
+  probe.n_query = 1;
+  const double gamma1 = mq.cost_model().Gamma(
+      *model, probe, probe.num_rows * probe.columns.size() * 8);
+  ASSERT_GT(gamma1, 0);
+  mq.set_gamma_min(2.5 * gamma1);
+
+  FetchRequest req;
+  req.project = "zillow";
+  req.model = "P1_v0";
+  req.intermediate = "pred_test";
+  ASSERT_OK_AND_ASSIGN(FetchResult q1, mq.Fetch(req));
+  EXPECT_FALSE(q1.materialized_now);  // γ = 1x < 2.5x.
+  ASSERT_OK_AND_ASSIGN(FetchResult q2, mq.Fetch(req));
+  EXPECT_FALSE(q2.materialized_now);  // γ = 2x < 2.5x.
+  ASSERT_OK_AND_ASSIGN(FetchResult q3, mq.Fetch(req));
+  EXPECT_TRUE(q3.materialized_now);  // γ = 3x > 2.5x.
+}
+
+TEST_F(AdaptiveTest, MaterializationIsPerColumn) {
+  // Alg. 4 decides per column: repeatedly querying one column must
+  // materialize only that column, leaving its siblings unmaterialized.
+  Mistique mq;
+  ASSERT_OK(mq.Open(Options(1e-6)));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Pipeline> pipeline,
+                       BuildZillowPipeline(1, 0, dir_->path()));
+  ASSERT_OK_AND_ASSIGN(ModelId id, mq.LogPipeline(pipeline.get(), "zillow"));
+
+  FetchRequest req;
+  req.project = "zillow";
+  req.model = "P1_v0";
+  req.intermediate = "train_merged";
+  req.columns = {"taxamount"};
+  ASSERT_OK_AND_ASSIGN(FetchResult result, mq.Fetch(req));
+  EXPECT_TRUE(result.materialized_now);
+
+  ASSERT_OK_AND_ASSIGN(const IntermediateInfo* interm,
+                       std::as_const(mq.metadata())
+                           .FindIntermediate(id, "train_merged"));
+  size_t materialized = 0;
+  for (const ColumnInfo& col : interm->columns) {
+    if (col.materialized) {
+      materialized++;
+      EXPECT_EQ(col.name, "taxamount");
+    }
+  }
+  EXPECT_EQ(materialized, 1u);
+
+  // The hot column now reads; a sibling column still re-runs.
+  ASSERT_OK_AND_ASSIGN(FetchResult hot, mq.Fetch(req));
+  EXPECT_TRUE(hot.used_read);
+  req.columns = {"bedroomcnt"};
+  req.force_read = false;
+  ASSERT_OK_AND_ASSIGN(FetchResult cold, mq.Fetch(req));
+  EXPECT_FALSE(cold.used_read);
+}
+
+TEST_F(AdaptiveTest, ForceReadOnUnmaterializedFails) {
+  Mistique mq;
+  ASSERT_OK(mq.Open(Options(1e18)));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Pipeline> pipeline,
+                       BuildZillowPipeline(1, 0, dir_->path()));
+  ASSERT_OK(mq.LogPipeline(pipeline.get(), "zillow").status());
+  FetchRequest req;
+  req.project = "zillow";
+  req.model = "P1_v0";
+  req.intermediate = "pred_test";
+  req.force_read = true;
+  EXPECT_EQ(mq.Fetch(req).status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace mistique

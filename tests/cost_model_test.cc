@@ -1,0 +1,129 @@
+#include "core/cost_model.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace mistique {
+namespace {
+
+ModelInfo DnnModel() {
+  ModelInfo model;
+  model.kind = ModelKind::kDnn;
+  model.model_load_sec = 1.2;
+  return model;
+}
+
+IntermediateInfo MakeInterm(uint64_t rows, double exec_per_ex,
+                            double bytes_per_ex) {
+  IntermediateInfo interm;
+  interm.num_rows = rows;
+  interm.row_block_size = 1024;
+  interm.cum_exec_sec_per_ex = exec_per_ex;
+  interm.stored_bytes_per_ex = bytes_per_ex;
+  ColumnInfo col;
+  col.name = "c";
+  col.materialized = true;
+  interm.columns.push_back(col);
+  return interm;
+}
+
+CostModelParams Params() {
+  CostModelParams p;
+  p.read_bytes_per_sec = 100e6;
+  p.input_bytes_per_sec = 1e9;
+  return p;
+}
+
+TEST(CostModelTest, DnnRerunIncludesModelLoad) {
+  CostModel cm(Params());
+  const ModelInfo model = DnnModel();
+  const IntermediateInfo interm = MakeInterm(10000, 1e-4, 100);
+  // n_ex = 1: dominated by the fixed 1.2s load.
+  EXPECT_NEAR(cm.RerunSeconds(model, interm, 1), 1.2, 0.01);
+  // Scales linearly in n_ex beyond the fixed cost.
+  const double t1 = cm.RerunSeconds(model, interm, 1000);
+  const double t2 = cm.RerunSeconds(model, interm, 2000);
+  EXPECT_NEAR(t2 - t1, 1000 * 1e-4 + 1000 * 3 * 32 * 32 * 4 / 1e9, 1e-6);
+}
+
+TEST(CostModelTest, TradRerunIgnoresNex) {
+  CostModel cm(Params());
+  ModelInfo model;
+  model.kind = ModelKind::kTrad;
+  const IntermediateInfo interm = MakeInterm(10000, 1e-4, 100);
+  EXPECT_EQ(cm.RerunSeconds(model, interm, 1),
+            cm.RerunSeconds(model, interm, 10000));
+  EXPECT_NEAR(cm.RerunSeconds(model, interm, 1), 1.0, 1e-9);
+}
+
+TEST(CostModelTest, ReadScalesWithBytesAndBlocks) {
+  CostModel cm(Params());
+  const IntermediateInfo interm = MakeInterm(10240, 1e-4, 1000);
+  // Reading 1 row still reads a whole 1024-row block.
+  EXPECT_NEAR(cm.ReadSeconds(interm, 1), 1024 * 1000 / 100e6, 1e-9);
+  EXPECT_NEAR(cm.ReadSeconds(interm, 10240), 10240 * 1000 / 100e6, 1e-9);
+  // Column fraction scales linearly.
+  EXPECT_NEAR(cm.ReadSeconds(interm, 10240, 0.1),
+              0.1 * 10240 * 1000 / 100e6, 1e-9);
+}
+
+TEST(CostModelTest, ShouldReadFlipsAcrossLayers) {
+  CostModel cm(Params());
+  const ModelInfo model = DnnModel();
+  // "Layer1": huge (100KB/ex) but nearly free to recompute.
+  IntermediateInfo layer1 = MakeInterm(50000, 1e-6, 100000);
+  // "Layer21": tiny (40B/ex) but needs the whole forward pass.
+  IntermediateInfo layer21 = MakeInterm(50000, 5e-3, 40);
+
+  EXPECT_FALSE(cm.ShouldRead(model, layer1, 50000));
+  EXPECT_TRUE(cm.ShouldRead(model, layer21, 50000));
+}
+
+TEST(CostModelTest, UnmaterializedNeverRead) {
+  CostModel cm(Params());
+  const ModelInfo model = DnnModel();
+  IntermediateInfo interm = MakeInterm(1000, 1.0, 10);
+  interm.columns.clear();
+  EXPECT_FALSE(cm.ShouldRead(model, interm, 1000));
+}
+
+TEST(CostModelTest, GammaGrowsWithQueries) {
+  CostModel cm(Params());
+  ModelInfo model;
+  model.kind = ModelKind::kTrad;
+  IntermediateInfo interm = MakeInterm(10000, 1e-3, 8);  // 10s rerun.
+  interm.n_query = 1;
+  const double g1 = cm.Gamma(model, interm, 80000);
+  interm.n_query = 10;
+  const double g10 = cm.Gamma(model, interm, 80000);
+  EXPECT_GT(g1, 0);
+  EXPECT_NEAR(g10, 10 * g1, 1e-6);
+}
+
+TEST(CostModelTest, GammaZeroWhenRerunCheaper) {
+  CostModel cm(Params());
+  ModelInfo model;
+  model.kind = ModelKind::kTrad;
+  IntermediateInfo interm = MakeInterm(1000, 1e-9, 8);  // ~free rerun.
+  interm.n_query = 100;
+  EXPECT_EQ(cm.Gamma(model, interm, 1ull << 30), 0.0);
+}
+
+TEST(CostModelTest, CalibrateMeasuresRealBandwidth) {
+  TempDir dir("calibrate");
+  DataStoreOptions opts;
+  opts.directory = dir.path();
+  DataStore store;
+  ASSERT_OK(store.Open(opts));
+  CostModel cm;
+  ASSERT_OK(cm.Calibrate(&store, 1u << 20));
+  // Anything plausible: 1MB/s .. 100GB/s.
+  EXPECT_GT(cm.params().read_bytes_per_sec, 1e6);
+  EXPECT_LT(cm.params().read_bytes_per_sec, 1e11);
+  // The calibration probe must not leave storage behind.
+  EXPECT_EQ(store.stored_bytes(), 0u);
+  EXPECT_EQ(store.open_bytes(), 0u);
+  EXPECT_EQ(store.num_chunks(), 0u);
+}
+
+}  // namespace
+}  // namespace mistique

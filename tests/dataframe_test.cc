@@ -1,0 +1,133 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "pipeline/csv.h"
+#include "pipeline/dataframe.h"
+#include "test_util.h"
+
+namespace mistique {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+DataFrame MakeFrame() {
+  DataFrame f;
+  (void)f.AddColumn("id", {1, 2, 3});
+  (void)f.AddColumn("x", {10.5, 20.5, 30.5});
+  (void)f.AddColumn("y", {0.1, kNaN, 0.3});
+  return f;
+}
+
+TEST(DataFrameTest, AddAndAccess) {
+  DataFrame f = MakeFrame();
+  EXPECT_EQ(f.num_rows(), 3u);
+  EXPECT_EQ(f.num_cols(), 3u);
+  EXPECT_TRUE(f.HasColumn("x"));
+  ASSERT_OK_AND_ASSIGN(const std::vector<double>* x, f.Column("x"));
+  EXPECT_EQ((*x)[1], 20.5);
+  EXPECT_EQ(f.at(2, 1), 30.5);
+  EXPECT_FALSE(f.Column("missing").ok());
+}
+
+TEST(DataFrameTest, DuplicateColumnRejected) {
+  DataFrame f = MakeFrame();
+  EXPECT_EQ(f.AddColumn("x", {1, 2, 3}).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DataFrameTest, RowCountMismatchRejected) {
+  DataFrame f = MakeFrame();
+  EXPECT_EQ(f.AddColumn("z", {1, 2}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DataFrameTest, DropShiftsIndex) {
+  DataFrame f = MakeFrame();
+  ASSERT_OK(f.DropColumn("x"));
+  EXPECT_EQ(f.num_cols(), 2u);
+  EXPECT_FALSE(f.HasColumn("x"));
+  // "y" must still resolve correctly after the shift.
+  ASSERT_OK_AND_ASSIGN(const std::vector<double>* y, f.Column("y"));
+  EXPECT_EQ((*y)[2], 0.3);
+  EXPECT_EQ(f.NameAt(1), "y");
+}
+
+TEST(DataFrameTest, SelectPreservesOrder) {
+  DataFrame f = MakeFrame();
+  ASSERT_OK_AND_ASSIGN(DataFrame sel, f.Select({"y", "id"}));
+  EXPECT_EQ(sel.num_cols(), 2u);
+  EXPECT_EQ(sel.NameAt(0), "y");
+  EXPECT_EQ(sel.NameAt(1), "id");
+  EXPECT_FALSE(f.Select({"nope"}).ok());
+}
+
+TEST(DataFrameTest, TakeRows) {
+  DataFrame f = MakeFrame();
+  DataFrame sub = f.TakeRows({2, 0});
+  EXPECT_EQ(sub.num_rows(), 2u);
+  EXPECT_EQ(sub.at(0, 0), 3);  // Row 2 first.
+  EXPECT_EQ(sub.at(1, 0), 1);
+}
+
+TEST(DataFrameTest, LeftJoinMatchesKeys) {
+  DataFrame left;
+  (void)left.AddColumn("parcelid", {10, 11, 12, 10});
+  (void)left.AddColumn("date", {1, 2, 3, 4});
+  DataFrame right;
+  (void)right.AddColumn("parcelid", {12, 10});
+  (void)right.AddColumn("sqft", {1200, 3400});
+
+  ASSERT_OK_AND_ASSIGN(DataFrame joined, left.LeftJoin(right, "parcelid"));
+  EXPECT_EQ(joined.num_rows(), 4u);
+  EXPECT_EQ(joined.num_cols(), 3u);  // Key not duplicated.
+  ASSERT_OK_AND_ASSIGN(const std::vector<double>* sqft,
+                       joined.Column("sqft"));
+  EXPECT_EQ((*sqft)[0], 3400);
+  EXPECT_TRUE(std::isnan((*sqft)[1]));  // parcel 11 unmatched.
+  EXPECT_EQ((*sqft)[2], 1200);
+  EXPECT_EQ((*sqft)[3], 3400);  // Duplicate key joins both rows.
+}
+
+TEST(DataFrameTest, LeftJoinNameCollisionSuffixed) {
+  DataFrame left;
+  (void)left.AddColumn("k", {1});
+  (void)left.AddColumn("v", {5});
+  DataFrame right;
+  (void)right.AddColumn("k", {1});
+  (void)right.AddColumn("v", {9});
+  ASSERT_OK_AND_ASSIGN(DataFrame joined, left.LeftJoin(right, "k"));
+  EXPECT_TRUE(joined.HasColumn("v"));
+  EXPECT_TRUE(joined.HasColumn("v_r"));
+}
+
+TEST(CsvTest, RoundTripWithNaN) {
+  TempDir dir("csv");
+  DataFrame f = MakeFrame();
+  const std::string path = dir.path() + "/t.csv";
+  ASSERT_OK(WriteCsv(f, path));
+  ASSERT_OK_AND_ASSIGN(DataFrame read, ReadCsv(path));
+  EXPECT_EQ(read.num_rows(), 3u);
+  EXPECT_EQ(read.num_cols(), 3u);
+  EXPECT_EQ(read.NameAt(0), "id");
+  EXPECT_EQ(read.at(1, 1), 20.5);
+  EXPECT_TRUE(std::isnan(read.at(1, 2)));
+  EXPECT_EQ(read.at(2, 2), 0.3);
+}
+
+TEST(CsvTest, MissingFileIsIoError) {
+  EXPECT_EQ(ReadCsv("/nonexistent/path.csv").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(CsvTest, PrecisionPreserved) {
+  TempDir dir("csv_precision");
+  DataFrame f;
+  (void)f.AddColumn("v", {0.1234567891, 1e-7, 123456789.25});
+  const std::string path = dir.path() + "/p.csv";
+  ASSERT_OK(WriteCsv(f, path));
+  ASSERT_OK_AND_ASSIGN(DataFrame read, ReadCsv(path));
+  EXPECT_NEAR(read.at(0, 0), 0.1234567891, 1e-10);
+  EXPECT_NEAR(read.at(1, 0), 1e-7, 1e-16);
+  EXPECT_NEAR(read.at(2, 0), 123456789.25, 1.0);
+}
+
+}  // namespace
+}  // namespace mistique

@@ -1,0 +1,226 @@
+#include "common/random.h"
+#include "dedup/deduplicator.h"
+#include "dedup/lsh_index.h"
+#include "dedup/minhash.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace mistique {
+namespace {
+
+std::vector<double> RandomDoubles(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (double& v : out) v = rng.Gaussian();
+  return out;
+}
+
+// Perturbs `frac` of the values so Jaccard over (row, value) elements is
+// roughly 1 - frac.
+std::vector<double> Perturb(std::vector<double> values, double frac,
+                            uint64_t seed) {
+  Rng rng(seed);
+  for (double& v : values) {
+    if (rng.Bernoulli(frac)) v += 10.0 + rng.NextDouble();
+  }
+  return values;
+}
+
+// ---------------------------------------------------------------- MinHash
+
+TEST(MinHashTest, IdenticalChunksEstimateOne) {
+  MinHashOptions opts;
+  const auto values = RandomDoubles(1000, 1);
+  const auto a = ComputeMinHash(ColumnChunk::FromDoubles(values), opts);
+  const auto b = ComputeMinHash(ColumnChunk::FromDoubles(values), opts);
+  EXPECT_EQ(a.EstimateJaccard(b), 1.0);
+}
+
+TEST(MinHashTest, DisjointChunksEstimateNearZero) {
+  MinHashOptions opts;
+  const auto a =
+      ComputeMinHash(ColumnChunk::FromDoubles(RandomDoubles(1000, 1)), opts);
+  const auto b =
+      ComputeMinHash(ColumnChunk::FromDoubles(RandomDoubles(1000, 2)), opts);
+  EXPECT_LT(a.EstimateJaccard(b), 0.15);
+}
+
+class MinHashAccuracyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MinHashAccuracyTest, EstimateTracksExactJaccard) {
+  const double frac = GetParam();
+  MinHashOptions opts;
+  const auto base_values = RandomDoubles(2000, 3);
+  ColumnChunk base = ColumnChunk::FromDoubles(base_values);
+  ColumnChunk similar =
+      ColumnChunk::FromDoubles(Perturb(base_values, frac, 4));
+  const double exact = ExactJaccard(base, similar, opts);
+  const double estimate = ComputeMinHash(base, opts)
+                              .EstimateJaccard(ComputeMinHash(similar, opts));
+  EXPECT_NEAR(estimate, exact, 0.12) << "frac=" << frac;
+}
+
+INSTANTIATE_TEST_SUITE_P(PerturbFractions, MinHashAccuracyTest,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.5, 0.8));
+
+TEST(MinHashTest, ExactJaccardBounds) {
+  MinHashOptions opts;
+  const auto values = RandomDoubles(100, 5);
+  ColumnChunk a = ColumnChunk::FromDoubles(values);
+  EXPECT_EQ(ExactJaccard(a, a, opts), 1.0);
+  ColumnChunk b = ColumnChunk::FromDoubles(RandomDoubles(100, 6));
+  const double j = ExactJaccard(a, b, opts);
+  EXPECT_GE(j, 0.0);
+  EXPECT_LE(j, 1.0);
+}
+
+// -------------------------------------------------------------- LshIndex
+
+TEST(LshIndexTest, FindsNearDuplicates) {
+  MinHashOptions opts;
+  LshIndex index(opts.num_hashes, 32);
+  const auto base_values = RandomDoubles(2000, 7);
+  index.Insert(1, ComputeMinHash(ColumnChunk::FromDoubles(base_values), opts));
+  index.Insert(
+      2, ComputeMinHash(ColumnChunk::FromDoubles(RandomDoubles(2000, 8)),
+                        opts));
+
+  // 95%-similar query must surface key 1 above tau=0.5.
+  const auto query = ComputeMinHash(
+      ColumnChunk::FromDoubles(Perturb(base_values, 0.05, 9)), opts);
+  const auto similar = index.Similar(query, 0.5);
+  ASSERT_FALSE(similar.empty());
+  EXPECT_EQ(similar[0].first, 1u);
+  EXPECT_GT(similar[0].second, 0.5);
+}
+
+TEST(LshIndexTest, DissimilarNotReturnedAboveTau) {
+  MinHashOptions opts;
+  LshIndex index(opts.num_hashes, 32);
+  index.Insert(
+      1, ComputeMinHash(ColumnChunk::FromDoubles(RandomDoubles(1000, 10)),
+                        opts));
+  const auto query = ComputeMinHash(
+      ColumnChunk::FromDoubles(RandomDoubles(1000, 11)), opts);
+  EXPECT_TRUE(index.Similar(query, 0.5).empty());
+}
+
+TEST(LshIndexTest, WrongSignatureLengthIgnored) {
+  LshIndex index(128, 32);
+  MinHashSignature bad;
+  bad.values.assign(16, 0);
+  index.Insert(1, bad);
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_TRUE(index.Candidates(bad).empty());
+}
+
+// ---------------------------------------------------------- Deduplicator
+
+DataStoreOptions StoreOpts(const std::string& dir) {
+  DataStoreOptions opts;
+  opts.directory = dir;
+  opts.partition_target_bytes = 64 * 1024;
+  return opts;
+}
+
+TEST(DeduplicatorTest, ExactDuplicateStoredOnce) {
+  TempDir dir("dedup_exact");
+  DataStore store;
+  ASSERT_OK(store.Open(StoreOpts(dir.path())));
+  Deduplicator dedup(&store, DedupOptions{});
+
+  const auto values = RandomDoubles(500, 1);
+  ASSERT_OK_AND_ASSIGN(Deduplicator::AddResult first,
+                       dedup.AddChunk(ColumnChunk::FromDoubles(values)));
+  ASSERT_OK_AND_ASSIGN(Deduplicator::AddResult second,
+                       dedup.AddChunk(ColumnChunk::FromDoubles(values)));
+  EXPECT_FALSE(first.was_duplicate);
+  EXPECT_TRUE(second.was_duplicate);
+  EXPECT_EQ(first.chunk_id, second.chunk_id);
+  EXPECT_EQ(dedup.duplicate_chunks(), 1u);
+  EXPECT_EQ(store.num_chunks(), 1u);
+}
+
+TEST(DeduplicatorTest, SimilarChunksColocated) {
+  TempDir dir("dedup_similar");
+  DataStore store;
+  ASSERT_OK(store.Open(StoreOpts(dir.path())));
+  Deduplicator dedup(&store, DedupOptions{});
+
+  const auto base = RandomDoubles(2000, 2);
+  ASSERT_OK_AND_ASSIGN(Deduplicator::AddResult a,
+                       dedup.AddChunk(ColumnChunk::FromDoubles(base)));
+  ASSERT_OK_AND_ASSIGN(
+      Deduplicator::AddResult b,
+      dedup.AddChunk(ColumnChunk::FromDoubles(Perturb(base, 0.05, 3))));
+  EXPECT_EQ(a.partition, b.partition);
+
+  // A completely different chunk goes to a different cluster/partition.
+  ASSERT_OK_AND_ASSIGN(
+      Deduplicator::AddResult c,
+      dedup.AddChunk(ColumnChunk::FromDoubles(RandomDoubles(2000, 4))));
+  EXPECT_NE(a.partition, c.partition);
+}
+
+TEST(DeduplicatorTest, ColocationGroupsStickTogether) {
+  TempDir dir("dedup_group");
+  DataStore store;
+  ASSERT_OK(store.Open(StoreOpts(dir.path())));
+  DedupOptions opts;
+  opts.similarity = false;
+  Deduplicator dedup(&store, opts);
+
+  ASSERT_OK_AND_ASSIGN(
+      Deduplicator::AddResult a,
+      dedup.AddChunk(ColumnChunk::FromDoubles(RandomDoubles(100, 1)), 7));
+  ASSERT_OK_AND_ASSIGN(
+      Deduplicator::AddResult b,
+      dedup.AddChunk(ColumnChunk::FromDoubles(RandomDoubles(100, 2)), 7));
+  ASSERT_OK_AND_ASSIGN(
+      Deduplicator::AddResult c,
+      dedup.AddChunk(ColumnChunk::FromDoubles(RandomDoubles(100, 3)), 8));
+  EXPECT_EQ(a.partition, b.partition);
+  EXPECT_NE(a.partition, c.partition);
+}
+
+TEST(DeduplicatorTest, DisabledExactStoresEverything) {
+  TempDir dir("dedup_off");
+  DataStore store;
+  ASSERT_OK(store.Open(StoreOpts(dir.path())));
+  DedupOptions opts;
+  opts.exact = false;
+  opts.similarity = false;
+  Deduplicator dedup(&store, opts);
+
+  const auto values = RandomDoubles(100, 5);
+  ASSERT_OK_AND_ASSIGN(Deduplicator::AddResult a,
+                       dedup.AddChunk(ColumnChunk::FromDoubles(values)));
+  ASSERT_OK_AND_ASSIGN(Deduplicator::AddResult b,
+                       dedup.AddChunk(ColumnChunk::FromDoubles(values)));
+  EXPECT_NE(a.chunk_id, b.chunk_id);
+  EXPECT_EQ(store.num_chunks(), 2u);
+}
+
+TEST(DeduplicatorTest, SealedGroupPartitionRollsOver) {
+  TempDir dir("dedup_roll");
+  DataStoreOptions sopts = StoreOpts(dir.path());
+  sopts.partition_target_bytes = 4096;  // Seal after ~one 500-double chunk.
+  DataStore store;
+  ASSERT_OK(store.Open(sopts));
+  DedupOptions opts;
+  opts.similarity = false;
+  Deduplicator dedup(&store, opts);
+
+  ASSERT_OK_AND_ASSIGN(
+      Deduplicator::AddResult a,
+      dedup.AddChunk(ColumnChunk::FromDoubles(RandomDoubles(600, 1)), 5));
+  // The first partition sealed (600*8 > 4096); the next add must get a new
+  // open partition rather than failing.
+  ASSERT_OK_AND_ASSIGN(
+      Deduplicator::AddResult b,
+      dedup.AddChunk(ColumnChunk::FromDoubles(RandomDoubles(600, 2)), 5));
+  EXPECT_NE(a.partition, b.partition);
+}
+
+}  // namespace
+}  // namespace mistique

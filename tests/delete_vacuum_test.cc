@@ -1,0 +1,183 @@
+#include "core/mistique.h"
+#include "gtest/gtest.h"
+#include "pipeline/templates.h"
+#include "pipeline/zillow.h"
+#include "test_util.h"
+
+namespace mistique {
+namespace {
+
+class DeleteVacuumTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<TempDir>("delete");
+    ZillowConfig config;
+    config.num_properties = 500;
+    config.num_train = 380;
+    config.num_test = 120;
+    ASSERT_OK(WriteZillowCsvs(GenerateZillow(config), dir_->path()));
+  }
+
+  MistiqueOptions Options() {
+    MistiqueOptions opts;
+    opts.store.directory = dir_->path() + "/store" + std::to_string(n_++);
+    opts.strategy = StorageStrategy::kDedup;
+    opts.row_block_size = 128;
+    return opts;
+  }
+
+  std::unique_ptr<TempDir> dir_;
+  int n_ = 0;
+};
+
+TEST_F(DeleteVacuumTest, DeleteRemovesModelFromCatalog) {
+  Mistique mq;
+  ASSERT_OK(mq.Open(Options()));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Pipeline> pipeline,
+                       BuildZillowPipeline(1, 0, dir_->path()));
+  ASSERT_OK(mq.LogPipeline(pipeline.get(), "zillow").status());
+  ASSERT_OK(mq.DeleteModel("zillow", "P1_v0"));
+  EXPECT_EQ(mq.metadata().num_models(), 0u);
+  FetchRequest req;
+  req.project = "zillow";
+  req.model = "P1_v0";
+  req.intermediate = "pred_test";
+  EXPECT_EQ(mq.Fetch(req).status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(mq.DeleteModel("zillow", "P1_v0").ok());  // Already gone.
+}
+
+TEST_F(DeleteVacuumTest, VacuumReclaimsUnsharedStorage) {
+  Mistique mq;
+  ASSERT_OK(mq.Open(Options()));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Pipeline> pipeline,
+                       BuildZillowPipeline(1, 0, dir_->path()));
+  ASSERT_OK(mq.LogPipeline(pipeline.get(), "zillow").status());
+  ASSERT_OK(mq.Flush());
+  const uint64_t before = mq.StorageFootprintBytes();
+  ASSERT_GT(before, 0u);
+
+  ASSERT_OK(mq.DeleteModel("zillow", "P1_v0"));
+  // Metadata gone but bytes still on disk until vacuum.
+  EXPECT_EQ(mq.StorageFootprintBytes(), before);
+  ASSERT_OK_AND_ASSIGN(uint64_t reclaimed, mq.Vacuum());
+  EXPECT_GT(reclaimed, before / 2);  // The only model: nearly everything.
+  EXPECT_LT(mq.StorageFootprintBytes(), before / 4);
+}
+
+TEST_F(DeleteVacuumTest, SharedChunksSurviveDeleteOfOneModel) {
+  Mistique mq;
+  ASSERT_OK(mq.Open(Options()));
+  // Two variants share all pre-model intermediates via exact dedup.
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Pipeline> p0,
+                       BuildZillowPipeline(3, 0, dir_->path()));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Pipeline> p1,
+                       BuildZillowPipeline(3, 1, dir_->path()));
+  ASSERT_OK(mq.LogPipeline(p0.get(), "zillow").status());
+  ASSERT_OK(mq.LogPipeline(p1.get(), "zillow").status());
+  ASSERT_OK(mq.Flush());
+
+  // Baseline values from the surviving model.
+  ASSERT_OK_AND_ASSIGN(FetchResult keep_before,
+                       mq.GetIntermediates({"zillow.P3_v1.x_all.*"}, 50));
+
+  ASSERT_OK(mq.DeleteModel("zillow", "P3_v0"));
+  ASSERT_OK(mq.Vacuum().status());
+
+  // The survivor must still read every shared intermediate exactly.
+  FetchRequest req;
+  req.project = "zillow";
+  req.model = "P3_v1";
+  req.intermediate = "x_all";
+  req.n_ex = 50;
+  req.force_read = true;
+  ASSERT_OK_AND_ASSIGN(FetchResult keep_after, mq.Fetch(req));
+  ASSERT_EQ(keep_after.columns.size(), keep_before.columns.size());
+  for (size_t c = 0; c < keep_after.columns.size(); ++c) {
+    for (size_t r = 0; r < keep_after.columns[c].size(); ++r) {
+      const double a = keep_before.columns[c][r];
+      const double b = keep_after.columns[c][r];
+      if (std::isnan(a)) {
+        EXPECT_TRUE(std::isnan(b));
+      } else {
+        EXPECT_EQ(a, b);
+      }
+    }
+  }
+}
+
+TEST_F(DeleteVacuumTest, RelogAfterDeleteStoresFresh) {
+  // Deleting a model and logging identical content again must not hand
+  // out dead chunk ids from the dedup index.
+  Mistique mq;
+  ASSERT_OK(mq.Open(Options()));
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<Pipeline> pipeline,
+                         BuildZillowPipeline(1, 0, dir_->path()));
+    ASSERT_OK(mq.LogPipeline(pipeline.get(), "zillow").status());
+    ASSERT_OK(mq.Flush());
+    ASSERT_OK(mq.DeleteModel("zillow", "P1_v0"));
+    ASSERT_OK(mq.Vacuum().status());
+  }
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Pipeline> again,
+                       BuildZillowPipeline(1, 0, dir_->path()));
+  ASSERT_OK(mq.LogPipeline(again.get(), "zillow").status());
+  ASSERT_OK(mq.Flush());
+  FetchRequest req;
+  req.project = "zillow";
+  req.model = "P1_v0";
+  req.intermediate = "pred_test";
+  req.force_read = true;
+  ASSERT_OK_AND_ASSIGN(FetchResult result, mq.Fetch(req));
+  EXPECT_EQ(result.columns[0].size(), 120u);
+}
+
+TEST_F(DeleteVacuumTest, RefcountsSurviveCatalogReopen) {
+  MistiqueOptions opts = Options();
+  {
+    Mistique mq;
+    ASSERT_OK(mq.Open(opts));
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<Pipeline> p0,
+                         BuildZillowPipeline(3, 0, dir_->path()));
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<Pipeline> p1,
+                         BuildZillowPipeline(3, 1, dir_->path()));
+    ASSERT_OK(mq.LogPipeline(p0.get(), "zillow").status());
+    ASSERT_OK(mq.LogPipeline(p1.get(), "zillow").status());
+    ASSERT_OK(mq.SaveCatalog());
+  }
+  Mistique mq;
+  ASSERT_OK(mq.Open(opts));
+  ASSERT_OK(mq.DeleteModel("zillow", "P3_v0"));
+  ASSERT_OK(mq.Vacuum().status());
+  // Shared chunks survived the delete because refcounts were rebuilt.
+  ASSERT_OK_AND_ASSIGN(FetchResult result,
+                       mq.GetIntermediates({"zillow.P3_v1.x_all.*"}, 10));
+  EXPECT_TRUE(result.used_read);
+  EXPECT_EQ(result.columns[0].size(), 10u);
+}
+
+TEST(RewritePartitionTest, KeepsOnlyRequestedChunks) {
+  TempDir dir("rewrite");
+  DataStoreOptions opts;
+  opts.directory = dir.path();
+  DataStore store;
+  ASSERT_OK(store.Open(opts));
+  const PartitionId pid = store.CreatePartition();
+  ASSERT_OK_AND_ASSIGN(ChunkId a,
+                       store.AddChunk(pid, ColumnChunk::FromDoubles({1, 2})));
+  ASSERT_OK_AND_ASSIGN(ChunkId b,
+                       store.AddChunk(pid, ColumnChunk::FromDoubles({3, 4})));
+  EXPECT_FALSE(store.RewritePartition(pid, {a}).ok());  // Still open.
+  ASSERT_OK(store.SealPartition(pid));
+
+  ASSERT_OK(store.RewritePartition(pid, {a}));
+  ASSERT_OK(store.GetChunk(a).status());
+  EXPECT_EQ(store.GetChunk(b).status().code(), StatusCode::kNotFound);
+
+  // Dropping the last chunk removes the partition file.
+  ASSERT_OK(store.RewritePartition(pid, {}));
+  EXPECT_FALSE(store.disk().Contains(pid));
+  EXPECT_EQ(store.GetChunk(a).status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace mistique

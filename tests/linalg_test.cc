@@ -1,0 +1,172 @@
+#include <cmath>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "linalg/matrix.h"
+#include "test_util.h"
+
+namespace mistique {
+namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Matrix m(rows, cols);
+  Rng rng(seed);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) m.at(i, j) = rng.Gaussian();
+  }
+  return m;
+}
+
+TEST(MatrixTest, MultiplyKnown) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  Matrix b(2, 2, {5, 6, 7, 8});
+  Matrix c = a.Multiply(b);
+  EXPECT_EQ(c.at(0, 0), 19);
+  EXPECT_EQ(c.at(0, 1), 22);
+  EXPECT_EQ(c.at(1, 0), 43);
+  EXPECT_EQ(c.at(1, 1), 50);
+}
+
+TEST(MatrixTest, TransposeAndGram) {
+  Matrix a(3, 2, {1, 2, 3, 4, 5, 6});
+  Matrix at = a.Transposed();
+  EXPECT_EQ(at.rows(), 2u);
+  EXPECT_EQ(at.at(0, 2), 5);
+  Matrix g = a.Gram();
+  // g = a^T a.
+  Matrix expect = at.Multiply(a);
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 2; ++j) {
+      EXPECT_NEAR(g.at(i, j), expect.at(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(MatrixTest, CenterColumnsZeroesMeans) {
+  Matrix m = RandomMatrix(50, 4, 1);
+  m.CenterColumns();
+  for (size_t j = 0; j < 4; ++j) {
+    double mean = 0;
+    for (size_t i = 0; i < 50; ++i) mean += m.at(i, j);
+    EXPECT_NEAR(mean / 50, 0.0, 1e-12);
+  }
+}
+
+TEST(SvdTest, DiagonalMatrix) {
+  Matrix a(3, 3);
+  a.at(0, 0) = 3;
+  a.at(1, 1) = 1;
+  a.at(2, 2) = 2;
+  ASSERT_OK_AND_ASSIGN(SvdResult svd, ComputeSvd(a));
+  ASSERT_EQ(svd.singular_values.size(), 3u);
+  EXPECT_NEAR(svd.singular_values[0], 3, 1e-10);
+  EXPECT_NEAR(svd.singular_values[1], 2, 1e-10);
+  EXPECT_NEAR(svd.singular_values[2], 1, 1e-10);
+}
+
+TEST(SvdTest, ReconstructsInput) {
+  Matrix a = RandomMatrix(20, 6, 3);
+  ASSERT_OK_AND_ASSIGN(SvdResult svd, ComputeSvd(a));
+  // A ?= U S V^T.
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      double v = 0;
+      for (size_t k = 0; k < svd.singular_values.size(); ++k) {
+        v += svd.u.at(i, k) * svd.singular_values[k] * svd.v.at(j, k);
+      }
+      EXPECT_NEAR(v, a.at(i, j), 1e-8);
+    }
+  }
+}
+
+TEST(SvdTest, OrthonormalU) {
+  Matrix a = RandomMatrix(30, 5, 4);
+  ASSERT_OK_AND_ASSIGN(SvdResult svd, ComputeSvd(a));
+  for (size_t p = 0; p < 5; ++p) {
+    for (size_t q = 0; q < 5; ++q) {
+      double dot = 0;
+      for (size_t i = 0; i < 30; ++i) dot += svd.u.at(i, p) * svd.u.at(i, q);
+      EXPECT_NEAR(dot, p == q ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(SvdTest, WideMatrixHandledByTranspose) {
+  Matrix a = RandomMatrix(4, 10, 5);
+  ASSERT_OK_AND_ASSIGN(SvdResult svd, ComputeSvd(a));
+  EXPECT_EQ(svd.singular_values.size(), 4u);
+  // Reconstruction check.
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      double v = 0;
+      for (size_t k = 0; k < svd.singular_values.size(); ++k) {
+        v += svd.u.at(i, k) * svd.singular_values[k] * svd.v.at(j, k);
+      }
+      EXPECT_NEAR(v, a.at(i, j), 1e-8);
+    }
+  }
+}
+
+TEST(SvdTest, EmptyRejected) {
+  EXPECT_FALSE(ComputeSvd(Matrix()).ok());
+}
+
+TEST(SvdProjectTest, KeepsRequestedVariance) {
+  // Rank-2-dominant matrix: two strong directions + tiny noise.
+  Rng rng(6);
+  Matrix a(100, 10);
+  for (size_t i = 0; i < 100; ++i) {
+    const double f1 = rng.Gaussian() * 10;
+    const double f2 = rng.Gaussian() * 5;
+    for (size_t j = 0; j < 10; ++j) {
+      a.at(i, j) = f1 * std::sin(static_cast<double>(j)) +
+                   f2 * std::cos(static_cast<double>(j) * 2) +
+                   0.01 * rng.Gaussian();
+    }
+  }
+  ASSERT_OK_AND_ASSIGN(Matrix proj, SvdProject(a, 0.99));
+  EXPECT_LE(proj.cols(), 3u);  // Two real directions (+ maybe one noise).
+  EXPECT_EQ(proj.rows(), 100u);
+}
+
+TEST(CcaTest, IdenticalSubspacesCorrelateFully) {
+  Matrix x = RandomMatrix(60, 4, 7);
+  // y = x * random invertible mix: same subspace.
+  Matrix mix = RandomMatrix(4, 4, 8);
+  Matrix y = x.Multiply(mix);
+  ASSERT_OK_AND_ASSIGN(std::vector<double> rho, ComputeCca(x, y));
+  ASSERT_EQ(rho.size(), 4u);
+  for (double r : rho) EXPECT_NEAR(r, 1.0, 1e-6);
+}
+
+TEST(CcaTest, IndependentDataCorrelatesWeakly) {
+  Matrix x = RandomMatrix(500, 3, 9);
+  Matrix y = RandomMatrix(500, 3, 10);
+  ASSERT_OK_AND_ASSIGN(std::vector<double> rho, ComputeCca(x, y));
+  for (double r : rho) EXPECT_LT(r, 0.35);
+}
+
+TEST(CcaTest, PartialSharedStructure) {
+  // One shared latent factor out of two dims each.
+  Rng rng(11);
+  Matrix x(300, 2), y(300, 2);
+  for (size_t i = 0; i < 300; ++i) {
+    const double shared = rng.Gaussian();
+    x.at(i, 0) = shared + 0.1 * rng.Gaussian();
+    x.at(i, 1) = rng.Gaussian();
+    y.at(i, 0) = shared + 0.1 * rng.Gaussian();
+    y.at(i, 1) = rng.Gaussian();
+  }
+  ASSERT_OK_AND_ASSIGN(std::vector<double> rho, ComputeCca(x, y));
+  ASSERT_EQ(rho.size(), 2u);
+  EXPECT_GT(rho[0], 0.9);   // The shared factor.
+  EXPECT_LT(rho[1], 0.35);  // Nothing else shared.
+}
+
+TEST(CcaTest, RowMismatchRejected) {
+  EXPECT_FALSE(
+      ComputeCca(RandomMatrix(10, 2, 1), RandomMatrix(11, 2, 2)).ok());
+}
+
+}  // namespace
+}  // namespace mistique

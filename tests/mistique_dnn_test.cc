@@ -1,0 +1,272 @@
+#include <cmath>
+
+#include "core/mistique.h"
+#include "gtest/gtest.h"
+#include "nn/cifar.h"
+#include "nn/model_zoo.h"
+#include "test_util.h"
+
+namespace mistique {
+namespace {
+
+DnnScaleConfig TinyScale() {
+  DnnScaleConfig config;
+  config.vgg_scale = 0.05;
+  config.cnn_scale = 0.2;
+  return config;
+}
+
+class MistiqueDnnTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<TempDir>("mq_dnn");
+    CifarConfig config;
+    config.num_examples = 120;
+    data_ = GenerateCifar(config);
+    input_ = std::make_shared<Tensor>(data_.images);
+  }
+
+  MistiqueOptions Options(QuantScheme scheme, int pool_sigma = 1) {
+    MistiqueOptions opts;
+    opts.store.directory = dir_->path() + "/store_" +
+                           std::to_string(static_cast<int>(scheme)) + "_" +
+                           std::to_string(pool_sigma) + "_" +
+                           std::to_string(instance_++);
+    opts.strategy = StorageStrategy::kDedup;
+    opts.dnn_scheme = scheme;
+    opts.pool_sigma = pool_sigma;
+    opts.row_block_size = 64;
+    return opts;
+  }
+
+  std::unique_ptr<TempDir> dir_;
+  CifarData data_;
+  std::shared_ptr<Tensor> input_;
+  int instance_ = 0;
+};
+
+TEST_F(MistiqueDnnTest, LogsEveryLayer) {
+  Mistique mq;
+  ASSERT_OK(mq.Open(Options(QuantScheme::kLp32)));
+  auto net = BuildCifarCnn(TinyScale());
+  ASSERT_OK_AND_ASSIGN(ModelId id,
+                       mq.LogNetwork(net.get(), input_, "cifar", "cnn"));
+  ASSERT_OK_AND_ASSIGN(const ModelInfo* model, mq.metadata().GetModel(id));
+  EXPECT_EQ(model->kind, ModelKind::kDnn);
+  EXPECT_EQ(model->intermediates.size(), net->num_layers());
+  EXPECT_GT(model->model_load_sec, 0);
+  for (const IntermediateInfo& interm : model->intermediates) {
+    EXPECT_EQ(interm.num_rows, 120u);
+    EXPECT_FALSE(interm.columns.empty());
+    // Two row blocks of 64: each column has 2 chunks.
+    EXPECT_EQ(interm.columns[0].chunks.size(), 2u);
+  }
+}
+
+TEST_F(MistiqueDnnTest, ReadMatchesRerunAtFullPrecision) {
+  Mistique mq;
+  MistiqueOptions opts = Options(QuantScheme::kNone);
+  ASSERT_OK(mq.Open(opts));
+  auto net = BuildCifarCnn(TinyScale());
+  ASSERT_OK(mq.LogNetwork(net.get(), input_, "cifar", "cnn").status());
+  ASSERT_OK(mq.Flush());
+
+  FetchRequest req;
+  req.project = "cifar";
+  req.model = "cnn";
+  req.intermediate = "layer8";  // fc2 logits: 10 columns.
+  req.force_read = true;
+  ASSERT_OK_AND_ASSIGN(FetchResult read, mq.Fetch(req));
+  req.force_read = false;
+  ASSERT_OK_AND_ASSIGN(FetchResult rerun, mq.Fetch(req));
+
+  ASSERT_EQ(read.columns.size(), 10u);
+  ASSERT_EQ(rerun.columns.size(), 10u);
+  for (size_t c = 0; c < 10; ++c) {
+    for (size_t r = 0; r < 120; ++r) {
+      // Full-precision store: float32 activations stored as float64 decode
+      // to the same float value the rerun produces.
+      EXPECT_NEAR(read.columns[c][r], rerun.columns[c][r], 1e-6);
+    }
+  }
+}
+
+TEST_F(MistiqueDnnTest, PoolingShrinksColumnsAndStorage) {
+  Mistique plain, pooled;
+  ASSERT_OK(plain.Open(Options(QuantScheme::kLp32, 1)));
+  ASSERT_OK(pooled.Open(Options(QuantScheme::kLp32, 2)));
+  auto net1 = BuildCifarCnn(TinyScale());
+  auto net2 = BuildCifarCnn(TinyScale());
+  ASSERT_OK(plain.LogNetwork(net1.get(), input_, "cifar", "cnn").status());
+  ASSERT_OK(pooled.LogNetwork(net2.get(), input_, "cifar", "cnn").status());
+  ASSERT_OK(plain.Flush());
+  ASSERT_OK(pooled.Flush());
+
+  ASSERT_OK_AND_ASSIGN(ModelId id1, plain.metadata().FindModel("cifar", "cnn"));
+  ASSERT_OK_AND_ASSIGN(ModelId id2,
+                       pooled.metadata().FindModel("cifar", "cnn"));
+  ASSERT_OK_AND_ASSIGN(const IntermediateInfo* i1,
+                       std::as_const(plain.metadata())
+                           .FindIntermediate(id1, "layer1"));
+  ASSERT_OK_AND_ASSIGN(const IntermediateInfo* i2,
+                       std::as_const(pooled.metadata())
+                           .FindIntermediate(id2, "layer1"));
+  // σ=2 pooling: 4x fewer columns on 32x32 maps.
+  EXPECT_EQ(i1->columns.size(), 4 * i2->columns.size());
+  EXPECT_EQ(i2->height, 16);
+  EXPECT_LT(pooled.StorageFootprintBytes(),
+            plain.StorageFootprintBytes() / 2);
+}
+
+class DnnSchemeTest
+    : public ::testing::TestWithParam<std::tuple<QuantScheme, double>> {};
+
+TEST_P(DnnSchemeTest, QuantizedReadApproximatesTruth) {
+  const auto [scheme, tolerance] = GetParam();
+  TempDir dir("mq_scheme");
+  CifarConfig config;
+  config.num_examples = 100;
+  const CifarData data = GenerateCifar(config);
+  auto input = std::make_shared<Tensor>(data.images);
+
+  MistiqueOptions opts;
+  opts.store.directory = dir.path() + "/store";
+  opts.dnn_scheme = scheme;
+  opts.row_block_size = 64;
+  Mistique mq;
+  ASSERT_OK(mq.Open(opts));
+  auto net = BuildCifarCnn(TinyScale());
+  ASSERT_OK(mq.LogNetwork(net.get(), input, "cifar", "cnn").status());
+  ASSERT_OK(mq.Flush());
+
+  FetchRequest req;
+  req.project = "cifar";
+  req.model = "cnn";
+  req.intermediate = "layer7";  // fc1 activations.
+  req.force_read = true;
+  ASSERT_OK_AND_ASSIGN(FetchResult read, mq.Fetch(req));
+  req.force_read = false;
+  ASSERT_OK_AND_ASSIGN(FetchResult truth, mq.Fetch(req));
+
+  // Activation scale for tolerance normalization.
+  double scale = 0;
+  size_t n = 0;
+  for (const auto& col : truth.columns) {
+    for (double v : col) {
+      scale += std::abs(v);
+      n++;
+    }
+  }
+  scale = std::max(scale / static_cast<double>(n), 1e-6);
+
+  double err = 0;
+  for (size_t c = 0; c < truth.columns.size(); ++c) {
+    for (size_t r = 0; r < truth.columns[c].size(); ++r) {
+      err += std::abs(read.columns[c][r] - truth.columns[c][r]);
+    }
+  }
+  err /= static_cast<double>(n) * scale;
+  EXPECT_LT(err, tolerance) << QuantSchemeName(scheme);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, DnnSchemeTest,
+    ::testing::Values(std::make_tuple(QuantScheme::kNone, 1e-9),
+                      std::make_tuple(QuantScheme::kLp32, 1e-6),
+                      std::make_tuple(QuantScheme::kLp16, 1e-2),
+                      std::make_tuple(QuantScheme::kKBit, 0.2)),
+    [](const auto& info) {
+      switch (std::get<0>(info.param)) {
+        case QuantScheme::kNone: return std::string("full");
+        case QuantScheme::kLp32: return std::string("lp32");
+        case QuantScheme::kLp16: return std::string("lp16");
+        case QuantScheme::kKBit: return std::string("kbit8");
+        default: return std::string("other");
+      }
+    });
+
+TEST_F(MistiqueDnnTest, ThresholdSchemeBinarizes) {
+  Mistique mq;
+  ASSERT_OK(mq.Open(Options(QuantScheme::kThreshold)));
+  auto net = BuildCifarCnn(TinyScale());
+  ASSERT_OK(mq.LogNetwork(net.get(), input_, "cifar", "cnn").status());
+  FetchRequest req;
+  req.project = "cifar";
+  req.model = "cnn";
+  req.intermediate = "layer7";
+  req.force_read = true;
+  ASSERT_OK_AND_ASSIGN(FetchResult read, mq.Fetch(req));
+  size_t ones = 0, total = 0;
+  for (const auto& col : read.columns) {
+    for (double v : col) {
+      EXPECT_TRUE(v == 0.0 || v == 1.0);
+      ones += v == 1.0;
+      total++;
+    }
+  }
+  // alpha = 0.005: roughly that share of activations exceed the threshold
+  // (fit on the first batch, so allow generous slack).
+  EXPECT_LT(static_cast<double>(ones) / static_cast<double>(total), 0.05);
+}
+
+TEST_F(MistiqueDnnTest, FrozenTrunkDedupsAcrossCheckpoints) {
+  // Two checkpoints of the fine-tuned VGG: trunk layers identical, FC head
+  // different. Exact dedup must collapse the trunk chunks.
+  Mistique mq;
+  MistiqueOptions opts = Options(QuantScheme::kLp32);
+  ASSERT_OK(mq.Open(opts));
+
+  auto net = BuildVgg16Cifar(TinyScale());
+  ASSERT_OK(mq.LogNetwork(net.get(), input_, "cifar", "vgg_ep1").status());
+  const uint64_t after_first = mq.dedup().duplicate_chunks();
+  net->PerturbTrainable(7, 0.05);  // Simulated further training.
+  ASSERT_OK(mq.LogNetwork(net.get(), input_, "cifar", "vgg_ep2").status());
+  const uint64_t after_second = mq.dedup().duplicate_chunks();
+
+  // Every trunk chunk of epoch 2 is an exact duplicate of epoch 1's.
+  ASSERT_OK_AND_ASSIGN(ModelId id2, mq.metadata().FindModel("cifar", "vgg_ep2"));
+  ASSERT_OK_AND_ASSIGN(const ModelInfo* model2, mq.metadata().GetModel(id2));
+  uint64_t trunk_chunks = 0;
+  for (size_t layer = 0; layer < 18; ++layer) {
+    for (const ColumnInfo& col : model2->intermediates[layer].columns) {
+      trunk_chunks += col.chunks.size();
+      EXPECT_EQ(col.stored_bytes, 0u);  // All deduped.
+    }
+  }
+  EXPECT_GE(after_second - after_first, trunk_chunks);
+}
+
+TEST_F(MistiqueDnnTest, ChannelColumnsHelper) {
+  IntermediateInfo interm;
+  interm.channels = 4;
+  interm.height = 3;
+  interm.width = 3;
+  ASSERT_OK_AND_ASSIGN(auto range, Mistique::ChannelColumns(interm, 2));
+  EXPECT_EQ(range.first, 18u);
+  EXPECT_EQ(range.second, 27u);
+  EXPECT_FALSE(Mistique::ChannelColumns(interm, 4).ok());
+  EXPECT_FALSE(Mistique::ChannelColumns(interm, -1).ok());
+}
+
+TEST_F(MistiqueDnnTest, CostModelPrefersReadForDeepLayers) {
+  Mistique mq;
+  MistiqueOptions opts = Options(QuantScheme::kLp32, 2);
+  opts.cost.read_bytes_per_sec = 200e6;
+  ASSERT_OK(mq.Open(opts));
+  auto net = BuildVgg16Cifar(TinyScale());
+  ASSERT_OK(mq.LogNetwork(net.get(), input_, "cifar", "vgg").status());
+  ASSERT_OK(mq.Flush());
+
+  FetchRequest req;
+  req.project = "cifar";
+  req.model = "vgg";
+  req.intermediate = "layer21";
+  ASSERT_OK_AND_ASSIGN(FetchResult deep, mq.Fetch(req));
+  // Softmax output: 10 tiny columns vs a full forward pass — reading must
+  // be predicted (much) cheaper.
+  EXPECT_LT(deep.predicted_read_sec, deep.predicted_rerun_sec);
+  EXPECT_TRUE(deep.used_read);
+}
+
+}  // namespace
+}  // namespace mistique

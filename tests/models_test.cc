@@ -1,0 +1,211 @@
+#include <cmath>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "pipeline/models.h"
+#include "test_util.h"
+
+namespace mistique {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// y = 3*x0 - 2*x1 + 1 + noise.
+void MakeLinearData(size_t n, DataFrame* x, std::vector<double>* y,
+                    double noise = 0.01, uint64_t seed = 1) {
+  Rng rng(seed);
+  std::vector<double> x0(n), x1(n), x2(n);
+  y->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    x0[i] = rng.Gaussian();
+    x1[i] = rng.Gaussian();
+    x2[i] = rng.Gaussian();  // Irrelevant feature.
+    (*y)[i] = 3.0 * x0[i] - 2.0 * x1[i] + 1.0 + noise * rng.Gaussian();
+  }
+  (void)x->AddColumn("x0", std::move(x0));
+  (void)x->AddColumn("x1", std::move(x1));
+  (void)x->AddColumn("x2", std::move(x2));
+}
+
+TEST(ElasticNetTest, RecoversLinearModel) {
+  DataFrame x;
+  std::vector<double> y;
+  MakeLinearData(2000, &x, &y);
+  ElasticNetParams params;
+  params.alpha = 1e-4;
+  params.l1_ratio = 0.5;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<ElasticNetModel> model,
+                       ElasticNetModel::Fit(x, y, params));
+  ASSERT_OK_AND_ASSIGN(std::vector<double> pred, model->Predict(x));
+  double err = 0;
+  for (size_t i = 0; i < y.size(); ++i) err += std::abs(pred[i] - y[i]);
+  EXPECT_LT(err / static_cast<double>(y.size()), 0.05);
+}
+
+TEST(ElasticNetTest, StrongL1ZeroesIrrelevantFeature) {
+  DataFrame x;
+  std::vector<double> y;
+  MakeLinearData(2000, &x, &y, 0.01, 2);
+  ElasticNetParams params;
+  params.alpha = 0.05;
+  params.l1_ratio = 1.0;  // Pure lasso.
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<ElasticNetModel> model,
+                       ElasticNetModel::Fit(x, y, params));
+  // x2 carries no signal: lasso should zero it.
+  EXPECT_EQ(model->weights()[2], 0.0);
+  EXPECT_GT(std::abs(model->weights()[0]), 0.1);
+}
+
+TEST(ElasticNetTest, HandlesNaNByImputation) {
+  DataFrame x;
+  std::vector<double> y;
+  MakeLinearData(500, &x, &y, 0.01, 3);
+  // Punch holes in x0.
+  ASSERT_OK_AND_ASSIGN(std::vector<double>* x0, x.MutableColumn("x0"));
+  (*x0)[5] = kNaN;
+  (*x0)[99] = kNaN;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<ElasticNetModel> model,
+                       ElasticNetModel::Fit(x, y, ElasticNetParams{}));
+  ASSERT_OK_AND_ASSIGN(std::vector<double> pred, model->Predict(x));
+  for (double p : pred) EXPECT_FALSE(std::isnan(p));
+}
+
+TEST(ElasticNetTest, EmptyInputRejected) {
+  DataFrame x;
+  EXPECT_FALSE(ElasticNetModel::Fit(x, {}, ElasticNetParams{}).ok());
+}
+
+TEST(ElasticNetTest, SizeMismatchRejected) {
+  DataFrame x;
+  (void)x.AddColumn("a", {1, 2, 3});
+  EXPECT_FALSE(ElasticNetModel::Fit(x, {1.0}, ElasticNetParams{}).ok());
+}
+
+// y = nonlinear function, needs trees.
+void MakeNonlinearData(size_t n, DataFrame* x, std::vector<double>* y,
+                       uint64_t seed = 5) {
+  Rng rng(seed);
+  std::vector<double> x0(n), x1(n);
+  y->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    x0[i] = rng.Uniform(-2, 2);
+    x1[i] = rng.Uniform(-2, 2);
+    (*y)[i] = (x0[i] > 0 ? 5.0 : -5.0) + std::abs(x1[i]) +
+              0.05 * rng.Gaussian();
+  }
+  (void)x->AddColumn("x0", std::move(x0));
+  (void)x->AddColumn("x1", std::move(x1));
+}
+
+class GbtGrowthTest : public ::testing::TestWithParam<TreeGrowth> {};
+
+TEST_P(GbtGrowthTest, LearnsNonlinearSignal) {
+  DataFrame x;
+  std::vector<double> y;
+  MakeNonlinearData(3000, &x, &y);
+  GbtParams params;
+  params.growth = GetParam();
+  params.n_estimators = 40;
+  params.learning_rate = 0.2;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<GbtModel> model,
+                       GbtModel::Fit(x, y, params));
+  ASSERT_OK_AND_ASSIGN(std::vector<double> pred, model->Predict(x));
+
+  // Baseline: predicting the mean has MAE ~ 4.5; trees must beat it 5x.
+  double err = 0;
+  for (size_t i = 0; i < y.size(); ++i) err += std::abs(pred[i] - y[i]);
+  err /= static_cast<double>(y.size());
+  EXPECT_LT(err, 0.9) << "growth=" << static_cast<int>(GetParam());
+  EXPECT_EQ(model->num_trees(), 40u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, GbtGrowthTest,
+                         ::testing::Values(TreeGrowth::kLevelWise,
+                                           TreeGrowth::kLeafWise));
+
+TEST(GbtTest, NaNRoutesLeftWithoutCrashing) {
+  DataFrame x;
+  std::vector<double> y;
+  MakeNonlinearData(1000, &x, &y, 6);
+  ASSERT_OK_AND_ASSIGN(std::vector<double>* x0, x.MutableColumn("x0"));
+  for (size_t i = 0; i < 100; ++i) (*x0)[i * 3] = kNaN;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<GbtModel> model,
+                       GbtModel::Fit(x, y, GbtParams{}));
+  ASSERT_OK_AND_ASSIGN(std::vector<double> pred, model->Predict(x));
+  for (double p : pred) EXPECT_FALSE(std::isnan(p));
+}
+
+TEST(GbtTest, PredictMapsFeaturesByName) {
+  DataFrame x;
+  std::vector<double> y;
+  MakeNonlinearData(800, &x, &y, 7);
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<GbtModel> model,
+                       GbtModel::Fit(x, y, GbtParams{}));
+
+  // Same columns, different order: predictions must be identical.
+  ASSERT_OK_AND_ASSIGN(DataFrame shuffled, x.Select({"x1", "x0"}));
+  ASSERT_OK_AND_ASSIGN(std::vector<double> p1, model->Predict(x));
+  ASSERT_OK_AND_ASSIGN(std::vector<double> p2, model->Predict(shuffled));
+  EXPECT_EQ(p1, p2);
+
+  // Missing feature rejected.
+  ASSERT_OK_AND_ASSIGN(DataFrame partial, x.Select({"x0"}));
+  EXPECT_FALSE(model->Predict(partial).ok());
+}
+
+TEST(GbtTest, BaggingAndFeatureSampling) {
+  DataFrame x;
+  std::vector<double> y;
+  MakeNonlinearData(1500, &x, &y, 8);
+  GbtParams params;
+  params.bagging_fraction = 0.7;
+  params.sub_feature = 0.5;
+  params.n_estimators = 30;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<GbtModel> model,
+                       GbtModel::Fit(x, y, params));
+  ASSERT_OK_AND_ASSIGN(std::vector<double> pred, model->Predict(x));
+  double err = 0;
+  for (size_t i = 0; i < y.size(); ++i) err += std::abs(pred[i] - y[i]);
+  EXPECT_LT(err / static_cast<double>(y.size()), 2.0);
+}
+
+TEST(GbtTest, DeterministicForFixedSeed) {
+  DataFrame x;
+  std::vector<double> y;
+  MakeNonlinearData(500, &x, &y, 9);
+  GbtParams params;
+  params.bagging_fraction = 0.8;
+  params.seed = 42;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<GbtModel> a, GbtModel::Fit(x, y, params));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<GbtModel> b, GbtModel::Fit(x, y, params));
+  ASSERT_OK_AND_ASSIGN(std::vector<double> pa, a->Predict(x));
+  ASSERT_OK_AND_ASSIGN(std::vector<double> pb, b->Predict(x));
+  EXPECT_EQ(pa, pb);
+}
+
+TEST(GbtTest, L1LeafShrinkageReducesLeafMagnitude) {
+  DataFrame x;
+  std::vector<double> y;
+  MakeNonlinearData(800, &x, &y, 10);
+  GbtParams plain;
+  plain.n_estimators = 1;
+  plain.learning_rate = 1.0;
+  GbtParams shrunk = plain;
+  shrunk.alpha_l1 = 1000.0;  // Strong L1: leaves pull toward zero.
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<GbtModel> a, GbtModel::Fit(x, y, plain));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<GbtModel> b, GbtModel::Fit(x, y, shrunk));
+  ASSERT_OK_AND_ASSIGN(std::vector<double> pa, a->Predict(x));
+  ASSERT_OK_AND_ASSIGN(std::vector<double> pb, b->Predict(x));
+  double spread_a = 0, spread_b = 0;
+  double mean = 0;
+  for (double v : y) mean += v;
+  mean /= static_cast<double>(y.size());
+  for (size_t i = 0; i < y.size(); ++i) {
+    spread_a += std::abs(pa[i] - mean);
+    spread_b += std::abs(pb[i] - mean);
+  }
+  EXPECT_LT(spread_b, spread_a);
+}
+
+}  // namespace
+}  // namespace mistique

@@ -1,0 +1,307 @@
+#include <cmath>
+#include <numeric>
+
+#include "gtest/gtest.h"
+#include "nn/cifar.h"
+#include "nn/layers.h"
+#include "nn/model_zoo.h"
+#include "nn/network.h"
+#include "test_util.h"
+
+namespace mistique {
+namespace {
+
+// ----------------------------------------------------------------- Layers
+
+TEST(ConvTest, IdentityKernelPassesThrough) {
+  // 1x1-channel conv with a hand-set 3x3 kernel == cross-correlation.
+  Conv2dLayer conv("c", 1, 1, 3, 1, /*relu=*/false);
+  // Zero the weights via perturb trick is fragile; instead run a linearity
+  // check: f(2x) == 2*f(x) for relu-free conv with zero bias.
+  Tensor x(1, 1, 4, 4);
+  for (size_t i = 0; i < x.data.size(); ++i) {
+    x.data[i] = static_cast<float>(i) / 10.0f;
+  }
+  Tensor x2 = x;
+  for (float& v : x2.data) v *= 2.0f;
+  ASSERT_OK_AND_ASSIGN(Tensor y1, conv.Forward(x));
+  ASSERT_OK_AND_ASSIGN(Tensor y2, conv.Forward(x2));
+  for (size_t i = 0; i < y1.data.size(); ++i) {
+    EXPECT_NEAR(y2.data[i], 2.0f * y1.data[i], 1e-4);
+  }
+}
+
+TEST(ConvTest, OutputShapeSamePadding) {
+  Conv2dLayer conv("c", 3, 8, 3, 2);
+  Tensor x(2, 3, 16, 16);
+  ASSERT_OK_AND_ASSIGN(Tensor y, conv.Forward(x));
+  EXPECT_EQ(y.n, 2);
+  EXPECT_EQ(y.c, 8);
+  EXPECT_EQ(y.h, 16);
+  EXPECT_EQ(y.w, 16);
+}
+
+TEST(ConvTest, ChannelMismatchRejected) {
+  Conv2dLayer conv("c", 3, 8, 3, 2);
+  Tensor x(1, 4, 8, 8);
+  EXPECT_FALSE(conv.Forward(x).ok());
+}
+
+TEST(ConvTest, ReluClampsNegative) {
+  Conv2dLayer conv("c", 1, 4, 3, 3, /*relu=*/true);
+  Tensor x(1, 1, 8, 8);
+  for (size_t i = 0; i < x.data.size(); ++i) {
+    x.data[i] = (i % 2 == 0) ? 1.0f : -1.0f;
+  }
+  ASSERT_OK_AND_ASSIGN(Tensor y, conv.Forward(x));
+  for (float v : y.data) EXPECT_GE(v, 0.0f);
+}
+
+TEST(MaxPoolTest, TakesWindowMax) {
+  MaxPoolLayer pool("p");
+  Tensor x(1, 1, 4, 4);
+  for (int y = 0; y < 4; ++y) {
+    for (int xx = 0; xx < 4; ++xx) {
+      x.at(0, 0, y, xx) = static_cast<float>(y * 4 + xx);
+    }
+  }
+  ASSERT_OK_AND_ASSIGN(Tensor out, pool.Forward(x));
+  EXPECT_EQ(out.h, 2);
+  EXPECT_EQ(out.w, 2);
+  EXPECT_EQ(out.at(0, 0, 0, 0), 5.0f);
+  EXPECT_EQ(out.at(0, 0, 1, 1), 15.0f);
+}
+
+TEST(DenseTest, ComputesAffineMap) {
+  DenseLayer dense("d", 4, 2, 7, /*relu=*/false);
+  Tensor x(1, 4, 1, 1);
+  Tensor zero(1, 4, 1, 1);
+  x.data = {1, 0, 0, 0};
+  ASSERT_OK_AND_ASSIGN(Tensor y, dense.Forward(x));
+  ASSERT_OK_AND_ASSIGN(Tensor b, dense.Forward(zero));
+  // y - b is the first weight row; must be nonzero from He init.
+  const float w00 = y.data[0] - b.data[0];
+  EXPECT_NE(w00, 0.0f);
+}
+
+TEST(DenseTest, WrongFeatureCountRejected) {
+  DenseLayer dense("d", 4, 2, 7);
+  Tensor x(1, 5, 1, 1);
+  EXPECT_FALSE(dense.Forward(x).ok());
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  SoftmaxLayer sm("s");
+  Tensor x(3, 10, 1, 1);
+  Rng rng(4);
+  for (float& v : x.data) v = static_cast<float>(rng.Gaussian() * 3);
+  ASSERT_OK_AND_ASSIGN(Tensor y, sm.Forward(x));
+  for (int n = 0; n < 3; ++n) {
+    float sum = 0;
+    for (int c = 0; c < 10; ++c) sum += y.at(n, c, 0, 0);
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+    for (int c = 0; c < 10; ++c) EXPECT_GE(y.at(n, c, 0, 0), 0.0f);
+  }
+}
+
+// ---------------------------------------------------------------- Network
+
+DnnScaleConfig TinyScale() {
+  DnnScaleConfig config;
+  config.vgg_scale = 0.05;
+  config.cnn_scale = 0.25;
+  return config;
+}
+
+TEST(NetworkTest, Vgg16Has21Layers) {
+  auto net = BuildVgg16Cifar(TinyScale());
+  EXPECT_EQ(net->num_layers(), 21u);
+  const auto shapes = net->LayerShapes(3, 32, 32);
+  // Layer1 output: conv at full resolution.
+  EXPECT_EQ(shapes[1].h, 32);
+  // Layer18 (pool5): 1x1 spatial.
+  EXPECT_EQ(shapes[18].h, 1);
+  // Layer20/21: 10 classes.
+  EXPECT_EQ(shapes[20].c, 10);
+  EXPECT_EQ(shapes[21].c, 10);
+  // Early layers are far larger than late ones (the profile that drives
+  // the paper's Layer1 anomaly).
+  EXPECT_GT(shapes[1].PerExample(), 20 * shapes[18].PerExample());
+}
+
+TEST(NetworkTest, CnnHas9Layers) {
+  auto net = BuildCifarCnn(TinyScale());
+  EXPECT_EQ(net->num_layers(), 9u);
+  const auto shapes = net->LayerShapes(3, 32, 32);
+  EXPECT_EQ(shapes[9].c, 10);
+}
+
+TEST(NetworkTest, ForwardCapturesEveryLayer) {
+  auto net = BuildCifarCnn(TinyScale());
+  Tensor x(4, 3, 32, 32);
+  Rng rng(5);
+  for (float& v : x.data) v = static_cast<float>(rng.NextDouble());
+  std::vector<int> seen;
+  ASSERT_OK_AND_ASSIGN(
+      Tensor out, net->Forward(x, 0,
+                               [&](int layer, const std::string&,
+                                   const Tensor& t) {
+                                 seen.push_back(layer);
+                                 EXPECT_EQ(t.n, 4);
+                                 return Status::OK();
+                               }));
+  ASSERT_EQ(seen.size(), 9u);
+  EXPECT_EQ(seen.front(), 1);
+  EXPECT_EQ(seen.back(), 9);
+  EXPECT_EQ(out.c, 10);
+}
+
+TEST(NetworkTest, UpToLayerStopsEarly) {
+  auto net = BuildCifarCnn(TinyScale());
+  Tensor x(2, 3, 32, 32);
+  int last = 0;
+  ASSERT_OK_AND_ASSIGN(
+      Tensor out, net->Forward(x, 3,
+                               [&](int layer, const std::string&,
+                                   const Tensor&) {
+                                 last = layer;
+                                 return Status::OK();
+                               }));
+  EXPECT_EQ(last, 3);
+  EXPECT_EQ(out.h, 16);  // pool1 output.
+}
+
+TEST(NetworkTest, BatchedEqualsUnbatched) {
+  auto net = BuildCifarCnn(TinyScale());
+  Tensor x(10, 3, 32, 32);
+  Rng rng(6);
+  for (float& v : x.data) v = static_cast<float>(rng.NextDouble());
+  ASSERT_OK_AND_ASSIGN(Tensor whole, net->Forward(x));
+  ASSERT_OK_AND_ASSIGN(Tensor batched, net->ForwardBatched(x, 3));
+  ASSERT_EQ(whole.data.size(), batched.data.size());
+  for (size_t i = 0; i < whole.data.size(); ++i) {
+    EXPECT_NEAR(whole.data[i], batched.data[i], 1e-5);
+  }
+}
+
+TEST(NetworkTest, CheckpointRoundTrip) {
+  TempDir dir("ckpt");
+  auto net = BuildCifarCnn(TinyScale());
+  Tensor x(2, 3, 32, 32);
+  Rng rng(7);
+  for (float& v : x.data) v = static_cast<float>(rng.NextDouble());
+  ASSERT_OK_AND_ASSIGN(Tensor before, net->Forward(x));
+
+  const std::string path = dir.path() + "/model.ckpt";
+  ASSERT_OK(net->SaveCheckpoint(path));
+  net->PerturbTrainable(1, 0.5);  // Wreck the weights.
+  ASSERT_OK_AND_ASSIGN(Tensor wrecked, net->Forward(x));
+  bool changed = false;
+  for (size_t i = 0; i < before.data.size(); ++i) {
+    if (std::abs(before.data[i] - wrecked.data[i]) > 1e-6) changed = true;
+  }
+  EXPECT_TRUE(changed);
+
+  ASSERT_OK(net->LoadCheckpoint(path));
+  ASSERT_OK_AND_ASSIGN(Tensor after, net->Forward(x));
+  EXPECT_EQ(before.data, after.data);
+}
+
+TEST(NetworkTest, FrozenLayersSurvivePerturb) {
+  // VGG16's conv trunk is frozen: activations at pool5 (layer 18) must be
+  // identical across simulated training checkpoints, while the logits
+  // (layer 20) change.
+  auto net = BuildVgg16Cifar(TinyScale());
+  Tensor x(2, 3, 32, 32);
+  Rng rng(8);
+  for (float& v : x.data) v = static_cast<float>(rng.NextDouble());
+
+  auto capture = [&](int target) {
+    Tensor out;
+    auto observer = [&](int layer, const std::string&, const Tensor& t) {
+      if (layer == target) out = t;
+      return Status::OK();
+    };
+    auto result = net->Forward(x, target, observer);
+    EXPECT_TRUE(result.ok());
+    return out.data;
+  };
+
+  const auto trunk_before = capture(18);
+  const auto logits_before = capture(20);
+  net->PerturbTrainable(99, 0.1);
+  const auto trunk_after = capture(18);
+  const auto logits_after = capture(20);
+
+  EXPECT_EQ(trunk_before, trunk_after);
+  EXPECT_NE(logits_before, logits_after);
+}
+
+TEST(NetworkTest, CheckpointLayerMismatchRejected) {
+  TempDir dir("ckpt_mismatch");
+  auto cnn = BuildCifarCnn(TinyScale());
+  const std::string path = dir.path() + "/cnn.ckpt";
+  ASSERT_OK(cnn->SaveCheckpoint(path));
+  auto vgg = BuildVgg16Cifar(TinyScale());
+  EXPECT_EQ(vgg->LoadCheckpoint(path).code(), StatusCode::kCorruption);
+}
+
+// ------------------------------------------------------------------ CIFAR
+
+TEST(CifarTest, DeterministicAndBounded) {
+  CifarConfig config;
+  config.num_examples = 50;
+  const CifarData a = GenerateCifar(config);
+  const CifarData b = GenerateCifar(config);
+  EXPECT_EQ(a.images.data, b.images.data);
+  EXPECT_EQ(a.labels, b.labels);
+  for (float v : a.images.data) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+  EXPECT_EQ(a.images.n, 50);
+  EXPECT_EQ(a.images.c, 3);
+}
+
+TEST(CifarTest, ClassesAreSeparable) {
+  // Same-class images must be closer in pixel space than cross-class on
+  // average — the structure every diagnostic experiment relies on.
+  CifarConfig config;
+  config.num_examples = 120;
+  const CifarData data = GenerateCifar(config);
+  double intra = 0, inter = 0;
+  int intra_n = 0, inter_n = 0;
+  for (int i = 0; i < data.images.n; ++i) {
+    for (int j = i + 1; j < std::min(data.images.n, i + 20); ++j) {
+      double d = 0;
+      const float* a = data.images.Example(i);
+      const float* b = data.images.Example(j);
+      for (size_t k = 0; k < data.images.PerExample(); ++k) {
+        d += (a[k] - b[k]) * (a[k] - b[k]);
+      }
+      if (data.labels[static_cast<size_t>(i)] ==
+          data.labels[static_cast<size_t>(j)]) {
+        intra += d;
+        intra_n++;
+      } else {
+        inter += d;
+        inter_n++;
+      }
+    }
+  }
+  ASSERT_GT(intra_n, 0);
+  ASSERT_GT(inter_n, 0);
+  EXPECT_LT(intra / intra_n, 0.6 * (inter / inter_n));
+}
+
+TEST(CifarTest, AllClassesPresent) {
+  CifarConfig config;
+  config.num_examples = 500;
+  const CifarData data = GenerateCifar(config);
+  std::vector<int> counts(10, 0);
+  for (int label : data.labels) counts[static_cast<size_t>(label)]++;
+  for (int k = 0; k < 10; ++k) EXPECT_GT(counts[static_cast<size_t>(k)], 10);
+}
+
+}  // namespace
+}  // namespace mistique

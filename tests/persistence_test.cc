@@ -1,0 +1,256 @@
+#include "core/mistique.h"
+#include "gtest/gtest.h"
+#include "nn/cifar.h"
+#include "nn/model_zoo.h"
+#include "pipeline/templates.h"
+#include "pipeline/zillow.h"
+#include "test_util.h"
+
+namespace mistique {
+namespace {
+
+// ------------------------------------------------- MetadataDb serde
+
+TEST(MetadataSerdeTest, RoundTripsFullCatalog) {
+  MetadataDb db;
+  ASSERT_OK_AND_ASSIGN(ModelId id,
+                       db.RegisterModel("proj", "model", ModelKind::kDnn));
+  ASSERT_OK_AND_ASSIGN(ModelInfo * model, db.GetModel(id));
+  model->model_load_sec = 1.25;
+  IntermediateInfo interm;
+  interm.name = "layer3";
+  interm.stage_index = 3;
+  interm.num_rows = 500;
+  interm.row_block_size = 128;
+  interm.channels = 8;
+  interm.height = 4;
+  interm.width = 4;
+  interm.pool_sigma = 2;
+  interm.scheme = QuantScheme::kKBit;
+  interm.kbits = 8;
+  interm.threshold = 0.5;
+  interm.recon.centers = {0.0, 1.5, 2.5};
+  interm.edges = {1.0, 2.0};
+  interm.cum_exec_sec_per_ex = 3e-4;
+  interm.stored_bytes_per_ex = 64;
+  interm.n_query = 7;
+  ColumnInfo col;
+  col.name = "n0";
+  col.materialized = true;
+  col.encoded_bytes = 4096;
+  col.stored_bytes = 1024;
+  col.chunks = {11, 12, 13};
+  interm.columns.push_back(col);
+  model->intermediates.push_back(interm);
+
+  ByteWriter writer;
+  db.Save(&writer);
+  MetadataDb restored;
+  ByteReader reader(writer.bytes());
+  ASSERT_OK(restored.Load(&reader));
+
+  ASSERT_OK_AND_ASSIGN(ModelId rid, restored.FindModel("proj", "model"));
+  EXPECT_EQ(rid, id);
+  ASSERT_OK_AND_ASSIGN(const ModelInfo* rmodel, restored.GetModel(rid));
+  EXPECT_EQ(rmodel->kind, ModelKind::kDnn);
+  EXPECT_EQ(rmodel->model_load_sec, 1.25);
+  ASSERT_EQ(rmodel->intermediates.size(), 1u);
+  const IntermediateInfo& ri = rmodel->intermediates[0];
+  EXPECT_EQ(ri.name, "layer3");
+  EXPECT_EQ(ri.num_rows, 500u);
+  EXPECT_EQ(ri.channels, 8);
+  EXPECT_EQ(ri.pool_sigma, 2);
+  EXPECT_EQ(ri.scheme, QuantScheme::kKBit);
+  EXPECT_EQ(ri.recon.centers, (std::vector<double>{0.0, 1.5, 2.5}));
+  EXPECT_EQ(ri.edges, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(ri.n_query, 7u);
+  ASSERT_EQ(ri.columns.size(), 1u);
+  EXPECT_EQ(ri.columns[0].chunks, (std::vector<ChunkId>{11, 12, 13}));
+  EXPECT_TRUE(ri.columns[0].materialized);
+
+  // Id allocation continues past recovered ids.
+  ASSERT_OK_AND_ASSIGN(ModelId next,
+                       restored.RegisterModel("proj", "other",
+                                              ModelKind::kTrad));
+  EXPECT_GT(next, id);
+}
+
+TEST(MetadataSerdeTest, CorruptCatalogRejected) {
+  MetadataDb db;
+  std::vector<uint8_t> junk(32, 0xee);
+  ByteReader reader(junk);
+  EXPECT_EQ(db.Load(&reader).code(), StatusCode::kCorruption);
+}
+
+// ----------------------------------------- Partition directory scan
+
+TEST(PartitionDirectoryTest, ReadChunkIdsWithoutDecompress) {
+  Partition p(9);
+  ASSERT_OK(p.Add(100, ColumnChunk::FromDoubles({1, 2, 3})));
+  ASSERT_OK(p.Add(200, ColumnChunk::FromBins({1, 2})));
+  ASSERT_OK_AND_ASSIGN(const Codec* codec, GetCodec(CodecType::kLzss));
+  ASSERT_OK_AND_ASSIGN(std::vector<uint8_t> bytes, p.Serialize(*codec));
+  ASSERT_OK_AND_ASSIGN(std::vector<ChunkId> ids,
+                       Partition::ReadChunkIds(bytes));
+  EXPECT_EQ(ids, (std::vector<ChunkId>{100, 200}));
+}
+
+// ------------------------------------------------- End-to-end reopen
+
+class ReopenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<TempDir>("reopen");
+    ZillowConfig config;
+    config.num_properties = 400;
+    config.num_train = 300;
+    config.num_test = 100;
+    ASSERT_OK(WriteZillowCsvs(GenerateZillow(config), dir_->path()));
+  }
+
+  MistiqueOptions Options() {
+    MistiqueOptions opts;
+    opts.store.directory = dir_->path() + "/store";
+    opts.strategy = StorageStrategy::kDedup;
+    opts.row_block_size = 128;
+    return opts;
+  }
+
+  std::unique_ptr<TempDir> dir_;
+};
+
+TEST_F(ReopenTest, TradQueriesSurviveReopen) {
+  std::vector<double> original;
+  {
+    Mistique mq;
+    ASSERT_OK(mq.Open(Options()));
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<Pipeline> pipeline,
+                         BuildZillowPipeline(1, 0, dir_->path()));
+    ASSERT_OK(mq.LogPipeline(pipeline.get(), "zillow").status());
+    ASSERT_OK_AND_ASSIGN(
+        FetchResult r,
+        mq.GetIntermediates({"zillow.P1_v0.pred_test.pred"}));
+    original = r.columns[0];
+    ASSERT_OK(mq.SaveCatalog());
+  }
+
+  // Fresh process: reopen the directory, query without any executor.
+  Mistique mq;
+  ASSERT_OK(mq.Open(Options()));
+  EXPECT_EQ(mq.metadata().num_models(), 1u);
+  ASSERT_OK_AND_ASSIGN(FetchResult r,
+                       mq.GetIntermediates({"zillow.P1_v0.pred_test.pred"}));
+  EXPECT_TRUE(r.used_read);
+  EXPECT_EQ(r.columns[0], original);
+}
+
+TEST_F(ReopenTest, RerunNeedsAttachedExecutor) {
+  {
+    Mistique mq;
+    ASSERT_OK(mq.Open(Options()));
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<Pipeline> pipeline,
+                         BuildZillowPipeline(1, 0, dir_->path()));
+    ASSERT_OK(mq.LogPipeline(pipeline.get(), "zillow").status());
+    ASSERT_OK(mq.SaveCatalog());
+  }
+  Mistique mq;
+  ASSERT_OK(mq.Open(Options()));
+
+  FetchRequest req;
+  req.project = "zillow";
+  req.model = "P1_v0";
+  req.intermediate = "pred_test";
+  req.force_read = false;  // Force the re-run path.
+  EXPECT_EQ(mq.Fetch(req).status().code(), StatusCode::kNotFound);
+
+  // Attaching the (re-built) pipeline restores the re-run path. The
+  // re-attached pipeline re-fits on first execution, which reproduces the
+  // same model because training is deterministic.
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Pipeline> pipeline,
+                       BuildZillowPipeline(1, 0, dir_->path()));
+  ASSERT_OK(mq.AttachPipeline("zillow", "P1_v0", pipeline.get()));
+  ASSERT_OK_AND_ASSIGN(FetchResult rerun, mq.Fetch(req));
+  EXPECT_FALSE(rerun.used_read);
+
+  req.force_read = true;
+  ASSERT_OK_AND_ASSIGN(FetchResult read, mq.Fetch(req));
+  EXPECT_EQ(rerun.columns[0], read.columns[0]);
+
+  // Attach validation.
+  EXPECT_FALSE(mq.AttachPipeline("zillow", "ghost", pipeline.get()).ok());
+}
+
+TEST_F(ReopenTest, DnnQueriesSurviveReopenAndReattach) {
+  CifarConfig config;
+  config.num_examples = 96;
+  const CifarData data = GenerateCifar(config);
+  auto input = std::make_shared<Tensor>(data.images);
+
+  DnnScaleConfig scale;
+  scale.cnn_scale = 0.2;
+  std::vector<double> original;
+  {
+    Mistique mq;
+    ASSERT_OK(mq.Open(Options()));
+    auto net = BuildCifarCnn(scale);
+    ASSERT_OK(mq.LogNetwork(net.get(), input, "cifar", "cnn").status());
+    ASSERT_OK_AND_ASSIGN(FetchResult r,
+                         mq.GetIntermediates({"cifar.cnn.layer8.n3"}));
+    original = r.columns[0];
+    ASSERT_OK(mq.SaveCatalog());
+  }
+
+  Mistique mq;
+  ASSERT_OK(mq.Open(Options()));
+  ASSERT_OK_AND_ASSIGN(FetchResult read,
+                       mq.GetIntermediates({"cifar.cnn.layer8.n3"}));
+  EXPECT_TRUE(read.used_read);
+  // float32-encoded store decodes to the same values.
+  ASSERT_EQ(read.columns[0].size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(read.columns[0][i], original[i], 1e-6);
+  }
+
+  // Re-attach a freshly built network: weights come from the checkpoint,
+  // so re-run must reproduce the stored activations.
+  auto net = BuildCifarCnn(scale);
+  ASSERT_OK(mq.AttachNetwork("cifar", "cnn", net.get(), input));
+  FetchRequest req;
+  req.project = "cifar";
+  req.model = "cnn";
+  req.intermediate = "layer8";
+  req.columns = {"n3"};
+  req.force_read = false;
+  ASSERT_OK_AND_ASSIGN(FetchResult rerun, mq.Fetch(req));
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(rerun.columns[0][i], original[i], 1e-5);
+  }
+}
+
+TEST_F(ReopenTest, NewModelsLogAfterReopen) {
+  {
+    Mistique mq;
+    ASSERT_OK(mq.Open(Options()));
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<Pipeline> pipeline,
+                         BuildZillowPipeline(1, 0, dir_->path()));
+    ASSERT_OK(mq.LogPipeline(pipeline.get(), "zillow").status());
+    ASSERT_OK(mq.SaveCatalog());
+  }
+  Mistique mq;
+  ASSERT_OK(mq.Open(Options()));
+  // Chunk/partition counters were recovered, so new logging must not
+  // collide with existing chunks.
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Pipeline> pipeline,
+                       BuildZillowPipeline(1, 1, dir_->path()));
+  ASSERT_OK(mq.LogPipeline(pipeline.get(), "zillow").status());
+  ASSERT_OK(mq.Flush());
+  ASSERT_OK_AND_ASSIGN(FetchResult both,
+                       mq.GetIntermediates({"zillow.P1_v1.pred_test.pred"}));
+  EXPECT_EQ(both.columns[0].size(), 100u);
+  ASSERT_OK_AND_ASSIGN(FetchResult old,
+                       mq.GetIntermediates({"zillow.P1_v0.pred_test.pred"}));
+  EXPECT_TRUE(old.used_read);
+}
+
+}  // namespace
+}  // namespace mistique

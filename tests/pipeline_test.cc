@@ -1,0 +1,315 @@
+#include <cmath>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "pipeline/csv.h"
+#include "pipeline/stages.h"
+#include "pipeline/templates.h"
+#include "pipeline/zillow.h"
+#include "test_util.h"
+
+namespace mistique {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+ZillowConfig SmallZillow() {
+  ZillowConfig config;
+  config.num_properties = 600;
+  config.num_train = 400;
+  config.num_test = 150;
+  return config;
+}
+
+// ------------------------------------------------------------- Zillow gen
+
+TEST(ZillowTest, ShapesMatchConfig) {
+  const ZillowDataset data = GenerateZillow(SmallZillow());
+  EXPECT_EQ(data.properties.num_rows(), 600u);
+  EXPECT_EQ(data.train.num_rows(), 400u);
+  EXPECT_EQ(data.test.num_rows(), 150u);
+  EXPECT_GT(data.properties.num_cols(), 15u);
+  EXPECT_TRUE(data.properties.HasColumn("parcelid"));
+  EXPECT_TRUE(data.train.HasColumn("logerror"));
+}
+
+TEST(ZillowTest, Deterministic) {
+  const ZillowDataset a = GenerateZillow(SmallZillow());
+  const ZillowDataset b = GenerateZillow(SmallZillow());
+  ASSERT_OK_AND_ASSIGN(const std::vector<double>* ea,
+                       a.train.Column("logerror"));
+  ASSERT_OK_AND_ASSIGN(const std::vector<double>* eb,
+                       b.train.Column("logerror"));
+  EXPECT_EQ(*ea, *eb);
+}
+
+TEST(ZillowTest, HasMissingness) {
+  const ZillowDataset data = GenerateZillow(SmallZillow());
+  ASSERT_OK_AND_ASSIGN(const std::vector<double>* quality,
+                       data.properties.Column("buildingqualitytypeid"));
+  size_t missing = 0;
+  for (double v : *quality) missing += std::isnan(v);
+  EXPECT_GT(missing, 100u);  // ~33% of 600.
+  EXPECT_LT(missing, 320u);
+}
+
+TEST(ZillowTest, CsvFilesWritten) {
+  TempDir dir("zillow_csv");
+  const ZillowDataset data = GenerateZillow(SmallZillow());
+  ASSERT_OK(WriteZillowCsvs(data, dir.path()));
+  ASSERT_OK_AND_ASSIGN(DataFrame props,
+                       ReadCsv(dir.path() + "/properties.csv"));
+  EXPECT_EQ(props.num_rows(), 600u);
+  EXPECT_EQ(props.num_cols(), data.properties.num_cols());
+}
+
+// ---------------------------------------------------------------- Stages
+
+class StagesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<TempDir>("stages");
+    ASSERT_OK(WriteZillowCsvs(GenerateZillow(SmallZillow()), dir_->path()));
+  }
+  std::unique_ptr<TempDir> dir_;
+  PipelineContext ctx_;
+};
+
+TEST_F(StagesTest, ReadCsvLoadsFrame) {
+  ReadCsvStage stage("properties", dir_->path() + "/properties.csv");
+  ASSERT_OK(stage.Execute(&ctx_).status());
+  EXPECT_EQ(ctx_.frames["properties"].num_rows(), 600u);
+}
+
+TEST_F(StagesTest, JoinMergesOnParcelid) {
+  ReadCsvStage props("properties", dir_->path() + "/properties.csv");
+  ReadCsvStage train("train", dir_->path() + "/train.csv");
+  ASSERT_OK(props.Execute(&ctx_).status());
+  ASSERT_OK(train.Execute(&ctx_).status());
+  JoinStage join("train_merged", "train", "properties", "parcelid");
+  ASSERT_OK(join.Execute(&ctx_).status());
+  const DataFrame& merged = ctx_.frames["train_merged"];
+  EXPECT_EQ(merged.num_rows(), 400u);
+  EXPECT_TRUE(merged.HasColumn("logerror"));
+  EXPECT_TRUE(merged.HasColumn("taxamount"));
+}
+
+TEST_F(StagesTest, SelectColumnPublishesSeries) {
+  DataFrame f;
+  (void)f.AddColumn("logerror", {0.1, 0.2});
+  ctx_.frames["train_merged"] = f;
+  SelectColumnStage stage("y_frame", "train_merged", "logerror", "y");
+  ASSERT_OK(stage.Execute(&ctx_).status());
+  ASSERT_TRUE(ctx_.series.count("y"));
+  EXPECT_EQ(ctx_.series["y"], (std::vector<double>{0.1, 0.2}));
+}
+
+TEST_F(StagesTest, FillNaUsesFittedMedians) {
+  DataFrame f;
+  (void)f.AddColumn("a", {1.0, kNaN, 3.0, 5.0, kNaN});
+  ctx_.frames["in"] = f;
+  FillNaStage stage("out", "in");
+  ASSERT_OK(stage.Execute(&ctx_).status());
+  const DataFrame& out = ctx_.frames["out"];
+  EXPECT_EQ(out.at(1, 0), 3.0);  // Median of {1,3,5}.
+  EXPECT_EQ(out.at(4, 0), 3.0);
+
+  // Second execution on different data reuses the fitted median.
+  DataFrame g;
+  (void)g.AddColumn("a", {kNaN, 100.0});
+  ctx_.frames["in"] = g;
+  ASSERT_OK(stage.Execute(&ctx_).status());
+  EXPECT_EQ(ctx_.frames["out"].at(0, 0), 3.0);
+}
+
+TEST_F(StagesTest, OneHotExpandsCategoricals) {
+  DataFrame f;
+  (void)f.AddColumn("cat", {0, 1, 2, 1});
+  (void)f.AddColumn("num", {5, 6, 7, 8});
+  ctx_.frames["in"] = f;
+  OneHotStage stage("out", "in", {"cat"});
+  ASSERT_OK(stage.Execute(&ctx_).status());
+  const DataFrame& out = ctx_.frames["out"];
+  EXPECT_FALSE(out.HasColumn("cat"));
+  EXPECT_TRUE(out.HasColumn("cat_0"));
+  EXPECT_TRUE(out.HasColumn("cat_1"));
+  EXPECT_TRUE(out.HasColumn("cat_2"));
+  EXPECT_TRUE(out.HasColumn("num"));
+  EXPECT_EQ(out.at(1, 1), 1.0);  // Row 1 has cat=1 -> cat_1 = 1.
+  EXPECT_EQ(out.at(1, 0), 0.0);
+}
+
+TEST_F(StagesTest, TrainTestSplitPartitionsRows) {
+  DataFrame x;
+  std::vector<double> col(100);
+  for (size_t i = 0; i < 100; ++i) col[i] = static_cast<double>(i);
+  (void)x.AddColumn("f", col);
+  ctx_.frames["x_all"] = x;
+  ctx_.series["y"] = col;
+  TrainTestSplitStage stage("x_train", "x_all", "y", "x_valid", "y_train",
+                            "y_valid", 0.8, 3);
+  ASSERT_OK(stage.Execute(&ctx_).status());
+  const size_t train_n = ctx_.frames["x_train"].num_rows();
+  const size_t valid_n = ctx_.frames["x_valid"].num_rows();
+  EXPECT_EQ(train_n + valid_n, 100u);
+  EXPECT_GT(train_n, 60u);
+  EXPECT_EQ(ctx_.series["y_train"].size(), train_n);
+  EXPECT_EQ(ctx_.series["y_valid"].size(), valid_n);
+}
+
+TEST_F(StagesTest, RecencyNeighborhoodResidential) {
+  DataFrame f;
+  (void)f.AddColumn("yearbuilt", {2000, 1950, kNaN});
+  (void)f.AddColumn("latitude", {34.0, 34.2, 34.4});
+  (void)f.AddColumn("longitude", {-118.0, -118.2, -118.4});
+  (void)f.AddColumn("propertylandusetypeid", {0, 5, 1});
+  ctx_.frames["in"] = f;
+
+  ConstructionRecencyStage recency("r1", "in");
+  ASSERT_OK(recency.Execute(&ctx_).status());
+  EXPECT_EQ(ctx_.frames["r1"].at(0, 4), 16.0);
+  EXPECT_EQ(ctx_.frames["r1"].at(1, 4), 66.0);
+  EXPECT_TRUE(std::isnan(ctx_.frames["r1"].at(2, 4)));
+
+  NeighborhoodStage hood("r2", "r1", 4);
+  ASSERT_OK(hood.Execute(&ctx_).status());
+  ASSERT_OK_AND_ASSIGN(const std::vector<double>* codes,
+                       ctx_.frames["r2"].Column("neighborhood"));
+  for (double c : *codes) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, 16);
+  }
+  EXPECT_NE((*codes)[0], (*codes)[2]);  // Opposite grid corners.
+
+  IsResidentialStage res("r3", "r2", {0, 1, 2});
+  ASSERT_OK(res.Execute(&ctx_).status());
+  ASSERT_OK_AND_ASSIGN(const std::vector<double>* flags,
+                       ctx_.frames["r3"].Column("is_residential"));
+  EXPECT_EQ(*flags, (std::vector<double>{1, 0, 1}));
+}
+
+TEST_F(StagesTest, TrainFitsOncePredictUsesModel) {
+  DataFrame x;
+  std::vector<double> f(200), y(200);
+  Rng rng(1);
+  for (size_t i = 0; i < 200; ++i) {
+    f[i] = rng.Gaussian();
+    y[i] = 2.0 * f[i];
+  }
+  (void)x.AddColumn("f", f);
+  ctx_.frames["x_train"] = x;
+  ctx_.frames["x_other"] = x;
+  ctx_.series["y_train"] = y;
+
+  ElasticNetParams params;
+  params.alpha = 1e-5;
+  TrainModelStage train("train_pred", LearnerKind::kElasticNet, "x_train",
+                        "y_train", "enet", params);
+  ASSERT_OK(train.Execute(&ctx_).status());
+  ASSERT_TRUE(ctx_.models.count("enet"));
+
+  PredictStage predict("pred", "x_other", {"enet"});
+  ASSERT_OK(predict.Execute(&ctx_).status());
+  ASSERT_OK_AND_ASSIGN(const std::vector<double>* pred,
+                       ctx_.frames["pred"].Column("pred"));
+  EXPECT_NEAR((*pred)[0], y[0], 0.1);
+
+  // Re-execution must reuse the fitted model even if y is gone.
+  ctx_.series.erase("y_train");
+  ASSERT_OK(train.Execute(&ctx_).status());
+}
+
+TEST_F(StagesTest, EnsemblePredictWeights) {
+  DataFrame x;
+  (void)x.AddColumn("f", {1.0, 2.0});
+  ctx_.frames["x"] = x;
+  ctx_.frames["x_train"] = x;
+  ctx_.series["y"] = {10.0, 10.0};
+
+  // Two constant models via ElasticNet on constant targets.
+  TrainModelStage m1("p1", LearnerKind::kElasticNet, "x_train", "y", "m1");
+  ASSERT_OK(m1.Execute(&ctx_).status());
+  ctx_.series["y"] = {20.0, 20.0};
+  TrainModelStage m2("p2", LearnerKind::kElasticNet, "x_train", "y", "m2");
+  ASSERT_OK(m2.Execute(&ctx_).status());
+
+  PredictStage blend("pred", "x", {"m1", "m2"}, {0.25, 0.75});
+  ASSERT_OK(blend.Execute(&ctx_).status());
+  ASSERT_OK_AND_ASSIGN(const std::vector<double>* pred,
+                       ctx_.frames["pred"].Column("pred"));
+  EXPECT_NEAR((*pred)[0], 0.25 * 10 + 0.75 * 20, 0.5);
+}
+
+// ------------------------------------------------------------- Templates
+
+class TemplatesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<TempDir>("templates");
+    ASSERT_OK(WriteZillowCsvs(GenerateZillow(SmallZillow()), dir_->path()));
+  }
+  std::unique_ptr<TempDir> dir_;
+};
+
+TEST_F(TemplatesTest, AllFiftyPipelinesBuild) {
+  ASSERT_OK_AND_ASSIGN(auto pipelines, BuildAllZillowPipelines(dir_->path()));
+  EXPECT_EQ(pipelines.size(), 50u);
+  EXPECT_EQ(pipelines[0]->name(), "P1_v0");
+  EXPECT_EQ(pipelines[49]->name(), "P10_v4");
+  // Stage counts land in the paper's 9-19 range.
+  for (const auto& p : pipelines) {
+    EXPECT_GE(p->num_stages(), 9u) << p->name();
+    EXPECT_LE(p->num_stages(), 19u) << p->name();
+  }
+}
+
+TEST_F(TemplatesTest, InvalidIdsRejected) {
+  EXPECT_FALSE(BuildZillowPipeline(0, 0, dir_->path()).ok());
+  EXPECT_FALSE(BuildZillowPipeline(11, 0, dir_->path()).ok());
+  EXPECT_FALSE(BuildZillowPipeline(1, 5, dir_->path()).ok());
+}
+
+class TemplateRunTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TemplateRunTest, RunsEndToEnd) {
+  TempDir dir("template_run");
+  ASSERT_OK(WriteZillowCsvs(GenerateZillow(SmallZillow()), dir.path()));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Pipeline> pipeline,
+                       BuildZillowPipeline(GetParam(), 0, dir.path()));
+  PipelineContext ctx;
+  size_t stages_seen = 0;
+  ASSERT_OK(pipeline->Run(&ctx, -1,
+                          [&](size_t, const DataFrame& frame, double) {
+                            stages_seen++;
+                            EXPECT_GT(frame.num_cols(), 0u);
+                            return Status::OK();
+                          }));
+  EXPECT_EQ(stages_seen, pipeline->num_stages());
+
+  // Final predictions exist for validation and test rows.
+  ASSERT_TRUE(ctx.frames.count("pred_valid"));
+  ASSERT_TRUE(ctx.frames.count("pred_test"));
+  EXPECT_EQ(ctx.frames["pred_test"].num_rows(), 150u);
+  ASSERT_OK_AND_ASSIGN(const std::vector<double>* pred,
+                       ctx.frames["pred_test"].Column("pred"));
+  for (double p : *pred) EXPECT_FALSE(std::isnan(p));
+}
+
+INSTANTIATE_TEST_SUITE_P(Templates, TemplateRunTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST_F(TemplatesTest, RerunReproducesIntermediates) {
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Pipeline> pipeline,
+                       BuildZillowPipeline(1, 0, dir_->path()));
+  PipelineContext first, second;
+  ASSERT_OK(pipeline->Run(&first));
+  ASSERT_OK(pipeline->Run(&second));
+  ASSERT_OK_AND_ASSIGN(const std::vector<double>* p1,
+                       first.frames["pred_test"].Column("pred"));
+  ASSERT_OK_AND_ASSIGN(const std::vector<double>* p2,
+                       second.frames["pred_test"].Column("pred"));
+  EXPECT_EQ(*p1, *p2);
+}
+
+}  // namespace
+}  // namespace mistique

@@ -1,0 +1,268 @@
+// Randomized model-based and metamorphic properties:
+//  - DataStore vs an in-memory reference under random workloads
+//  - read == re-run for random row/column subsets (the core MISTIQUE
+//    contract)
+//  - Scan == brute-force filter for random predicates
+//  - LSH recall across the similarity spectrum
+
+#include <cmath>
+#include <map>
+
+#include "common/random.h"
+#include "core/mistique.h"
+#include "dedup/lsh_index.h"
+#include "gtest/gtest.h"
+#include "pipeline/templates.h"
+#include "pipeline/zillow.h"
+#include "test_util.h"
+
+namespace mistique {
+namespace {
+
+// ----------------------------- DataStore vs reference model
+
+class DataStoreModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DataStoreModelTest, RandomWorkloadMatchesReference) {
+  TempDir dir("ds_model");
+  DataStoreOptions opts;
+  opts.directory = dir.path();
+  opts.partition_target_bytes = 8 * 1024;   // Frequent seals.
+  opts.memory_budget_bytes = 16 * 1024;     // Frequent evictions.
+  DataStore store;
+  ASSERT_OK(store.Open(opts));
+
+  Rng rng(GetParam());
+  std::map<ChunkId, std::vector<double>> reference;
+  std::vector<PartitionId> open_partitions;
+
+  for (int op = 0; op < 400; ++op) {
+    const uint64_t dice = rng.NextBelow(10);
+    if (dice < 5 || reference.empty()) {
+      // Add a chunk to some open partition.
+      if (open_partitions.empty() || rng.Bernoulli(0.2)) {
+        open_partitions.push_back(store.CreatePartition());
+      }
+      PartitionId target =
+          open_partitions[rng.NextBelow(open_partitions.size())];
+      if (!store.IsOpen(target)) {
+        target = store.CreatePartition();
+        open_partitions.push_back(target);
+      }
+      std::vector<double> values(1 + rng.NextBelow(300));
+      for (double& v : values) v = rng.Gaussian();
+      ASSERT_OK_AND_ASSIGN(
+          ChunkId id, store.AddChunk(target, ColumnChunk::FromDoubles(values)));
+      reference[id] = std::move(values);
+    } else if (dice < 8) {
+      // Read a random known chunk; must equal the reference.
+      auto it = reference.begin();
+      std::advance(it, static_cast<ptrdiff_t>(
+                           rng.NextBelow(reference.size())));
+      ASSERT_OK_AND_ASSIGN(ChunkRef ref, store.GetChunk(it->first));
+      ASSERT_OK_AND_ASSIGN(std::vector<double> decoded,
+                           ref.chunk->DecodeAsDouble());
+      ASSERT_EQ(decoded, it->second) << "chunk " << it->first;
+    } else if (dice == 8) {
+      // Seal a random open partition.
+      if (!open_partitions.empty()) {
+        ASSERT_OK(store.SealPartition(
+            open_partitions[rng.NextBelow(open_partitions.size())]));
+      }
+    } else {
+      ASSERT_OK(store.Flush());
+    }
+  }
+  // Final audit: every chunk ever written is still intact.
+  ASSERT_OK(store.Flush());
+  for (const auto& [id, values] : reference) {
+    ASSERT_OK_AND_ASSIGN(ChunkRef ref, store.GetChunk(id));
+    ASSERT_OK_AND_ASSIGN(std::vector<double> decoded,
+                         ref.chunk->DecodeAsDouble());
+    ASSERT_EQ(decoded, values) << "chunk " << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DataStoreModelTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+// ----------------------------- read == re-run metamorphic property
+
+class FetchEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FetchEquivalenceTest, RandomSubsetsAgree) {
+  TempDir dir("fetch_eq");
+  ZillowConfig config;
+  config.num_properties = 500;
+  config.num_train = 380;
+  config.num_test = 120;
+  ASSERT_OK(WriteZillowCsvs(GenerateZillow(config), dir.path()));
+
+  MistiqueOptions opts;
+  opts.store.directory = dir.path() + "/store";
+  opts.row_block_size = 64;
+  Mistique mq;
+  ASSERT_OK(mq.Open(opts));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Pipeline> pipeline,
+                       BuildZillowPipeline(1, 0, dir.path()));
+  ASSERT_OK(mq.LogPipeline(pipeline.get(), "zillow").status());
+  ASSERT_OK(mq.Flush());
+
+  ASSERT_OK_AND_ASSIGN(ModelId id, mq.metadata().FindModel("zillow", "P1_v0"));
+  ASSERT_OK_AND_ASSIGN(const ModelInfo* model,
+                       std::as_const(mq.metadata()).GetModel(id));
+
+  Rng rng(GetParam());
+  for (int round = 0; round < 10; ++round) {
+    // Random intermediate, random column subset, random row subset.
+    const IntermediateInfo& interm =
+        model->intermediates[rng.NextBelow(model->intermediates.size())];
+    FetchRequest req;
+    req.project = "zillow";
+    req.model = "P1_v0";
+    req.intermediate = interm.name;
+    for (const ColumnInfo& col : interm.columns) {
+      if (rng.Bernoulli(0.4)) req.columns.push_back(col.name);
+    }
+    if (req.columns.empty()) req.columns.push_back(interm.columns[0].name);
+    const uint64_t n_rows = 1 + rng.NextBelow(interm.num_rows);
+    for (uint64_t i = 0; i < std::min<uint64_t>(n_rows, 20); ++i) {
+      req.row_ids.push_back(rng.NextBelow(interm.num_rows));
+    }
+
+    req.force_read = true;
+    ASSERT_OK_AND_ASSIGN(FetchResult read, mq.Fetch(req));
+    req.force_read = false;
+    ASSERT_OK_AND_ASSIGN(FetchResult rerun, mq.Fetch(req));
+
+    ASSERT_EQ(read.columns.size(), rerun.columns.size());
+    for (size_t c = 0; c < read.columns.size(); ++c) {
+      ASSERT_EQ(read.columns[c].size(), rerun.columns[c].size());
+      for (size_t r = 0; r < read.columns[c].size(); ++r) {
+        const double a = read.columns[c][r];
+        const double b = rerun.columns[c][r];
+        if (std::isnan(a) || std::isnan(b)) {
+          EXPECT_TRUE(std::isnan(a) && std::isnan(b))
+              << interm.name << "." << read.column_names[c] << " row " << r;
+        } else {
+          EXPECT_EQ(a, b) << interm.name << "." << read.column_names[c]
+                          << " row " << r;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FetchEquivalenceTest,
+                         ::testing::Values(11, 22, 33));
+
+// ----------------------------- Scan == brute force
+
+class ScanEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ScanEquivalenceTest, RandomPredicatesAgree) {
+  TempDir dir("scan_eq");
+  ZillowConfig config;
+  config.num_properties = 500;
+  config.num_train = 380;
+  config.num_test = 120;
+  ASSERT_OK(WriteZillowCsvs(GenerateZillow(config), dir.path()));
+
+  MistiqueOptions opts;
+  opts.store.directory = dir.path() + "/store";
+  opts.row_block_size = 64;
+  Mistique mq;
+  ASSERT_OK(mq.Open(opts));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Pipeline> pipeline,
+                       BuildZillowPipeline(1, 0, dir.path()));
+  ASSERT_OK(mq.LogPipeline(pipeline.get(), "zillow").status());
+
+  Rng rng(GetParam());
+  const char* columns[] = {"taxamount", "bedroomcnt", "latitude",
+                           "yearbuilt"};
+  for (int round = 0; round < 8; ++round) {
+    const char* column = columns[rng.NextBelow(4)];
+
+    FetchRequest full;
+    full.project = "zillow";
+    full.model = "P1_v0";
+    full.intermediate = "properties";
+    full.columns = {column};
+    ASSERT_OK_AND_ASSIGN(FetchResult all, mq.Fetch(full));
+
+    // Random bounds inside the observed value range.
+    double lo = 0, hi = 0;
+    {
+      double mn = 1e300, mx = -1e300;
+      for (double v : all.columns[0]) {
+        if (std::isnan(v)) continue;
+        mn = std::min(mn, v);
+        mx = std::max(mx, v);
+      }
+      const double a = rng.Uniform(mn, mx);
+      const double b = rng.Uniform(mn, mx);
+      lo = std::min(a, b);
+      hi = std::max(a, b);
+    }
+
+    ScanRequest scan;
+    scan.project = "zillow";
+    scan.model = "P1_v0";
+    scan.intermediate = "properties";
+    scan.predicate_column = column;
+    scan.lo = lo;
+    scan.hi = hi;
+    ASSERT_OK_AND_ASSIGN(ScanResult result, mq.Scan(scan));
+
+    std::vector<uint64_t> brute;
+    for (size_t i = 0; i < all.columns[0].size(); ++i) {
+      const double v = all.columns[0][i];
+      if (!std::isnan(v) && v >= lo && v <= hi) brute.push_back(i);
+    }
+    EXPECT_EQ(result.row_ids, brute) << column << " in [" << lo << ", "
+                                     << hi << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScanEquivalenceTest,
+                         ::testing::Values(7, 77, 777));
+
+// ----------------------------- LSH recall sweep
+
+TEST(LshRecallTest, RecallRisesWithSimilarity) {
+  MinHashOptions mh;
+  Rng rng(5);
+  std::vector<double> base(1500);
+  for (double& v : base) v = rng.Gaussian();
+  const MinHashSignature base_sig =
+      ComputeMinHash(ColumnChunk::FromDoubles(base), mh);
+
+  // For each perturbation level, insert the base and probe with perturbed
+  // variants; recall = fraction of probes that find the base above tau.
+  const double tau = 0.5;
+  double recall_high = 0, recall_low = 0;
+  const int probes = 20;
+  LshIndex index(mh.num_hashes, 32);
+  index.Insert(1, base_sig);
+  for (int p = 0; p < probes; ++p) {
+    auto perturb = [&](double frac, uint64_t seed) {
+      std::vector<double> v = base;
+      Rng prng(seed);
+      for (double& x : v) {
+        if (prng.Bernoulli(frac)) x += 5 + prng.NextDouble();
+      }
+      return ComputeMinHash(ColumnChunk::FromDoubles(v), mh);
+    };
+    recall_high +=
+        !index.Similar(perturb(0.05, 1000 + static_cast<uint64_t>(p)), tau)
+             .empty();
+    recall_low +=
+        !index.Similar(perturb(0.70, 2000 + static_cast<uint64_t>(p)), tau)
+             .empty();
+  }
+  EXPECT_GE(recall_high / probes, 0.95);  // 95%-similar probes: found.
+  EXPECT_LE(recall_low / probes, 0.10);   // 30%-similar probes: not.
+}
+
+}  // namespace
+}  // namespace mistique

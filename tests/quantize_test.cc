@@ -1,0 +1,236 @@
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "quantize/quantizer.h"
+#include "test_util.h"
+
+namespace mistique {
+namespace {
+
+std::vector<double> GaussianSample(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (double& v : out) v = rng.Gaussian();
+  return out;
+}
+
+// ---------------------------------------------------------------- KBIT_QT
+
+TEST(KBitTest, FitRejectsEmptySample) {
+  KBitQuantizer q(8);
+  EXPECT_FALSE(q.Fit({}).ok());
+  EXPECT_FALSE(q.fitted());
+}
+
+TEST(KBitTest, QuantizeBeforeFitRejected) {
+  KBitQuantizer q(8);
+  EXPECT_FALSE(q.Quantize({1.0}).ok());
+}
+
+TEST(KBitTest, EightBitUsesByteEncoding) {
+  KBitQuantizer q(8);
+  ASSERT_OK(q.Fit(GaussianSample(10000, 1)));
+  ASSERT_OK_AND_ASSIGN(ColumnChunk c, q.Quantize(GaussianSample(1000, 2)));
+  EXPECT_EQ(c.dtype(), DType::kUInt8);
+  EXPECT_EQ(c.byte_size(), 1000u);  // 8x smaller than float64.
+}
+
+TEST(KBitTest, ReconstructionErrorSmallAtK8) {
+  // With 256 quantile bins on a smooth distribution, reconstruction error
+  // should be a small fraction of the data's spread.
+  KBitQuantizer q(8);
+  std::vector<double> sample = GaussianSample(50000, 3);
+  ASSERT_OK(q.Fit(sample));
+  const std::vector<double> values = GaussianSample(5000, 4);
+  ASSERT_OK_AND_ASSIGN(ColumnChunk c, q.Quantize(values));
+  ASSERT_OK_AND_ASSIGN(std::vector<double> decoded,
+                       c.DecodeAsDouble(&q.reconstruction()));
+  double err = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    err += std::abs(decoded[i] - values[i]);
+  }
+  err /= static_cast<double>(values.size());
+  EXPECT_LT(err, 0.02);  // vs stddev 1.0
+}
+
+TEST(KBitTest, MonotoneBinning) {
+  KBitQuantizer q(4);
+  ASSERT_OK(q.Fit(GaussianSample(10000, 7)));
+  // Bins must be monotone in the value.
+  uint8_t prev = 0;
+  for (double v = -3.0; v <= 3.0; v += 0.05) {
+    const uint8_t bin = q.BinOf(v);
+    EXPECT_GE(bin, prev);
+    prev = bin;
+  }
+  EXPECT_EQ(q.BinOf(-1e30), 0);
+  EXPECT_EQ(q.BinOf(1e30), 15);
+}
+
+class KBitWidthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KBitWidthTest, PackedSizeMatchesK) {
+  const int k = GetParam();
+  KBitQuantizer q(k);
+  ASSERT_OK(q.Fit(GaussianSample(4000, 11)));
+  const size_t n = 1024;
+  ASSERT_OK_AND_ASSIGN(ColumnChunk c, q.Quantize(GaussianSample(n, 12)));
+  EXPECT_EQ(c.byte_size(), (n * static_cast<size_t>(k) + 7) / 8);
+  ASSERT_OK_AND_ASSIGN(std::vector<double> decoded,
+                       c.DecodeAsDouble(&q.reconstruction()));
+  EXPECT_EQ(decoded.size(), n);
+  // Error shrinks as k grows; sanity bound for any k >= 1.
+  double err = 0;
+  const std::vector<double> values = GaussianSample(n, 12);
+  for (size_t i = 0; i < n; ++i) err += std::abs(decoded[i] - values[i]);
+  EXPECT_LT(err / static_cast<double>(n), 1.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, KBitWidthTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(KBitTest, PersistAndRestore) {
+  KBitQuantizer q(8);
+  ASSERT_OK(q.Fit(GaussianSample(10000, 13)));
+  ASSERT_OK_AND_ASSIGN(
+      KBitQuantizer restored,
+      KBitQuantizer::FromTables(8, q.edges(), q.reconstruction().centers));
+  for (double v = -2; v <= 2; v += 0.1) {
+    EXPECT_EQ(q.BinOf(v), restored.BinOf(v));
+  }
+}
+
+TEST(KBitTest, FromTablesValidatesSizes) {
+  EXPECT_FALSE(KBitQuantizer::FromTables(8, {1.0}, {1.0, 2.0}).ok());
+}
+
+// ----------------------------------------------------------- THRESHOLD_QT
+
+TEST(ThresholdTest, ThresholdAtPercentile) {
+  std::vector<double> sample(1000);
+  for (size_t i = 0; i < sample.size(); ++i) {
+    sample[i] = static_cast<double>(i);  // Uniform 0..999.
+  }
+  ThresholdQuantizer q(0.005);
+  ASSERT_OK(q.Fit(sample));
+  EXPECT_NEAR(q.threshold(), 994.0, 1.5);  // 99.5th percentile.
+}
+
+TEST(ThresholdTest, BinarizesAboveThreshold) {
+  ThresholdQuantizer q = ThresholdQuantizer::FromThreshold(0.005, 10.0);
+  ASSERT_OK_AND_ASSIGN(ColumnChunk c, q.Quantize({5.0, 10.0, 10.5, 100.0}));
+  EXPECT_EQ(c.dtype(), DType::kBit);
+  ASSERT_OK_AND_ASSIGN(std::vector<double> decoded, c.DecodeAsDouble());
+  EXPECT_EQ(decoded, (std::vector<double>{0, 0, 1, 1}));
+}
+
+TEST(ThresholdTest, StorageIs64xSmallerThanDouble) {
+  ThresholdQuantizer q = ThresholdQuantizer::FromThreshold(0.005, 0.0);
+  const size_t n = 4096;
+  ASSERT_OK_AND_ASSIGN(ColumnChunk c, q.Quantize(GaussianSample(n, 5)));
+  EXPECT_EQ(c.byte_size(), n / 8);
+}
+
+// -------------------------------------------------------------- POOL_QT
+
+TEST(PoolTest, AveragePooling2x2) {
+  // 4x4 map with known block means.
+  const std::vector<double> map = {1, 1, 2, 2,   //
+                                   1, 1, 2, 2,   //
+                                   3, 3, 4, 4,   //
+                                   3, 3, 4, 4};
+  PoolQuantizer pool(2, PoolMode::kAvg);
+  const std::vector<double> out = pool.PoolMap(map, 4, 4);
+  EXPECT_EQ(out, (std::vector<double>{1, 2, 3, 4}));
+}
+
+TEST(PoolTest, MaxPooling2x2) {
+  const std::vector<double> map = {1, 5, 2, 0,  //
+                                   0, 1, 0, 9,  //
+                                   7, 0, 1, 1,  //
+                                   0, 0, 1, 3};
+  PoolQuantizer pool(2, PoolMode::kMax);
+  EXPECT_EQ(pool.PoolMap(map, 4, 4), (std::vector<double>{5, 9, 7, 3}));
+}
+
+TEST(PoolTest, FullPoolCollapsesToOneValue) {
+  PoolQuantizer pool(32, PoolMode::kAvg);
+  std::vector<double> map(32 * 32, 0.0);
+  for (size_t i = 0; i < map.size(); ++i) map[i] = static_cast<double>(i % 7);
+  const std::vector<double> out = pool.PoolMap(map, 32, 32);
+  ASSERT_EQ(out.size(), 1u);
+  double expect = 0;
+  for (double v : map) expect += v;
+  EXPECT_NEAR(out[0], expect / 1024.0, 1e-12);
+}
+
+TEST(PoolTest, PartialEdgeWindows) {
+  // 3x3 pooled by 2: edges use partial windows.
+  const std::vector<double> map = {1, 2, 3,  //
+                                   4, 5, 6,  //
+                                   7, 8, 9};
+  PoolQuantizer pool(2, PoolMode::kAvg);
+  const std::vector<double> out = pool.PoolMap(map, 3, 3);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_NEAR(out[0], (1 + 2 + 4 + 5) / 4.0, 1e-12);
+  EXPECT_NEAR(out[1], (3 + 6) / 2.0, 1e-12);
+  EXPECT_NEAR(out[2], (7 + 8) / 2.0, 1e-12);
+  EXPECT_NEAR(out[3], 9.0, 1e-12);
+}
+
+TEST(PoolTest, ChwPoolsEachChannel) {
+  PoolQuantizer pool(2, PoolMode::kAvg);
+  std::vector<double> chw(2 * 2 * 2);
+  // Channel 0 all 1s, channel 1 all 3s.
+  for (int i = 0; i < 4; ++i) chw[static_cast<size_t>(i)] = 1;
+  for (int i = 4; i < 8; ++i) chw[static_cast<size_t>(i)] = 3;
+  const std::vector<double> out = pool.PoolChw(chw, 2, 2, 2);
+  EXPECT_EQ(out, (std::vector<double>{1, 3}));
+}
+
+class PoolReductionTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PoolReductionTest, SizeShrinksBySigmaSquared) {
+  const auto [side, sigma] = GetParam();
+  PoolQuantizer pool(sigma, PoolMode::kAvg);
+  std::vector<double> map(static_cast<size_t>(side) * side, 1.0);
+  const auto out = pool.PoolMap(map, side, side);
+  const int oside = (side + sigma - 1) / sigma;
+  EXPECT_EQ(out.size(), static_cast<size_t>(oside) * oside);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, PoolReductionTest,
+    ::testing::Combine(::testing::Values(8, 16, 32),
+                       ::testing::Values(2, 4, 8, 32)));
+
+// ---------------------------------------------------------------- LP_QT
+
+TEST(LpTest, SchemesShrinkStorage) {
+  const std::vector<double> values = GaussianSample(1000, 9);
+  ASSERT_OK_AND_ASSIGN(ColumnChunk full, LpQuantize(values, QuantScheme::kNone));
+  ASSERT_OK_AND_ASSIGN(ColumnChunk lp32, LpQuantize(values, QuantScheme::kLp32));
+  ASSERT_OK_AND_ASSIGN(ColumnChunk lp16, LpQuantize(values, QuantScheme::kLp16));
+  EXPECT_EQ(full.byte_size(), 8000u);
+  EXPECT_EQ(lp32.byte_size(), 4000u);
+  EXPECT_EQ(lp16.byte_size(), 2000u);
+}
+
+TEST(LpTest, RejectsNonLpSchemes) {
+  EXPECT_FALSE(LpQuantize({1.0}, QuantScheme::kKBit).ok());
+  EXPECT_FALSE(LpQuantize({1.0}, QuantScheme::kThreshold).ok());
+}
+
+TEST(QuantSchemeTest, Names) {
+  EXPECT_EQ(QuantSchemeName(QuantScheme::kNone), "FULL");
+  EXPECT_EQ(QuantSchemeName(QuantScheme::kLp16), "LP_QT(16)");
+  EXPECT_EQ(QuantSchemeName(QuantScheme::kKBit, 8), "8BIT_QT");
+  EXPECT_EQ(QuantSchemeName(QuantScheme::kKBit, 3), "3BIT_QT");
+  EXPECT_EQ(QuantSchemeName(QuantScheme::kThreshold), "THRESHOLD_QT");
+}
+
+}  // namespace
+}  // namespace mistique

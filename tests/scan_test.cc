@@ -1,0 +1,200 @@
+#include <cmath>
+
+#include "core/mistique.h"
+#include "gtest/gtest.h"
+#include "nn/cifar.h"
+#include "nn/model_zoo.h"
+#include "pipeline/templates.h"
+#include "pipeline/zillow.h"
+#include "test_util.h"
+
+namespace mistique {
+namespace {
+
+class ScanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<TempDir>("scan");
+    ZillowConfig config;
+    config.num_properties = 600;
+    config.num_train = 450;
+    config.num_test = 150;
+    ASSERT_OK(WriteZillowCsvs(GenerateZillow(config), dir_->path()));
+  }
+
+  MistiqueOptions Options(StorageStrategy strategy) {
+    MistiqueOptions opts;
+    opts.store.directory = dir_->path() + "/store" + std::to_string(n_++);
+    opts.strategy = strategy;
+    opts.row_block_size = 64;
+    return opts;
+  }
+
+  ScanRequest BaseScan() {
+    ScanRequest req;
+    req.project = "zillow";
+    req.model = "P1_v0";
+    req.intermediate = "train_merged";
+    req.predicate_column = "yearbuilt";
+    return req;
+  }
+
+  std::unique_ptr<TempDir> dir_;
+  int n_ = 0;
+};
+
+TEST_F(ScanTest, MatchesBruteForceFilter) {
+  Mistique mq;
+  ASSERT_OK(mq.Open(Options(StorageStrategy::kDedup)));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Pipeline> pipeline,
+                       BuildZillowPipeline(1, 0, dir_->path()));
+  ASSERT_OK(mq.LogPipeline(pipeline.get(), "zillow").status());
+  ASSERT_OK(mq.Flush());
+
+  ScanRequest req = BaseScan();
+  req.lo = 1950;
+  req.hi = 1970;
+  req.columns = {"taxamount"};
+  ASSERT_OK_AND_ASSIGN(ScanResult scan, mq.Scan(req));
+
+  // Brute force over the full fetch.
+  FetchRequest full;
+  full.project = "zillow";
+  full.model = "P1_v0";
+  full.intermediate = "train_merged";
+  full.columns = {"yearbuilt", "taxamount"};
+  ASSERT_OK_AND_ASSIGN(FetchResult all, mq.Fetch(full));
+  std::vector<uint64_t> expect_rows;
+  std::vector<double> expect_tax;
+  for (size_t i = 0; i < all.columns[0].size(); ++i) {
+    const double v = all.columns[0][i];
+    if (!std::isnan(v) && v >= 1950 && v <= 1970) {
+      expect_rows.push_back(i);
+      expect_tax.push_back(all.columns[1][i]);
+    }
+  }
+  EXPECT_EQ(scan.row_ids, expect_rows);
+  ASSERT_EQ(scan.columns.size(), 1u);
+  EXPECT_EQ(scan.columns[0], expect_tax);
+  EXPECT_FALSE(scan.row_ids.empty());
+}
+
+TEST_F(ScanTest, ZoneMapsPruneBlocks) {
+  Mistique mq;
+  ASSERT_OK(mq.Open(Options(StorageStrategy::kDedup)));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Pipeline> pipeline,
+                       BuildZillowPipeline(1, 0, dir_->path()));
+  ASSERT_OK(mq.LogPipeline(pipeline.get(), "zillow").status());
+
+  // parcelid is monotonically distributed across the properties frame, so
+  // a narrow parcelid range prunes most blocks.
+  ScanRequest req;
+  req.project = "zillow";
+  req.model = "P1_v0";
+  req.intermediate = "properties";
+  req.predicate_column = "parcelid";
+  req.lo = 10000010;
+  req.hi = 10000030;
+  ASSERT_OK_AND_ASSIGN(ScanResult scan, mq.Scan(req));
+  EXPECT_EQ(scan.row_ids.size(), 21u);
+  EXPECT_GT(scan.blocks_pruned, 0u);
+  EXPECT_LT(scan.blocks_scanned, scan.blocks_pruned);
+  EXPECT_EQ(scan.blocks_scanned + scan.blocks_pruned,
+            (600 + 63) / 64);  // All blocks accounted for.
+}
+
+TEST_F(ScanTest, EmptyRangeAndValidation) {
+  Mistique mq;
+  ASSERT_OK(mq.Open(Options(StorageStrategy::kDedup)));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Pipeline> pipeline,
+                       BuildZillowPipeline(1, 0, dir_->path()));
+  ASSERT_OK(mq.LogPipeline(pipeline.get(), "zillow").status());
+
+  ScanRequest req = BaseScan();
+  req.lo = 5000;  // No home built in year 5000.
+  req.hi = 6000;
+  req.columns = {"taxamount"};
+  ASSERT_OK_AND_ASSIGN(ScanResult scan, mq.Scan(req));
+  EXPECT_TRUE(scan.row_ids.empty());
+  EXPECT_EQ(scan.columns.size(), 1u);
+  EXPECT_TRUE(scan.columns[0].empty());
+
+  req.lo = 10;
+  req.hi = 5;
+  EXPECT_EQ(mq.Scan(req).status().code(), StatusCode::kInvalidArgument);
+
+  req = BaseScan();
+  req.predicate_column = "ghost";
+  EXPECT_EQ(mq.Scan(req).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ScanTest, UnmaterializedFallsBackToRerun) {
+  Mistique mq;
+  MistiqueOptions opts = Options(StorageStrategy::kAdaptive);
+  opts.gamma_min = 1e18;
+  ASSERT_OK(mq.Open(opts));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Pipeline> pipeline,
+                       BuildZillowPipeline(1, 0, dir_->path()));
+  ASSERT_OK(mq.LogPipeline(pipeline.get(), "zillow").status());
+
+  ScanRequest req = BaseScan();
+  req.lo = 1950;
+  req.hi = 1970;
+  ASSERT_OK_AND_ASSIGN(ScanResult scan, mq.Scan(req));
+  EXPECT_FALSE(scan.row_ids.empty());
+  EXPECT_EQ(scan.blocks_pruned, 0u);  // No zone maps without storage.
+}
+
+TEST_F(ScanTest, NeuronActivationScanOnDnn) {
+  // The paper's example: find examples whose neuron activation exceeds a
+  // threshold, on a quantized (8BIT_QT) store — the predicate evaluates
+  // on reconstructed values.
+  CifarConfig config;
+  config.num_examples = 128;
+  const CifarData data = GenerateCifar(config);
+  auto input = std::make_shared<Tensor>(data.images);
+
+  Mistique mq;
+  MistiqueOptions opts = Options(StorageStrategy::kDedup);
+  opts.dnn_scheme = QuantScheme::kKBit;
+  ASSERT_OK(mq.Open(opts));
+  DnnScaleConfig scale;
+  scale.cnn_scale = 0.2;
+  auto net = BuildCifarCnn(scale);
+  ASSERT_OK(mq.LogNetwork(net.get(), input, "cifar", "cnn").status());
+  ASSERT_OK(mq.Flush());
+
+  // Pick a live neuron from fc1 and scan for its top activations.
+  FetchRequest probe;
+  probe.project = "cifar";
+  probe.model = "cnn";
+  probe.intermediate = "layer7";
+  ASSERT_OK_AND_ASSIGN(FetchResult fc1, mq.Fetch(probe));
+  size_t busiest = 0;
+  double best_max = -1;
+  for (size_t n = 0; n < fc1.columns.size(); ++n) {
+    const double mx = *std::max_element(fc1.columns[n].begin(),
+                                        fc1.columns[n].end());
+    if (mx > best_max) {
+      best_max = mx;
+      busiest = n;
+    }
+  }
+  ASSERT_GT(best_max, 0);
+
+  ScanRequest req;
+  req.project = "cifar";
+  req.model = "cnn";
+  req.intermediate = "layer7";
+  req.predicate_column = "n" + std::to_string(busiest);
+  req.lo = best_max * 0.5;
+  ASSERT_OK_AND_ASSIGN(ScanResult scan, mq.Scan(req));
+  EXPECT_FALSE(scan.row_ids.empty());
+  // Every returned row's (reconstructed) activation satisfies the bound.
+  for (uint64_t row : scan.row_ids) {
+    EXPECT_GE(fc1.columns[busiest][row], req.lo);
+  }
+}
+
+}  // namespace
+}  // namespace mistique

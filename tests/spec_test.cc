@@ -1,0 +1,240 @@
+#include "gtest/gtest.h"
+#include "pipeline/spec.h"
+#include "pipeline/zillow.h"
+#include "test_util.h"
+
+namespace mistique {
+namespace {
+
+// --------------------------------------------------------------- Parser
+
+TEST(YamlParserTest, ScalarsAndMappings) {
+  ASSERT_OK_AND_ASSIGN(YamlNode root, ParseYaml(R"(
+name: test
+count: 42
+rate: 0.5
+flag: true
+quoted: "hello world"
+)"));
+  ASSERT_TRUE(root.IsMapping());
+  EXPECT_EQ(root.GetString("name", ""), "test");
+  EXPECT_EQ(root.GetInt("count", 0), 42);
+  EXPECT_EQ(root.GetDouble("rate", 0), 0.5);
+  ASSERT_OK_AND_ASSIGN(const YamlNode* flag, root.Get("flag"));
+  EXPECT_TRUE(flag->AsBool());
+  EXPECT_EQ(root.GetString("quoted", ""), "hello world");
+  EXPECT_FALSE(root.Get("missing").ok());
+}
+
+TEST(YamlParserTest, NestedMapping) {
+  ASSERT_OK_AND_ASSIGN(YamlNode root, ParseYaml(R"(
+outer:
+  inner:
+    deep: 3
+  sibling: x
+)"));
+  ASSERT_OK_AND_ASSIGN(const YamlNode* outer, root.Get("outer"));
+  ASSERT_OK_AND_ASSIGN(const YamlNode* inner, outer->Get("inner"));
+  EXPECT_EQ(inner->GetInt("deep", 0), 3);
+  EXPECT_EQ(outer->GetString("sibling", ""), "x");
+}
+
+TEST(YamlParserTest, BlockSequences) {
+  ASSERT_OK_AND_ASSIGN(YamlNode root, ParseYaml(R"(
+items:
+  - one
+  - two
+maps:
+  - stage: a
+    param: 1
+  - stage: b
+)"));
+  ASSERT_OK_AND_ASSIGN(const YamlNode* items, root.Get("items"));
+  ASSERT_TRUE(items->IsSequence());
+  ASSERT_EQ(items->items().size(), 2u);
+  EXPECT_EQ(items->items()[0].scalar(), "one");
+
+  ASSERT_OK_AND_ASSIGN(const YamlNode* maps, root.Get("maps"));
+  ASSERT_EQ(maps->items().size(), 2u);
+  EXPECT_EQ(maps->items()[0].GetString("stage", ""), "a");
+  EXPECT_EQ(maps->items()[0].GetInt("param", 0), 1);
+  EXPECT_EQ(maps->items()[1].GetString("stage", ""), "b");
+}
+
+TEST(YamlParserTest, FlowSequences) {
+  ASSERT_OK_AND_ASSIGN(YamlNode root, ParseYaml("cols: [a, b, c]\n"));
+  ASSERT_OK_AND_ASSIGN(const YamlNode* cols, root.Get("cols"));
+  ASSERT_TRUE(cols->IsSequence());
+  ASSERT_EQ(cols->items().size(), 3u);
+  EXPECT_EQ(cols->items()[2].scalar(), "c");
+}
+
+TEST(YamlParserTest, CommentsStripped) {
+  ASSERT_OK_AND_ASSIGN(YamlNode root, ParseYaml(R"(
+# full-line comment
+key: value  # trailing comment
+url: http://example.com/path  # colon inside value survives
+)"));
+  EXPECT_EQ(root.GetString("key", ""), "value");
+  EXPECT_EQ(root.GetString("url", ""), "http://example.com/path");
+}
+
+TEST(YamlParserTest, TabsRejected) {
+  EXPECT_FALSE(ParseYaml("key:\n\tnested: 1\n").ok());
+}
+
+TEST(YamlParserTest, MalformedRejected) {
+  EXPECT_FALSE(ParseYaml("just a line without colon\n").ok());
+}
+
+// -------------------------------------------------------------- Builder
+
+constexpr char kSpec[] = R"(
+pipeline: spec_demo
+stages:
+  - stage: read_csv
+    output: properties
+    path: properties.csv
+  - stage: read_csv
+    output: train
+    path: train.csv
+  - stage: read_csv
+    output: test
+    path: test.csv
+  - stage: avg_features
+    output: properties_avg
+    input: properties
+  - stage: join
+    output: train_merged
+    left: train
+    right: properties_avg
+    on: parcelid
+  - stage: join
+    output: test_merged
+    left: test
+    right: properties_avg
+    on: parcelid
+  - stage: select_column
+    output: y_frame
+    input: train_merged
+    column: logerror
+    series: y
+  - stage: drop_columns
+    output: x_all
+    input: train_merged
+    columns: [parcelid, logerror, transactiondate]
+  - stage: drop_columns
+    output: x_test
+    input: test_merged
+    columns: [parcelid, transactiondate]
+  - stage: train_test_split
+    output: x_train
+    x: x_all
+    y: y
+  - stage: train
+    output: train_pred
+    learner: lightgbm
+    x: x_train
+    y: y_train
+    model_key: lgbm
+    learning_rate: 0.1
+    n_estimators: 10
+  - stage: predict
+    output: pred_test
+    x: x_test
+    models: [lgbm]
+)";
+
+class SpecBuilderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<TempDir>("spec");
+    ZillowConfig config;
+    config.num_properties = 400;
+    config.num_train = 300;
+    config.num_test = 100;
+    ASSERT_OK(WriteZillowCsvs(GenerateZillow(config), dir_->path()));
+  }
+  std::unique_ptr<TempDir> dir_;
+};
+
+TEST_F(SpecBuilderTest, BuildsAndRuns) {
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Pipeline> pipeline,
+                       BuildPipelineFromYaml(kSpec, dir_->path()));
+  EXPECT_EQ(pipeline->name(), "spec_demo");
+  EXPECT_EQ(pipeline->num_stages(), 12u);
+
+  PipelineContext ctx;
+  ASSERT_OK(pipeline->Run(&ctx));
+  ASSERT_TRUE(ctx.frames.count("pred_test"));
+  EXPECT_EQ(ctx.frames["pred_test"].num_rows(), 100u);
+  // avg_features ran: derived column present downstream.
+  EXPECT_TRUE(ctx.frames["x_all"].HasColumn("avg_tax_per_sqft"));
+}
+
+TEST_F(SpecBuilderTest, UnknownStageRejected) {
+  const char* bad = R"(
+pipeline: bad
+stages:
+  - stage: teleport
+    output: x
+)";
+  EXPECT_FALSE(BuildPipelineFromYaml(bad, dir_->path()).ok());
+}
+
+TEST_F(SpecBuilderTest, MissingPiecesRejected) {
+  EXPECT_FALSE(BuildPipelineFromYaml("stages:\n  - stage: join\n    output: x\n",
+                                     dir_->path())
+                   .ok());  // No pipeline name.
+  EXPECT_FALSE(
+      BuildPipelineFromYaml("pipeline: p\n", dir_->path()).ok());  // No stages.
+  EXPECT_FALSE(BuildPipelineFromYaml(
+                   "pipeline: p\nstages:\n  - stage: read_csv\n    output: x\n",
+                   dir_->path())
+                   .ok());  // read_csv without path.
+  EXPECT_FALSE(BuildPipelineFromYaml(
+                   "pipeline: p\nstages:\n  - stage: train\n    output: x\n"
+                   "    learner: svm\n",
+                   dir_->path())
+                   .ok());  // Unknown learner.
+}
+
+TEST_F(SpecBuilderTest, TrainParamsFlowThrough) {
+  const char* spec = R"(
+pipeline: enet
+stages:
+  - stage: read_csv
+    output: train
+    path: train.csv
+  - stage: select_column
+    output: y_frame
+    input: train
+    column: logerror
+    series: y
+  - stage: drop_columns
+    output: x_all
+    input: train
+    columns: [logerror]
+  - stage: train_test_split
+    output: x_train
+    x: x_all
+    y: y
+  - stage: train
+    output: pred
+    learner: elastic_net
+    x: x_train
+    y: y_train
+    model_key: m
+    l1_ratio: 0.9
+    alpha: 0.001
+    normalize: false
+)";
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Pipeline> pipeline,
+                       BuildPipelineFromYaml(spec, dir_->path()));
+  PipelineContext ctx;
+  ASSERT_OK(pipeline->Run(&ctx));
+  EXPECT_TRUE(ctx.models.count("m"));
+}
+
+}  // namespace
+}  // namespace mistique

@@ -1,0 +1,57 @@
+#ifndef MISTIQUE_TESTS_TEST_UTIL_H_
+#define MISTIQUE_TESTS_TEST_UTIL_H_
+
+#include <filesystem>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace mistique {
+
+/// Creates a unique directory under the build tree for a test and removes
+/// it on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    path_ = std::filesystem::temp_directory_path() /
+            ("mistique_test_" + tag + "_" +
+             (info ? std::string(info->test_suite_name()) + "_" + info->name()
+                   : "unknown"));
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  std::string path() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+#define ASSERT_OK(expr)                                              \
+  do {                                                               \
+    const ::mistique::Status _st = (expr);                           \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                         \
+  } while (0)
+
+#define EXPECT_OK(expr)                                              \
+  do {                                                               \
+    const ::mistique::Status _st = (expr);                           \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                         \
+  } while (0)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, rexpr)                             \
+  ASSERT_OK_AND_ASSIGN_IMPL(                                         \
+      MISTIQUE_ASSIGN_OR_RETURN_NAME(_assert_tmp_, __COUNTER__), lhs, rexpr)
+
+#define ASSERT_OK_AND_ASSIGN_IMPL(tmp, lhs, rexpr)                   \
+  auto tmp = (rexpr);                                                \
+  ASSERT_TRUE(tmp.ok()) << tmp.status().ToString();                  \
+  lhs = std::move(tmp).ValueOrDie();
+
+}  // namespace mistique
+
+#endif  // MISTIQUE_TESTS_TEST_UTIL_H_

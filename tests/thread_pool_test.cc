@@ -1,0 +1,75 @@
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "gtest/gtest.h"
+
+namespace mistique {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIterationExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(1000);
+  pool.ParallelFor(1000, [&](size_t i) { counts[i]++; });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroAndOneIterations) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, [&](size_t) { calls++; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    calls++;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, SingleThreadDegradesToSerial) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::vector<size_t> order;
+  pool.ParallelFor(10, [&](size_t i) { order.push_back(i); });
+  // Serial path preserves order (no synchronization needed).
+  std::vector<size_t> expect(10);
+  std::iota(expect.begin(), expect.end(), size_t{0});
+  EXPECT_EQ(order, expect);
+}
+
+TEST(ThreadPoolTest, ResultsAggregateCorrectly) {
+  ThreadPool pool;
+  const size_t n = 10000;
+  std::vector<uint64_t> squares(n);
+  pool.ParallelFor(n, [&](size_t i) { squares[i] = i * i; });
+  uint64_t sum = std::accumulate(squares.begin(), squares.end(), uint64_t{0});
+  // Sum of squares 0..n-1 = (n-1)n(2n-1)/6.
+  EXPECT_EQ(sum, (n - 1) * n * (2 * n - 1) / 6);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossCalls) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(20, [&](size_t) { total++; });
+  }
+  EXPECT_EQ(total.load(), 1000);
+}
+
+TEST(ThreadPoolTest, NestedDataStructuresSafe) {
+  // Each iteration writes a disjoint slot — the usage pattern of the
+  // column-encode stage.
+  ThreadPool pool(4);
+  std::vector<std::vector<double>> out(200);
+  pool.ParallelFor(200, [&](size_t i) {
+    out[i].assign(100, static_cast<double>(i));
+  });
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].size(), 100u);
+    EXPECT_EQ(out[i][99], static_cast<double>(i));
+  }
+}
+
+}  // namespace
+}  // namespace mistique
