@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_compress_micro.dir/fig14_compress_micro.cc.o"
+  "CMakeFiles/fig14_compress_micro.dir/fig14_compress_micro.cc.o.d"
+  "fig14_compress_micro"
+  "fig14_compress_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_compress_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_query_times.dir/fig5_query_times.cc.o"
+  "CMakeFiles/fig5_query_times.dir/fig5_query_times.cc.o.d"
+  "fig5_query_times"
+  "fig5_query_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_query_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_vis_quant.dir/fig9_vis_quant.cc.o"
+  "CMakeFiles/fig9_vis_quant.dir/fig9_vis_quant.cc.o.d"
+  "fig9_vis_quant"
+  "fig9_vis_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_vis_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_svcca.dir/table2_svcca.cc.o"
+  "CMakeFiles/table2_svcca.dir/table2_svcca.cc.o.d"
+  "table2_svcca"
+  "table2_svcca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_svcca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

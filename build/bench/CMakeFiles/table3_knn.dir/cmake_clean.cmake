@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_knn.dir/table3_knn.cc.o"
+  "CMakeFiles/table3_knn.dir/table3_knn.cc.o.d"
+  "table3_knn"
+  "table3_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnn_activation_explorer.dir/cnn_activation_explorer.cpp.o"
+  "CMakeFiles/cnn_activation_explorer.dir/cnn_activation_explorer.cpp.o.d"
+  "cnn_activation_explorer"
+  "cnn_activation_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnn_activation_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mistique_cli.dir/mistique_cli.cpp.o"
+  "CMakeFiles/mistique_cli.dir/mistique_cli.cpp.o.d"
+  "mistique_cli"
+  "mistique_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mistique_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netdissect_concepts.dir/netdissect_concepts.cpp.o"
+  "CMakeFiles/netdissect_concepts.dir/netdissect_concepts.cpp.o.d"
+  "netdissect_concepts"
+  "netdissect_concepts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netdissect_concepts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

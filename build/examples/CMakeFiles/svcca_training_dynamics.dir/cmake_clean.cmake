@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svcca_training_dynamics.dir/svcca_training_dynamics.cpp.o"
+  "CMakeFiles/svcca_training_dynamics.dir/svcca_training_dynamics.cpp.o.d"
+  "svcca_training_dynamics"
+  "svcca_training_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svcca_training_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zillow_diagnosis.dir/zillow_diagnosis.cpp.o"
+  "CMakeFiles/zillow_diagnosis.dir/zillow_diagnosis.cpp.o.d"
+  "zillow_diagnosis"
+  "zillow_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zillow_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/float16.cc" "src/CMakeFiles/mistique.dir/common/float16.cc.o" "gcc" "src/CMakeFiles/mistique.dir/common/float16.cc.o.d"
+  "/root/repo/src/common/hash.cc" "src/CMakeFiles/mistique.dir/common/hash.cc.o" "gcc" "src/CMakeFiles/mistique.dir/common/hash.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/mistique.dir/common/status.cc.o" "gcc" "src/CMakeFiles/mistique.dir/common/status.cc.o.d"
+  "/root/repo/src/compress/codec.cc" "src/CMakeFiles/mistique.dir/compress/codec.cc.o" "gcc" "src/CMakeFiles/mistique.dir/compress/codec.cc.o.d"
+  "/root/repo/src/compress/lzss.cc" "src/CMakeFiles/mistique.dir/compress/lzss.cc.o" "gcc" "src/CMakeFiles/mistique.dir/compress/lzss.cc.o.d"
+  "/root/repo/src/compress/simple_codecs.cc" "src/CMakeFiles/mistique.dir/compress/simple_codecs.cc.o" "gcc" "src/CMakeFiles/mistique.dir/compress/simple_codecs.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/CMakeFiles/mistique.dir/core/cost_model.cc.o" "gcc" "src/CMakeFiles/mistique.dir/core/cost_model.cc.o.d"
+  "/root/repo/src/core/mistique.cc" "src/CMakeFiles/mistique.dir/core/mistique.cc.o" "gcc" "src/CMakeFiles/mistique.dir/core/mistique.cc.o.d"
+  "/root/repo/src/dedup/deduplicator.cc" "src/CMakeFiles/mistique.dir/dedup/deduplicator.cc.o" "gcc" "src/CMakeFiles/mistique.dir/dedup/deduplicator.cc.o.d"
+  "/root/repo/src/dedup/lsh_index.cc" "src/CMakeFiles/mistique.dir/dedup/lsh_index.cc.o" "gcc" "src/CMakeFiles/mistique.dir/dedup/lsh_index.cc.o.d"
+  "/root/repo/src/dedup/minhash.cc" "src/CMakeFiles/mistique.dir/dedup/minhash.cc.o" "gcc" "src/CMakeFiles/mistique.dir/dedup/minhash.cc.o.d"
+  "/root/repo/src/diagnostics/queries.cc" "src/CMakeFiles/mistique.dir/diagnostics/queries.cc.o" "gcc" "src/CMakeFiles/mistique.dir/diagnostics/queries.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/CMakeFiles/mistique.dir/linalg/matrix.cc.o" "gcc" "src/CMakeFiles/mistique.dir/linalg/matrix.cc.o.d"
+  "/root/repo/src/metadata/metadata_db.cc" "src/CMakeFiles/mistique.dir/metadata/metadata_db.cc.o" "gcc" "src/CMakeFiles/mistique.dir/metadata/metadata_db.cc.o.d"
+  "/root/repo/src/nn/cifar.cc" "src/CMakeFiles/mistique.dir/nn/cifar.cc.o" "gcc" "src/CMakeFiles/mistique.dir/nn/cifar.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/CMakeFiles/mistique.dir/nn/layers.cc.o" "gcc" "src/CMakeFiles/mistique.dir/nn/layers.cc.o.d"
+  "/root/repo/src/nn/model_zoo.cc" "src/CMakeFiles/mistique.dir/nn/model_zoo.cc.o" "gcc" "src/CMakeFiles/mistique.dir/nn/model_zoo.cc.o.d"
+  "/root/repo/src/nn/network.cc" "src/CMakeFiles/mistique.dir/nn/network.cc.o" "gcc" "src/CMakeFiles/mistique.dir/nn/network.cc.o.d"
+  "/root/repo/src/nn/rnn.cc" "src/CMakeFiles/mistique.dir/nn/rnn.cc.o" "gcc" "src/CMakeFiles/mistique.dir/nn/rnn.cc.o.d"
+  "/root/repo/src/pipeline/csv.cc" "src/CMakeFiles/mistique.dir/pipeline/csv.cc.o" "gcc" "src/CMakeFiles/mistique.dir/pipeline/csv.cc.o.d"
+  "/root/repo/src/pipeline/dataframe.cc" "src/CMakeFiles/mistique.dir/pipeline/dataframe.cc.o" "gcc" "src/CMakeFiles/mistique.dir/pipeline/dataframe.cc.o.d"
+  "/root/repo/src/pipeline/models.cc" "src/CMakeFiles/mistique.dir/pipeline/models.cc.o" "gcc" "src/CMakeFiles/mistique.dir/pipeline/models.cc.o.d"
+  "/root/repo/src/pipeline/spec.cc" "src/CMakeFiles/mistique.dir/pipeline/spec.cc.o" "gcc" "src/CMakeFiles/mistique.dir/pipeline/spec.cc.o.d"
+  "/root/repo/src/pipeline/stage.cc" "src/CMakeFiles/mistique.dir/pipeline/stage.cc.o" "gcc" "src/CMakeFiles/mistique.dir/pipeline/stage.cc.o.d"
+  "/root/repo/src/pipeline/stages.cc" "src/CMakeFiles/mistique.dir/pipeline/stages.cc.o" "gcc" "src/CMakeFiles/mistique.dir/pipeline/stages.cc.o.d"
+  "/root/repo/src/pipeline/templates.cc" "src/CMakeFiles/mistique.dir/pipeline/templates.cc.o" "gcc" "src/CMakeFiles/mistique.dir/pipeline/templates.cc.o.d"
+  "/root/repo/src/pipeline/zillow.cc" "src/CMakeFiles/mistique.dir/pipeline/zillow.cc.o" "gcc" "src/CMakeFiles/mistique.dir/pipeline/zillow.cc.o.d"
+  "/root/repo/src/quantize/quantizer.cc" "src/CMakeFiles/mistique.dir/quantize/quantizer.cc.o" "gcc" "src/CMakeFiles/mistique.dir/quantize/quantizer.cc.o.d"
+  "/root/repo/src/storage/column_chunk.cc" "src/CMakeFiles/mistique.dir/storage/column_chunk.cc.o" "gcc" "src/CMakeFiles/mistique.dir/storage/column_chunk.cc.o.d"
+  "/root/repo/src/storage/data_store.cc" "src/CMakeFiles/mistique.dir/storage/data_store.cc.o" "gcc" "src/CMakeFiles/mistique.dir/storage/data_store.cc.o.d"
+  "/root/repo/src/storage/disk_store.cc" "src/CMakeFiles/mistique.dir/storage/disk_store.cc.o" "gcc" "src/CMakeFiles/mistique.dir/storage/disk_store.cc.o.d"
+  "/root/repo/src/storage/in_memory_store.cc" "src/CMakeFiles/mistique.dir/storage/in_memory_store.cc.o" "gcc" "src/CMakeFiles/mistique.dir/storage/in_memory_store.cc.o.d"
+  "/root/repo/src/storage/partition.cc" "src/CMakeFiles/mistique.dir/storage/partition.cc.o" "gcc" "src/CMakeFiles/mistique.dir/storage/partition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("compress")
+subdirs("storage")
+subdirs("quantize")
+subdirs("dedup")
+subdirs("metadata")
+subdirs("linalg")
+subdirs("pipeline")
+subdirs("nn")
+subdirs("diagnostics")
+subdirs("core")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_sampling_test.dir/cache_sampling_test.cc.o"
+  "CMakeFiles/cache_sampling_test.dir/cache_sampling_test.cc.o.d"
+  "cache_sampling_test"
+  "cache_sampling_test.pdb"
+  "cache_sampling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_sampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delete_vacuum_test.dir/delete_vacuum_test.cc.o"
+  "CMakeFiles/delete_vacuum_test.dir/delete_vacuum_test.cc.o.d"
+  "delete_vacuum_test"
+  "delete_vacuum_test.pdb"
+  "delete_vacuum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delete_vacuum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mistique_dnn_test.dir/mistique_dnn_test.cc.o"
+  "CMakeFiles/mistique_dnn_test.dir/mistique_dnn_test.cc.o.d"
+  "mistique_dnn_test"
+  "mistique_dnn_test.pdb"
+  "mistique_dnn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mistique_dnn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

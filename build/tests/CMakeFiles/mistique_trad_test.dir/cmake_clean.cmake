@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mistique_trad_test.dir/mistique_trad_test.cc.o"
+  "CMakeFiles/mistique_trad_test.dir/mistique_trad_test.cc.o.d"
+  "mistique_trad_test"
+  "mistique_trad_test.pdb"
+  "mistique_trad_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mistique_trad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
