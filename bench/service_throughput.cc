@@ -1,0 +1,135 @@
+// service_throughput — QPS of the concurrent QueryService over a logged
+// DNN as the worker count grows.
+//
+// K sessions (client threads) hammer a W-worker QueryService with fetches
+// over the materialized layers of a small CNN, warm buffer pool, session
+// caches off — so every query exercises the engine's shared-lock read
+// path. Reported per worker count: wall time, QPS, speedup vs W=1, and
+// tail latency. With the pool warm the read path is CPU-bound (decode +
+// column assembly), so QPS should scale with workers up to the core count.
+//
+// Knobs: MQ_EXAMPLES (default 256), MQ_SESSIONS (8), MQ_QUERIES (48 per
+// session), MQ_MAX_WORKERS (8).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/mistique.h"
+#include "nn/cifar.h"
+#include "nn/model_zoo.h"
+#include "service/query_service.h"
+
+using namespace mistique;         // NOLINT: bench brevity.
+using namespace mistique::bench;  // NOLINT
+
+namespace {
+
+struct RunResult {
+  double elapsed_sec = 0;
+  double qps = 0;
+  ServiceStats stats;
+};
+
+RunResult RunLoad(Mistique* mq, const std::vector<FetchRequest>& requests,
+                  size_t workers, size_t sessions, size_t queries) {
+  QueryServiceOptions options;
+  options.num_workers = workers;
+  options.max_queue = 0;             // Unbounded: measure throughput, not
+                                     // admission policy.
+  options.session_cache_entries = 0; // Every query hits the engine.
+  QueryService service(mq, options);
+
+  std::atomic<uint64_t> errors{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (size_t s = 0; s < sessions; ++s) {
+    clients.emplace_back([&, s] {
+      const SessionId session = service.OpenSession();
+      for (size_t q = 0; q < queries; ++q) {
+        const FetchRequest& req = requests[(s * queries + q) % requests.size()];
+        if (!service.Fetch(session, req).ok()) errors++;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  RunResult run;
+  run.elapsed_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  run.qps = static_cast<double>(sessions * queries) / run.elapsed_sec;
+  run.stats = service.Stats();
+  if (errors.load() != 0) {
+    std::fprintf(stderr, "FATAL: %llu queries failed\n",
+                 static_cast<unsigned long long>(errors.load()));
+    std::abort();
+  }
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  const int num_examples = EnvInt("MQ_EXAMPLES", 256);
+  const size_t sessions = static_cast<size_t>(EnvInt("MQ_SESSIONS", 8));
+  const size_t queries = static_cast<size_t>(EnvInt("MQ_QUERIES", 48));
+  const size_t max_workers = static_cast<size_t>(EnvInt("MQ_MAX_WORKERS", 8));
+
+  BenchDir dir("service_throughput");
+  CifarConfig data_config;
+  data_config.num_examples = num_examples;
+  CifarData data = GenerateCifar(data_config);
+  auto input = std::make_shared<Tensor>(data.images);
+
+  DnnScaleConfig scale;
+  scale.vgg_scale = 0.05;
+  scale.cnn_scale = 0.2;
+  auto net = BuildCifarCnn(scale);
+
+  MistiqueOptions options;
+  options.store.directory = dir.path() + "/store";
+  options.strategy = StorageStrategy::kDedup;  // Materialize every layer.
+  options.row_block_size = 64;
+  Mistique mq;
+  CheckOk(mq.Open(options), "open");
+  const ModelId id =
+      CheckOk(mq.LogNetwork(net.get(), input, "cifar", "cnn"), "log");
+  CheckOk(mq.Flush(), "flush");
+
+  const ModelInfo* model = CheckOk(mq.metadata().GetModel(id), "model");
+  std::vector<FetchRequest> requests;
+  for (const IntermediateInfo& interm : model->intermediates) {
+    FetchRequest req;
+    req.project = "cifar";
+    req.model = "cnn";
+    req.intermediate = interm.name;
+    req.force_read = true;  // Stay on the shared-lock read path.
+    req.n_ex = static_cast<uint64_t>(num_examples) / 2;
+    requests.push_back(std::move(req));
+  }
+
+  std::printf("# service_throughput: %zu sessions x %zu queries over %zu "
+              "layers, %d examples (hw threads: %u)\n",
+              sessions, queries, requests.size(), num_examples,
+              std::thread::hardware_concurrency());
+
+  // Warm the buffer pool so runs measure the in-memory read path.
+  RunLoad(&mq, requests, /*workers=*/2, sessions, queries);
+
+  std::printf("%8s %10s %10s %10s %12s %12s\n", "workers", "elapsed_s",
+              "qps", "speedup", "p50_ms", "p95_ms");
+  double base_qps = 0;
+  for (size_t workers = 1; workers <= max_workers; workers *= 2) {
+    const RunResult run = RunLoad(&mq, requests, workers, sessions, queries);
+    if (workers == 1) base_qps = run.qps;
+    std::printf("%8zu %10.3f %10.0f %9.2fx %12.2f %12.2f\n", workers,
+                run.elapsed_sec, run.qps, run.qps / base_qps,
+                run.stats.p50_latency_sec * 1e3,
+                run.stats.p95_latency_sec * 1e3);
+  }
+  return 0;
+}

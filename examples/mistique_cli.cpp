@@ -9,13 +9,19 @@
 //   mistique_cli <store_dir> scan <project.model.intermediate> <column> <lo> <hi>
 //   mistique_cli <store_dir> delete <project.model>
 //   mistique_cli <store_dir> stats
+//   mistique_cli <store_dir> service_session [sessions] [queries] [workers]
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/mistique.h"
+#include "service/query_service.h"
 
 using namespace mistique;  // NOLINT: CLI brevity.
 
@@ -43,7 +49,9 @@ int Usage() {
       "  fetch <proj.model.interm.col> [n]   print first n values (def 10)\n"
       "  scan <proj.model.interm> <col> <lo> <hi>   predicate scan\n"
       "  delete <project.model>          delete a model + vacuum storage\n"
-      "  stats                           storage statistics\n");
+      "  stats                           storage statistics\n"
+      "  service_session [S] [Q] [W]     S concurrent sessions each issuing\n"
+      "                                  Q queries via a W-worker service\n");
   return 2;
 }
 
@@ -167,6 +175,72 @@ int main(int argc, char** argv) {
     std::printf("deleted %s; reclaimed %llu bytes\n", target.c_str(),
                 static_cast<unsigned long long>(reclaimed));
     return 0;
+  }
+  if (command == "service_session") {
+    const size_t num_sessions =
+        argc >= 4 ? std::strtoull(argv[3], nullptr, 10) : 4;
+    const size_t queries = argc >= 5 ? std::strtoull(argv[4], nullptr, 10) : 50;
+    const size_t workers = argc >= 6 ? std::strtoull(argv[5], nullptr, 10) : 4;
+
+    // The session workload: every intermediate of every model, cycled.
+    std::vector<FetchRequest> requests;
+    for (ModelId id : mq.metadata().ListModels()) {
+      const ModelInfo* model = Check(mq.metadata().GetModel(id));
+      for (const IntermediateInfo& interm : model->intermediates) {
+        FetchRequest req;
+        req.project = model->project;
+        req.model = model->name;
+        req.intermediate = interm.name;
+        req.n_ex = interm.num_rows < 32 ? interm.num_rows : 32;
+        requests.push_back(std::move(req));
+      }
+    }
+    if (requests.empty()) {
+      std::fprintf(stderr, "store has no intermediates to query\n");
+      return 1;
+    }
+
+    QueryServiceOptions service_options;
+    service_options.num_workers = workers;
+    QueryService service(&mq, service_options);
+    std::printf("service_session: %zu sessions x %zu queries, %zu workers, "
+                "%zu distinct intermediates\n",
+                num_sessions, queries, service.num_workers(),
+                requests.size());
+
+    std::atomic<uint64_t> errors{0};
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    for (size_t s = 0; s < num_sessions; ++s) {
+      clients.emplace_back([&, s] {
+        const SessionId session = service.OpenSession();
+        for (size_t q = 0; q < queries; ++q) {
+          const FetchRequest& req = requests[(s + q) % requests.size()];
+          if (!service.Fetch(session, req).ok()) errors++;
+        }
+        Check(service.CloseSession(session));
+      });
+    }
+    for (auto& t : clients) t.join();
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+
+    const ServiceStats stats = service.Stats();
+    const uint64_t total = num_sessions * queries;
+    std::printf("elapsed:        %.3fs (%.0f queries/s)\n", elapsed,
+                static_cast<double>(total) / elapsed);
+    std::printf("completed:      %llu (%llu cache hits)\n",
+                static_cast<unsigned long long>(stats.completed),
+                static_cast<unsigned long long>(stats.cache_hits));
+    std::printf("rejected:       %llu   expired: %llu   failed: %llu\n",
+                static_cast<unsigned long long>(stats.rejected),
+                static_cast<unsigned long long>(stats.expired),
+                static_cast<unsigned long long>(stats.failed));
+    std::printf("latency:        p50 %.2fms  p95 %.2fms\n",
+                stats.p50_latency_sec * 1e3, stats.p95_latency_sec * 1e3);
+    std::printf("disk read:      %.1fKB\n", stats.bytes_read / 1e3);
+    return errors.load() == 0 ? 0 : 1;
   }
   if (command == "stats") {
     std::printf("models:            %zu\n", mq.metadata().num_models());

@@ -114,5 +114,11 @@ int main() {
                 static_cast<unsigned long long>(top[i].first), top[i].second,
                 preds.columns[0][i]);
   }
+
+  // 6. Persist the catalog so the store outlives this process — explore it
+  //    with `mistique_cli <store> ls` or serve it with
+  //    `mistique_cli <store> service_session`.
+  Check(mq.SaveCatalog());
+  std::printf("\nstore persisted at %s/store\n", workspace.c_str());
   return 0;
 }

@@ -21,6 +21,8 @@ enum class StatusCode {
   kCorruption,
   kNotImplemented,
   kInternal,
+  kResourceExhausted,
+  kDeadlineExceeded,
 };
 
 /// Returns a short human-readable name for a status code ("OK", "IOError"...).
@@ -60,6 +62,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

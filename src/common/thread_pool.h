@@ -44,6 +44,23 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Enqueues one task for asynchronous execution. Tasks run in submission
+  /// order (FIFO) across the workers and must not throw. The pool's queue
+  /// is unbounded; admission control (QueryService) lives above it.
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push(std::move(task));
+    }
+    wake_.notify_one();
+  }
+
+  /// Tasks submitted but not yet picked up by a worker.
+  size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
   /// Runs body(i) for i in [0, n), blocking until all iterations finish.
   /// The body must not throw. Iterations are chunked to limit queue
   /// overhead; ordering across iterations is unspecified.
@@ -79,14 +96,6 @@ class ThreadPool {
   }
 
  private:
-  void Submit(std::function<void()> task) {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      queue_.push(std::move(task));
-    }
-    wake_.notify_one();
-  }
-
   void WorkerLoop() {
     for (;;) {
       std::function<void()> task;
@@ -101,7 +110,7 @@ class ThreadPool {
     }
   }
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable wake_;
   std::queue<std::function<void()>> queue_;
   std::vector<std::thread> workers_;

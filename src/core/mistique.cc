@@ -98,7 +98,9 @@ const char* StorageStrategyName(StorageStrategy s) {
 }
 
 Status Mistique::Open(const MistiqueOptions& options) {
+  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
   options_ = options;
+  query_cache_ = LruCache<uint64_t, FetchResult>(options_.query_cache_entries);
   if (options_.checkpoint_dir.empty()) {
     options_.checkpoint_dir = options_.store.directory + "/ckpt";
   }
@@ -149,6 +151,7 @@ void Mistique::RebuildChunkRefs() {
 
 Status Mistique::DeleteModel(const std::string& project,
                              const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
   MISTIQUE_ASSIGN_OR_RETURN(ModelId id, metadata_.FindModel(project, name));
   MISTIQUE_ASSIGN_OR_RETURN(const ModelInfo* model, metadata_.GetModel(id));
 
@@ -176,6 +179,7 @@ Status Mistique::DeleteModel(const std::string& project,
 }
 
 Result<uint64_t> Mistique::Vacuum() {
+  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
   MISTIQUE_RETURN_NOT_OK(store_.Flush());
   const uint64_t before = store_.stored_bytes();
 
@@ -204,12 +208,14 @@ Result<uint64_t> Mistique::Vacuum() {
 }
 
 Status Mistique::SaveCatalog() {
-  MISTIQUE_RETURN_NOT_OK(Flush());
+  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  MISTIQUE_RETURN_NOT_OK(store_.Flush());
   return metadata_.SaveToFile(options_.store.directory + "/catalog.mq");
 }
 
 Status Mistique::AttachPipeline(const std::string& project,
                                 const std::string& name, Pipeline* pipeline) {
+  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
   MISTIQUE_ASSIGN_OR_RETURN(ModelId id, metadata_.FindModel(project, name));
   MISTIQUE_ASSIGN_OR_RETURN(const ModelInfo* model, metadata_.GetModel(id));
   if (model->kind != ModelKind::kTrad) {
@@ -222,6 +228,7 @@ Status Mistique::AttachPipeline(const std::string& project,
 Status Mistique::AttachNetwork(const std::string& project,
                                const std::string& name, Network* network,
                                std::shared_ptr<const Tensor> input) {
+  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
   MISTIQUE_ASSIGN_OR_RETURN(ModelId id, metadata_.FindModel(project, name));
   MISTIQUE_ASSIGN_OR_RETURN(const ModelInfo* model, metadata_.GetModel(id));
   if (model->kind != ModelKind::kDnn) {
@@ -267,6 +274,7 @@ Status Mistique::StoreColumn(const IntermediateInfo& interm,
 
 Result<ModelId> Mistique::LogPipeline(Pipeline* pipeline,
                                       const std::string& project) {
+  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
   MISTIQUE_ASSIGN_OR_RETURN(
       ModelId id, metadata_.RegisterModel(project, pipeline->name(),
                                           ModelKind::kTrad));
@@ -341,6 +349,7 @@ Result<ModelId> Mistique::LogNetwork(Network* network,
   if (network == nullptr || input == nullptr || input->n == 0) {
     return Status::InvalidArgument("LogNetwork: null network or empty input");
   }
+  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
   MISTIQUE_ASSIGN_OR_RETURN(
       ModelId id,
       metadata_.RegisterModel(project, model_name, ModelKind::kDnn));
@@ -535,7 +544,10 @@ Result<ModelId> Mistique::LogNetwork(Network* network,
   return id;
 }
 
-Status Mistique::Flush() { return store_.Flush(); }
+Status Mistique::Flush() {
+  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  return store_.Flush();
+}
 
 uint64_t Mistique::EstimateEncodedBytes(const IntermediateInfo& interm,
                                         size_t num_columns) {
@@ -811,11 +823,32 @@ uint64_t Mistique::RequestKey(const FetchRequest& request) {
 }
 
 void Mistique::InvalidateCache() {
-  query_cache_.clear();
-  query_cache_order_.clear();
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  query_cache_.Clear();
 }
 
 Result<FetchResult> Mistique::Fetch(const FetchRequest& request) {
+  // Optimistic pass under the shared lock: materialized read paths (the
+  // common case for a diagnosis service) run fully parallel. Requests that
+  // need the re-run executor or adaptive materialization escalate to the
+  // exclusive lock.
+  {
+    std::shared_lock<std::shared_mutex> lock(rw_mutex_);
+    bool needs_exclusive = false;
+    Result<FetchResult> result =
+        FetchLocked(request, /*exclusive=*/false, /*count_query=*/true,
+                    &needs_exclusive);
+    if (!needs_exclusive) return result;
+  }
+  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  bool ignored = false;
+  return FetchLocked(request, /*exclusive=*/true, /*count_query=*/false,
+                     &ignored);
+}
+
+Result<FetchResult> Mistique::FetchLocked(const FetchRequest& request,
+                                          bool exclusive, bool count_query,
+                                          bool* needs_exclusive) {
   MISTIQUE_ASSIGN_OR_RETURN(ModelId model_id,
                             metadata_.FindModel(request.project,
                                                 request.model));
@@ -833,17 +866,19 @@ Result<FetchResult> Mistique::Fetch(const FetchRequest& request) {
                             " has no intermediate " + request.intermediate);
   }
   IntermediateInfo& interm = model->intermediates[interm_index];
-  interm.n_query++;
+  if (count_query) {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    interm.n_query++;
+  }
 
   // Session result cache: identical repeated queries are free (Sec. 10's
   // caching direction).
   const uint64_t cache_key =
       options_.query_cache_entries > 0 ? RequestKey(request) : 0;
   if (options_.query_cache_entries > 0) {
-    auto it = query_cache_.find(cache_key);
-    if (it != query_cache_.end()) {
-      cache_hits_++;
-      FetchResult hit = it->second;
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    if (const FetchResult* cached = query_cache_.Get(cache_key)) {
+      FetchResult hit = *cached;
       hit.from_cache = true;
       hit.fetch_seconds = 0;
       return hit;
@@ -942,6 +977,14 @@ Result<FetchResult> Mistique::Fetch(const FetchRequest& request) {
         "intermediate is not materialized");
   }
 
+  // Re-run execution mutates shared state (pipeline transformers, network
+  // weights via checkpoint reload) and may trigger materialization, so it
+  // requires the exclusive lock.
+  if (!exclusive && !use_read) {
+    *needs_exclusive = true;
+    return FetchResult{};
+  }
+
   out.column_names.reserve(col_idx.size());
   for (size_t i : col_idx) out.column_names.push_back(interm.columns[i].name);
   out.row_ids = rows;
@@ -974,82 +1017,98 @@ Result<FetchResult> Mistique::Fetch(const FetchRequest& request) {
   }
 
   if (options_.query_cache_entries > 0 && !out.materialized_now) {
-    if (query_cache_order_.size() >= options_.query_cache_entries) {
-      query_cache_.erase(query_cache_order_.front());
-      query_cache_order_.erase(query_cache_order_.begin());
-    }
-    query_cache_.emplace(cache_key, out);
-    query_cache_order_.push_back(cache_key);
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    query_cache_.Put(cache_key, out);
   }
   return out;
 }
 
 Result<ScanResult> Mistique::Scan(const ScanRequest& request) {
-  MISTIQUE_ASSIGN_OR_RETURN(ModelId model_id,
-                            metadata_.FindModel(request.project,
-                                                request.model));
-  MISTIQUE_ASSIGN_OR_RETURN(IntermediateInfo * interm,
-                            metadata_.FindIntermediate(model_id,
-                                                       request.intermediate));
-  interm->n_query++;
-
-  size_t pidx = interm->columns.size();
-  for (size_t i = 0; i < interm->columns.size(); ++i) {
-    if (interm->columns[i].name == request.predicate_column) {
-      pidx = i;
-      break;
-    }
-  }
-  if (pidx == interm->columns.size()) {
-    return Status::NotFound("intermediate " + interm->name +
-                            " has no column " + request.predicate_column);
-  }
-  if (request.lo > request.hi) {
-    return Status::InvalidArgument("scan range is empty (lo > hi)");
-  }
-
-  // Maps a stored-domain zone-map bound to the user's value domain
-  // (KBIT_QT zone maps hold bin indices).
-  const auto to_user_domain = [&](double stored) {
-    if (interm->scheme != QuantScheme::kKBit || interm->recon.centers.empty()) {
-      return stored;
-    }
-    auto bin = static_cast<size_t>(std::max(stored, 0.0));
-    bin = std::min(bin, interm->recon.centers.size() - 1);
-    return interm->recon.centers[bin];
-  };
-
   ScanResult out;
-  const ColumnInfo& pcol = interm->columns[pidx];
-  const ReconstructionTable* recon =
-      interm->scheme == QuantScheme::kKBit ? &interm->recon : nullptr;
+  bool rerun_fallback = false;
+  uint64_t num_row_blocks = 0;
 
-  if (pcol.materialized && !pcol.chunks.empty()) {
-    const uint64_t block = interm->row_block_size;
-    for (size_t b = 0; b < pcol.chunks.size(); ++b) {
-      // Zone-map pruning: skip blocks whose value range cannot intersect
-      // the predicate interval.
-      if (b < pcol.chunk_min.size() && b < pcol.chunk_max.size()) {
-        const double user_min = to_user_domain(pcol.chunk_min[b]);
-        const double user_max = to_user_domain(pcol.chunk_max[b]);
-        if (user_max < request.lo || user_min > request.hi) {
-          out.blocks_pruned++;
-          continue;
-        }
-      }
-      out.blocks_scanned++;
-      MISTIQUE_ASSIGN_OR_RETURN(ChunkRef ref,
-                                store_.GetChunk(pcol.chunks[b]));
-      MISTIQUE_ASSIGN_OR_RETURN(std::vector<double> decoded,
-                                ref.chunk->DecodeAsDouble(recon));
-      for (size_t offset = 0; offset < decoded.size(); ++offset) {
-        const double v = decoded[offset];
-        if (v >= request.lo && v <= request.hi) {
-          out.row_ids.push_back(b * block + offset);
-        }
+  // Phase 1 (shared lock): resolve the predicate column and, when it is
+  // materialized, run the zone-map scan in parallel with other readers.
+  // The unmaterialized fallback and the output-column fetch go through
+  // Fetch, which takes its own lock (the scan as a whole is not atomic
+  // against a concurrent materialization; each phase individually is).
+  {
+    std::shared_lock<std::shared_mutex> lock(rw_mutex_);
+    MISTIQUE_ASSIGN_OR_RETURN(ModelId model_id,
+                              metadata_.FindModel(request.project,
+                                                  request.model));
+    MISTIQUE_ASSIGN_OR_RETURN(
+        IntermediateInfo * interm,
+        metadata_.FindIntermediate(model_id, request.intermediate));
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      interm->n_query++;
+    }
+
+    size_t pidx = interm->columns.size();
+    for (size_t i = 0; i < interm->columns.size(); ++i) {
+      if (interm->columns[i].name == request.predicate_column) {
+        pidx = i;
+        break;
       }
     }
-  } else {
+    if (pidx == interm->columns.size()) {
+      return Status::NotFound("intermediate " + interm->name +
+                              " has no column " + request.predicate_column);
+    }
+    if (request.lo > request.hi) {
+      return Status::InvalidArgument("scan range is empty (lo > hi)");
+    }
+
+    // Maps a stored-domain zone-map bound to the user's value domain
+    // (KBIT_QT zone maps hold bin indices).
+    const auto to_user_domain = [&](double stored) {
+      if (interm->scheme != QuantScheme::kKBit ||
+          interm->recon.centers.empty()) {
+        return stored;
+      }
+      auto bin = static_cast<size_t>(std::max(stored, 0.0));
+      bin = std::min(bin, interm->recon.centers.size() - 1);
+      return interm->recon.centers[bin];
+    };
+
+    const ColumnInfo& pcol = interm->columns[pidx];
+    const ReconstructionTable* recon =
+        interm->scheme == QuantScheme::kKBit ? &interm->recon : nullptr;
+    num_row_blocks = interm->NumRowBlocks();
+
+    if (pcol.materialized && !pcol.chunks.empty()) {
+      const uint64_t block = interm->row_block_size;
+      for (size_t b = 0; b < pcol.chunks.size(); ++b) {
+        // Zone-map pruning: skip blocks whose value range cannot intersect
+        // the predicate interval.
+        if (b < pcol.chunk_min.size() && b < pcol.chunk_max.size()) {
+          const double user_min = to_user_domain(pcol.chunk_min[b]);
+          const double user_max = to_user_domain(pcol.chunk_max[b]);
+          if (user_max < request.lo || user_min > request.hi) {
+            out.blocks_pruned++;
+            continue;
+          }
+        }
+        out.blocks_scanned++;
+        MISTIQUE_ASSIGN_OR_RETURN(ChunkRef ref,
+                                  store_.GetChunk(pcol.chunks[b]));
+        MISTIQUE_ASSIGN_OR_RETURN(std::vector<double> decoded,
+                                  ref.chunk->DecodeAsDouble(recon));
+        for (size_t offset = 0; offset < decoded.size(); ++offset) {
+          const double v = decoded[offset];
+          if (v >= request.lo && v <= request.hi) {
+            out.row_ids.push_back(b * block + offset);
+          }
+        }
+      }
+    } else {
+      rerun_fallback = true;
+    }
+  }
+
+  if (rerun_fallback) {
     // Unmaterialized: recreate the predicate column, filter in memory.
     FetchRequest fetch;
     fetch.project = request.project;
@@ -1057,7 +1116,7 @@ Result<ScanResult> Mistique::Scan(const ScanRequest& request) {
     fetch.intermediate = request.intermediate;
     fetch.columns = {request.predicate_column};
     MISTIQUE_ASSIGN_OR_RETURN(FetchResult full, Fetch(fetch));
-    out.blocks_scanned = interm->NumRowBlocks();
+    out.blocks_scanned = num_row_blocks;
     for (size_t i = 0; i < full.columns[0].size(); ++i) {
       const double v = full.columns[0][i];
       if (v >= request.lo && v <= request.hi) {
@@ -1083,7 +1142,7 @@ Result<ScanResult> Mistique::Scan(const ScanRequest& request) {
   return out;
 }
 
-Result<FetchResult> Mistique::GetIntermediates(
+Result<FetchRequest> Mistique::ParseIntermediateKeys(
     const std::vector<std::string>& keys, uint64_t n_ex) {
   if (keys.empty()) {
     return Status::InvalidArgument("GetIntermediates: no keys");
@@ -1109,6 +1168,13 @@ Result<FetchResult> Mistique::GetIntermediates(
     }
   }
   if (all_columns) request.columns.clear();
+  return request;
+}
+
+Result<FetchResult> Mistique::GetIntermediates(
+    const std::vector<std::string>& keys, uint64_t n_ex) {
+  MISTIQUE_ASSIGN_OR_RETURN(FetchRequest request,
+                            ParseIntermediateKeys(keys, n_ex));
   return Fetch(request);
 }
 

@@ -3,11 +3,14 @@
 
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
+#include "common/lru_cache.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/cost_model.h"
@@ -134,6 +137,14 @@ struct FetchResult {
 /// Ties together the PipelineExecutor (TRAD pipelines + DNN forward
 /// passes), the DataStore (quantization, dedup, partitions, buffer pool,
 /// disk), the MetadataDb, and the ChunkReader with its cost model (Fig. 3).
+///
+/// Concurrency (docs/CONCURRENCY.md): Fetch/GetIntermediates/Scan that
+/// resolve to the *read* path run under a shared lock, so any number of
+/// sessions can query materialized intermediates in parallel. Everything
+/// that mutates engine state — logging, re-run execution (model executors
+/// are stateful), adaptive materialization, delete/vacuum, catalog saves —
+/// runs under the exclusive side of the same lock. A Fetch that needs the
+/// re-run path transparently retries under the exclusive lock.
 class Mistique {
  public:
   Mistique() = default;
@@ -204,6 +215,16 @@ class Mistique {
   static Result<std::pair<size_t, size_t>> ChannelColumns(
       const IntermediateInfo& intermediate, int channel);
 
+  /// Fingerprint of a FetchRequest — the key used by the engine's own
+  /// result cache and by QueryService's per-session caches.
+  static uint64_t RequestKey(const FetchRequest& request);
+
+  /// Translates GetIntermediates-style keys (project.model.intermediate.
+  /// column, column "*" = all; all keys must target one intermediate) into
+  /// the equivalent FetchRequest.
+  static Result<FetchRequest> ParseIntermediateKeys(
+      const std::vector<std::string>& keys, uint64_t n_ex = 0);
+
   MetadataDb& metadata() { return metadata_; }
   const MetadataDb& metadata() const { return metadata_; }
   DataStore& store() { return store_; }
@@ -253,8 +274,15 @@ class Mistique {
   static uint64_t EstimateEncodedBytes(const IntermediateInfo& interm,
                                        size_t num_columns = 0);
 
-  /// Fingerprint of a FetchRequest for the result cache.
-  static uint64_t RequestKey(const FetchRequest& request);
+  /// Fetch body. Runs under rw_mutex_ held shared (`exclusive` false) or
+  /// exclusive (`exclusive` true). When the request needs the exclusive
+  /// lock (re-run execution or adaptive materialization) and only the
+  /// shared lock is held, sets *needs_exclusive and returns an empty
+  /// result; the caller retries exclusively. `count_query` guards the
+  /// n_query statistic so an escalated request is counted once.
+  Result<FetchResult> FetchLocked(const FetchRequest& request, bool exclusive,
+                                  bool count_query, bool* needs_exclusive);
+
   /// Invalidate cached results for one model (called on materialization).
   void InvalidateCache();
   /// Reference-count bookkeeping for chunk sharing across columns/models.
@@ -271,11 +299,17 @@ class Mistique {
   std::unordered_map<ModelId, Pipeline*> pipelines_;
   std::unordered_map<ModelId, DnnSource> networks_;
 
-  // Tiny FIFO-evicted result cache; key -> result. Hit results are
-  // returned by value with from_cache set.
-  std::unordered_map<uint64_t, FetchResult> query_cache_;
-  std::vector<uint64_t> query_cache_order_;
-  uint64_t cache_hits_ = 0;
+  /// Engine-level reader/writer lock: shared for read-path queries,
+  /// exclusive for logging, re-runs, materialization, delete/vacuum.
+  mutable std::shared_mutex rw_mutex_;
+  /// Guards the small mutable statistics touched by concurrent shared-lock
+  /// readers: the query-result cache and IntermediateInfo::n_query
+  /// counters. Leaf lock — never held while acquiring rw_mutex_.
+  mutable std::mutex stats_mutex_;
+
+  // Session result cache (LRU); hit results are returned by value with
+  // from_cache set. Guarded by stats_mutex_.
+  LruCache<uint64_t, FetchResult> query_cache_;
 
   // How many catalog references each chunk has (dedup shares chunks across
   // columns and models); chunks at zero references await Vacuum().
@@ -283,7 +317,10 @@ class Mistique {
   std::unordered_set<ChunkId> dead_chunks_;
 
  public:
-  uint64_t query_cache_hits() const { return cache_hits_; }
+  uint64_t query_cache_hits() const {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return query_cache_.hits();
+  }
 };
 
 }  // namespace mistique

@@ -1,0 +1,261 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace mistique {
+
+QueryService::QueryService(Mistique* engine, QueryServiceOptions options)
+    : engine_(engine),
+      options_(std::move(options)),
+      pool_(options_.num_workers),
+      bytes_read_at_start_(engine->store().disk_read_bytes()) {
+  latencies_.resize(std::max<size_t>(options_.latency_window, 1));
+}
+
+QueryService::~QueryService() = default;  // ThreadPool drains on destruction.
+
+double QueryService::NowSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+SessionId QueryService::OpenSession() {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  const SessionId id = next_session_++;
+  sessions_.emplace(
+      id, std::make_shared<Session>(options_.session_cache_entries));
+  return id;
+}
+
+Status QueryService::CloseSession(SessionId id) {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  if (sessions_.erase(id) == 0) {
+    return Status::NotFound("unknown session " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+std::shared_ptr<QueryService::Session> QueryService::Admit(SessionId session,
+                                                           Status* reject) {
+  std::shared_ptr<Session> s;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    auto it = sessions_.find(session);
+    if (it != sessions_.end()) s = it->second;
+  }
+  if (s == nullptr) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    *reject = Status::NotFound("unknown session " + std::to_string(session));
+    return nullptr;
+  }
+  // Backpressure: bound the number of waiting queries, not in-flight ones.
+  if (options_.max_queue > 0 &&
+      queued_.load(std::memory_order_relaxed) >= options_.max_queue) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    *reject = Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(options_.max_queue) +
+        " queued); retry later");
+    return nullptr;
+  }
+  return s;
+}
+
+bool QueryService::ExpiredInQueue(double submit_sec, double deadline_sec) {
+  if (deadline_sec <= 0) return false;
+  return NowSeconds() - submit_sec > deadline_sec;
+}
+
+template <typename T>
+void QueryService::RunTask(double submit_sec, double deadline_sec,
+                           std::shared_ptr<std::promise<Result<T>>> promise,
+                           const std::function<Result<T>()>& body) {
+  queued_.fetch_sub(1, std::memory_order_relaxed);
+  running_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.pre_execute_hook) options_.pre_execute_hook();
+
+  Result<T> result = [&]() -> Result<T> {
+    if (ExpiredInQueue(submit_sec, deadline_sec)) {
+      return Status::DeadlineExceeded(
+          "deadline of " + std::to_string(deadline_sec) +
+          "s passed while queued");
+    }
+    return body();
+  }();
+
+  if (result.ok()) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    RecordLatency(NowSeconds() - submit_sec);
+  } else if (result.status().code() == StatusCode::kDeadlineExceeded) {
+    expired_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  running_.fetch_sub(1, std::memory_order_relaxed);
+  promise->set_value(std::move(result));
+}
+
+std::future<Result<FetchResult>> QueryService::SubmitFetch(
+    SessionId session, FetchRequest request, double deadline_sec) {
+  auto promise = std::make_shared<std::promise<Result<FetchResult>>>();
+  std::future<Result<FetchResult>> future = promise->get_future();
+  if (deadline_sec < 0) deadline_sec = options_.default_deadline_sec;
+
+  Status reject;
+  std::shared_ptr<Session> s = Admit(session, &reject);
+  if (s == nullptr) {
+    promise->set_value(reject);
+    return future;
+  }
+
+  // Per-session result cache: hits bypass the queue entirely, so a
+  // session replaying its working set costs no worker time.
+  const uint64_t key = Mistique::RequestKey(request);
+  if (options_.session_cache_entries > 0) {
+    cache_lookups_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> cache_lock(s->m);
+    if (const FetchResult* cached = s->cache.Get(key)) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      FetchResult hit = *cached;
+      hit.from_cache = true;
+      hit.fetch_seconds = 0;
+      promise->set_value(std::move(hit));
+      return future;
+    }
+  }
+
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  queued_.fetch_add(1, std::memory_order_relaxed);
+  const double submit_sec = NowSeconds();
+  pool_.Submit([this, s, key, promise, submit_sec, deadline_sec,
+                request = std::move(request)]() mutable {
+    RunTask<FetchResult>(
+        submit_sec, deadline_sec, promise,
+        [&]() -> Result<FetchResult> {
+          Result<FetchResult> result = engine_->Fetch(request);
+          if (!result.ok()) return result;
+          if (result->materialized_now) {
+            // The store changed shape; cached plans/results are stale in
+            // every session.
+            InvalidateSessionCaches();
+          } else if (options_.session_cache_entries > 0 &&
+                     !result->from_cache) {
+            std::lock_guard<std::mutex> cache_lock(s->m);
+            s->cache.Put(key, *result);
+          }
+          return result;
+        });
+  });
+  return future;
+}
+
+std::future<Result<ScanResult>> QueryService::SubmitScan(
+    SessionId session, ScanRequest request, double deadline_sec) {
+  auto promise = std::make_shared<std::promise<Result<ScanResult>>>();
+  std::future<Result<ScanResult>> future = promise->get_future();
+  if (deadline_sec < 0) deadline_sec = options_.default_deadline_sec;
+
+  Status reject;
+  std::shared_ptr<Session> s = Admit(session, &reject);
+  if (s == nullptr) {
+    promise->set_value(reject);
+    return future;
+  }
+
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  queued_.fetch_add(1, std::memory_order_relaxed);
+  const double submit_sec = NowSeconds();
+  pool_.Submit([this, promise, submit_sec, deadline_sec,
+                request = std::move(request)]() mutable {
+    RunTask<ScanResult>(submit_sec, deadline_sec, promise,
+                        [&]() -> Result<ScanResult> {
+                          return engine_->Scan(request);
+                        });
+  });
+  return future;
+}
+
+Result<FetchResult> QueryService::Fetch(SessionId session,
+                                        const FetchRequest& request) {
+  return SubmitFetch(session, request).get();
+}
+
+Result<ScanResult> QueryService::Scan(SessionId session,
+                                      const ScanRequest& request) {
+  return SubmitScan(session, request).get();
+}
+
+Result<FetchResult> QueryService::GetIntermediates(
+    SessionId session, const std::vector<std::string>& keys, uint64_t n_ex) {
+  MISTIQUE_ASSIGN_OR_RETURN(FetchRequest request,
+                            Mistique::ParseIntermediateKeys(keys, n_ex));
+  return Fetch(session, request);
+}
+
+void QueryService::InvalidateSessionCaches() {
+  std::vector<std::shared_ptr<Session>> all;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    all.reserve(sessions_.size());
+    for (const auto& [id, s] : sessions_) {
+      (void)id;
+      all.push_back(s);
+    }
+  }
+  for (const auto& s : all) {
+    std::lock_guard<std::mutex> cache_lock(s->m);
+    s->cache.Clear();
+  }
+}
+
+void QueryService::RecordLatency(double seconds) {
+  std::lock_guard<std::mutex> lock(latency_mutex_);
+  latencies_[latency_next_] = seconds;
+  latency_next_ = (latency_next_ + 1) % latencies_.size();
+  if (latency_next_ == 0) latency_wrapped_ = true;
+}
+
+ServiceStats QueryService::Stats() const {
+  ServiceStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.expired = expired_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
+  stats.queued = queued_.load(std::memory_order_relaxed);
+  stats.running = running_.load(std::memory_order_relaxed);
+  stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  stats.cache_lookups = cache_lookups_.load(std::memory_order_relaxed);
+  const uint64_t read_now = engine_->store().disk_read_bytes();
+  stats.bytes_read =
+      read_now >= bytes_read_at_start_ ? read_now - bytes_read_at_start_ : 0;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    stats.open_sessions = sessions_.size();
+  }
+  std::vector<double> window;
+  {
+    std::lock_guard<std::mutex> lock(latency_mutex_);
+    const size_t n = latency_wrapped_ ? latencies_.size() : latency_next_;
+    window.assign(latencies_.begin(),
+                  latencies_.begin() + static_cast<ptrdiff_t>(n));
+  }
+  if (!window.empty()) {
+    const auto quantile = [&](double q) {
+      const size_t idx = std::min(
+          window.size() - 1,
+          static_cast<size_t>(q * static_cast<double>(window.size())));
+      std::nth_element(window.begin(),
+                       window.begin() + static_cast<ptrdiff_t>(idx),
+                       window.end());
+      return window[idx];
+    };
+    stats.p50_latency_sec = quantile(0.50);
+    stats.p95_latency_sec = quantile(0.95);
+  }
+  return stats;
+}
+
+}  // namespace mistique

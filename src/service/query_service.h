@@ -1,0 +1,175 @@
+#ifndef MISTIQUE_SERVICE_QUERY_SERVICE_H_
+#define MISTIQUE_SERVICE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/lru_cache.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/mistique.h"
+
+namespace mistique {
+
+/// Handle for one diagnosis session talking to a QueryService.
+using SessionId = uint64_t;
+
+/// Configuration for a QueryService instance.
+struct QueryServiceOptions {
+  /// Worker threads executing queries. 0 = hardware concurrency.
+  size_t num_workers = 4;
+  /// Admission bound: requests beyond this many queued (not yet running)
+  /// queries are rejected with kResourceExhausted. 0 = unbounded.
+  size_t max_queue = 64;
+  /// Per-session LRU result-cache entries (0 disables caching).
+  size_t session_cache_entries = 32;
+  /// Deadline applied to requests that don't carry their own
+  /// (seconds from submission; 0 = none). A request whose queueing delay
+  /// already exceeds its deadline fails with kDeadlineExceeded without
+  /// touching the engine.
+  double default_deadline_sec = 0;
+  /// Sliding window of completed-request latencies kept for the p50/p95
+  /// figures in ServiceStats.
+  size_t latency_window = 1024;
+  /// Test hook: runs on the worker thread immediately after a task is
+  /// dequeued, before the deadline check. Lets tests park workers
+  /// deterministically to exercise queue-full and deadline paths.
+  std::function<void()> pre_execute_hook;
+};
+
+/// A point-in-time snapshot of service health.
+struct ServiceStats {
+  uint64_t submitted = 0;   ///< Requests accepted into the queue.
+  uint64_t rejected = 0;    ///< Bounced at admission (queue full / bad session).
+  uint64_t completed = 0;   ///< Finished OK (including cache hits).
+  uint64_t expired = 0;     ///< Dropped because the deadline passed in queue.
+  uint64_t failed = 0;      ///< Finished with a non-OK engine status.
+  uint64_t queued = 0;      ///< Currently waiting for a worker.
+  uint64_t running = 0;     ///< Currently executing.
+  uint64_t cache_hits = 0;      ///< Per-session result-cache hits.
+  uint64_t cache_lookups = 0;   ///< Per-session result-cache probes.
+  uint64_t bytes_read = 0;  ///< Compressed bytes the engine read from disk
+                            ///< since the service started.
+  double p50_latency_sec = 0;  ///< Median submit-to-finish latency.
+  double p95_latency_sec = 0;
+  size_t open_sessions = 0;
+};
+
+/// Serves concurrent Fetch/GetIntermediates/Scan traffic from many
+/// diagnosis sessions against one Mistique engine (the ROADMAP's
+/// "many users, one store" surface).
+///
+/// Requests enter a bounded admission queue and are executed by a worker
+/// pool; the engine's reader/writer lock lets materialized reads proceed in
+/// parallel while re-runs/materializations serialize. Each session owns an
+/// LRU result cache (replacing the engine's single global cache), so one
+/// session's working set cannot evict another's. Backpressure is explicit:
+/// a full queue rejects with kResourceExhausted, and a request whose
+/// deadline expires while queued fails with kDeadlineExceeded instead of
+/// wasting a worker.
+///
+/// Thread-safe: any thread may open/close sessions and submit requests.
+/// The engine must outlive the service. Destruction drains the queue
+/// (every returned future completes).
+class QueryService {
+ public:
+  explicit QueryService(Mistique* engine, QueryServiceOptions options = {});
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Opens a session and returns its handle.
+  SessionId OpenSession();
+  /// Closes a session, dropping its cache. In-flight requests finish
+  /// normally. NotFound for unknown ids.
+  Status CloseSession(SessionId id);
+
+  /// Asynchronous fetch. `deadline_sec` < 0 uses the service default,
+  /// 0 = no deadline, > 0 = seconds from now. The future always becomes
+  /// ready, carrying the result or the rejection status.
+  std::future<Result<FetchResult>> SubmitFetch(SessionId session,
+                                               FetchRequest request,
+                                               double deadline_sec = -1);
+
+  /// Asynchronous predicate scan. Scan results are not cached (their
+  /// cost is dominated by the zone-map scan, which reads shared buffer
+  /// pool state anyway).
+  std::future<Result<ScanResult>> SubmitScan(SessionId session,
+                                             ScanRequest request,
+                                             double deadline_sec = -1);
+
+  /// Synchronous conveniences (submit + wait).
+  Result<FetchResult> Fetch(SessionId session, const FetchRequest& request);
+  Result<ScanResult> Scan(SessionId session, const ScanRequest& request);
+  Result<FetchResult> GetIntermediates(SessionId session,
+                                       const std::vector<std::string>& keys,
+                                       uint64_t n_ex = 0);
+
+  ServiceStats Stats() const;
+  size_t num_workers() const { return pool_.num_threads(); }
+  Mistique* engine() const { return engine_; }
+
+ private:
+  struct Session {
+    explicit Session(size_t cache_entries) : cache(cache_entries) {}
+    std::mutex m;
+    LruCache<uint64_t, FetchResult> cache;
+  };
+
+  /// Admission control: returns nullptr (and counts the rejection) when
+  /// the queue is full or the session is unknown.
+  std::shared_ptr<Session> Admit(SessionId session, Status* reject);
+
+  /// True iff the request's deadline passed; runs on the worker.
+  bool ExpiredInQueue(double submit_sec, double deadline_sec);
+
+  /// Wraps bookkeeping shared by fetch and scan tasks around `body`.
+  template <typename T>
+  void RunTask(double submit_sec, double deadline_sec,
+               std::shared_ptr<std::promise<Result<T>>> promise,
+               const std::function<Result<T>()>& body);
+
+  void RecordLatency(double seconds);
+  void InvalidateSessionCaches();
+  double NowSeconds() const;
+
+  Mistique* engine_;
+  QueryServiceOptions options_;
+  ThreadPool pool_;
+
+  std::atomic<uint64_t> queued_{0};
+  std::atomic<uint64_t> running_{0};
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> expired_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_lookups_{0};
+  uint64_t bytes_read_at_start_ = 0;
+
+  mutable std::mutex sessions_mutex_;
+  std::unordered_map<SessionId, std::shared_ptr<Session>> sessions_;
+  SessionId next_session_ = 1;
+
+  mutable std::mutex latency_mutex_;
+  std::vector<double> latencies_;  // Ring buffer of size latency_window.
+  size_t latency_next_ = 0;
+  bool latency_wrapped_ = false;
+
+  const std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+};
+
+}  // namespace mistique
+
+#endif  // MISTIQUE_SERVICE_QUERY_SERVICE_H_

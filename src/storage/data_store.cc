@@ -1,17 +1,22 @@
 #include "storage/data_store.h"
 
-#include <iterator>
 #include <algorithm>
+#include <iterator>
 
 namespace mistique {
 
 Status DataStore::Open(const DataStoreOptions& options) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   options_ = options;
-  memory_ = InMemoryStore(options.memory_budget_bytes);
+  {
+    std::lock_guard<std::mutex> pool_lock(pool_mutex_);
+    memory_ = InMemoryStore(options.memory_budget_bytes);
+  }
   return disk_.Open(options.directory);
 }
 
 Status DataStore::RecoverIndex() {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   chunk_partition_.clear();
   ChunkId max_chunk = 0;
   PartitionId max_partition = 0;
@@ -34,28 +39,31 @@ Status DataStore::RecoverIndex() {
 }
 
 PartitionId DataStore::CreatePartition() {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   const PartitionId id = next_partition_++;
   open_[id] = std::make_shared<Partition>(id);
   return id;
 }
 
 Result<ChunkId> DataStore::AddChunk(PartitionId partition, ColumnChunk chunk) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   auto it = open_.find(partition);
   if (it == open_.end()) {
     return Status::InvalidArgument("partition " + std::to_string(partition) +
                                    " is not open");
   }
   const ChunkId id = next_chunk_++;
-  logical_bytes_ += chunk.byte_size();
+  logical_bytes_.fetch_add(chunk.byte_size(), std::memory_order_relaxed);
   MISTIQUE_RETURN_NOT_OK(it->second->Add(id, std::move(chunk)));
   chunk_partition_[id] = partition;
   if (it->second->data_bytes() >= options_.partition_target_bytes) {
-    MISTIQUE_RETURN_NOT_OK(SealPartition(partition));
+    MISTIQUE_RETURN_NOT_OK(SealPartitionLocked(partition));
   }
   return id;
 }
 
 Result<PartitionId> DataStore::PartitionOf(ChunkId id) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   auto it = chunk_partition_.find(id);
   if (it == chunk_partition_.end()) {
     return Status::NotFound("unknown chunk " + std::to_string(id));
@@ -64,48 +72,124 @@ Result<PartitionId> DataStore::PartitionOf(ChunkId id) const {
 }
 
 Result<ChunkRef> DataStore::GetChunk(ChunkId id) {
-  MISTIQUE_ASSIGN_OR_RETURN(PartitionId pid, PartitionOf(id));
+  PartitionId pid;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto idx = chunk_partition_.find(id);
+    if (idx == chunk_partition_.end()) {
+      return Status::NotFound("unknown chunk " + std::to_string(id));
+    }
+    pid = idx->second;
 
-  // 1. Still open?
-  auto open_it = open_.find(pid);
-  if (open_it != open_.end()) {
-    MISTIQUE_ASSIGN_OR_RETURN(const ColumnChunk* c, open_it->second->Get(id));
-    return ChunkRef{open_it->second, c};
+    // 1. Still open? (Only valid under writer exclusion; see ChunkRef.)
+    auto open_it = open_.find(pid);
+    if (open_it != open_.end()) {
+      MISTIQUE_ASSIGN_OR_RETURN(const ColumnChunk* c, open_it->second->Get(id));
+      return ChunkRef{open_it->second, c};
+    }
   }
 
-  // 2. Buffer pool?
-  if (auto cached = memory_.Lookup(pid)) {
-    MISTIQUE_ASSIGN_OR_RETURN(const ColumnChunk* c, cached->Get(id));
-    return ChunkRef{cached, c};
-  }
-
-  // 3. Disk: read, decompress, cache.
-  MISTIQUE_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
-                            disk_.ReadPartition(pid));
-  disk_read_bytes_ += bytes.size();
-  MISTIQUE_ASSIGN_OR_RETURN(Partition p, Partition::Deserialize(bytes));
-  auto shared = std::make_shared<const Partition>(std::move(p));
-  // Evicted partitions are already sealed on disk; just drop them.
-  memory_.Insert(shared);
+  // 2. Sealed: buffer pool or disk, de-duplicating concurrent loads.
+  MISTIQUE_ASSIGN_OR_RETURN(std::shared_ptr<const Partition> shared,
+                            LoadPartition(pid));
   MISTIQUE_ASSIGN_OR_RETURN(const ColumnChunk* c, shared->Get(id));
-  return ChunkRef{shared, c};
+  return ChunkRef{std::move(shared), c};
+}
+
+Result<std::shared_ptr<const Partition>> DataStore::LoadPartition(
+    PartitionId pid) {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> pool_lock(pool_mutex_);
+      if (auto cached = memory_.Lookup(pid)) return cached;
+    }
+
+    // Join an in-flight load of the same partition, or become the loader.
+    std::shared_ptr<PendingLoad> load;
+    bool is_loader = false;
+    {
+      std::lock_guard<std::mutex> lock(loads_mutex_);
+      auto it = loads_.find(pid);
+      if (it != loads_.end()) {
+        load = it->second;
+      } else {
+        load = std::make_shared<PendingLoad>();
+        loads_.emplace(pid, load);
+        is_loader = true;
+      }
+    }
+
+    if (!is_loader) {
+      single_flight_waits_.fetch_add(1, std::memory_order_relaxed);
+      std::unique_lock<std::mutex> wait_lock(load->m);
+      load->cv.wait(wait_lock, [&] { return load->done; });
+      if (load->partition != nullptr) return load->partition;
+      MISTIQUE_RETURN_NOT_OK(load->status);
+      continue;  // Loader lost the partition benignly (evicted); retry.
+    }
+
+    // Loader: read under the shared index lock (the disk index must not
+    // move underneath us), decompress outside every lock.
+    Result<std::vector<uint8_t>> bytes = [&] {
+      std::shared_lock<std::shared_mutex> lock(mutex_);
+      return disk_.ReadPartition(pid);
+    }();
+    std::shared_ptr<const Partition> shared;
+    Status status = bytes.status();
+    if (bytes.ok()) {
+      disk_read_bytes_.fetch_add(bytes->size(), std::memory_order_relaxed);
+      Result<Partition> p = Partition::Deserialize(*bytes);
+      status = p.status();
+      if (p.ok()) {
+        shared =
+            std::make_shared<const Partition>(std::move(p).ValueOrDie());
+        std::lock_guard<std::mutex> pool_lock(pool_mutex_);
+        // Evicted partitions are already sealed on disk; just drop them.
+        memory_.Insert(shared);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(loads_mutex_);
+      loads_.erase(pid);
+    }
+    {
+      std::lock_guard<std::mutex> done_lock(load->m);
+      load->done = true;
+      load->status = status;
+      load->partition = shared;
+    }
+    load->cv.notify_all();
+    if (!status.ok()) return status;
+    return shared;
+  }
 }
 
 Status DataStore::SealPartition(PartitionId id) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  return SealPartitionLocked(id);
+}
+
+Status DataStore::SealPartitionLocked(PartitionId id) {
   auto it = open_.find(id);
   if (it == open_.end()) return Status::OK();  // Already sealed.
   std::shared_ptr<Partition> p = it->second;
-  open_.erase(it);
 
   MISTIQUE_ASSIGN_OR_RETURN(const Codec* codec, GetCodec(options_.codec));
   MISTIQUE_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, p->Serialize(*codec));
   MISTIQUE_RETURN_NOT_OK(disk_.WritePartition(id, bytes));
-  memory_.Insert(std::shared_ptr<const Partition>(std::move(p)));
+  {
+    std::lock_guard<std::mutex> pool_lock(pool_mutex_);
+    memory_.Insert(std::shared_ptr<const Partition>(p));
+  }
+  // Erase from open_ last so a concurrent reader never sees the partition
+  // neither open nor persisted.
+  open_.erase(id);
   return Status::OK();
 }
 
 Status DataStore::Flush() {
-  // Collect ids first: SealPartition mutates open_.
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  // Collect ids first: SealPartitionLocked mutates open_.
   std::vector<PartitionId> ids;
   ids.reserve(open_.size());
   for (const auto& [id, p] : open_) {
@@ -113,14 +197,18 @@ Status DataStore::Flush() {
     ids.push_back(id);
   }
   for (PartitionId id : ids) {
-    MISTIQUE_RETURN_NOT_OK(SealPartition(id));
+    MISTIQUE_RETURN_NOT_OK(SealPartitionLocked(id));
   }
   return Status::OK();
 }
 
 Status DataStore::DropPartition(PartitionId id) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   open_.erase(id);
-  memory_.Erase(id);
+  {
+    std::lock_guard<std::mutex> pool_lock(pool_mutex_);
+    memory_.Erase(id);
+  }
   if (disk_.Contains(id)) {
     MISTIQUE_RETURN_NOT_OK(disk_.DeletePartition(id));
   }
@@ -132,6 +220,7 @@ Status DataStore::DropPartition(PartitionId id) {
 
 Status DataStore::RewritePartition(PartitionId id,
                                    const std::unordered_set<ChunkId>& keep) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   if (open_.count(id)) {
     return Status::InvalidArgument("cannot rewrite open partition " +
                                    std::to_string(id));
@@ -154,7 +243,10 @@ Status DataStore::RewritePartition(PartitionId id,
       dropped.push_back(chunk_id);
     }
   }
-  memory_.Erase(id);
+  {
+    std::lock_guard<std::mutex> pool_lock(pool_mutex_);
+    memory_.Erase(id);
+  }
   for (ChunkId chunk_id : dropped) chunk_partition_.erase(chunk_id);
   if (rewritten.num_chunks() == 0) {
     return disk_.DeletePartition(id);
@@ -166,6 +258,7 @@ Status DataStore::RewritePartition(PartitionId id,
 }
 
 uint64_t DataStore::open_bytes() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   uint64_t total = 0;
   for (const auto& [id, p] : open_) {
     (void)id;

@@ -1,8 +1,12 @@
 #ifndef MISTIQUE_STORAGE_DATA_STORE_H_
 #define MISTIQUE_STORAGE_DATA_STORE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -30,6 +34,12 @@ struct DataStoreOptions {
 };
 
 /// A borrowed chunk plus the shared ownership that keeps it alive.
+///
+/// Refs into *sealed* partitions stay valid as long as the holder is held
+/// (partitions are immutable once sealed). Refs into *open* partitions are
+/// only valid while the caller excludes writers (the Mistique reader/writer
+/// lock provides this): appending to an open partition may relocate its
+/// chunk storage.
 struct ChunkRef {
   std::shared_ptr<const Partition> holder;
   const ColumnChunk* chunk = nullptr;
@@ -42,6 +52,16 @@ struct ChunkRef {
 /// Placement is caller-directed: the dedup layer picks the target partition
 /// so similar chunks are co-located. A partition auto-seals once it reaches
 /// the target size; sealed partitions are immutable.
+///
+/// Concurrency (see docs/CONCURRENCY.md): any number of GetChunk readers
+/// may run in parallel with each other — index lookups take `mutex_`
+/// shared, buffer-pool LRU updates are serialized by `pool_mutex_`, and
+/// readers that miss on the same sealed partition coordinate through a
+/// single-flight table so exactly one of them pays the disk read +
+/// decompression. Mutating operations (AddChunk, Seal*, Drop*, Rewrite*,
+/// RecoverIndex) take `mutex_` exclusively; callers must additionally keep
+/// them exclusive with respect to in-flight reads that hold ChunkRefs into
+/// open partitions (the Mistique layer's reader/writer lock does this).
 class DataStore {
  public:
   DataStore() : memory_(0) {}
@@ -62,6 +82,7 @@ class DataStore {
 
   /// True while a partition accepts new chunks.
   bool IsOpen(PartitionId id) const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
     return open_.find(id) != open_.end();
   }
 
@@ -71,7 +92,8 @@ class DataStore {
   Result<ChunkId> AddChunk(PartitionId partition, ColumnChunk chunk);
 
   /// Fetches a chunk wherever it lives: open partition, buffer pool, or
-  /// disk (decompressing and caching the partition).
+  /// disk (decompressing and caching the partition). Thread-safe against
+  /// concurrent GetChunk calls; see the class comment for the writer rules.
   Result<ChunkRef> GetChunk(ChunkId id);
 
   /// Partition that owns a chunk; NotFound for unknown ids.
@@ -99,19 +121,52 @@ class DataStore {
   /// --- Statistics for the experiments & cost model ---
 
   /// Sum of encoded (uncompressed) chunk payload bytes ever added.
-  uint64_t logical_bytes() const { return logical_bytes_; }
+  uint64_t logical_bytes() const {
+    return logical_bytes_.load(std::memory_order_relaxed);
+  }
   /// Compressed bytes currently on disk.
-  uint64_t stored_bytes() const { return disk_.total_bytes(); }
+  uint64_t stored_bytes() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return disk_.total_bytes();
+  }
   /// Uncompressed bytes sitting in not-yet-sealed partitions.
   uint64_t open_bytes() const;
   /// Bytes read back from disk (compressed) since Open.
-  uint64_t disk_read_bytes() const { return disk_read_bytes_; }
-  size_t num_chunks() const { return chunk_partition_.size(); }
+  uint64_t disk_read_bytes() const {
+    return disk_read_bytes_.load(std::memory_order_relaxed);
+  }
+  size_t num_chunks() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return chunk_partition_.size();
+  }
+  /// Times a GetChunk miss piggybacked on another reader's in-flight load
+  /// of the same partition instead of decompressing it again.
+  uint64_t single_flight_waits() const {
+    return single_flight_waits_.load(std::memory_order_relaxed);
+  }
 
   const InMemoryStore& memory() const { return memory_; }
   const DiskStore& disk() const { return disk_; }
 
  private:
+  /// One in-flight disk load, shared by every reader that missed on the
+  /// same partition. The loader fills `partition`/`status` and flips
+  /// `done`; waiters block on `cv`.
+  struct PendingLoad {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;
+    std::shared_ptr<const Partition> partition;
+  };
+
+  /// Seal body; requires `mutex_` held exclusively.
+  Status SealPartitionLocked(PartitionId id);
+
+  /// Returns the decompressed sealed partition `pid`, from the buffer pool
+  /// or disk (single-flight).
+  Result<std::shared_ptr<const Partition>> LoadPartition(PartitionId pid);
+
   DataStoreOptions options_;
   InMemoryStore memory_;
   DiskStore disk_;
@@ -120,8 +175,16 @@ class DataStore {
   std::unordered_map<ChunkId, PartitionId> chunk_partition_;
   PartitionId next_partition_ = 1;
   ChunkId next_chunk_ = 1;
-  uint64_t logical_bytes_ = 0;
-  uint64_t disk_read_bytes_ = 0;
+  std::atomic<uint64_t> logical_bytes_{0};
+  std::atomic<uint64_t> disk_read_bytes_{0};
+  std::atomic<uint64_t> single_flight_waits_{0};
+
+  /// Lock order: mutex_ before pool_mutex_; loads_mutex_ is a leaf and is
+  /// never held while acquiring either of the others.
+  mutable std::shared_mutex mutex_;   // open_, chunk_partition_, ids, disk_.
+  mutable std::mutex pool_mutex_;     // memory_ (LRU mutates on Lookup).
+  std::mutex loads_mutex_;            // loads_.
+  std::unordered_map<PartitionId, std::shared_ptr<PendingLoad>> loads_;
 };
 
 }  // namespace mistique

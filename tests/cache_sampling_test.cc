@@ -61,7 +61,7 @@ TEST_F(CacheSamplingTest, RepeatedQueriesHitCache) {
   EXPECT_EQ(other.columns[0].size(), 10u);
 }
 
-TEST_F(CacheSamplingTest, CacheEvictsFifo) {
+TEST_F(CacheSamplingTest, CacheEvictsLeastRecentlyUsed) {
   Mistique mq;
   ASSERT_OK(mq.Open(Options(2)));
   ASSERT_OK_AND_ASSIGN(std::unique_ptr<Pipeline> pipeline,
