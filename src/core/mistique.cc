@@ -100,7 +100,13 @@ const char* StorageStrategyName(StorageStrategy s) {
 Status Mistique::Open(const MistiqueOptions& options) {
   std::unique_lock<std::shared_mutex> lock(rw_mutex_);
   options_ = options;
-  query_cache_ = LruCache<uint64_t, FetchResult>(options_.query_cache_entries);
+  {
+    // query_cache_ is guarded by stats_mutex_ (readers like
+    // query_cache_hits() take it alone), so the reassignment needs it too.
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    query_cache_ =
+        LruCache<uint64_t, FetchResult>(options_.query_cache_entries);
+  }
   if (options_.checkpoint_dir.empty()) {
     options_.checkpoint_dir = options_.store.directory + "/ckpt";
   }

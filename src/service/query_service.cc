@@ -8,12 +8,17 @@ namespace mistique {
 QueryService::QueryService(Mistique* engine, QueryServiceOptions options)
     : engine_(engine),
       options_(std::move(options)),
-      pool_(options_.num_workers),
       bytes_read_at_start_(engine->store().disk_read_bytes()) {
   latencies_.resize(std::max<size_t>(options_.latency_window, 1));
+  pool_ = std::make_unique<ThreadPool>(options_.num_workers);
 }
 
-QueryService::~QueryService() = default;  // ThreadPool drains on destruction.
+QueryService::~QueryService() {
+  // Drain the queue before any other member is torn down: queued tasks
+  // run RunTask, which touches the counters, session map, and latency
+  // ring. (pool_ is also declared last as a second line of defense.)
+  pool_.reset();
+}
 
 double QueryService::NowSeconds() const {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -50,16 +55,24 @@ std::shared_ptr<QueryService::Session> QueryService::Admit(SessionId session,
     *reject = Status::NotFound("unknown session " + std::to_string(session));
     return nullptr;
   }
-  // Backpressure: bound the number of waiting queries, not in-flight ones.
-  if (options_.max_queue > 0 &&
-      queued_.load(std::memory_order_relaxed) >= options_.max_queue) {
+  return s;
+}
+
+bool QueryService::TryEnqueue(Status* reject) {
+  // Backpressure: bound the number of waiting queries, not in-flight
+  // ones. Reserve the slot first and roll back on overflow so N racing
+  // submitters cannot all pass a stale check — max_queue is a hard bound.
+  const uint64_t depth = queued_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (options_.max_queue > 0 && depth > options_.max_queue) {
+    queued_.fetch_sub(1, std::memory_order_relaxed);
     rejected_.fetch_add(1, std::memory_order_relaxed);
     *reject = Status::ResourceExhausted(
         "admission queue full (" + std::to_string(options_.max_queue) +
         " queued); retry later");
-    return nullptr;
+    return false;
   }
-  return s;
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 bool QueryService::ExpiredInQueue(double submit_sec, double deadline_sec) {
@@ -126,14 +139,18 @@ std::future<Result<FetchResult>> QueryService::SubmitFetch(
     }
   }
 
-  submitted_.fetch_add(1, std::memory_order_relaxed);
-  queued_.fetch_add(1, std::memory_order_relaxed);
+  if (!TryEnqueue(&reject)) {
+    promise->set_value(reject);
+    return future;
+  }
   const double submit_sec = NowSeconds();
-  pool_.Submit([this, s, key, promise, submit_sec, deadline_sec,
-                request = std::move(request)]() mutable {
+  pool_->Submit([this, s, key, promise, submit_sec, deadline_sec,
+                 request = std::move(request)]() mutable {
     RunTask<FetchResult>(
         submit_sec, deadline_sec, promise,
         [&]() -> Result<FetchResult> {
+          const uint64_t epoch_before =
+              cache_epoch_.load(std::memory_order_acquire);
           Result<FetchResult> result = engine_->Fetch(request);
           if (!result.ok()) return result;
           if (result->materialized_now) {
@@ -143,7 +160,13 @@ std::future<Result<FetchResult>> QueryService::SubmitFetch(
           } else if (options_.session_cache_entries > 0 &&
                      !result->from_cache) {
             std::lock_guard<std::mutex> cache_lock(s->m);
-            s->cache.Put(key, *result);
+            // Skip the Put if an invalidation sweep ran since we started
+            // the engine call: this result's plan/strategy metadata
+            // predates the materialization that triggered the sweep.
+            if (cache_epoch_.load(std::memory_order_acquire) ==
+                epoch_before) {
+              s->cache.Put(key, *result);
+            }
           }
           return result;
         });
@@ -164,11 +187,13 @@ std::future<Result<ScanResult>> QueryService::SubmitScan(
     return future;
   }
 
-  submitted_.fetch_add(1, std::memory_order_relaxed);
-  queued_.fetch_add(1, std::memory_order_relaxed);
+  if (!TryEnqueue(&reject)) {
+    promise->set_value(reject);
+    return future;
+  }
   const double submit_sec = NowSeconds();
-  pool_.Submit([this, promise, submit_sec, deadline_sec,
-                request = std::move(request)]() mutable {
+  pool_->Submit([this, promise, submit_sec, deadline_sec,
+                 request = std::move(request)]() mutable {
     RunTask<ScanResult>(submit_sec, deadline_sec, promise,
                         [&]() -> Result<ScanResult> {
                           return engine_->Scan(request);
@@ -195,6 +220,10 @@ Result<FetchResult> QueryService::GetIntermediates(
 }
 
 void QueryService::InvalidateSessionCaches() {
+  // Bump the epoch BEFORE clearing: a worker that captured the old epoch
+  // either re-inserts before the Clear below (swept) or sees the new
+  // epoch inside its cache critical section and skips the Put.
+  cache_epoch_.fetch_add(1, std::memory_order_acq_rel);
   std::vector<std::shared_ptr<Session>> all;
   {
     std::lock_guard<std::mutex> lock(sessions_mutex_);

@@ -115,7 +115,7 @@ class QueryService {
                                        uint64_t n_ex = 0);
 
   ServiceStats Stats() const;
-  size_t num_workers() const { return pool_.num_threads(); }
+  size_t num_workers() const { return pool_->num_threads(); }
   Mistique* engine() const { return engine_; }
 
  private:
@@ -125,9 +125,15 @@ class QueryService {
     LruCache<uint64_t, FetchResult> cache;
   };
 
-  /// Admission control: returns nullptr (and counts the rejection) when
-  /// the queue is full or the session is unknown.
+  /// Resolves a session handle; returns nullptr (and counts the
+  /// rejection) for unknown ids.
   std::shared_ptr<Session> Admit(SessionId session, Status* reject);
+
+  /// Admission control: atomically reserves a queue slot
+  /// (increment-then-check, so concurrent submitters cannot overshoot
+  /// max_queue on a stale load). False (and counts the rejection) when
+  /// the queue is full.
+  bool TryEnqueue(Status* reject);
 
   /// True iff the request's deadline passed; runs on the worker.
   bool ExpiredInQueue(double submit_sec, double deadline_sec);
@@ -144,7 +150,6 @@ class QueryService {
 
   Mistique* engine_;
   QueryServiceOptions options_;
-  ThreadPool pool_;
 
   std::atomic<uint64_t> queued_{0};
   std::atomic<uint64_t> running_{0};
@@ -155,6 +160,11 @@ class QueryService {
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> cache_lookups_{0};
+  /// Bumped by InvalidateSessionCaches; workers capture it before an
+  /// engine Fetch and skip the cache Put if it moved, so a result
+  /// computed before a materialization cannot be re-inserted after the
+  /// invalidation sweep.
+  std::atomic<uint64_t> cache_epoch_{0};
   uint64_t bytes_read_at_start_ = 0;
 
   mutable std::mutex sessions_mutex_;
@@ -168,6 +178,13 @@ class QueryService {
 
   const std::chrono::steady_clock::time_point epoch_ =
       std::chrono::steady_clock::now();
+
+  /// Must be the LAST data member: ~QueryService destroys members in
+  /// reverse declaration order, and ~ThreadPool drains the queue — the
+  /// drained tasks run RunTask, which touches every counter, mutex, and
+  /// container above. The unique_ptr also lets ~QueryService drain
+  /// explicitly before any other teardown.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace mistique

@@ -207,6 +207,25 @@ TEST_F(ServiceTradTest, DeadlineExpiresWhileQueued) {
   EXPECT_EQ(stats.completed, 1u);
 }
 
+TEST_F(ServiceTradTest, DestructionDrainsQueuedRequests) {
+  std::vector<std::future<Result<FetchResult>>> futures;
+  {
+    QueryServiceOptions options;
+    options.num_workers = 2;
+    options.max_queue = 64;
+    options.session_cache_entries = 0;
+    QueryService service(&mq_, options);
+    const SessionId session = service.OpenSession();
+    for (int i = 0; i < 16; ++i) {
+      futures.push_back(service.SubmitFetch(session, FetchReq()));
+    }
+    // Destroyed with most requests still queued: the drain runs them
+    // against service state (counters, latency ring, session map) that
+    // must still be alive.
+  }
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+}
+
 TEST_F(ServiceTradTest, UnknownSessionIsRejected) {
   QueryService service(&mq_, {});
   Result<FetchResult> result = service.Fetch(999, FetchReq());
