@@ -18,6 +18,8 @@ const char* StatusCodeName(StatusCode code) {
       return "IOError";
     case StatusCode::kCorruption:
       return "Corruption";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
     case StatusCode::kNotImplemented:
       return "NotImplemented";
     case StatusCode::kInternal:

@@ -19,6 +19,7 @@ enum class StatusCode {
   kOutOfRange,
   kIoError,
   kCorruption,
+  kDataLoss,
   kNotImplemented,
   kInternal,
   kResourceExhausted,
@@ -56,6 +57,11 @@ class Status {
   }
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  /// Stored bytes fail their checksum: the data is gone unless a higher
+  /// layer can recreate it (MISTIQUE can, via the re-run path).
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));

@@ -6,6 +6,8 @@
 
 #include "common/hash.h"
 #include "common/stopwatch.h"
+#include "durability/fault_injection.h"
+#include "metadata/catalog_wal.h"
 
 namespace mistique {
 
@@ -132,12 +134,65 @@ Status Mistique::Open(const MistiqueOptions& options) {
     MISTIQUE_RETURN_NOT_OK(cost_model_.Calibrate(&store_));
   }
 
-  // Reopen an existing store: recover the catalog and the chunk index.
+  // Crash recovery (docs/DURABILITY.md). The store's Open already swept
+  // orphan temp files and skipped torn partition files; now recover the
+  // catalog: last-good snapshot + WAL replay, then repair invariants.
+  recovery_warnings_ = store_.open_warnings();
   const std::string catalog_path = options_.store.directory + "/catalog.mq";
-  if (std::filesystem::exists(catalog_path)) {
-    MISTIQUE_RETURN_NOT_OK(metadata_.LoadFromFile(catalog_path));
+  const std::string wal_path = options_.store.directory + "/catalog.wal";
+  uint64_t snapshot_epoch = 0;
+  const bool have_catalog = std::filesystem::exists(catalog_path);
+  if (have_catalog) {
+    MISTIQUE_RETURN_NOT_OK(metadata_.LoadFromFile(catalog_path,
+                                                  &snapshot_epoch));
+  }
+
+  uint64_t truncate_to = 0;
+  if (std::filesystem::exists(wal_path)) {
+    Result<WriteAheadLog::ReplayResult> replay =
+        WriteAheadLog::Read(wal_path);
+    if (!replay.ok()) {
+      // Unparseable header: nothing salvageable; start a fresh log.
+      recovery_warnings_.push_back("discarded unreadable catalog WAL: " +
+                                   replay.status().ToString());
+      std::error_code ec;
+      std::filesystem::remove(wal_path, ec);
+    } else if (replay->epoch != snapshot_epoch) {
+      // Crash between snapshot rename and log rotation: the snapshot
+      // already contains these records' effects. Ignore wholesale.
+      recovery_warnings_.push_back(
+          "ignored stale catalog WAL (epoch " +
+          std::to_string(replay->epoch) + ", snapshot epoch " +
+          std::to_string(snapshot_epoch) + ")");
+    } else {
+      MISTIQUE_ASSIGN_OR_RETURN(CatalogWalReplayStats replay_stats,
+                                ApplyCatalogWal(replay->records, &metadata_));
+      truncate_to = replay->valid_bytes;
+      if (replay->truncated_tail) {
+        recovery_warnings_.push_back(
+            "discarded torn catalog WAL tail after " +
+            std::to_string(replay->records.size()) + " valid records");
+      }
+      if (replay_stats.skipped > 0) {
+        recovery_warnings_.push_back(
+            "skipped " + std::to_string(replay_stats.skipped) +
+            " catalog WAL records referencing post-snapshot models");
+      }
+    }
+  }
+  MISTIQUE_RETURN_NOT_OK(wal_.Open(wal_path, snapshot_epoch, truncate_to,
+                                   options_.store.sync_writes));
+  if (wal_.epoch() != snapshot_epoch) {
+    MISTIQUE_RETURN_NOT_OK(wal_.Rotate(snapshot_epoch));
+  }
+
+  if (have_catalog) {
     MISTIQUE_RETURN_NOT_OK(store_.RecoverIndex());
     RebuildChunkRefs();
+    // Quarantines from RecoverIndex (and any column referencing a chunk
+    // the store lost) demote to the rerun path here.
+    MISTIQUE_RETURN_NOT_OK(HandleCorruptionsLocked(/*scan_all=*/true));
+    DeriveDeadChunksLocked();
   }
   return Status::OK();
 }
@@ -153,6 +208,157 @@ void Mistique::RebuildChunkRefs() {
       }
     }
   }
+}
+
+Status Mistique::HandleCorruptionsLocked(bool scan_all) {
+  std::vector<CorruptionEvent> events = store_.TakeCorruptionEvents();
+  if (events.empty() && !scan_all) return Status::OK();
+
+  std::unordered_set<ChunkId> known;
+  for (ChunkId id : store_.ListChunks()) known.insert(id);
+
+  // Demote every materialized column referencing a chunk the store lost
+  // (its partition was quarantined, or its file never survived a crash).
+  // The intermediate falls back to the re-run path until a query heals it.
+  struct Demoted {
+    ModelId model = kInvalidModelId;
+    size_t interm_index = 0;
+    std::unordered_set<ChunkId> lost;
+  };
+  std::vector<Demoted> demoted;
+  std::unordered_set<ChunkId> vanished;
+  std::unordered_set<ChunkId> newly_dead;
+  for (ModelId model_id : metadata_.ListModels()) {
+    ModelInfo* model = metadata_.GetModel(model_id).ValueOrDie();
+    for (size_t ii = 0; ii < model->intermediates.size(); ++ii) {
+      Demoted d{model_id, ii, {}};
+      for (ColumnInfo& col : model->intermediates[ii].columns) {
+        if (!col.materialized) continue;
+        bool missing = false;
+        for (ChunkId chunk : col.chunks) {
+          if (known.count(chunk)) continue;
+          missing = true;
+          d.lost.insert(chunk);
+          vanished.insert(chunk);
+        }
+        if (!missing) continue;
+        // Release the column's surviving chunk references and clear its
+        // stored state so a heal re-stores from scratch.
+        for (ChunkId chunk : col.chunks) {
+          auto it = chunk_refs_.find(chunk);
+          if (it == chunk_refs_.end()) continue;
+          if (--it->second == 0) {
+            chunk_refs_.erase(it);
+            if (known.count(chunk)) {
+              dead_chunks_.insert(chunk);
+              newly_dead.insert(chunk);
+            }
+          }
+        }
+        col.chunks.clear();
+        col.chunk_min.clear();
+        col.chunk_max.clear();
+        col.encoded_bytes = 0;
+        col.stored_bytes = 0;
+        col.materialized = false;
+      }
+      if (!d.lost.empty()) demoted.push_back(std::move(d));
+    }
+  }
+
+  if (!demoted.empty()) {
+    // Dedup must never hand out a vanished chunk as a duplicate again.
+    std::unordered_set<ChunkId> forget = vanished;
+    forget.insert(newly_dead.begin(), newly_dead.end());
+    dedup_->ForgetChunks(forget);
+    for (const Demoted& d : demoted) {
+      const ModelInfo* model = metadata_.GetModel(d.model).ValueOrDie();
+      if (wal_.is_open()) {
+        MISTIQUE_RETURN_NOT_OK(wal_.Append(
+            static_cast<uint8_t>(CatalogWalRecordType::kIntermediateUpdate),
+            EncodeIntermediateUpdate(d.model,
+                                     static_cast<uint32_t>(d.interm_index),
+                                     model->intermediates[d.interm_index]),
+            /*durable=*/true));
+      }
+    }
+    InvalidateCache();
+  }
+
+  // Attribute demotions to quarantined partitions so a partition counts as
+  // healed once everything demoted on its behalf is re-materialized.
+  // Open-time events carry no chunk list; they are attributed to every
+  // intermediate demoted in this round.
+  for (const CorruptionEvent& ev : events) {
+    std::set<std::pair<ModelId, size_t>> affected;
+    for (const Demoted& d : demoted) {
+      bool hit = ev.chunks.empty();
+      for (ChunkId chunk : ev.chunks) {
+        if (d.lost.count(chunk)) {
+          hit = true;
+          break;
+        }
+      }
+      if (hit) affected.insert({d.model, d.interm_index});
+    }
+    if (!affected.empty()) {
+      heal_pending_[ev.partition].insert(affected.begin(), affected.end());
+    }
+  }
+  return Status::OK();
+}
+
+Status Mistique::PersistIntermediateUpdate(ModelId model_id,
+                                           size_t interm_index) {
+  // Seal open partitions first so every chunk the record references is on
+  // disk before the record claims it exists. A crash in between leaves
+  // sealed-but-unreferenced chunks, reclaimed as dead chunks at next Open.
+  MISTIQUE_RETURN_NOT_OK(store_.Flush());
+  if (!wal_.is_open()) return Status::OK();
+  MISTIQUE_ASSIGN_OR_RETURN(const ModelInfo* model,
+                            metadata_.GetModel(model_id));
+  return wal_.Append(
+      static_cast<uint8_t>(CatalogWalRecordType::kIntermediateUpdate),
+      EncodeIntermediateUpdate(model_id, static_cast<uint32_t>(interm_index),
+                               model->intermediates[interm_index]),
+      /*durable=*/true);
+}
+
+bool Mistique::IsHealPending(ModelId model_id, size_t interm_index) const {
+  for (const auto& [pid, pending] : heal_pending_) {
+    (void)pid;
+    if (pending.count({model_id, interm_index})) return true;
+  }
+  return false;
+}
+
+void Mistique::NoteIntermediateHealed(ModelId model_id, size_t interm_index) {
+  for (auto it = heal_pending_.begin(); it != heal_pending_.end();) {
+    it->second.erase({model_id, interm_index});
+    if (it->second.empty()) {
+      partitions_healed_.fetch_add(1, std::memory_order_relaxed);
+      it = heal_pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Mistique::DeriveDeadChunksLocked() {
+  for (ChunkId id : store_.ListChunks()) {
+    if (!chunk_refs_.count(id)) dead_chunks_.insert(id);
+  }
+  if (!dead_chunks_.empty()) dedup_->ForgetChunks(dead_chunks_);
+}
+
+void Mistique::LogNoteQuery(ModelId model_id, size_t interm_index) {
+  if (!wal_.is_open()) return;
+  // Non-durable: reaches the kernel (survives a process kill) without an
+  // fsync per query; a machine crash may lose recent n_query increments.
+  (void)wal_.Append(static_cast<uint8_t>(CatalogWalRecordType::kNoteQuery),
+                    EncodeNoteQuery(model_id,
+                                    static_cast<uint32_t>(interm_index)),
+                    /*durable=*/false);
 }
 
 Status Mistique::DeleteModel(const std::string& project,
@@ -178,6 +384,19 @@ Status Mistique::DeleteModel(const std::string& project,
   dedup_->ForgetChunks(newly_dead);
 
   MISTIQUE_RETURN_NOT_OK(metadata_.RemoveModel(id));
+  if (wal_.is_open()) {
+    MISTIQUE_RETURN_NOT_OK(wal_.Append(
+        static_cast<uint8_t>(CatalogWalRecordType::kModelDelete),
+        EncodeModelDelete(project, name), /*durable=*/true));
+  }
+  // A deleted model has nothing left to heal (not counted as a heal).
+  for (auto it = heal_pending_.begin(); it != heal_pending_.end();) {
+    auto& pending = it->second;
+    for (auto pit = pending.begin(); pit != pending.end();) {
+      pit = pit->first == id ? pending.erase(pit) : std::next(pit);
+    }
+    it = pending.empty() ? heal_pending_.erase(it) : std::next(it);
+  }
   pipelines_.erase(id);
   networks_.erase(id);
   InvalidateCache();
@@ -209,6 +428,11 @@ Result<uint64_t> Mistique::Vacuum() {
     MISTIQUE_RETURN_NOT_OK(store_.RewritePartition(pid, keep));
   }
   dead_chunks_.clear();
+  if (wal_.is_open()) {
+    MISTIQUE_RETURN_NOT_OK(wal_.Append(
+        static_cast<uint8_t>(CatalogWalRecordType::kVacuumDone),
+        std::vector<uint8_t>{}, /*durable=*/true));
+  }
   const uint64_t after = store_.stored_bytes();
   return before > after ? before - after : 0;
 }
@@ -216,7 +440,17 @@ Result<uint64_t> Mistique::Vacuum() {
 Status Mistique::SaveCatalog() {
   std::unique_lock<std::shared_mutex> lock(rw_mutex_);
   MISTIQUE_RETURN_NOT_OK(store_.Flush());
-  return metadata_.SaveToFile(options_.store.directory + "/catalog.mq");
+  const uint64_t epoch = wal_.epoch() + 1;
+  MISTIQUE_RETURN_NOT_OK(
+      metadata_.SaveToFile(options_.store.directory + "/catalog.mq", epoch,
+                           options_.store.sync_writes));
+  // A crash here leaves the WAL one epoch behind the fresh snapshot; Open
+  // detects the stale log and ignores it (its effects are in the snapshot).
+  MISTIQUE_FAULT("wal.rotate");
+  if (wal_.is_open()) {
+    MISTIQUE_RETURN_NOT_OK(wal_.Rotate(epoch));
+  }
+  return Status::OK();
 }
 
 Status Mistique::AttachPipeline(const std::string& project,
@@ -847,6 +1081,10 @@ Result<FetchResult> Mistique::Fetch(const FetchRequest& request) {
     if (!needs_exclusive) return result;
   }
   std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  // Escalations triggered by a checksum failure arrive here with the bad
+  // partition already quarantined; demote the affected columns first so
+  // the retry below naturally picks the re-run path (and then heals).
+  MISTIQUE_RETURN_NOT_OK(HandleCorruptionsLocked(/*scan_all=*/false));
   bool ignored = false;
   return FetchLocked(request, /*exclusive=*/true, /*count_query=*/false,
                      &ignored);
@@ -873,8 +1111,11 @@ Result<FetchResult> Mistique::FetchLocked(const FetchRequest& request,
   }
   IntermediateInfo& interm = model->intermediates[interm_index];
   if (count_query) {
-    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-    interm.n_query++;
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      interm.n_query++;
+    }
+    LogNoteQuery(model_id, interm_index);
   }
 
   // Session result cache: identical repeated queries are free (Sec. 10's
@@ -998,24 +1239,57 @@ Result<FetchResult> Mistique::FetchLocked(const FetchRequest& request,
 
   Stopwatch watch;
   if (use_read) {
-    MISTIQUE_RETURN_NOT_OK(ReadColumns(*model, interm, col_idx, rows, &out));
+    Status read_status = ReadColumns(*model, interm, col_idx, rows, &out);
+    if (!read_status.ok()) {
+      const StatusCode code = read_status.code();
+      const bool recoverable = (code == StatusCode::kDataLoss ||
+                                code == StatusCode::kNotFound) &&
+                               has_executor;
+      if (!recoverable) return read_status;
+      // Checksum failure on the read path (the store already quarantined
+      // the partition) or a chunk lost to an earlier quarantine: heal by
+      // re-running the model under the exclusive lock.
+      if (!exclusive) {
+        *needs_exclusive = true;
+        return FetchResult{};
+      }
+      MISTIQUE_RETURN_NOT_OK(HandleCorruptionsLocked(/*scan_all=*/false));
+      out.columns.clear();
+      use_read = false;
+      out.used_read = false;
+      MISTIQUE_RETURN_NOT_OK(
+          RerunColumns(model_id, interm_index, col_idx, rows, &out));
+    }
   } else {
     MISTIQUE_RETURN_NOT_OK(
         RerunColumns(model_id, interm_index, col_idx, rows, &out));
   }
   out.fetch_seconds = watch.ElapsedSeconds();
 
+  // Rerun-based self-healing: a corruption demoted this intermediate, and
+  // the re-run that just served the query can re-materialize it so future
+  // reads come off storage again.
+  if (!use_read && exclusive && IsHealPending(model_id, interm_index)) {
+    MISTIQUE_RETURN_NOT_OK(MaterializeColumns(model_id, interm_index, {}));
+    MISTIQUE_RETURN_NOT_OK(PersistIntermediateUpdate(model_id, interm_index));
+    NoteIntermediateHealed(model_id, interm_index);
+    out.materialized_now = true;
+    InvalidateCache();
+  }
+
   // Adaptive materialization (Alg. 4, column granularity): a re-run query
   // may tip γ over the threshold, materializing the *queried columns* for
   // future queries. γ uses the byte cost of just those columns, so hot
   // narrow columns materialize sooner than whole wide intermediates.
-  if (!use_read && !materialized &&
+  if (!use_read && !materialized && !out.materialized_now &&
       options_.strategy == StorageStrategy::kAdaptive) {
     const double gamma = cost_model_.Gamma(
         *model, interm, EstimateEncodedBytes(interm, col_idx.size()));
     if (gamma >= options_.gamma_min) {
       MISTIQUE_RETURN_NOT_OK(
           MaterializeColumns(model_id, interm_index, col_idx));
+      MISTIQUE_RETURN_NOT_OK(
+          PersistIntermediateUpdate(model_id, interm_index));
       out.materialized_now = true;
       // Cached decisions are stale once the store changed shape.
       InvalidateCache();
@@ -1047,10 +1321,15 @@ Result<ScanResult> Mistique::Scan(const ScanRequest& request) {
     MISTIQUE_ASSIGN_OR_RETURN(
         IntermediateInfo * interm,
         metadata_.FindIntermediate(model_id, request.intermediate));
+    MISTIQUE_ASSIGN_OR_RETURN(ModelInfo * scan_model,
+                              metadata_.GetModel(model_id));
+    const size_t scan_interm_idx =
+        static_cast<size_t>(interm - scan_model->intermediates.data());
     {
       std::lock_guard<std::mutex> stats_lock(stats_mutex_);
       interm->n_query++;
     }
+    LogNoteQuery(model_id, scan_interm_idx);
 
     size_t pidx = interm->columns.size();
     for (size_t i = 0; i < interm->columns.size(); ++i) {
@@ -1098,10 +1377,23 @@ Result<ScanResult> Mistique::Scan(const ScanRequest& request) {
           }
         }
         out.blocks_scanned++;
-        MISTIQUE_ASSIGN_OR_RETURN(ChunkRef ref,
-                                  store_.GetChunk(pcol.chunks[b]));
+        Result<ChunkRef> ref = store_.GetChunk(pcol.chunks[b]);
+        if (!ref.ok()) {
+          const StatusCode code = ref.status().code();
+          if (code != StatusCode::kDataLoss &&
+              code != StatusCode::kNotFound) {
+            return ref.status();
+          }
+          // Checksum failure mid-scan (partition now quarantined): restart
+          // via the re-run fallback below, which also heals the column.
+          out.row_ids.clear();
+          out.blocks_scanned = 0;
+          out.blocks_pruned = 0;
+          rerun_fallback = true;
+          break;
+        }
         MISTIQUE_ASSIGN_OR_RETURN(std::vector<double> decoded,
-                                  ref.chunk->DecodeAsDouble(recon));
+                                  ref->chunk->DecodeAsDouble(recon));
         for (size_t offset = 0; offset < decoded.size(); ++offset) {
           const double v = decoded[offset];
           if (v >= request.lo && v <= request.hi) {

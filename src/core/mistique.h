@@ -1,13 +1,16 @@
 #ifndef MISTIQUE_CORE_MISTIQUE_H_
 #define MISTIQUE_CORE_MISTIQUE_H_
 
+#include <atomic>
 #include <limits>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <shared_mutex>
 #include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/lru_cache.h"
@@ -15,6 +18,7 @@
 #include "common/thread_pool.h"
 #include "core/cost_model.h"
 #include "dedup/deduplicator.h"
+#include "durability/wal.h"
 #include "metadata/metadata_db.h"
 #include "nn/network.h"
 #include "pipeline/stage.h"
@@ -241,6 +245,24 @@ class Mistique {
     return store_.stored_bytes() + store_.open_bytes();
   }
 
+  /// --- Durability & recovery (docs/DURABILITY.md) ---
+
+  /// Checksum failures detected (at Open or on a read) since Open.
+  uint64_t corruptions_detected() const {
+    return store_.corruptions_detected();
+  }
+  /// Quarantined partitions whose every affected intermediate has been
+  /// re-materialized by re-running the model.
+  uint64_t partitions_healed() const {
+    return partitions_healed_.load(std::memory_order_relaxed);
+  }
+  /// Human-readable notes from the last Open: orphan temp files swept,
+  /// stray/truncated partition files skipped, torn WAL tails discarded,
+  /// stale WALs ignored.
+  const std::vector<std::string>& recovery_warnings() const {
+    return recovery_warnings_;
+  }
+
  private:
   struct DnnSource {
     Network* network = nullptr;
@@ -289,6 +311,35 @@ class Mistique {
   void RefChunk(ChunkId id) { chunk_refs_[id]++; }
   void RebuildChunkRefs();
 
+  /// Drains the store's quarantine queue and demotes every catalog column
+  /// referencing a chunk the store no longer has (materialized=false,
+  /// chunk lists cleared), appending durable WAL records. With `scan_all`
+  /// the catalog is checked even without pending events (Open-time
+  /// invariant repair). Requires rw_mutex_ exclusive.
+  Status HandleCorruptionsLocked(bool scan_all);
+
+  /// Seals open partitions, then WAL-logs the current catalog entry of one
+  /// intermediate (adaptive materialization / heal). Requires rw_mutex_
+  /// exclusive.
+  Status PersistIntermediateUpdate(ModelId model_id, size_t interm_index);
+
+  /// True while (model, interm) awaits re-materialization after a
+  /// corruption demotion. Requires rw_mutex_ (shared suffices).
+  bool IsHealPending(ModelId model_id, size_t interm_index) const;
+  /// Marks (model, interm) re-materialized; partitions with nothing left
+  /// pending count as healed. Requires rw_mutex_ exclusive.
+  void NoteIntermediateHealed(ModelId model_id, size_t interm_index);
+
+  /// dead_chunks_ = chunks in the store no catalog column references
+  /// (orphans from a crash between seal and WAL append, or from deletions
+  /// never vacuumed). Requires rw_mutex_ exclusive, after
+  /// RebuildChunkRefs.
+  void DeriveDeadChunksLocked();
+
+  /// Appends one n_query record; never fails the query (stat loss on
+  /// error is acceptable).
+  void LogNoteQuery(ModelId model_id, size_t interm_index);
+
   MistiqueOptions options_;
   MetadataDb metadata_;
   DataStore store_;
@@ -315,6 +366,18 @@ class Mistique {
   // columns and models); chunks at zero references await Vacuum().
   std::unordered_map<ChunkId, uint32_t> chunk_refs_;
   std::unordered_set<ChunkId> dead_chunks_;
+
+  // Catalog write-ahead log: mutations since the last snapshot, replayed
+  // by Open. Internally synchronized; rotation runs under rw_mutex_
+  // exclusive while appends run under either side.
+  WriteAheadLog wal_;
+  std::vector<std::string> recovery_warnings_;
+  std::atomic<uint64_t> partitions_healed_{0};
+  // Quarantined-but-unhealed partitions -> the (model, interm) entries
+  // demoted on their behalf. Guarded by rw_mutex_ exclusive (IsHealPending
+  // reads under at least shared).
+  std::unordered_map<PartitionId, std::set<std::pair<ModelId, size_t>>>
+      heal_pending_;
 
  public:
   uint64_t query_cache_hits() const {

@@ -1,0 +1,23 @@
+#ifndef MISTIQUE_DURABILITY_CRC32C_H_
+#define MISTIQUE_DURABILITY_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mistique {
+
+/// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+/// checksum used by iSCSI, ext4, and LevelDB/RocksDB block formats. The
+/// implementation is a portable slice-by-8 table walk (no SSE4.2
+/// dependency) processing 8 input bytes per iteration; tables are built
+/// once at first use.
+///
+/// `Crc32c(data, len)` returns the standard (xor-out 0xFFFFFFFF) value;
+/// `Crc32cExtend` chains over split buffers:
+///   Crc32c(ab) == Crc32cExtend(Crc32c(a), b, len_b).
+uint32_t Crc32c(const void* data, size_t len);
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t len);
+
+}  // namespace mistique
+
+#endif  // MISTIQUE_DURABILITY_CRC32C_H_

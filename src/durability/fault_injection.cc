@@ -1,0 +1,82 @@
+#include "durability/fault_injection.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace mistique {
+
+const std::vector<std::string>& FaultPointLabels() {
+  static const std::vector<std::string> kLabels = {
+      // DiskStore::WritePartition / catalog snapshot (durable_file.cc):
+      // after the temp file holds the full image, before it is fsynced.
+      "partition.tmp_written",
+      "catalog.tmp_written",
+      // After fsync of the temp file, before the atomic rename.
+      "partition.tmp_synced",
+      "catalog.tmp_synced",
+      // After the rename, before the parent directory fsync.
+      "partition.renamed",
+      "catalog.renamed",
+      // WriteAheadLog::Append: after the record bytes are written, before
+      // the (durable-record) fsync.
+      "wal.appended",
+      // Mistique::SaveCatalog: after the snapshot landed, before the WAL
+      // is rotated — the window where the WAL still holds the old epoch.
+      "wal.rotate",
+  };
+  return kLabels;
+}
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+FaultInjector::FaultInjector() {
+  const char* point = std::getenv("MISTIQUE_FAULT_POINT");
+  if (point == nullptr || point[0] == '\0') return;
+  FaultMode mode = FaultMode::kKill;
+  if (const char* m = std::getenv("MISTIQUE_FAULT_MODE")) {
+    if (std::strcmp(m, "error") == 0) mode = FaultMode::kError;
+  }
+  int nth = 1;
+  if (const char* n = std::getenv("MISTIQUE_FAULT_NTH")) {
+    nth = std::atoi(n);
+    if (nth < 1) nth = 1;
+  }
+  Arm(point, mode, nth);
+}
+
+void FaultInjector::Arm(const std::string& label, FaultMode mode,
+                        int countdown) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  label_ = label;
+  mode_ = mode;
+  countdown_ = countdown < 1 ? 1 : countdown;
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  label_.clear();
+  countdown_ = 0;
+  armed_.store(false, std::memory_order_release);
+}
+
+Status FaultInjector::Check(const char* label) {
+  if (!armed_.load(std::memory_order_relaxed)) return Status::OK();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!armed_.load(std::memory_order_relaxed) || label_ != label) {
+    return Status::OK();
+  }
+  if (--countdown_ > 0) return Status::OK();
+  armed_.store(false, std::memory_order_release);
+  if (mode_ == FaultMode::kKill) {
+    // _Exit: no atexit handlers, no stream flush, no destructors — the
+    // on-disk state is exactly what the syscalls so far produced.
+    std::_Exit(kKillExitCode);
+  }
+  return Status::IoError(std::string("injected fault at ") + label);
+}
+
+}  // namespace mistique

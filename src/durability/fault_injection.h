@@ -1,0 +1,74 @@
+#ifndef MISTIQUE_DURABILITY_FAULT_INJECTION_H_
+#define MISTIQUE_DURABILITY_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mistique {
+
+/// What happens when an armed fault point fires.
+enum class FaultMode : uint8_t {
+  kError = 0,  ///< The labeled operation returns IoError (unit tests).
+  kKill = 1,   ///< The process exits immediately (crash harness).
+};
+
+/// Every labeled point in the durable write path, in protocol order. The
+/// crash harness iterates this list, killing the process at each point and
+/// proving that reopening the store recovers. Keep in sync with the
+/// MISTIQUE_FAULT() call sites.
+const std::vector<std::string>& FaultPointLabels();
+
+/// A process-wide fault-point registry, pstress-style: the write path is
+/// instrumented with labeled points, and a test or the crash harness arms
+/// exactly one of them. Unarmed, a check is one relaxed atomic load.
+///
+/// Arming:
+///  - programmatic: `FaultInjector::Instance().Arm("partition.renamed",
+///    FaultMode::kError)` (unit tests);
+///  - environment (read once, at first Instance() use — the crash harness
+///    sets these before exec'ing the child):
+///      MISTIQUE_FAULT_POINT=<label>   which point fires
+///      MISTIQUE_FAULT_MODE=kill|error (default kill)
+///      MISTIQUE_FAULT_NTH=<n>         fire on the n-th hit (default 1)
+class FaultInjector {
+ public:
+  static FaultInjector& Instance();
+
+  /// Arms `label` to fire on its `countdown`-th hit.
+  void Arm(const std::string& label, FaultMode mode, int countdown = 1);
+  void Disarm();
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Called from instrumented code. Returns OK when unarmed or the label
+  /// does not match; otherwise decrements the countdown and, when it
+  /// reaches zero, either returns IoError (kError) or terminates the
+  /// process without running destructors or flushing buffers (kKill) —
+  /// the closest portable stand-in for a crash.
+  Status Check(const char* label);
+
+  /// Exit code used by kKill so the harness can tell an injected crash
+  /// from an ordinary failure.
+  static constexpr int kKillExitCode = 91;
+
+ private:
+  FaultInjector();
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mutex_;
+  std::string label_;
+  FaultMode mode_ = FaultMode::kError;
+  int countdown_ = 0;
+};
+
+}  // namespace mistique
+
+/// Instrumentation macro for Status-returning write paths.
+#define MISTIQUE_FAULT(label) \
+  MISTIQUE_RETURN_NOT_OK(::mistique::FaultInjector::Instance().Check(label))
+
+#endif  // MISTIQUE_DURABILITY_FAULT_INJECTION_H_

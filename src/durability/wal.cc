@@ -1,0 +1,218 @@
+#include "durability/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/bytes.h"
+#include "durability/crc32c.h"
+#include "durability/fault_injection.h"
+
+namespace mistique {
+
+namespace {
+
+constexpr uint32_t kWalMagic = 0x4C57514Du;  // "MQWL" little-endian.
+constexpr uint32_t kWalVersion = 1;
+constexpr size_t kWalHeaderSize = 4 + 4 + 8;
+constexpr size_t kRecordHeaderSize = 4 + 4;  // len + crc.
+
+Status ErrnoError(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " " + path + ": " + std::strerror(errno));
+}
+
+Status WriteAll(int fd, const uint8_t* data, size_t len,
+                const std::string& path) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("write to", path);
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+WriteAheadLog::~WriteAheadLog() { Close(); }
+
+void WriteAheadLog::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<WriteAheadLog::ReplayResult> WriteAheadLog::Read(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IoError("cannot open " + path);
+  const auto size = static_cast<size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<uint8_t> bytes(size);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(size));
+  if (static_cast<size_t>(in.gcount()) != size) {
+    return Status::IoError("short read from " + path);
+  }
+
+  if (size < kWalHeaderSize) {
+    return Status::Corruption("WAL shorter than its header: " + path);
+  }
+  ByteReader r(bytes);
+  uint32_t magic = 0, version = 0;
+  ReplayResult out;
+  MISTIQUE_RETURN_NOT_OK(r.GetU32(&magic));
+  MISTIQUE_RETURN_NOT_OK(r.GetU32(&version));
+  MISTIQUE_RETURN_NOT_OK(r.GetU64(&out.epoch));
+  if (magic != kWalMagic) {
+    return Status::Corruption("bad WAL magic in " + path);
+  }
+  if (version != kWalVersion) {
+    return Status::Corruption("unsupported WAL version in " + path);
+  }
+
+  out.valid_bytes = kWalHeaderSize;
+  while (r.remaining() > 0) {
+    if (r.remaining() < kRecordHeaderSize) {
+      out.truncated_tail = true;
+      break;
+    }
+    uint32_t len = 0, crc = 0;
+    MISTIQUE_RETURN_NOT_OK(r.GetU32(&len));
+    MISTIQUE_RETURN_NOT_OK(r.GetU32(&crc));
+    if (len < 1 || r.remaining() < len) {
+      out.truncated_tail = true;
+      break;
+    }
+    const uint8_t* body = bytes.data() + r.position();
+    if (Crc32c(body, len) != crc) {
+      out.truncated_tail = true;
+      break;
+    }
+    Record rec;
+    rec.type = body[0];
+    rec.payload.assign(body + 1, body + len);
+    // Advance past the verified body.
+    std::vector<uint8_t> skip(len);
+    MISTIQUE_RETURN_NOT_OK(r.GetRaw(skip.data(), len));
+    out.records.push_back(std::move(rec));
+    out.valid_bytes = r.position();
+  }
+  return out;
+}
+
+Status WriteAheadLog::Open(const std::string& path, uint64_t epoch_if_new,
+                           uint64_t truncate_to, bool sync) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  path_ = path;
+  sync_ = sync;
+
+  std::error_code ec;
+  const bool exists = std::filesystem::exists(path, ec) && !ec;
+  const uint64_t size = exists ? std::filesystem::file_size(path, ec) : 0;
+
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) return ErrnoError("cannot open WAL", path);
+
+  if (!exists || size < kWalHeaderSize) {
+    // Fresh log (or a headerless stub left by a crash): write the header.
+    epoch_ = epoch_if_new;
+    if (::ftruncate(fd_, 0) != 0) return ErrnoError("cannot truncate", path);
+    return WriteHeaderLocked();
+  }
+
+  // Adopt the existing log's epoch (NOT epoch_if_new): a stale log —
+  // snapshot written, crash before rotation — must keep reporting its old
+  // epoch so the caller notices the mismatch and rotates it.
+  uint8_t header[kWalHeaderSize];
+  const ssize_t got = ::pread(fd_, header, kWalHeaderSize, 0);
+  if (got != static_cast<ssize_t>(kWalHeaderSize)) {
+    return ErrnoError("cannot read WAL header of", path);
+  }
+  ByteReader r(header, kWalHeaderSize);
+  uint32_t magic = 0, version = 0;
+  MISTIQUE_RETURN_NOT_OK(r.GetU32(&magic));
+  MISTIQUE_RETURN_NOT_OK(r.GetU32(&version));
+  MISTIQUE_RETURN_NOT_OK(r.GetU64(&epoch_));
+  if (magic != kWalMagic || version != kWalVersion) {
+    // Unparseable header: start over.
+    epoch_ = epoch_if_new;
+    if (::ftruncate(fd_, 0) != 0) return ErrnoError("cannot truncate", path);
+    return WriteHeaderLocked();
+  }
+  const uint64_t keep =
+      truncate_to >= kWalHeaderSize && truncate_to <= size ? truncate_to
+                                                           : size;
+  if (keep < size) {
+    // Trim the torn tail so new records append after the last valid one.
+    if (::ftruncate(fd_, static_cast<off_t>(keep)) != 0) {
+      return ErrnoError("cannot trim WAL tail of", path);
+    }
+  }
+  if (::lseek(fd_, 0, SEEK_END) < 0) return ErrnoError("cannot seek", path);
+  return Status::OK();
+}
+
+Status WriteAheadLog::WriteHeaderLocked() {
+  ByteWriter w;
+  w.PutU32(kWalMagic);
+  w.PutU32(kWalVersion);
+  w.PutU64(epoch_);
+  MISTIQUE_RETURN_NOT_OK(
+      WriteAll(fd_, w.bytes().data(), w.size(), path_));
+  if (sync_ && ::fsync(fd_) != 0) return ErrnoError("cannot fsync", path_);
+  return Status::OK();
+}
+
+Status WriteAheadLog::Append(uint8_t type,
+                             const std::vector<uint8_t>& payload,
+                             bool durable) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return Status::Internal("WAL not open");
+  ByteWriter w;
+  const uint32_t len = static_cast<uint32_t>(payload.size() + 1);
+  w.PutU32(len);
+  // CRC over type + payload.
+  uint32_t crc = Crc32cExtend(0, &type, 1);
+  crc = Crc32cExtend(crc, payload.data(), payload.size());
+  w.PutU32(crc);
+  w.PutU8(type);
+  w.PutRaw(payload.data(), payload.size());
+  MISTIQUE_RETURN_NOT_OK(WriteAll(fd_, w.bytes().data(), w.size(), path_));
+  MISTIQUE_FAULT("wal.appended");
+  if (durable && sync_ && ::fsync(fd_) != 0) {
+    return ErrnoError("cannot fsync", path_);
+  }
+  return Status::OK();
+}
+
+Status WriteAheadLog::Rotate(uint64_t new_epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return Status::Internal("WAL not open");
+  if (::ftruncate(fd_, 0) != 0) return ErrnoError("cannot truncate", path_);
+  if (::lseek(fd_, 0, SEEK_SET) < 0) return ErrnoError("cannot seek", path_);
+  epoch_ = new_epoch;
+  return WriteHeaderLocked();
+}
+
+Status WriteAheadLog::Sync() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return Status::OK();
+  if (sync_ && ::fsync(fd_) != 0) return ErrnoError("cannot fsync", path_);
+  return Status::OK();
+}
+
+}  // namespace mistique

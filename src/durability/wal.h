@@ -1,0 +1,89 @@
+#ifndef MISTIQUE_DURABILITY_WAL_H_
+#define MISTIQUE_DURABILITY_WAL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mistique {
+
+/// A small append-only write-ahead log (docs/DURABILITY.md):
+///
+///   header:  [magic u32 = "MQWL"] [version u32] [epoch u64]
+///   records: [len u32] [crc32c u32] [type u8] [payload: len bytes] ...
+///
+/// The per-record CRC covers type + payload. Replay walks records until
+/// the end of file or the first record that is truncated or fails its CRC
+/// (a torn tail after a crash); everything before it is trusted, the tail
+/// is reported and discarded on the next append (the file is truncated to
+/// the last valid record before new records go in).
+///
+/// The `epoch` pairs the log with a catalog snapshot: a snapshot written
+/// at epoch E is followed by rotating the log to epoch E. A log whose
+/// epoch is older than the snapshot's is stale (the crash happened between
+/// snapshot rename and log rotation) and is ignored wholesale.
+///
+/// Appends are thread-safe. `durable` appends fsync; non-durable appends
+/// still reach the kernel via write(2) — they survive a process crash,
+/// only a machine crash can lose them (used for per-query statistics).
+class WriteAheadLog {
+ public:
+  struct Record {
+    uint8_t type = 0;
+    std::vector<uint8_t> payload;
+  };
+
+  struct ReplayResult {
+    uint64_t epoch = 0;
+    std::vector<Record> records;
+    bool truncated_tail = false;  ///< Stopped at a torn/corrupt record.
+    uint64_t valid_bytes = 0;     ///< Offset of the last valid record end.
+  };
+
+  WriteAheadLog() = default;
+  ~WriteAheadLog();
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Parses an existing log without opening it for writing. IoError if the
+  /// file does not exist; a corrupt header yields Corruption.
+  static Result<ReplayResult> Read(const std::string& path);
+
+  /// Opens `path` for appending, creating it (epoch `epoch_if_new`) if
+  /// missing or headerless. `truncate_to` trims a torn tail left by a
+  /// crash (pass ReplayResult::valid_bytes; ignored when the file is
+  /// fresh). `sync` gates the fsyncs of durable appends and rotation.
+  Status Open(const std::string& path, uint64_t epoch_if_new,
+              uint64_t truncate_to, bool sync);
+
+  /// Appends one record. `durable` records are fsynced before returning.
+  Status Append(uint8_t type, const std::vector<uint8_t>& payload,
+                bool durable);
+
+  /// Truncates the log and starts a new epoch (after a catalog snapshot).
+  Status Rotate(uint64_t new_epoch);
+
+  /// Flushes buffered (non-durable) appends to stable storage.
+  Status Sync();
+
+  void Close();
+  bool is_open() const { return fd_ >= 0; }
+  uint64_t epoch() const { return epoch_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  Status WriteHeaderLocked();
+
+  mutable std::mutex mutex_;
+  int fd_ = -1;
+  std::string path_;
+  uint64_t epoch_ = 0;
+  bool sync_ = true;
+};
+
+}  // namespace mistique
+
+#endif  // MISTIQUE_DURABILITY_WAL_H_

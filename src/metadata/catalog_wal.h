@@ -1,0 +1,57 @@
+#ifndef MISTIQUE_METADATA_CATALOG_WAL_H_
+#define MISTIQUE_METADATA_CATALOG_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "durability/wal.h"
+#include "metadata/metadata_db.h"
+
+namespace mistique {
+
+/// Record types of the catalog write-ahead log (docs/DURABILITY.md). The
+/// WAL captures catalog mutations made *after* the last snapshot so
+/// `Mistique::Open` can replay them onto it:
+///
+///   kNoteQuery           [u32 model_id][u32 interm_index]
+///                        one query against an intermediate (Eq. 5 n_query;
+///                        appended non-durably — hot path).
+///   kIntermediateUpdate  [u32 model_id][u32 interm_index][IntermediateInfo]
+///                        full replacement of one intermediate's entry:
+///                        adaptive materialization, corruption demotion,
+///                        heal (durable).
+///   kModelDelete         [string project][string name] (durable).
+///   kVacuumDone          empty marker: storage was compacted (durable).
+enum class CatalogWalRecordType : uint8_t {
+  kNoteQuery = 1,
+  kIntermediateUpdate = 2,
+  kModelDelete = 3,
+  kVacuumDone = 4,
+};
+
+std::vector<uint8_t> EncodeNoteQuery(ModelId model, uint32_t interm_index);
+std::vector<uint8_t> EncodeIntermediateUpdate(ModelId model,
+                                              uint32_t interm_index,
+                                              const IntermediateInfo& interm);
+std::vector<uint8_t> EncodeModelDelete(const std::string& project,
+                                       const std::string& name);
+
+struct CatalogWalReplayStats {
+  size_t applied = 0;
+  /// Records referencing models/intermediates the snapshot no longer has
+  /// (e.g. a model registered after the snapshot, then queried). Replay is
+  /// defensive: such records are skipped, never fatal.
+  size_t skipped = 0;
+};
+
+/// Applies replayed WAL records, in order, onto a catalog loaded from the
+/// paired snapshot. Only a structurally corrupt record payload (CRC-valid
+/// but undecodable — a software bug) is an error.
+Result<CatalogWalReplayStats> ApplyCatalogWal(
+    const std::vector<WriteAheadLog::Record>& records, MetadataDb* db);
+
+}  // namespace mistique
+
+#endif  // MISTIQUE_METADATA_CATALOG_WAL_H_

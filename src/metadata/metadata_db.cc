@@ -1,7 +1,8 @@
 #include "metadata/metadata_db.h"
 
 #include <algorithm>
-#include <fstream>
+
+#include "durability/durable_file.h"
 
 namespace mistique {
 
@@ -136,6 +137,83 @@ Status LoadDoubles(ByteReader* r, std::vector<double>* values) {
 
 }  // namespace
 
+void SaveIntermediateInfo(ByteWriter* w, const IntermediateInfo& interm) {
+  w->PutString(interm.name);
+  w->PutI64(interm.stage_index);
+  w->PutU64(interm.num_rows);
+  w->PutU64(interm.row_block_size);
+  w->PutI64(interm.channels);
+  w->PutI64(interm.height);
+  w->PutI64(interm.width);
+  w->PutI64(interm.pool_sigma);
+  w->PutU8(static_cast<uint8_t>(interm.scheme));
+  w->PutI64(interm.kbits);
+  w->PutF64(interm.threshold);
+  SaveDoubles(w, interm.recon.centers);
+  SaveDoubles(w, interm.edges);
+  w->PutF64(interm.cum_exec_sec_per_ex);
+  w->PutF64(interm.stored_bytes_per_ex);
+  w->PutU64(interm.n_query);
+  w->PutU64(interm.columns.size());
+  for (const ColumnInfo& col : interm.columns) {
+    w->PutString(col.name);
+    w->PutU8(col.materialized ? 1 : 0);
+    w->PutU64(col.encoded_bytes);
+    w->PutU64(col.stored_bytes);
+    w->PutU64(col.chunks.size());
+    w->PutRaw(col.chunks.data(), col.chunks.size() * sizeof(ChunkId));
+    SaveDoubles(w, col.chunk_min);
+    SaveDoubles(w, col.chunk_max);
+  }
+}
+
+Status LoadIntermediateInfo(ByteReader* r, IntermediateInfo* interm) {
+  int64_t i64 = 0;
+  uint8_t scheme = 0;
+  MISTIQUE_RETURN_NOT_OK(r->GetString(&interm->name));
+  MISTIQUE_RETURN_NOT_OK(r->GetI64(&i64));
+  interm->stage_index = static_cast<int>(i64);
+  MISTIQUE_RETURN_NOT_OK(r->GetU64(&interm->num_rows));
+  MISTIQUE_RETURN_NOT_OK(r->GetU64(&interm->row_block_size));
+  MISTIQUE_RETURN_NOT_OK(r->GetI64(&i64));
+  interm->channels = static_cast<int>(i64);
+  MISTIQUE_RETURN_NOT_OK(r->GetI64(&i64));
+  interm->height = static_cast<int>(i64);
+  MISTIQUE_RETURN_NOT_OK(r->GetI64(&i64));
+  interm->width = static_cast<int>(i64);
+  MISTIQUE_RETURN_NOT_OK(r->GetI64(&i64));
+  interm->pool_sigma = static_cast<int>(i64);
+  MISTIQUE_RETURN_NOT_OK(r->GetU8(&scheme));
+  interm->scheme = static_cast<QuantScheme>(scheme);
+  MISTIQUE_RETURN_NOT_OK(r->GetI64(&i64));
+  interm->kbits = static_cast<int>(i64);
+  MISTIQUE_RETURN_NOT_OK(r->GetF64(&interm->threshold));
+  MISTIQUE_RETURN_NOT_OK(LoadDoubles(r, &interm->recon.centers));
+  MISTIQUE_RETURN_NOT_OK(LoadDoubles(r, &interm->edges));
+  MISTIQUE_RETURN_NOT_OK(r->GetF64(&interm->cum_exec_sec_per_ex));
+  MISTIQUE_RETURN_NOT_OK(r->GetF64(&interm->stored_bytes_per_ex));
+  MISTIQUE_RETURN_NOT_OK(r->GetU64(&interm->n_query));
+  uint64_t num_cols = 0;
+  MISTIQUE_RETURN_NOT_OK(r->GetU64(&num_cols));
+  interm->columns.resize(num_cols);
+  for (ColumnInfo& col : interm->columns) {
+    uint8_t materialized = 0;
+    uint64_t num_chunks = 0;
+    MISTIQUE_RETURN_NOT_OK(r->GetString(&col.name));
+    MISTIQUE_RETURN_NOT_OK(r->GetU8(&materialized));
+    col.materialized = materialized != 0;
+    MISTIQUE_RETURN_NOT_OK(r->GetU64(&col.encoded_bytes));
+    MISTIQUE_RETURN_NOT_OK(r->GetU64(&col.stored_bytes));
+    MISTIQUE_RETURN_NOT_OK(r->GetU64(&num_chunks));
+    col.chunks.resize(num_chunks);
+    MISTIQUE_RETURN_NOT_OK(
+        r->GetRaw(col.chunks.data(), num_chunks * sizeof(ChunkId)));
+    MISTIQUE_RETURN_NOT_OK(LoadDoubles(r, &col.chunk_min));
+    MISTIQUE_RETURN_NOT_OK(LoadDoubles(r, &col.chunk_max));
+  }
+  return Status::OK();
+}
+
 void MetadataDb::Save(ByteWriter* w) const {
   w->PutU32(kCatalogMagic);
   w->PutU32(next_id_);
@@ -149,33 +227,7 @@ void MetadataDb::Save(ByteWriter* w) const {
     w->PutF64(model.model_load_sec);
     w->PutU32(static_cast<uint32_t>(model.intermediates.size()));
     for (const IntermediateInfo& interm : model.intermediates) {
-      w->PutString(interm.name);
-      w->PutI64(interm.stage_index);
-      w->PutU64(interm.num_rows);
-      w->PutU64(interm.row_block_size);
-      w->PutI64(interm.channels);
-      w->PutI64(interm.height);
-      w->PutI64(interm.width);
-      w->PutI64(interm.pool_sigma);
-      w->PutU8(static_cast<uint8_t>(interm.scheme));
-      w->PutI64(interm.kbits);
-      w->PutF64(interm.threshold);
-      SaveDoubles(w, interm.recon.centers);
-      SaveDoubles(w, interm.edges);
-      w->PutF64(interm.cum_exec_sec_per_ex);
-      w->PutF64(interm.stored_bytes_per_ex);
-      w->PutU64(interm.n_query);
-      w->PutU64(interm.columns.size());
-      for (const ColumnInfo& col : interm.columns) {
-        w->PutString(col.name);
-        w->PutU8(col.materialized ? 1 : 0);
-        w->PutU64(col.encoded_bytes);
-        w->PutU64(col.stored_bytes);
-        w->PutU64(col.chunks.size());
-        w->PutRaw(col.chunks.data(), col.chunks.size() * sizeof(ChunkId));
-        SaveDoubles(w, col.chunk_min);
-        SaveDoubles(w, col.chunk_max);
-      }
+      SaveIntermediateInfo(w, interm);
     }
   }
 }
@@ -204,49 +256,7 @@ Status MetadataDb::Load(ByteReader* r) {
     model.kind = static_cast<ModelKind>(kind);
     model.intermediates.resize(num_interms);
     for (IntermediateInfo& interm : model.intermediates) {
-      int64_t i64 = 0;
-      uint8_t scheme = 0;
-      MISTIQUE_RETURN_NOT_OK(r->GetString(&interm.name));
-      MISTIQUE_RETURN_NOT_OK(r->GetI64(&i64));
-      interm.stage_index = static_cast<int>(i64);
-      MISTIQUE_RETURN_NOT_OK(r->GetU64(&interm.num_rows));
-      MISTIQUE_RETURN_NOT_OK(r->GetU64(&interm.row_block_size));
-      MISTIQUE_RETURN_NOT_OK(r->GetI64(&i64));
-      interm.channels = static_cast<int>(i64);
-      MISTIQUE_RETURN_NOT_OK(r->GetI64(&i64));
-      interm.height = static_cast<int>(i64);
-      MISTIQUE_RETURN_NOT_OK(r->GetI64(&i64));
-      interm.width = static_cast<int>(i64);
-      MISTIQUE_RETURN_NOT_OK(r->GetI64(&i64));
-      interm.pool_sigma = static_cast<int>(i64);
-      MISTIQUE_RETURN_NOT_OK(r->GetU8(&scheme));
-      interm.scheme = static_cast<QuantScheme>(scheme);
-      MISTIQUE_RETURN_NOT_OK(r->GetI64(&i64));
-      interm.kbits = static_cast<int>(i64);
-      MISTIQUE_RETURN_NOT_OK(r->GetF64(&interm.threshold));
-      MISTIQUE_RETURN_NOT_OK(LoadDoubles(r, &interm.recon.centers));
-      MISTIQUE_RETURN_NOT_OK(LoadDoubles(r, &interm.edges));
-      MISTIQUE_RETURN_NOT_OK(r->GetF64(&interm.cum_exec_sec_per_ex));
-      MISTIQUE_RETURN_NOT_OK(r->GetF64(&interm.stored_bytes_per_ex));
-      MISTIQUE_RETURN_NOT_OK(r->GetU64(&interm.n_query));
-      uint64_t num_cols = 0;
-      MISTIQUE_RETURN_NOT_OK(r->GetU64(&num_cols));
-      interm.columns.resize(num_cols);
-      for (ColumnInfo& col : interm.columns) {
-        uint8_t materialized = 0;
-        uint64_t num_chunks = 0;
-        MISTIQUE_RETURN_NOT_OK(r->GetString(&col.name));
-        MISTIQUE_RETURN_NOT_OK(r->GetU8(&materialized));
-        col.materialized = materialized != 0;
-        MISTIQUE_RETURN_NOT_OK(r->GetU64(&col.encoded_bytes));
-        MISTIQUE_RETURN_NOT_OK(r->GetU64(&col.stored_bytes));
-        MISTIQUE_RETURN_NOT_OK(r->GetU64(&num_chunks));
-        col.chunks.resize(num_chunks);
-        MISTIQUE_RETURN_NOT_OK(
-            r->GetRaw(col.chunks.data(), num_chunks * sizeof(ChunkId)));
-        MISTIQUE_RETURN_NOT_OK(LoadDoubles(r, &col.chunk_min));
-        MISTIQUE_RETURN_NOT_OK(LoadDoubles(r, &col.chunk_max));
-      }
+      MISTIQUE_RETURN_NOT_OK(LoadIntermediateInfo(r, &interm));
     }
     const std::string full = model.project + "." + model.name;
     by_name_[full] = model.id;
@@ -255,30 +265,21 @@ Status MetadataDb::Load(ByteReader* r) {
   return Status::OK();
 }
 
-Status MetadataDb::SaveToFile(const std::string& path) const {
+Status MetadataDb::SaveToFile(const std::string& path, uint64_t epoch,
+                              bool sync) const {
   ByteWriter w;
+  w.PutU64(epoch);
   Save(&w);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open " + path + " for write");
-  out.write(reinterpret_cast<const char*>(w.bytes().data()),
-            static_cast<std::streamsize>(w.size()));
-  out.flush();
-  if (!out) return Status::IoError("short write to " + path);
-  return Status::OK();
+  return WriteEnvelopeFileAtomic(path, w.bytes(), sync, "catalog");
 }
 
-Status MetadataDb::LoadFromFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) return Status::IoError("cannot open " + path);
-  const auto size = static_cast<size_t>(in.tellg());
-  in.seekg(0);
-  std::vector<uint8_t> bytes(size);
-  in.read(reinterpret_cast<char*>(bytes.data()),
-          static_cast<std::streamsize>(size));
-  if (static_cast<size_t>(in.gcount()) != size) {
-    return Status::IoError("short read from " + path);
-  }
+Status MetadataDb::LoadFromFile(const std::string& path, uint64_t* epoch) {
+  MISTIQUE_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                            ReadEnvelopeFile(path));
   ByteReader reader(bytes);
+  uint64_t stored_epoch = 0;
+  MISTIQUE_RETURN_NOT_OK(reader.GetU64(&stored_epoch));
+  if (epoch != nullptr) *epoch = stored_epoch;
   return Load(&reader);
 }
 

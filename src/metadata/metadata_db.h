@@ -114,6 +114,12 @@ struct ColumnKey {
 /// all columns. Returns InvalidArgument on malformed keys.
 Result<ColumnKey> ParseColumnKey(const std::string& key);
 
+/// Serializes / parses one intermediate's full catalog entry (columns,
+/// chunk lists, zone maps, quantization tables, stats). Shared between the
+/// whole-catalog snapshot and the catalog WAL's IntermediateUpdate records.
+void SaveIntermediateInfo(ByteWriter* w, const IntermediateInfo& interm);
+Status LoadIntermediateInfo(ByteReader* r, IntermediateInfo* interm);
+
 /// The central repository tying MISTIQUE's components together (Fig. 3):
 /// which models exist, which intermediates/columns they produced, where
 /// each column's chunks live, and the statistics the cost model needs.
@@ -163,9 +169,13 @@ class MetadataDb {
   void Save(ByteWriter* writer) const;
   Status Load(ByteReader* reader);
 
-  /// Convenience file wrappers.
-  Status SaveToFile(const std::string& path) const;
-  Status LoadFromFile(const std::string& path);
+  /// Convenience file wrappers. The snapshot is a checksummed envelope
+  /// written atomically (write-temp + fsync + rename); `epoch` pairs the
+  /// snapshot with the catalog WAL (docs/DURABILITY.md). LoadFromFile
+  /// returns kDataLoss when the stored checksum does not match.
+  Status SaveToFile(const std::string& path, uint64_t epoch = 0,
+                    bool sync = true) const;
+  Status LoadFromFile(const std::string& path, uint64_t* epoch = nullptr);
 
  private:
   std::unordered_map<ModelId, ModelInfo> models_;

@@ -260,6 +260,8 @@ ServiceStats QueryService::Stats() const {
   const uint64_t read_now = engine_->store().disk_read_bytes();
   stats.bytes_read =
       read_now >= bytes_read_at_start_ ? read_now - bytes_read_at_start_ : 0;
+  stats.corruptions_detected = engine_->corruptions_detected();
+  stats.partitions_healed = engine_->partitions_healed();
   {
     std::lock_guard<std::mutex> lock(sessions_mutex_);
     stats.open_sessions = sessions_.size();

@@ -58,6 +58,10 @@ struct ServiceStats {
   uint64_t cache_lookups = 0;   ///< Per-session result-cache probes.
   uint64_t bytes_read = 0;  ///< Compressed bytes the engine read from disk
                             ///< since the service started.
+  uint64_t corruptions_detected = 0;  ///< Checksum failures the engine hit
+                                      ///< (partitions quarantined).
+  uint64_t partitions_healed = 0;     ///< Quarantined partitions fully
+                                      ///< re-materialized via rerun.
   double p50_latency_sec = 0;  ///< Median submit-to-finish latency.
   double p95_latency_sec = 0;
   size_t open_sessions = 0;

@@ -12,7 +12,7 @@ Status DataStore::Open(const DataStoreOptions& options) {
     std::lock_guard<std::mutex> pool_lock(pool_mutex_);
     memory_ = InMemoryStore(options.memory_budget_bytes);
   }
-  return disk_.Open(options.directory);
+  return disk_.Open(options.directory, options.sync_writes);
 }
 
 Status DataStore::RecoverIndex() {
@@ -23,10 +23,20 @@ Status DataStore::RecoverIndex() {
   // Reading a partition file's header+directory is cheap (the payload
   // blob is skipped by ReadChunkIds).
   for (PartitionId pid : disk_.ListPartitions()) {
-    MISTIQUE_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
-                              disk_.ReadPartition(pid));
+    Result<std::vector<uint8_t>> bytes = disk_.ReadPartition(pid);
+    if (!bytes.ok()) {
+      if (bytes.status().code() == StatusCode::kDataLoss) {
+        // Bit rot found at open: quarantine the file and keep going; the
+        // engine demotes the affected columns and heals them by rerun.
+        // The id stays burned so a healed partition gets a fresh file.
+        QuarantineLocked(pid);
+        max_partition = std::max(max_partition, pid);
+        continue;
+      }
+      return bytes.status();
+    }
     MISTIQUE_ASSIGN_OR_RETURN(std::vector<ChunkId> ids,
-                              Partition::ReadChunkIds(bytes));
+                              Partition::ReadChunkIds(*bytes));
     for (ChunkId id : ids) {
       chunk_partition_[id] = pid;
       max_chunk = std::max(max_chunk, id);
@@ -136,6 +146,13 @@ Result<std::shared_ptr<const Partition>> DataStore::LoadPartition(
     }();
     std::shared_ptr<const Partition> shared;
     Status status = bytes.status();
+    if (status.code() == StatusCode::kDataLoss) {
+      // Checksum mismatch: move the file aside and forget its chunks so
+      // no later read trips over it. Waiters see kDataLoss; the engine's
+      // exclusive pass drains the event and re-runs the model.
+      std::unique_lock<std::shared_mutex> lock(mutex_);
+      QuarantineLocked(pid);
+    }
     if (bytes.ok()) {
       disk_read_bytes_.fetch_add(bytes->size(), std::memory_order_relaxed);
       Result<Partition> p = Partition::Deserialize(*bytes);
@@ -255,6 +272,42 @@ Status DataStore::RewritePartition(PartitionId id,
   MISTIQUE_ASSIGN_OR_RETURN(std::vector<uint8_t> out,
                             rewritten.Serialize(*codec));
   return disk_.WritePartition(id, out);
+}
+
+void DataStore::QuarantineLocked(PartitionId pid) {
+  // Best effort on the rename: even if it fails the index forgets the
+  // partition, so its bytes are never served again this session.
+  (void)disk_.QuarantinePartition(pid);
+  CorruptionEvent ev;
+  ev.partition = pid;
+  for (auto it = chunk_partition_.begin(); it != chunk_partition_.end();) {
+    if (it->second == pid) {
+      ev.chunks.push_back(it->first);
+      it = chunk_partition_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  corruption_events_.push_back(std::move(ev));
+  corruptions_detected_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<CorruptionEvent> DataStore::TakeCorruptionEvents() {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  std::vector<CorruptionEvent> out;
+  out.swap(corruption_events_);
+  return out;
+}
+
+std::vector<ChunkId> DataStore::ListChunks() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::vector<ChunkId> out;
+  out.reserve(chunk_partition_.size());
+  for (const auto& [id, pid] : chunk_partition_) {
+    (void)pid;
+    out.push_back(id);
+  }
+  return out;
 }
 
 uint64_t DataStore::open_bytes() const {

@@ -31,6 +31,18 @@ struct DataStoreOptions {
   size_t partition_target_bytes = 1ull << 22;
   /// Codec applied to sealed partitions.
   CodecType codec = CodecType::kLzss;
+  /// fsync partition files and catalog snapshots (write-temp + fsync +
+  /// atomic rename). Leave on; benches may disable it to isolate I/O cost.
+  bool sync_writes = true;
+};
+
+/// One quarantined partition: its id and the chunk ids it held at the
+/// moment the checksum failure was detected (empty when the corruption was
+/// found at Open time, before the chunk index existed). The engine drains
+/// these under its exclusive lock to demote affected catalog columns.
+struct CorruptionEvent {
+  PartitionId partition = 0;
+  std::vector<ChunkId> chunks;
 };
 
 /// A borrowed chunk plus the shared ownership that keeps it alive.
@@ -144,6 +156,23 @@ class DataStore {
   uint64_t single_flight_waits() const {
     return single_flight_waits_.load(std::memory_order_relaxed);
   }
+  /// Checksum failures detected (at Open or on a read) since Open.
+  uint64_t corruptions_detected() const {
+    return corruptions_detected_.load(std::memory_order_relaxed);
+  }
+
+  /// Drains the queue of quarantined partitions. The engine calls this
+  /// under its exclusive lock to demote the affected catalog columns.
+  std::vector<CorruptionEvent> TakeCorruptionEvents();
+
+  /// Every chunk id currently known to the index (open + sealed).
+  std::vector<ChunkId> ListChunks() const;
+
+  /// Warnings from the last Open (orphan temp files swept, stray or
+  /// truncated partition files skipped).
+  const std::vector<std::string>& open_warnings() const {
+    return disk_.open_warnings();
+  }
 
   const InMemoryStore& memory() const { return memory_; }
   const DiskStore& disk() const { return disk_; }
@@ -167,6 +196,11 @@ class DataStore {
   /// or disk (single-flight).
   Result<std::shared_ptr<const Partition>> LoadPartition(PartitionId pid);
 
+  /// Quarantines a partition whose checksum failed: moves its file aside,
+  /// drops its chunks from the index, and records a CorruptionEvent.
+  /// Requires `mutex_` held exclusively.
+  void QuarantineLocked(PartitionId pid);
+
   DataStoreOptions options_;
   InMemoryStore memory_;
   DiskStore disk_;
@@ -178,6 +212,8 @@ class DataStore {
   std::atomic<uint64_t> logical_bytes_{0};
   std::atomic<uint64_t> disk_read_bytes_{0};
   std::atomic<uint64_t> single_flight_waits_{0};
+  std::atomic<uint64_t> corruptions_detected_{0};
+  std::vector<CorruptionEvent> corruption_events_;  // Guarded by mutex_.
 
   /// Lock order: mutex_ before pool_mutex_; loads_mutex_ is a leaf and is
   /// never held while acquiring either of the others.

@@ -1,42 +1,84 @@
 #include "storage/disk_store.h"
 
-#include <cstdio>
 #include <algorithm>
 #include <filesystem>
-#include <fstream>
+
+#include "durability/durable_file.h"
 
 namespace mistique {
 
 namespace fs = std::filesystem;
 
-Status DiskStore::Open(const std::string& directory) {
+Status DiskStore::Open(const std::string& directory, bool sync,
+                       std::vector<std::string>* warnings) {
   std::error_code ec;
   fs::create_directories(directory, ec);
   if (ec) {
     return Status::IoError("cannot create " + directory + ": " + ec.message());
   }
   directory_ = directory;
+  sync_ = sync;
   sizes_.clear();
   total_bytes_ = 0;
+  open_warnings_.clear();
+
   for (const auto& entry : fs::directory_iterator(directory, ec)) {
     if (!entry.is_regular_file()) continue;
     const std::string name = entry.path().filename().string();
-    // Partition files are named part-<id>.mq.
-    if (name.rfind("part-", 0) != 0) continue;
-    const size_t dot = name.find('.', 5);
-    if (dot == std::string::npos) continue;
-    PartitionId id = 0;
-    try {
-      id = static_cast<PartitionId>(std::stoul(name.substr(5, dot - 5)));
-    } catch (...) {
+
+    // Sweep temp files left by atomic writes a crash interrupted. The
+    // renamed destination (if the rename happened) is complete; the temp
+    // is garbage either way.
+    if (name.ends_with(kTempSuffix)) {
+      std::error_code rm_ec;
+      fs::remove(entry.path(), rm_ec);
+      open_warnings_.push_back("removed orphan temp file " + name +
+                               (rm_ec ? " (failed: " + rm_ec.message() + ")"
+                                      : ""));
       continue;
     }
-    const uint64_t size = entry.file_size();
-    sizes_[id] = size;
-    total_bytes_ += size;
+
+    // Partition files are named part-<id>.mq; everything else in the
+    // directory (catalog, WAL, quarantined files) is not ours to index.
+    if (name.rfind("part-", 0) != 0) continue;
+    const size_t dot = name.find('.', 5);
+    if (dot == std::string::npos || name.substr(dot) != ".mq") {
+      if (name.find(kQuarantineSuffix) == std::string::npos) {
+        open_warnings_.push_back("skipped stray file " + name);
+      }
+      continue;
+    }
+    PartitionId id = 0;
+    try {
+      size_t parsed = 0;
+      const std::string digits = name.substr(5, dot - 5);
+      id = static_cast<PartitionId>(std::stoul(digits, &parsed));
+      if (parsed != digits.size() || digits.empty()) {
+        open_warnings_.push_back("skipped stray file " + name);
+        continue;
+      }
+    } catch (...) {
+      open_warnings_.push_back("skipped stray file " + name);
+      continue;
+    }
+
+    // Structural validation without reading the payload: zero-length and
+    // truncated files are skipped so a later read cannot trip over them.
+    Result<uint64_t> payload = ProbeEnvelopeFile(entry.path().string());
+    if (!payload.ok()) {
+      open_warnings_.push_back("skipped unreadable partition file " + name +
+                               ": " + payload.status().ToString());
+      continue;
+    }
+    sizes_[id] = *payload;
+    total_bytes_ += *payload;
   }
   if (ec) {
     return Status::IoError("cannot scan " + directory + ": " + ec.message());
+  }
+  if (warnings != nullptr) {
+    warnings->insert(warnings->end(), open_warnings_.begin(),
+                     open_warnings_.end());
   }
   return Status::OK();
 }
@@ -48,13 +90,8 @@ std::string DiskStore::PathFor(PartitionId id) const {
 Status DiskStore::WritePartition(PartitionId id,
                                  const std::vector<uint8_t>& bytes) {
   if (directory_.empty()) return Status::Internal("disk store not opened");
-  const std::string path = PathFor(id);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open " + path + " for write");
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  out.flush();
-  if (!out) return Status::IoError("short write to " + path);
+  MISTIQUE_RETURN_NOT_OK(
+      WriteEnvelopeFileAtomic(PathFor(id), bytes, sync_, "partition"));
 
   auto it = sizes_.find(id);
   if (it != sizes_.end()) total_bytes_ -= it->second;
@@ -69,16 +106,7 @@ Result<std::vector<uint8_t>> DiskStore::ReadPartition(PartitionId id) const {
     return Status::NotFound("partition " + std::to_string(id) +
                             " not on disk");
   }
-  const std::string path = PathFor(id);
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open " + path);
-  std::vector<uint8_t> bytes(it->second);
-  in.read(reinterpret_cast<char*>(bytes.data()),
-          static_cast<std::streamsize>(bytes.size()));
-  if (static_cast<uint64_t>(in.gcount()) != it->second) {
-    return Status::IoError("short read from " + path);
-  }
-  return bytes;
+  return ReadEnvelopeFile(PathFor(id));
 }
 
 Result<uint64_t> DiskStore::PartitionSize(PartitionId id) const {
@@ -108,6 +136,26 @@ Status DiskStore::DeletePartition(PartitionId id) {
   fs::remove(PathFor(id), ec);
   if (ec) {
     return Status::IoError("cannot remove partition file: " + ec.message());
+  }
+  total_bytes_ -= it->second;
+  sizes_.erase(it);
+  return Status::OK();
+}
+
+Status DiskStore::QuarantinePartition(PartitionId id) {
+  auto it = sizes_.find(id);
+  if (it == sizes_.end()) return Status::OK();
+  const std::string path = PathFor(id);
+  std::error_code ec;
+  fs::rename(path, path + kQuarantineSuffix, ec);
+  if (ec) {
+    // Last resort: a quarantined file must never be served again.
+    std::error_code rm_ec;
+    fs::remove(path, rm_ec);
+    if (rm_ec) {
+      return Status::IoError("cannot quarantine partition " +
+                             std::to_string(id) + ": " + ec.message());
+    }
   }
   total_bytes_ -= it->second;
   sizes_.erase(it);

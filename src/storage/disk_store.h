@@ -15,20 +15,35 @@ namespace mistique {
 /// directory, plus an in-memory index of compressed sizes. Read/write paths
 /// report byte counts so the cost model can calibrate ρ_d (effective read
 /// bandwidth including decompression).
+///
+/// Durability (docs/DURABILITY.md): every partition file is a checksummed
+/// envelope (CRC32C over the serialized partition), written with
+/// write-temp + fsync + atomic-rename + directory-fsync so a crash never
+/// leaves a torn file under a partition's name. Reads verify the checksum
+/// and return kDataLoss on mismatch; the caller (DataStore) quarantines
+/// the file and the engine heals it by re-running the model.
 class DiskStore {
  public:
   DiskStore() = default;
   DiskStore(const DiskStore&) = delete;
   DiskStore& operator=(const DiskStore&) = delete;
 
-  /// Opens (creating if needed) the storage directory and indexes any
-  /// partition files already present.
-  Status Open(const std::string& directory);
+  /// Opens (creating if needed) the storage directory and indexes the
+  /// partition files already present. Crash recovery and hardening:
+  ///  - leftover `*.tmp` files from interrupted atomic writes are removed;
+  ///  - zero-length, truncated, or otherwise malformed `part-*.mq` files
+  ///    are skipped (not indexed, not deleted);
+  /// both are reported in `warnings` (one human-readable line each) when
+  /// it is non-null. `sync` gates all fsyncs on later writes.
+  Status Open(const std::string& directory, bool sync = true,
+              std::vector<std::string>* warnings = nullptr);
 
-  /// Writes serialized partition bytes; overwrites any previous version.
+  /// Atomically replaces a partition's file with a checksummed envelope
+  /// holding `bytes`. No temp file survives any error path.
   Status WritePartition(PartitionId id, const std::vector<uint8_t>& bytes);
 
-  /// Reads a partition's serialized bytes; NotFound if never written.
+  /// Reads and verifies a partition's serialized bytes. NotFound if never
+  /// written, kDataLoss if the stored checksum does not match.
   Result<std::vector<uint8_t>> ReadPartition(PartitionId id) const;
 
   bool Contains(PartitionId id) const {
@@ -46,8 +61,19 @@ class DiskStore {
   size_t num_partitions() const { return sizes_.size(); }
   const std::string& directory() const { return directory_; }
 
+  /// Warnings collected by the last Open (also available when the caller
+  /// passed no warning sink).
+  const std::vector<std::string>& open_warnings() const {
+    return open_warnings_;
+  }
+
   /// Deletes one partition's file; no-op (OK) if absent.
   Status DeletePartition(PartitionId id);
+
+  /// Moves a corrupt partition file aside (part-<id>.mq.corrupt) and
+  /// forgets it, preserving the bytes for post-mortem while guaranteeing
+  /// the store never serves them again. No-op (OK) if absent.
+  Status QuarantinePartition(PartitionId id);
 
   /// Deletes every partition file and resets the index.
   Status Clear();
@@ -56,8 +82,10 @@ class DiskStore {
   std::string PathFor(PartitionId id) const;
 
   std::string directory_;
-  std::unordered_map<PartitionId, uint64_t> sizes_;
+  bool sync_ = true;
+  std::unordered_map<PartitionId, uint64_t> sizes_;  // Payload bytes.
   uint64_t total_bytes_ = 0;
+  std::vector<std::string> open_warnings_;
 };
 
 }  // namespace mistique

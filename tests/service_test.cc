@@ -328,14 +328,20 @@ TEST(ServiceAdaptiveTest, ReadWhileMaterializeIsSafe) {
   EXPECT_EQ(stats.failed, 0u);
   EXPECT_EQ(stats.rejected, 0u);
 
-  // The races materialized the touched layers; later fetches read.
+  // The races materialized the touched layers; the read path serves them.
+  // force_read pins the decision (on fast machines the measured re-run
+  // cost can legitimately undercut the modeled read cost) and errors if
+  // the races failed to materialize layer1.
   FetchRequest req;
   req.project = "cifar";
   req.model = "cnn";
   req.intermediate = "layer1";
   req.n_ex = 48;
+  req.force_read = true;
   ASSERT_OK_AND_ASSIGN(FetchResult read_back, mq.Fetch(req));
   EXPECT_TRUE(read_back.used_read);
+  ASSERT_FALSE(read_back.columns.empty());
+  EXPECT_EQ(read_back.columns[0].size(), 48u);
 }
 
 /// Raw DataStore: concurrent readers that miss on the same sealed
