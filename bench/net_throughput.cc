@@ -1,0 +1,198 @@
+// net_throughput — loopback QPS and latency of the TCP serving layer.
+//
+// Stands up a QueryService + net::Server on an ephemeral loopback port
+// over a Zillow trad store, then drives it with N client threads (each
+// its own net::Client, i.e. its own connection and server-side session)
+// issuing M fetches over the pipeline's intermediates. Reports p50/p99
+// request latency and aggregate QPS, plus a raw ping round that measures
+// the wire floor (frame encode + CRC + poll loop round-trip, no query).
+// Comparing against service_throughput isolates the serving-layer tax:
+// the in-process bench shares this exact query path minus the socket.
+//
+// Knobs: MQ_CLIENTS (default 4), MQ_REQUESTS (200 per client),
+// MQ_WORKERS (4). `--json` emits one machine-readable line for CI.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/mistique.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "pipeline/templates.h"
+#include "pipeline/zillow.h"
+#include "service/query_service.h"
+
+using namespace mistique;         // NOLINT: bench brevity.
+using namespace mistique::bench;  // NOLINT
+
+namespace {
+
+double Percentile(std::vector<double>* sorted_in_place, double p) {
+  if (sorted_in_place->empty()) return 0;
+  std::sort(sorted_in_place->begin(), sorted_in_place->end());
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(sorted_in_place->size() - 1));
+  return (*sorted_in_place)[idx];
+}
+
+struct LoadResult {
+  double elapsed_sec = 0;
+  double qps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  uint64_t errors = 0;
+};
+
+/// N threads x M calls of `op` against fresh clients; latencies pooled.
+LoadResult RunLoad(const net::ClientOptions& options, size_t clients,
+                   size_t requests,
+                   const std::function<Status(net::Client*, size_t)>& op) {
+  std::mutex merge_mutex;
+  std::vector<double> latencies;
+  std::atomic<uint64_t> errors{0};
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      net::Client client(options);
+      std::vector<double> mine;
+      mine.reserve(requests);
+      for (size_t q = 0; q < requests; ++q) {
+        const auto t0 = std::chrono::steady_clock::now();
+        if (!op(&client, c * requests + q).ok()) {
+          errors++;
+          continue;
+        }
+        mine.push_back(std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count());
+      }
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      latencies.insert(latencies.end(), mine.begin(), mine.end());
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  LoadResult out;
+  out.elapsed_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  out.qps = static_cast<double>(clients * requests) / out.elapsed_sec;
+  out.p50_ms = Percentile(&latencies, 0.50) * 1e3;
+  out.p99_ms = Percentile(&latencies, 0.99) * 1e3;
+  out.errors = errors.load();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+  const size_t clients = static_cast<size_t>(EnvInt("MQ_CLIENTS", 4));
+  const size_t requests = static_cast<size_t>(EnvInt("MQ_REQUESTS", 200));
+  const size_t workers = static_cast<size_t>(EnvInt("MQ_WORKERS", 4));
+
+  // A small trad store: enough distinct intermediates that fetches are
+  // not one hot key, small enough to build in seconds.
+  BenchDir dir("net_throughput");
+  ZillowConfig config;
+  config.num_properties = 400;
+  config.num_train = 300;
+  config.num_test = 100;
+  CheckOk(WriteZillowCsvs(GenerateZillow(config), dir.path()), "csvs");
+
+  MistiqueOptions options;
+  options.store.directory = dir.path() + "/store";
+  options.strategy = StorageStrategy::kDedup;
+  options.row_block_size = 64;
+  Mistique mq;
+  CheckOk(mq.Open(options), "open");
+  auto pipeline = CheckOk(BuildZillowPipeline(1, 0, dir.path()), "pipeline");
+  const ModelId id = CheckOk(mq.LogPipeline(pipeline.get(), "zillow"), "log");
+  CheckOk(mq.Flush(), "flush");
+
+  const ModelInfo* model = CheckOk(mq.metadata().GetModel(id), "model");
+  std::vector<FetchRequest> fetches;
+  for (const IntermediateInfo& interm : model->intermediates) {
+    FetchRequest req;
+    req.project = model->project;
+    req.model = model->name;
+    req.intermediate = interm.name;
+    req.n_ex = 64;
+    fetches.push_back(std::move(req));
+  }
+
+  QueryServiceOptions service_options;
+  service_options.num_workers = workers;
+  service_options.max_queue = 0;  // Throughput, not admission policy.
+  QueryService service(&mq, service_options);
+
+  net::Server server(&service);  // Loopback, ephemeral port.
+  CheckOk(server.Start(), "server start");
+
+  net::ClientOptions client_options;
+  client_options.port = server.port();
+
+  if (!json) {
+    std::printf("# net_throughput: %zu clients x %zu requests, %zu workers, "
+                "%zu distinct intermediates, 127.0.0.1:%u\n",
+                clients, requests, workers, fetches.size(),
+                static_cast<unsigned>(server.port()));
+  }
+
+  // Warm the buffer pool and the session caches' underlying pages.
+  RunLoad(client_options, 2, 50, [&](net::Client* c, size_t i) {
+    return c->Fetch(fetches[i % fetches.size()]).status();
+  });
+
+  const LoadResult ping =
+      RunLoad(client_options, clients, requests,
+              [](net::Client* c, size_t) { return c->Ping(); });
+  const LoadResult fetch =
+      RunLoad(client_options, clients, requests, [&](net::Client* c, size_t i) {
+        return c->Fetch(fetches[i % fetches.size()]).status();
+      });
+  if (ping.errors != 0 || fetch.errors != 0) {
+    std::fprintf(stderr, "FATAL: %llu ping / %llu fetch errors\n",
+                 static_cast<unsigned long long>(ping.errors),
+                 static_cast<unsigned long long>(fetch.errors));
+    std::abort();
+  }
+
+  const ServiceStats stats = service.Stats();
+  server.Stop();
+
+  if (json) {
+    std::printf(
+        "{\"clients\": %zu, \"requests_per_client\": %zu, \"workers\": %zu, "
+        "\"ping_qps\": %.0f, \"ping_p50_ms\": %.3f, \"ping_p99_ms\": %.3f, "
+        "\"fetch_qps\": %.0f, \"fetch_p50_ms\": %.3f, \"fetch_p99_ms\": %.3f, "
+        "\"cache_hits\": %llu, \"cache_lookups\": %llu}\n",
+        clients, requests, workers, ping.qps, ping.p50_ms, ping.p99_ms,
+        fetch.qps, fetch.p50_ms, fetch.p99_ms,
+        static_cast<unsigned long long>(stats.cache_hits),
+        static_cast<unsigned long long>(stats.cache_lookups));
+    return 0;
+  }
+
+  std::printf("%8s %10s %10s %10s\n", "round", "qps", "p50_ms", "p99_ms");
+  std::printf("%8s %10.0f %10.3f %10.3f\n", "ping", ping.qps, ping.p50_ms,
+              ping.p99_ms);
+  std::printf("%8s %10.0f %10.3f %10.3f\n", "fetch", fetch.qps, fetch.p50_ms,
+              fetch.p99_ms);
+  std::printf("service: %llu/%llu session-cache hits, p50 %.2fms engine "
+              "latency\n",
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.cache_lookups),
+              stats.p50_latency_sec * 1e3);
+  return 0;
+}

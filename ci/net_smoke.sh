@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Network smoke test: seed a store, serve it over TCP, run a scripted
+# remote session (ping / fetch / concurrent clients / stats), verify the
+# remote fetch prints byte-identical output to the in-process path, then
+# SIGTERM the server and assert a clean drain (exit 0 + drain summary).
+#
+# Usage: ci/net_smoke.sh [build_dir]   (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+CLI="$BUILD_DIR/examples/mistique_cli"
+PORT="${NET_SMOKE_PORT:-7433}"
+KEY="zillow.P1_v0.train_merged.logerror"
+STORE=/tmp/mistique_quickstart/store
+
+WORK=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+  [[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== seed store =="
+"$BUILD_DIR/examples/quickstart" > /dev/null
+
+# In-process fetch BEFORE the server owns the store: the reference bytes
+# the remote path must reproduce.
+"$CLI" "$STORE" fetch "$KEY" 25 2>/dev/null > "$WORK/local.csv"
+
+echo "== start server on :$PORT =="
+"$CLI" "$STORE" serve "$PORT" 4 > "$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "serving" "$WORK/server.log" && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$WORK/server.log"; exit 1; }
+  sleep 0.1
+done
+grep -q "serving" "$WORK/server.log" || {
+  echo "server failed to start"; cat "$WORK/server.log"; exit 1; }
+
+echo "== ping =="
+"$CLI" remote "127.0.0.1:$PORT" ping
+
+echo "== remote fetch is byte-identical to the in-process path =="
+"$CLI" remote "127.0.0.1:$PORT" fetch "$KEY" 25 2>/dev/null > "$WORK/remote.csv"
+diff "$WORK/local.csv" "$WORK/remote.csv"
+echo "identical ($(wc -l < "$WORK/remote.csv") lines)"
+
+echo "== concurrent remote session (4 clients x 25 fetches) =="
+"$CLI" remote "127.0.0.1:$PORT" session "$KEY" 4 25
+
+echo "== stats =="
+"$CLI" remote "127.0.0.1:$PORT" stats
+
+echo "== SIGTERM -> clean drain =="
+kill -TERM "$SERVER_PID"
+RC=0
+wait "$SERVER_PID" || RC=$?
+SERVER_PID=""
+cat "$WORK/server.log"
+[[ $RC -eq 0 ]] || { echo "server exited $RC (expected clean drain)"; exit 1; }
+grep -q "drained:" "$WORK/server.log" || {
+  echo "missing drain summary"; exit 1; }
+
+echo "net smoke OK"

@@ -10,6 +10,17 @@
 //   mistique_cli <store_dir> delete <project.model>
 //   mistique_cli <store_dir> stats
 //   mistique_cli <store_dir> service_session [sessions] [queries] [workers]
+//   mistique_cli <store_dir> serve [port] [workers]
+//
+// Remote mode talks the wire protocol to a running `serve` instance; no
+// store directory needed on the client machine:
+//
+//   mistique_cli remote <host:port> ping
+//   mistique_cli remote <host:port> stats
+//   mistique_cli remote <host:port> fetch <project.model.intermediate.column> [n]
+//   mistique_cli remote <host:port> session <project.model.intermediate.column> [S] [Q]
+
+#include <csignal>
 
 #include <atomic>
 #include <chrono>
@@ -21,6 +32,8 @@
 #include <vector>
 
 #include "core/mistique.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "service/query_service.h"
 
 using namespace mistique;  // NOLINT: CLI brevity.
@@ -51,8 +64,139 @@ int Usage() {
       "  delete <project.model>          delete a model + vacuum storage\n"
       "  stats                           storage statistics\n"
       "  service_session [S] [Q] [W]     S concurrent sessions each issuing\n"
-      "                                  Q queries via a W-worker service\n");
+      "                                  Q queries via a W-worker service\n"
+      "  serve [port] [W]                serve the store over TCP with W\n"
+      "                                  workers until SIGTERM/SIGINT\n"
+      "       mistique_cli remote <host:port> <command>\n"
+      "  ping                            round-trip liveness check\n"
+      "  stats                           remote service + query statistics\n"
+      "  fetch <proj.model.interm.col> [n]   remote fetch, print n values\n"
+      "  session <proj.model.interm.col> [S] [Q]   S client threads each\n"
+      "                                  issuing Q remote fetches\n");
   return 2;
+}
+
+std::atomic<bool> g_shutdown{false};
+
+void HandleSignal(int /*sig*/) { g_shutdown.store(true); }
+
+/// Splits "host:port"; exits on malformed input.
+net::ClientOptions ParseEndpoint(const std::string& endpoint) {
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= endpoint.size()) {
+    std::fprintf(stderr, "expected host:port, got %s\n", endpoint.c_str());
+    std::exit(2);
+  }
+  net::ClientOptions options;
+  options.host = endpoint.substr(0, colon);
+  options.port =
+      static_cast<uint16_t>(std::strtoul(endpoint.c_str() + colon + 1,
+                                         nullptr, 10));
+  return options;
+}
+
+void PrintRemoteStats(const ServiceStats& stats) {
+  std::printf("open sessions:        %zu%s\n", stats.open_sessions,
+              stats.draining ? "   (DRAINING)" : "");
+  std::printf("submitted:            %llu\n",
+              static_cast<unsigned long long>(stats.submitted));
+  std::printf("completed:            %llu (%llu cache hits / %llu lookups)\n",
+              static_cast<unsigned long long>(stats.completed),
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.cache_lookups));
+  std::printf("rejected:             %llu\n",
+              static_cast<unsigned long long>(stats.rejected));
+  std::printf("expired / failed:     %llu / %llu\n",
+              static_cast<unsigned long long>(stats.expired),
+              static_cast<unsigned long long>(stats.failed));
+  std::printf("abandoned (drain):    %llu\n",
+              static_cast<unsigned long long>(stats.abandoned));
+  std::printf("queued / running:     %llu / %llu\n",
+              static_cast<unsigned long long>(stats.queued),
+              static_cast<unsigned long long>(stats.running));
+  std::printf("latency:              p50 %.2fms  p95 %.2fms\n",
+              stats.p50_latency_sec * 1e3, stats.p95_latency_sec * 1e3);
+  std::printf("disk read:            %.1fKB\n", stats.bytes_read / 1e3);
+  std::printf("corruptions detected: %llu\n",
+              static_cast<unsigned long long>(stats.corruptions_detected));
+  std::printf("partitions healed:    %llu\n",
+              static_cast<unsigned long long>(stats.partitions_healed));
+}
+
+int RunRemote(int argc, char** argv) {
+  // argv: remote <host:port> <command> [args...]
+  if (argc < 4) return Usage();
+  net::ClientOptions options = ParseEndpoint(argv[2]);
+  const std::string command = argv[3];
+  net::Client client(options);
+
+  if (command == "ping") {
+    const auto start = std::chrono::steady_clock::now();
+    Check(client.Ping());
+    const double ms = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count() *
+                      1e3;
+    std::printf("pong from %s (%.2fms)\n", argv[2], ms);
+    return 0;
+  }
+  if (command == "stats") {
+    PrintRemoteStats(Check(client.Stats()));
+    return 0;
+  }
+  if (command == "fetch" && argc >= 5) {
+    const uint64_t n = argc >= 6 ? std::strtoull(argv[5], nullptr, 10) : 10;
+    FetchRequest request =
+        Check(Mistique::ParseIntermediateKeys({argv[4]}, n));
+    FetchResult result = Check(client.Fetch(request));
+    for (size_t c = 0; c < result.column_names.size(); ++c) {
+      std::printf("%s%s", c ? "," : "", result.column_names[c].c_str());
+    }
+    std::printf("\n");
+    const size_t rows = result.columns.empty() ? 0 : result.columns[0].size();
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < result.columns.size(); ++c) {
+        std::printf("%s%.8g", c ? "," : "", result.columns[c][r]);
+      }
+      std::printf("\n");
+    }
+    std::fprintf(stderr, "(%zu rows via %s, remote)\n", rows,
+                 result.used_read ? "read" : "re-run");
+    return 0;
+  }
+  if (command == "session" && argc >= 5) {
+    const std::string key = argv[4];
+    const size_t num_clients =
+        argc >= 6 ? std::strtoull(argv[5], nullptr, 10) : 4;
+    const size_t queries = argc >= 7 ? std::strtoull(argv[6], nullptr, 10) : 25;
+    FetchRequest request =
+        Check(Mistique::ParseIntermediateKeys({key}, 32));
+
+    std::atomic<uint64_t> errors{0};
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (size_t c = 0; c < num_clients; ++c) {
+      threads.emplace_back([&] {
+        net::Client worker(options);
+        for (size_t q = 0; q < queries; ++q) {
+          if (!worker.Fetch(request).ok()) errors++;
+        }
+        Check(worker.CloseSession());
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const uint64_t total = num_clients * queries;
+    std::printf("remote session: %zu clients x %zu queries in %.3fs "
+                "(%.0f queries/s), %llu errors\n",
+                num_clients, queries, elapsed,
+                static_cast<double>(total) / elapsed,
+                static_cast<unsigned long long>(errors.load()));
+    return errors.load() == 0 ? 0 : 1;
+  }
+  return Usage();
 }
 
 void ListModels(const Mistique& mq) {
@@ -99,6 +243,9 @@ int main(int argc, char** argv) {
   if (argc < 3) return Usage();
   const std::string store_dir = argv[1];
   const std::string command = argv[2];
+
+  // Remote mode needs no local store.
+  if (store_dir == "remote") return RunRemote(argc, argv);
 
   if (!std::filesystem::exists(store_dir + "/catalog.mq")) {
     std::fprintf(stderr,
@@ -241,6 +388,46 @@ int main(int argc, char** argv) {
                 stats.p50_latency_sec * 1e3, stats.p95_latency_sec * 1e3);
     std::printf("disk read:      %.1fKB\n", stats.bytes_read / 1e3);
     return errors.load() == 0 ? 0 : 1;
+  }
+  if (command == "serve") {
+    const uint16_t port =
+        argc >= 4 ? static_cast<uint16_t>(std::strtoul(argv[3], nullptr, 10))
+                  : 0;
+    const size_t workers = argc >= 5 ? std::strtoull(argv[4], nullptr, 10) : 4;
+
+    QueryServiceOptions service_options;
+    service_options.num_workers = workers;
+    QueryService service(&mq, service_options);
+
+    net::ServerOptions server_options;
+    server_options.port = port;
+    net::Server server(&service, server_options);
+    Check(server.Start());
+
+    std::signal(SIGINT, HandleSignal);
+    std::signal(SIGTERM, HandleSignal);
+    std::printf("serving %s on %s:%u with %zu workers (SIGTERM to stop)\n",
+                store_dir.c_str(), server_options.host.c_str(),
+                static_cast<unsigned>(server.port()), service.num_workers());
+    std::fflush(stdout);
+
+    while (!g_shutdown.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    std::printf("shutting down: draining in-flight queries...\n");
+    std::fflush(stdout);
+    server.Stop();
+
+    const ServiceStats stats = service.Stats();
+    const net::ServerStats net_stats = server.Stats();
+    std::printf("drained: %llu completed, %llu abandoned, %llu rejected; "
+                "%llu connections served, %llu protocol errors\n",
+                static_cast<unsigned long long>(stats.completed),
+                static_cast<unsigned long long>(stats.abandoned),
+                static_cast<unsigned long long>(stats.rejected),
+                static_cast<unsigned long long>(net_stats.connections_accepted),
+                static_cast<unsigned long long>(net_stats.protocol_errors));
+    return 0;
   }
   if (command == "stats") {
     std::printf("models:            %zu\n", mq.metadata().num_models());

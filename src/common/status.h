@@ -24,6 +24,10 @@ enum class StatusCode {
   kInternal,
   kResourceExhausted,
   kDeadlineExceeded,
+  /// The target is (temporarily) not serving: a draining QueryService, an
+  /// unreachable network server, or a client whose reconnect budget ran
+  /// out. Retrying later may succeed; the request itself was fine.
+  kUnavailable,
 };
 
 /// Returns a short human-readable name for a status code ("OK", "IOError"...).
@@ -74,6 +78,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,113 @@
+#ifndef MISTIQUE_NET_CLIENT_H_
+#define MISTIQUE_NET_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace mistique {
+namespace net {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// TCP connect + handshake budget, per attempt.
+  double connect_timeout_sec = 5;
+  /// Send + receive budget per request. Expiry surfaces as
+  /// kDeadlineExceeded and drops the connection (the response may still
+  /// be in flight; reconnecting resynchronizes the stream).
+  double request_timeout_sec = 30;
+  /// Transport failures (refused, reset, EOF) trigger reconnects with
+  /// exponential backoff; after this many failed attempts the request
+  /// fails with kUnavailable. 0 = never reconnect.
+  int max_reconnect_attempts = 5;
+  double backoff_initial_sec = 0.05;
+  double backoff_max_sec = 2.0;
+  /// After a reconnect, transparently reopen a server-side session (the
+  /// old one died with the old server/connection) and retry the request
+  /// once under the new session.
+  bool auto_reopen_session = true;
+};
+
+/// Synchronous MISTIQUE wire-protocol client: one connection, one
+/// server-side session (opened lazily), one request in flight.
+///
+/// Every call maps wire errors back to typed Status (kOverloaded =>
+/// kResourceExhausted, so callers can back off on admission-queue
+/// pressure without string matching). Transport failures are retried
+/// with bounded exponential backoff — a server restart mid-session looks
+/// like one slow request, not an error, because the client reconnects,
+/// re-handshakes, reopens its session, and reissues the (idempotent)
+/// request. Not thread-safe; use one Client per thread.
+class Client {
+ public:
+  explicit Client(ClientOptions options = {});
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Establishes the connection + handshake (idempotent). The other
+  /// calls connect lazily; this is for checking reachability upfront.
+  Status Connect();
+  void Close();
+
+  Status Ping();
+  /// Opens (or returns the already-open) server-side session.
+  Result<SessionId> OpenSession();
+  /// Closes the server-side session (no-op if none).
+  Status CloseSession();
+
+  /// Fetch/Scan run under this client's session, opening one if needed.
+  Result<FetchResult> Fetch(const FetchRequest& request);
+  Result<ScanResult> Scan(const ScanRequest& request);
+  Result<ServiceStats> Stats();
+
+  bool connected() const { return fd_ >= 0; }
+  /// Session id on the server; 0 when none is open.
+  SessionId session_id() const { return session_; }
+  /// Successful reconnects performed (a server restart shows up here).
+  uint64_t reconnects() const { return reconnects_; }
+  /// Connection attempts that failed (each cost one backoff sleep).
+  uint64_t failed_attempts() const { return failed_attempts_; }
+
+ private:
+  /// One connect + handshake attempt against the configured endpoint.
+  Status TryConnect();
+  /// Sends `payload` as a `type` frame and reads the response frame.
+  /// Transport errors come back as kUnavailable (retryable); timeouts as
+  /// kDeadlineExceeded. Both drop the connection.
+  Status Roundtrip(wire::MsgType type, const std::string& payload,
+                   wire::Frame* response);
+  /// The full request path: ensure connected (+ session when
+  /// `with_session`), encode via `encode(session)`, roundtrip, verify the
+  /// response type. Transport-level kUnavailable triggers the
+  /// reconnect/backoff loop, re-encoding each attempt so a reopened
+  /// session's id is picked up. Server-reported errors return as-is.
+  Status Call(wire::MsgType type, bool with_session,
+              const std::function<std::string(SessionId)>& encode,
+              wire::MsgType expect, wire::Frame* response);
+  /// Interprets a response frame: expected type => OK, kErrorResp =>
+  /// its decoded status, anything else => kInternal.
+  static Status ExpectType(const wire::Frame& frame, wire::MsgType expected);
+  Status SendAll(const void* data, size_t len);
+  Status RecvAll(void* data, size_t len);
+  /// Opens a server-side session on the current connection.
+  Status OpenSessionInternal();
+
+  ClientOptions options_;
+  int fd_ = -1;
+  SessionId session_ = 0;
+  bool ever_connected_ = false;
+  uint64_t next_request_id_ = 1;
+  uint64_t reconnects_ = 0;
+  uint64_t failed_attempts_ = 0;
+};
+
+}  // namespace net
+}  // namespace mistique
+
+#endif  // MISTIQUE_NET_CLIENT_H_

@@ -1,0 +1,556 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+namespace mistique {
+namespace net {
+
+namespace {
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+struct Server::WakeHandle {
+  std::mutex m;
+  int fd = -1;
+
+  void Wake() {
+    std::lock_guard<std::mutex> lock(m);
+    if (fd < 0) return;
+    const char byte = 1;
+    // A full pipe already guarantees a pending wake-up; EAGAIN is fine.
+    [[maybe_unused]] const ssize_t n = write(fd, &byte, 1);
+  }
+
+  void Retire() {
+    std::lock_guard<std::mutex> lock(m);
+    if (fd >= 0) close(fd);
+    fd = -1;
+  }
+
+  ~WakeHandle() { Retire(); }
+};
+
+struct Server::Connection {
+  int fd = -1;
+  /// --- I/O-thread-only state ---
+  bool handshaken = false;
+  /// Stop reading; close once the outbox flushes (protocol errors get
+  /// their error frame delivered before the teardown).
+  bool close_after_flush = false;
+  std::string inbox;
+  double last_active = 0;
+  std::vector<SessionId> sessions;  ///< opened by this connection
+
+  /// --- shared with service-worker completion callbacks ---
+  std::mutex out_mutex;
+  bool closed = false;       ///< set at close; late completions are dropped
+  std::string outbox;        ///< encoded frames awaiting the socket
+  size_t out_offset = 0;     ///< flushed prefix of outbox
+
+  bool HasOutbound() {
+    std::lock_guard<std::mutex> lock(out_mutex);
+    return out_offset < outbox.size();
+  }
+};
+
+Server::Server(QueryService* service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (started_.load()) return Status::AlreadyExists("server already started");
+
+  int pipe_fds[2];
+  if (pipe(pipe_fds) != 0) return Errno("pipe");
+  wake_read_fd_ = pipe_fds[0];
+  wake_ = std::make_shared<WakeHandle>();
+  wake_->fd = pipe_fds[1];
+  MISTIQUE_RETURN_NOT_OK(SetNonBlocking(wake_read_fd_));
+  MISTIQUE_RETURN_NOT_OK(SetNonBlocking(wake_->fd));
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad listen address " + options_.host);
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("bind " + options_.host + ":" +
+                 std::to_string(options_.port));
+  }
+  if (listen(listen_fd_, 128) != 0) return Errno("listen");
+  MISTIQUE_RETURN_NOT_OK(SetNonBlocking(listen_fd_));
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                  &bound_len) != 0) {
+    return Errno("getsockname");
+  }
+  port_.store(ntohs(bound.sin_port));
+
+  started_.store(true);
+  io_thread_ = std::thread([this] { IoLoop(); });
+  return Status::OK();
+}
+
+void Server::Stop() {
+  std::lock_guard<std::mutex> lock(stop_mutex_);
+  if (!started_.load() || stopped_) return;
+
+  // Phase 1: stop accepting; existing connections keep getting answers.
+  draining_.store(true);
+  wake_->Wake();
+  // Phase 2: let in-flight queries finish (their responses land in the
+  // outboxes, flushed live by the still-running I/O loop). Anything
+  // slower than the deadline is abandoned with kUnavailable.
+  service_->Drain(options_.drain_deadline_sec);
+  // Phase 3: final response flush, then teardown.
+  stopping_.store(true);
+  wake_->Wake();
+  io_thread_.join();
+
+  wake_->Retire();
+  if (wake_read_fd_ >= 0) close(wake_read_fd_);
+  wake_read_fd_ = -1;
+  if (listen_fd_ >= 0) close(listen_fd_);
+  listen_fd_ = -1;
+  stopped_ = true;
+}
+
+ServerStats Server::Stats() const {
+  ServerStats stats;
+  stats.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  stats.connections_rejected = rejected_.load(std::memory_order_relaxed);
+  stats.connections_closed = closed_.load(std::memory_order_relaxed);
+  stats.frames_received = frames_.load(std::memory_order_relaxed);
+  stats.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  stats.idle_closed = idle_closed_.load(std::memory_order_relaxed);
+  stats.active_connections = active_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void Server::DoAccept() {
+  for (;;) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      // EAGAIN = drained the backlog; anything else is transient
+      // (ECONNABORTED etc.) and the next poll round retries.
+      return;
+    }
+    if (connections_.size() >= options_.max_connections) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      close(fd);
+      continue;
+    }
+    if (!SetNonBlocking(fd).ok()) {
+      close(fd);
+      continue;
+    }
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conn->last_active = MonotonicSeconds();
+    connections_.emplace(fd, std::move(conn));
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    active_.store(connections_.size(), std::memory_order_relaxed);
+  }
+}
+
+void Server::AppendResponse(const std::shared_ptr<Connection>& conn,
+                            const std::shared_ptr<WakeHandle>& wake,
+                            wire::MsgType type, uint64_t request_id,
+                            std::string_view payload) {
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mutex);
+    if (conn->closed) return;
+    wire::AppendFrame(&conn->outbox, type, request_id, payload);
+  }
+  wake->Wake();
+}
+
+void Server::AppendError(const std::shared_ptr<Connection>& conn,
+                         const std::shared_ptr<WakeHandle>& wake,
+                         uint64_t request_id, const Status& status) {
+  AppendResponse(conn, wake, wire::MsgType::kErrorResp, request_id,
+                 wire::EncodeError(status));
+}
+
+void Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
+                           const wire::Frame& frame) {
+  const uint64_t id = frame.request_id;
+  switch (frame.type) {
+    case wire::MsgType::kPingReq:
+      AppendResponse(conn, wake_, wire::MsgType::kPingResp, id, "");
+      return;
+    case wire::MsgType::kOpenSessionReq: {
+      const SessionId session = service_->OpenSession();
+      conn->sessions.push_back(session);
+      AppendResponse(conn, wake_, wire::MsgType::kOpenSessionResp, id,
+                     wire::EncodeSessionId(session));
+      return;
+    }
+    case wire::MsgType::kCloseSessionReq: {
+      uint64_t session = 0;
+      const Status decoded = wire::DecodeSessionId(frame.payload, &session);
+      if (!decoded.ok()) {
+        AppendError(conn, wake_, id, decoded);
+        return;
+      }
+      const Status st = service_->CloseSession(session);
+      if (!st.ok()) {
+        AppendError(conn, wake_, id, st);
+        return;
+      }
+      for (auto it = conn->sessions.begin(); it != conn->sessions.end(); ++it) {
+        if (*it == session) {
+          conn->sessions.erase(it);
+          break;
+        }
+      }
+      AppendResponse(conn, wake_, wire::MsgType::kCloseSessionResp, id, "");
+      return;
+    }
+    case wire::MsgType::kStatsReq:
+      AppendResponse(conn, wake_, wire::MsgType::kStatsResp, id,
+                     wire::EncodeStats(service_->Stats()));
+      return;
+    case wire::MsgType::kFetchReq: {
+      uint64_t session = 0;
+      FetchRequest request;
+      const Status decoded =
+          wire::DecodeFetchRequest(frame.payload, &session, &request);
+      if (!decoded.ok()) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        AppendError(conn, wake_, id, decoded);
+        return;
+      }
+      // The callback runs on a service worker (or inline on rejection);
+      // it captures only refcounted state, never the Server.
+      service_->SubmitFetchAsync(
+          session, std::move(request), -1,
+          [conn, wake = wake_, id](Result<FetchResult> result) {
+            if (!result.ok()) {
+              AppendError(conn, wake, id, result.status());
+              return;
+            }
+            std::string payload = wire::EncodeFetchResult(*result);
+            if (payload.size() + wire::kFrameOverhead >
+                wire::kMaxFrameBytes) {
+              AppendError(conn, wake, id,
+                          Status::OutOfRange(
+                              "fetch result exceeds the max frame size; "
+                              "narrow the request (columns/n_ex/row_ids)"));
+              return;
+            }
+            AppendResponse(conn, wake, wire::MsgType::kFetchResp, id,
+                           payload);
+          });
+      return;
+    }
+    case wire::MsgType::kScanReq: {
+      uint64_t session = 0;
+      ScanRequest request;
+      const Status decoded =
+          wire::DecodeScanRequest(frame.payload, &session, &request);
+      if (!decoded.ok()) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        AppendError(conn, wake_, id, decoded);
+        return;
+      }
+      service_->SubmitScanAsync(
+          session, std::move(request), -1,
+          [conn, wake = wake_, id](Result<ScanResult> result) {
+            if (!result.ok()) {
+              AppendError(conn, wake, id, result.status());
+              return;
+            }
+            std::string payload = wire::EncodeScanResult(*result);
+            if (payload.size() + wire::kFrameOverhead >
+                wire::kMaxFrameBytes) {
+              AppendError(conn, wake, id,
+                          Status::OutOfRange(
+                              "scan result exceeds the max frame size"));
+              return;
+            }
+            AppendResponse(conn, wake, wire::MsgType::kScanResp, id,
+                           payload);
+          });
+      return;
+    }
+    default:
+      // A response type sent by a client: well-formed but nonsensical.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      AppendError(conn, wake_, id,
+                  Status::InvalidArgument("unexpected frame type from "
+                                          "client"));
+      conn->close_after_flush = true;
+      return;
+  }
+}
+
+bool Server::ConsumeInbound(const std::shared_ptr<Connection>& conn) {
+  for (;;) {
+    if (conn->close_after_flush) return true;  // ignore further input
+    if (!conn->handshaken) {
+      if (conn->inbox.size() < wire::kHandshakeBytes) return true;
+      const Status hello =
+          wire::DecodeHello(conn->inbox.data(), wire::kHandshakeBytes);
+      if (hello.code() == StatusCode::kInvalidArgument) {
+        // Not our protocol at all — close without feeding it bytes.
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      if (!hello.ok()) {  // version mismatch: tell them, then close
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(conn->out_mutex);
+        conn->outbox += wire::EncodeHelloReply(false);
+        conn->close_after_flush = true;
+        return true;
+      }
+      {
+        std::lock_guard<std::mutex> lock(conn->out_mutex);
+        conn->outbox += wire::EncodeHelloReply(true);
+      }
+      conn->handshaken = true;
+      conn->inbox.erase(0, wire::kHandshakeBytes);
+      continue;
+    }
+
+    wire::Frame frame;
+    size_t consumed = 0;
+    const Status parsed =
+        wire::ParseFrame(conn->inbox.data(), conn->inbox.size(), &frame,
+                         &consumed);
+    if (!parsed.ok()) {
+      // Corrupt/oversized/unknown frame: the stream has no recoverable
+      // boundaries. Report (request_id unknowable) and hang up.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      AppendError(conn, wake_, 0, parsed);
+      conn->close_after_flush = true;
+      return true;
+    }
+    if (consumed == 0) return true;  // partial frame; read more later
+    frames_.fetch_add(1, std::memory_order_relaxed);
+    conn->inbox.erase(0, consumed);
+    DispatchFrame(conn, frame);
+  }
+}
+
+bool Server::FlushOutbound(const std::shared_ptr<Connection>& conn) {
+  std::lock_guard<std::mutex> lock(conn->out_mutex);
+  while (conn->out_offset < conn->outbox.size()) {
+    const ssize_t n =
+        send(conn->fd, conn->outbox.data() + conn->out_offset,
+             conn->outbox.size() - conn->out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    return false;  // peer went away mid-write
+  }
+  if (conn->out_offset == conn->outbox.size()) {
+    conn->outbox.clear();
+    conn->out_offset = 0;
+  } else if (conn->out_offset > (64u << 10)) {
+    conn->outbox.erase(0, conn->out_offset);
+    conn->out_offset = 0;
+  }
+  return true;
+}
+
+void Server::CloseConnection(int fd, const char* /*reason*/) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  const std::shared_ptr<Connection> conn = it->second;
+  {
+    // Under out_mutex so no worker is mid-append when the fd dies; late
+    // completions see `closed` and drop their response.
+    std::lock_guard<std::mutex> lock(conn->out_mutex);
+    conn->closed = true;
+  }
+  close(fd);
+  // A vanished client's sessions would otherwise leak their result
+  // caches until process exit.
+  for (SessionId session : conn->sessions) {
+    (void)service_->CloseSession(session);
+  }
+  connections_.erase(it);
+  closed_.fetch_add(1, std::memory_order_relaxed);
+  active_.store(connections_.size(), std::memory_order_relaxed);
+}
+
+void Server::IoLoop() {
+  std::vector<pollfd> fds;
+  std::vector<int> to_close;
+  char buf[64 * 1024];
+
+  while (!stopping_.load(std::memory_order_acquire)) {
+    fds.clear();
+    fds.push_back({wake_read_fd_, POLLIN, 0});
+    const bool accepting = !draining_.load(std::memory_order_acquire);
+    if (accepting) fds.push_back({listen_fd_, POLLIN, 0});
+    const size_t conn_base = fds.size();
+    for (const auto& [fd, conn] : connections_) {
+      short events = 0;
+      if (!conn->close_after_flush) events |= POLLIN;
+      if (conn->HasOutbound()) events |= POLLOUT;
+      fds.push_back({fd, events, 0});
+    }
+
+    // Tick at least every 500ms (idle sweep + close_after_flush conns
+    // whose flush completed between polls); sooner if an idle deadline
+    // lands earlier.
+    int timeout_ms = 500;
+    if (options_.idle_timeout_sec > 0 && !connections_.empty()) {
+      double earliest = MonotonicSeconds() + 500;
+      for (const auto& [fd, conn] : connections_) {
+        earliest = std::min(earliest,
+                            conn->last_active + options_.idle_timeout_sec);
+      }
+      const double delta = earliest - MonotonicSeconds();
+      timeout_ms = std::max(0, std::min(500, static_cast<int>(delta * 1e3)));
+    }
+    const int ready = poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR) break;  // poll itself failed; bail
+
+    if (fds[0].revents & POLLIN) {  // drain the wake pipe
+      while (read(wake_read_fd_, buf, sizeof(buf)) > 0) {
+      }
+    }
+    if (accepting && (fds[conn_base - 1].revents & POLLIN)) DoAccept();
+
+    to_close.clear();
+    const double now = MonotonicSeconds();
+    for (size_t i = conn_base; i < fds.size(); ++i) {
+      const int fd = fds[i].fd;
+      auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;
+      const std::shared_ptr<Connection> conn = it->second;
+
+      if (fds[i].revents & (POLLERR | POLLNVAL)) {
+        to_close.push_back(fd);
+        continue;
+      }
+      if (fds[i].revents & POLLIN) {
+        bool eof = false, fatal = false;
+        for (;;) {
+          const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+          if (n > 0) {
+            conn->inbox.append(buf, static_cast<size_t>(n));
+            conn->last_active = now;
+            continue;
+          }
+          if (n == 0) eof = true;
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          if (n < 0) fatal = true;
+          break;
+        }
+        if (!ConsumeInbound(conn) || fatal ||
+            (eof && !conn->HasOutbound())) {
+          to_close.push_back(fd);
+          continue;
+        }
+        if (eof) conn->close_after_flush = true;
+      } else if (fds[i].revents & POLLHUP) {
+        // No readable data and the peer hung up.
+        to_close.push_back(fd);
+        continue;
+      }
+      if (!FlushOutbound(conn)) {
+        to_close.push_back(fd);
+        continue;
+      }
+      if (conn->close_after_flush && !conn->HasOutbound()) {
+        to_close.push_back(fd);
+      }
+    }
+    for (int fd : to_close) CloseConnection(fd, "io");
+
+    if (options_.idle_timeout_sec > 0) {
+      to_close.clear();
+      for (const auto& [fd, conn] : connections_) {
+        if (now - conn->last_active > options_.idle_timeout_sec) {
+          to_close.push_back(fd);
+        }
+      }
+      for (int fd : to_close) {
+        idle_closed_.fetch_add(1, std::memory_order_relaxed);
+        CloseConnection(fd, "idle");
+      }
+    }
+  }
+
+  // Final flush: the drain already completed every admitted request, so
+  // the outboxes hold the last responses. Push them out briefly rather
+  // than slamming sockets shut mid-reply.
+  const double flush_deadline =
+      MonotonicSeconds() + std::max(0.0, options_.flush_deadline_sec);
+  for (;;) {
+    fds.clear();
+    for (const auto& [fd, conn] : connections_) {
+      if (conn->HasOutbound()) fds.push_back({fd, POLLOUT, 0});
+    }
+    const double remaining = flush_deadline - MonotonicSeconds();
+    if (fds.empty() || remaining <= 0) break;
+    if (poll(fds.data(), fds.size(),
+             static_cast<int>(remaining * 1e3) + 1) <= 0) {
+      continue;
+    }
+    to_close.clear();
+    for (const pollfd& pfd : fds) {
+      if (pfd.revents == 0) continue;
+      auto it = connections_.find(pfd.fd);
+      if (it == connections_.end()) continue;
+      if ((pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) ||
+          !FlushOutbound(it->second)) {
+        to_close.push_back(pfd.fd);
+      }
+    }
+    for (int fd : to_close) CloseConnection(fd, "flush");
+  }
+  to_close.clear();
+  for (const auto& [fd, conn] : connections_) to_close.push_back(fd);
+  for (int fd : to_close) CloseConnection(fd, "shutdown");
+}
+
+}  // namespace net
+}  // namespace mistique

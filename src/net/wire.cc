@@ -1,0 +1,504 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "durability/crc32c.h"
+
+namespace mistique {
+namespace wire {
+
+namespace {
+
+/// Decoded vectors are validated against bytes-remaining before any
+/// allocation; per-element minimum sizes for that check.
+constexpr size_t kMinStringBytes = 4;  // empty string = u32 length
+
+void PutLe(std::string* out, uint64_t v, size_t bytes) {
+  for (size_t i = 0; i < bytes; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+}  // namespace
+
+bool IsValidMsgType(uint8_t t) {
+  return t >= static_cast<uint8_t>(MsgType::kPingReq) &&
+         t <= static_cast<uint8_t>(MsgType::kErrorResp);
+}
+
+uint16_t WireErrorFromStatus(const Status& status) {
+  if (status.code() == StatusCode::kResourceExhausted) {
+    return static_cast<uint16_t>(WireError::kOverloaded);
+  }
+  return static_cast<uint16_t>(status.code());
+}
+
+Status StatusFromWireError(uint16_t code, std::string message) {
+  if (code == static_cast<uint16_t>(WireError::kOverloaded)) {
+    return Status::ResourceExhausted(std::move(message));
+  }
+  if (code > static_cast<uint16_t>(StatusCode::kUnavailable) || code == 0) {
+    return Status::Internal("unknown wire error code " +
+                            std::to_string(code) + ": " + message);
+  }
+  return Status(static_cast<StatusCode>(code), std::move(message));
+}
+
+/// --- Writer ---
+
+void Writer::PutU16(uint16_t v) { PutLe(out_, v, 2); }
+void Writer::PutU32(uint32_t v) { PutLe(out_, v, 4); }
+void Writer::PutU64(uint64_t v) { PutLe(out_, v, 8); }
+
+void Writer::PutF64(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void Writer::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  out_->append(s.data(), s.size());
+}
+
+void Writer::PutU64Vec(const std::vector<uint64_t>& v) {
+  PutU32(static_cast<uint32_t>(v.size()));
+  for (uint64_t x : v) PutU64(x);
+}
+
+void Writer::PutF64Vec(const std::vector<double>& v) {
+  PutU32(static_cast<uint32_t>(v.size()));
+  for (double x : v) PutF64(x);
+}
+
+void Writer::PutStringVec(const std::vector<std::string>& v) {
+  PutU32(static_cast<uint32_t>(v.size()));
+  for (const std::string& s : v) PutString(s);
+}
+
+/// --- Reader ---
+
+namespace {
+Status Truncated(const char* what) {
+  return Status::Corruption(std::string("truncated payload reading ") + what);
+}
+}  // namespace
+
+Status Reader::GetU8(uint8_t* v) {
+  if (remaining() < 1) return Truncated("u8");
+  *v = p_[pos_++];
+  return Status::OK();
+}
+
+Status Reader::GetU16(uint16_t* v) {
+  if (remaining() < 2) return Truncated("u16");
+  *v = static_cast<uint16_t>(p_[pos_]) |
+       static_cast<uint16_t>(p_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return Status::OK();
+}
+
+Status Reader::GetU32(uint32_t* v) {
+  if (remaining() < 4) return Truncated("u32");
+  *v = 0;
+  for (size_t i = 0; i < 4; ++i) *v |= static_cast<uint32_t>(p_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return Status::OK();
+}
+
+Status Reader::GetU64(uint64_t* v) {
+  if (remaining() < 8) return Truncated("u64");
+  *v = 0;
+  for (size_t i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(p_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return Status::OK();
+}
+
+Status Reader::GetF64(double* v) {
+  uint64_t bits = 0;
+  MISTIQUE_RETURN_NOT_OK(GetU64(&bits));
+  std::memcpy(v, &bits, sizeof(bits));
+  return Status::OK();
+}
+
+Status Reader::GetString(std::string* s) {
+  uint32_t len = 0;
+  MISTIQUE_RETURN_NOT_OK(GetU32(&len));
+  if (remaining() < len) return Truncated("string bytes");
+  s->assign(reinterpret_cast<const char*>(p_ + pos_), len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status Reader::GetU64Vec(std::vector<uint64_t>* v) {
+  uint32_t count = 0;
+  MISTIQUE_RETURN_NOT_OK(GetU32(&count));
+  if (remaining() / 8 < count) return Truncated("u64 vector");
+  v->resize(count);
+  for (uint32_t i = 0; i < count; ++i) MISTIQUE_RETURN_NOT_OK(GetU64(&(*v)[i]));
+  return Status::OK();
+}
+
+Status Reader::GetF64Vec(std::vector<double>* v) {
+  uint32_t count = 0;
+  MISTIQUE_RETURN_NOT_OK(GetU32(&count));
+  if (remaining() / 8 < count) return Truncated("f64 vector");
+  v->resize(count);
+  for (uint32_t i = 0; i < count; ++i) MISTIQUE_RETURN_NOT_OK(GetF64(&(*v)[i]));
+  return Status::OK();
+}
+
+Status Reader::GetStringVec(std::vector<std::string>* v) {
+  uint32_t count = 0;
+  MISTIQUE_RETURN_NOT_OK(GetU32(&count));
+  if (remaining() / kMinStringBytes < count) return Truncated("string vector");
+  v->resize(count);
+  for (uint32_t i = 0; i < count; ++i) MISTIQUE_RETURN_NOT_OK(GetString(&(*v)[i]));
+  return Status::OK();
+}
+
+Status Reader::ExpectEnd() const {
+  if (pos_ != len_) {
+    return Status::Corruption(std::to_string(len_ - pos_) +
+                              " trailing payload bytes");
+  }
+  return Status::OK();
+}
+
+/// --- Handshake ---
+
+std::string EncodeHello() {
+  std::string out;
+  Writer w(&out);
+  w.PutU32(kMagic);
+  w.PutU16(kProtocolVersion);
+  w.PutU16(0);  // flags, reserved
+  return out;
+}
+
+std::string EncodeHelloReply(bool accept) {
+  std::string out;
+  Writer w(&out);
+  w.PutU32(kMagic);
+  w.PutU16(kProtocolVersion);
+  w.PutU16(accept ? 1 : 0);
+  return out;
+}
+
+Status DecodeHello(const void* data, size_t len) {
+  Reader r(data, len);
+  uint32_t magic = 0;
+  uint16_t version = 0, flags = 0;
+  MISTIQUE_RETURN_NOT_OK(r.GetU32(&magic));
+  MISTIQUE_RETURN_NOT_OK(r.GetU16(&version));
+  MISTIQUE_RETURN_NOT_OK(r.GetU16(&flags));
+  if (magic != kMagic) {
+    return Status::InvalidArgument("bad handshake magic");
+  }
+  if (version != kProtocolVersion) {
+    return Status::Unavailable("protocol version mismatch: peer " +
+                               std::to_string(version) + ", ours " +
+                               std::to_string(kProtocolVersion));
+  }
+  return Status::OK();
+}
+
+Status DecodeHelloReply(const void* data, size_t len) {
+  Reader r(data, len);
+  uint32_t magic = 0;
+  uint16_t version = 0, accept = 0;
+  MISTIQUE_RETURN_NOT_OK(r.GetU32(&magic));
+  MISTIQUE_RETURN_NOT_OK(r.GetU16(&version));
+  MISTIQUE_RETURN_NOT_OK(r.GetU16(&accept));
+  if (magic != kMagic) {
+    return Status::InvalidArgument("bad handshake magic in server reply");
+  }
+  if (accept != 1) {
+    return Status::Unavailable(
+        "server rejected handshake (server protocol version " +
+        std::to_string(version) + ", client " +
+        std::to_string(kProtocolVersion) + ")");
+  }
+  return Status::OK();
+}
+
+/// --- Frames ---
+
+void AppendFrame(std::string* out, MsgType type, uint64_t request_id,
+                 std::string_view payload) {
+  Writer w(out);
+  const uint32_t body_len =
+      static_cast<uint32_t>(1 + 8 + payload.size() + 4);
+  w.PutU32(body_len);
+  const size_t crc_start = out->size();
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutU64(request_id);
+  out->append(payload.data(), payload.size());
+  const uint32_t crc =
+      Crc32c(out->data() + crc_start, out->size() - crc_start);
+  w.PutU32(crc);
+}
+
+Status ParseFrame(const void* data, size_t len, Frame* frame,
+                  size_t* consumed) {
+  *consumed = 0;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  if (len < 4) return Status::OK();  // need the length prefix
+  uint32_t body_len = 0;
+  for (size_t i = 0; i < 4; ++i) body_len |= static_cast<uint32_t>(p[i]) << (8 * i);
+  if (body_len < 1 + 8 + 4) {
+    return Status::Corruption("frame body too short (" +
+                              std::to_string(body_len) + " bytes)");
+  }
+  if (body_len > kMaxFrameBytes) {
+    return Status::OutOfRange("frame of " + std::to_string(body_len) +
+                              " bytes exceeds the " +
+                              std::to_string(kMaxFrameBytes) + " cap");
+  }
+  if (len < 4u + body_len) return Status::OK();  // partial frame
+
+  const uint8_t* body = p + 4;
+  const size_t crc_off = body_len - 4;
+  uint32_t stored_crc = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    stored_crc |= static_cast<uint32_t>(body[crc_off + i]) << (8 * i);
+  }
+  const uint32_t actual_crc = Crc32c(body, crc_off);
+  if (stored_crc != actual_crc) {
+    return Status::Corruption("frame CRC mismatch");
+  }
+  if (!IsValidMsgType(body[0])) {
+    return Status::InvalidArgument("unknown frame type " +
+                                   std::to_string(body[0]));
+  }
+  frame->type = static_cast<MsgType>(body[0]);
+  frame->request_id = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    frame->request_id |= static_cast<uint64_t>(body[1 + i]) << (8 * i);
+  }
+  frame->payload.assign(reinterpret_cast<const char*>(body + 9),
+                        crc_off - 9);
+  *consumed = 4u + body_len;
+  return Status::OK();
+}
+
+/// --- Payload encodings ---
+
+std::string EncodeFetchRequest(uint64_t session, const FetchRequest& req) {
+  std::string out;
+  Writer w(&out);
+  w.PutU64(session);
+  w.PutString(req.project);
+  w.PutString(req.model);
+  w.PutString(req.intermediate);
+  w.PutStringVec(req.columns);
+  w.PutU64(req.n_ex);
+  w.PutU64Vec(req.row_ids);
+  // tri-state: 0 = cost model decides, 1 = force read, 2 = force re-run
+  w.PutU8(!req.force_read.has_value() ? 0 : (*req.force_read ? 1 : 2));
+  w.PutF64(req.sample_fraction);
+  return out;
+}
+
+Status DecodeFetchRequest(const std::string& payload, uint64_t* session,
+                          FetchRequest* req) {
+  Reader r(payload.data(), payload.size());
+  MISTIQUE_RETURN_NOT_OK(r.GetU64(session));
+  MISTIQUE_RETURN_NOT_OK(r.GetString(&req->project));
+  MISTIQUE_RETURN_NOT_OK(r.GetString(&req->model));
+  MISTIQUE_RETURN_NOT_OK(r.GetString(&req->intermediate));
+  MISTIQUE_RETURN_NOT_OK(r.GetStringVec(&req->columns));
+  MISTIQUE_RETURN_NOT_OK(r.GetU64(&req->n_ex));
+  MISTIQUE_RETURN_NOT_OK(r.GetU64Vec(&req->row_ids));
+  uint8_t force = 0;
+  MISTIQUE_RETURN_NOT_OK(r.GetU8(&force));
+  if (force > 2) return Status::Corruption("bad force_read tri-state");
+  req->force_read = force == 0 ? std::nullopt
+                               : std::optional<bool>(force == 1);
+  MISTIQUE_RETURN_NOT_OK(r.GetF64(&req->sample_fraction));
+  return r.ExpectEnd();
+}
+
+std::string EncodeFetchResult(const FetchResult& result) {
+  std::string out;
+  Writer w(&out);
+  w.PutStringVec(result.column_names);
+  w.PutU32(static_cast<uint32_t>(result.columns.size()));
+  for (const std::vector<double>& col : result.columns) w.PutF64Vec(col);
+  w.PutU64Vec(result.row_ids);
+  w.PutU8(result.used_read ? 1 : 0);
+  w.PutU8(result.from_cache ? 1 : 0);
+  w.PutF64(result.fetch_seconds);
+  w.PutF64(result.predicted_read_sec);
+  w.PutF64(result.predicted_rerun_sec);
+  w.PutU8(result.materialized_now ? 1 : 0);
+  return out;
+}
+
+Status DecodeFetchResult(const std::string& payload, FetchResult* result) {
+  Reader r(payload.data(), payload.size());
+  MISTIQUE_RETURN_NOT_OK(r.GetStringVec(&result->column_names));
+  uint32_t num_cols = 0;
+  MISTIQUE_RETURN_NOT_OK(r.GetU32(&num_cols));
+  if (r.remaining() / 4 < num_cols) {
+    return Status::Corruption("truncated payload reading column list");
+  }
+  result->columns.resize(num_cols);
+  for (uint32_t c = 0; c < num_cols; ++c) {
+    MISTIQUE_RETURN_NOT_OK(r.GetF64Vec(&result->columns[c]));
+  }
+  MISTIQUE_RETURN_NOT_OK(r.GetU64Vec(&result->row_ids));
+  uint8_t b = 0;
+  MISTIQUE_RETURN_NOT_OK(r.GetU8(&b));
+  result->used_read = b != 0;
+  MISTIQUE_RETURN_NOT_OK(r.GetU8(&b));
+  result->from_cache = b != 0;
+  MISTIQUE_RETURN_NOT_OK(r.GetF64(&result->fetch_seconds));
+  MISTIQUE_RETURN_NOT_OK(r.GetF64(&result->predicted_read_sec));
+  MISTIQUE_RETURN_NOT_OK(r.GetF64(&result->predicted_rerun_sec));
+  MISTIQUE_RETURN_NOT_OK(r.GetU8(&b));
+  result->materialized_now = b != 0;
+  return r.ExpectEnd();
+}
+
+std::string EncodeScanRequest(uint64_t session, const ScanRequest& req) {
+  std::string out;
+  Writer w(&out);
+  w.PutU64(session);
+  w.PutString(req.project);
+  w.PutString(req.model);
+  w.PutString(req.intermediate);
+  w.PutString(req.predicate_column);
+  w.PutF64(req.lo);
+  w.PutF64(req.hi);
+  w.PutStringVec(req.columns);
+  return out;
+}
+
+Status DecodeScanRequest(const std::string& payload, uint64_t* session,
+                         ScanRequest* req) {
+  Reader r(payload.data(), payload.size());
+  MISTIQUE_RETURN_NOT_OK(r.GetU64(session));
+  MISTIQUE_RETURN_NOT_OK(r.GetString(&req->project));
+  MISTIQUE_RETURN_NOT_OK(r.GetString(&req->model));
+  MISTIQUE_RETURN_NOT_OK(r.GetString(&req->intermediate));
+  MISTIQUE_RETURN_NOT_OK(r.GetString(&req->predicate_column));
+  MISTIQUE_RETURN_NOT_OK(r.GetF64(&req->lo));
+  MISTIQUE_RETURN_NOT_OK(r.GetF64(&req->hi));
+  MISTIQUE_RETURN_NOT_OK(r.GetStringVec(&req->columns));
+  return r.ExpectEnd();
+}
+
+std::string EncodeScanResult(const ScanResult& result) {
+  std::string out;
+  Writer w(&out);
+  w.PutU64Vec(result.row_ids);
+  w.PutStringVec(result.column_names);
+  w.PutU32(static_cast<uint32_t>(result.columns.size()));
+  for (const std::vector<double>& col : result.columns) w.PutF64Vec(col);
+  w.PutU64(result.blocks_scanned);
+  w.PutU64(result.blocks_pruned);
+  return out;
+}
+
+Status DecodeScanResult(const std::string& payload, ScanResult* result) {
+  Reader r(payload.data(), payload.size());
+  MISTIQUE_RETURN_NOT_OK(r.GetU64Vec(&result->row_ids));
+  MISTIQUE_RETURN_NOT_OK(r.GetStringVec(&result->column_names));
+  uint32_t num_cols = 0;
+  MISTIQUE_RETURN_NOT_OK(r.GetU32(&num_cols));
+  if (r.remaining() / 4 < num_cols) {
+    return Status::Corruption("truncated payload reading column list");
+  }
+  result->columns.resize(num_cols);
+  for (uint32_t c = 0; c < num_cols; ++c) {
+    MISTIQUE_RETURN_NOT_OK(r.GetF64Vec(&result->columns[c]));
+  }
+  MISTIQUE_RETURN_NOT_OK(r.GetU64(&result->blocks_scanned));
+  MISTIQUE_RETURN_NOT_OK(r.GetU64(&result->blocks_pruned));
+  return r.ExpectEnd();
+}
+
+std::string EncodeStats(const ServiceStats& stats) {
+  std::string out;
+  Writer w(&out);
+  w.PutU64(stats.submitted);
+  w.PutU64(stats.rejected);
+  w.PutU64(stats.completed);
+  w.PutU64(stats.expired);
+  w.PutU64(stats.failed);
+  w.PutU64(stats.queued);
+  w.PutU64(stats.running);
+  w.PutU64(stats.cache_hits);
+  w.PutU64(stats.cache_lookups);
+  w.PutU64(stats.bytes_read);
+  w.PutU64(stats.corruptions_detected);
+  w.PutU64(stats.partitions_healed);
+  w.PutU64(stats.abandoned);
+  w.PutU8(stats.draining ? 1 : 0);
+  w.PutF64(stats.p50_latency_sec);
+  w.PutF64(stats.p95_latency_sec);
+  w.PutU64(stats.open_sessions);
+  return out;
+}
+
+Status DecodeStats(const std::string& payload, ServiceStats* stats) {
+  Reader r(payload.data(), payload.size());
+  MISTIQUE_RETURN_NOT_OK(r.GetU64(&stats->submitted));
+  MISTIQUE_RETURN_NOT_OK(r.GetU64(&stats->rejected));
+  MISTIQUE_RETURN_NOT_OK(r.GetU64(&stats->completed));
+  MISTIQUE_RETURN_NOT_OK(r.GetU64(&stats->expired));
+  MISTIQUE_RETURN_NOT_OK(r.GetU64(&stats->failed));
+  MISTIQUE_RETURN_NOT_OK(r.GetU64(&stats->queued));
+  MISTIQUE_RETURN_NOT_OK(r.GetU64(&stats->running));
+  MISTIQUE_RETURN_NOT_OK(r.GetU64(&stats->cache_hits));
+  MISTIQUE_RETURN_NOT_OK(r.GetU64(&stats->cache_lookups));
+  MISTIQUE_RETURN_NOT_OK(r.GetU64(&stats->bytes_read));
+  MISTIQUE_RETURN_NOT_OK(r.GetU64(&stats->corruptions_detected));
+  MISTIQUE_RETURN_NOT_OK(r.GetU64(&stats->partitions_healed));
+  MISTIQUE_RETURN_NOT_OK(r.GetU64(&stats->abandoned));
+  uint8_t draining = 0;
+  MISTIQUE_RETURN_NOT_OK(r.GetU8(&draining));
+  stats->draining = draining != 0;
+  MISTIQUE_RETURN_NOT_OK(r.GetF64(&stats->p50_latency_sec));
+  MISTIQUE_RETURN_NOT_OK(r.GetF64(&stats->p95_latency_sec));
+  uint64_t open_sessions = 0;
+  MISTIQUE_RETURN_NOT_OK(r.GetU64(&open_sessions));
+  stats->open_sessions = static_cast<size_t>(open_sessions);
+  return r.ExpectEnd();
+}
+
+std::string EncodeError(const Status& status) {
+  std::string out;
+  Writer w(&out);
+  w.PutU16(WireErrorFromStatus(status));
+  w.PutString(status.message());
+  return out;
+}
+
+Status DecodeError(const std::string& payload) {
+  Reader r(payload.data(), payload.size());
+  uint16_t code = 0;
+  std::string message;
+  MISTIQUE_RETURN_NOT_OK(r.GetU16(&code));
+  MISTIQUE_RETURN_NOT_OK(r.GetString(&message));
+  MISTIQUE_RETURN_NOT_OK(r.ExpectEnd());
+  return StatusFromWireError(code, std::move(message));
+}
+
+std::string EncodeSessionId(uint64_t session) {
+  std::string out;
+  Writer w(&out);
+  w.PutU64(session);
+  return out;
+}
+
+Status DecodeSessionId(const std::string& payload, uint64_t* session) {
+  Reader r(payload.data(), payload.size());
+  MISTIQUE_RETURN_NOT_OK(r.GetU64(session));
+  return r.ExpectEnd();
+}
+
+}  // namespace wire
+}  // namespace mistique

@@ -1,0 +1,192 @@
+#ifndef MISTIQUE_NET_WIRE_H_
+#define MISTIQUE_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/mistique.h"
+#include "service/query_service.h"
+
+namespace mistique {
+namespace wire {
+
+/// --- Protocol constants (docs/NETWORK.md) ---
+
+/// "MQTQ" little-endian: first four bytes a client ever sends.
+constexpr uint32_t kMagic = 0x5154514D;
+/// Bumped on any incompatible frame/payload change. The handshake
+/// rejects mismatches; there is no negotiation (one version per build).
+constexpr uint16_t kProtocolVersion = 1;
+/// Hard ceiling on one frame's encoded size. Caps both the server's
+/// per-connection read buffer (malicious length prefixes cannot balloon
+/// memory) and legitimate responses (a fetch result larger than this
+/// fails with kOutOfRange instead of being sent).
+constexpr size_t kMaxFrameBytes = 256u << 20;
+/// Fixed handshake exchange: u32 magic, u16 version, u16 flags (hello) /
+/// u16 accept (reply).
+constexpr size_t kHandshakeBytes = 8;
+
+/// Frame layout, after the handshake (all integers little-endian):
+///
+///   u32  body_len          length of everything after this field
+///   u8   msg_type
+///   u64  request_id        echoed verbatim in the response
+///   ...  payload           type-specific encoding
+///   u32  crc32c            over msg_type + request_id + payload
+///
+/// body_len = 1 + 8 + payload_len + 4.
+constexpr size_t kFrameOverhead = 4 + 1 + 8 + 4;
+
+enum class MsgType : uint8_t {
+  kPingReq = 1,
+  kPingResp = 2,
+  kOpenSessionReq = 3,
+  kOpenSessionResp = 4,   ///< payload: u64 session_id
+  kCloseSessionReq = 5,   ///< payload: u64 session_id
+  kCloseSessionResp = 6,
+  kFetchReq = 7,          ///< payload: u64 session_id + FetchRequest
+  kFetchResp = 8,         ///< payload: FetchResult
+  kScanReq = 9,           ///< payload: u64 session_id + ScanRequest
+  kScanResp = 10,         ///< payload: ScanResult
+  kStatsReq = 11,
+  kStatsResp = 12,        ///< payload: ServiceStats
+  kErrorResp = 13,        ///< payload: u16 wire error code + string
+};
+
+/// True iff `t` names a known frame type (decode guard).
+bool IsValidMsgType(uint8_t t);
+
+/// Wire error codes carried by kErrorResp. Values 0..99 mirror
+/// StatusCode numerically; 100+ are wire-specific. kOverloaded is the
+/// admission queue's kResourceExhausted: a distinct code so clients and
+/// load balancers can tell "back off and retry" from every other error
+/// without parsing messages.
+enum class WireError : uint16_t {
+  kOverloaded = 100,
+};
+
+/// Status -> wire code (kResourceExhausted becomes kOverloaded).
+uint16_t WireErrorFromStatus(const Status& status);
+/// Wire code + message -> Status (kOverloaded becomes kResourceExhausted,
+/// unknown codes become kInternal).
+Status StatusFromWireError(uint16_t code, std::string message);
+
+/// --- Bounds-checked primitive encoding (little-endian) ---
+
+/// Appends primitives to a std::string buffer.
+class Writer {
+ public:
+  explicit Writer(std::string* out) : out_(out) {}
+
+  void PutU8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutF64(double v);
+  /// u32 length + raw bytes.
+  void PutString(std::string_view s);
+  void PutU64Vec(const std::vector<uint64_t>& v);
+  void PutF64Vec(const std::vector<double>& v);
+  void PutStringVec(const std::vector<std::string>& v);
+
+ private:
+  std::string* out_;
+};
+
+/// Reads primitives from a byte range; every getter fails with
+/// kCorruption on truncation instead of reading past the end, and vector
+/// getters validate the declared count against the bytes actually
+/// remaining before allocating (a fuzzed length prefix cannot trigger a
+/// giant allocation).
+class Reader {
+ public:
+  Reader(const void* data, size_t len)
+      : p_(static_cast<const uint8_t*>(data)), len_(len) {}
+
+  Status GetU8(uint8_t* v);
+  Status GetU16(uint16_t* v);
+  Status GetU32(uint32_t* v);
+  Status GetU64(uint64_t* v);
+  Status GetF64(double* v);
+  Status GetString(std::string* s);
+  Status GetU64Vec(std::vector<uint64_t>* v);
+  Status GetF64Vec(std::vector<double>* v);
+  Status GetStringVec(std::vector<std::string>* v);
+
+  size_t remaining() const { return len_ - pos_; }
+  /// Decoders call this last: trailing bytes mean a version skew or a
+  /// corrupted length field that happened to pass CRC.
+  Status ExpectEnd() const;
+
+ private:
+  const uint8_t* p_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+/// --- Handshake ---
+
+/// Client hello and server reply are both exactly kHandshakeBytes.
+std::string EncodeHello();
+/// `accept` true = serve, false = version mismatch (connection closes).
+std::string EncodeHelloReply(bool accept);
+/// Validates a client hello. kInvalidArgument on bad magic (close without
+/// replying: it is not our protocol), kUnavailable on version mismatch
+/// (reply reject, then close).
+Status DecodeHello(const void* data, size_t len);
+/// Validates a server reply on the client side.
+Status DecodeHelloReply(const void* data, size_t len);
+
+/// --- Frames ---
+
+struct Frame {
+  MsgType type = MsgType::kPingReq;
+  uint64_t request_id = 0;
+  std::string payload;
+};
+
+/// Appends one encoded frame (header + payload + CRC) to `out`.
+void AppendFrame(std::string* out, MsgType type, uint64_t request_id,
+                 std::string_view payload);
+
+/// Tries to parse one frame from the front of [data, data+len).
+/// Returns OK with *consumed == 0 when the buffer holds only a prefix
+/// (read more bytes); OK with *consumed > 0 when `frame` was filled;
+/// kCorruption / kOutOfRange / kInvalidArgument when the stream is
+/// unrecoverable (oversized length, CRC mismatch, unknown type) — the
+/// connection must be torn down, since frame boundaries are lost.
+Status ParseFrame(const void* data, size_t len, Frame* frame,
+                  size_t* consumed);
+
+/// --- Payload encodings ---
+
+std::string EncodeFetchRequest(uint64_t session, const FetchRequest& req);
+Status DecodeFetchRequest(const std::string& payload, uint64_t* session,
+                          FetchRequest* req);
+
+std::string EncodeFetchResult(const FetchResult& result);
+Status DecodeFetchResult(const std::string& payload, FetchResult* result);
+
+std::string EncodeScanRequest(uint64_t session, const ScanRequest& req);
+Status DecodeScanRequest(const std::string& payload, uint64_t* session,
+                         ScanRequest* req);
+
+std::string EncodeScanResult(const ScanResult& result);
+Status DecodeScanResult(const std::string& payload, ScanResult* result);
+
+std::string EncodeStats(const ServiceStats& stats);
+Status DecodeStats(const std::string& payload, ServiceStats* stats);
+
+std::string EncodeError(const Status& status);
+Status DecodeError(const std::string& payload);
+
+std::string EncodeSessionId(uint64_t session);
+Status DecodeSessionId(const std::string& payload, uint64_t* session);
+
+}  // namespace wire
+}  // namespace mistique
+
+#endif  // MISTIQUE_NET_WIRE_H_

@@ -59,6 +59,11 @@ std::shared_ptr<QueryService::Session> QueryService::Admit(SessionId session,
 }
 
 bool QueryService::TryEnqueue(Status* reject) {
+  if (draining_.load(std::memory_order_acquire)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    *reject = Status::Unavailable("service is draining; not admitting");
+    return false;
+  }
   // Backpressure: bound the number of waiting queries, not in-flight
   // ones. Reserve the slot first and roll back on overflow so N racing
   // submitters cannot all pass a stale check — max_queue is a hard bound.
@@ -72,6 +77,7 @@ bool QueryService::TryEnqueue(Status* reject) {
     return false;
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  inflight_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -82,13 +88,16 @@ bool QueryService::ExpiredInQueue(double submit_sec, double deadline_sec) {
 
 template <typename T>
 void QueryService::RunTask(double submit_sec, double deadline_sec,
-                           std::shared_ptr<std::promise<Result<T>>> promise,
+                           const std::function<void(Result<T>)>& done,
                            const std::function<Result<T>()>& body) {
   queued_.fetch_sub(1, std::memory_order_relaxed);
   running_.fetch_add(1, std::memory_order_relaxed);
   if (options_.pre_execute_hook) options_.pre_execute_hook();
 
   Result<T> result = [&]() -> Result<T> {
+    if (abandon_.load(std::memory_order_acquire)) {
+      return Status::Unavailable("abandoned: drain deadline passed");
+    }
     if (ExpiredInQueue(submit_sec, deadline_sec)) {
       return Status::DeadlineExceeded(
           "deadline of " + std::to_string(deadline_sec) +
@@ -102,24 +111,36 @@ void QueryService::RunTask(double submit_sec, double deadline_sec,
     RecordLatency(NowSeconds() - submit_sec);
   } else if (result.status().code() == StatusCode::kDeadlineExceeded) {
     expired_.fetch_add(1, std::memory_order_relaxed);
+  } else if (result.status().code() == StatusCode::kUnavailable) {
+    abandoned_.fetch_add(1, std::memory_order_relaxed);
   } else {
     failed_.fetch_add(1, std::memory_order_relaxed);
   }
   running_.fetch_sub(1, std::memory_order_relaxed);
-  promise->set_value(std::move(result));
+  // Deliver BEFORE decrementing inflight_: a request counts as in flight
+  // until its completion callback ran, so Drain returning means every
+  // admitted request's response has actually been handed back (the TCP
+  // server relies on this to flush responses before closing sockets).
+  done(std::move(result));
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
+  if (draining_.load(std::memory_order_acquire)) {
+    // Drain waits for inflight_ == 0; wake it after every completion
+    // (taking the lock orders the notify against the wait).
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    drain_cv_.notify_all();
+  }
 }
 
-std::future<Result<FetchResult>> QueryService::SubmitFetch(
-    SessionId session, FetchRequest request, double deadline_sec) {
-  auto promise = std::make_shared<std::promise<Result<FetchResult>>>();
-  std::future<Result<FetchResult>> future = promise->get_future();
+void QueryService::SubmitFetchAsync(
+    SessionId session, FetchRequest request, double deadline_sec,
+    std::function<void(Result<FetchResult>)> done) {
   if (deadline_sec < 0) deadline_sec = options_.default_deadline_sec;
 
   Status reject;
   std::shared_ptr<Session> s = Admit(session, &reject);
   if (s == nullptr) {
-    promise->set_value(reject);
-    return future;
+    done(reject);
+    return;
   }
 
   // Per-session result cache: hits bypass the queue entirely, so a
@@ -127,27 +148,29 @@ std::future<Result<FetchResult>> QueryService::SubmitFetch(
   const uint64_t key = Mistique::RequestKey(request);
   if (options_.session_cache_entries > 0) {
     cache_lookups_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> cache_lock(s->m);
+    std::unique_lock<std::mutex> cache_lock(s->m);
     if (const FetchResult* cached = s->cache.Get(key)) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
       completed_.fetch_add(1, std::memory_order_relaxed);
       FetchResult hit = *cached;
       hit.from_cache = true;
       hit.fetch_seconds = 0;
-      promise->set_value(std::move(hit));
-      return future;
+      cache_lock.unlock();
+      done(std::move(hit));
+      return;
     }
   }
 
   if (!TryEnqueue(&reject)) {
-    promise->set_value(reject);
-    return future;
+    done(reject);
+    return;
   }
   const double submit_sec = NowSeconds();
-  pool_->Submit([this, s, key, promise, submit_sec, deadline_sec,
+  pool_->Submit([this, s, key, submit_sec, deadline_sec,
+                 done = std::move(done),
                  request = std::move(request)]() mutable {
     RunTask<FetchResult>(
-        submit_sec, deadline_sec, promise,
+        submit_sec, deadline_sec, done,
         [&]() -> Result<FetchResult> {
           const uint64_t epoch_before =
               cache_epoch_.load(std::memory_order_acquire);
@@ -171,6 +194,42 @@ std::future<Result<FetchResult>> QueryService::SubmitFetch(
           return result;
         });
   });
+}
+
+void QueryService::SubmitScanAsync(
+    SessionId session, ScanRequest request, double deadline_sec,
+    std::function<void(Result<ScanResult>)> done) {
+  if (deadline_sec < 0) deadline_sec = options_.default_deadline_sec;
+
+  Status reject;
+  std::shared_ptr<Session> s = Admit(session, &reject);
+  if (s == nullptr) {
+    done(reject);
+    return;
+  }
+
+  if (!TryEnqueue(&reject)) {
+    done(reject);
+    return;
+  }
+  const double submit_sec = NowSeconds();
+  pool_->Submit([this, submit_sec, deadline_sec, done = std::move(done),
+                 request = std::move(request)]() mutable {
+    RunTask<ScanResult>(submit_sec, deadline_sec, done,
+                        [&]() -> Result<ScanResult> {
+                          return engine_->Scan(request);
+                        });
+  });
+}
+
+std::future<Result<FetchResult>> QueryService::SubmitFetch(
+    SessionId session, FetchRequest request, double deadline_sec) {
+  auto promise = std::make_shared<std::promise<Result<FetchResult>>>();
+  std::future<Result<FetchResult>> future = promise->get_future();
+  SubmitFetchAsync(session, std::move(request), deadline_sec,
+                   [promise](Result<FetchResult> result) {
+                     promise->set_value(std::move(result));
+                   });
   return future;
 }
 
@@ -178,28 +237,36 @@ std::future<Result<ScanResult>> QueryService::SubmitScan(
     SessionId session, ScanRequest request, double deadline_sec) {
   auto promise = std::make_shared<std::promise<Result<ScanResult>>>();
   std::future<Result<ScanResult>> future = promise->get_future();
-  if (deadline_sec < 0) deadline_sec = options_.default_deadline_sec;
-
-  Status reject;
-  std::shared_ptr<Session> s = Admit(session, &reject);
-  if (s == nullptr) {
-    promise->set_value(reject);
-    return future;
-  }
-
-  if (!TryEnqueue(&reject)) {
-    promise->set_value(reject);
-    return future;
-  }
-  const double submit_sec = NowSeconds();
-  pool_->Submit([this, promise, submit_sec, deadline_sec,
-                 request = std::move(request)]() mutable {
-    RunTask<ScanResult>(submit_sec, deadline_sec, promise,
-                        [&]() -> Result<ScanResult> {
-                          return engine_->Scan(request);
-                        });
-  });
+  SubmitScanAsync(session, std::move(request), deadline_sec,
+                  [promise](Result<ScanResult> result) {
+                    promise->set_value(std::move(result));
+                  });
   return future;
+}
+
+uint64_t QueryService::Drain(double deadline_sec) {
+  draining_.store(true, std::memory_order_release);
+  const auto pending = [this] {
+    return inflight_.load(std::memory_order_relaxed);
+  };
+  {
+    std::unique_lock<std::mutex> lock(drain_mutex_);
+    if (deadline_sec <= 0) {
+      drain_cv_.wait(lock, [&] { return pending() == 0; });
+    } else {
+      drain_cv_.wait_for(lock,
+                         std::chrono::duration<double>(deadline_sec),
+                         [&] { return pending() == 0; });
+    }
+  }
+  const uint64_t left = pending();
+  if (left > 0) {
+    // Deadline passed with work still pending: abandon it. Workers see
+    // the flag before touching the engine and complete immediately with
+    // kUnavailable, so destruction (which drains the pool) stays fast.
+    abandon_.store(true, std::memory_order_release);
+  }
+  return left;
 }
 
 Result<FetchResult> QueryService::Fetch(SessionId session,
@@ -257,6 +324,8 @@ ServiceStats QueryService::Stats() const {
   stats.running = running_.load(std::memory_order_relaxed);
   stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   stats.cache_lookups = cache_lookups_.load(std::memory_order_relaxed);
+  stats.abandoned = abandoned_.load(std::memory_order_relaxed);
+  stats.draining = draining_.load(std::memory_order_relaxed);
   const uint64_t read_now = engine_->store().disk_read_bytes();
   stats.bytes_read =
       read_now >= bytes_read_at_start_ ? read_now - bytes_read_at_start_ : 0;

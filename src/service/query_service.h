@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -62,6 +63,9 @@ struct ServiceStats {
                                       ///< (partitions quarantined).
   uint64_t partitions_healed = 0;     ///< Quarantined partitions fully
                                       ///< re-materialized via rerun.
+  uint64_t abandoned = 0;   ///< Still pending when a Drain deadline passed
+                            ///< (they finish with kUnavailable).
+  bool draining = false;    ///< Drain was called; new requests are rejected.
   double p50_latency_sec = 0;  ///< Median submit-to-finish latency.
   double p95_latency_sec = 0;
   size_t open_sessions = 0;
@@ -111,6 +115,27 @@ class QueryService {
                                              ScanRequest request,
                                              double deadline_sec = -1);
 
+  /// Callback flavors of the submit APIs, for callers that multiplex many
+  /// in-flight requests on one thread (the TCP server's poll loop). `done`
+  /// is invoked exactly once — on the calling thread for rejections
+  /// (unknown session, queue full, draining) and cache hits, otherwise on
+  /// the worker that executed the request. It must not block.
+  void SubmitFetchAsync(SessionId session, FetchRequest request,
+                        double deadline_sec,
+                        std::function<void(Result<FetchResult>)> done);
+  void SubmitScanAsync(SessionId session, ScanRequest request,
+                       double deadline_sec,
+                       std::function<void(Result<ScanResult>)> done);
+
+  /// Graceful shutdown, phase 1 (the only stop path besides destruction):
+  /// stops admitting — every later submit is rejected with kUnavailable —
+  /// then waits up to `deadline_sec` (<= 0 waits forever) for queued and
+  /// running work to finish. Requests still pending at the deadline are
+  /// abandoned: workers complete them immediately with kUnavailable
+  /// instead of touching the engine. Returns how many were abandoned.
+  /// Idempotent; concurrent callers all block until their own deadline.
+  uint64_t Drain(double deadline_sec);
+
   /// Synchronous conveniences (submit + wait).
   Result<FetchResult> Fetch(SessionId session, const FetchRequest& request);
   Result<ScanResult> Scan(SessionId session, const ScanRequest& request);
@@ -142,10 +167,11 @@ class QueryService {
   /// True iff the request's deadline passed; runs on the worker.
   bool ExpiredInQueue(double submit_sec, double deadline_sec);
 
-  /// Wraps bookkeeping shared by fetch and scan tasks around `body`.
+  /// Wraps bookkeeping shared by fetch and scan tasks around `body`;
+  /// delivers the result through `done`.
   template <typename T>
   void RunTask(double submit_sec, double deadline_sec,
-               std::shared_ptr<std::promise<Result<T>>> promise,
+               const std::function<void(Result<T>)>& done,
                const std::function<Result<T>()>& body);
 
   void RecordLatency(double seconds);
@@ -164,6 +190,21 @@ class QueryService {
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> cache_lookups_{0};
+  std::atomic<uint64_t> abandoned_{0};
+  /// Admitted requests whose completion callback has not yet returned.
+  /// Unlike queued_/running_ (point-in-time stats), this spans the whole
+  /// admission→delivery lifetime with no dip in between, so Drain can
+  /// wait on it alone and returning guarantees every admitted request's
+  /// response was actually handed back.
+  std::atomic<uint64_t> inflight_{0};
+  /// Set by Drain: stops admission (draining_) and, once the drain
+  /// deadline passes, short-circuits still-pending work (abandon_).
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> abandon_{false};
+  /// Signaled by RunTask whenever inflight_ may have hit zero while
+  /// draining; Drain waits on it.
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
   /// Bumped by InvalidateSessionCaches; workers capture it before an
   /// engine Fetch and skip the cache Put if it moved, so a result
   /// computed before a materialization cannot be re-inserted after the
