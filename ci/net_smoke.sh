@@ -53,6 +53,28 @@ echo "== concurrent remote session (4 clients x 25 fetches) =="
 echo "== stats =="
 "$CLI" remote "127.0.0.1:$PORT" stats
 
+echo "== metrics scrape =="
+"$CLI" remote "127.0.0.1:$PORT" metrics > "$WORK/metrics.txt"
+# The fetches above must have moved the engine counters; a corruption
+# count other than zero means the store served damaged partitions.
+grep -Eq '^mistique_fetch_total [1-9]' "$WORK/metrics.txt" || {
+  echo "expected non-zero mistique_fetch_total"; cat "$WORK/metrics.txt"; exit 1; }
+grep -Eq '^mistique_disk_read_bytes_total [1-9]' "$WORK/metrics.txt" || {
+  echo "expected non-zero mistique_disk_read_bytes_total"; exit 1; }
+grep -Eq '^mistique_corruptions_detected 0$' "$WORK/metrics.txt" || {
+  echo "expected zero mistique_corruptions_detected"; exit 1; }
+grep -Eq '^mistique_service_latency_seconds_count [1-9]' "$WORK/metrics.txt" || {
+  echo "expected latency histogram samples"; exit 1; }
+echo "metrics OK ($(wc -l < "$WORK/metrics.txt") lines)"
+
+echo "== traced remote fetch =="
+"$CLI" remote "127.0.0.1:$PORT" trace "$KEY" 25 2>/dev/null > "$WORK/trace.txt"
+grep -q "strategy:" "$WORK/trace.txt" || {
+  echo "trace missing strategy line"; cat "$WORK/trace.txt"; exit 1; }
+grep -q "t_read" "$WORK/trace.txt" || {
+  echo "trace missing cost-model estimates"; cat "$WORK/trace.txt"; exit 1; }
+cat "$WORK/trace.txt"
+
 echo "== SIGTERM -> clean drain =="
 kill -TERM "$SERVER_PID"
 RC=0

@@ -11,13 +11,17 @@
 //   mistique_cli <store_dir> stats
 //   mistique_cli <store_dir> service_session [sessions] [queries] [workers]
 //   mistique_cli <store_dir> serve [port] [workers]
+//   mistique_cli <store_dir> metrics
+//   mistique_cli <store_dir> trace <project.model.intermediate.column> [n]
 //
 // Remote mode talks the wire protocol to a running `serve` instance; no
 // store directory needed on the client machine:
 //
 //   mistique_cli remote <host:port> ping
 //   mistique_cli remote <host:port> stats
+//   mistique_cli remote <host:port> metrics
 //   mistique_cli remote <host:port> fetch <project.model.intermediate.column> [n]
+//   mistique_cli remote <host:port> trace <project.model.intermediate.column> [n]
 //   mistique_cli remote <host:port> session <project.model.intermediate.column> [S] [Q]
 
 #include <csignal>
@@ -67,10 +71,15 @@ int Usage() {
       "                                  Q queries via a W-worker service\n"
       "  serve [port] [W]                serve the store over TCP with W\n"
       "                                  workers until SIGTERM/SIGINT\n"
+      "  metrics                         Prometheus-style metric exposition\n"
+      "  trace <proj.model.interm.col> [n]   fetch with a cost-decision\n"
+      "                                  trace (estimates vs actual stages)\n"
       "       mistique_cli remote <host:port> <command>\n"
       "  ping                            round-trip liveness check\n"
       "  stats                           remote service + query statistics\n"
+      "  metrics                         scrape the server's metrics\n"
       "  fetch <proj.model.interm.col> [n]   remote fetch, print n values\n"
+      "  trace <proj.model.interm.col> [n]   remote traced fetch\n"
       "  session <proj.model.interm.col> [S] [Q]   S client threads each\n"
       "                                  issuing Q remote fetches\n");
   return 2;
@@ -142,6 +151,23 @@ int RunRemote(int argc, char** argv) {
   }
   if (command == "stats") {
     PrintRemoteStats(Check(client.Stats()));
+    return 0;
+  }
+  if (command == "metrics") {
+    std::fputs(Check(client.Metrics()).c_str(), stdout);
+    return 0;
+  }
+  if (command == "trace" && argc >= 5) {
+    const uint64_t n = argc >= 6 ? std::strtoull(argv[5], nullptr, 10) : 10;
+    FetchRequest request =
+        Check(Mistique::ParseIntermediateKeys({argv[4]}, n));
+    wire::TraceResultSummary summary;
+    const obs::QueryTrace trace = Check(client.TraceFetch(request, &summary));
+    std::fputs(trace.Format().c_str(), stdout);
+    std::fprintf(stderr, "(%llu rows x %llu cols via %s, remote)\n",
+                 static_cast<unsigned long long>(summary.rows),
+                 static_cast<unsigned long long>(summary.cols),
+                 summary.used_read ? "read" : "re-run");
     return 0;
   }
   if (command == "fetch" && argc >= 5) {
@@ -384,8 +410,9 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.rejected),
                 static_cast<unsigned long long>(stats.expired),
                 static_cast<unsigned long long>(stats.failed));
-    std::printf("latency:        p50 %.2fms  p95 %.2fms\n",
-                stats.p50_latency_sec * 1e3, stats.p95_latency_sec * 1e3);
+    std::printf("latency:        p50 %.2fms  p95 %.2fms  p99 %.2fms\n",
+                stats.p50_latency_sec * 1e3, stats.p95_latency_sec * 1e3,
+                stats.p99_latency_sec * 1e3);
     std::printf("disk read:      %.1fKB\n", stats.bytes_read / 1e3);
     return errors.load() == 0 ? 0 : 1;
   }
@@ -427,6 +454,29 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.rejected),
                 static_cast<unsigned long long>(net_stats.connections_accepted),
                 static_cast<unsigned long long>(net_stats.protocol_errors));
+    return 0;
+  }
+  if (command == "metrics") {
+    // A throwaway service so the exposition includes the service-level
+    // histograms/gauges alongside the engine and storage metrics the
+    // catalog recovery above already populated.
+    QueryService service(&mq);
+    std::fputs(service.MetricsText().c_str(), stdout);
+    return 0;
+  }
+  if (command == "trace" && argc >= 4) {
+    const uint64_t n = argc >= 5 ? std::strtoull(argv[4], nullptr, 10) : 10;
+    FetchRequest request =
+        Check(Mistique::ParseIntermediateKeys({argv[3]}, n));
+    QueryService service(&mq);
+    const SessionId session = service.OpenSession();
+    TracedFetch traced = Check(service.TraceFetch(session, request));
+    std::fputs(traced.trace.Format().c_str(), stdout);
+    const size_t rows =
+        traced.result.columns.empty() ? 0 : traced.result.columns[0].size();
+    std::fprintf(stderr, "(%zu rows x %zu cols via %s)\n", rows,
+                 traced.result.columns.size(),
+                 traced.result.used_read ? "read" : "re-run");
     return 0;
   }
   if (command == "stats") {

@@ -4,6 +4,7 @@
 
 #include "common/random.h"
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
 
 namespace mistique {
 
@@ -36,6 +37,13 @@ Status CostModel::Calibrate(DataStore* store, size_t probe_bytes) {
   (void)decoded;
   if (secs > 1e-7) {
     params_.read_bytes_per_sec = static_cast<double>(probe_bytes) / secs;
+    // Exposed so estimated-vs-actual drift in traces can be read against
+    // the ρ_d the estimates were computed with.
+    obs::GlobalMetrics()
+        .GetGauge("mistique_cost_model_read_bytes_per_sec",
+                  "Calibrated rho_d (effective read bandwidth, bytes/sec) "
+                  "used by Eq. 4 read-time estimates.")
+        ->Set(static_cast<int64_t>(params_.read_bytes_per_sec));
   }
   // The probe is scratch data; leave no footprint behind.
   return store->DropPartition(pid);

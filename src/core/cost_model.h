@@ -63,6 +63,19 @@ class CostModel {
   double Gamma(const ModelInfo& model, const IntermediateInfo& intermediate,
                uint64_t estimated_bytes) const;
 
+  /// Post-hoc misprediction check: true when the strategy the model
+  /// chose took longer than it estimated the *alternative* would have —
+  /// i.e. with hindsight the other choice was modeled as cheaper. Only
+  /// meaningful when both strategies were actually available (the caller
+  /// gates on materialized + executor-attached + no force_read). Feeds
+  /// the mistique_cost_model_mispredictions_total counter.
+  static bool Mispredicted(bool used_read, double actual_sec,
+                           double est_read_sec, double est_rerun_sec) {
+    if (actual_sec < 0) return false;
+    return used_read ? actual_sec > est_rerun_sec
+                     : actual_sec > est_read_sec;
+  }
+
  private:
   CostModelParams params_;
 };

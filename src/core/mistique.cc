@@ -1,17 +1,84 @@
 #include "core/mistique.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <filesystem>
 
 #include "common/hash.h"
 #include "common/stopwatch.h"
 #include "durability/fault_injection.h"
 #include "metadata/catalog_wal.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mistique {
 
 namespace {
+
+/// Engine-level metric handles, registered once and cached (the registry
+/// lookup takes a mutex; the cached pointer costs nothing).
+struct EngineMetrics {
+  obs::Counter* fetch_total;
+  obs::Counter* scan_total;
+  obs::Counter* fetch_read_total;
+  obs::Counter* fetch_rerun_total;
+  obs::Counter* engine_cache_hits;
+  obs::Counter* engine_cache_lookups;
+  obs::Counter* materializations_total;
+  obs::Counter* mispredictions_total;
+  EngineMetrics() {
+    obs::MetricsRegistry& reg = obs::GlobalMetrics();
+    fetch_total = reg.GetCounter(
+        "mistique_fetch_total", "Engine fetches executed (excluding "
+        "session-cache hits served by the service layer).");
+    scan_total = reg.GetCounter("mistique_scan_total",
+                                "Engine predicate scans executed.");
+    fetch_read_total = reg.GetCounter(
+        "mistique_fetch_read_total",
+        "Fetches served by reading stored intermediates (t_read path).");
+    fetch_rerun_total = reg.GetCounter(
+        "mistique_fetch_rerun_total",
+        "Fetches served by re-running the model (t_rerun path).");
+    engine_cache_hits = reg.GetCounter(
+        "mistique_engine_cache_hits_total",
+        "Engine query-cache hits (identical repeated requests).");
+    engine_cache_lookups = reg.GetCounter(
+        "mistique_engine_cache_lookups_total",
+        "Engine query-cache probes.");
+    materializations_total = reg.GetCounter(
+        "mistique_materializations_total",
+        "Adaptive/heal materializations performed (store changed shape).");
+    mispredictions_total = reg.GetCounter(
+        "mistique_cost_model_mispredictions_total",
+        "Fetches where the chosen strategy's actual time exceeded the "
+        "alternative's estimate (only counted when both strategies were "
+        "viable and force_read was unset).");
+  }
+};
+
+EngineMetrics& Metrics() {
+  static EngineMetrics* metrics = new EngineMetrics;  // never destroyed
+  return *metrics;
+}
+
+/// Rate-limited estimated-vs-actual log line for mispredictions: the
+/// counter always moves; stderr gets the first few per process and then
+/// a 1-in-256 sample, so benchmark loops cannot flood the log.
+void LogMisprediction(const FetchRequest& request, const FetchResult& out) {
+  static std::atomic<uint64_t> logged{0};
+  const uint64_t n = logged.fetch_add(1, std::memory_order_relaxed);
+  if (n >= 16 && n % 256 != 0) return;
+  std::fprintf(
+      stderr,
+      "[mistique] cost-model mispredict on %s.%s.%s: chose %s "
+      "(actual %.3fms) but estimated t_read=%.3fms t_rerun=%.3fms\n",
+      request.project.c_str(), request.model.c_str(),
+      request.intermediate.c_str(), out.used_read ? "read" : "rerun",
+      out.fetch_seconds * 1e3, out.predicted_read_sec * 1e3,
+      out.predicted_rerun_sec * 1e3);
+}
 
 /// Encode-side quantizer state for one intermediate during logging or
 /// materialization.
@@ -101,6 +168,7 @@ const char* StorageStrategyName(StorageStrategy s) {
 
 Status Mistique::Open(const MistiqueOptions& options) {
   std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  Metrics();  // register engine counters so expositions list them at zero
   options_ = options;
   {
     // query_cache_ is guarded by stats_mutex_ (readers like
@@ -830,6 +898,9 @@ Status Mistique::ReadColumns(const ModelInfo& model,
   // thrash each other on alternating columns.
   std::unordered_map<PartitionId, std::shared_ptr<const Partition>> pinned;
   const auto get_chunk = [&](ChunkId id) -> Result<const ColumnChunk*> {
+    // dedup_resolve: chunk id -> owning partition -> pinned/pool/disk.
+    // Inclusive of any nested disk_read/decompress the load performs.
+    obs::AccumSpan span("dedup_resolve");
     MISTIQUE_ASSIGN_OR_RETURN(PartitionId pid, store_.PartitionOf(id));
     auto it = pinned.find(pid);
     if (it != pinned.end()) {
@@ -856,8 +927,12 @@ Status Mistique::ReadColumns(const ModelInfo& model,
       }
       MISTIQUE_ASSIGN_OR_RETURN(const ColumnChunk* chunk,
                                 get_chunk(col.chunks[block_idx]));
+      Result<std::vector<double>> decoded_or = [&] {
+        obs::AccumSpan span("decode");
+        return chunk->DecodeAsDouble(recon);
+      }();
       MISTIQUE_ASSIGN_OR_RETURN(std::vector<double> decoded,
-                                chunk->DecodeAsDouble(recon));
+                                std::move(decoded_or));
       std::vector<double>& out_col = out->columns[oi];
       for (size_t k = r; k < r_end; ++k) {
         const uint64_t offset = rows[k] % block;
@@ -1068,19 +1143,24 @@ void Mistique::InvalidateCache() {
 }
 
 Result<FetchResult> Mistique::Fetch(const FetchRequest& request) {
+  Metrics().fetch_total->Increment();
   // Optimistic pass under the shared lock: materialized read paths (the
   // common case for a diagnosis service) run fully parallel. Requests that
   // need the re-run executor or adaptive materialization escalate to the
   // exclusive lock.
   {
+    obs::TraceSpan lock_span("lock_wait_shared");
     std::shared_lock<std::shared_mutex> lock(rw_mutex_);
+    lock_span.End();
     bool needs_exclusive = false;
     Result<FetchResult> result =
         FetchLocked(request, /*exclusive=*/false, /*count_query=*/true,
                     &needs_exclusive);
     if (!needs_exclusive) return result;
   }
+  obs::TraceSpan lock_span("lock_wait_exclusive");
   std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  lock_span.End();
   // Escalations triggered by a checksum failure arrive here with the bad
   // partition already quarantined; demote the affected columns first so
   // the retry below naturally picks the re-run path (and then heals).
@@ -1123,8 +1203,14 @@ Result<FetchResult> Mistique::FetchLocked(const FetchRequest& request,
   const uint64_t cache_key =
       options_.query_cache_entries > 0 ? RequestKey(request) : 0;
   if (options_.query_cache_entries > 0) {
+    Metrics().engine_cache_lookups->Increment();
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     if (const FetchResult* cached = query_cache_.Get(cache_key)) {
+      Metrics().engine_cache_hits->Increment();
+      if (obs::QueryTrace* t = obs::CurrentTrace()) {
+        t->strategy = "engine-cache";
+        t->cache_hit = true;
+      }
       FetchResult hit = *cached;
       hit.from_cache = true;
       hit.fetch_seconds = 0;
@@ -1199,6 +1285,10 @@ Result<FetchResult> Mistique::FetchLocked(const FetchRequest& request,
       *model, interm, static_cast<uint64_t>(rows.size()));
   out.predicted_read_sec = cost_model_.ReadSeconds(
       interm, static_cast<uint64_t>(rows.size()), col_fraction);
+  if (obs::QueryTrace* t = obs::CurrentTrace()) {
+    t->est_rerun_sec = out.predicted_rerun_sec;
+    t->est_read_sec = out.predicted_read_sec;
+  }
 
   // Models recovered from a persisted catalog have no executor until one
   // is re-attached; they can only serve reads.
@@ -1236,10 +1326,19 @@ Result<FetchResult> Mistique::FetchLocked(const FetchRequest& request,
   for (size_t i : col_idx) out.column_names.push_back(interm.columns[i].name);
   out.row_ids = rows;
   out.used_read = use_read;
+  if (obs::QueryTrace* t = obs::CurrentTrace()) {
+    t->strategy = request.force_read.has_value()
+                      ? (use_read ? "forced-read" : "forced-rerun")
+                      : (use_read ? "read" : "rerun");
+  }
 
   Stopwatch watch;
+  bool read_failed_over = false;  // corruption heal, not a model error
   if (use_read) {
-    Status read_status = ReadColumns(*model, interm, col_idx, rows, &out);
+    Status read_status = [&] {
+      obs::TraceSpan span("read");
+      return ReadColumns(*model, interm, col_idx, rows, &out);
+    }();
     if (!read_status.ok()) {
       const StatusCode code = read_status.code();
       const bool recoverable = (code == StatusCode::kDataLoss ||
@@ -1257,23 +1356,44 @@ Result<FetchResult> Mistique::FetchLocked(const FetchRequest& request,
       out.columns.clear();
       use_read = false;
       out.used_read = false;
+      read_failed_over = true;
+      obs::TraceSpan span("rerun");
       MISTIQUE_RETURN_NOT_OK(
           RerunColumns(model_id, interm_index, col_idx, rows, &out));
     }
   } else {
+    obs::TraceSpan span("rerun");
     MISTIQUE_RETURN_NOT_OK(
         RerunColumns(model_id, interm_index, col_idx, rows, &out));
   }
   out.fetch_seconds = watch.ElapsedSeconds();
+  (use_read ? Metrics().fetch_read_total : Metrics().fetch_rerun_total)
+      ->Increment();
+
+  // Estimated-vs-actual drift (the ISSUE's "force_read flake" made
+  // observable): only judged when the model made a free choice between
+  // two viable strategies.
+  const bool both_viable = !request.force_read.has_value() && materialized &&
+                           has_executor && !read_failed_over;
+  if (both_viable &&
+      CostModel::Mispredicted(use_read, out.fetch_seconds,
+                              out.predicted_read_sec,
+                              out.predicted_rerun_sec)) {
+    Metrics().mispredictions_total->Increment();
+    LogMisprediction(request, out);
+    if (obs::QueryTrace* t = obs::CurrentTrace()) t->mispredicted = true;
+  }
 
   // Rerun-based self-healing: a corruption demoted this intermediate, and
   // the re-run that just served the query can re-materialize it so future
   // reads come off storage again.
   if (!use_read && exclusive && IsHealPending(model_id, interm_index)) {
+    obs::TraceSpan span("materialize");
     MISTIQUE_RETURN_NOT_OK(MaterializeColumns(model_id, interm_index, {}));
     MISTIQUE_RETURN_NOT_OK(PersistIntermediateUpdate(model_id, interm_index));
     NoteIntermediateHealed(model_id, interm_index);
     out.materialized_now = true;
+    Metrics().materializations_total->Increment();
     InvalidateCache();
   }
 
@@ -1286,14 +1406,20 @@ Result<FetchResult> Mistique::FetchLocked(const FetchRequest& request,
     const double gamma = cost_model_.Gamma(
         *model, interm, EstimateEncodedBytes(interm, col_idx.size()));
     if (gamma >= options_.gamma_min) {
+      obs::TraceSpan span("materialize");
       MISTIQUE_RETURN_NOT_OK(
           MaterializeColumns(model_id, interm_index, col_idx));
       MISTIQUE_RETURN_NOT_OK(
           PersistIntermediateUpdate(model_id, interm_index));
       out.materialized_now = true;
+      Metrics().materializations_total->Increment();
       // Cached decisions are stale once the store changed shape.
       InvalidateCache();
     }
+  }
+
+  if (obs::QueryTrace* t = obs::CurrentTrace()) {
+    t->materialized_now = out.materialized_now;
   }
 
   if (options_.query_cache_entries > 0 && !out.materialized_now) {
@@ -1304,6 +1430,7 @@ Result<FetchResult> Mistique::FetchLocked(const FetchRequest& request,
 }
 
 Result<ScanResult> Mistique::Scan(const ScanRequest& request) {
+  Metrics().scan_total->Increment();
   ScanResult out;
   bool rerun_fallback = false;
   uint64_t num_row_blocks = 0;

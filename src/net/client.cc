@@ -341,5 +341,33 @@ Result<ServiceStats> Client::Stats() {
   return stats;
 }
 
+Result<std::string> Client::Metrics() {
+  wire::Frame resp;
+  MISTIQUE_RETURN_NOT_OK(Call(wire::MsgType::kMetricsReq,
+                              /*with_session=*/false,
+                              [](SessionId) { return std::string(); },
+                              wire::MsgType::kMetricsResp, &resp));
+  std::string text;
+  MISTIQUE_RETURN_NOT_OK(wire::DecodeMetricsText(resp.payload, &text));
+  return text;
+}
+
+Result<obs::QueryTrace> Client::TraceFetch(const FetchRequest& request,
+                                           wire::TraceResultSummary* summary) {
+  wire::Frame resp;
+  MISTIQUE_RETURN_NOT_OK(Call(
+      wire::MsgType::kTraceFetchReq, /*with_session=*/true,
+      [&request](SessionId session) {
+        return wire::EncodeFetchRequest(session, request);
+      },
+      wire::MsgType::kTraceResp, &resp));
+  obs::QueryTrace trace;
+  wire::TraceResultSummary local;
+  MISTIQUE_RETURN_NOT_OK(
+      wire::DecodeQueryTrace(resp.payload, &trace, &local));
+  if (summary != nullptr) *summary = local;
+  return trace;
+}
+
 }  // namespace net
 }  // namespace mistique

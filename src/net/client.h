@@ -65,6 +65,14 @@ class Client {
   Result<FetchResult> Fetch(const FetchRequest& request);
   Result<ScanResult> Scan(const ScanRequest& request);
   Result<ServiceStats> Stats();
+  /// Prometheus-style exposition text scraped from the server.
+  Result<std::string> Metrics();
+  /// A traced fetch: the trace carries the server-side cost-model
+  /// estimates, strategy, and per-stage timings; `summary` (optional)
+  /// receives the result shape. The fetched data itself is not returned.
+  Result<obs::QueryTrace> TraceFetch(const FetchRequest& request,
+                                     wire::TraceResultSummary* summary =
+                                         nullptr);
 
   bool connected() const { return fd_ >= 0; }
   /// Session id on the server; 0 when none is open.

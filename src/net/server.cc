@@ -13,6 +13,8 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace mistique {
 namespace net {
 
@@ -281,6 +283,87 @@ void Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
               return;
             }
             AppendResponse(conn, wake, wire::MsgType::kFetchResp, id,
+                           payload);
+          });
+      return;
+    }
+    case wire::MsgType::kMetricsReq: {
+      // Inline like kStatsReq: the exposition is a pure counter read, no
+      // engine work, so it never touches the admission queue.
+      std::string text = service_->MetricsText();
+      const ServerStats server_stats = Stats();
+      obs::AppendGaugeText("mistique_net_connections_accepted",
+                           "TCP connections accepted since server start.",
+                           static_cast<double>(server_stats.connections_accepted),
+                           &text);
+      obs::AppendGaugeText("mistique_net_connections_rejected",
+                           "Connections refused at the max_connections cap.",
+                           static_cast<double>(server_stats.connections_rejected),
+                           &text);
+      obs::AppendGaugeText("mistique_net_connections_closed",
+                           "Connections torn down (any reason).",
+                           static_cast<double>(server_stats.connections_closed),
+                           &text);
+      obs::AppendGaugeText("mistique_net_frames_received",
+                           "Well-formed request frames parsed.",
+                           static_cast<double>(server_stats.frames_received),
+                           &text);
+      obs::AppendGaugeText("mistique_net_protocol_errors",
+                           "Handshake/frame/payload violations seen.",
+                           static_cast<double>(server_stats.protocol_errors),
+                           &text);
+      obs::AppendGaugeText("mistique_net_idle_closed",
+                           "Connections closed by the idle sweep.",
+                           static_cast<double>(server_stats.idle_closed),
+                           &text);
+      obs::AppendGaugeText("mistique_net_active_connections",
+                           "Connections currently open.",
+                           static_cast<double>(server_stats.active_connections),
+                           &text);
+      std::string payload = wire::EncodeMetricsText(text);
+      if (payload.size() + wire::kFrameOverhead > wire::kMaxFrameBytes) {
+        AppendError(conn, wake_, id,
+                    Status::OutOfRange("metrics exposition exceeds the max "
+                                       "frame size"));
+        return;
+      }
+      AppendResponse(conn, wake_, wire::MsgType::kMetricsResp, id, payload);
+      return;
+    }
+    case wire::MsgType::kTraceFetchReq: {
+      uint64_t session = 0;
+      FetchRequest request;
+      // Same payload as kFetchReq; only the response shape differs.
+      const Status decoded =
+          wire::DecodeFetchRequest(frame.payload, &session, &request);
+      if (!decoded.ok()) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        AppendError(conn, wake_, id, decoded);
+        return;
+      }
+      // The wire request id doubles as the trace id, so a client can line
+      // up the trace it gets back with the request it sent.
+      service_->SubmitTraceFetchAsync(
+          session, std::move(request), -1, id,
+          [conn, wake = wake_, id](Result<TracedFetch> result) {
+            if (!result.ok()) {
+              AppendError(conn, wake, id, result.status());
+              return;
+            }
+            wire::TraceResultSummary summary;
+            summary.rows = result->result.row_ids.size();
+            summary.cols = result->result.columns.size();
+            summary.used_read = result->result.used_read;
+            std::string payload =
+                wire::EncodeQueryTrace(result->trace, summary);
+            if (payload.size() + wire::kFrameOverhead >
+                wire::kMaxFrameBytes) {
+              AppendError(conn, wake, id,
+                          Status::OutOfRange(
+                              "trace exceeds the max frame size"));
+              return;
+            }
+            AppendResponse(conn, wake, wire::MsgType::kTraceResp, id,
                            payload);
           });
       return;

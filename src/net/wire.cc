@@ -23,7 +23,7 @@ void PutLe(std::string* out, uint64_t v, size_t bytes) {
 
 bool IsValidMsgType(uint8_t t) {
   return t >= static_cast<uint8_t>(MsgType::kPingReq) &&
-         t <= static_cast<uint8_t>(MsgType::kErrorResp);
+         t <= static_cast<uint8_t>(MsgType::kTraceResp);
 }
 
 uint16_t WireErrorFromStatus(const Status& status) {
@@ -497,6 +497,116 @@ std::string EncodeSessionId(uint64_t session) {
 Status DecodeSessionId(const std::string& payload, uint64_t* session) {
   Reader r(payload.data(), payload.size());
   MISTIQUE_RETURN_NOT_OK(r.GetU64(session));
+  return r.ExpectEnd();
+}
+
+std::string EncodeMetricsText(const std::string& text) {
+  std::string out;
+  Writer w(&out);
+  w.PutString(text);
+  return out;
+}
+
+Status DecodeMetricsText(const std::string& payload, std::string* text) {
+  Reader r(payload.data(), payload.size());
+  MISTIQUE_RETURN_NOT_OK(r.GetString(text));
+  return r.ExpectEnd();
+}
+
+namespace {
+/// Per-element minimum sizes for the count-vs-remaining checks below:
+/// event = string(4) + u32 + 2*f64 + u64; stage = string(4) + u64 + f64
+/// + u64.
+constexpr size_t kMinTraceEventBytes = 4 + 4 + 8 + 8 + 8;
+constexpr size_t kMinStageTotalBytes = 4 + 8 + 8 + 8;
+}  // namespace
+
+std::string EncodeQueryTrace(const obs::QueryTrace& trace,
+                             const TraceResultSummary& summary) {
+  std::string out;
+  Writer w(&out);
+  w.PutU64(trace.trace_id);
+  w.PutString(trace.description);
+  w.PutString(trace.strategy);
+  w.PutF64(trace.est_read_sec);
+  w.PutF64(trace.est_rerun_sec);
+  w.PutF64(trace.queue_wait_sec);
+  w.PutF64(trace.total_sec);
+  w.PutU8(static_cast<uint8_t>((trace.cache_hit ? 1 : 0) |
+                               (trace.materialized_now ? 2 : 0) |
+                               (trace.mispredicted ? 4 : 0)));
+  const auto& events = trace.events();
+  w.PutU32(static_cast<uint32_t>(events.size()));
+  for (const obs::TraceEvent& e : events) {
+    w.PutString(e.name);
+    w.PutU32(e.depth);
+    w.PutF64(e.start_sec);
+    w.PutF64(e.duration_sec);
+    w.PutU64(e.bytes);
+  }
+  const auto& totals = trace.stage_totals();
+  w.PutU32(static_cast<uint32_t>(totals.size()));
+  for (const obs::TraceStageTotal& t : totals) {
+    w.PutString(t.name);
+    w.PutU64(t.count);
+    w.PutF64(t.total_sec);
+    w.PutU64(t.bytes);
+  }
+  w.PutU64(summary.rows);
+  w.PutU64(summary.cols);
+  w.PutU8(summary.used_read ? 1 : 0);
+  return out;
+}
+
+Status DecodeQueryTrace(const std::string& payload, obs::QueryTrace* trace,
+                        TraceResultSummary* summary) {
+  Reader r(payload.data(), payload.size());
+  uint64_t trace_id = 0;
+  std::string description;
+  MISTIQUE_RETURN_NOT_OK(r.GetU64(&trace_id));
+  MISTIQUE_RETURN_NOT_OK(r.GetString(&description));
+  *trace = obs::QueryTrace(trace_id, std::move(description));
+  MISTIQUE_RETURN_NOT_OK(r.GetString(&trace->strategy));
+  MISTIQUE_RETURN_NOT_OK(r.GetF64(&trace->est_read_sec));
+  MISTIQUE_RETURN_NOT_OK(r.GetF64(&trace->est_rerun_sec));
+  MISTIQUE_RETURN_NOT_OK(r.GetF64(&trace->queue_wait_sec));
+  MISTIQUE_RETURN_NOT_OK(r.GetF64(&trace->total_sec));
+  uint8_t flags = 0;
+  MISTIQUE_RETURN_NOT_OK(r.GetU8(&flags));
+  trace->cache_hit = (flags & 1) != 0;
+  trace->materialized_now = (flags & 2) != 0;
+  trace->mispredicted = (flags & 4) != 0;
+  uint32_t count = 0;
+  MISTIQUE_RETURN_NOT_OK(r.GetU32(&count));
+  if (r.remaining() / kMinTraceEventBytes < count) {
+    return Status::Corruption("truncated payload reading trace events");
+  }
+  trace->mutable_events()->resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    obs::TraceEvent& e = (*trace->mutable_events())[i];
+    MISTIQUE_RETURN_NOT_OK(r.GetString(&e.name));
+    MISTIQUE_RETURN_NOT_OK(r.GetU32(&e.depth));
+    MISTIQUE_RETURN_NOT_OK(r.GetF64(&e.start_sec));
+    MISTIQUE_RETURN_NOT_OK(r.GetF64(&e.duration_sec));
+    MISTIQUE_RETURN_NOT_OK(r.GetU64(&e.bytes));
+  }
+  MISTIQUE_RETURN_NOT_OK(r.GetU32(&count));
+  if (r.remaining() / kMinStageTotalBytes < count) {
+    return Status::Corruption("truncated payload reading stage totals");
+  }
+  trace->mutable_stage_totals()->resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    obs::TraceStageTotal& t = (*trace->mutable_stage_totals())[i];
+    MISTIQUE_RETURN_NOT_OK(r.GetString(&t.name));
+    MISTIQUE_RETURN_NOT_OK(r.GetU64(&t.count));
+    MISTIQUE_RETURN_NOT_OK(r.GetF64(&t.total_sec));
+    MISTIQUE_RETURN_NOT_OK(r.GetU64(&t.bytes));
+  }
+  MISTIQUE_RETURN_NOT_OK(r.GetU64(&summary->rows));
+  MISTIQUE_RETURN_NOT_OK(r.GetU64(&summary->cols));
+  uint8_t used_read = 0;
+  MISTIQUE_RETURN_NOT_OK(r.GetU8(&used_read));
+  summary->used_read = used_read != 0;
   return r.ExpectEnd();
 }
 

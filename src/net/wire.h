@@ -54,6 +54,13 @@ enum class MsgType : uint8_t {
   kStatsReq = 11,
   kStatsResp = 12,        ///< payload: ServiceStats
   kErrorResp = 13,        ///< payload: u16 wire error code + string
+  // Observability frames (additive: the kStatsResp payload is frozen —
+  // old clients ExpectEnd() it — so new telemetry rides new types
+  // instead of growing an existing payload).
+  kMetricsReq = 14,
+  kMetricsResp = 15,      ///< payload: Prometheus-style exposition text
+  kTraceFetchReq = 16,    ///< payload: identical to kFetchReq
+  kTraceResp = 17,        ///< payload: QueryTrace + result summary
 };
 
 /// True iff `t` names a known frame type (decode guard).
@@ -185,6 +192,22 @@ Status DecodeError(const std::string& payload);
 
 std::string EncodeSessionId(uint64_t session);
 Status DecodeSessionId(const std::string& payload, uint64_t* session);
+
+std::string EncodeMetricsText(const std::string& text);
+Status DecodeMetricsText(const std::string& payload, std::string* text);
+
+/// Compact summary of the fetch a trace describes; the full result is not
+/// shipped with the trace (callers wanting data use kFetchReq).
+struct TraceResultSummary {
+  uint64_t rows = 0;
+  uint64_t cols = 0;
+  bool used_read = false;
+};
+
+std::string EncodeQueryTrace(const obs::QueryTrace& trace,
+                             const TraceResultSummary& summary);
+Status DecodeQueryTrace(const std::string& payload, obs::QueryTrace* trace,
+                        TraceResultSummary* summary);
 
 }  // namespace wire
 }  // namespace mistique

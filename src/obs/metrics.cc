@@ -1,0 +1,249 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <variant>
+
+namespace mistique {
+namespace obs {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+namespace internal {
+size_t ThreadShard(size_t num_shards) {
+  static std::atomic<size_t> next{0};
+  thread_local size_t assigned =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return assigned % num_shards;
+}
+}  // namespace internal
+
+/// --- Histogram ---
+
+double Histogram::BucketUpperBound(size_t i) {
+  if (i + 1 >= kNumBuckets) return std::numeric_limits<double>::infinity();
+  return 1e-6 * static_cast<double>(uint64_t{1} << i);
+}
+
+namespace {
+size_t BucketIndex(double seconds) {
+  if (!(seconds > 1e-6)) return 0;  // also catches NaN and negatives
+  // Bucket i covers (2^(i-1)µs, 2^i µs]: frexp(x) gives x = m * 2^e with
+  // m in [0.5, 1), i.e. 2^(e-1) <= x < 2^e, so e is the bucket index.
+  int e = 0;
+  std::frexp(seconds * 1e6, &e);
+  if (e < 0) return 0;
+  return std::min<size_t>(static_cast<size_t>(e), Histogram::kNumBuckets - 1);
+}
+}  // namespace
+
+void Histogram::Record(double seconds) {
+#ifndef MISTIQUE_OBS_DISABLED
+  if (!Enabled()) return;
+  buckets_[BucketIndex(seconds)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  const double clamped = std::max(seconds, 0.0);
+  sum_nanos_.fetch_add(static_cast<uint64_t>(clamped * 1e9),
+                       std::memory_order_relaxed);
+#else
+  (void)seconds;
+#endif
+}
+
+uint64_t Histogram::Count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::SumSeconds() const {
+  return static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) *
+         1e-9;
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snap;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    snap.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count += snap.counts[i];
+  }
+  snap.sum_seconds = SumSeconds();
+  return snap;
+}
+
+double Histogram::Snapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const double target = q * static_cast<double>(count);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    const uint64_t next = seen + counts[i];
+    if (static_cast<double>(next) >= target) {
+      const double lo = i == 0 ? 0.0 : BucketUpperBound(i - 1);
+      double hi = BucketUpperBound(i);
+      if (std::isinf(hi)) return lo;  // open-ended bucket: report its floor
+      // Linear interpolation of the target rank's position in-bucket.
+      const double frac =
+          (target - static_cast<double>(seen)) /
+          static_cast<double>(counts[i]);
+      return lo + (hi - lo) * std::min(std::max(frac, 0.0), 1.0);
+    }
+    seen = next;
+  }
+  return BucketUpperBound(kNumBuckets - 2);
+}
+
+double Histogram::Quantile(double q) const {
+  return TakeSnapshot().Quantile(q);
+}
+
+/// --- Registry ---
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string FormatBound(double v) {
+  if (std::isinf(v)) return "+Inf";
+  return FormatDouble(v);
+}
+
+void AppendHeader(const std::string& name, const std::string& help,
+                  const char* type, std::string* out) {
+  if (!help.empty()) {
+    out->append("# HELP ").append(name).append(" ").append(help).append("\n");
+  }
+  out->append("# TYPE ").append(name).append(" ").append(type).append("\n");
+}
+
+}  // namespace
+
+void AppendHistogramText(const std::string& name, const std::string& help,
+                         const Histogram& hist, std::string* out) {
+  AppendHeader(name, help, "histogram", out);
+  const Histogram::Snapshot snap = hist.TakeSnapshot();
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    cumulative += snap.counts[i];
+    // Elide empty leading/inner detail the way node exporters do not:
+    // keep every bucket — 38 lines per histogram is cheap and makes the
+    // output diffable across scrapes.
+    out->append(name)
+        .append("_bucket{le=\"")
+        .append(FormatBound(Histogram::BucketUpperBound(i)))
+        .append("\"} ")
+        .append(std::to_string(cumulative))
+        .append("\n");
+  }
+  out->append(name).append("_sum ").append(FormatDouble(snap.sum_seconds));
+  out->append("\n");
+  out->append(name).append("_count ").append(std::to_string(snap.count));
+  out->append("\n");
+}
+
+void AppendGaugeText(const std::string& name, const std::string& help,
+                     double value, std::string* out) {
+  AppendHeader(name, help, "gauge", out);
+  out->append(name).append(" ").append(FormatDouble(value)).append("\n");
+}
+
+struct MetricsRegistry::Impl {
+  struct Entry {
+    std::string help;
+    std::variant<std::unique_ptr<Counter>, std::unique_ptr<Gauge>,
+                 std::unique_ptr<Histogram>>
+        metric;
+  };
+  mutable std::mutex mutex;
+  std::map<std::string, Entry> metrics;  // ordered exposition
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
+MetricsRegistry::~MetricsRegistry() { delete impl_; }
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->metrics.find(name);
+  if (it == impl_->metrics.end()) {
+    Impl::Entry entry;
+    entry.help = help;
+    entry.metric = std::make_unique<Counter>();
+    it = impl_->metrics.emplace(name, std::move(entry)).first;
+  }
+  auto* holder = std::get_if<std::unique_ptr<Counter>>(&it->second.metric);
+  return holder != nullptr ? holder->get() : nullptr;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->metrics.find(name);
+  if (it == impl_->metrics.end()) {
+    Impl::Entry entry;
+    entry.help = help;
+    entry.metric = std::make_unique<Gauge>();
+    it = impl_->metrics.emplace(name, std::move(entry)).first;
+  }
+  auto* holder = std::get_if<std::unique_ptr<Gauge>>(&it->second.metric);
+  return holder != nullptr ? holder->get() : nullptr;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->metrics.find(name);
+  if (it == impl_->metrics.end()) {
+    Impl::Entry entry;
+    entry.help = help;
+    entry.metric = std::make_unique<Histogram>();
+    it = impl_->metrics.emplace(name, std::move(entry)).first;
+  }
+  auto* holder = std::get_if<std::unique_ptr<Histogram>>(&it->second.metric);
+  return holder != nullptr ? holder->get() : nullptr;
+}
+
+std::string MetricsRegistry::TextExposition() const {
+  std::string out;
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (const auto& [name, entry] : impl_->metrics) {
+    if (const auto* c =
+            std::get_if<std::unique_ptr<Counter>>(&entry.metric)) {
+      AppendHeader(name, entry.help, "counter", &out);
+      out.append(name).append(" ").append(std::to_string((*c)->Value()));
+      out.append("\n");
+    } else if (const auto* g =
+                   std::get_if<std::unique_ptr<Gauge>>(&entry.metric)) {
+      AppendHeader(name, entry.help, "gauge", &out);
+      out.append(name).append(" ").append(std::to_string((*g)->Value()));
+      out.append("\n");
+    } else if (const auto* h =
+                   std::get_if<std::unique_ptr<Histogram>>(&entry.metric)) {
+      AppendHistogramText(name, entry.help, **h, &out);
+    }
+  }
+  return out;
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry;  // never destroyed
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace mistique

@@ -1,0 +1,141 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mistique {
+namespace obs {
+
+namespace {
+thread_local QueryTrace* t_current = nullptr;
+
+std::string FormatMs(double seconds) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3fms", seconds * 1e3);
+  return buf;
+}
+}  // namespace
+
+QueryTrace* CurrentTrace() { return t_current; }
+
+TraceScope::TraceScope(QueryTrace* trace) : previous_(t_current) {
+  t_current = trace;
+}
+
+TraceScope::~TraceScope() { t_current = previous_; }
+
+void QueryTrace::AddEvent(std::string name, uint32_t depth, double start_sec,
+                          double duration_sec, uint64_t bytes) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.depth = depth;
+  event.start_sec = start_sec;
+  event.duration_sec = duration_sec;
+  event.bytes = bytes;
+  events_.push_back(std::move(event));
+}
+
+void QueryTrace::Accumulate(const std::string& name, double seconds,
+                            uint64_t bytes) {
+  for (TraceStageTotal& total : totals_) {
+    if (total.name == name) {
+      total.count++;
+      total.total_sec += seconds;
+      total.bytes += bytes;
+      return;
+    }
+  }
+  TraceStageTotal total;
+  total.name = name;
+  total.count = 1;
+  total.total_sec = seconds;
+  total.bytes = bytes;
+  totals_.push_back(std::move(total));
+}
+
+double QueryTrace::StageSeconds(const std::string& name) const {
+  double sum = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.name == name) sum += e.duration_sec;
+  }
+  for (const TraceStageTotal& t : totals_) {
+    if (t.name == name) sum += t.total_sec;
+  }
+  return sum;
+}
+
+std::string QueryTrace::Format() const {
+  std::string out;
+  out += "trace " + std::to_string(trace_id);
+  if (!description.empty()) out += " (" + description + ")";
+  out += "\n";
+  out += "  strategy:   " + (strategy.empty() ? "-" : strategy);
+  if (cache_hit) out += "  [cache hit]";
+  if (materialized_now) out += "  [materialized now]";
+  if (mispredicted) out += "  [MISPREDICTED]";
+  out += "\n";
+  if (est_read_sec >= 0 || est_rerun_sec >= 0) {
+    out += "  estimated:  t_read " +
+           (est_read_sec >= 0 ? FormatMs(est_read_sec) : "-") +
+           "  t_rerun " +
+           (est_rerun_sec >= 0 ? FormatMs(est_rerun_sec) : "-") + "\n";
+  }
+  out += "  actual:     total " + FormatMs(total_sec) + "  queue_wait " +
+         FormatMs(queue_wait_sec) + "\n";
+
+  // Span tree in start order; events were appended at completion, so
+  // nested spans precede their parents.
+  std::vector<const TraceEvent*> ordered;
+  ordered.reserve(events_.size());
+  for (const TraceEvent& e : events_) ordered.push_back(&e);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) {
+                     return a->start_sec < b->start_sec;
+                   });
+  if (!ordered.empty()) out += "  spans:\n";
+  for (const TraceEvent* e : ordered) {
+    out += "    ";
+    for (uint32_t d = 0; d < e->depth; ++d) out += "  ";
+    out += e->name + "  " + FormatMs(e->duration_sec) + "  (+";
+    out += FormatMs(e->start_sec) + ")";
+    if (e->bytes > 0) out += "  " + std::to_string(e->bytes) + "B";
+    out += "\n";
+  }
+  if (!totals_.empty()) out += "  stage totals:\n";
+  for (const TraceStageTotal& t : totals_) {
+    out += "    " + t.name + "  " + FormatMs(t.total_sec) + "  (" +
+           std::to_string(t.count) + " ops";
+    if (t.bytes > 0) out += ", " + std::to_string(t.bytes) + "B";
+    out += ")\n";
+  }
+  return out;
+}
+
+TraceSpan::TraceSpan(const char* name) : trace_(t_current) {
+  if (trace_ == nullptr) return;
+  name_ = name;
+  depth_ = trace_->depth++;
+  start_sec_ = trace_->Elapsed();
+}
+
+void TraceSpan::End() {
+  if (trace_ == nullptr || ended_) return;
+  ended_ = true;
+  trace_->depth--;
+  trace_->AddEvent(name_, depth_, start_sec_,
+                   trace_->Elapsed() - start_sec_, bytes_);
+}
+
+AccumSpan::AccumSpan(const char* name) : trace_(t_current) {
+  if (trace_ == nullptr) return;
+  name_ = name;
+  start_sec_ = trace_->Elapsed();
+}
+
+AccumSpan::~AccumSpan() {
+  if (trace_ == nullptr) return;
+  trace_->Accumulate(name_, trace_->Elapsed() - start_sec_, bytes_);
+}
+
+}  // namespace obs
+}  // namespace mistique

@@ -9,14 +9,13 @@ QueryService::QueryService(Mistique* engine, QueryServiceOptions options)
     : engine_(engine),
       options_(std::move(options)),
       bytes_read_at_start_(engine->store().disk_read_bytes()) {
-  latencies_.resize(std::max<size_t>(options_.latency_window, 1));
   pool_ = std::make_unique<ThreadPool>(options_.num_workers);
 }
 
 QueryService::~QueryService() {
   // Drain the queue before any other member is torn down: queued tasks
   // run RunTask, which touches the counters, session map, and latency
-  // ring. (pool_ is also declared last as a second line of defense.)
+  // histograms. (pool_ is also declared last as a second line of defense.)
   pool_.reset();
 }
 
@@ -92,6 +91,10 @@ void QueryService::RunTask(double submit_sec, double deadline_sec,
                            const std::function<Result<T>()>& body) {
   queued_.fetch_sub(1, std::memory_order_relaxed);
   running_.fetch_add(1, std::memory_order_relaxed);
+  // Dequeue delay: how long the request sat behind the admission queue
+  // before any worker picked it up. Recorded for every task (even ones
+  // about to expire) so the histogram reflects real queueing pressure.
+  queue_wait_hist_.Record(NowSeconds() - submit_sec);
   if (options_.pre_execute_hook) options_.pre_execute_hook();
 
   Result<T> result = [&]() -> Result<T> {
@@ -307,10 +310,10 @@ void QueryService::InvalidateSessionCaches() {
 }
 
 void QueryService::RecordLatency(double seconds) {
-  std::lock_guard<std::mutex> lock(latency_mutex_);
-  latencies_[latency_next_] = seconds;
-  latency_next_ = (latency_next_ + 1) % latencies_.size();
-  if (latency_next_ == 0) latency_wrapped_ = true;
+  // Two relaxed fetch_adds — no lock on the completion path. Unlike the
+  // old ring this is cumulative, not windowed: percentiles cover the
+  // service's whole lifetime, which is what the stats surface documents.
+  latency_hist_.Record(seconds);
 }
 
 ServiceStats QueryService::Stats() const {
@@ -335,27 +338,167 @@ ServiceStats QueryService::Stats() const {
     std::lock_guard<std::mutex> lock(sessions_mutex_);
     stats.open_sessions = sessions_.size();
   }
-  std::vector<double> window;
-  {
-    std::lock_guard<std::mutex> lock(latency_mutex_);
-    const size_t n = latency_wrapped_ ? latencies_.size() : latency_next_;
-    window.assign(latencies_.begin(),
-                  latencies_.begin() + static_cast<ptrdiff_t>(n));
-  }
-  if (!window.empty()) {
-    const auto quantile = [&](double q) {
-      const size_t idx = std::min(
-          window.size() - 1,
-          static_cast<size_t>(q * static_cast<double>(window.size())));
-      std::nth_element(window.begin(),
-                       window.begin() + static_cast<ptrdiff_t>(idx),
-                       window.end());
-      return window[idx];
-    };
-    stats.p50_latency_sec = quantile(0.50);
-    stats.p95_latency_sec = quantile(0.95);
+  // One coherent histogram snapshot for all three quantiles (interpolated
+  // within exponential buckets, so they are estimates with <= one-bucket
+  // error — fine for health reporting). The old p50/p95 fields stay
+  // populated for existing callers; p99 is new.
+  const obs::Histogram::Snapshot lat = latency_hist_.TakeSnapshot();
+  if (lat.count > 0) {
+    stats.p50_latency_sec = lat.Quantile(0.50);
+    stats.p95_latency_sec = lat.Quantile(0.95);
+    stats.p99_latency_sec = lat.Quantile(0.99);
   }
   return stats;
+}
+
+std::string QueryService::MetricsText() const {
+  // Process-global metrics first (engine fetch/scan counters, disk and
+  // decompress histograms, cost-model gauges), then this instance's own
+  // histograms and stats-derived gauges. Gauges are emitted even when
+  // zero — scrapers assert on e.g. mistique_corruptions_detected 0.
+  std::string out = obs::GlobalMetrics().TextExposition();
+  obs::AppendHistogramText(
+      "mistique_service_latency_seconds",
+      "Submit-to-finish latency of completed service requests.",
+      latency_hist_, &out);
+  obs::AppendHistogramText(
+      "mistique_service_queue_wait_seconds",
+      "Delay between request admission and a worker dequeuing it.",
+      queue_wait_hist_, &out);
+  const ServiceStats stats = Stats();
+  obs::AppendGaugeText("mistique_service_submitted",
+                       "Requests accepted into the admission queue.",
+                       static_cast<double>(stats.submitted), &out);
+  obs::AppendGaugeText("mistique_service_rejected",
+                       "Requests bounced at admission.",
+                       static_cast<double>(stats.rejected), &out);
+  obs::AppendGaugeText("mistique_service_completed",
+                       "Requests finished OK (including cache hits).",
+                       static_cast<double>(stats.completed), &out);
+  obs::AppendGaugeText("mistique_service_expired",
+                       "Requests whose deadline passed while queued.",
+                       static_cast<double>(stats.expired), &out);
+  obs::AppendGaugeText("mistique_service_failed",
+                       "Requests that finished with a non-OK engine status.",
+                       static_cast<double>(stats.failed), &out);
+  obs::AppendGaugeText("mistique_service_queued",
+                       "Requests currently waiting for a worker.",
+                       static_cast<double>(stats.queued), &out);
+  obs::AppendGaugeText("mistique_service_running",
+                       "Requests currently executing.",
+                       static_cast<double>(stats.running), &out);
+  obs::AppendGaugeText("mistique_service_cache_hits",
+                       "Per-session result-cache hits.",
+                       static_cast<double>(stats.cache_hits), &out);
+  obs::AppendGaugeText("mistique_service_cache_lookups",
+                       "Per-session result-cache probes.",
+                       static_cast<double>(stats.cache_lookups), &out);
+  obs::AppendGaugeText(
+      "mistique_service_bytes_read",
+      "Compressed bytes the engine read from disk since service start.",
+      static_cast<double>(stats.bytes_read), &out);
+  obs::AppendGaugeText(
+      "mistique_corruptions_detected",
+      "Checksum failures the engine hit (partitions quarantined).",
+      static_cast<double>(stats.corruptions_detected), &out);
+  obs::AppendGaugeText(
+      "mistique_partitions_healed",
+      "Quarantined partitions fully re-materialized via rerun.",
+      static_cast<double>(stats.partitions_healed), &out);
+  obs::AppendGaugeText("mistique_service_open_sessions",
+                       "Diagnosis sessions currently open.",
+                       static_cast<double>(stats.open_sessions), &out);
+  return out;
+}
+
+void QueryService::SubmitTraceFetchAsync(
+    SessionId session, FetchRequest request, double deadline_sec,
+    uint64_t trace_id, std::function<void(Result<TracedFetch>)> done) {
+  if (deadline_sec < 0) deadline_sec = options_.default_deadline_sec;
+
+  Status reject;
+  std::shared_ptr<Session> s = Admit(session, &reject);
+  if (s == nullptr) {
+    done(reject);
+    return;
+  }
+
+  const std::string description =
+      request.project + "." + request.model + "." + request.intermediate;
+  const uint64_t key = Mistique::RequestKey(request);
+  if (options_.session_cache_entries > 0) {
+    cache_lookups_.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> cache_lock(s->m);
+    if (const FetchResult* cached = s->cache.Get(key)) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      TracedFetch hit;
+      hit.result = *cached;
+      hit.result.from_cache = true;
+      hit.result.fetch_seconds = 0;
+      cache_lock.unlock();
+      hit.trace = obs::QueryTrace(trace_id, description);
+      hit.trace.strategy = "session-cache";
+      hit.trace.cache_hit = true;
+      done(std::move(hit));
+      return;
+    }
+  }
+
+  if (!TryEnqueue(&reject)) {
+    done(reject);
+    return;
+  }
+  const double submit_sec = NowSeconds();
+  pool_->Submit([this, s, key, submit_sec, deadline_sec, trace_id,
+                 description = std::move(description), done = std::move(done),
+                 request = std::move(request)]() mutable {
+    RunTask<TracedFetch>(
+        submit_sec, deadline_sec, done,
+        [&]() -> Result<TracedFetch> {
+          TracedFetch out;
+          // The trace clock starts at dequeue; time spent queued is
+          // reported separately so span offsets line up with the
+          // engine-side work they describe.
+          out.trace = obs::QueryTrace(trace_id, description);
+          out.trace.queue_wait_sec = NowSeconds() - submit_sec;
+          const uint64_t epoch_before =
+              cache_epoch_.load(std::memory_order_acquire);
+          // Install the trace for this thread: every TraceSpan /
+          // AccumSpan the engine and storage layers open during this
+          // Fetch lands in out.trace.
+          Result<FetchResult> result = [&] {
+            obs::TraceScope scope(&out.trace);
+            return engine_->Fetch(request);
+          }();
+          out.trace.total_sec = out.trace.Elapsed();
+          if (!result.ok()) return result.status();
+          if (result->materialized_now) {
+            InvalidateSessionCaches();
+          } else if (options_.session_cache_entries > 0 &&
+                     !result->from_cache) {
+            std::lock_guard<std::mutex> cache_lock(s->m);
+            if (cache_epoch_.load(std::memory_order_acquire) ==
+                epoch_before) {
+              s->cache.Put(key, *result);
+            }
+          }
+          out.result = std::move(*result);
+          return out;
+        });
+  });
+}
+
+Result<TracedFetch> QueryService::TraceFetch(SessionId session,
+                                             const FetchRequest& request,
+                                             uint64_t trace_id) {
+  auto promise = std::make_shared<std::promise<Result<TracedFetch>>>();
+  std::future<Result<TracedFetch>> future = promise->get_future();
+  SubmitTraceFetchAsync(session, request, /*deadline_sec=*/-1, trace_id,
+                        [promise](Result<TracedFetch> result) {
+                          promise->set_value(std::move(result));
+                        });
+  return future.get();
 }
 
 }  // namespace mistique

@@ -17,6 +17,8 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/mistique.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mistique {
 
@@ -37,8 +39,10 @@ struct QueryServiceOptions {
   /// already exceeds its deadline fails with kDeadlineExceeded without
   /// touching the engine.
   double default_deadline_sec = 0;
-  /// Sliding window of completed-request latencies kept for the p50/p95
-  /// figures in ServiceStats.
+  /// Superseded: latencies now feed a lock-free fixed-bucket histogram
+  /// (obs::Histogram) instead of a mutex-guarded ring, so there is no
+  /// window to size. Kept so existing construction sites keep compiling;
+  /// the value is ignored.
   size_t latency_window = 1024;
   /// Test hook: runs on the worker thread immediately after a task is
   /// dequeued, before the deadline check. Lets tests park workers
@@ -68,7 +72,18 @@ struct ServiceStats {
   bool draining = false;    ///< Drain was called; new requests are rejected.
   double p50_latency_sec = 0;  ///< Median submit-to-finish latency.
   double p95_latency_sec = 0;
+  double p99_latency_sec = 0;  ///< Not carried in the v1 stats frame
+                               ///< (old clients must keep parsing it);
+                               ///< remote callers use the metrics frame.
   size_t open_sessions = 0;
+};
+
+/// A fetch result bundled with its per-query trace (docs/OBSERVABILITY.md):
+/// the cost model's estimates, the strategy chosen, and actual per-stage
+/// timings from queue wait down to disk reads.
+struct TracedFetch {
+  FetchResult result;
+  obs::QueryTrace trace;
 };
 
 /// Serves concurrent Fetch/GetIntermediates/Scan traffic from many
@@ -144,6 +159,25 @@ class QueryService {
                                        uint64_t n_ex = 0);
 
   ServiceStats Stats() const;
+
+  /// Prometheus-style text exposition: the process-global metric registry
+  /// (engine/storage counters and histograms) plus this service's own
+  /// latency and queue-wait histograms and stats-derived gauges.
+  std::string MetricsText() const;
+
+  /// Traced fetch: same admission/caching/deadline semantics as
+  /// SubmitFetchAsync, but the worker installs an obs::QueryTrace around the
+  /// engine call so the reply carries the cost model's estimates, the chosen
+  /// strategy, and actual per-stage timings. `trace_id` labels the trace
+  /// (the TCP server passes the wire request id). Session-cache hits return
+  /// a minimal trace with strategy "session-cache".
+  void SubmitTraceFetchAsync(SessionId session, FetchRequest request,
+                             double deadline_sec, uint64_t trace_id,
+                             std::function<void(Result<TracedFetch>)> done);
+  /// Synchronous convenience for SubmitTraceFetchAsync.
+  Result<TracedFetch> TraceFetch(SessionId session, const FetchRequest& request,
+                                 uint64_t trace_id = 0);
+
   size_t num_workers() const { return pool_->num_threads(); }
   Mistique* engine() const { return engine_; }
 
@@ -216,10 +250,13 @@ class QueryService {
   std::unordered_map<SessionId, std::shared_ptr<Session>> sessions_;
   SessionId next_session_ = 1;
 
-  mutable std::mutex latency_mutex_;
-  std::vector<double> latencies_;  // Ring buffer of size latency_window.
-  size_t latency_next_ = 0;
-  bool latency_wrapped_ = false;
+  /// Lock-cheap latency tracking: relaxed-atomic fixed-bucket histograms
+  /// (replacing the old mutex-guarded latency ring). latency_hist_ records
+  /// submit-to-finish time of completed requests; queue_wait_hist_ records
+  /// dequeue delay for every task a worker picks up. Instance-owned (not in
+  /// the global registry) so multiple services in one process don't blend.
+  obs::Histogram latency_hist_;
+  obs::Histogram queue_wait_hist_;
 
   const std::chrono::steady_clock::time_point epoch_ =
       std::chrono::steady_clock::now();

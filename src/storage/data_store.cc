@@ -3,7 +3,34 @@
 #include <algorithm>
 #include <iterator>
 
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace mistique {
+
+namespace {
+obs::Counter* PoolHits() {
+  static obs::Counter* c = obs::GlobalMetrics().GetCounter(
+      "mistique_buffer_pool_hits_total",
+      "Sealed-partition lookups served from the in-memory buffer pool.");
+  return c;
+}
+obs::Counter* PoolLoads() {
+  static obs::Counter* c = obs::GlobalMetrics().GetCounter(
+      "mistique_buffer_pool_loads_total",
+      "Buffer-pool misses that loaded a partition from disk (single-"
+      "flight joins not included).");
+  return c;
+}
+obs::Histogram* DecompressSeconds() {
+  static obs::Histogram* h = obs::GlobalMetrics().GetHistogram(
+      "mistique_decompress_seconds",
+      "Wall time to deserialize + decompress one partition after a "
+      "buffer-pool miss.");
+  return h;
+}
+}  // namespace
 
 Status DataStore::Open(const DataStoreOptions& options) {
   std::unique_lock<std::shared_mutex> lock(mutex_);
@@ -111,7 +138,10 @@ Result<std::shared_ptr<const Partition>> DataStore::LoadPartition(
   for (;;) {
     {
       std::lock_guard<std::mutex> pool_lock(pool_mutex_);
-      if (auto cached = memory_.Lookup(pid)) return cached;
+      if (auto cached = memory_.Lookup(pid)) {
+        PoolHits()->Increment();
+        return cached;
+      }
     }
 
     // Join an in-flight load of the same partition, or become the loader.
@@ -154,8 +184,14 @@ Result<std::shared_ptr<const Partition>> DataStore::LoadPartition(
       QuarantineLocked(pid);
     }
     if (bytes.ok()) {
+      PoolLoads()->Increment();
       disk_read_bytes_.fetch_add(bytes->size(), std::memory_order_relaxed);
+      obs::TraceSpan decompress_span("decompress");
+      decompress_span.set_bytes(bytes->size());
+      Stopwatch decompress_watch;
       Result<Partition> p = Partition::Deserialize(*bytes);
+      decompress_span.End();
+      DecompressSeconds()->Record(decompress_watch.ElapsedSeconds());
       status = p.status();
       if (p.ok()) {
         shared =

@@ -3,11 +3,35 @@
 #include <algorithm>
 #include <filesystem>
 
+#include "common/stopwatch.h"
 #include "durability/durable_file.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mistique {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+// Registered from Open() (not lazily on first read) so the exposition
+// lists them at zero before any buffer-pool miss happens.
+obs::Counter* ReadBytesCounter() {
+  static obs::Counter* counter = obs::GlobalMetrics().GetCounter(
+      "mistique_disk_read_bytes_total",
+      "Compressed partition bytes read from disk (checksummed envelope "
+      "payloads, buffer-pool misses only).");
+  return counter;
+}
+
+obs::Histogram* ReadSecondsHistogram() {
+  static obs::Histogram* hist = obs::GlobalMetrics().GetHistogram(
+      "mistique_disk_read_seconds",
+      "Wall time of one partition file read (open + read + CRC verify).");
+  return hist;
+}
+
+}  // namespace
 
 Status DiskStore::Open(const std::string& directory, bool sync,
                        std::vector<std::string>* warnings) {
@@ -16,6 +40,8 @@ Status DiskStore::Open(const std::string& directory, bool sync,
   if (ec) {
     return Status::IoError("cannot create " + directory + ": " + ec.message());
   }
+  ReadBytesCounter();
+  ReadSecondsHistogram();
   directory_ = directory;
   sync_ = sync;
   sizes_.clear();
@@ -106,7 +132,17 @@ Result<std::vector<uint8_t>> DiskStore::ReadPartition(PartitionId id) const {
     return Status::NotFound("partition " + std::to_string(id) +
                             " not on disk");
   }
-  return ReadEnvelopeFile(PathFor(id));
+  obs::Counter* read_bytes = ReadBytesCounter();
+  obs::Histogram* read_seconds = ReadSecondsHistogram();
+  obs::TraceSpan span("disk_read");
+  Stopwatch watch;
+  Result<std::vector<uint8_t>> bytes = ReadEnvelopeFile(PathFor(id));
+  read_seconds->Record(watch.ElapsedSeconds());
+  if (bytes.ok()) {
+    read_bytes->Add(bytes->size());
+    span.set_bytes(bytes->size());
+  }
+  return bytes;
 }
 
 Result<uint64_t> DiskStore::PartitionSize(PartitionId id) const {

@@ -1,0 +1,454 @@
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "gtest/gtest.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "pipeline/templates.h"
+#include "pipeline/zillow.h"
+#include "service/query_service.h"
+#include "test_util.h"
+
+namespace mistique {
+namespace {
+
+/// Restores the global kill switch so one test cannot silence metrics
+/// for the rest of the binary.
+class EnabledGuard {
+ public:
+  EnabledGuard() : was_(obs::Enabled()) {}
+  ~EnabledGuard() { obs::SetEnabled(was_); }
+
+ private:
+  bool was_;
+};
+
+// --- Counter / Gauge ---
+
+TEST(CounterTest, ConcurrentAddsSumExactly) {
+  obs::Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.Value(),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(CounterTest, KillSwitchDropsUpdates) {
+  EnabledGuard guard;
+  obs::Counter counter;
+  counter.Add(5);
+  obs::SetEnabled(false);
+  counter.Add(100);
+  obs::SetEnabled(true);
+  counter.Add(2);
+  EXPECT_EQ(counter.Value(), 7u);
+}
+
+TEST(GaugeTest, SetAddSub) {
+  obs::Gauge gauge;
+  gauge.Set(10);
+  gauge.Add(5);
+  gauge.Sub(3);
+  EXPECT_EQ(gauge.Value(), 12);
+}
+
+// --- Histogram ---
+
+TEST(HistogramTest, BucketBoundsAreExponential) {
+  EXPECT_DOUBLE_EQ(obs::Histogram::BucketUpperBound(0), 1e-6);
+  EXPECT_DOUBLE_EQ(obs::Histogram::BucketUpperBound(1), 2e-6);
+  EXPECT_DOUBLE_EQ(obs::Histogram::BucketUpperBound(10), 1024e-6);
+  EXPECT_TRUE(std::isinf(
+      obs::Histogram::BucketUpperBound(obs::Histogram::kNumBuckets - 1)));
+  for (size_t i = 1; i < obs::Histogram::kNumBuckets; ++i) {
+    EXPECT_GT(obs::Histogram::BucketUpperBound(i),
+              obs::Histogram::BucketUpperBound(i - 1));
+  }
+}
+
+TEST(HistogramTest, QuantilesBracketTheSamples) {
+  obs::Histogram hist;
+  EXPECT_EQ(hist.Quantile(0.5), 0.0);  // empty
+  // 1000 samples at 1ms, 10 at 100ms: p50 must land in the 1ms bucket
+  // (within its factor-of-2 width), p99.5 near 100ms.
+  for (int i = 0; i < 1000; ++i) hist.Record(1e-3);
+  for (int i = 0; i < 10; ++i) hist.Record(0.1);
+  EXPECT_EQ(hist.Count(), 1010u);
+  EXPECT_NEAR(hist.SumSeconds(), 2.0, 0.01);
+  const double p50 = hist.Quantile(0.5);
+  EXPECT_GE(p50, 0.5e-3);
+  EXPECT_LE(p50, 2e-3);
+  const double p999 = hist.Quantile(0.999);
+  EXPECT_GE(p999, 0.05);
+  EXPECT_LE(p999, 0.2);
+  // Monotone in q.
+  EXPECT_LE(hist.Quantile(0.5), hist.Quantile(0.95));
+  EXPECT_LE(hist.Quantile(0.95), hist.Quantile(0.99));
+}
+
+TEST(HistogramTest, ExtremesClampToEdgeBuckets) {
+  obs::Histogram hist;
+  hist.Record(0);      // below the first bucket
+  hist.Record(-1);     // nonsense input must not crash or underflow
+  hist.Record(1e9);    // far beyond the last finite bound
+  EXPECT_EQ(hist.Count(), 3u);
+  const obs::Histogram::Snapshot snap = hist.TakeSnapshot();
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[obs::Histogram::kNumBuckets - 1], 1u);
+}
+
+TEST(HistogramTest, ConcurrentRecordsKeepTotalCount) {
+  obs::Histogram hist;
+  constexpr int kThreads = 8;
+  constexpr int kRecords = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kRecords; ++i) {
+        hist.Record(1e-6 * static_cast<double>((t + 1) * (i % 100 + 1)));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(hist.Count(), static_cast<uint64_t>(kThreads) * kRecords);
+  uint64_t bucket_sum = 0;
+  for (uint64_t c : hist.TakeSnapshot().counts) bucket_sum += c;
+  EXPECT_EQ(bucket_sum, hist.Count());
+}
+
+// --- Registry / exposition ---
+
+TEST(RegistryTest, SameNameSameObjectWrongKindNull) {
+  obs::MetricsRegistry registry;
+  obs::Counter* a = registry.GetCounter("test_total", "help a");
+  obs::Counter* b = registry.GetCounter("test_total", "ignored");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry.GetGauge("test_total", "wrong kind"), nullptr);
+  EXPECT_NE(registry.GetHistogram("test_seconds", "h"), nullptr);
+}
+
+TEST(RegistryTest, TextExpositionFormat) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("zz_total", "A counter.")->Add(3);
+  registry.GetGauge("aa_gauge", "A gauge.")->Set(-7);
+  registry.GetHistogram("mm_seconds", "A histogram.")->Record(1e-3);
+  const std::string text = registry.TextExposition();
+  EXPECT_NE(text.find("# HELP zz_total A counter.\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE zz_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("zz_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("aa_gauge -7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE mm_seconds histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("mm_seconds_bucket{le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mm_seconds_count 1\n"), std::string::npos);
+  // Name order: aa_ before mm_ before zz_.
+  EXPECT_LT(text.find("aa_gauge"), text.find("mm_seconds"));
+  EXPECT_LT(text.find("mm_seconds"), text.find("zz_total"));
+}
+
+TEST(RegistryTest, CumulativeBucketCounts) {
+  obs::Histogram hist;
+  hist.Record(1.5e-6);  // bucket 1
+  hist.Record(3e-6);    // bucket 2
+  std::string text;
+  obs::AppendHistogramText("h_seconds", "h", hist, &text);
+  // le="2e-06" sees only the first sample; le="4e-06" both (cumulative).
+  EXPECT_NE(text.find("h_seconds_bucket{le=\"2e-06\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("h_seconds_bucket{le=\"4e-06\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("h_seconds_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+}
+
+// --- Trace spans ---
+
+TEST(TraceTest, NoTraceInstalledSpansAreInert) {
+  EXPECT_EQ(obs::CurrentTrace(), nullptr);
+  obs::TraceSpan span("orphan");  // must not crash
+  obs::AccumSpan accum("orphan");
+}
+
+TEST(TraceTest, SpansNestAndRestore) {
+  obs::QueryTrace trace(42, "test.query");
+  {
+    obs::TraceScope scope(&trace);
+    EXPECT_EQ(obs::CurrentTrace(), &trace);
+    {
+      obs::TraceSpan outer("outer");
+      {
+        obs::TraceSpan inner("inner");
+        inner.set_bytes(128);
+      }
+    }
+  }
+  EXPECT_EQ(obs::CurrentTrace(), nullptr);
+  ASSERT_EQ(trace.events().size(), 2u);
+  // inner ended first, so it was recorded first; depths reflect nesting.
+  EXPECT_EQ(trace.events()[0].name, "inner");
+  EXPECT_EQ(trace.events()[0].depth, 1u);
+  EXPECT_EQ(trace.events()[0].bytes, 128u);
+  EXPECT_EQ(trace.events()[1].name, "outer");
+  EXPECT_EQ(trace.events()[1].depth, 0u);
+  EXPECT_GE(trace.events()[1].duration_sec, trace.events()[0].duration_sec);
+  EXPECT_EQ(trace.depth, 0u);
+}
+
+TEST(TraceTest, AccumSpansMergeByName) {
+  obs::QueryTrace trace;
+  {
+    obs::TraceScope scope(&trace);
+    for (int i = 0; i < 3; ++i) {
+      obs::AccumSpan span("decode");
+      span.add_bytes(100);
+    }
+  }
+  ASSERT_EQ(trace.stage_totals().size(), 1u);
+  EXPECT_EQ(trace.stage_totals()[0].name, "decode");
+  EXPECT_EQ(trace.stage_totals()[0].count, 3u);
+  EXPECT_EQ(trace.stage_totals()[0].bytes, 300u);
+  EXPECT_GT(trace.StageSeconds("decode"), 0.0);
+}
+
+TEST(TraceTest, FormatShowsDecisionAndStages) {
+  obs::QueryTrace trace(7, "proj.model.interm");
+  trace.strategy = "read";
+  trace.est_read_sec = 0.001;
+  trace.est_rerun_sec = 0.05;
+  trace.total_sec = 0.002;
+  trace.AddEvent("disk_read", 0, 0.0, 0.0015, 4096);
+  trace.Accumulate("decode", 0.0002, 512);
+  const std::string text = trace.Format();
+  EXPECT_NE(text.find("proj.model.interm"), std::string::npos);
+  EXPECT_NE(text.find("read"), std::string::npos);
+  EXPECT_NE(text.find("t_read"), std::string::npos);
+  EXPECT_NE(text.find("t_rerun"), std::string::npos);
+  EXPECT_NE(text.find("disk_read"), std::string::npos);
+  EXPECT_NE(text.find("decode"), std::string::npos);
+}
+
+// --- Cost-model misprediction rule ---
+
+TEST(MispredictionTest, ChosenStrategyJudgedAgainstAlternative) {
+  // Chose read, actual beat the rerun estimate: correct call.
+  EXPECT_FALSE(CostModel::Mispredicted(/*used_read=*/true, 0.01, 0.005, 0.5));
+  // Chose read, took longer than rerunning was estimated to take.
+  EXPECT_TRUE(CostModel::Mispredicted(true, 1.0, 0.005, 0.5));
+  // Chose rerun, actual beat the read estimate: correct call.
+  EXPECT_FALSE(CostModel::Mispredicted(false, 0.01, 0.5, 0.02));
+  // Chose rerun, slower than reading was estimated to be.
+  EXPECT_TRUE(CostModel::Mispredicted(false, 1.0, 0.5, 0.02));
+  // Unknown actual time never counts.
+  EXPECT_FALSE(CostModel::Mispredicted(true, -1.0, 0.005, 0.5));
+}
+
+// --- Wire round-trips ---
+
+TEST(WireObsTest, MetricsTextRoundtrips) {
+  const std::string text =
+      "# HELP x_total help\n# TYPE x_total counter\nx_total 9\n";
+  const std::string payload = wire::EncodeMetricsText(text);
+  std::string decoded;
+  ASSERT_OK(wire::DecodeMetricsText(payload, &decoded));
+  EXPECT_EQ(decoded, text);
+}
+
+TEST(WireObsTest, QueryTraceRoundtrips) {
+  obs::QueryTrace trace(99, "zillow.P1_v0.pred_test");
+  trace.strategy = "rerun";
+  trace.est_read_sec = 0.25;
+  trace.est_rerun_sec = 0.125;
+  trace.queue_wait_sec = 0.001;
+  trace.total_sec = 0.13;
+  trace.cache_hit = false;
+  trace.materialized_now = true;
+  trace.mispredicted = true;
+  trace.AddEvent("lock_wait_shared", 0, 0.0, 0.0001, 0);
+  trace.AddEvent("rerun", 0, 0.0002, 0.12, 0);
+  trace.Accumulate("decode", 0.003, 2048);
+  trace.Accumulate("decode", 0.001, 1024);
+  wire::TraceResultSummary summary;
+  summary.rows = 300;
+  summary.cols = 2;
+  summary.used_read = false;
+
+  const std::string payload = wire::EncodeQueryTrace(trace, summary);
+  obs::QueryTrace got;
+  wire::TraceResultSummary got_summary;
+  ASSERT_OK(wire::DecodeQueryTrace(payload, &got, &got_summary));
+
+  EXPECT_EQ(got.trace_id, 99u);
+  EXPECT_EQ(got.description, "zillow.P1_v0.pred_test");
+  EXPECT_EQ(got.strategy, "rerun");
+  EXPECT_DOUBLE_EQ(got.est_read_sec, 0.25);
+  EXPECT_DOUBLE_EQ(got.est_rerun_sec, 0.125);
+  EXPECT_DOUBLE_EQ(got.queue_wait_sec, 0.001);
+  EXPECT_DOUBLE_EQ(got.total_sec, 0.13);
+  EXPECT_FALSE(got.cache_hit);
+  EXPECT_TRUE(got.materialized_now);
+  EXPECT_TRUE(got.mispredicted);
+  ASSERT_EQ(got.events().size(), 2u);
+  EXPECT_EQ(got.events()[1].name, "rerun");
+  EXPECT_DOUBLE_EQ(got.events()[1].duration_sec, 0.12);
+  ASSERT_EQ(got.stage_totals().size(), 1u);
+  EXPECT_EQ(got.stage_totals()[0].count, 2u);
+  EXPECT_EQ(got.stage_totals()[0].bytes, 3072u);
+  EXPECT_EQ(got_summary.rows, 300u);
+  EXPECT_EQ(got_summary.cols, 2u);
+  EXPECT_FALSE(got_summary.used_read);
+}
+
+TEST(WireObsTest, TruncatedTracePayloadRejected) {
+  obs::QueryTrace trace(1, "d");
+  const std::string payload =
+      wire::EncodeQueryTrace(trace, wire::TraceResultSummary{});
+  obs::QueryTrace got;
+  wire::TraceResultSummary summary;
+  EXPECT_FALSE(wire::DecodeQueryTrace(payload.substr(0, payload.size() - 3),
+                                      &got, &summary)
+                   .ok());
+}
+
+/// Old clients decode the stats payload with a trailing ExpectEnd(), so
+/// its byte layout is frozen at 129 bytes (13 u64 counters, u8 draining,
+/// f64 p50/p95, u64 open_sessions). p99 and everything newer must ride
+/// the metrics frame instead. This test is the tripwire.
+TEST(WireObsTest, StatsPayloadLayoutFrozen) {
+  ServiceStats stats;
+  stats.submitted = 10;
+  stats.p99_latency_sec = 0.5;  // must NOT be encoded
+  const std::string payload = wire::EncodeStats(stats);
+  EXPECT_EQ(payload.size(), 13 * 8 + 1 + 2 * 8 + 8);
+  ServiceStats decoded;
+  ASSERT_OK(wire::DecodeStats(payload, &decoded));
+  EXPECT_EQ(decoded.submitted, 10u);
+  EXPECT_EQ(decoded.p99_latency_sec, 0.0);
+}
+
+TEST(WireObsTest, NewMsgTypesAreValid) {
+  EXPECT_TRUE(wire::IsValidMsgType(
+      static_cast<uint8_t>(wire::MsgType::kMetricsReq)));
+  EXPECT_TRUE(wire::IsValidMsgType(
+      static_cast<uint8_t>(wire::MsgType::kTraceResp)));
+  EXPECT_FALSE(wire::IsValidMsgType(
+      static_cast<uint8_t>(wire::MsgType::kTraceResp) + 1));
+}
+
+// --- End-to-end: engine + service ---
+
+class ObsServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<TempDir>("obs_service");
+    ZillowConfig config;
+    config.num_properties = 200;
+    config.num_train = 150;
+    config.num_test = 50;
+    ASSERT_OK(WriteZillowCsvs(GenerateZillow(config), dir_->path()));
+
+    MistiqueOptions opts;
+    opts.store.directory = dir_->path() + "/store";
+    opts.strategy = StorageStrategy::kDedup;
+    opts.row_block_size = 64;
+    ASSERT_OK(mq_.Open(opts));
+    ASSERT_OK_AND_ASSIGN(pipeline_, BuildZillowPipeline(1, 0, dir_->path()));
+    ASSERT_OK(mq_.LogPipeline(pipeline_.get(), "zillow").status());
+    ASSERT_OK(mq_.Flush());
+  }
+
+  FetchRequest ForcedReadReq() {
+    FetchRequest req;
+    req.project = "zillow";
+    req.model = "P1_v0";
+    req.intermediate = "pred_test";
+    req.force_read = true;
+    return req;
+  }
+
+  std::unique_ptr<TempDir> dir_;
+  Mistique mq_;
+  std::unique_ptr<Pipeline> pipeline_;
+};
+
+TEST_F(ObsServiceTest, TracedFetchRecordsDecisionAndStages) {
+  QueryServiceOptions options;
+  options.num_workers = 2;
+  options.session_cache_entries = 4;
+  QueryService service(&mq_, options);
+  const SessionId session = service.OpenSession();
+
+  ASSERT_OK_AND_ASSIGN(TracedFetch traced,
+                       service.TraceFetch(session, ForcedReadReq(), 77));
+  EXPECT_FALSE(traced.result.columns.empty());
+  EXPECT_TRUE(traced.result.used_read);
+
+  const obs::QueryTrace& trace = traced.trace;
+  EXPECT_EQ(trace.trace_id, 77u);
+  EXPECT_EQ(trace.description, "zillow.P1_v0.pred_test");
+  EXPECT_EQ(trace.strategy, "forced-read");
+  // The cost model ran before the decision: both estimates recorded.
+  EXPECT_GE(trace.est_read_sec, 0.0);
+  EXPECT_GE(trace.est_rerun_sec, 0.0);
+  EXPECT_GE(trace.queue_wait_sec, 0.0);
+  EXPECT_GT(trace.total_sec, 0.0);
+  EXPECT_FALSE(trace.events().empty());
+  // The forced read resolved chunks through the dedup index.
+  EXPECT_GT(trace.StageSeconds("dedup_resolve"), 0.0);
+
+  // Second identical fetch: served from the session cache with a
+  // minimal trace.
+  ASSERT_OK_AND_ASSIGN(TracedFetch cached,
+                       service.TraceFetch(session, ForcedReadReq(), 78));
+  EXPECT_TRUE(cached.result.from_cache);
+  EXPECT_TRUE(cached.trace.cache_hit);
+  EXPECT_EQ(cached.trace.strategy, "session-cache");
+}
+
+TEST_F(ObsServiceTest, StatsPercentilesComeFromHistogram) {
+  QueryService service(&mq_, {});
+  const SessionId session = service.OpenSession();
+  FetchRequest req = ForcedReadReq();
+  for (int i = 0; i < 5; ++i) {
+    req.n_ex = 10 + i;  // distinct keys: no session-cache hits
+    ASSERT_OK(service.Fetch(session, req).status());
+  }
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.completed, 5u);
+  EXPECT_GT(stats.p50_latency_sec, 0.0);
+  EXPECT_LE(stats.p50_latency_sec, stats.p95_latency_sec);
+  EXPECT_LE(stats.p95_latency_sec, stats.p99_latency_sec);
+}
+
+TEST_F(ObsServiceTest, MetricsTextCoversEngineAndService) {
+  QueryService service(&mq_, {});
+  const SessionId session = service.OpenSession();
+  ASSERT_OK(service.Fetch(session, ForcedReadReq()).status());
+  const std::string text = service.MetricsText();
+  EXPECT_NE(text.find("# TYPE mistique_fetch_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("mistique_disk_read_bytes_total"), std::string::npos);
+  EXPECT_NE(text.find("mistique_service_latency_seconds_bucket"),
+            std::string::npos);
+  EXPECT_NE(text.find("mistique_service_queue_wait_seconds_count"),
+            std::string::npos);
+  // Zero-valued gauges still appear (scrapers assert on them).
+  EXPECT_NE(text.find("mistique_corruptions_detected 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mistique_service_open_sessions 1\n"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace mistique
