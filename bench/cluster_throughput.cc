@@ -1,0 +1,318 @@
+// cluster_throughput — aggregate fetch QPS of a sharded cluster vs a
+// single store behind the same router (docs/CLUSTER.md).
+//
+// Builds a synthetic multi-model store whose working set exceeds one
+// store's buffer-pool budget but fits comfortably in three, then
+// measures the identical client workload twice: once against a 1-shard
+// cluster (one store behind a Router) and once against a 3-shard
+// cluster (the same data split by the consistent-hash ShardMap across
+// three stores). Router overhead is paid in both setups, so the delta
+// is what sharding actually buys: aggregate buffer-pool capacity — the
+// 1-shard store cycles partitions through its pool and pays a
+// decompress on nearly every fetch, while each shard's slice of the
+// ring fits in its own pool and serves from memory. (On multi-core
+// hosts shard CPU parallelism adds on top; the cache-capacity win is
+// core-count independent.) Before timing, every model is fetched
+// through the 3-shard router and compared bit-for-bit against the
+// unsplit store — a speedup over wrong answers is no speedup.
+//
+// Knobs: MQ_CLIENTS (default 8), MQ_REQUESTS (100 per client),
+// MQ_SHARD_WORKERS (2 per shard), MQ_MODELS (12), MQ_ROWS (32768 per
+// model), MQ_POOL_MB (8 per store). `--json` emits one machine-readable
+// line for CI.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "cluster/rebalance.h"
+#include "cluster/router.h"
+#include "cluster/shard_map.h"
+#include "core/mistique.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "service/query_service.h"
+
+using namespace mistique;         // NOLINT: bench brevity.
+using namespace mistique::bench;  // NOLINT
+
+namespace {
+
+std::vector<ImportIntermediate> SyntheticModel(int index, uint64_t rows) {
+  ImportIntermediate interm;
+  interm.name = "pred";
+  interm.stage_index = 1;
+  interm.num_rows = rows;
+  interm.column_names = {"pred", "score", "residual", "weight"};
+  interm.columns.resize(interm.column_names.size());
+  for (uint64_t r = 0; r < rows; ++r) {
+    interm.columns[0].push_back(index * 1000.0 + 0.25 * r);
+    interm.columns[1].push_back(std::sin(index + 0.01 * r));
+    interm.columns[2].push_back(std::cos(0.02 * r) - index);
+    interm.columns[3].push_back(1.0 / (1.0 + index + r % 17));
+  }
+  return {interm};
+}
+
+/// One cluster under test: N shard stores + servers behind a Router.
+struct Cluster {
+  std::vector<std::unique_ptr<QueryService>> services;
+  std::vector<std::unique_ptr<net::Server>> servers;
+  std::unique_ptr<cluster::Router> router;
+  std::unique_ptr<net::Server> front;
+
+  /// Serves `stores` (one per shard, ids 0..n-1) behind a fresh router.
+  void Start(const std::vector<Mistique*>& stores, size_t shard_workers) {
+    std::vector<cluster::ShardSpec> live;
+    for (size_t s = 0; s < stores.size(); ++s) {
+      QueryServiceOptions service_options;
+      service_options.num_workers = shard_workers;
+      service_options.max_queue = 0;  // Throughput, not admission policy.
+      services.push_back(
+          std::make_unique<QueryService>(stores[s], service_options));
+      servers.push_back(std::make_unique<net::Server>(services.back().get()));
+      CheckOk(servers.back()->Start(), "shard server start");
+      cluster::ShardSpec spec;
+      spec.shard_id = static_cast<uint32_t>(s);
+      spec.port = servers.back()->port();
+      live.push_back(spec);
+    }
+    cluster::RouterOptions router_options;
+    router_options.num_workers = 16;
+    // Enough pooled connections that concurrent forwards never churn
+    // through connect/handshake cycles mid-measurement.
+    router_options.max_idle_clients_per_shard = 64;
+    router = std::make_unique<cluster::Router>(cluster::ShardMap(1, live),
+                                               router_options);
+    CheckOk(router->Start(), "router start");
+    front = std::make_unique<net::Server>(router.get());
+    CheckOk(front->Start(), "front start");
+  }
+
+  void Stop() {
+    if (front) front->Stop();
+    if (router) router->Stop();
+    for (auto& server : servers) server->Stop();
+  }
+};
+
+struct LoadResult {
+  double qps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  uint64_t errors = 0;
+};
+
+double Percentile(std::vector<double>* sorted_in_place, double p) {
+  if (sorted_in_place->empty()) return 0;
+  std::sort(sorted_in_place->begin(), sorted_in_place->end());
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(sorted_in_place->size() - 1));
+  return (*sorted_in_place)[idx];
+}
+
+LoadResult RunLoad(uint16_t port, size_t clients, size_t requests,
+                   const std::function<Status(net::Client*, size_t)>& op) {
+  net::ClientOptions options;
+  options.port = port;
+  std::mutex merge_mutex;
+  std::vector<double> latencies;
+  std::atomic<uint64_t> errors{0};
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      net::Client client(options);
+      std::vector<double> mine;
+      mine.reserve(requests);
+      for (size_t q = 0; q < requests; ++q) {
+        const auto t0 = std::chrono::steady_clock::now();
+        if (!op(&client, c * requests + q).ok()) {
+          errors++;
+          continue;
+        }
+        mine.push_back(std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count());
+      }
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      latencies.insert(latencies.end(), mine.begin(), mine.end());
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  LoadResult out;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  out.qps = static_cast<double>(clients * requests) / elapsed;
+  out.p50_ms = Percentile(&latencies, 0.50) * 1e3;
+  out.p99_ms = Percentile(&latencies, 0.99) * 1e3;
+  out.errors = errors.load();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+  const size_t clients = static_cast<size_t>(EnvInt("MQ_CLIENTS", 8));
+  const size_t requests = static_cast<size_t>(EnvInt("MQ_REQUESTS", 100));
+  const size_t shard_workers =
+      static_cast<size_t>(EnvInt("MQ_SHARD_WORKERS", 2));
+  const int num_models = EnvInt("MQ_MODELS", 12);
+  const uint64_t rows = static_cast<uint64_t>(EnvInt("MQ_ROWS", 32768));
+  const size_t pool_mb = static_cast<size_t>(EnvInt("MQ_POOL_MB", 8));
+
+  BenchDir dir("cluster_throughput");
+  MistiqueOptions options;
+  options.store.directory = dir.path() + "/single";
+  options.row_block_size = 256;
+  // The crux: every store — the unsplit one and each shard — gets the
+  // same per-node buffer-pool budget, sized so the full working set
+  // (models * rows * 4 cols * 8B) overflows one pool but a third of it
+  // fits one pool. Partitions kept small so eviction is fine-grained.
+  options.store.memory_budget_bytes = pool_mb << 20;
+  options.store.partition_target_bytes = 1ull << 20;
+  Mistique single;
+  CheckOk(single.Open(options), "open single");
+  std::vector<FetchRequest> fetches;
+  for (int i = 0; i < num_models; ++i) {
+    const std::string model = "m" + std::to_string(i);
+    CheckOk(single.ImportModel("bench", model, SyntheticModel(i, rows)),
+            "import");
+    FetchRequest req;
+    req.project = "bench";
+    req.model = model;
+    req.intermediate = "pred";
+    fetches.push_back(std::move(req));
+  }
+
+  // Split the same data three ways along the ring the router will use.
+  std::vector<std::unique_ptr<Mistique>> shard_stores;
+  std::vector<Mistique*> shard_ptrs;
+  std::vector<cluster::ShardSpec> split_specs;
+  for (uint32_t s = 0; s < 3; ++s) {
+    MistiqueOptions shard_options = options;
+    shard_options.store.directory =
+        dir.path() + "/shard" + std::to_string(s);
+    shard_stores.push_back(std::make_unique<Mistique>());
+    CheckOk(shard_stores.back()->Open(shard_options), "open shard");
+    shard_ptrs.push_back(shard_stores.back().get());
+    cluster::ShardSpec spec;
+    spec.shard_id = s;
+    split_specs.push_back(spec);
+  }
+  const std::vector<size_t> assigned =
+      CheckOk(cluster::SplitStore(&single, shard_ptrs,
+                                  cluster::ShardMap(1, split_specs)),
+              "split");
+  // Seal everything: fetches must come through the compressed store +
+  // buffer pool, not open in-memory partitions, or the pool budget
+  // (the thing sharding multiplies) never binds.
+  CheckOk(single.Flush(), "flush single");
+  for (Mistique* shard : shard_ptrs) CheckOk(shard->Flush(), "flush shard");
+
+  if (!json) {
+    std::printf("# cluster_throughput: %zu clients x %zu requests, "
+                "%zu workers/shard, %d models x %llu rows "
+                "(split %zu/%zu/%zu)\n",
+                clients, requests, shard_workers, num_models,
+                static_cast<unsigned long long>(rows), assigned[0],
+                assigned[1], assigned[2]);
+  }
+
+  // --- Correctness gate: 3-shard answers must be byte-identical ---
+  Cluster three;
+  three.Start(shard_ptrs, shard_workers);
+  {
+    net::ClientOptions copts;
+    copts.port = three.front->port();
+    net::Client client(copts);
+    for (size_t i = 0; i < fetches.size(); ++i) {
+      const FetchResult remote =
+          CheckOk(client.Fetch(fetches[i]), "routed fetch");
+      const FetchResult ref = CheckOk(single.Fetch(fetches[i]), "oracle");
+      if (remote.columns != ref.columns ||
+          remote.column_names != ref.column_names ||
+          remote.row_ids != ref.row_ids) {
+        std::fprintf(stderr, "FATAL: routed fetch of %s diverged from the "
+                     "unsplit store\n", fetches[i].model.c_str());
+        std::abort();
+      }
+    }
+  }
+
+  // Point lookups scattered across the whole intermediate: the shard
+  // touches RowBlocks spanning every partition of the model (so a cold
+  // buffer pool pays its decompressions) while the response stays small
+  // (the routing tax both clusters pay equally). Shifting ids per
+  // request defeats the shard's session result cache.
+  const uint64_t kLookups = 16;
+  const auto load_op = [&](net::Client* c, size_t i) {
+    FetchRequest req = fetches[i % fetches.size()];
+    req.row_ids.reserve(kLookups);
+    for (uint64_t k = 0; k < kLookups; ++k) {
+      req.row_ids.push_back((k * (rows / kLookups) + i * 131) % rows);
+    }
+    std::sort(req.row_ids.begin(), req.row_ids.end());
+    return c->Fetch(req).status();
+  };
+
+  // --- 3-shard load (router already warm from the gate) ---
+  const LoadResult sharded =
+      RunLoad(three.front->port(), clients, requests, load_op);
+  three.Stop();
+
+  // --- 1-shard baseline: same router stack over the unsplit store ---
+  Cluster one;
+  one.Start({&single}, shard_workers);
+  RunLoad(one.front->port(), 2, 30, load_op);  // warm-up
+  const LoadResult baseline =
+      RunLoad(one.front->port(), clients, requests, load_op);
+  one.Stop();
+
+  if (sharded.errors != 0 || baseline.errors != 0) {
+    std::fprintf(stderr, "FATAL: %llu sharded / %llu baseline errors\n",
+                 static_cast<unsigned long long>(sharded.errors),
+                 static_cast<unsigned long long>(baseline.errors));
+    std::abort();
+  }
+
+  const double speedup =
+      baseline.qps > 0 ? sharded.qps / baseline.qps : 0;
+  if (json) {
+    std::printf(
+        "{\"clients\": %zu, \"requests_per_client\": %zu, "
+        "\"shard_workers\": %zu, \"models\": %d, \"rows\": %llu, "
+        "\"one_shard_qps\": %.0f, \"one_shard_p50_ms\": %.3f, "
+        "\"one_shard_p99_ms\": %.3f, \"three_shard_qps\": %.0f, "
+        "\"three_shard_p50_ms\": %.3f, \"three_shard_p99_ms\": %.3f, "
+        "\"speedup\": %.2f, \"byte_identical\": true}\n",
+        clients, requests, shard_workers, num_models,
+        static_cast<unsigned long long>(rows), baseline.qps, baseline.p50_ms,
+        baseline.p99_ms, sharded.qps, sharded.p50_ms, sharded.p99_ms,
+        speedup);
+    return 0;
+  }
+
+  std::printf("%10s %10s %10s %10s\n", "cluster", "qps", "p50_ms", "p99_ms");
+  std::printf("%10s %10.0f %10.3f %10.3f\n", "1-shard", baseline.qps,
+              baseline.p50_ms, baseline.p99_ms);
+  std::printf("%10s %10.0f %10.3f %10.3f\n", "3-shard", sharded.qps,
+              sharded.p50_ms, sharded.p99_ms);
+  std::printf("speedup: %.2fx aggregate fetch QPS "
+              "(answers byte-identical to the unsplit store)\n", speedup);
+  return 0;
+}

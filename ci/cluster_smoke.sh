@@ -1,0 +1,154 @@
+#!/usr/bin/env bash
+# Cluster smoke test (docs/CLUSTER.md): seed a store, split it across 3
+# shard stores, serve each shard, put a router in front, and verify the
+# full degradation story end-to-end:
+#   - remote fetch through the router is byte-identical to the oracle
+#     (the unsplit store read in-process),
+#   - SIGKILL of one shard turns scatter-gather scans into the *typed*
+#     degraded error (never a silent partial answer) while fetches for
+#     partitions on surviving shards keep serving,
+#   - restarting the shard re-admits it without touching the router,
+#   - SIGTERM drains the router and every shard cleanly.
+#
+# Usage: ci/cluster_smoke.sh [build_dir]   (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+CLI="$BUILD_DIR/examples/mistique_cli"
+BASE_PORT="${CLUSTER_SMOKE_PORT:-7450}"
+ROUTER="127.0.0.1:$BASE_PORT"
+KEY="zillow.P1_v0.train_merged.logerror"
+SCAN_TARGET="zillow.P1_v0.train_merged"
+STORE=/tmp/mistique_quickstart/store
+
+WORK=$(mktemp -d)
+SHARD_PIDS=("" "" "")
+ROUTER_PID=""
+cleanup() {
+  [[ -n "$ROUTER_PID" ]] && kill "$ROUTER_PID" 2>/dev/null || true
+  for pid in "${SHARD_PIDS[@]}"; do
+    [[ -n "$pid" ]] && kill "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+shard_port() { echo $((BASE_PORT + 1 + $1)); }
+
+start_shard() {  # start_shard <index>
+  local i="$1"
+  "$CLI" "$WORK/shard$i" serve "$(shard_port "$i")" 2 \
+      > "$WORK/shard$i.log" 2>&1 &
+  SHARD_PIDS[$i]=$!
+  for _ in $(seq 1 100); do
+    grep -q "serving" "$WORK/shard$i.log" 2>/dev/null && return 0
+    kill -0 "${SHARD_PIDS[$i]}" 2>/dev/null || break
+    sleep 0.1
+  done
+  echo "shard $i failed to start"; cat "$WORK/shard$i.log"; exit 1
+}
+
+echo "== seed store =="
+"$BUILD_DIR/examples/quickstart" > /dev/null
+
+# Oracle answers BEFORE any serving: what the routed path must reproduce.
+"$CLI" "$STORE" fetch "$KEY" 25 2>/dev/null > "$WORK/oracle_fetch.csv"
+"$CLI" "$STORE" scan "$SCAN_TARGET" taxamount 0 1e9 2>/dev/null \
+    > "$WORK/oracle_scan.txt"
+[[ -s "$WORK/oracle_scan.txt" ]] || { echo "oracle scan empty"; exit 1; }
+
+echo "== split across 3 shards =="
+"$CLI" cluster split "$STORE" "$WORK/shard" 3 | tee "$WORK/split.txt"
+# One seeded model: exactly one shard owns it; the others are empty but
+# still part of the ring (and of every scatter-gather scan).
+OWNER=$(awk '$NF == "models" && $(NF-1) != "0" {print $2; exit}' "$WORK/split.txt")
+EMPTY=$(awk '$NF == "models" && $(NF-1) == "0" {print $2; exit}' "$WORK/split.txt")
+[[ -n "$OWNER" && -n "$EMPTY" ]] || { echo "could not parse split"; exit 1; }
+echo "owner shard: $OWNER, sacrificial empty shard: $EMPTY"
+
+echo "== start 3 shard servers + router on :$BASE_PORT =="
+for i in 0 1 2; do start_shard "$i"; done
+"$CLI" cluster route "$BASE_PORT" \
+    "127.0.0.1:$(shard_port 0)" "127.0.0.1:$(shard_port 1)" \
+    "127.0.0.1:$(shard_port 2)" > "$WORK/router.log" 2>&1 &
+ROUTER_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "routing" "$WORK/router.log" 2>/dev/null && break
+  kill -0 "$ROUTER_PID" 2>/dev/null || { cat "$WORK/router.log"; exit 1; }
+  sleep 0.1
+done
+
+echo "== routed fetch is byte-identical to the oracle =="
+"$CLI" remote "$ROUTER" fetch "$KEY" 25 2>/dev/null > "$WORK/routed_fetch.csv"
+diff "$WORK/oracle_fetch.csv" "$WORK/routed_fetch.csv"
+echo "identical ($(wc -l < "$WORK/routed_fetch.csv") lines)"
+
+echo "== routed scatter-gather scan matches the oracle =="
+"$CLI" remote "$ROUTER" scan "$SCAN_TARGET" taxamount 0 1e9 2>/dev/null \
+    > "$WORK/routed_scan.txt"
+diff "$WORK/oracle_scan.txt" "$WORK/routed_scan.txt"
+echo "identical ($(wc -l < "$WORK/routed_scan.txt") rows)"
+
+echo "== shard map: 3 shards up =="
+"$CLI" remote "$ROUTER" shardmap | tee "$WORK/shardmap.txt"
+[[ $(grep -c " up$" "$WORK/shardmap.txt") -eq 3 ]] || {
+  echo "expected 3 shards up"; exit 1; }
+
+echo "== SIGKILL shard $EMPTY -> scans degrade (typed), fetches keep serving =="
+kill -9 "${SHARD_PIDS[$EMPTY]}"
+wait "${SHARD_PIDS[$EMPTY]}" 2>/dev/null || true
+SHARD_PIDS[$EMPTY]=""
+RC=0
+"$CLI" remote "$ROUTER" scan "$SCAN_TARGET" taxamount 0 1e9 \
+    > /dev/null 2> "$WORK/degraded.txt" || RC=$?
+[[ $RC -ne 0 ]] || { echo "scan unexpectedly succeeded with a dead shard"; exit 1; }
+grep -q "degraded" "$WORK/degraded.txt" || {
+  echo "scan failed but not with the typed degraded error:";
+  cat "$WORK/degraded.txt"; exit 1; }
+cat "$WORK/degraded.txt"
+# The dead shard owned no partitions: fetches must be untouched.
+"$CLI" remote "$ROUTER" fetch "$KEY" 25 2>/dev/null > "$WORK/during_kill.csv"
+diff "$WORK/oracle_fetch.csv" "$WORK/during_kill.csv"
+echo "fetch still byte-identical with shard $EMPTY dead"
+
+echo "== dead shard shows DOWN in the shard map =="
+FOUND=""
+for _ in $(seq 1 50); do
+  if "$CLI" remote "$ROUTER" shardmap | grep -q "DOWN"; then FOUND=1; break; fi
+  sleep 0.2
+done
+[[ -n "$FOUND" ]] || { echo "shard never marked DOWN"; exit 1; }
+
+echo "== restarted shard rejoins without a router restart =="
+start_shard "$EMPTY"
+FOUND=""
+for _ in $(seq 1 50); do
+  if [[ $("$CLI" remote "$ROUTER" shardmap | grep -c " up$") -eq 3 ]]; then
+    FOUND=1; break
+  fi
+  sleep 0.2
+done
+[[ -n "$FOUND" ]] || { echo "restarted shard never rejoined"; exit 1; }
+"$CLI" remote "$ROUTER" scan "$SCAN_TARGET" taxamount 0 1e9 2>/dev/null \
+    > "$WORK/rejoined_scan.txt"
+diff "$WORK/oracle_scan.txt" "$WORK/rejoined_scan.txt"
+echo "scan healthy again after rejoin"
+
+echo "== SIGTERM -> clean drain (router, then shards) =="
+kill -TERM "$ROUTER_PID"
+RC=0
+wait "$ROUTER_PID" || RC=$?
+ROUTER_PID=""
+cat "$WORK/router.log"
+[[ $RC -eq 0 ]] || { echo "router exited $RC (expected clean drain)"; exit 1; }
+grep -q "routed:" "$WORK/router.log" || {
+  echo "missing router summary"; exit 1; }
+for i in 0 1 2; do
+  kill -TERM "${SHARD_PIDS[$i]}"
+  RC=0
+  wait "${SHARD_PIDS[$i]}" || RC=$?
+  SHARD_PIDS[$i]=""
+  [[ $RC -eq 0 ]] || { echo "shard $i exited $RC"; cat "$WORK/shard$i.log"; exit 1; }
+done
+
+echo "cluster smoke OK"

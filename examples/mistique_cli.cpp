@@ -35,6 +35,9 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/rebalance.h"
+#include "cluster/router.h"
+#include "cluster/shard_map.h"
 #include "core/mistique.h"
 #include "net/client.h"
 #include "net/server.h"
@@ -80,8 +83,23 @@ int Usage() {
       "  metrics                         scrape the server's metrics\n"
       "  fetch <proj.model.interm.col> [n]   remote fetch, print n values\n"
       "  trace <proj.model.interm.col> [n]   remote traced fetch\n"
+      "  scan <proj.model.interm> <col> <lo> <hi>   remote predicate scan\n"
+      "  shardmap                        routing table (routers only)\n"
+      "  health                          liveness + load probe\n"
+      "  catalog                         model catalog (shape only)\n"
       "  session <proj.model.interm.col> [S] [Q]   S client threads each\n"
-      "                                  issuing Q remote fetches\n");
+      "                                  issuing Q remote fetches\n"
+      "       mistique_cli cluster <command>   (docs/CLUSTER.md)\n"
+      "  split <src_store> <dst_prefix> <n>   split one store into n shard\n"
+      "                                  stores <dst_prefix>0..n-1 by the\n"
+      "                                  consistent-hash map\n"
+      "  route <port> <host:port>...     serve a router over the listed\n"
+      "                                  shards (ids 0..n-1 in order; must\n"
+      "                                  match the split order)\n"
+      "  rebalance <dst_store> <src host:port> <project.model>...\n"
+      "                                  stream models from a running shard\n"
+      "                                  into a local store (then delete\n"
+      "                                  them at the source)\n");
   return 2;
 }
 
@@ -190,6 +208,71 @@ int RunRemote(int argc, char** argv) {
                  result.used_read ? "read" : "re-run");
     return 0;
   }
+  if (command == "scan" && argc == 8) {
+    ScanRequest scan;
+    const std::string target = argv[4];
+    const size_t d1 = target.find('.');
+    const size_t d2 = target.find('.', d1 + 1);
+    if (d1 == std::string::npos || d2 == std::string::npos) {
+      std::fprintf(stderr, "expected project.model.intermediate\n");
+      return 2;
+    }
+    scan.project = target.substr(0, d1);
+    scan.model = target.substr(d1 + 1, d2 - d1 - 1);
+    scan.intermediate = target.substr(d2 + 1);
+    scan.predicate_column = argv[5];
+    scan.lo = std::atof(argv[6]);
+    scan.hi = std::atof(argv[7]);
+    ScanResult result = Check(client.Scan(scan));
+    for (uint64_t row : result.row_ids) {
+      std::printf("%llu\n", static_cast<unsigned long long>(row));
+    }
+    std::fprintf(stderr, "(%zu rows; %llu blocks scanned, %llu pruned, "
+                 "remote)\n",
+                 result.row_ids.size(),
+                 static_cast<unsigned long long>(result.blocks_scanned),
+                 static_cast<unsigned long long>(result.blocks_pruned));
+    return 0;
+  }
+  if (command == "shardmap") {
+    const wire::ShardMapInfo map = Check(client.FetchShardMap());
+    std::printf("version %llu, %u vnodes/shard\n",
+                static_cast<unsigned long long>(map.version),
+                map.vnodes_per_shard);
+    std::printf("%-8s %-22s %s\n", "shard", "endpoint", "health");
+    for (const wire::ShardEntry& shard : map.shards) {
+      std::printf("%-8u %-22s %s\n", shard.shard_id,
+                  (shard.host + ":" + std::to_string(shard.port)).c_str(),
+                  shard.health == 0 ? "up" : "DOWN");
+    }
+    return 0;
+  }
+  if (command == "health") {
+    const wire::HealthInfo health = Check(client.Health());
+    std::printf("state:         %s\n",
+                health.state == 0 ? "serving" : "draining");
+    std::printf("queued:        %llu\n",
+                static_cast<unsigned long long>(health.queued));
+    std::printf("running:       %llu\n",
+                static_cast<unsigned long long>(health.running));
+    std::printf("open sessions: %llu\n",
+                static_cast<unsigned long long>(health.open_sessions));
+    return 0;
+  }
+  if (command == "catalog") {
+    const wire::CatalogInfo catalog = Check(client.Catalog());
+    for (const wire::CatalogModel& model : catalog.models) {
+      std::printf("%s.%s (%s)\n", model.project.c_str(), model.model.c_str(),
+                  model.kind == 0 ? "TRAD" : "DNN");
+      for (const wire::CatalogIntermediate& interm : model.intermediates) {
+        std::printf("  %-20s stage %2d, %llu rows, %zu cols\n",
+                    interm.name.c_str(), interm.stage_index,
+                    static_cast<unsigned long long>(interm.num_rows),
+                    interm.columns.size());
+      }
+    }
+    return 0;
+  }
   if (command == "session" && argc >= 5) {
     const std::string key = argv[4];
     const size_t num_clients =
@@ -263,6 +346,136 @@ void ListIntermediates(const Mistique& mq, const std::string& target) {
   }
 }
 
+/// Splits "project.model"; exits on malformed input.
+void SplitModelRef(const std::string& ref, std::string* project,
+                   std::string* model) {
+  const size_t dot = ref.find('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 >= ref.size()) {
+    std::fprintf(stderr, "expected project.model, got %s\n", ref.c_str());
+    std::exit(2);
+  }
+  *project = ref.substr(0, dot);
+  *model = ref.substr(dot + 1);
+}
+
+int RunCluster(int argc, char** argv) {
+  // argv: cluster <command> [args...]
+  if (argc < 3) return Usage();
+  const std::string command = argv[2];
+
+  if (command == "split" && argc == 6) {
+    const std::string src_dir = argv[3];
+    const std::string dst_prefix = argv[4];
+    const size_t n = std::strtoull(argv[5], nullptr, 10);
+    if (n == 0) return Usage();
+    if (!std::filesystem::exists(src_dir + "/catalog.mq")) {
+      std::fprintf(stderr, "no catalog found in %s\n", src_dir.c_str());
+      return 1;
+    }
+    MistiqueOptions src_options;
+    src_options.store.directory = src_dir;
+    Mistique src;
+    Check(src.Open(src_options));
+
+    std::vector<cluster::ShardSpec> specs;
+    std::vector<std::unique_ptr<Mistique>> stores;
+    std::vector<Mistique*> dst;
+    for (size_t i = 0; i < n; ++i) {
+      specs.push_back({static_cast<uint32_t>(i), "", 0});
+      const std::string dir = dst_prefix + std::to_string(i);
+      std::filesystem::create_directories(dir);
+      MistiqueOptions options;
+      options.store.directory = dir;
+      stores.push_back(std::make_unique<Mistique>());
+      Check(stores.back()->Open(options));
+      dst.push_back(stores.back().get());
+    }
+    // Endpoints are irrelevant here: ring placement hashes only shard
+    // ids, so `route` over any endpoints with ids 0..n-1 matches.
+    const cluster::ShardMap map(1, specs);
+    const std::vector<size_t> assigned =
+        Check(cluster::SplitStore(&src, dst, map));
+    for (size_t i = 0; i < n; ++i) {
+      Check(dst[i]->Flush());
+      Check(dst[i]->SaveCatalog());
+      std::printf("shard %zu (%s%zu): %zu models\n", i, dst_prefix.c_str(), i,
+                  assigned[i]);
+    }
+    return 0;
+  }
+
+  if (command == "route" && argc >= 5) {
+    const uint16_t port =
+        static_cast<uint16_t>(std::strtoul(argv[3], nullptr, 10));
+    std::vector<cluster::ShardSpec> specs;
+    for (int i = 4; i < argc; ++i) {
+      const net::ClientOptions endpoint = ParseEndpoint(argv[i]);
+      specs.push_back({static_cast<uint32_t>(i - 4), endpoint.host,
+                       endpoint.port});
+    }
+    cluster::Router router(cluster::ShardMap(1, specs));
+    Check(router.Start());
+
+    net::ServerOptions server_options;
+    server_options.port = port;
+    net::Server server(&router, server_options);
+    Check(server.Start());
+
+    std::signal(SIGINT, HandleSignal);
+    std::signal(SIGTERM, HandleSignal);
+    std::printf("routing %zu shards on %s:%u (SIGTERM to stop)\n",
+                specs.size(), server_options.host.c_str(),
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+    while (!g_shutdown.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    std::printf("shutting down: draining forwarded requests...\n");
+    std::fflush(stdout);
+    server.Stop();
+    const cluster::RouterStats stats = router.Stats();
+    router.Stop();
+    std::printf("routed: %llu fetches, %llu scans, %llu traces; "
+                "%llu retries, %llu hedges (%llu won), %llu degraded, "
+                "%llu rejoins\n",
+                static_cast<unsigned long long>(stats.fetches),
+                static_cast<unsigned long long>(stats.scans),
+                static_cast<unsigned long long>(stats.traces),
+                static_cast<unsigned long long>(stats.retries),
+                static_cast<unsigned long long>(stats.hedges),
+                static_cast<unsigned long long>(stats.hedge_wins),
+                static_cast<unsigned long long>(stats.degraded),
+                static_cast<unsigned long long>(stats.rejoins));
+    return 0;
+  }
+
+  if (command == "rebalance" && argc >= 6) {
+    const std::string dst_dir = argv[3];
+    net::ClientOptions src_endpoint = ParseEndpoint(argv[4]);
+    std::filesystem::create_directories(dst_dir);
+    MistiqueOptions options;
+    options.store.directory = dst_dir;
+    Mistique dst;
+    Check(dst.Open(options));
+    net::Client src(src_endpoint);
+    for (int i = 5; i < argc; ++i) {
+      std::string project, model;
+      SplitModelRef(argv[i], &project, &model);
+      Check(cluster::PullModel(&src, &dst, project, model));
+      std::printf("pulled %s.%s from %s\n", project.c_str(), model.c_str(),
+                  argv[4]);
+    }
+    Check(dst.Flush());
+    Check(dst.SaveCatalog());
+    std::printf("rebalance done: %d models now in %s (delete them at the "
+                "source to finish the move)\n",
+                argc - 5, dst_dir.c_str());
+    return 0;
+  }
+
+  return Usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -270,8 +483,9 @@ int main(int argc, char** argv) {
   const std::string store_dir = argv[1];
   const std::string command = argv[2];
 
-  // Remote mode needs no local store.
+  // Remote and cluster modes need no local store.
   if (store_dir == "remote") return RunRemote(argc, argv);
+  if (store_dir == "cluster") return RunCluster(argc, argv);
 
   if (!std::filesystem::exists(store_dir + "/catalog.mq")) {
     std::fprintf(stderr,

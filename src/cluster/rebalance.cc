@@ -1,0 +1,117 @@
+#include "cluster/rebalance.h"
+
+#include <utility>
+
+namespace mistique {
+namespace cluster {
+
+namespace {
+
+/// Fetches every intermediate listed in `interms` (name/stage/rows) from
+/// `fetch`, which abstracts over local engine vs wire client.
+template <typename FetchFn>
+Result<std::vector<ImportIntermediate>> FetchIntermediates(
+    const std::string& project, const std::string& model,
+    const std::vector<wire::CatalogIntermediate>& interms,
+    const FetchFn& fetch) {
+  std::vector<ImportIntermediate> out;
+  out.reserve(interms.size());
+  for (const wire::CatalogIntermediate& interm : interms) {
+    FetchRequest request;
+    request.project = project;
+    request.model = model;
+    request.intermediate = interm.name;
+    request.n_ex = 0;  // every row
+    MISTIQUE_ASSIGN_OR_RETURN(FetchResult result, fetch(request));
+    ImportIntermediate import;
+    import.name = interm.name;
+    import.stage_index = interm.stage_index;
+    import.num_rows =
+        result.columns.empty() ? 0 : result.columns[0].size();
+    if (import.num_rows != interm.num_rows) {
+      return Status::Internal(
+          "rebalance fetch of " + project + "." + model + "." + interm.name +
+          " returned " + std::to_string(import.num_rows) + " rows, catalog " +
+          "says " + std::to_string(interm.num_rows));
+    }
+    import.column_names = std::move(result.column_names);
+    import.columns = std::move(result.columns);
+    out.push_back(std::move(import));
+  }
+  return out;
+}
+
+std::vector<wire::CatalogIntermediate> ToWireIntermediates(
+    const CatalogSummary::Model& model) {
+  std::vector<wire::CatalogIntermediate> interms;
+  for (const CatalogSummary::Intermediate& interm : model.intermediates) {
+    wire::CatalogIntermediate i;
+    i.name = interm.name;
+    i.stage_index = interm.stage_index;
+    i.num_rows = interm.num_rows;
+    i.columns = interm.columns;
+    interms.push_back(std::move(i));
+  }
+  return interms;
+}
+
+}  // namespace
+
+Result<std::vector<ImportIntermediate>> ExportModelData(
+    Mistique* src, const std::string& project, const std::string& model) {
+  const CatalogSummary catalog = src->ExportCatalog();
+  for (const CatalogSummary::Model& entry : catalog.models) {
+    if (entry.project != project || entry.name != model) continue;
+    return FetchIntermediates(
+        project, model, ToWireIntermediates(entry),
+        [src](const FetchRequest& request) { return src->Fetch(request); });
+  }
+  return Status::NotFound("model " + project + "." + model +
+                          " not in source store");
+}
+
+Status PullModel(net::Client* src, Mistique* dst, const std::string& project,
+                 const std::string& model) {
+  MISTIQUE_ASSIGN_OR_RETURN(wire::CatalogInfo catalog, src->Catalog());
+  for (const wire::CatalogModel& entry : catalog.models) {
+    if (entry.project != project || entry.model != model) continue;
+    MISTIQUE_ASSIGN_OR_RETURN(
+        std::vector<ImportIntermediate> data,
+        FetchIntermediates(project, model, entry.intermediates,
+                           [src](const FetchRequest& request) {
+                             return src->Fetch(request);
+                           }));
+    MISTIQUE_ASSIGN_OR_RETURN(ModelId id,
+                              dst->ImportModel(project, model, data));
+    (void)id;
+    return Status::OK();
+  }
+  return Status::NotFound("model " + project + "." + model +
+                          " not in remote catalog");
+}
+
+Result<std::vector<size_t>> SplitStore(Mistique* src,
+                                       const std::vector<Mistique*>& dst,
+                                       const ShardMap& map) {
+  if (dst.size() != map.shards().size()) {
+    return Status::InvalidArgument(
+        "SplitStore: " + std::to_string(dst.size()) + " destinations for " +
+        std::to_string(map.shards().size()) + " shards");
+  }
+  std::vector<size_t> assigned(dst.size(), 0);
+  const CatalogSummary catalog = src->ExportCatalog();
+  for (const CatalogSummary::Model& model : catalog.models) {
+    const size_t owner =
+        map.OwnerIndex(ShardMap::PartitionKey(model.project, model.name));
+    MISTIQUE_ASSIGN_OR_RETURN(std::vector<ImportIntermediate> data,
+                              ExportModelData(src, model.project, model.name));
+    MISTIQUE_ASSIGN_OR_RETURN(
+        ModelId id, dst[owner]->ImportModel(model.project, model.name, data));
+    (void)id;
+    assigned[owner]++;
+  }
+  return assigned;
+}
+
+}  // namespace cluster
+}  // namespace mistique

@@ -1,0 +1,44 @@
+#ifndef MISTIQUE_CLUSTER_REBALANCE_H_
+#define MISTIQUE_CLUSTER_REBALANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/shard_map.h"
+#include "common/status.h"
+#include "core/mistique.h"
+#include "net/client.h"
+
+namespace mistique {
+namespace cluster {
+
+/// Partition movement primitives (docs/CLUSTER.md). A "partition" is one
+/// model (project.model): the unit the ShardMap hashes, the unit
+/// DeleteModel + Vacuum can physically reclaim, and therefore the unit
+/// that moves. Data always travels as full-precision column values
+/// through the ordinary fetch path on the source and ImportModel on the
+/// destination — no partition-file surgery, no shared-chunk bookkeeping
+/// across stores.
+
+/// Reads one model out of a local engine as ImportModel input.
+Result<std::vector<ImportIntermediate>> ExportModelData(
+    Mistique* src, const std::string& project, const std::string& model);
+
+/// Streams one model from a remote shard (or router) into a local
+/// engine: catalog discovery, per-intermediate fetches, ImportModel.
+/// The source keeps its copy — callers delete it there once the new
+/// owner is serving (copy, cut over, then cut off).
+Status PullModel(net::Client* src, Mistique* dst, const std::string& project,
+                 const std::string& model);
+
+/// Offline split for bootstrapping a cluster from a single store:
+/// copies every model of `src` into dst[map.OwnerIndex(key)]. `dst`
+/// must align with map.shards(). Returns models assigned per shard.
+Result<std::vector<size_t>> SplitStore(Mistique* src,
+                                       const std::vector<Mistique*>& dst,
+                                       const ShardMap& map);
+
+}  // namespace cluster
+}  // namespace mistique
+
+#endif  // MISTIQUE_CLUSTER_REBALANCE_H_

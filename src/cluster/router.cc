@@ -1,0 +1,550 @@
+#include "cluster/router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <optional>
+#include <utility>
+
+namespace mistique {
+namespace cluster {
+
+namespace {
+
+std::string ShardLabel(const ShardSpec& spec) {
+  return "shard " + std::to_string(spec.shard_id) + " (" + spec.host + ":" +
+         std::to_string(spec.port) + ")";
+}
+
+}  // namespace
+
+Router::Router(ShardMap map, RouterOptions options)
+    : map_(std::move(map)), options_(std::move(options)) {
+  pool_ = std::make_shared<ShardClientPool>(
+      map_, options_.shard_client, options_.max_idle_clients_per_shard);
+  up_.reserve(map_.shards().size());
+  shard_up_gauges_.reserve(map_.shards().size());
+  obs::MetricsRegistry& registry = obs::GlobalMetrics();
+  for (const ShardSpec& spec : map_.shards()) {
+    // Unknown-but-optimistic until the first probe: requests arriving
+    // before the health thread's opening sweep should try, not degrade.
+    up_.push_back(std::make_unique<std::atomic<bool>>(true));
+    shard_up_gauges_.push_back(registry.GetGauge(
+        "mistique_router_shard_up_" + std::to_string(spec.shard_id),
+        "1 when the router's health checker last saw this shard alive."));
+    shard_up_gauges_.back()->Set(1);
+  }
+  fetches_ = registry.GetCounter("mistique_router_fetches_total",
+                                 "Fetches forwarded by the router.");
+  scans_ = registry.GetCounter("mistique_router_scans_total",
+                               "Scatter-gather scans coordinated.");
+  traces_ = registry.GetCounter("mistique_router_traces_total",
+                                "Traced fetches forwarded.");
+  retries_ = registry.GetCounter(
+      "mistique_router_forward_retries_total",
+      "Forward attempts retried after a transport failure.");
+  hedges_ = registry.GetCounter("mistique_router_hedges_total",
+                                "Tail-latency hedge requests launched.");
+  hedge_wins_ = registry.GetCounter(
+      "mistique_router_hedge_wins_total",
+      "Requests where the hedge answered before the primary.");
+  degraded_ = registry.GetCounter(
+      "mistique_router_degraded_total",
+      "Requests answered with the typed degraded error.");
+  rejoins_ = registry.GetCounter(
+      "mistique_router_shard_rejoins_total",
+      "Down->up health transitions (restarted shards re-admitted).");
+}
+
+Router::~Router() { Stop(); }
+
+Status Router::Start() {
+  if (started_.exchange(true)) {
+    return Status::AlreadyExists("router already started");
+  }
+  if (map_.empty()) return Status::InvalidArgument("router has no shards");
+  workers_ = std::make_unique<ThreadPool>(options_.num_workers);
+  health_thread_ = std::thread([this] { HealthLoop(); });
+  return Status::OK();
+}
+
+void Router::Stop() {
+  if (!started_.load() || stopping_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    health_cv_.notify_all();
+  }
+  if (health_thread_.joinable()) health_thread_.join();
+  // ThreadPool's destructor finishes queued jobs before joining, so
+  // in-flight forwards complete (or degrade) rather than vanish.
+  workers_.reset();
+}
+
+bool Router::ShardUp(size_t shard_index) const {
+  return up_[shard_index]->load(std::memory_order_relaxed);
+}
+
+void Router::MarkShard(size_t shard_index, bool up) {
+  const bool was = up_[shard_index]->exchange(up, std::memory_order_relaxed);
+  if (was == up) return;
+  shard_up_gauges_[shard_index]->Set(up ? 1 : 0);
+  if (up) rejoins_->Increment();
+}
+
+Status Router::DegradedShard(size_t shard_index,
+                             const std::string& what) const {
+  degraded_->Increment();
+  return wire::Degraded(what + ": " + ShardLabel(map_.shards()[shard_index]) +
+                        " is unavailable; other partitions keep serving");
+}
+
+void Router::HealthLoop() {
+  // The health thread owns one dedicated client per shard — never the
+  // forwarding pool, so probes cannot be starved by a request burst and a
+  // wedged shard cannot eat pooled connections.
+  net::ClientOptions probe_options = options_.shard_client;
+  probe_options.connect_timeout_sec = options_.health_timeout_sec;
+  probe_options.request_timeout_sec = options_.health_timeout_sec;
+  probe_options.max_reconnect_attempts = 0;
+  std::vector<std::unique_ptr<net::Client>> probes;
+  for (const ShardSpec& spec : map_.shards()) {
+    net::ClientOptions options = probe_options;
+    options.host = spec.host;
+    options.port = spec.port;
+    probes.push_back(std::make_unique<net::Client>(options));
+  }
+  while (true) {
+    for (size_t i = 0; i < probes.size(); ++i) {
+      if (stopping_.load()) return;
+      const Result<wire::HealthInfo> health = probes[i]->Health();
+      // Draining (state 1) counts as down for routing: the shard is
+      // refusing new work on purpose.
+      MarkShard(i, health.ok() && health->state == 0);
+    }
+    std::unique_lock<std::mutex> lock(health_mutex_);
+    health_cv_.wait_for(
+        lock,
+        std::chrono::duration<double>(options_.health_interval_sec),
+        [this] { return stopping_.load(); });
+    if (stopping_.load()) return;
+  }
+}
+
+template <typename T>
+Result<T> Router::Forward(size_t shard_index, const ShardCall<T>& call) {
+  if (!ShardUp(shard_index)) {
+    return DegradedShard(shard_index, "request not forwarded");
+  }
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < std::max(options_.max_forward_attempts, 1);
+       ++attempt) {
+    if (attempt > 0) retries_->Increment();
+    ShardClientPool::Lease lease = pool_->Checkout(shard_index);
+    Result<T> result = call(lease.get());
+    if (result.ok()) return result;
+    last = result.status();
+    // Anything the shard *said* (NotFound, InvalidArgument, overload…)
+    // is a real answer — pass it through. Only transport-level
+    // unavailability is the router's to absorb.
+    if (last.code() != StatusCode::kUnavailable || wire::IsDegraded(last)) {
+      return last;
+    }
+  }
+  MarkShard(shard_index, false);
+  return DegradedShard(shard_index, "forward failed (" + last.message() + ")");
+}
+
+Result<FetchResult> Router::ForwardFetch(size_t shard_index,
+                                         const FetchRequest& request) {
+  if (options_.hedge_delay_sec <= 0) {
+    return Forward<FetchResult>(shard_index, [&request](net::Client* client) {
+      return client->Fetch(request);
+    });
+  }
+  if (!ShardUp(shard_index)) {
+    return DegradedShard(shard_index, "request not forwarded");
+  }
+  // Hedged: primary on a detached thread; if it has not answered after
+  // hedge_delay, a duplicate runs on a second pooled connection and the
+  // first answer wins. The loser finishes on its own and only touches
+  // shared_ptr state, so nothing here waits for it.
+  struct HedgeState {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::optional<Result<FetchResult>> result;
+    int launched = 0;
+  };
+  auto state = std::make_shared<HedgeState>();
+  auto attempt = [state, pool = pool_, shard_index, request,
+                  hedge_wins = hedge_wins_](bool is_hedge) {
+    ShardClientPool::Lease lease = pool->Checkout(shard_index);
+    Result<FetchResult> r = lease->Fetch(request);
+    std::lock_guard<std::mutex> lock(state->mutex);
+    if (!state->result.has_value()) {
+      if (is_hedge) hedge_wins->Increment();
+      state->result.emplace(std::move(r));
+      state->cv.notify_all();
+    }
+  };
+  std::thread([attempt] { attempt(false); }).detach();
+  std::unique_lock<std::mutex> lock(state->mutex);
+  const bool primary_done = state->cv.wait_for(
+      lock, std::chrono::duration<double>(options_.hedge_delay_sec),
+      [&state] { return state->result.has_value(); });
+  if (!primary_done) {
+    hedges_->Increment();
+    std::thread([attempt] { attempt(true); }).detach();
+  }
+  state->cv.wait(lock, [&state] { return state->result.has_value(); });
+  Result<FetchResult> result = std::move(*state->result);
+  lock.unlock();
+  if (result.ok()) return result;
+  const Status st = result.status();
+  if (st.code() == StatusCode::kUnavailable && !wire::IsDegraded(st)) {
+    MarkShard(shard_index, false);
+    return DegradedShard(shard_index, "forward failed (" + st.message() + ")");
+  }
+  return st;
+}
+
+void Router::HandleFetch(FetchRequest request, net::Responder respond) {
+  fetches_->Increment();
+  const size_t owner =
+      map_.OwnerIndex(ShardMap::PartitionKey(request.project, request.model));
+  Result<FetchResult> result = ForwardFetch(owner, request);
+  if (!result.ok()) {
+    respond(wire::MsgType::kErrorResp, wire::EncodeError(result.status()));
+    return;
+  }
+  respond(wire::MsgType::kFetchResp, wire::EncodeFetchResult(*result));
+}
+
+void Router::HandleTraceFetch(FetchRequest request, uint64_t trace_id,
+                              net::Responder respond) {
+  traces_->Increment();
+  (void)trace_id;  // the shard stamps its own trace with its request id
+  const size_t owner =
+      map_.OwnerIndex(ShardMap::PartitionKey(request.project, request.model));
+  wire::TraceResultSummary summary;
+  Result<obs::QueryTrace> trace = Forward<obs::QueryTrace>(
+      owner, [&request, &summary](net::Client* client) {
+        return client->TraceFetch(request, &summary);
+      });
+  if (!trace.ok()) {
+    respond(wire::MsgType::kErrorResp, wire::EncodeError(trace.status()));
+    return;
+  }
+  respond(wire::MsgType::kTraceResp, wire::EncodeQueryTrace(*trace, summary));
+}
+
+void Router::HandleScan(ScanRequest request, net::Responder respond) {
+  scans_->Increment();
+  const size_t n = map_.shards().size();
+  // Scatter: every shard in parallel. Scans must see the whole key space
+  // (a stale placement could leave rows off the ring owner), so a single
+  // unreachable shard makes the scan degraded — never silently partial.
+  std::vector<Result<ScanResult>> results(
+      n, Result<ScanResult>(Status::Internal("unprobed")));
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads.emplace_back([this, i, &request, &results] {
+      if (!ShardUp(i)) {
+        results[i] = Status::Unavailable("down at scatter time");
+        return;
+      }
+      ShardClientPool::Lease lease = pool_->Checkout(i);
+      results[i] = lease->Scan(request);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  ScanResult merged;
+  std::vector<const ScanResult*> parts;
+  for (size_t i = 0; i < n; ++i) {
+    if (results[i].ok()) {
+      merged.blocks_scanned += results[i]->blocks_scanned;
+      merged.blocks_pruned += results[i]->blocks_pruned;
+      parts.push_back(&*results[i]);
+      continue;
+    }
+    const Status st = results[i].status();
+    // Shards that simply do not hold this model answer kNotFound: an
+    // empty contribution, not a failure.
+    if (st.code() == StatusCode::kNotFound) continue;
+    if (st.code() == StatusCode::kUnavailable) {
+      MarkShard(i, false);
+      respond(wire::MsgType::kErrorResp,
+              wire::EncodeError(DegradedShard(
+                  i, "scan aborted (results would be incomplete)")));
+      return;
+    }
+    // A semantic error (bad predicate column, etc.) — relay it.
+    respond(wire::MsgType::kErrorResp, wire::EncodeError(st));
+    return;
+  }
+  if (parts.empty()) {
+    respond(wire::MsgType::kErrorResp,
+            wire::EncodeError(Status::NotFound(
+                "no shard holds " +
+                ShardMap::PartitionKey(request.project, request.model))));
+    return;
+  }
+
+  // Gather: with model-granularity partitioning exactly one shard
+  // normally contributes; the general path k-way merges by row id so a
+  // mid-rebalance cluster (model briefly visible on two shards) still
+  // answers in row order.
+  for (const ScanResult* part : parts) {
+    if (merged.column_names.empty()) merged.column_names = part->column_names;
+  }
+  if (parts.size() == 1) {
+    const ScanResult* only = parts[0];
+    merged.row_ids = only->row_ids;
+    merged.columns = only->columns;
+  } else {
+    struct RowRef {
+      uint64_t row_id;
+      size_t part;
+      size_t index;
+    };
+    std::vector<RowRef> rows;
+    for (size_t p = 0; p < parts.size(); ++p) {
+      for (size_t r = 0; r < parts[p]->row_ids.size(); ++r) {
+        rows.push_back({parts[p]->row_ids[r], p, r});
+      }
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const RowRef& a, const RowRef& b) {
+                return a.row_id != b.row_id ? a.row_id < b.row_id
+                                            : a.part < b.part;
+              });
+    merged.columns.resize(merged.column_names.size());
+    for (const RowRef& row : rows) {
+      merged.row_ids.push_back(row.row_id);
+      const ScanResult* part = parts[row.part];
+      for (size_t c = 0;
+           c < merged.columns.size() && c < part->columns.size(); ++c) {
+        merged.columns[c].push_back(part->columns[c][row.index]);
+      }
+    }
+  }
+  respond(wire::MsgType::kScanResp, wire::EncodeScanResult(merged));
+}
+
+void Router::HandleStats(net::Responder respond) {
+  // Cluster-wide stats: counters sum across live shards; percentile
+  // latencies take the worst shard (percentiles do not add).
+  ServiceStats total;
+  for (size_t i = 0; i < map_.shards().size(); ++i) {
+    if (!ShardUp(i)) continue;
+    ShardClientPool::Lease lease = pool_->Checkout(i);
+    Result<ServiceStats> stats = lease->Stats();
+    if (!stats.ok()) continue;
+    total.submitted += stats->submitted;
+    total.rejected += stats->rejected;
+    total.completed += stats->completed;
+    total.expired += stats->expired;
+    total.failed += stats->failed;
+    total.queued += stats->queued;
+    total.running += stats->running;
+    total.cache_hits += stats->cache_hits;
+    total.cache_lookups += stats->cache_lookups;
+    total.bytes_read += stats->bytes_read;
+    total.corruptions_detected += stats->corruptions_detected;
+    total.partitions_healed += stats->partitions_healed;
+    total.abandoned += stats->abandoned;
+    total.open_sessions += stats->open_sessions;
+    total.p50_latency_sec = std::max(total.p50_latency_sec,
+                                     stats->p50_latency_sec);
+    total.p95_latency_sec = std::max(total.p95_latency_sec,
+                                     stats->p95_latency_sec);
+    total.p99_latency_sec = std::max(total.p99_latency_sec,
+                                     stats->p99_latency_sec);
+  }
+  total.draining = draining_.load();
+  respond(wire::MsgType::kStatsResp, wire::EncodeStats(total));
+}
+
+void Router::HandleCatalog(net::Responder respond) {
+  // Union of every shard's catalog — rebalance tooling's cluster view.
+  // Like scans, an unreachable shard degrades the answer rather than
+  // silently hiding its models.
+  wire::CatalogInfo merged;
+  for (size_t i = 0; i < map_.shards().size(); ++i) {
+    if (!ShardUp(i)) {
+      respond(wire::MsgType::kErrorResp,
+              wire::EncodeError(
+                  DegradedShard(i, "catalog listing incomplete")));
+      return;
+    }
+    ShardClientPool::Lease lease = pool_->Checkout(i);
+    Result<wire::CatalogInfo> part = lease->Catalog();
+    if (!part.ok()) {
+      MarkShard(i, false);
+      respond(wire::MsgType::kErrorResp,
+              wire::EncodeError(
+                  DegradedShard(i, "catalog listing incomplete")));
+      return;
+    }
+    for (wire::CatalogModel& model : part->models) {
+      merged.models.push_back(std::move(model));
+    }
+  }
+  respond(wire::MsgType::kCatalogResp, wire::EncodeCatalog(merged));
+}
+
+net::FrameDisposition Router::HandleFrame(uint64_t conn_token,
+                                          const wire::Frame& frame,
+                                          net::Responder respond) {
+  (void)conn_token;
+  switch (frame.type) {
+    case wire::MsgType::kPingReq:
+      respond(wire::MsgType::kPingResp, "");
+      return net::FrameDisposition::kOk;
+    case wire::MsgType::kHealthReq: {
+      wire::HealthInfo health;
+      health.state = draining_.load() ? 1 : 0;
+      health.queued = workers_ == nullptr ? 0 : workers_->queue_depth();
+      health.running = in_flight_.load();
+      respond(wire::MsgType::kHealthResp, wire::EncodeHealth(health));
+      return net::FrameDisposition::kOk;
+    }
+    case wire::MsgType::kShardMapReq: {
+      wire::ShardMapInfo info = map_.ToWire();
+      for (size_t i = 0; i < info.shards.size(); ++i) {
+        info.shards[i].health = ShardUp(i) ? 0 : 2;
+      }
+      respond(wire::MsgType::kShardMapResp, wire::EncodeShardMap(info));
+      return net::FrameDisposition::kOk;
+    }
+    case wire::MsgType::kOpenSessionReq:
+      // Router sessions are tokens only: shard-side sessions (and their
+      // result caches) belong to the pooled clients. Clients get a valid
+      // id so the single-store protocol flow works unchanged.
+      respond(wire::MsgType::kOpenSessionResp,
+              wire::EncodeSessionId(next_session_.fetch_add(1)));
+      return net::FrameDisposition::kOk;
+    case wire::MsgType::kCloseSessionReq: {
+      uint64_t session = 0;
+      const Status decoded = wire::DecodeSessionId(frame.payload, &session);
+      if (!decoded.ok()) {
+        respond(wire::MsgType::kErrorResp, wire::EncodeError(decoded));
+        return net::FrameDisposition::kMalformed;
+      }
+      respond(wire::MsgType::kCloseSessionResp, "");
+      return net::FrameDisposition::kOk;
+    }
+    case wire::MsgType::kMetricsReq:
+      respond(wire::MsgType::kMetricsResp,
+              wire::EncodeMetricsText(obs::GlobalMetrics().TextExposition()));
+      return net::FrameDisposition::kOk;
+    default:
+      break;
+  }
+
+  // Everything below forwards to shards and must leave the I/O thread.
+  if (draining_.load()) {
+    respond(wire::MsgType::kErrorResp,
+            wire::EncodeError(Status::Unavailable("router is draining")));
+    return net::FrameDisposition::kOk;
+  }
+  // Count the request before queueing, and decrement exactly once when
+  // its response goes out, so DrainRequests sees queued work too.
+  in_flight_.fetch_add(1);
+  auto done = std::make_shared<std::atomic<bool>>(false);
+  net::Responder tracked = [this, done, respond = std::move(respond)](
+                               wire::MsgType type, std::string payload) {
+    respond(type, std::move(payload));
+    if (!done->exchange(true)) in_flight_.fetch_sub(1);
+  };
+
+  switch (frame.type) {
+    case wire::MsgType::kFetchReq:
+    case wire::MsgType::kTraceFetchReq: {
+      uint64_t session = 0;
+      FetchRequest request;
+      const Status decoded =
+          wire::DecodeFetchRequest(frame.payload, &session, &request);
+      if (!decoded.ok()) {
+        tracked(wire::MsgType::kErrorResp, wire::EncodeError(decoded));
+        return net::FrameDisposition::kMalformed;
+      }
+      const bool trace = frame.type == wire::MsgType::kTraceFetchReq;
+      const uint64_t id = frame.request_id;
+      workers_->Submit([this, trace, id, request = std::move(request),
+                        tracked = std::move(tracked)]() mutable {
+        if (trace) {
+          HandleTraceFetch(std::move(request), id, std::move(tracked));
+        } else {
+          HandleFetch(std::move(request), std::move(tracked));
+        }
+      });
+      return net::FrameDisposition::kOk;
+    }
+    case wire::MsgType::kScanReq: {
+      uint64_t session = 0;
+      ScanRequest request;
+      const Status decoded =
+          wire::DecodeScanRequest(frame.payload, &session, &request);
+      if (!decoded.ok()) {
+        tracked(wire::MsgType::kErrorResp, wire::EncodeError(decoded));
+        return net::FrameDisposition::kMalformed;
+      }
+      workers_->Submit([this, request = std::move(request),
+                        tracked = std::move(tracked)]() mutable {
+        HandleScan(std::move(request), std::move(tracked));
+      });
+      return net::FrameDisposition::kOk;
+    }
+    case wire::MsgType::kStatsReq:
+      workers_->Submit([this, tracked = std::move(tracked)]() mutable {
+        HandleStats(std::move(tracked));
+      });
+      return net::FrameDisposition::kOk;
+    case wire::MsgType::kCatalogReq:
+      workers_->Submit([this, tracked = std::move(tracked)]() mutable {
+        HandleCatalog(std::move(tracked));
+      });
+      return net::FrameDisposition::kOk;
+    default:
+      tracked(wire::MsgType::kErrorResp,
+              wire::EncodeError(Status::InvalidArgument(
+                  "unexpected frame type from client")));
+      return net::FrameDisposition::kFatal;
+  }
+}
+
+void Router::OnConnectionClosed(uint64_t conn_token) { (void)conn_token; }
+
+uint64_t Router::DrainRequests(double deadline_sec) {
+  draining_.store(true);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(deadline_sec);
+  while (in_flight_.load() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return in_flight_.load();
+}
+
+RouterStats Router::Stats() const {
+  RouterStats stats;
+  for (size_t i = 0; i < map_.shards().size(); ++i) {
+    const ShardSpec& spec = map_.shards()[i];
+    stats.shards.push_back({spec.shard_id, spec.host, spec.port, ShardUp(i)});
+  }
+  stats.fetches = fetches_->Value();
+  stats.scans = scans_->Value();
+  stats.traces = traces_->Value();
+  stats.retries = retries_->Value();
+  stats.hedges = hedges_->Value();
+  stats.hedge_wins = hedge_wins_->Value();
+  stats.degraded = degraded_->Value();
+  stats.rejoins = rejoins_->Value();
+  stats.in_flight = in_flight_.load();
+  return stats;
+}
+
+}  // namespace cluster
+}  // namespace mistique

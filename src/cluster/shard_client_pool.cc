@@ -1,0 +1,54 @@
+#include "cluster/shard_client_pool.h"
+
+#include <utility>
+
+namespace mistique {
+namespace cluster {
+
+ShardClientPool::ShardClientPool(const ShardMap& map,
+                                 net::ClientOptions base_options,
+                                 size_t max_idle_per_shard)
+    : max_idle_per_shard_(max_idle_per_shard == 0 ? 1 : max_idle_per_shard) {
+  options_.reserve(map.shards().size());
+  shards_.reserve(map.shards().size());
+  for (const ShardSpec& spec : map.shards()) {
+    net::ClientOptions options = base_options;
+    options.host = spec.host;
+    options.port = spec.port;
+    options_.push_back(std::move(options));
+    shards_.push_back(std::make_unique<PerShard>());
+  }
+}
+
+ShardClientPool::Lease ShardClientPool::Checkout(size_t shard_index) {
+  PerShard& shard = *shards_[shard_index];
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (!shard.idle.empty()) {
+      std::unique_ptr<net::Client> client = std::move(shard.idle.back());
+      shard.idle.pop_back();
+      return Lease(this, shard_index, std::move(client));
+    }
+  }
+  created_.fetch_add(1, std::memory_order_relaxed);
+  return Lease(this, shard_index,
+               std::make_unique<net::Client>(options_[shard_index]));
+}
+
+void ShardClientPool::Return(size_t shard_index,
+                             std::unique_ptr<net::Client> client) {
+  // A client that ended its request disconnected hit a transport error;
+  // pooling it would hand the next caller a reconnect penalty up front.
+  if (!client->connected()) return;
+  PerShard& shard = *shards_[shard_index];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.idle.size() >= max_idle_per_shard_) return;
+  shard.idle.push_back(std::move(client));
+}
+
+uint64_t ShardClientPool::created() const {
+  return created_.load(std::memory_order_relaxed);
+}
+
+}  // namespace cluster
+}  // namespace mistique

@@ -1,0 +1,81 @@
+#ifndef MISTIQUE_CLUSTER_SHARD_CLIENT_POOL_H_
+#define MISTIQUE_CLUSTER_SHARD_CLIENT_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cluster/shard_map.h"
+#include "net/client.h"
+
+namespace mistique {
+namespace cluster {
+
+/// Per-shard pools of wire clients for the router's forwarding path.
+///
+/// net::Client is single-threaded by design, so concurrent router workers
+/// each check a client out, use it, and return it; the pool reuses warm
+/// connections (and their open server-side sessions — session result
+/// caches on the shard keep working across unrelated router requests).
+/// Checkout never blocks: an empty pool mints a fresh client, and
+/// Return() destroys clients beyond `max_idle_per_shard` instead of
+/// hoarding fds.
+class ShardClientPool {
+ public:
+  ShardClientPool(const ShardMap& map, net::ClientOptions base_options,
+                  size_t max_idle_per_shard = 8);
+
+  /// A checked-out client, returned to its pool on destruction. If the
+  /// request left the client disconnected (transport error), it is
+  /// destroyed instead of pooled so the next checkout starts clean.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(ShardClientPool* pool, size_t shard_index,
+          std::unique_ptr<net::Client> client)
+        : pool_(pool), shard_index_(shard_index), client_(std::move(client)) {}
+    Lease(Lease&&) = default;
+    Lease& operator=(Lease&&) = default;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() {
+      if (pool_ != nullptr && client_ != nullptr) {
+        pool_->Return(shard_index_, std::move(client_));
+      }
+    }
+    net::Client* operator->() { return client_.get(); }
+    net::Client* get() { return client_.get(); }
+
+   private:
+    ShardClientPool* pool_ = nullptr;
+    size_t shard_index_ = 0;
+    std::unique_ptr<net::Client> client_;
+  };
+
+  /// shard_index is an index into the map's shards().
+  Lease Checkout(size_t shard_index);
+
+  /// Clients minted because the pool was empty (reuse misses).
+  uint64_t created() const;
+
+ private:
+  friend class Lease;
+  void Return(size_t shard_index, std::unique_ptr<net::Client> client);
+
+  struct PerShard {
+    std::mutex mutex;
+    std::vector<std::unique_ptr<net::Client>> idle;
+  };
+
+  std::vector<net::ClientOptions> options_;  ///< per shard, fixed
+  std::vector<std::unique_ptr<PerShard>> shards_;
+  size_t max_idle_per_shard_;
+  std::atomic<uint64_t> created_{0};
+};
+
+}  // namespace cluster
+}  // namespace mistique
+
+#endif  // MISTIQUE_CLUSTER_SHARD_CLIENT_POOL_H_

@@ -1,0 +1,95 @@
+#include "cluster/shard_map.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace mistique {
+namespace cluster {
+
+namespace {
+
+/// Ring point for (shard, vnode): FNV over a printable token, then
+/// Mix64 for avalanche. String-based (not HashCombine of raw ints) so
+/// the placement is trivially stable across builds and platforms.
+uint64_t RingPoint(uint32_t shard_id, uint32_t vnode) {
+  const std::string token =
+      "shard-" + std::to_string(shard_id) + "#" + std::to_string(vnode);
+  return Mix64(HashString(token));
+}
+
+}  // namespace
+
+ShardMap::ShardMap(uint64_t version, std::vector<ShardSpec> shards,
+                   uint32_t vnodes_per_shard)
+    : version_(version),
+      vnodes_(vnodes_per_shard == 0 ? 1 : vnodes_per_shard),
+      shards_(std::move(shards)) {
+  ring_.reserve(shards_.size() * vnodes_);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    for (uint32_t v = 0; v < vnodes_; ++v) {
+      ring_.emplace_back(RingPoint(shards_[i].shard_id, v),
+                         static_cast<uint32_t>(i));
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+size_t ShardMap::OwnerIndex(const std::string& partition_key) const {
+  const uint64_t h = Mix64(HashString(partition_key));
+  // First ring point at or after the key's hash, wrapping past the top.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), std::make_pair(h, uint32_t{0}),
+      [](const std::pair<uint64_t, uint32_t>& a,
+         const std::pair<uint64_t, uint32_t>& b) { return a.first < b.first; });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+size_t ShardMap::IndexOf(uint32_t shard_id) const {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].shard_id == shard_id) return i;
+  }
+  return shards_.size();
+}
+
+wire::ShardMapInfo ShardMap::ToWire() const {
+  wire::ShardMapInfo info;
+  info.version = version_;
+  info.vnodes_per_shard = vnodes_;
+  for (const ShardSpec& shard : shards_) {
+    wire::ShardEntry entry;
+    entry.shard_id = shard.shard_id;
+    entry.host = shard.host;
+    entry.port = shard.port;
+    info.shards.push_back(std::move(entry));
+  }
+  return info;
+}
+
+Result<ShardMap> ShardMap::FromWire(const wire::ShardMapInfo& info) {
+  if (info.shards.empty()) {
+    return Status::InvalidArgument("shard map has no shards");
+  }
+  std::vector<ShardSpec> shards;
+  for (const wire::ShardEntry& entry : info.shards) {
+    ShardSpec spec;
+    spec.shard_id = entry.shard_id;
+    spec.host = entry.host;
+    spec.port = entry.port;
+    shards.push_back(std::move(spec));
+  }
+  for (size_t i = 0; i < shards.size(); ++i) {
+    for (size_t j = i + 1; j < shards.size(); ++j) {
+      if (shards[i].shard_id == shards[j].shard_id) {
+        return Status::InvalidArgument(
+            "duplicate shard id " + std::to_string(shards[i].shard_id) +
+            " in shard map");
+      }
+    }
+  }
+  return ShardMap(info.version, std::move(shards), info.vnodes_per_shard);
+}
+
+}  // namespace cluster
+}  // namespace mistique

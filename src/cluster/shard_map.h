@@ -1,0 +1,78 @@
+#ifndef MISTIQUE_CLUSTER_SHARD_MAP_H_
+#define MISTIQUE_CLUSTER_SHARD_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace mistique {
+namespace cluster {
+
+/// One shard's identity and endpoint. The shard_id — not the endpoint —
+/// determines ring placement, so a shard can move hosts (or be restarted
+/// on a new port) without any partition changing owner.
+struct ShardSpec {
+  uint32_t shard_id = 0;
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+/// A versioned consistent-hash routing table over model-granularity
+/// partitions (docs/CLUSTER.md).
+///
+/// The partition key is "project.model": a model's intermediates and
+/// ColumnChunks co-locate on one shard, so every fetch is single-shard
+/// and DeleteModel + Vacuum can physically split a store along partition
+/// boundaries. Each shard projects `vnodes_per_shard` points onto a
+/// 64-bit ring; a key is owned by the shard whose point follows the
+/// key's hash (wrapping). Ring points hash only (shard_id, vnode), so
+/// any two processes given the same ids and vnode count — the offline
+/// splitter and the live router, say — route identically.
+class ShardMap {
+ public:
+  ShardMap() = default;
+  /// `shards` must be non-empty with unique ids; vnodes_per_shard >= 1.
+  ShardMap(uint64_t version, std::vector<ShardSpec> shards,
+           uint32_t vnodes_per_shard = 64);
+
+  static std::string PartitionKey(const std::string& project,
+                                  const std::string& model) {
+    return project + "." + model;
+  }
+
+  /// Index into shards() of the owner of `partition_key`.
+  size_t OwnerIndex(const std::string& partition_key) const;
+  /// Owning shard id (convenience over OwnerIndex).
+  uint32_t OwnerOf(const std::string& partition_key) const {
+    return shards_[OwnerIndex(partition_key)].shard_id;
+  }
+
+  /// Index of shard `shard_id` in shards(); shards().size() if unknown.
+  size_t IndexOf(uint32_t shard_id) const;
+
+  const std::vector<ShardSpec>& shards() const { return shards_; }
+  uint64_t version() const { return version_; }
+  uint32_t vnodes_per_shard() const { return vnodes_; }
+  bool empty() const { return shards_.empty(); }
+
+  /// Wire form, with every shard's health byte left 0 (the router fills
+  /// live health in before responding).
+  wire::ShardMapInfo ToWire() const;
+  static Result<ShardMap> FromWire(const wire::ShardMapInfo& info);
+
+ private:
+  uint64_t version_ = 0;
+  uint32_t vnodes_ = 64;
+  std::vector<ShardSpec> shards_;
+  /// (ring point, shard index), sorted by point.
+  std::vector<std::pair<uint64_t, uint32_t>> ring_;
+};
+
+}  // namespace cluster
+}  // namespace mistique
+
+#endif  // MISTIQUE_CLUSTER_SHARD_MAP_H_

@@ -650,6 +650,83 @@ Result<ModelId> Mistique::LogPipeline(Pipeline* pipeline,
   return id;
 }
 
+CatalogSummary Mistique::ExportCatalog() const {
+  std::shared_lock<std::shared_mutex> lock(rw_mutex_);
+  CatalogSummary catalog;
+  for (ModelId id : metadata_.ListModels()) {
+    Result<const ModelInfo*> model = metadata_.GetModel(id);
+    if (!model.ok()) continue;
+    CatalogSummary::Model out;
+    out.project = (*model)->project;
+    out.name = (*model)->name;
+    out.kind = (*model)->kind;
+    for (const IntermediateInfo& interm : (*model)->intermediates) {
+      CatalogSummary::Intermediate i;
+      i.name = interm.name;
+      i.stage_index = interm.stage_index;
+      i.num_rows = interm.num_rows;
+      for (const ColumnInfo& col : interm.columns) i.columns.push_back(col.name);
+      out.intermediates.push_back(std::move(i));
+    }
+    catalog.models.push_back(std::move(out));
+  }
+  return catalog;
+}
+
+Result<ModelId> Mistique::ImportModel(
+    const std::string& project, const std::string& name,
+    const std::vector<ImportIntermediate>& intermediates) {
+  for (const ImportIntermediate& in : intermediates) {
+    if (in.column_names.size() != in.columns.size()) {
+      return Status::InvalidArgument("ImportModel: intermediate '" + in.name +
+                                     "' has " +
+                                     std::to_string(in.column_names.size()) +
+                                     " names for " +
+                                     std::to_string(in.columns.size()) +
+                                     " columns");
+    }
+    for (const std::vector<double>& col : in.columns) {
+      if (col.size() != in.num_rows) {
+        return Status::InvalidArgument(
+            "ImportModel: intermediate '" + in.name + "' declares " +
+            std::to_string(in.num_rows) + " rows but a column holds " +
+            std::to_string(col.size()));
+      }
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  MISTIQUE_ASSIGN_OR_RETURN(
+      ModelId id, metadata_.RegisterModel(project, name, ModelKind::kTrad));
+  MISTIQUE_ASSIGN_OR_RETURN(ModelInfo * model, metadata_.GetModel(id));
+  for (const ImportIntermediate& in : intermediates) {
+    IntermediateInfo interm;
+    interm.name = in.name;
+    interm.stage_index = in.stage_index;
+    interm.num_rows = in.num_rows;
+    interm.row_block_size = options_.row_block_size;
+    // Imports are always stored at full precision: the source shard
+    // already quantized at log time, so its fetch results ARE the stored
+    // domain — re-quantizing here would compound the error.
+    interm.scheme = QuantScheme::kNone;
+    uint64_t encoded = 0;
+    for (size_t c = 0; c < in.columns.size(); ++c) {
+      ColumnInfo col;
+      col.name = in.column_names[c];
+      MISTIQUE_RETURN_NOT_OK(StoreColumn(interm, &col, in.columns[c], 0, 0));
+      encoded += col.encoded_bytes;
+      interm.columns.push_back(std::move(col));
+    }
+    interm.stored_bytes_per_ex =
+        interm.num_rows == 0 ? 0
+                             : static_cast<double>(encoded) /
+                                   static_cast<double>(interm.num_rows);
+    // No executor, so re-run cost stays 0; the fetch path's has_executor
+    // fallback pins every query for this model to the read path.
+    model->intermediates.push_back(std::move(interm));
+  }
+  return id;
+}
+
 Result<ModelId> Mistique::LogNetwork(Network* network,
                                      std::shared_ptr<const Tensor> input,
                                      const std::string& project,

@@ -136,6 +136,36 @@ struct FetchResult {
                                    ///< materialization
 };
 
+/// One intermediate's worth of data for Mistique::ImportModel: the shape
+/// plus full-precision column values (column-major, like FetchResult).
+struct ImportIntermediate {
+  std::string name;
+  int stage_index = 0;
+  uint64_t num_rows = 0;
+  std::vector<std::string> column_names;
+  std::vector<std::vector<double>> columns;
+};
+
+/// Lock-consistent snapshot of the catalog's shape (no chunk ids or
+/// quantization tables): what a rebalance peer needs to stream a model
+/// out with ordinary fetches. Mirrors wire::CatalogInfo without making
+/// core depend on net.
+struct CatalogSummary {
+  struct Intermediate {
+    std::string name;
+    int stage_index = 0;
+    uint64_t num_rows = 0;
+    std::vector<std::string> columns;
+  };
+  struct Model {
+    std::string project;
+    std::string name;
+    ModelKind kind = ModelKind::kTrad;
+    std::vector<Intermediate> intermediates;
+  };
+  std::vector<Model> models;
+};
+
 /// MISTIQUE: Model Intermediate STore and QUery Engine.
 ///
 /// Ties together the PipelineExecutor (TRAD pipelines + DNN forward
@@ -187,6 +217,21 @@ class Mistique {
                         Pipeline* pipeline);
   Status AttachNetwork(const std::string& project, const std::string& name,
                        Network* network, std::shared_ptr<const Tensor> input);
+
+  /// Snapshots the catalog's shape under the shared lock (safe against
+  /// concurrent logging/materialization).
+  CatalogSummary ExportCatalog() const;
+
+  /// Registers `project`.`name` and stores every intermediate's columns at
+  /// full precision (QuantScheme::kNone). The imported model has no
+  /// executor, so fetches always take the read path — exactly like a model
+  /// recovered from a persisted catalog without AttachPipeline. This is
+  /// the ingest half of cluster rebalancing (docs/CLUSTER.md): the new
+  /// owner shard fetches a model's columns from the old owner and imports
+  /// them locally; the old owner then DeleteModel + Vacuum.
+  Result<ModelId> ImportModel(
+      const std::string& project, const std::string& name,
+      const std::vector<ImportIntermediate>& intermediates);
 
   /// Deletes a model from the catalog. Chunks shared with other models
   /// (via de-duplication) survive; chunks only this model referenced

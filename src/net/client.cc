@@ -34,7 +34,21 @@ void SetSocketTimeout(int fd, int which, double seconds) {
 
 }  // namespace
 
-Client::Client(ClientOptions options) : options_(std::move(options)) {}
+double JitteredBackoff(double base_sec, double jitter, Rng* rng) {
+  if (jitter <= 0) return base_sec;
+  const double j = std::min(jitter, 1.0);
+  return base_sec * (1.0 - j * rng->NextDouble());
+}
+
+Client::Client(ClientOptions options) : options_(std::move(options)) {
+  uint64_t seed = options_.jitter_seed;
+  if (seed == 0) {
+    seed = static_cast<uint64_t>(
+               std::chrono::steady_clock::now().time_since_epoch().count()) ^
+           reinterpret_cast<uintptr_t>(this);
+  }
+  jitter_rng_.Seed(seed);
+}
 
 Client::~Client() {
   // Best-effort: let the server reap the session now rather than at
@@ -263,7 +277,8 @@ Status Client::Call(wire::MsgType type, bool with_session,
     attempts++;
     failed_attempts_++;
     reconnected = true;
-    std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        JitteredBackoff(backoff, options_.backoff_jitter, &jitter_rng_)));
     backoff = std::min(backoff * 2, options_.backoff_max_sec);
   }
 }
@@ -350,6 +365,39 @@ Result<std::string> Client::Metrics() {
   std::string text;
   MISTIQUE_RETURN_NOT_OK(wire::DecodeMetricsText(resp.payload, &text));
   return text;
+}
+
+Result<wire::HealthInfo> Client::Health() {
+  wire::Frame resp;
+  MISTIQUE_RETURN_NOT_OK(Call(wire::MsgType::kHealthReq,
+                              /*with_session=*/false,
+                              [](SessionId) { return std::string(); },
+                              wire::MsgType::kHealthResp, &resp));
+  wire::HealthInfo health;
+  MISTIQUE_RETURN_NOT_OK(wire::DecodeHealth(resp.payload, &health));
+  return health;
+}
+
+Result<wire::ShardMapInfo> Client::FetchShardMap() {
+  wire::Frame resp;
+  MISTIQUE_RETURN_NOT_OK(Call(wire::MsgType::kShardMapReq,
+                              /*with_session=*/false,
+                              [](SessionId) { return std::string(); },
+                              wire::MsgType::kShardMapResp, &resp));
+  wire::ShardMapInfo map;
+  MISTIQUE_RETURN_NOT_OK(wire::DecodeShardMap(resp.payload, &map));
+  return map;
+}
+
+Result<wire::CatalogInfo> Client::Catalog() {
+  wire::Frame resp;
+  MISTIQUE_RETURN_NOT_OK(Call(wire::MsgType::kCatalogReq,
+                              /*with_session=*/false,
+                              [](SessionId) { return std::string(); },
+                              wire::MsgType::kCatalogResp, &resp));
+  wire::CatalogInfo catalog;
+  MISTIQUE_RETURN_NOT_OK(wire::DecodeCatalog(resp.payload, &catalog));
+  return catalog;
 }
 
 Result<obs::QueryTrace> Client::TraceFetch(const FetchRequest& request,

@@ -5,11 +5,20 @@
 #include <functional>
 #include <string>
 
+#include "common/random.h"
 #include "common/status.h"
 #include "net/wire.h"
 
 namespace mistique {
 namespace net {
+
+/// One reconnect delay: `base_sec` scaled by a uniform factor in
+/// [1 - jitter, 1]. Many clients (and a router's whole connection pool)
+/// backing off from the same shard restart would otherwise sleep the
+/// exact same schedule and reconnect in lockstep — jitter spreads the
+/// stampede over a window. Exposed as a free function so tests can pin
+/// the rng and verify the bounds.
+double JitteredBackoff(double base_sec, double jitter, Rng* rng);
 
 struct ClientOptions {
   std::string host = "127.0.0.1";
@@ -26,6 +35,12 @@ struct ClientOptions {
   int max_reconnect_attempts = 5;
   double backoff_initial_sec = 0.05;
   double backoff_max_sec = 2.0;
+  /// Fraction of each backoff sleep randomized away (see
+  /// JitteredBackoff). 0 restores the deterministic schedule.
+  double backoff_jitter = 0.25;
+  /// Seed for the jitter rng; 0 derives a per-client seed (address +
+  /// clock) so distinct clients get distinct schedules. Tests pin it.
+  uint64_t jitter_seed = 0;
   /// After a reconnect, transparently reopen a server-side session (the
   /// old one died with the old server/connection) and retry the request
   /// once under the new session.
@@ -67,6 +82,14 @@ class Client {
   Result<ServiceStats> Stats();
   /// Prometheus-style exposition text scraped from the server.
   Result<std::string> Metrics();
+  /// Liveness + load probe (serving/draining, queued, running); the
+  /// cluster health checker's frame. Any v1 server answers it.
+  Result<wire::HealthInfo> Health();
+  /// The routing table of a cluster router. Plain shards answer
+  /// kNotFound.
+  Result<wire::ShardMapInfo> FetchShardMap();
+  /// The server's model catalog (shape only) — rebalance discovery.
+  Result<wire::CatalogInfo> Catalog();
   /// A traced fetch: the trace carries the server-side cost-model
   /// estimates, strategy, and per-stage timings; `summary` (optional)
   /// receives the result shape. The fetched data itself is not returned.
@@ -113,6 +136,7 @@ class Client {
   uint64_t next_request_id_ = 1;
   uint64_t reconnects_ = 0;
   uint64_t failed_attempts_ = 0;
+  Rng jitter_rng_;
 };
 
 }  // namespace net

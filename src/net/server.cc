@@ -11,9 +11,10 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <utility>
 #include <vector>
 
-#include "obs/metrics.h"
+#include "net/service_handler.h"
 
 namespace mistique {
 namespace net {
@@ -63,6 +64,9 @@ struct Server::WakeHandle {
 
 struct Server::Connection {
   int fd = -1;
+  /// Stable identity handed to the FrameHandler (fds are reused by the
+  /// kernel; tokens never are).
+  uint64_t token = 0;
   /// --- I/O-thread-only state ---
   bool handshaken = false;
   /// Stop reading; close once the outbox flushes (protocol errors get
@@ -70,9 +74,8 @@ struct Server::Connection {
   bool close_after_flush = false;
   std::string inbox;
   double last_active = 0;
-  std::vector<SessionId> sessions;  ///< opened by this connection
 
-  /// --- shared with service-worker completion callbacks ---
+  /// --- shared with handler completion callbacks ---
   std::mutex out_mutex;
   bool closed = false;       ///< set at close; late completions are dropped
   std::string outbox;        ///< encoded frames awaiting the socket
@@ -85,7 +88,14 @@ struct Server::Connection {
 };
 
 Server::Server(QueryService* service, ServerOptions options)
-    : service_(service), options_(std::move(options)) {}
+    : owned_handler_(std::make_unique<ServiceHandler>(
+          service, [this] { return Stats(); })),
+      options_(std::move(options)) {
+  handler_ = owned_handler_.get();
+}
+
+Server::Server(FrameHandler* handler, ServerOptions options)
+    : handler_(handler), options_(std::move(options)) {}
 
 Server::~Server() { Stop(); }
 
@@ -142,7 +152,7 @@ void Server::Stop() {
   // Phase 2: let in-flight queries finish (their responses land in the
   // outboxes, flushed live by the still-running I/O loop). Anything
   // slower than the deadline is abandoned with kUnavailable.
-  service_->Drain(options_.drain_deadline_sec);
+  handler_->DrainRequests(options_.drain_deadline_sec);
   // Phase 3: final response flush, then teardown.
   stopping_.store(true);
   wake_->Wake();
@@ -189,6 +199,7 @@ void Server::DoAccept() {
     setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
+    conn->token = next_conn_token_++;
     conn->last_active = MonotonicSeconds();
     connections_.emplace(fd, std::move(conn));
     accepted_.fetch_add(1, std::memory_order_relaxed);
@@ -217,193 +228,27 @@ void Server::AppendError(const std::shared_ptr<Connection>& conn,
 
 void Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
                            const wire::Frame& frame) {
-  const uint64_t id = frame.request_id;
-  switch (frame.type) {
-    case wire::MsgType::kPingReq:
-      AppendResponse(conn, wake_, wire::MsgType::kPingResp, id, "");
-      return;
-    case wire::MsgType::kOpenSessionReq: {
-      const SessionId session = service_->OpenSession();
-      conn->sessions.push_back(session);
-      AppendResponse(conn, wake_, wire::MsgType::kOpenSessionResp, id,
-                     wire::EncodeSessionId(session));
-      return;
+  // The Responder captures only refcounted state so handler callbacks
+  // firing during/after teardown never touch the Server. The frame-size
+  // cap is enforced here once, for every handler.
+  Responder respond = [conn, wake = wake_, id = frame.request_id](
+                          wire::MsgType type, std::string payload) {
+    if (payload.size() + wire::kFrameOverhead > wire::kMaxFrameBytes) {
+      type = wire::MsgType::kErrorResp;
+      payload = wire::EncodeError(Status::OutOfRange(
+          "response exceeds the max frame size; narrow the request "
+          "(columns/n_ex/row_ids)"));
     }
-    case wire::MsgType::kCloseSessionReq: {
-      uint64_t session = 0;
-      const Status decoded = wire::DecodeSessionId(frame.payload, &session);
-      if (!decoded.ok()) {
-        AppendError(conn, wake_, id, decoded);
-        return;
-      }
-      const Status st = service_->CloseSession(session);
-      if (!st.ok()) {
-        AppendError(conn, wake_, id, st);
-        return;
-      }
-      for (auto it = conn->sessions.begin(); it != conn->sessions.end(); ++it) {
-        if (*it == session) {
-          conn->sessions.erase(it);
-          break;
-        }
-      }
-      AppendResponse(conn, wake_, wire::MsgType::kCloseSessionResp, id, "");
+    AppendResponse(conn, wake, type, id, payload);
+  };
+  switch (handler_->HandleFrame(conn->token, frame, std::move(respond))) {
+    case FrameDisposition::kOk:
       return;
-    }
-    case wire::MsgType::kStatsReq:
-      AppendResponse(conn, wake_, wire::MsgType::kStatsResp, id,
-                     wire::EncodeStats(service_->Stats()));
-      return;
-    case wire::MsgType::kFetchReq: {
-      uint64_t session = 0;
-      FetchRequest request;
-      const Status decoded =
-          wire::DecodeFetchRequest(frame.payload, &session, &request);
-      if (!decoded.ok()) {
-        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-        AppendError(conn, wake_, id, decoded);
-        return;
-      }
-      // The callback runs on a service worker (or inline on rejection);
-      // it captures only refcounted state, never the Server.
-      service_->SubmitFetchAsync(
-          session, std::move(request), -1,
-          [conn, wake = wake_, id](Result<FetchResult> result) {
-            if (!result.ok()) {
-              AppendError(conn, wake, id, result.status());
-              return;
-            }
-            std::string payload = wire::EncodeFetchResult(*result);
-            if (payload.size() + wire::kFrameOverhead >
-                wire::kMaxFrameBytes) {
-              AppendError(conn, wake, id,
-                          Status::OutOfRange(
-                              "fetch result exceeds the max frame size; "
-                              "narrow the request (columns/n_ex/row_ids)"));
-              return;
-            }
-            AppendResponse(conn, wake, wire::MsgType::kFetchResp, id,
-                           payload);
-          });
-      return;
-    }
-    case wire::MsgType::kMetricsReq: {
-      // Inline like kStatsReq: the exposition is a pure counter read, no
-      // engine work, so it never touches the admission queue.
-      std::string text = service_->MetricsText();
-      const ServerStats server_stats = Stats();
-      obs::AppendGaugeText("mistique_net_connections_accepted",
-                           "TCP connections accepted since server start.",
-                           static_cast<double>(server_stats.connections_accepted),
-                           &text);
-      obs::AppendGaugeText("mistique_net_connections_rejected",
-                           "Connections refused at the max_connections cap.",
-                           static_cast<double>(server_stats.connections_rejected),
-                           &text);
-      obs::AppendGaugeText("mistique_net_connections_closed",
-                           "Connections torn down (any reason).",
-                           static_cast<double>(server_stats.connections_closed),
-                           &text);
-      obs::AppendGaugeText("mistique_net_frames_received",
-                           "Well-formed request frames parsed.",
-                           static_cast<double>(server_stats.frames_received),
-                           &text);
-      obs::AppendGaugeText("mistique_net_protocol_errors",
-                           "Handshake/frame/payload violations seen.",
-                           static_cast<double>(server_stats.protocol_errors),
-                           &text);
-      obs::AppendGaugeText("mistique_net_idle_closed",
-                           "Connections closed by the idle sweep.",
-                           static_cast<double>(server_stats.idle_closed),
-                           &text);
-      obs::AppendGaugeText("mistique_net_active_connections",
-                           "Connections currently open.",
-                           static_cast<double>(server_stats.active_connections),
-                           &text);
-      std::string payload = wire::EncodeMetricsText(text);
-      if (payload.size() + wire::kFrameOverhead > wire::kMaxFrameBytes) {
-        AppendError(conn, wake_, id,
-                    Status::OutOfRange("metrics exposition exceeds the max "
-                                       "frame size"));
-        return;
-      }
-      AppendResponse(conn, wake_, wire::MsgType::kMetricsResp, id, payload);
-      return;
-    }
-    case wire::MsgType::kTraceFetchReq: {
-      uint64_t session = 0;
-      FetchRequest request;
-      // Same payload as kFetchReq; only the response shape differs.
-      const Status decoded =
-          wire::DecodeFetchRequest(frame.payload, &session, &request);
-      if (!decoded.ok()) {
-        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-        AppendError(conn, wake_, id, decoded);
-        return;
-      }
-      // The wire request id doubles as the trace id, so a client can line
-      // up the trace it gets back with the request it sent.
-      service_->SubmitTraceFetchAsync(
-          session, std::move(request), -1, id,
-          [conn, wake = wake_, id](Result<TracedFetch> result) {
-            if (!result.ok()) {
-              AppendError(conn, wake, id, result.status());
-              return;
-            }
-            wire::TraceResultSummary summary;
-            summary.rows = result->result.row_ids.size();
-            summary.cols = result->result.columns.size();
-            summary.used_read = result->result.used_read;
-            std::string payload =
-                wire::EncodeQueryTrace(result->trace, summary);
-            if (payload.size() + wire::kFrameOverhead >
-                wire::kMaxFrameBytes) {
-              AppendError(conn, wake, id,
-                          Status::OutOfRange(
-                              "trace exceeds the max frame size"));
-              return;
-            }
-            AppendResponse(conn, wake, wire::MsgType::kTraceResp, id,
-                           payload);
-          });
-      return;
-    }
-    case wire::MsgType::kScanReq: {
-      uint64_t session = 0;
-      ScanRequest request;
-      const Status decoded =
-          wire::DecodeScanRequest(frame.payload, &session, &request);
-      if (!decoded.ok()) {
-        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-        AppendError(conn, wake_, id, decoded);
-        return;
-      }
-      service_->SubmitScanAsync(
-          session, std::move(request), -1,
-          [conn, wake = wake_, id](Result<ScanResult> result) {
-            if (!result.ok()) {
-              AppendError(conn, wake, id, result.status());
-              return;
-            }
-            std::string payload = wire::EncodeScanResult(*result);
-            if (payload.size() + wire::kFrameOverhead >
-                wire::kMaxFrameBytes) {
-              AppendError(conn, wake, id,
-                          Status::OutOfRange(
-                              "scan result exceeds the max frame size"));
-              return;
-            }
-            AppendResponse(conn, wake, wire::MsgType::kScanResp, id,
-                           payload);
-          });
-      return;
-    }
-    default:
-      // A response type sent by a client: well-formed but nonsensical.
+    case FrameDisposition::kMalformed:
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-      AppendError(conn, wake_, id,
-                  Status::InvalidArgument("unexpected frame type from "
-                                          "client"));
+      return;
+    case FrameDisposition::kFatal:
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
       conn->close_after_flush = true;
       return;
   }
@@ -491,11 +336,7 @@ void Server::CloseConnection(int fd, const char* /*reason*/) {
     conn->closed = true;
   }
   close(fd);
-  // A vanished client's sessions would otherwise leak their result
-  // caches until process exit.
-  for (SessionId session : conn->sessions) {
-    (void)service_->CloseSession(session);
-  }
+  handler_->OnConnectionClosed(conn->token);
   connections_.erase(it);
   closed_.fetch_add(1, std::memory_order_relaxed);
   active_.store(connections_.size(), std::memory_order_relaxed);

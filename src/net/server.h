@@ -10,10 +10,13 @@
 #include <unordered_map>
 
 #include "common/status.h"
+#include "net/frame_handler.h"
 #include "net/wire.h"
-#include "service/query_service.h"
 
 namespace mistique {
+
+class QueryService;
+
 namespace net {
 
 struct ServerOptions {
@@ -28,7 +31,7 @@ struct ServerOptions {
   /// Connections with no inbound traffic for this long are closed.
   /// 0 = never.
   double idle_timeout_sec = 300;
-  /// Budget Stop() gives QueryService::Drain for in-flight work.
+  /// Budget Stop() gives FrameHandler::DrainRequests for in-flight work.
   double drain_deadline_sec = 5;
   /// Budget Stop() gives the final response flush after the drain.
   double flush_deadline_sec = 2;
@@ -46,18 +49,18 @@ struct ServerStats {
   size_t active_connections = 0;
 };
 
-/// TCP front door for a QueryService: one poll(2)-driven I/O thread
-/// multiplexing every connection, with query execution on the service's
-/// worker pool (docs/NETWORK.md).
+/// TCP front door for a FrameHandler: one poll(2)-driven I/O thread
+/// multiplexing every connection, with request semantics delegated to the
+/// handler (docs/NETWORK.md). The QueryService constructor serves a
+/// single store (ServiceHandler); a cluster::Router handler makes the
+/// same front door a scatter-gather coordinator (docs/CLUSTER.md).
 ///
 /// The I/O thread owns all socket state. It accepts (non-blocking),
 /// validates the handshake, accumulates partial frames per connection,
-/// and dispatches complete requests: session/stats/ping inline, fetch
-/// and scan via QueryService::Submit*Async. Workers deliver results by
-/// appending the encoded response to the connection's outbox and poking
-/// a wake pipe, so the poll loop — possibly parked in poll(2) — resumes
-/// and flushes. Admission rejections come back as typed error frames
-/// (queue full => kOverloaded) rather than dropped connections.
+/// and hands complete requests to the handler with a thread-safe
+/// Responder; slow work responds from worker threads by appending the
+/// encoded response to the connection's outbox and poking a wake pipe,
+/// so the poll loop — possibly parked in poll(2) — resumes and flushes.
 ///
 /// Malformed input (bad magic, version skew, CRC mismatch, oversized or
 /// truncated-forever frames) never takes the server down: the offending
@@ -65,11 +68,15 @@ struct ServerStats {
 /// then is closed; other connections are untouched.
 ///
 /// Stop() (also run by the destructor) drains gracefully: stop
-/// accepting, QueryService::Drain(drain_deadline), flush outstanding
-/// responses for up to flush_deadline, close everything.
+/// accepting, FrameHandler::DrainRequests(drain_deadline), flush
+/// outstanding responses for up to flush_deadline, close everything.
 class Server {
  public:
+  /// Single-store convenience: builds and owns a ServiceHandler over
+  /// `service` (the pre-cluster API; every existing call site).
   explicit Server(QueryService* service, ServerOptions options = {});
+  /// Serves an arbitrary handler (not owned; must outlive the server).
+  explicit Server(FrameHandler* handler, ServerOptions options = {});
   ~Server();
 
   Server(const Server&) = delete;
@@ -90,11 +97,11 @@ class Server {
 
  private:
   struct Connection;
-  /// Write side of the wake pipe, shared with service-worker completion
-  /// callbacks. Callbacks capture {Connection, WakeHandle} shared_ptrs —
-  /// never the Server — so a callback firing during/after teardown
-  /// touches only refcounted state (Retire() is ordered against Wake()
-  /// by the handle's mutex, so the fd cannot be written after close).
+  /// Write side of the wake pipe, shared with completion callbacks.
+  /// Responders capture {Connection, WakeHandle} shared_ptrs — never the
+  /// Server — so a callback firing during/after teardown touches only
+  /// refcounted state (Retire() is ordered against Wake() by the
+  /// handle's mutex, so the fd cannot be written after close).
   struct WakeHandle;
 
   void IoLoop();
@@ -118,7 +125,9 @@ class Server {
   bool FlushOutbound(const std::shared_ptr<Connection>& conn);
   void CloseConnection(int fd, const char* reason);
 
-  QueryService* service_;
+  FrameHandler* handler_;
+  /// Set only by the QueryService constructor (owned ServiceHandler).
+  std::unique_ptr<FrameHandler> owned_handler_;
   ServerOptions options_;
 
   int listen_fd_ = -1;
@@ -134,9 +143,11 @@ class Server {
   bool stopped_ = false;   ///< guarded by stop_mutex_
 
   /// Connections are owned by the I/O thread; the map is mutated only
-  /// there. shared_ptrs keep a Connection alive while service workers
-  /// hold completion callbacks against it.
+  /// there. shared_ptrs keep a Connection alive while worker threads
+  /// hold Responders against it.
   std::unordered_map<int, std::shared_ptr<Connection>> connections_;
+  /// Next Connection::token (tokens are never reused, unlike fds).
+  uint64_t next_conn_token_ = 1;
 
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> rejected_{0};

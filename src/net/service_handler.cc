@@ -1,0 +1,243 @@
+#include "net/service_handler.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "core/mistique.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+
+namespace mistique {
+namespace net {
+
+ServiceHandler::ServiceHandler(QueryService* service,
+                               std::function<ServerStats()> server_stats)
+    : service_(service), server_stats_(std::move(server_stats)) {}
+
+FrameDisposition ServiceHandler::HandleFrame(uint64_t conn_token,
+                                             const wire::Frame& frame,
+                                             Responder respond) {
+  const uint64_t id = frame.request_id;
+  (void)id;
+  switch (frame.type) {
+    case wire::MsgType::kPingReq:
+      respond(wire::MsgType::kPingResp, "");
+      return FrameDisposition::kOk;
+    case wire::MsgType::kOpenSessionReq: {
+      const SessionId session = service_->OpenSession();
+      sessions_[conn_token].push_back(session);
+      respond(wire::MsgType::kOpenSessionResp,
+              wire::EncodeSessionId(session));
+      return FrameDisposition::kOk;
+    }
+    case wire::MsgType::kCloseSessionReq: {
+      uint64_t session = 0;
+      const Status decoded = wire::DecodeSessionId(frame.payload, &session);
+      if (!decoded.ok()) {
+        respond(wire::MsgType::kErrorResp, wire::EncodeError(decoded));
+        return FrameDisposition::kMalformed;
+      }
+      const Status st = service_->CloseSession(session);
+      if (!st.ok()) {
+        respond(wire::MsgType::kErrorResp, wire::EncodeError(st));
+        return FrameDisposition::kOk;
+      }
+      auto it = sessions_.find(conn_token);
+      if (it != sessions_.end()) {
+        auto pos = std::find(it->second.begin(), it->second.end(), session);
+        if (pos != it->second.end()) it->second.erase(pos);
+      }
+      respond(wire::MsgType::kCloseSessionResp, "");
+      return FrameDisposition::kOk;
+    }
+    case wire::MsgType::kStatsReq:
+      respond(wire::MsgType::kStatsResp,
+              wire::EncodeStats(service_->Stats()));
+      return FrameDisposition::kOk;
+    case wire::MsgType::kHealthReq: {
+      // Inline like kStatsReq: pure counter reads, never the admission
+      // queue — a drowning shard must still answer its health probe.
+      const ServiceStats stats = service_->Stats();
+      wire::HealthInfo health;
+      health.state = stats.draining ? 1 : 0;
+      health.queued = stats.queued;
+      health.running = stats.running;
+      health.open_sessions = stats.open_sessions;
+      respond(wire::MsgType::kHealthResp, wire::EncodeHealth(health));
+      return FrameDisposition::kOk;
+    }
+    case wire::MsgType::kShardMapReq:
+      // Valid frame, wrong endpoint: only a cluster router has a map.
+      respond(wire::MsgType::kErrorResp,
+              wire::EncodeError(Status::NotFound(
+                  "this endpoint serves a single store, not a cluster "
+                  "(shard maps live on the router)")));
+      return FrameDisposition::kOk;
+    case wire::MsgType::kCatalogReq: {
+      // Rare (rebalance discovery) but can block behind the engine's
+      // exclusive lock, so it must leave the I/O thread. The thread is
+      // detached: the Responder only touches refcounted connection state,
+      // and the engine outlives the server at every call site.
+      std::thread([service = service_, respond = std::move(respond)] {
+        const CatalogSummary summary = service->engine()->ExportCatalog();
+        wire::CatalogInfo info;
+        for (const CatalogSummary::Model& model : summary.models) {
+          wire::CatalogModel out;
+          out.project = model.project;
+          out.model = model.name;
+          out.kind = static_cast<uint8_t>(model.kind);
+          for (const CatalogSummary::Intermediate& interm :
+               model.intermediates) {
+            wire::CatalogIntermediate i;
+            i.name = interm.name;
+            i.stage_index = interm.stage_index;
+            i.num_rows = interm.num_rows;
+            i.columns = interm.columns;
+            out.intermediates.push_back(std::move(i));
+          }
+          info.models.push_back(std::move(out));
+        }
+        respond(wire::MsgType::kCatalogResp, wire::EncodeCatalog(info));
+      }).detach();
+      return FrameDisposition::kOk;
+    }
+    case wire::MsgType::kFetchReq: {
+      uint64_t session = 0;
+      FetchRequest request;
+      const Status decoded =
+          wire::DecodeFetchRequest(frame.payload, &session, &request);
+      if (!decoded.ok()) {
+        respond(wire::MsgType::kErrorResp, wire::EncodeError(decoded));
+        return FrameDisposition::kMalformed;
+      }
+      // The callback runs on a service worker (or inline on rejection);
+      // the Responder captures only refcounted state, never the Server.
+      service_->SubmitFetchAsync(
+          session, std::move(request), -1,
+          [respond = std::move(respond)](Result<FetchResult> result) {
+            if (!result.ok()) {
+              respond(wire::MsgType::kErrorResp,
+                      wire::EncodeError(result.status()));
+              return;
+            }
+            respond(wire::MsgType::kFetchResp,
+                    wire::EncodeFetchResult(*result));
+          });
+      return FrameDisposition::kOk;
+    }
+    case wire::MsgType::kMetricsReq: {
+      // Inline like kStatsReq: the exposition is a pure counter read, no
+      // engine work, so it never touches the admission queue.
+      std::string text = service_->MetricsText();
+      if (server_stats_) {
+        const ServerStats server_stats = server_stats_();
+        obs::AppendGaugeText(
+            "mistique_net_connections_accepted",
+            "TCP connections accepted since server start.",
+            static_cast<double>(server_stats.connections_accepted), &text);
+        obs::AppendGaugeText(
+            "mistique_net_connections_rejected",
+            "Connections refused at the max_connections cap.",
+            static_cast<double>(server_stats.connections_rejected), &text);
+        obs::AppendGaugeText(
+            "mistique_net_connections_closed",
+            "Connections torn down (any reason).",
+            static_cast<double>(server_stats.connections_closed), &text);
+        obs::AppendGaugeText(
+            "mistique_net_frames_received",
+            "Well-formed request frames parsed.",
+            static_cast<double>(server_stats.frames_received), &text);
+        obs::AppendGaugeText(
+            "mistique_net_protocol_errors",
+            "Handshake/frame/payload violations seen.",
+            static_cast<double>(server_stats.protocol_errors), &text);
+        obs::AppendGaugeText(
+            "mistique_net_idle_closed",
+            "Connections closed by the idle sweep.",
+            static_cast<double>(server_stats.idle_closed), &text);
+        obs::AppendGaugeText(
+            "mistique_net_active_connections",
+            "Connections currently open.",
+            static_cast<double>(server_stats.active_connections), &text);
+      }
+      respond(wire::MsgType::kMetricsResp, wire::EncodeMetricsText(text));
+      return FrameDisposition::kOk;
+    }
+    case wire::MsgType::kTraceFetchReq: {
+      uint64_t session = 0;
+      FetchRequest request;
+      // Same payload as kFetchReq; only the response shape differs.
+      const Status decoded =
+          wire::DecodeFetchRequest(frame.payload, &session, &request);
+      if (!decoded.ok()) {
+        respond(wire::MsgType::kErrorResp, wire::EncodeError(decoded));
+        return FrameDisposition::kMalformed;
+      }
+      // The wire request id doubles as the trace id, so a client can line
+      // up the trace it gets back with the request it sent.
+      service_->SubmitTraceFetchAsync(
+          session, std::move(request), -1, frame.request_id,
+          [respond = std::move(respond)](Result<TracedFetch> result) {
+            if (!result.ok()) {
+              respond(wire::MsgType::kErrorResp,
+                      wire::EncodeError(result.status()));
+              return;
+            }
+            wire::TraceResultSummary summary;
+            summary.rows = result->result.row_ids.size();
+            summary.cols = result->result.columns.size();
+            summary.used_read = result->result.used_read;
+            respond(wire::MsgType::kTraceResp,
+                    wire::EncodeQueryTrace(result->trace, summary));
+          });
+      return FrameDisposition::kOk;
+    }
+    case wire::MsgType::kScanReq: {
+      uint64_t session = 0;
+      ScanRequest request;
+      const Status decoded =
+          wire::DecodeScanRequest(frame.payload, &session, &request);
+      if (!decoded.ok()) {
+        respond(wire::MsgType::kErrorResp, wire::EncodeError(decoded));
+        return FrameDisposition::kMalformed;
+      }
+      service_->SubmitScanAsync(
+          session, std::move(request), -1,
+          [respond = std::move(respond)](Result<ScanResult> result) {
+            if (!result.ok()) {
+              respond(wire::MsgType::kErrorResp,
+                      wire::EncodeError(result.status()));
+              return;
+            }
+            respond(wire::MsgType::kScanResp,
+                    wire::EncodeScanResult(*result));
+          });
+      return FrameDisposition::kOk;
+    }
+    default:
+      // A response type sent by a client: well-formed but nonsensical.
+      respond(wire::MsgType::kErrorResp,
+              wire::EncodeError(Status::InvalidArgument(
+                  "unexpected frame type from client")));
+      return FrameDisposition::kFatal;
+  }
+}
+
+void ServiceHandler::OnConnectionClosed(uint64_t conn_token) {
+  auto it = sessions_.find(conn_token);
+  if (it == sessions_.end()) return;
+  // A vanished client's sessions would otherwise leak their result
+  // caches until process exit.
+  for (SessionId session : it->second) {
+    (void)service_->CloseSession(session);
+  }
+  sessions_.erase(it);
+}
+
+uint64_t ServiceHandler::DrainRequests(double deadline_sec) {
+  return service_->Drain(deadline_sec);
+}
+
+}  // namespace net
+}  // namespace mistique

@@ -23,12 +23,33 @@ void PutLe(std::string* out, uint64_t v, size_t bytes) {
 
 bool IsValidMsgType(uint8_t t) {
   return t >= static_cast<uint8_t>(MsgType::kPingReq) &&
-         t <= static_cast<uint8_t>(MsgType::kTraceResp);
+         t <= static_cast<uint8_t>(MsgType::kCatalogResp);
+}
+
+/// Message tag identifying a router's typed degraded kUnavailable (see
+/// Degraded() in wire.h). A tag in the message — rather than a new
+/// StatusCode — keeps Status's taxonomy stable while the wire still
+/// carries a distinct code.
+constexpr char kDegradedTag[] = "degraded: ";
+
+Status Degraded(std::string message) {
+  if (message.rfind(kDegradedTag, 0) == 0) {
+    return Status::Unavailable(std::move(message));
+  }
+  return Status::Unavailable(kDegradedTag + std::move(message));
+}
+
+bool IsDegraded(const Status& status) {
+  return status.code() == StatusCode::kUnavailable &&
+         status.message().rfind(kDegradedTag, 0) == 0;
 }
 
 uint16_t WireErrorFromStatus(const Status& status) {
   if (status.code() == StatusCode::kResourceExhausted) {
     return static_cast<uint16_t>(WireError::kOverloaded);
+  }
+  if (IsDegraded(status)) {
+    return static_cast<uint16_t>(WireError::kDegraded);
   }
   return static_cast<uint16_t>(status.code());
 }
@@ -36,6 +57,9 @@ uint16_t WireErrorFromStatus(const Status& status) {
 Status StatusFromWireError(uint16_t code, std::string message) {
   if (code == static_cast<uint16_t>(WireError::kOverloaded)) {
     return Status::ResourceExhausted(std::move(message));
+  }
+  if (code == static_cast<uint16_t>(WireError::kDegraded)) {
+    return Degraded(std::move(message));
   }
   if (code > static_cast<uint16_t>(StatusCode::kUnavailable) || code == 0) {
     return Status::Internal("unknown wire error code " +
@@ -607,6 +631,118 @@ Status DecodeQueryTrace(const std::string& payload, obs::QueryTrace* trace,
   uint8_t used_read = 0;
   MISTIQUE_RETURN_NOT_OK(r.GetU8(&used_read));
   summary->used_read = used_read != 0;
+  return r.ExpectEnd();
+}
+
+std::string EncodeShardMap(const ShardMapInfo& map) {
+  std::string out;
+  Writer w(&out);
+  w.PutU64(map.version);
+  w.PutU32(map.vnodes_per_shard);
+  w.PutU32(static_cast<uint32_t>(map.shards.size()));
+  for (const ShardEntry& shard : map.shards) {
+    w.PutU32(shard.shard_id);
+    w.PutString(shard.host);
+    w.PutU16(shard.port);
+    w.PutU8(shard.health);
+  }
+  return out;
+}
+
+Status DecodeShardMap(const std::string& payload, ShardMapInfo* map) {
+  // Smallest possible shard entry: u32 id + empty string (u32 len) +
+  // u16 port + u8 health.
+  constexpr size_t kMinShardEntryBytes = 4 + 4 + 2 + 1;
+  Reader r(payload.data(), payload.size());
+  MISTIQUE_RETURN_NOT_OK(r.GetU64(&map->version));
+  MISTIQUE_RETURN_NOT_OK(r.GetU32(&map->vnodes_per_shard));
+  uint32_t count = 0;
+  MISTIQUE_RETURN_NOT_OK(r.GetU32(&count));
+  if (r.remaining() / kMinShardEntryBytes < count) {
+    return Status::Corruption("truncated payload reading shard map");
+  }
+  map->shards.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ShardEntry& shard = map->shards[i];
+    MISTIQUE_RETURN_NOT_OK(r.GetU32(&shard.shard_id));
+    MISTIQUE_RETURN_NOT_OK(r.GetString(&shard.host));
+    MISTIQUE_RETURN_NOT_OK(r.GetU16(&shard.port));
+    MISTIQUE_RETURN_NOT_OK(r.GetU8(&shard.health));
+  }
+  return r.ExpectEnd();
+}
+
+std::string EncodeHealth(const HealthInfo& health) {
+  std::string out;
+  Writer w(&out);
+  w.PutU8(health.state);
+  w.PutU64(health.queued);
+  w.PutU64(health.running);
+  w.PutU64(health.open_sessions);
+  return out;
+}
+
+Status DecodeHealth(const std::string& payload, HealthInfo* health) {
+  Reader r(payload.data(), payload.size());
+  MISTIQUE_RETURN_NOT_OK(r.GetU8(&health->state));
+  MISTIQUE_RETURN_NOT_OK(r.GetU64(&health->queued));
+  MISTIQUE_RETURN_NOT_OK(r.GetU64(&health->running));
+  MISTIQUE_RETURN_NOT_OK(r.GetU64(&health->open_sessions));
+  return r.ExpectEnd();
+}
+
+std::string EncodeCatalog(const CatalogInfo& catalog) {
+  std::string out;
+  Writer w(&out);
+  w.PutU32(static_cast<uint32_t>(catalog.models.size()));
+  for (const CatalogModel& model : catalog.models) {
+    w.PutString(model.project);
+    w.PutString(model.model);
+    w.PutU8(model.kind);
+    w.PutU32(static_cast<uint32_t>(model.intermediates.size()));
+    for (const CatalogIntermediate& interm : model.intermediates) {
+      w.PutString(interm.name);
+      w.PutU32(static_cast<uint32_t>(interm.stage_index));
+      w.PutU64(interm.num_rows);
+      w.PutStringVec(interm.columns);
+    }
+  }
+  return out;
+}
+
+Status DecodeCatalog(const std::string& payload, CatalogInfo* catalog) {
+  // Smallest model: two empty strings + kind + intermediate count.
+  constexpr size_t kMinModelBytes = 4 + 4 + 1 + 4;
+  // Smallest intermediate: empty name + stage + rows + column count.
+  constexpr size_t kMinIntermBytes = 4 + 4 + 8 + 4;
+  Reader r(payload.data(), payload.size());
+  uint32_t model_count = 0;
+  MISTIQUE_RETURN_NOT_OK(r.GetU32(&model_count));
+  if (r.remaining() / kMinModelBytes < model_count) {
+    return Status::Corruption("truncated payload reading catalog");
+  }
+  catalog->models.resize(model_count);
+  for (uint32_t m = 0; m < model_count; ++m) {
+    CatalogModel& model = catalog->models[m];
+    MISTIQUE_RETURN_NOT_OK(r.GetString(&model.project));
+    MISTIQUE_RETURN_NOT_OK(r.GetString(&model.model));
+    MISTIQUE_RETURN_NOT_OK(r.GetU8(&model.kind));
+    uint32_t interm_count = 0;
+    MISTIQUE_RETURN_NOT_OK(r.GetU32(&interm_count));
+    if (r.remaining() / kMinIntermBytes < interm_count) {
+      return Status::Corruption("truncated payload reading catalog model");
+    }
+    model.intermediates.resize(interm_count);
+    for (uint32_t i = 0; i < interm_count; ++i) {
+      CatalogIntermediate& interm = model.intermediates[i];
+      MISTIQUE_RETURN_NOT_OK(r.GetString(&interm.name));
+      uint32_t stage = 0;
+      MISTIQUE_RETURN_NOT_OK(r.GetU32(&stage));
+      interm.stage_index = static_cast<int32_t>(stage);
+      MISTIQUE_RETURN_NOT_OK(r.GetU64(&interm.num_rows));
+      MISTIQUE_RETURN_NOT_OK(r.GetStringVec(&interm.columns));
+    }
+  }
   return r.ExpectEnd();
 }
 

@@ -61,6 +61,19 @@ enum class MsgType : uint8_t {
   kMetricsResp = 15,      ///< payload: Prometheus-style exposition text
   kTraceFetchReq = 16,    ///< payload: identical to kFetchReq
   kTraceResp = 17,        ///< payload: QueryTrace + result summary
+  // Cluster frames (additive, still protocol v1): a router answers
+  // kShardMapReq with its current routing table; kHealthReq is the
+  // health-checker's probe — unlike kPingReq it reports load, so a
+  // router can tell "alive but drowning" from "alive".
+  kShardMapReq = 18,
+  kShardMapResp = 19,     ///< payload: ShardMapInfo
+  kHealthReq = 20,
+  kHealthResp = 21,       ///< payload: HealthInfo
+  // Catalog listing, the discovery half of rebalancing: a new owner asks
+  // the old owner what a model's intermediates/columns look like before
+  // streaming them over with ordinary fetches.
+  kCatalogReq = 22,
+  kCatalogResp = 23,      ///< payload: CatalogInfo
 };
 
 /// True iff `t` names a known frame type (decode guard).
@@ -73,13 +86,27 @@ bool IsValidMsgType(uint8_t t);
 /// without parsing messages.
 enum class WireError : uint16_t {
   kOverloaded = 100,
+  /// A cluster router could not reach the shard owning the requested
+  /// partitions: the rest of the cluster is healthy and the query itself
+  /// was fine. Distinct from plain kUnavailable so clients can tell "this
+  /// key's shard is down, others work" from "the whole endpoint is gone".
+  kDegraded = 101,
 };
 
-/// Status -> wire code (kResourceExhausted becomes kOverloaded).
+/// Status -> wire code (kResourceExhausted becomes kOverloaded, degraded
+/// kUnavailable — see Degraded() — becomes kDegraded).
 uint16_t WireErrorFromStatus(const Status& status);
 /// Wire code + message -> Status (kOverloaded becomes kResourceExhausted,
-/// unknown codes become kInternal).
+/// kDegraded becomes a Degraded() kUnavailable, unknown codes become
+/// kInternal).
 Status StatusFromWireError(uint16_t code, std::string message);
+
+/// The typed degraded error a router returns when a query's owner shard is
+/// unavailable: StatusCode::kUnavailable plus a recognizable tag, carried
+/// across the wire as WireError::kDegraded. In-process callers test with
+/// IsDegraded(); remote callers get the same answer after decode.
+Status Degraded(std::string message);
+bool IsDegraded(const Status& status);
 
 /// --- Bounds-checked primitive encoding (little-endian) ---
 
@@ -208,6 +235,69 @@ std::string EncodeQueryTrace(const obs::QueryTrace& trace,
                              const TraceResultSummary& summary);
 Status DecodeQueryTrace(const std::string& payload, obs::QueryTrace* trace,
                         TraceResultSummary* summary);
+
+/// --- Cluster payloads ---
+
+/// One shard as a router advertises it. `health` mirrors
+/// cluster::ShardHealth numerically (0 up, 1 suspect, 2 down) but stays a
+/// raw u8 here so the wire layer does not depend on src/cluster.
+struct ShardEntry {
+  uint32_t shard_id = 0;
+  std::string host;
+  uint16_t port = 0;
+  uint8_t health = 0;
+};
+
+/// A versioned routing table: which shards exist and how keys hash onto
+/// them (vnodes_per_shard fixes the consistent-hash ring geometry, so two
+/// processes given the same ShardMapInfo route identically).
+struct ShardMapInfo {
+  uint64_t version = 0;
+  uint32_t vnodes_per_shard = 0;
+  std::vector<ShardEntry> shards;
+};
+
+std::string EncodeShardMap(const ShardMapInfo& map);
+Status DecodeShardMap(const std::string& payload, ShardMapInfo* map);
+
+/// Health probe answer: serving state plus instantaneous load, so a
+/// router's health checker can distinguish "alive", "alive but drowning",
+/// and "draining for shutdown" without a data query.
+struct HealthInfo {
+  uint8_t state = 0;  ///< 0 = serving, 1 = draining
+  uint64_t queued = 0;
+  uint64_t running = 0;
+  uint64_t open_sessions = 0;
+};
+
+std::string EncodeHealth(const HealthInfo& health);
+Status DecodeHealth(const std::string& payload, HealthInfo* health);
+
+/// The shape of one intermediate as the catalog listing advertises it —
+/// enough for a peer to issue the fetches that stream the data out and to
+/// ImportModel it on the other side. Chunk ids, zone maps, and
+/// quantization tables stay private to the owning store.
+struct CatalogIntermediate {
+  std::string name;
+  int32_t stage_index = 0;
+  uint64_t num_rows = 0;
+  std::vector<std::string> columns;
+};
+
+struct CatalogModel {
+  std::string project;
+  std::string model;
+  uint8_t kind = 0;  ///< ModelKind numerically (0 TRAD, 1 DNN)
+  std::vector<CatalogIntermediate> intermediates;
+};
+
+/// kCatalogResp payload: every model in the store.
+struct CatalogInfo {
+  std::vector<CatalogModel> models;
+};
+
+std::string EncodeCatalog(const CatalogInfo& catalog);
+Status DecodeCatalog(const std::string& payload, CatalogInfo* catalog);
 
 }  // namespace wire
 }  // namespace mistique
