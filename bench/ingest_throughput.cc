@@ -1,0 +1,179 @@
+// MVCC ingest-vs-read interference bench (docs/MVCC.md, ISSUE 7 gates):
+//
+//  1. Idle baseline: p50/p99 latency of a snapshot read (force_read fetch
+//     of a published checkpoint's logits layer) with no writer activity.
+//  2. Concurrent ingest: the same reader loop while a writer thread logs
+//     CIFAR CNN checkpoints back to back (LogNetwork -> stage, seal,
+//     publish). Gate: concurrent reader p99 <= 2x idle p99 — readers pin
+//     snapshots and never block on the ingest writer.
+//  3. Publish visibility: for every checkpoint, the wall time from
+//     LogNetwork returning (epoch bumped) to the first successful fetch of
+//     the new model from a reader thread. Gate: < 100 ms.
+//
+// Knobs: INGEST_ROWS (default 128), INGEST_CHECKPOINTS (default 5),
+// INGEST_IDLE_ITERS (default 400). Exits non-zero if a gate fails.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/mistique.h"
+#include "nn/cifar.h"
+#include "nn/model_zoo.h"
+
+namespace mistique {
+namespace bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const size_t idx = static_cast<size_t>(p * (values.size() - 1));
+  return values[idx];
+}
+
+FetchRequest LogitsRequest(const std::string& model) {
+  FetchRequest req;
+  req.project = "cifar";
+  req.model = model;
+  req.intermediate = "layer8";  // fc2 logits: 10 columns
+  req.force_read = true;        // pure snapshot-read path, no executor
+  return req;
+}
+
+double TimedFetch(Mistique* mq, const FetchRequest& req) {
+  const auto start = Clock::now();
+  CheckOk(mq->Fetch(req).status(), "fetch");
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+int Run() {
+  const int rows = EnvInt("INGEST_ROWS", 128);
+  const int checkpoints = EnvInt("INGEST_CHECKPOINTS", 5);
+  const int idle_iters = EnvInt("INGEST_IDLE_ITERS", 400);
+
+  BenchDir dir("ingest_throughput");
+  Mistique mq;
+  MistiqueOptions opts;
+  opts.store.directory = dir.path() + "/store";
+  opts.strategy = StorageStrategy::kDedup;
+  opts.row_block_size = 128;
+  CheckOk(mq.Open(opts), "open");
+
+  CifarConfig cifar;
+  cifar.num_examples = rows;
+  const CifarData data = GenerateCifar(cifar);
+  auto input = std::make_shared<Tensor>(data.images);
+  auto net = BuildCifarCnn({});
+
+  PrintHeader("MVCC ingest throughput: reader latency under live ingest");
+  std::printf("rows=%d checkpoints=%d idle_iters=%d\n\n", rows, checkpoints,
+              idle_iters);
+
+  CheckOk(mq.LogNetwork(net.get(), input, "cifar", "base").status(),
+          "log baseline");
+  const FetchRequest base_req = LogitsRequest("base");
+
+  // --- Phase 1: idle baseline -------------------------------------------
+  std::vector<double> idle;
+  idle.reserve(static_cast<size_t>(idle_iters));
+  for (int i = 0; i < idle_iters; ++i) idle.push_back(TimedFetch(&mq, base_req));
+  const double idle_p50 = Percentile(idle, 0.50);
+  const double idle_p99 = Percentile(idle, 0.99);
+  std::printf("idle reader:        p50 %8.3f ms   p99 %8.3f ms  (%d fetches)\n",
+              idle_p50 * 1e3, idle_p99 * 1e3, idle_iters);
+
+  // --- Phase 2: reader loop vs live LogNetwork ingest -------------------
+  std::atomic<bool> ingest_done{false};
+  std::atomic<int> published_idx{-1};
+  std::vector<Clock::time_point> publish_time(
+      static_cast<size_t>(checkpoints));
+
+  std::vector<double> live;
+  std::thread reader([&] {
+    while (!ingest_done.load(std::memory_order_acquire)) {
+      live.push_back(TimedFetch(&mq, base_req));
+    }
+  });
+
+  // Publish-visibility watcher: polls for each checkpoint as soon as the
+  // writer announces it, timing epoch-bump -> first successful read.
+  std::vector<double> visibility(static_cast<size_t>(checkpoints));
+  std::thread watcher([&] {
+    for (int k = 0; k < checkpoints; ++k) {
+      while (published_idx.load(std::memory_order_acquire) < k) {
+        std::this_thread::yield();
+        if (ingest_done.load(std::memory_order_acquire) &&
+            published_idx.load(std::memory_order_acquire) < k) {
+          return;
+        }
+      }
+      const FetchRequest req = LogitsRequest("ckpt" + std::to_string(k));
+      while (!mq.Fetch(req).ok()) std::this_thread::yield();
+      visibility[static_cast<size_t>(k)] = std::chrono::duration<double>(
+          Clock::now() - publish_time[static_cast<size_t>(k)]).count();
+    }
+  });
+
+  const auto ingest_start = Clock::now();
+  for (int k = 0; k < checkpoints; ++k) {
+    net->PerturbTrainable(900 + static_cast<uint64_t>(k), 0.05);
+    CheckOk(mq.LogNetwork(net.get(), input, "cifar",
+                          "ckpt" + std::to_string(k))
+                .status(),
+            "log checkpoint");
+    publish_time[static_cast<size_t>(k)] = Clock::now();
+    published_idx.store(k, std::memory_order_release);
+  }
+  const double ingest_sec =
+      std::chrono::duration<double>(Clock::now() - ingest_start).count();
+  ingest_done.store(true, std::memory_order_release);
+  reader.join();
+  watcher.join();
+
+  const double live_p50 = Percentile(live, 0.50);
+  const double live_p99 = Percentile(live, 0.99);
+  std::printf("concurrent reader:  p50 %8.3f ms   p99 %8.3f ms  (%zu fetches "
+              "during %.1fs of ingest, %.1f ckpt/min)\n",
+              live_p50 * 1e3, live_p99 * 1e3, live.size(), ingest_sec,
+              checkpoints * 60.0 / ingest_sec);
+
+  double vis_max = 0;
+  for (int k = 0; k < checkpoints; ++k) {
+    vis_max = std::max(vis_max, visibility[static_cast<size_t>(k)]);
+  }
+  std::printf("publish visibility: max %6.3f ms across %d checkpoints\n",
+              vis_max * 1e3, checkpoints);
+  std::printf("mvcc: epoch %llu, %llu snapshots reclaimed, %llu retired, "
+              "%llu pinned\n\n",
+              static_cast<unsigned long long>(mq.CurrentEpoch()),
+              static_cast<unsigned long long>(
+                  mq.snapshots().snapshots_reclaimed()),
+              static_cast<unsigned long long>(
+                  mq.snapshots().retired_snapshots()),
+              static_cast<unsigned long long>(mq.snapshots().pinned_readers()));
+
+  // --- Gates ------------------------------------------------------------
+  int rc = 0;
+  const double ratio = idle_p99 > 0 ? live_p99 / idle_p99 : 0;
+  std::printf("gate: concurrent p99 / idle p99 = %.2fx (limit 2.00x) -> %s\n",
+              ratio, ratio <= 2.0 ? "PASS" : "FAIL");
+  if (ratio > 2.0) rc = 1;
+  std::printf("gate: publish visibility max = %.1f ms (limit 100 ms) -> %s\n",
+              vis_max * 1e3, vis_max < 0.100 ? "PASS" : "FAIL");
+  if (vis_max >= 0.100) rc = 1;
+  return rc;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace mistique
+
+int main() { return mistique::bench::Run(); }

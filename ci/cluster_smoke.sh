@@ -12,40 +12,28 @@
 #
 # Usage: ci/cluster_smoke.sh [build_dir]   (default: build)
 set -euo pipefail
+source "$(dirname "$0")/lib.sh"
 
 BUILD_DIR="${1:-build}"
 CLI="$BUILD_DIR/examples/mistique_cli"
-BASE_PORT="${CLUSTER_SMOKE_PORT:-7450}"
-ROUTER="127.0.0.1:$BASE_PORT"
 KEY="zillow.P1_v0.train_merged.logerror"
 SCAN_TARGET="zillow.P1_v0.train_merged"
 STORE=/tmp/mistique_quickstart/store
 
-WORK=$(mktemp -d)
+smoke_init
+# Router on BASE_PORT, shards on the next three.
+BASE_PORT=$(pick_port_block "${CLUSTER_SMOKE_PORT:-7450}" 4)
+ROUTER="127.0.0.1:$BASE_PORT"
 SHARD_PIDS=("" "" "")
 ROUTER_PID=""
-cleanup() {
-  [[ -n "$ROUTER_PID" ]] && kill "$ROUTER_PID" 2>/dev/null || true
-  for pid in "${SHARD_PIDS[@]}"; do
-    [[ -n "$pid" ]] && kill "$pid" 2>/dev/null || true
-  done
-  rm -rf "$WORK"
-}
-trap cleanup EXIT
 
 shard_port() { echo $((BASE_PORT + 1 + $1)); }
 
 start_shard() {  # start_shard <index>
   local i="$1"
-  "$CLI" "$WORK/shard$i" serve "$(shard_port "$i")" 2 \
-      > "$WORK/shard$i.log" 2>&1 &
-  SHARD_PIDS[$i]=$!
-  for _ in $(seq 1 100); do
-    grep -q "serving" "$WORK/shard$i.log" 2>/dev/null && return 0
-    kill -0 "${SHARD_PIDS[$i]}" 2>/dev/null || break
-    sleep 0.1
-  done
-  echo "shard $i failed to start"; cat "$WORK/shard$i.log"; exit 1
+  spawn_server "$WORK/shard$i.log" "serving" \
+      "$CLI" "$WORK/shard$i" serve "$(shard_port "$i")" 2
+  SHARD_PIDS[$i]=$SPAWNED_PID
 }
 
 echo "== seed store =="
@@ -68,15 +56,11 @@ echo "owner shard: $OWNER, sacrificial empty shard: $EMPTY"
 
 echo "== start 3 shard servers + router on :$BASE_PORT =="
 for i in 0 1 2; do start_shard "$i"; done
-"$CLI" cluster route "$BASE_PORT" \
+spawn_server "$WORK/router.log" "routing" \
+    "$CLI" cluster route "$BASE_PORT" \
     "127.0.0.1:$(shard_port 0)" "127.0.0.1:$(shard_port 1)" \
-    "127.0.0.1:$(shard_port 2)" > "$WORK/router.log" 2>&1 &
-ROUTER_PID=$!
-for _ in $(seq 1 100); do
-  grep -q "routing" "$WORK/router.log" 2>/dev/null && break
-  kill -0 "$ROUTER_PID" 2>/dev/null || { cat "$WORK/router.log"; exit 1; }
-  sleep 0.1
-done
+    "127.0.0.1:$(shard_port 2)"
+ROUTER_PID=$SPAWNED_PID
 
 echo "== routed fetch is byte-identical to the oracle =="
 "$CLI" remote "$ROUTER" fetch "$KEY" 25 2>/dev/null > "$WORK/routed_fetch.csv"
@@ -97,6 +81,7 @@ echo "== shard map: 3 shards up =="
 echo "== SIGKILL shard $EMPTY -> scans degrade (typed), fetches keep serving =="
 kill -9 "${SHARD_PIDS[$EMPTY]}"
 wait "${SHARD_PIDS[$EMPTY]}" 2>/dev/null || true
+smoke_untrack "${SHARD_PIDS[$EMPTY]}"
 SHARD_PIDS[$EMPTY]=""
 RC=0
 "$CLI" remote "$ROUTER" scan "$SCAN_TARGET" taxamount 0 1e9 \
@@ -135,20 +120,12 @@ diff "$WORK/oracle_scan.txt" "$WORK/rejoined_scan.txt"
 echo "scan healthy again after rejoin"
 
 echo "== SIGTERM -> clean drain (router, then shards) =="
-kill -TERM "$ROUTER_PID"
-RC=0
-wait "$ROUTER_PID" || RC=$?
+stop_clean "$ROUTER_PID" "$WORK/router.log" "routed:"
 ROUTER_PID=""
 cat "$WORK/router.log"
-[[ $RC -eq 0 ]] || { echo "router exited $RC (expected clean drain)"; exit 1; }
-grep -q "routed:" "$WORK/router.log" || {
-  echo "missing router summary"; exit 1; }
 for i in 0 1 2; do
-  kill -TERM "${SHARD_PIDS[$i]}"
-  RC=0
-  wait "${SHARD_PIDS[$i]}" || RC=$?
+  stop_clean "${SHARD_PIDS[$i]}" "$WORK/shard$i.log"
   SHARD_PIDS[$i]=""
-  [[ $RC -eq 0 ]] || { echo "shard $i exited $RC"; cat "$WORK/shard$i.log"; exit 1; }
 done
 
 echo "cluster smoke OK"

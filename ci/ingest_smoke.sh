@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Ingest smoke test (docs/MVCC.md): one server process trains a CIFAR CNN
+# and streams per-epoch checkpoints into the store it is concurrently
+# serving over TCP. A remote client fetches and scans each checkpoint the
+# moment its publish marker appears, while later epochs are still logging:
+#   - every live query must succeed (zero unavailable / zero stalls: the
+#     MVCC layer never blocks readers on the ingest writer),
+#   - after training finishes, the same keys are re-fetched as the post-hoc
+#     oracle and every live answer must be byte-identical to it,
+#   - SIGTERM drains cleanly with zero rejected and zero failed queries.
+#
+# Usage: ci/ingest_smoke.sh [build_dir]   (default: build)
+set -euo pipefail
+source "$(dirname "$0")/lib.sh"
+
+BUILD_DIR="${1:-build}"
+CLI="$BUILD_DIR/examples/mistique_cli"
+EPOCHS=3
+ROWS=64
+LOGITS_KEY() { echo "cifar.ckpt_e$1.layer8.*"; }  # fc2 logits: 10 columns
+
+smoke_init
+PORT=$(pick_port "${INGEST_SMOKE_PORT:-7470}")
+ADDR="127.0.0.1:$PORT"
+STORE="$WORK/store"
+
+echo "== start train_serve on :$PORT ($EPOCHS epochs x $ROWS rows) =="
+spawn_server "$WORK/server.log" "serving" \
+    "$CLI" "$STORE" train_serve "$PORT" 4 "$EPOCHS" "$ROWS"
+SERVER_PID=$SPAWNED_PID
+
+echo "== live queries against each checkpoint as it publishes =="
+for e in $(seq 0 $((EPOCHS - 1))); do
+  # Publish visibility: the marker appears when LogNetwork + SaveCatalog
+  # for epoch $e are done; later epochs are still training/logging.
+  wait_for_marker "$WORK/server.log" "published cifar.ckpt_e$e" \
+      "$SERVER_PID" 600
+  "$CLI" remote "$ADDR" fetch "$(LOGITS_KEY "$e")" 16 2>/dev/null \
+      > "$WORK/live_e$e.csv"
+  [[ -s "$WORK/live_e$e.csv" ]] || {
+    echo "live fetch of ckpt_e$e returned nothing"; exit 1; }
+  # Predicate scan over the published checkpoint, also mid-ingest.
+  "$CLI" remote "$ADDR" scan "cifar.ckpt_e$e.layer8" n0 -1e9 1e9 \
+      2>/dev/null > "$WORK/live_scan_e$e.txt"
+  [[ -s "$WORK/live_scan_e$e.txt" ]] || {
+    echo "live scan of ckpt_e$e returned nothing"; exit 1; }
+  echo "ckpt_e$e: live fetch $(wc -l < "$WORK/live_e$e.csv") lines, live scan $(wc -l < "$WORK/live_scan_e$e.txt") rows"
+done
+
+echo "== concurrent remote session storm on the first checkpoint =="
+# The session subcommand exits non-zero if ANY of its queries fails: this
+# is the zero-unavailable assertion under concurrency.
+"$CLI" remote "$ADDR" session "$(LOGITS_KEY 0)" 4 25
+
+wait_for_marker "$WORK/server.log" "training done" "$SERVER_PID" 600
+
+echo "== catalog lists every checkpoint =="
+"$CLI" remote "$ADDR" catalog | tee "$WORK/catalog.txt"
+for e in $(seq 0 $((EPOCHS - 1))); do
+  grep -q "cifar.ckpt_e$e" "$WORK/catalog.txt" || {
+    echo "checkpoint ckpt_e$e missing from catalog"; exit 1; }
+done
+
+echo "== post-hoc oracle: live answers must be byte-identical =="
+for e in $(seq 0 $((EPOCHS - 1))); do
+  "$CLI" remote "$ADDR" fetch "$(LOGITS_KEY "$e")" 16 2>/dev/null \
+      > "$WORK/oracle_e$e.csv"
+  diff "$WORK/live_e$e.csv" "$WORK/oracle_e$e.csv"
+  "$CLI" remote "$ADDR" scan "cifar.ckpt_e$e.layer8" n0 -1e9 1e9 \
+      2>/dev/null > "$WORK/oracle_scan_e$e.txt"
+  diff "$WORK/live_scan_e$e.txt" "$WORK/oracle_scan_e$e.txt"
+  echo "ckpt_e$e: live == oracle"
+done
+
+echo "== SIGTERM -> clean drain, zero rejected, zero failed =="
+stop_clean "$SERVER_PID" "$WORK/server.log" "drained:"
+cat "$WORK/server.log"
+grep -Eq "drained: [0-9]+ completed, 0 rejected, 0 failed" "$WORK/server.log" || {
+  echo "server rejected or failed queries during ingest"; exit 1; }
+
+echo "ingest smoke OK"

@@ -1,0 +1,112 @@
+# Shared helpers for the ci/*_smoke.sh scripts: scratch-dir setup, free-port
+# picking, background-server spawn with readiness wait, and clean-drain
+# shutdown. Source this after `set -euo pipefail`:
+#
+#   source "$(dirname "$0")/lib.sh"
+#   smoke_init
+#   PORT=$(pick_port 7433)
+#   spawn_server "$WORK/server.log" "serving" "$CLI" "$STORE" serve "$PORT" 4
+#   SERVER_PID=$SPAWNED_PID
+#   ...
+#   stop_clean "$SERVER_PID" "$WORK/server.log" "drained:"
+#
+# Every spawned process is killed and $WORK removed by the EXIT trap, so a
+# failing assertion anywhere never leaks servers or temp dirs.
+
+SMOKE_PIDS=()
+SPAWNED_PID=""
+
+# Creates the $WORK scratch dir and installs the cleanup trap.
+smoke_init() {
+  WORK=$(mktemp -d)
+  trap smoke_cleanup EXIT
+}
+
+smoke_cleanup() {
+  local pid
+  for pid in ${SMOKE_PIDS[@]+"${SMOKE_PIDS[@]}"}; do
+    kill "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORK"
+}
+
+# Registers a background pid for cleanup-on-exit.
+smoke_track() { SMOKE_PIDS+=("$1"); }
+
+# Forgets a pid that was already reaped (after stop_clean or SIGKILL+wait).
+smoke_untrack() {
+  local drop="$1" pid kept=()
+  for pid in ${SMOKE_PIDS[@]+"${SMOKE_PIDS[@]}"}; do
+    [[ "$pid" != "$drop" ]] && kept+=("$pid")
+  done
+  SMOKE_PIDS=(${kept[@]+"${kept[@]}"})
+}
+
+# pick_port_block <preferred> <count>: first base >= preferred (stepping by
+# <count>) whose <count> consecutive ports are all unbound, so parallel CI
+# jobs with different preferred bases never collide on a busy machine.
+pick_port_block() {
+  local port="$1" count="$2" i ok
+  while :; do
+    ok=1
+    for ((i = 0; i < count; i++)); do
+      if (exec 3<>"/dev/tcp/127.0.0.1/$((port + i))") 2>/dev/null; then
+        ok=0
+        break
+      fi
+    done
+    [[ $ok -eq 1 ]] && { echo "$port"; return 0; }
+    port=$((port + count))
+  done
+}
+
+# pick_port <preferred>: one free port at or above <preferred>.
+pick_port() { pick_port_block "$1" 1; }
+
+# wait_for_marker <log> <pattern> <pid> [tries]: polls until <pattern>
+# appears in <log> (0.1s per try, default 100). Fails fast if the process
+# dies first, dumping the log.
+wait_for_marker() {
+  local log="$1" pattern="$2" pid="$3" tries="${4:-100}"
+  local _
+  for _ in $(seq 1 "$tries"); do
+    grep -q "$pattern" "$log" 2>/dev/null && return 0
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  echo "process $pid never logged '$pattern'" >&2
+  cat "$log" >&2 || true
+  return 1
+}
+
+# spawn_server <log> <ready_pattern> <cmd...>: starts <cmd...> in the
+# background with output to <log>, registers it for cleanup, and waits for
+# <ready_pattern>. The pid lands in $SPAWNED_PID.
+spawn_server() {
+  local log="$1" pattern="$2"
+  shift 2
+  "$@" > "$log" 2>&1 &
+  SPAWNED_PID=$!
+  smoke_track "$SPAWNED_PID"
+  wait_for_marker "$log" "$pattern" "$SPAWNED_PID"
+}
+
+# stop_clean <pid> <log> [summary_pattern]: SIGTERM, require exit 0 (clean
+# drain) and, when given, <summary_pattern> in the log.
+stop_clean() {
+  local pid="$1" log="$2" pattern="${3:-}"
+  kill -TERM "$pid"
+  local rc=0
+  wait "$pid" || rc=$?
+  smoke_untrack "$pid"
+  if [[ $rc -ne 0 ]]; then
+    echo "pid $pid exited $rc (expected clean drain)" >&2
+    cat "$log" >&2 || true
+    return 1
+  fi
+  if [[ -n "$pattern" ]] && ! grep -q "$pattern" "$log"; then
+    echo "missing '$pattern' in drain log" >&2
+    cat "$log" >&2 || true
+    return 1
+  fi
+}

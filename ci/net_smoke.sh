@@ -6,20 +6,15 @@
 #
 # Usage: ci/net_smoke.sh [build_dir]   (default: build)
 set -euo pipefail
+source "$(dirname "$0")/lib.sh"
 
 BUILD_DIR="${1:-build}"
 CLI="$BUILD_DIR/examples/mistique_cli"
-PORT="${NET_SMOKE_PORT:-7433}"
 KEY="zillow.P1_v0.train_merged.logerror"
 STORE=/tmp/mistique_quickstart/store
 
-WORK=$(mktemp -d)
-SERVER_PID=""
-cleanup() {
-  [[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null || true
-  rm -rf "$WORK"
-}
-trap cleanup EXIT
+smoke_init
+PORT=$(pick_port "${NET_SMOKE_PORT:-7433}")
 
 echo "== seed store =="
 "$BUILD_DIR/examples/quickstart" > /dev/null
@@ -29,15 +24,8 @@ echo "== seed store =="
 "$CLI" "$STORE" fetch "$KEY" 25 2>/dev/null > "$WORK/local.csv"
 
 echo "== start server on :$PORT =="
-"$CLI" "$STORE" serve "$PORT" 4 > "$WORK/server.log" 2>&1 &
-SERVER_PID=$!
-for _ in $(seq 1 100); do
-  grep -q "serving" "$WORK/server.log" && break
-  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$WORK/server.log"; exit 1; }
-  sleep 0.1
-done
-grep -q "serving" "$WORK/server.log" || {
-  echo "server failed to start"; cat "$WORK/server.log"; exit 1; }
+spawn_server "$WORK/server.log" "serving" "$CLI" "$STORE" serve "$PORT" 4
+SERVER_PID=$SPAWNED_PID
 
 echo "== ping =="
 "$CLI" remote "127.0.0.1:$PORT" ping
@@ -76,13 +64,7 @@ grep -q "t_read" "$WORK/trace.txt" || {
 cat "$WORK/trace.txt"
 
 echo "== SIGTERM -> clean drain =="
-kill -TERM "$SERVER_PID"
-RC=0
-wait "$SERVER_PID" || RC=$?
-SERVER_PID=""
+stop_clean "$SERVER_PID" "$WORK/server.log" "drained:"
 cat "$WORK/server.log"
-[[ $RC -eq 0 ]] || { echo "server exited $RC (expected clean drain)"; exit 1; }
-grep -q "drained:" "$WORK/server.log" || {
-  echo "missing drain summary"; exit 1; }
 
 echo "net smoke OK"

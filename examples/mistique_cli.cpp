@@ -11,6 +11,7 @@
 //   mistique_cli <store_dir> stats
 //   mistique_cli <store_dir> service_session [sessions] [queries] [workers]
 //   mistique_cli <store_dir> serve [port] [workers]
+//   mistique_cli <store_dir> train_serve [port] [workers] [epochs] [rows]
 //   mistique_cli <store_dir> metrics
 //   mistique_cli <store_dir> trace <project.model.intermediate.column> [n]
 //
@@ -41,6 +42,8 @@
 #include "core/mistique.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "nn/cifar.h"
+#include "nn/model_zoo.h"
 #include "service/query_service.h"
 
 using namespace mistique;  // NOLINT: CLI brevity.
@@ -74,6 +77,9 @@ int Usage() {
       "                                  Q queries via a W-worker service\n"
       "  serve [port] [W]                serve the store over TCP with W\n"
       "                                  workers until SIGTERM/SIGINT\n"
+      "  train_serve [port] [W] [E] [N]  serve while a training loop logs E\n"
+      "                                  CNN checkpoints over N examples —\n"
+      "                                  the MVCC query-during-ingest demo\n"
       "  metrics                         Prometheus-style metric exposition\n"
       "  trace <proj.model.interm.col> [n]   fetch with a cost-decision\n"
       "                                  trace (estimates vs actual stages)\n"
@@ -487,7 +493,9 @@ int main(int argc, char** argv) {
   if (store_dir == "remote") return RunRemote(argc, argv);
   if (store_dir == "cluster") return RunCluster(argc, argv);
 
-  if (!std::filesystem::exists(store_dir + "/catalog.mq")) {
+  // train_serve creates its store; everything else inspects an existing one.
+  if (command != "train_serve" &&
+      !std::filesystem::exists(store_dir + "/catalog.mq")) {
     std::fprintf(stderr,
                  "no catalog found in %s (was SaveCatalog() called?)\n",
                  store_dir.c_str());
@@ -668,6 +676,74 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.rejected),
                 static_cast<unsigned long long>(net_stats.connections_accepted),
                 static_cast<unsigned long long>(net_stats.protocol_errors));
+    return 0;
+  }
+  if (command == "train_serve") {
+    // The MVCC demo (docs/MVCC.md): serve the store over TCP while a
+    // training loop streams checkpoints into the SAME engine. Remote
+    // readers query already-published checkpoints with zero stalls; each
+    // LogNetwork publishes atomically, so a checkpoint is either fully
+    // visible or not listed at all.
+    const uint16_t port =
+        argc >= 4 ? static_cast<uint16_t>(std::strtoul(argv[3], nullptr, 10))
+                  : 0;
+    const size_t workers = argc >= 5 ? std::strtoull(argv[4], nullptr, 10) : 4;
+    const int epochs = argc >= 6 ? std::atoi(argv[5]) : 4;
+    const int rows = argc >= 7 ? std::atoi(argv[6]) : 256;
+
+    QueryServiceOptions service_options;
+    service_options.num_workers = workers;
+    QueryService service(&mq, service_options);
+
+    net::ServerOptions server_options;
+    server_options.port = port;
+    net::Server server(&service, server_options);
+    Check(server.Start());
+
+    std::signal(SIGINT, HandleSignal);
+    std::signal(SIGTERM, HandleSignal);
+    std::printf("serving %s on %s:%u with %zu workers (SIGTERM to stop)\n",
+                store_dir.c_str(), server_options.host.c_str(),
+                static_cast<unsigned>(server.port()), service.num_workers());
+    std::fflush(stdout);
+
+    // The training loop: one CIFAR CNN, perturbed a little each epoch
+    // (simulated fine-tuning); every epoch's activations are logged as a
+    // checkpoint model. Runs on this thread — the server threads keep
+    // answering queries throughout.
+    CifarConfig data_config;
+    data_config.num_examples = rows;
+    const CifarData data = GenerateCifar(data_config);
+    auto input = std::make_shared<Tensor>(data.images);
+    auto net = BuildCifarCnn({});
+    for (int epoch = 0; epoch < epochs && !g_shutdown.load(); ++epoch) {
+      if (epoch > 0) {
+        net->PerturbTrainable(700 + static_cast<uint64_t>(epoch),
+                              0.05 / epoch);
+      }
+      Check(mq.LogNetwork(net.get(), input, "cifar",
+                          "ckpt_e" + std::to_string(epoch))
+                .status());
+      Check(mq.SaveCatalog());
+      std::printf("published cifar.ckpt_e%d (mvcc epoch %llu)\n", epoch,
+                  static_cast<unsigned long long>(mq.CurrentEpoch()));
+      std::fflush(stdout);
+    }
+    std::printf("training done: %d checkpoints\n", epochs);
+    std::fflush(stdout);
+
+    while (!g_shutdown.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    std::printf("shutting down: draining in-flight queries...\n");
+    std::fflush(stdout);
+    server.Stop();
+
+    const ServiceStats stats = service.Stats();
+    std::printf("drained: %llu completed, %llu rejected, %llu failed\n",
+                static_cast<unsigned long long>(stats.completed),
+                static_cast<unsigned long long>(stats.rejected),
+                static_cast<unsigned long long>(stats.failed));
     return 0;
   }
   if (command == "metrics") {

@@ -1,0 +1,49 @@
+#ifndef MISTIQUE_CORE_ENGINE_SNAPSHOT_H_
+#define MISTIQUE_CORE_ENGINE_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "metadata/metadata_db.h"
+
+namespace mistique {
+
+/// The immutable catalog view one MVCC epoch publishes (docs/MVCC.md).
+///
+/// Built by the writer under its lock at publish time; readers reach it
+/// only through a mvcc::ReadPin, never the live MetadataDb. Per-model
+/// ModelInfo copies are shared (shared_ptr) across consecutive snapshots
+/// when a publish did not touch them — copy-on-write at model granularity,
+/// so publishing one new checkpoint costs one model copy, not a catalog
+/// copy.
+///
+/// Every chunk a snapshot references is sealed: publish flushes the store
+/// first, so snapshot readers only ever touch immutable partitions (open
+/// partitions belong exclusively to the staging writer).
+struct EngineSnapshot {
+  struct Model {
+    std::shared_ptr<const ModelInfo> info;
+    /// Whether an executor (pipeline / network) was registered at publish
+    /// time. Readers must not probe the live executor maps, so the flag is
+    /// frozen here; Attach* republishes to flip it.
+    bool has_executor = false;
+  };
+
+  std::unordered_map<ModelId, Model> models;
+  std::unordered_map<std::string, ModelId> by_name;  ///< "project.name"
+
+  Result<const Model*> Find(const std::string& project,
+                            const std::string& name) const {
+    auto it = by_name.find(project + "." + name);
+    if (it == by_name.end()) {
+      return Status::NotFound("unknown model " + project + "." + name);
+    }
+    return &models.at(it->second);
+  }
+};
+
+}  // namespace mistique
+
+#endif  // MISTIQUE_CORE_ENGINE_SNAPSHOT_H_

@@ -152,6 +152,82 @@ size_t BitsPerValue(const IntermediateInfo& interm) {
   return 64;
 }
 
+obs::Gauge* StagedBytesGauge() {
+  static obs::Gauge* g = obs::GlobalMetrics().GetGauge(
+      "mistique_mvcc_staged_bytes",
+      "Uncompressed bytes in the writer's open (staged, not yet "
+      "published) partitions.");
+  return g;
+}
+
+/// Fetch-target resolution shared by the snapshot (reader) and writer
+/// fetch paths; pure functions over an immutable catalog view.
+Result<size_t> FindIntermediateIndex(const ModelInfo& model,
+                                     const std::string& name) {
+  for (size_t i = 0; i < model.intermediates.size(); ++i) {
+    if (model.intermediates[i].name == name) return i;
+  }
+  return Status::NotFound("model " + model.name + " has no intermediate " +
+                          name);
+}
+
+Status ResolveColumns(const IntermediateInfo& interm,
+                      const FetchRequest& request,
+                      std::vector<size_t>* col_idx) {
+  if (request.columns.empty()) {
+    col_idx->resize(interm.columns.size());
+    for (size_t i = 0; i < col_idx->size(); ++i) (*col_idx)[i] = i;
+    return Status::OK();
+  }
+  for (const std::string& name : request.columns) {
+    bool found = false;
+    for (size_t i = 0; i < interm.columns.size(); ++i) {
+      if (interm.columns[i].name == name) {
+        col_idx->push_back(i);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::NotFound("intermediate " + interm.name +
+                              " has no column " + name);
+    }
+  }
+  return Status::OK();
+}
+
+Status ResolveRows(const IntermediateInfo& interm, const FetchRequest& request,
+                   std::vector<uint64_t>* rows) {
+  if (!request.row_ids.empty()) {
+    *rows = request.row_ids;
+    std::sort(rows->begin(), rows->end());
+    for (uint64_t r : *rows) {
+      if (r >= interm.num_rows) {
+        return Status::OutOfRange("row_id " + std::to_string(r) +
+                                  " >= " + std::to_string(interm.num_rows));
+      }
+    }
+    return Status::OK();
+  }
+  const uint64_t n = request.n_ex == 0
+                         ? interm.num_rows
+                         : std::min<uint64_t>(request.n_ex, interm.num_rows);
+  if (request.sample_fraction > 0 && request.sample_fraction < 1.0) {
+    // Approximate fetch: keep every k-th RowBlock's rows.
+    const auto stride =
+        static_cast<uint64_t>(std::lround(1.0 / request.sample_fraction));
+    const uint64_t block = std::max<uint64_t>(interm.row_block_size, 1);
+    for (uint64_t i = 0; i < n; ++i) {
+      if ((i / block) % stride == 0) rows->push_back(i);
+    }
+    if (rows->empty()) rows->push_back(0);
+  } else {
+    rows->resize(n);
+    for (uint64_t i = 0; i < n; ++i) (*rows)[i] = i;
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 const char* StorageStrategyName(StorageStrategy s) {
@@ -167,8 +243,9 @@ const char* StorageStrategyName(StorageStrategy s) {
 }
 
 Status Mistique::Open(const MistiqueOptions& options) {
-  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  std::lock_guard<std::mutex> lock(writer_mutex_);
   Metrics();  // register engine counters so expositions list them at zero
+  StagedBytesGauge();
   options_ = options;
   {
     // query_cache_ is guarded by stats_mutex_ (readers like
@@ -254,14 +331,21 @@ Status Mistique::Open(const MistiqueOptions& options) {
     MISTIQUE_RETURN_NOT_OK(wal_.Rotate(snapshot_epoch));
   }
 
-  if (have_catalog) {
-    MISTIQUE_RETURN_NOT_OK(store_.RecoverIndex());
-    RebuildChunkRefs();
-    // Quarantines from RecoverIndex (and any column referencing a chunk
-    // the store lost) demote to the rerun path here.
-    MISTIQUE_RETURN_NOT_OK(HandleCorruptionsLocked(/*scan_all=*/true));
-    DeriveDeadChunksLocked();
-  }
+  // Always recover the chunk index: even without a catalog snapshot the
+  // WAL may have replayed kModelAdd records (crash after an MVCC publish
+  // but before the first SaveCatalog), and orphan chunks from a crash
+  // mid-ingest must be derived as dead either way.
+  MISTIQUE_RETURN_NOT_OK(store_.RecoverIndex());
+  RebuildChunkRefs();
+  // Quarantines from RecoverIndex (and any column referencing a chunk
+  // the store lost) demote to the rerun path here.
+  MISTIQUE_RETURN_NOT_OK(HandleCorruptionsLocked(/*scan_all=*/true));
+  DeriveDeadChunksLocked();
+
+  // Publish the initial snapshot so readers can pin epoch >= 1 before any
+  // write lands.
+  published_cache_.clear();
+  PublishLocked({});
   return Status::OK();
 }
 
@@ -275,6 +359,104 @@ void Mistique::RebuildChunkRefs() {
         for (ChunkId chunk : col.chunks) RefChunk(chunk);
       }
     }
+  }
+}
+
+void Mistique::PublishLocked(const std::unordered_set<ModelId>& dirty) {
+  // Accumulated into the active query trace when the publish happens on a
+  // fetch's writer path (materialization/heal); a no-op otherwise.
+  obs::AccumSpan span("publish_wait");
+  auto snap = std::make_shared<EngineSnapshot>();
+  std::unordered_set<ModelId> live;
+  for (ModelId id : metadata_.ListModels()) {
+    const ModelInfo* m = metadata_.GetModel(id).ValueOrDie();
+    live.insert(id);
+    EngineSnapshot::Model entry;
+    auto cached = published_cache_.find(id);
+    if (cached != published_cache_.end() && dirty.count(id) == 0) {
+      entry.info = cached->second;  // COW: untouched model, share the copy.
+    } else {
+      entry.info = std::make_shared<const ModelInfo>(*m);
+      published_cache_[id] = entry.info;
+    }
+    entry.has_executor =
+        pipelines_.count(id) != 0 || networks_.count(id) != 0;
+    snap->by_name[entry.info->project + "." + entry.info->name] = id;
+    snap->models.emplace(id, std::move(entry));
+  }
+  for (auto it = published_cache_.begin(); it != published_cache_.end();) {
+    it = live.count(it->first) ? std::next(it) : published_cache_.erase(it);
+  }
+  snapshots_.Publish(std::shared_ptr<const void>(std::move(snap)));
+  StagedBytesGauge()->Set(static_cast<int64_t>(store_.open_bytes()));
+}
+
+Status Mistique::CommitStagedModelLocked(ModelId id) {
+  // Seal every staged partition first so the snapshot (and the WAL record
+  // below) only reference immutable, persisted chunks. A crash here — or
+  // anywhere before the durable append — leaves no catalog trace of the
+  // model; its sealed chunks become dead chunks at the next Open.
+  MISTIQUE_RETURN_NOT_OK(store_.Flush());
+  MISTIQUE_FAULT("mvcc.publish");
+  if (wal_.is_open()) {
+    MISTIQUE_ASSIGN_OR_RETURN(const ModelInfo* model, metadata_.GetModel(id));
+    MISTIQUE_RETURN_NOT_OK(
+        wal_.Append(static_cast<uint8_t>(CatalogWalRecordType::kModelAdd),
+                    EncodeModelAdd(*model), /*durable=*/true));
+  }
+  PublishLocked({id});
+  return Status::OK();
+}
+
+void Mistique::AbortStagedModelLocked(ModelId id) {
+  Result<ModelInfo*> model = metadata_.GetModel(id);
+  if (model.ok()) {
+    std::unordered_set<ChunkId> newly_dead;
+    for (const IntermediateInfo& interm : (*model)->intermediates) {
+      for (const ColumnInfo& col : interm.columns) {
+        for (ChunkId chunk : col.chunks) {
+          auto it = chunk_refs_.find(chunk);
+          if (it == chunk_refs_.end()) continue;
+          if (--it->second == 0) {
+            chunk_refs_.erase(it);
+            newly_dead.insert(chunk);
+          }
+        }
+      }
+    }
+    dead_chunks_.insert(newly_dead.begin(), newly_dead.end());
+    dedup_->ForgetChunks(newly_dead);
+    (void)metadata_.RemoveModel(id);
+  }
+  pipelines_.erase(id);
+  networks_.erase(id);
+  StagedBytesGauge()->Set(static_cast<int64_t>(store_.open_bytes()));
+}
+
+void Mistique::NotePendingQuery(ModelId model_id, size_t interm_index) {
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    pending_queries_[(static_cast<uint64_t>(model_id) << 32) |
+                     static_cast<uint64_t>(interm_index)]++;
+  }
+  LogNoteQuery(model_id, interm_index);
+}
+
+void Mistique::FoldQueryStatsLocked() {
+  std::unordered_map<uint64_t, uint64_t> pending;
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    pending.swap(pending_queries_);
+  }
+  for (const auto& [key, n] : pending) {
+    const ModelId model_id = static_cast<ModelId>(key >> 32);
+    const auto interm_index = static_cast<size_t>(key & 0xffffffffu);
+    Result<ModelInfo*> model = metadata_.GetModel(model_id);
+    // Entries for models deleted since the bump are dropped.
+    if (!model.ok() || interm_index >= (*model)->intermediates.size()) {
+      continue;
+    }
+    (*model)->intermediates[interm_index].n_query += n;
   }
 }
 
@@ -351,6 +533,11 @@ Status Mistique::HandleCorruptionsLocked(bool scan_all) {
       }
     }
     InvalidateCache();
+    // Snapshot readers must stop resolving the vanished chunks: republish
+    // with every demoted model copied fresh.
+    std::unordered_set<ModelId> dirty;
+    for (const Demoted& d : demoted) dirty.insert(d.model);
+    PublishLocked(dirty);
   }
 
   // Attribute demotions to quarantined partitions so a partition counts as
@@ -431,7 +618,7 @@ void Mistique::LogNoteQuery(ModelId model_id, size_t interm_index) {
 
 Status Mistique::DeleteModel(const std::string& project,
                              const std::string& name) {
-  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  std::lock_guard<std::mutex> lock(writer_mutex_);
   MISTIQUE_ASSIGN_OR_RETURN(ModelId id, metadata_.FindModel(project, name));
   MISTIQUE_ASSIGN_OR_RETURN(const ModelInfo* model, metadata_.GetModel(id));
 
@@ -468,11 +655,20 @@ Status Mistique::DeleteModel(const std::string& project,
   pipelines_.erase(id);
   networks_.erase(id);
   InvalidateCache();
+  // The rebuilt snapshot no longer lists the model; readers pinned to an
+  // older epoch keep their view until the pin drops.
+  PublishLocked({});
   return Status::OK();
 }
 
 Result<uint64_t> Mistique::Vacuum() {
-  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  // Readers pinned to pre-delete snapshots may still resolve chunks that
+  // are dead in the current catalog; wait for those pins to drain before
+  // rewriting the partitions out from under them. Current-epoch pins are
+  // unaffected (their catalog references no dead chunk) and readers never
+  // block on writer_mutex_ while pinned, so this terminates.
+  snapshots_.WaitForReadersBefore(snapshots_.epoch());
   MISTIQUE_RETURN_NOT_OK(store_.Flush());
   const uint64_t before = store_.stored_bytes();
 
@@ -506,7 +702,10 @@ Result<uint64_t> Mistique::Vacuum() {
 }
 
 Status Mistique::SaveCatalog() {
-  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  // Fold reader-side n_query bumps so the snapshot carries them (their
+  // WAL records are discarded by the rotation below).
+  FoldQueryStatsLocked();
   MISTIQUE_RETURN_NOT_OK(store_.Flush());
   const uint64_t epoch = wal_.epoch() + 1;
   MISTIQUE_RETURN_NOT_OK(
@@ -523,20 +722,23 @@ Status Mistique::SaveCatalog() {
 
 Status Mistique::AttachPipeline(const std::string& project,
                                 const std::string& name, Pipeline* pipeline) {
-  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  std::lock_guard<std::mutex> lock(writer_mutex_);
   MISTIQUE_ASSIGN_OR_RETURN(ModelId id, metadata_.FindModel(project, name));
   MISTIQUE_ASSIGN_OR_RETURN(const ModelInfo* model, metadata_.GetModel(id));
   if (model->kind != ModelKind::kTrad) {
     return Status::InvalidArgument("model " + name + " is not a pipeline");
   }
   pipelines_[id] = pipeline;
+  // has_executor is frozen into the snapshot; republish so readers see
+  // the re-run path open up.
+  PublishLocked({});
   return Status::OK();
 }
 
 Status Mistique::AttachNetwork(const std::string& project,
                                const std::string& name, Network* network,
                                std::shared_ptr<const Tensor> input) {
-  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  std::lock_guard<std::mutex> lock(writer_mutex_);
   MISTIQUE_ASSIGN_OR_RETURN(ModelId id, metadata_.FindModel(project, name));
   MISTIQUE_ASSIGN_OR_RETURN(const ModelInfo* model, metadata_.GetModel(id));
   if (model->kind != ModelKind::kDnn) {
@@ -551,6 +753,7 @@ Status Mistique::AttachNetwork(const std::string& project,
     return Status::NotFound("no checkpoint at " + source.checkpoint_path);
   }
   networks_[id] = std::move(source);
+  PublishLocked({});
   return Status::OK();
 }
 
@@ -582,10 +785,23 @@ Status Mistique::StoreColumn(const IntermediateInfo& interm,
 
 Result<ModelId> Mistique::LogPipeline(Pipeline* pipeline,
                                       const std::string& project) {
-  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  ModelId staged = kInvalidModelId;
+  Status status = StagePipeline(pipeline, project, &staged);
+  if (status.ok()) status = CommitStagedModelLocked(staged);
+  if (!status.ok()) {
+    if (staged != kInvalidModelId) AbortStagedModelLocked(staged);
+    return status;
+  }
+  return staged;
+}
+
+Status Mistique::StagePipeline(Pipeline* pipeline, const std::string& project,
+                               ModelId* staged) {
   MISTIQUE_ASSIGN_OR_RETURN(
       ModelId id, metadata_.RegisterModel(project, pipeline->name(),
                                           ModelKind::kTrad));
+  *staged = id;
   pipelines_[id] = pipeline;
   MISTIQUE_ASSIGN_OR_RETURN(ModelInfo * model, metadata_.GetModel(id));
   const bool materialize = options_.strategy != StorageStrategy::kAdaptive;
@@ -647,20 +863,25 @@ Result<ModelId> Mistique::LogPipeline(Pipeline* pipeline,
     return Status::OK();
   };
   MISTIQUE_RETURN_NOT_OK(pipeline->Run(&ctx2, -1, calib_observer));
-  return id;
+  return Status::OK();
 }
 
 CatalogSummary Mistique::ExportCatalog() const {
-  std::shared_lock<std::shared_mutex> lock(rw_mutex_);
   CatalogSummary catalog;
-  for (ModelId id : metadata_.ListModels()) {
-    Result<const ModelInfo*> model = metadata_.GetModel(id);
-    if (!model.ok()) continue;
+  mvcc::ReadPin pin = snapshots_.Pin();
+  if (!pin) return catalog;
+  const auto* snap = static_cast<const EngineSnapshot*>(pin.state().get());
+  std::vector<ModelId> ids;
+  ids.reserve(snap->models.size());
+  for (const auto& [id, entry] : snap->models) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (ModelId id : ids) {
+    const std::shared_ptr<const ModelInfo>& model = snap->models.at(id).info;
     CatalogSummary::Model out;
-    out.project = (*model)->project;
-    out.name = (*model)->name;
-    out.kind = (*model)->kind;
-    for (const IntermediateInfo& interm : (*model)->intermediates) {
+    out.project = model->project;
+    out.name = model->name;
+    out.kind = model->kind;
+    for (const IntermediateInfo& interm : model->intermediates) {
       CatalogSummary::Intermediate i;
       i.name = interm.name;
       i.stage_index = interm.stage_index;
@@ -694,9 +915,23 @@ Result<ModelId> Mistique::ImportModel(
       }
     }
   }
-  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  ModelId staged = kInvalidModelId;
+  Status status = StageImport(project, name, intermediates, &staged);
+  if (status.ok()) status = CommitStagedModelLocked(staged);
+  if (!status.ok()) {
+    if (staged != kInvalidModelId) AbortStagedModelLocked(staged);
+    return status;
+  }
+  return staged;
+}
+
+Status Mistique::StageImport(
+    const std::string& project, const std::string& name,
+    const std::vector<ImportIntermediate>& intermediates, ModelId* staged) {
   MISTIQUE_ASSIGN_OR_RETURN(
       ModelId id, metadata_.RegisterModel(project, name, ModelKind::kTrad));
+  *staged = id;
   MISTIQUE_ASSIGN_OR_RETURN(ModelInfo * model, metadata_.GetModel(id));
   for (const ImportIntermediate& in : intermediates) {
     IntermediateInfo interm;
@@ -724,7 +959,7 @@ Result<ModelId> Mistique::ImportModel(
     // fallback pins every query for this model to the read path.
     model->intermediates.push_back(std::move(interm));
   }
-  return id;
+  return Status::OK();
 }
 
 Result<ModelId> Mistique::LogNetwork(Network* network,
@@ -734,10 +969,26 @@ Result<ModelId> Mistique::LogNetwork(Network* network,
   if (network == nullptr || input == nullptr || input->n == 0) {
     return Status::InvalidArgument("LogNetwork: null network or empty input");
   }
-  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  ModelId staged = kInvalidModelId;
+  Status status =
+      StageNetwork(network, std::move(input), project, model_name, &staged);
+  if (status.ok()) status = CommitStagedModelLocked(staged);
+  if (!status.ok()) {
+    if (staged != kInvalidModelId) AbortStagedModelLocked(staged);
+    return status;
+  }
+  return staged;
+}
+
+Status Mistique::StageNetwork(Network* network,
+                              std::shared_ptr<const Tensor> input,
+                              const std::string& project,
+                              const std::string& model_name, ModelId* staged) {
   MISTIQUE_ASSIGN_OR_RETURN(
       ModelId id,
       metadata_.RegisterModel(project, model_name, ModelKind::kDnn));
+  *staged = id;
   MISTIQUE_ASSIGN_OR_RETURN(ModelInfo * model, metadata_.GetModel(id));
 
   DnnSource source;
@@ -822,7 +1073,7 @@ Result<ModelId> Mistique::LogNetwork(Network* network,
               : static_cast<double>(EstimateEncodedBytes(interm)) /
                     static_cast<double>(interm.num_rows);
     }
-    return id;
+    return Status::OK();
   }
 
   // Logging pass: stream batches (one RowBlock per batch) through the
@@ -907,6 +1158,7 @@ Result<ModelId> Mistique::LogNetwork(Network* network,
       if (!added.was_duplicate) col.stored_bytes += chunk_bytes;
       col.materialized = true;
     }
+    StagedBytesGauge()->Set(static_cast<int64_t>(store_.open_bytes()));
     return Status::OK();
   };
 
@@ -926,11 +1178,15 @@ Result<ModelId> Mistique::LogNetwork(Network* network,
             : static_cast<double>(encoded) /
                   static_cast<double>(interm.num_rows);
   }
-  return id;
+  return Status::OK();
 }
 
 Status Mistique::Flush() {
-  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  // Flush is the lightest writer-mutex entry point, so it doubles as the
+  // way to fold reader-counted query stats into the live catalog without
+  // saving it (tests and stats readers rely on this).
+  FoldQueryStatsLocked();
   return store_.Flush();
 }
 
@@ -1221,59 +1477,53 @@ void Mistique::InvalidateCache() {
 
 Result<FetchResult> Mistique::Fetch(const FetchRequest& request) {
   Metrics().fetch_total->Increment();
-  // Optimistic pass under the shared lock: materialized read paths (the
-  // common case for a diagnosis service) run fully parallel. Requests that
-  // need the re-run executor or adaptive materialization escalate to the
-  // exclusive lock.
+  // Lock-free pass against the pinned snapshot: materialized read paths
+  // (the common case for a diagnosis service) run fully parallel with
+  // each other AND with the writer logging new checkpoints. Requests
+  // that need the re-run executor or adaptive materialization drop the
+  // pin and re-enter through the writer mutex.
   {
-    obs::TraceSpan lock_span("lock_wait_shared");
-    std::shared_lock<std::shared_mutex> lock(rw_mutex_);
-    lock_span.End();
-    bool needs_exclusive = false;
-    Result<FetchResult> result =
-        FetchLocked(request, /*exclusive=*/false, /*count_query=*/true,
-                    &needs_exclusive);
-    if (!needs_exclusive) return result;
-  }
+    obs::TraceSpan pin_span("snapshot_pin");
+    mvcc::ReadPin pin = snapshots_.Pin();
+    pin_span.End();
+    if (pin) {
+      const auto* snap =
+          static_cast<const EngineSnapshot*>(pin.state().get());
+      bool needs_writer = false;
+      Result<FetchResult> result =
+          FetchSnapshot(*snap, pin.epoch(), request, &needs_writer);
+      if (!needs_writer) return result;
+    }
+  }  // Pin dropped before blocking: the Vacuum reader barrier needs it gone.
   obs::TraceSpan lock_span("lock_wait_exclusive");
-  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  std::lock_guard<std::mutex> lock(writer_mutex_);
   lock_span.End();
+  // The adaptive γ decision below reads n_query off the live catalog;
+  // fold so it includes the bump this query just made.
+  FoldQueryStatsLocked();
   // Escalations triggered by a checksum failure arrive here with the bad
   // partition already quarantined; demote the affected columns first so
   // the retry below naturally picks the re-run path (and then heals).
   MISTIQUE_RETURN_NOT_OK(HandleCorruptionsLocked(/*scan_all=*/false));
-  bool ignored = false;
-  return FetchLocked(request, /*exclusive=*/true, /*count_query=*/false,
-                     &ignored);
+  return FetchWriterLocked(request);
 }
 
-Result<FetchResult> Mistique::FetchLocked(const FetchRequest& request,
-                                          bool exclusive, bool count_query,
-                                          bool* needs_exclusive) {
-  MISTIQUE_ASSIGN_OR_RETURN(ModelId model_id,
-                            metadata_.FindModel(request.project,
-                                                request.model));
-  MISTIQUE_ASSIGN_OR_RETURN(ModelInfo * model, metadata_.GetModel(model_id));
-
-  size_t interm_index = model->intermediates.size();
-  for (size_t i = 0; i < model->intermediates.size(); ++i) {
-    if (model->intermediates[i].name == request.intermediate) {
-      interm_index = i;
-      break;
-    }
+Result<FetchResult> Mistique::FetchSnapshot(const EngineSnapshot& snap,
+                                            uint64_t epoch,
+                                            const FetchRequest& request,
+                                            bool* needs_writer) {
+  auto name_it = snap.by_name.find(request.project + "." + request.model);
+  if (name_it == snap.by_name.end()) {
+    return Status::NotFound("unknown model " + request.project + "." +
+                            request.model);
   }
-  if (interm_index == model->intermediates.size()) {
-    return Status::NotFound("model " + request.model +
-                            " has no intermediate " + request.intermediate);
-  }
-  IntermediateInfo& interm = model->intermediates[interm_index];
-  if (count_query) {
-    {
-      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-      interm.n_query++;
-    }
-    LogNoteQuery(model_id, interm_index);
-  }
+  const ModelId model_id = name_it->second;
+  const EngineSnapshot::Model& entry = snap.models.at(model_id);
+  const ModelInfo& model = *entry.info;
+  MISTIQUE_ASSIGN_OR_RETURN(
+      size_t interm_index, FindIntermediateIndex(model, request.intermediate));
+  const IntermediateInfo& interm = model.intermediates[interm_index];
+  NotePendingQuery(model_id, interm_index);
 
   // Session result cache: identical repeated queries are free (Sec. 10's
   // caching direction).
@@ -1295,57 +1545,151 @@ Result<FetchResult> Mistique::FetchLocked(const FetchRequest& request,
     }
   }
 
-  // Resolve columns.
   std::vector<size_t> col_idx;
-  if (request.columns.empty()) {
-    col_idx.resize(interm.columns.size());
-    for (size_t i = 0; i < col_idx.size(); ++i) col_idx[i] = i;
+  MISTIQUE_RETURN_NOT_OK(ResolveColumns(interm, request, &col_idx));
+  std::vector<uint64_t> rows;
+  MISTIQUE_RETURN_NOT_OK(ResolveRows(interm, request, &rows));
+
+  const bool materialized =
+      !interm.columns.empty() &&
+      std::all_of(col_idx.begin(), col_idx.end(),
+                  [&](size_t i) { return interm.columns[i].materialized; });
+  const double col_fraction =
+      interm.columns.empty()
+          ? 1.0
+          : static_cast<double>(col_idx.size()) /
+                static_cast<double>(interm.columns.size());
+
+  FetchResult out;
+  out.predicted_rerun_sec = cost_model_.RerunSeconds(
+      model, interm, static_cast<uint64_t>(rows.size()));
+  out.predicted_read_sec = cost_model_.ReadSeconds(
+      interm, static_cast<uint64_t>(rows.size()), col_fraction);
+  if (obs::QueryTrace* t = obs::CurrentTrace()) {
+    t->est_rerun_sec = out.predicted_rerun_sec;
+    t->est_read_sec = out.predicted_read_sec;
+  }
+
+  // Frozen at publish time (readers must not probe the live executor
+  // maps); Attach* republishes to flip it.
+  const bool has_executor = entry.has_executor;
+
+  bool use_read;
+  if (request.force_read.has_value()) {
+    use_read = *request.force_read;
+    if (use_read && !materialized) {
+      return Status::InvalidArgument(
+          "force_read requested but intermediate is not materialized");
+    }
   } else {
-    for (const std::string& name : request.columns) {
-      bool found = false;
-      for (size_t i = 0; i < interm.columns.size(); ++i) {
-        if (interm.columns[i].name == name) {
-          col_idx.push_back(i);
-          found = true;
-          break;
-        }
+    use_read = materialized &&
+               (!has_executor ||
+                out.predicted_read_sec <= out.predicted_rerun_sec);
+  }
+  if (!use_read && !has_executor) {
+    return Status::NotFound(
+        "model " + request.model +
+        " has no executor attached for re-run (reopened store?) and the "
+        "intermediate is not materialized");
+  }
+
+  // Re-run execution mutates shared state (pipeline transformers, network
+  // weights via checkpoint reload) and may trigger materialization, so it
+  // needs the writer mutex.
+  if (!use_read) {
+    *needs_writer = true;
+    return FetchResult{};
+  }
+
+  out.column_names.reserve(col_idx.size());
+  for (size_t i : col_idx) out.column_names.push_back(interm.columns[i].name);
+  out.row_ids = rows;
+  out.used_read = use_read;
+  if (obs::QueryTrace* t = obs::CurrentTrace()) {
+    t->strategy = request.force_read.has_value()
+                      ? (use_read ? "forced-read" : "forced-rerun")
+                      : (use_read ? "read" : "rerun");
+  }
+
+  Stopwatch watch;
+  {
+    Status read_status = [&] {
+      obs::TraceSpan span("read");
+      return ReadColumns(model, interm, col_idx, rows, &out);
+    }();
+    if (!read_status.ok()) {
+      const StatusCode code = read_status.code();
+      const bool recoverable = (code == StatusCode::kDataLoss ||
+                                code == StatusCode::kNotFound) &&
+                               has_executor;
+      if (!recoverable) return read_status;
+      // Checksum failure on the read path (the store already quarantined
+      // the partition) or a chunk lost to an earlier quarantine: heal by
+      // re-running the model under the writer mutex.
+      *needs_writer = true;
+      return FetchResult{};
+    }
+  }
+  out.fetch_seconds = watch.ElapsedSeconds();
+  Metrics().fetch_read_total->Increment();
+
+  // Estimated-vs-actual drift: only judged when the model made a free
+  // choice between two viable strategies.
+  const bool both_viable =
+      !request.force_read.has_value() && materialized && has_executor;
+  if (both_viable &&
+      CostModel::Mispredicted(/*used_read=*/true, out.fetch_seconds,
+                              out.predicted_read_sec,
+                              out.predicted_rerun_sec)) {
+    Metrics().mispredictions_total->Increment();
+    LogMisprediction(request, out);
+    if (obs::QueryTrace* t = obs::CurrentTrace()) t->mispredicted = true;
+  }
+
+  if (options_.query_cache_entries > 0) {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    // The catalog may have been republished (delete, materialization)
+    // while this result was computed off the old snapshot; only cache it
+    // when the pinned epoch is still current.
+    if (snapshots_.epoch() == epoch) query_cache_.Put(cache_key, out);
+  }
+  return out;
+}
+
+Result<FetchResult> Mistique::FetchWriterLocked(const FetchRequest& request) {
+  MISTIQUE_ASSIGN_OR_RETURN(ModelId model_id,
+                            metadata_.FindModel(request.project,
+                                                request.model));
+  MISTIQUE_ASSIGN_OR_RETURN(ModelInfo * model, metadata_.GetModel(model_id));
+  MISTIQUE_ASSIGN_OR_RETURN(
+      size_t interm_index,
+      FindIntermediateIndex(*model, request.intermediate));
+  IntermediateInfo& interm = model->intermediates[interm_index];
+  // The query itself was already counted by the snapshot pass
+  // (NotePendingQuery), and Fetch folded the side table before calling.
+
+  const uint64_t cache_key =
+      options_.query_cache_entries > 0 ? RequestKey(request) : 0;
+  if (options_.query_cache_entries > 0) {
+    Metrics().engine_cache_lookups->Increment();
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    if (const FetchResult* cached = query_cache_.Get(cache_key)) {
+      Metrics().engine_cache_hits->Increment();
+      if (obs::QueryTrace* t = obs::CurrentTrace()) {
+        t->strategy = "engine-cache";
+        t->cache_hit = true;
       }
-      if (!found) {
-        return Status::NotFound("intermediate " + interm.name +
-                                " has no column " + name);
-      }
+      FetchResult hit = *cached;
+      hit.from_cache = true;
+      hit.fetch_seconds = 0;
+      return hit;
     }
   }
 
-  // Resolve rows.
+  std::vector<size_t> col_idx;
+  MISTIQUE_RETURN_NOT_OK(ResolveColumns(interm, request, &col_idx));
   std::vector<uint64_t> rows;
-  if (!request.row_ids.empty()) {
-    rows = request.row_ids;
-    std::sort(rows.begin(), rows.end());
-    for (uint64_t r : rows) {
-      if (r >= interm.num_rows) {
-        return Status::OutOfRange("row_id " + std::to_string(r) +
-                                  " >= " + std::to_string(interm.num_rows));
-      }
-    }
-  } else {
-    const uint64_t n = request.n_ex == 0
-                           ? interm.num_rows
-                           : std::min<uint64_t>(request.n_ex, interm.num_rows);
-    if (request.sample_fraction > 0 && request.sample_fraction < 1.0) {
-      // Approximate fetch: keep every k-th RowBlock's rows.
-      const auto stride = static_cast<uint64_t>(
-          std::lround(1.0 / request.sample_fraction));
-      const uint64_t block = std::max<uint64_t>(interm.row_block_size, 1);
-      for (uint64_t i = 0; i < n; ++i) {
-        if ((i / block) % stride == 0) rows.push_back(i);
-      }
-      if (rows.empty()) rows.push_back(0);
-    } else {
-      rows.resize(n);
-      for (uint64_t i = 0; i < n; ++i) rows[i] = i;
-    }
-  }
+  MISTIQUE_RETURN_NOT_OK(ResolveRows(interm, request, &rows));
 
   const bool materialized =
       !interm.columns.empty() &&
@@ -1391,14 +1735,6 @@ Result<FetchResult> Mistique::FetchLocked(const FetchRequest& request,
         "intermediate is not materialized");
   }
 
-  // Re-run execution mutates shared state (pipeline transformers, network
-  // weights via checkpoint reload) and may trigger materialization, so it
-  // requires the exclusive lock.
-  if (!exclusive && !use_read) {
-    *needs_exclusive = true;
-    return FetchResult{};
-  }
-
   out.column_names.reserve(col_idx.size());
   for (size_t i : col_idx) out.column_names.push_back(interm.columns[i].name);
   out.row_ids = rows;
@@ -1424,11 +1760,7 @@ Result<FetchResult> Mistique::FetchLocked(const FetchRequest& request,
       if (!recoverable) return read_status;
       // Checksum failure on the read path (the store already quarantined
       // the partition) or a chunk lost to an earlier quarantine: heal by
-      // re-running the model under the exclusive lock.
-      if (!exclusive) {
-        *needs_exclusive = true;
-        return FetchResult{};
-      }
+      // re-running the model.
       MISTIQUE_RETURN_NOT_OK(HandleCorruptionsLocked(/*scan_all=*/false));
       out.columns.clear();
       use_read = false;
@@ -1464,7 +1796,7 @@ Result<FetchResult> Mistique::FetchLocked(const FetchRequest& request,
   // Rerun-based self-healing: a corruption demoted this intermediate, and
   // the re-run that just served the query can re-materialize it so future
   // reads come off storage again.
-  if (!use_read && exclusive && IsHealPending(model_id, interm_index)) {
+  if (!use_read && IsHealPending(model_id, interm_index)) {
     obs::TraceSpan span("materialize");
     MISTIQUE_RETURN_NOT_OK(MaterializeColumns(model_id, interm_index, {}));
     MISTIQUE_RETURN_NOT_OK(PersistIntermediateUpdate(model_id, interm_index));
@@ -1495,6 +1827,11 @@ Result<FetchResult> Mistique::FetchLocked(const FetchRequest& request,
     }
   }
 
+  if (out.materialized_now) {
+    // Future snapshot readers should see the freshly materialized columns.
+    PublishLocked({model_id});
+  }
+
   if (obs::QueryTrace* t = obs::CurrentTrace()) {
     t->materialized_now = out.materialized_now;
   }
@@ -1512,28 +1849,31 @@ Result<ScanResult> Mistique::Scan(const ScanRequest& request) {
   bool rerun_fallback = false;
   uint64_t num_row_blocks = 0;
 
-  // Phase 1 (shared lock): resolve the predicate column and, when it is
-  // materialized, run the zone-map scan in parallel with other readers.
-  // The unmaterialized fallback and the output-column fetch go through
-  // Fetch, which takes its own lock (the scan as a whole is not atomic
-  // against a concurrent materialization; each phase individually is).
+  // Phase 1 (pinned snapshot): resolve the predicate column and, when it
+  // is materialized, run the zone-map scan in parallel with other readers
+  // and the writer. The unmaterialized fallback and the output-column
+  // fetch go through Fetch, which pins its own snapshot (the scan as a
+  // whole is not atomic against a concurrent publish; each phase
+  // individually is).
   {
-    std::shared_lock<std::shared_mutex> lock(rw_mutex_);
-    MISTIQUE_ASSIGN_OR_RETURN(ModelId model_id,
-                              metadata_.FindModel(request.project,
-                                                  request.model));
-    MISTIQUE_ASSIGN_OR_RETURN(
-        IntermediateInfo * interm,
-        metadata_.FindIntermediate(model_id, request.intermediate));
-    MISTIQUE_ASSIGN_OR_RETURN(ModelInfo * scan_model,
-                              metadata_.GetModel(model_id));
-    const size_t scan_interm_idx =
-        static_cast<size_t>(interm - scan_model->intermediates.data());
-    {
-      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-      interm->n_query++;
+    obs::TraceSpan pin_span("snapshot_pin");
+    mvcc::ReadPin pin = snapshots_.Pin();
+    pin_span.End();
+    if (!pin) return Status::Internal("no published catalog snapshot");
+    const auto* snap = static_cast<const EngineSnapshot*>(pin.state().get());
+    auto name_it = snap->by_name.find(request.project + "." + request.model);
+    if (name_it == snap->by_name.end()) {
+      return Status::NotFound("unknown model " + request.project + "." +
+                              request.model);
     }
-    LogNoteQuery(model_id, scan_interm_idx);
+    const ModelId model_id = name_it->second;
+    const ModelInfo& scan_model = *snap->models.at(model_id).info;
+    MISTIQUE_ASSIGN_OR_RETURN(
+        size_t scan_interm_idx,
+        FindIntermediateIndex(scan_model, request.intermediate));
+    const IntermediateInfo* interm =
+        &scan_model.intermediates[scan_interm_idx];
+    NotePendingQuery(model_id, scan_interm_idx);
 
     size_t pidx = interm->columns.size();
     for (size_t i = 0; i < interm->columns.size(); ++i) {

@@ -7,7 +7,6 @@
 #include <mutex>
 #include <optional>
 #include <set>
-#include <shared_mutex>
 #include <string>
 #include <unordered_set>
 #include <utility>
@@ -17,9 +16,11 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/cost_model.h"
+#include "core/engine_snapshot.h"
 #include "dedup/deduplicator.h"
 #include "durability/wal.h"
 #include "metadata/metadata_db.h"
+#include "mvcc/snapshot_manager.h"
 #include "nn/network.h"
 #include "pipeline/stage.h"
 #include "quantize/quantizer.h"
@@ -146,10 +147,9 @@ struct ImportIntermediate {
   std::vector<std::vector<double>> columns;
 };
 
-/// Lock-consistent snapshot of the catalog's shape (no chunk ids or
-/// quantization tables): what a rebalance peer needs to stream a model
-/// out with ordinary fetches. Mirrors wire::CatalogInfo without making
-/// core depend on net.
+/// Snapshot of the catalog's shape (no chunk ids or quantization tables):
+/// what a rebalance peer needs to stream a model out with ordinary
+/// fetches. Mirrors wire::CatalogInfo without making core depend on net.
 struct CatalogSummary {
   struct Intermediate {
     std::string name;
@@ -172,13 +172,23 @@ struct CatalogSummary {
 /// passes), the DataStore (quantization, dedup, partitions, buffer pool,
 /// disk), the MetadataDb, and the ChunkReader with its cost model (Fig. 3).
 ///
-/// Concurrency (docs/CONCURRENCY.md): Fetch/GetIntermediates/Scan that
-/// resolve to the *read* path run under a shared lock, so any number of
-/// sessions can query materialized intermediates in parallel. Everything
-/// that mutates engine state — logging, re-run execution (model executors
-/// are stateful), adaptive materialization, delete/vacuum, catalog saves —
-/// runs under the exclusive side of the same lock. A Fetch that needs the
-/// re-run path transparently retries under the exclusive lock.
+/// Concurrency (docs/MVCC.md, docs/CONCURRENCY.md): the engine is MVCC —
+/// readers and the writer never contend on a catalog lock. Every catalog
+/// mutation (logging, import, delete, materialization, corruption
+/// demotion) runs under the single `writer_mutex_`, stages privately
+/// against the live MetadataDb, and publishes an immutable EngineSnapshot
+/// through `snapshots_` with one atomic epoch bump. Fetch/Scan/
+/// ExportCatalog pin the current snapshot at admission (mvcc::ReadPin) and
+/// serve from that frozen view — a query running while training logs new
+/// checkpoints sees byte-identical pre-publish data. Publish seals every
+/// staged partition first, so snapshots only reference immutable sealed
+/// chunks and reads never touch the writer's open partitions. A Fetch
+/// that needs the re-run executor (stateful) or adaptive materialization
+/// drops its pin and re-enters through the writer mutex. Registered
+/// models become durable via a kModelAdd catalog-WAL record appended just
+/// before the in-memory publish: a crash mid-ingest recovers to the last
+/// published epoch, leaving only orphan chunks that the next Open derives
+/// as dead.
 class Mistique {
  public:
   Mistique() = default;
@@ -190,13 +200,16 @@ class Mistique {
   /// Runs `pipeline` end to end and logs every stage output as an
   /// intermediate of model `pipeline->name()` under `project`. The
   /// pipeline object must outlive this Mistique (it is the stored
-  /// "transformer" used for re-runs).
+  /// "transformer" used for re-runs). The model becomes visible to
+  /// readers atomically at the end (stage → seal → publish); on error the
+  /// staged state is rolled back and readers never saw it.
   Result<ModelId> LogPipeline(Pipeline* pipeline, const std::string& project);
 
   /// Runs `network` forward over `input` and logs every layer's
   /// activations under `project`.`model_name`. The network and input must
   /// outlive this Mistique; the input doubles as the re-run data source
-  /// (the paper pre-fetches DNN inputs into memory).
+  /// (the paper pre-fetches DNN inputs into memory). Publishes atomically,
+  /// like LogPipeline.
   Result<ModelId> LogNetwork(Network* network,
                              std::shared_ptr<const Tensor> input,
                              const std::string& project,
@@ -218,8 +231,8 @@ class Mistique {
   Status AttachNetwork(const std::string& project, const std::string& name,
                        Network* network, std::shared_ptr<const Tensor> input);
 
-  /// Snapshots the catalog's shape under the shared lock (safe against
-  /// concurrent logging/materialization).
+  /// Snapshots the catalog's shape from the pinned MVCC snapshot (safe
+  /// against concurrent logging/materialization, never blocks).
   CatalogSummary ExportCatalog() const;
 
   /// Registers `project`.`name` and stores every intermediate's columns at
@@ -235,12 +248,14 @@ class Mistique {
 
   /// Deletes a model from the catalog. Chunks shared with other models
   /// (via de-duplication) survive; chunks only this model referenced
-  /// become dead and are reclaimed by the next Vacuum().
+  /// become dead and are reclaimed by the next Vacuum(). Readers pinned
+  /// to an older snapshot keep seeing the model until their pins drop.
   Status DeleteModel(const std::string& project, const std::string& name);
 
   /// Rewrites sealed partitions to drop dead chunks left by DeleteModel,
   /// deleting partitions that become empty. Returns reclaimed compressed
-  /// bytes.
+  /// bytes. Waits for readers pinned to pre-delete snapshots to drain
+  /// first (they may still reference the dead chunks).
   Result<uint64_t> Vacuum();
 
   /// Fetches an intermediate, deciding read-vs-re-run via the cost model
@@ -274,12 +289,25 @@ class Mistique {
   static Result<FetchRequest> ParseIntermediateKeys(
       const std::vector<std::string>& keys, uint64_t n_ex = 0);
 
+  /// The writer's live catalog. Mutable access is for the single-threaded
+  /// setup/verification paths (tests, benches); concurrent readers go
+  /// through the MVCC snapshot, never through here.
   MetadataDb& metadata() { return metadata_; }
   const MetadataDb& metadata() const { return metadata_; }
   DataStore& store() { return store_; }
   CostModel& cost_model() { return cost_model_; }
   Deduplicator& dedup() { return *dedup_; }
   const MistiqueOptions& options() const { return options_; }
+
+  /// Current MVCC publish epoch (bumps on every catalog publish). Distinct
+  /// from the durable WAL epoch: this one is in-process and monotonically
+  /// counts publishes since Open (docs/MVCC.md). Service layers use it to
+  /// guard session caches against concurrent catalog changes.
+  uint64_t CurrentEpoch() const { return snapshots_.epoch(); }
+
+  /// Snapshot-layer introspection (pinned readers, retired snapshots,
+  /// reclaim counters) for tests and benches.
+  const mvcc::SnapshotManager& snapshots() const { return snapshots_; }
 
   /// Adjusts the ADAPTIVE materialization threshold at runtime (the Fig. 10
   /// experiment sweeps γ_min after logging).
@@ -321,12 +349,28 @@ class Mistique {
                      const std::vector<double>& values, uint64_t first_row,
                      uint64_t group);
 
-  /// Reads columns [read path of Alg. 3].
+  /// Staging halves of the ingest paths: register the model and store its
+  /// chunks privately (readers cannot see them — the snapshot is only
+  /// rebuilt by the commit). `*staged` is set as soon as the model id
+  /// exists so the caller can AbortStagedModelLocked on failure. All
+  /// require writer_mutex_.
+  Status StagePipeline(Pipeline* pipeline, const std::string& project,
+                       ModelId* staged);
+  Status StageNetwork(Network* network, std::shared_ptr<const Tensor> input,
+                      const std::string& project,
+                      const std::string& model_name, ModelId* staged);
+  Status StageImport(const std::string& project, const std::string& name,
+                     const std::vector<ImportIntermediate>& intermediates,
+                     ModelId* staged);
+
+  /// Reads columns [read path of Alg. 3]. Safe off a pinned snapshot: only
+  /// touches immutable catalog state and the thread-safe DataStore.
   Status ReadColumns(const ModelInfo& model, const IntermediateInfo& interm,
                      const std::vector<size_t>& column_indices,
                      const std::vector<uint64_t>& rows, FetchResult* out);
 
   /// Re-runs the model to recreate the intermediate [re-run path].
+  /// Requires writer_mutex_ (executors are stateful).
   Status RerunColumns(ModelId model_id, size_t interm_index,
                       const std::vector<size_t>& column_indices,
                       const std::vector<uint64_t>& rows, FetchResult* out);
@@ -341,14 +385,43 @@ class Mistique {
   static uint64_t EstimateEncodedBytes(const IntermediateInfo& interm,
                                        size_t num_columns = 0);
 
-  /// Fetch body. Runs under rw_mutex_ held shared (`exclusive` false) or
-  /// exclusive (`exclusive` true). When the request needs the exclusive
-  /// lock (re-run execution or adaptive materialization) and only the
-  /// shared lock is held, sets *needs_exclusive and returns an empty
-  /// result; the caller retries exclusively. `count_query` guards the
-  /// n_query statistic so an escalated request is counted once.
-  Result<FetchResult> FetchLocked(const FetchRequest& request, bool exclusive,
-                                  bool count_query, bool* needs_exclusive);
+  /// Lock-free fetch against a pinned snapshot (`epoch` = the pin's
+  /// epoch, guarding the result-cache insert against concurrent
+  /// publishes). Handles the read path end to end; when the request
+  /// needs the writer (re-run execution, adaptive materialization, or a
+  /// corruption demotion) it sets *needs_writer and returns an empty
+  /// result so Fetch re-enters through writer_mutex_.
+  Result<FetchResult> FetchSnapshot(const EngineSnapshot& snap,
+                                    uint64_t epoch,
+                                    const FetchRequest& request,
+                                    bool* needs_writer);
+
+  /// Writer-side fetch on the live catalog (re-run, heal, adaptive
+  /// materialization; publishes when the catalog changed). Requires
+  /// writer_mutex_. The query was already counted by the snapshot pass.
+  Result<FetchResult> FetchWriterLocked(const FetchRequest& request);
+
+  /// Rebuilds and publishes the EngineSnapshot from the live catalog.
+  /// ModelInfo copies are reused from published_cache_ unless the id is in
+  /// `dirty` (copy-on-write at model granularity). Requires writer_mutex_.
+  void PublishLocked(const std::unordered_set<ModelId>& dirty);
+
+  /// Durable half of publishing a freshly staged model: seal staged
+  /// partitions, append the kModelAdd WAL record, publish. A crash before
+  /// the WAL append leaves no catalog trace (orphan chunks only).
+  /// Requires writer_mutex_.
+  Status CommitStagedModelLocked(ModelId id);
+
+  /// Best-effort rollback of a model whose staging failed before commit:
+  /// drops its chunk references (now dead), forgets them in dedup, removes
+  /// the catalog entry and executor registration. Requires writer_mutex_.
+  void AbortStagedModelLocked(ModelId id);
+
+  /// Reader-side query accounting: bumps the pending n_query side table
+  /// (stats_mutex_) and appends the non-durable WAL record. Writers fold
+  /// the side table into the live catalog via FoldQueryStatsLocked.
+  void NotePendingQuery(ModelId model_id, size_t interm_index);
+  void FoldQueryStatsLocked();
 
   /// Invalidate cached results for one model (called on materialization).
   void InvalidateCache();
@@ -358,31 +431,31 @@ class Mistique {
 
   /// Drains the store's quarantine queue and demotes every catalog column
   /// referencing a chunk the store no longer has (materialized=false,
-  /// chunk lists cleared), appending durable WAL records. With `scan_all`
-  /// the catalog is checked even without pending events (Open-time
-  /// invariant repair). Requires rw_mutex_ exclusive.
+  /// chunk lists cleared), appending durable WAL records and publishing
+  /// the demoted models. With `scan_all` the catalog is checked even
+  /// without pending events (Open-time invariant repair). Requires
+  /// writer_mutex_.
   Status HandleCorruptionsLocked(bool scan_all);
 
   /// Seals open partitions, then WAL-logs the current catalog entry of one
-  /// intermediate (adaptive materialization / heal). Requires rw_mutex_
-  /// exclusive.
+  /// intermediate (adaptive materialization / heal). Requires
+  /// writer_mutex_.
   Status PersistIntermediateUpdate(ModelId model_id, size_t interm_index);
 
   /// True while (model, interm) awaits re-materialization after a
-  /// corruption demotion. Requires rw_mutex_ (shared suffices).
+  /// corruption demotion. Requires writer_mutex_.
   bool IsHealPending(ModelId model_id, size_t interm_index) const;
   /// Marks (model, interm) re-materialized; partitions with nothing left
-  /// pending count as healed. Requires rw_mutex_ exclusive.
+  /// pending count as healed. Requires writer_mutex_.
   void NoteIntermediateHealed(ModelId model_id, size_t interm_index);
 
   /// dead_chunks_ = chunks in the store no catalog column references
   /// (orphans from a crash between seal and WAL append, or from deletions
-  /// never vacuumed). Requires rw_mutex_ exclusive, after
-  /// RebuildChunkRefs.
+  /// never vacuumed). Requires writer_mutex_, after RebuildChunkRefs.
   void DeriveDeadChunksLocked();
 
   /// Appends one n_query record; never fails the query (stat loss on
-  /// error is acceptable).
+  /// error is acceptable). Thread-safe (the WAL locks internally).
   void LogNoteQuery(ModelId model_id, size_t interm_index);
 
   MistiqueOptions options_;
@@ -395,17 +468,29 @@ class Mistique {
   std::unordered_map<ModelId, Pipeline*> pipelines_;
   std::unordered_map<ModelId, DnnSource> networks_;
 
-  /// Engine-level reader/writer lock: shared for read-path queries,
-  /// exclusive for logging, re-runs, materialization, delete/vacuum.
-  mutable std::shared_mutex rw_mutex_;
-  /// Guards the small mutable statistics touched by concurrent shared-lock
-  /// readers: the query-result cache and IntermediateInfo::n_query
-  /// counters. Leaf lock — never held while acquiring rw_mutex_.
+  /// Single-writer mutex: logging, re-runs, materialization, delete/
+  /// vacuum, catalog saves. Readers never take it — they pin snapshots_.
+  std::mutex writer_mutex_;
+  /// Epoch-pinned immutable catalog snapshots (docs/MVCC.md). mutable so
+  /// const readers (ExportCatalog) can pin.
+  mutable mvcc::SnapshotManager snapshots_;
+  /// Last published ModelInfo copy per model, reused across publishes for
+  /// models the publish did not touch. Guarded by writer_mutex_.
+  std::unordered_map<ModelId, std::shared_ptr<const ModelInfo>>
+      published_cache_;
+
+  /// Guards the small mutable state touched by concurrent snapshot
+  /// readers: the query-result cache and the pending n_query side table.
+  /// Leaf lock — never held while acquiring writer_mutex_.
   mutable std::mutex stats_mutex_;
 
   // Session result cache (LRU); hit results are returned by value with
   // from_cache set. Guarded by stats_mutex_.
   LruCache<uint64_t, FetchResult> query_cache_;
+
+  // Reader-side n_query increments awaiting the next writer fold, keyed
+  // (model_id << 32 | interm_index). Guarded by stats_mutex_.
+  std::unordered_map<uint64_t, uint64_t> pending_queries_;
 
   // How many catalog references each chunk has (dedup shares chunks across
   // columns and models); chunks at zero references await Vacuum().
@@ -413,14 +498,13 @@ class Mistique {
   std::unordered_set<ChunkId> dead_chunks_;
 
   // Catalog write-ahead log: mutations since the last snapshot, replayed
-  // by Open. Internally synchronized; rotation runs under rw_mutex_
-  // exclusive while appends run under either side.
+  // by Open. Internally synchronized; rotation runs under writer_mutex_
+  // while reader n_query appends may race it safely.
   WriteAheadLog wal_;
   std::vector<std::string> recovery_warnings_;
   std::atomic<uint64_t> partitions_healed_{0};
   // Quarantined-but-unhealed partitions -> the (model, interm) entries
-  // demoted on their behalf. Guarded by rw_mutex_ exclusive (IsHealPending
-  // reads under at least shared).
+  // demoted on their behalf. Guarded by writer_mutex_.
   std::unordered_map<PartitionId, std::set<std::pair<ModelId, size_t>>>
       heal_pending_;
 

@@ -23,6 +23,11 @@ const std::vector<std::string>& FaultPointLabels() {
       // Mistique::SaveCatalog: after the snapshot landed, before the WAL
       // is rotated — the window where the WAL still holds the old epoch.
       "wal.rotate",
+      // MVCC publish (Mistique::CommitStagedModelLocked): after the staged
+      // partitions were sealed, before the durable ModelAdd WAL record —
+      // the window where a crash leaves orphan chunks but no catalog
+      // trace, so reopening recovers to the previous published epoch.
+      "mvcc.publish",
   };
   return kLabels;
 }

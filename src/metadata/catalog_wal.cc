@@ -29,6 +29,12 @@ std::vector<uint8_t> EncodeModelDelete(const std::string& project,
   return w.bytes();
 }
 
+std::vector<uint8_t> EncodeModelAdd(const ModelInfo& model) {
+  ByteWriter w;
+  SaveModelInfo(&w, model);
+  return w.bytes();
+}
+
 Result<CatalogWalReplayStats> ApplyCatalogWal(
     const std::vector<WriteAheadLog::Record>& records, MetadataDb* db) {
   CatalogWalReplayStats stats;
@@ -73,6 +79,19 @@ Result<CatalogWalReplayStats> ApplyCatalogWal(
           break;
         }
         MISTIQUE_RETURN_NOT_OK(db->RemoveModel(*id));
+        stats.applied++;
+        break;
+      }
+      case CatalogWalRecordType::kModelAdd: {
+        ModelInfo model;
+        MISTIQUE_RETURN_NOT_OK(LoadModelInfo(&r, &model));
+        // A name/id collision means the snapshot already holds this model
+        // (crash between snapshot rename and log rotation); the record's
+        // effects are present, so skipping is the correct recovery.
+        if (!db->InstallModel(std::move(model)).ok()) {
+          stats.skipped++;
+          break;
+        }
         stats.applied++;
         break;
       }

@@ -24,11 +24,20 @@ namespace mistique {
 ///                        heal (durable).
 ///   kModelDelete         [string project][string name] (durable).
 ///   kVacuumDone          empty marker: storage was compacted (durable).
+///   kModelAdd            [ModelInfo] — the full catalog entry of a model
+///                        registered after the snapshot (LogPipeline /
+///                        LogNetwork / ImportModel). Appended durably at
+///                        MVCC publish time, after the staged partitions
+///                        were sealed, so a crash between stage and
+///                        publish leaves no catalog trace — only orphan
+///                        chunks reclaimed as dead at the next Open
+///                        (docs/MVCC.md).
 enum class CatalogWalRecordType : uint8_t {
   kNoteQuery = 1,
   kIntermediateUpdate = 2,
   kModelDelete = 3,
   kVacuumDone = 4,
+  kModelAdd = 5,
 };
 
 std::vector<uint8_t> EncodeNoteQuery(ModelId model, uint32_t interm_index);
@@ -37,6 +46,7 @@ std::vector<uint8_t> EncodeIntermediateUpdate(ModelId model,
                                               const IntermediateInfo& interm);
 std::vector<uint8_t> EncodeModelDelete(const std::string& project,
                                        const std::string& name);
+std::vector<uint8_t> EncodeModelAdd(const ModelInfo& model);
 
 struct CatalogWalReplayStats {
   size_t applied = 0;

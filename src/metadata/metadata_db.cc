@@ -48,6 +48,22 @@ Result<ModelId> MetadataDb::RegisterModel(const std::string& project,
   return id;
 }
 
+Status MetadataDb::InstallModel(ModelInfo model) {
+  const std::string full = model.project + "." + model.name;
+  if (by_name_.count(full)) {
+    return Status::AlreadyExists("model already registered: " + full);
+  }
+  if (models_.count(model.id)) {
+    return Status::AlreadyExists("model id already in use: " +
+                                 std::to_string(model.id));
+  }
+  if (model.id >= next_id_) next_id_ = model.id + 1;
+  by_name_[full] = model.id;
+  const ModelId id = model.id;
+  models_.emplace(id, std::move(model));
+  return Status::OK();
+}
+
 Result<ModelInfo*> MetadataDb::GetModel(ModelId id) {
   auto it = models_.find(id);
   if (it == models_.end()) {
@@ -214,21 +230,41 @@ Status LoadIntermediateInfo(ByteReader* r, IntermediateInfo* interm) {
   return Status::OK();
 }
 
+void SaveModelInfo(ByteWriter* w, const ModelInfo& model) {
+  w->PutU32(model.id);
+  w->PutString(model.project);
+  w->PutString(model.name);
+  w->PutU8(static_cast<uint8_t>(model.kind));
+  w->PutF64(model.model_load_sec);
+  w->PutU32(static_cast<uint32_t>(model.intermediates.size()));
+  for (const IntermediateInfo& interm : model.intermediates) {
+    SaveIntermediateInfo(w, interm);
+  }
+}
+
+Status LoadModelInfo(ByteReader* r, ModelInfo* model) {
+  uint8_t kind = 0;
+  uint32_t num_interms = 0;
+  MISTIQUE_RETURN_NOT_OK(r->GetU32(&model->id));
+  MISTIQUE_RETURN_NOT_OK(r->GetString(&model->project));
+  MISTIQUE_RETURN_NOT_OK(r->GetString(&model->name));
+  MISTIQUE_RETURN_NOT_OK(r->GetU8(&kind));
+  MISTIQUE_RETURN_NOT_OK(r->GetF64(&model->model_load_sec));
+  MISTIQUE_RETURN_NOT_OK(r->GetU32(&num_interms));
+  model->kind = static_cast<ModelKind>(kind);
+  model->intermediates.resize(num_interms);
+  for (IntermediateInfo& interm : model->intermediates) {
+    MISTIQUE_RETURN_NOT_OK(LoadIntermediateInfo(r, &interm));
+  }
+  return Status::OK();
+}
+
 void MetadataDb::Save(ByteWriter* w) const {
   w->PutU32(kCatalogMagic);
   w->PutU32(next_id_);
   w->PutU32(static_cast<uint32_t>(models_.size()));
   for (ModelId id : ListModels()) {
-    const ModelInfo& model = models_.at(id);
-    w->PutU32(model.id);
-    w->PutString(model.project);
-    w->PutString(model.name);
-    w->PutU8(static_cast<uint8_t>(model.kind));
-    w->PutF64(model.model_load_sec);
-    w->PutU32(static_cast<uint32_t>(model.intermediates.size()));
-    for (const IntermediateInfo& interm : model.intermediates) {
-      SaveIntermediateInfo(w, interm);
-    }
+    SaveModelInfo(w, models_.at(id));
   }
 }
 
@@ -245,19 +281,7 @@ Status MetadataDb::Load(ByteReader* r) {
   MISTIQUE_RETURN_NOT_OK(r->GetU32(&num_models));
   for (uint32_t m = 0; m < num_models; ++m) {
     ModelInfo model;
-    uint8_t kind = 0;
-    uint32_t num_interms = 0;
-    MISTIQUE_RETURN_NOT_OK(r->GetU32(&model.id));
-    MISTIQUE_RETURN_NOT_OK(r->GetString(&model.project));
-    MISTIQUE_RETURN_NOT_OK(r->GetString(&model.name));
-    MISTIQUE_RETURN_NOT_OK(r->GetU8(&kind));
-    MISTIQUE_RETURN_NOT_OK(r->GetF64(&model.model_load_sec));
-    MISTIQUE_RETURN_NOT_OK(r->GetU32(&num_interms));
-    model.kind = static_cast<ModelKind>(kind);
-    model.intermediates.resize(num_interms);
-    for (IntermediateInfo& interm : model.intermediates) {
-      MISTIQUE_RETURN_NOT_OK(LoadIntermediateInfo(r, &interm));
-    }
+    MISTIQUE_RETURN_NOT_OK(LoadModelInfo(r, &model));
     const std::string full = model.project + "." + model.name;
     by_name_[full] = model.id;
     models_.emplace(model.id, std::move(model));

@@ -120,6 +120,13 @@ Result<ColumnKey> ParseColumnKey(const std::string& key);
 void SaveIntermediateInfo(ByteWriter* w, const IntermediateInfo& interm);
 Status LoadIntermediateInfo(ByteReader* r, IntermediateInfo* interm);
 
+/// Serializes / parses one model's full catalog entry (id, identity, and
+/// every intermediate). Shared between the whole-catalog snapshot and the
+/// catalog WAL's ModelAdd records (the durable half of an MVCC publish,
+/// docs/MVCC.md).
+void SaveModelInfo(ByteWriter* w, const ModelInfo& model);
+Status LoadModelInfo(ByteReader* r, ModelInfo* model);
+
 /// The central repository tying MISTIQUE's components together (Fig. 3):
 /// which models exist, which intermediates/columns they produced, where
 /// each column's chunks live, and the statistics the cost model needs.
@@ -132,6 +139,11 @@ class MetadataDb {
   /// Registers a model; AlreadyExists if (project, name) is taken.
   Result<ModelId> RegisterModel(const std::string& project,
                                 const std::string& name, ModelKind kind);
+
+  /// Installs a fully populated model under its existing id (catalog-WAL
+  /// ModelAdd replay). AlreadyExists if the id or (project, name) is
+  /// taken; the id allocator is advanced past the installed id.
+  Status InstallModel(ModelInfo model);
 
   /// Mutable access for the logging path; NotFound for unknown ids.
   Result<ModelInfo*> GetModel(ModelId id);

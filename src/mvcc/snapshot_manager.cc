@@ -1,0 +1,167 @@
+#include "mvcc/snapshot_manager.h"
+
+#include <limits>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace mistique {
+namespace mvcc {
+
+namespace {
+
+/// mistique_mvcc_* instruments, registered once per process so metric
+/// expositions list them from the first scrape (PR 5 registry).
+struct MvccMetrics {
+  obs::Gauge* current_epoch;
+  obs::Gauge* pinned_readers;
+  obs::Gauge* retired_snapshots;
+  obs::Counter* publishes_total;
+  obs::Counter* snapshots_reclaimed_total;
+  MvccMetrics() {
+    obs::MetricsRegistry& reg = obs::GlobalMetrics();
+    current_epoch = reg.GetGauge(
+        "mistique_mvcc_current_epoch",
+        "Epoch of the most recently published engine snapshot.");
+    pinned_readers = reg.GetGauge(
+        "mistique_mvcc_pinned_readers",
+        "Readers currently holding a snapshot pin (any epoch).");
+    retired_snapshots = reg.GetGauge(
+        "mistique_mvcc_retired_snapshots",
+        "Superseded snapshots kept alive for still-pinned readers.");
+    publishes_total = reg.GetCounter(
+        "mistique_mvcc_publishes_total",
+        "Snapshot publishes (atomic epoch bumps) since process start.");
+    snapshots_reclaimed_total = reg.GetCounter(
+        "mistique_mvcc_snapshots_reclaimed_total",
+        "Retired snapshots whose last pin dropped and whose state was "
+        "released by the deferred reclaimer.");
+  }
+};
+
+MvccMetrics& Metrics() {
+  static MvccMetrics* metrics = new MvccMetrics;  // never destroyed
+  return *metrics;
+}
+
+}  // namespace
+
+ReadPin& ReadPin::operator=(ReadPin&& other) noexcept {
+  if (this != &other) {
+    Release();
+    manager_ = other.manager_;
+    epoch_ = other.epoch_;
+    state_ = std::move(other.state_);
+    other.manager_ = nullptr;
+    other.epoch_ = 0;
+    other.state_.reset();
+  }
+  return *this;
+}
+
+void ReadPin::Release() {
+  if (manager_ == nullptr) return;
+  SnapshotManager* manager = manager_;
+  manager_ = nullptr;
+  state_.reset();
+  manager->Unpin(epoch_);
+  epoch_ = 0;
+}
+
+SnapshotManager::SnapshotManager() { Metrics(); }
+
+uint64_t SnapshotManager::Publish(SnapshotState state) {
+  std::vector<SnapshotState> freed;
+  uint64_t new_epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (current_ != nullptr) {
+      retired_.push_back(Retired{epoch_, std::move(current_)});
+    }
+    epoch_++;
+    new_epoch = epoch_;
+    current_ = std::move(state);
+    CollectReclaimableLocked(&freed);
+    Metrics().current_epoch->Set(static_cast<int64_t>(epoch_));
+    Metrics().retired_snapshots->Set(static_cast<int64_t>(retired_.size()));
+    Metrics().publishes_total->Increment();
+  }
+  // Destroy superseded snapshot payloads outside the lock: the payload
+  // destructor may be arbitrarily heavy (a whole catalog copy).
+  freed.clear();
+  return new_epoch;
+}
+
+ReadPin SnapshotManager::Pin() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pins_[epoch_]++;
+  total_pins_++;
+  Metrics().pinned_readers->Set(static_cast<int64_t>(total_pins_));
+  return ReadPin(this, epoch_, current_);
+}
+
+uint64_t SnapshotManager::epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
+}
+
+void SnapshotManager::Unpin(uint64_t epoch) {
+  std::vector<SnapshotState> freed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = pins_.find(epoch);
+    if (it != pins_.end() && --it->second == 0) pins_.erase(it);
+    if (total_pins_ > 0) total_pins_--;
+    CollectReclaimableLocked(&freed);
+    Metrics().pinned_readers->Set(static_cast<int64_t>(total_pins_));
+    Metrics().retired_snapshots->Set(static_cast<int64_t>(retired_.size()));
+  }
+  readers_cv_.notify_all();
+  freed.clear();
+}
+
+uint64_t SnapshotManager::MinPinnedEpochLocked() const {
+  return pins_.empty() ? std::numeric_limits<uint64_t>::max()
+                       : pins_.begin()->first;
+}
+
+void SnapshotManager::CollectReclaimableLocked(
+    std::vector<SnapshotState>* freed) {
+  // A retired entry at epoch E was the current snapshot for pins taken at
+  // epochs <= E; it is reclaimable once every such pin is gone.
+  const uint64_t min_pinned = MinPinnedEpochLocked();
+  auto it = retired_.begin();
+  while (it != retired_.end()) {
+    if (it->epoch < min_pinned) {
+      freed->push_back(std::move(it->state));
+      it = retired_.erase(it);
+      reclaimed_++;
+      Metrics().snapshots_reclaimed_total->Increment();
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SnapshotManager::WaitForReadersBefore(uint64_t epoch) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  readers_cv_.wait(lock, [&] { return MinPinnedEpochLocked() >= epoch; });
+}
+
+uint64_t SnapshotManager::pinned_readers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_pins_;
+}
+
+uint64_t SnapshotManager::retired_snapshots() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return retired_.size();
+}
+
+uint64_t SnapshotManager::snapshots_reclaimed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reclaimed_;
+}
+
+}  // namespace mvcc
+}  // namespace mistique

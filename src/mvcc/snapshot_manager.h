@@ -1,0 +1,131 @@
+#ifndef MISTIQUE_MVCC_SNAPSHOT_MANAGER_H_
+#define MISTIQUE_MVCC_SNAPSHOT_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace mistique {
+namespace mvcc {
+
+/// Type-erased immutable snapshot payload. The engine publishes a
+/// `std::shared_ptr<const EngineSnapshot>` cast to void; readers cast it
+/// back. Erasing the type here keeps mvcc free of core dependencies (core
+/// depends on mvcc, not the other way around).
+using SnapshotState = std::shared_ptr<const void>;
+
+class SnapshotManager;
+
+/// RAII pin on one published snapshot epoch (docs/MVCC.md).
+///
+/// While a ReadPin is alive, the snapshot it references is immutable and
+/// will not be reclaimed: the pin itself holds a shared_ptr to the state,
+/// and the manager's deferred reclaimer will not drop its own reference to
+/// a retired snapshot until every pin at or below its epoch is gone.
+/// Movable, not copyable; releasing (or destroying) the pin wakes writers
+/// blocked in WaitForReadersBefore.
+class ReadPin {
+ public:
+  ReadPin() = default;
+  ReadPin(ReadPin&& other) noexcept { *this = std::move(other); }
+  ReadPin& operator=(ReadPin&& other) noexcept;
+  ReadPin(const ReadPin&) = delete;
+  ReadPin& operator=(const ReadPin&) = delete;
+  ~ReadPin() { Release(); }
+
+  /// Epoch this pin froze. 0 = empty pin.
+  uint64_t epoch() const { return epoch_; }
+  /// The pinned snapshot payload (null for an empty pin).
+  const SnapshotState& state() const { return state_; }
+  explicit operator bool() const { return manager_ != nullptr; }
+
+  /// Drops the pin early (idempotent).
+  void Release();
+
+ private:
+  friend class SnapshotManager;
+  ReadPin(SnapshotManager* manager, uint64_t epoch, SnapshotState state)
+      : manager_(manager), epoch_(epoch), state_(std::move(state)) {}
+
+  SnapshotManager* manager_ = nullptr;
+  uint64_t epoch_ = 0;
+  SnapshotState state_;
+};
+
+/// Epoch-based snapshot lifetimes for single-writer / many-reader state
+/// (docs/MVCC.md):
+///
+///  - readers call Pin() and get the current snapshot plus its epoch —
+///    one mutex acquisition, no I/O, never blocked by a writer;
+///  - the writer stages freely in private state, then calls Publish()
+///    with a fresh immutable snapshot: one atomic epoch bump, after which
+///    every new Pin sees the new state while existing pins keep theirs;
+///  - superseded snapshots go on a retired list and are reclaimed (the
+///    manager's reference dropped, running the payload destructor once
+///    the last pin lets go) only when no pin at or below their epoch
+///    remains — the deferred reclaimer;
+///  - WaitForReadersBefore(E) blocks the caller until every pin older
+///    than epoch E has been released. Vacuum uses it as a barrier before
+///    rewriting partitions that old snapshots may still reference.
+///
+/// Thread-safe. The epoch counts in-process publishes; durability pairs
+/// each published catalog state with the catalog WAL (docs/DURABILITY.md),
+/// not with this counter.
+class SnapshotManager {
+ public:
+  SnapshotManager();
+  SnapshotManager(const SnapshotManager&) = delete;
+  SnapshotManager& operator=(const SnapshotManager&) = delete;
+
+  /// Atomically replaces the current snapshot and bumps the epoch.
+  /// Returns the new epoch. The previous snapshot is retired and
+  /// reclaimed once no pin references it.
+  uint64_t Publish(SnapshotState state);
+
+  /// Pins the current snapshot. The returned pin's state is null only if
+  /// nothing was ever published.
+  ReadPin Pin();
+
+  /// Epoch of the most recent Publish (0 before the first).
+  uint64_t epoch() const;
+
+  /// Blocks until no pin with epoch < `epoch` remains. Readers never
+  /// block on the engine writer lock while pinned, so this terminates.
+  void WaitForReadersBefore(uint64_t epoch);
+
+  /// --- introspection (tests + mistique_mvcc_* gauges) ---
+  uint64_t pinned_readers() const;
+  uint64_t retired_snapshots() const;
+  uint64_t snapshots_reclaimed() const;
+
+ private:
+  friend class ReadPin;
+
+  struct Retired {
+    uint64_t epoch = 0;  ///< Last epoch at which this state was current.
+    SnapshotState state;
+  };
+
+  void Unpin(uint64_t epoch);
+  /// Moves reclaimable retired entries into `freed`. Requires mutex_.
+  void CollectReclaimableLocked(std::vector<SnapshotState>* freed);
+  /// Smallest pinned epoch, or UINT64_MAX with no pins. Requires mutex_.
+  uint64_t MinPinnedEpochLocked() const;
+
+  mutable std::mutex mutex_;
+  std::condition_variable readers_cv_;
+  uint64_t epoch_ = 0;
+  SnapshotState current_;
+  std::map<uint64_t, uint64_t> pins_;  ///< epoch -> live pin count
+  std::vector<Retired> retired_;
+  uint64_t reclaimed_ = 0;
+  uint64_t total_pins_ = 0;  ///< live pins across all epochs
+};
+
+}  // namespace mvcc
+}  // namespace mistique
+
+#endif  // MISTIQUE_MVCC_SNAPSHOT_MANAGER_H_

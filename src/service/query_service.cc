@@ -177,6 +177,7 @@ void QueryService::SubmitFetchAsync(
         [&]() -> Result<FetchResult> {
           const uint64_t epoch_before =
               cache_epoch_.load(std::memory_order_acquire);
+          const uint64_t engine_epoch_before = engine_->CurrentEpoch();
           Result<FetchResult> result = engine_->Fetch(request);
           if (!result.ok()) return result;
           if (result->materialized_now) {
@@ -187,10 +188,13 @@ void QueryService::SubmitFetchAsync(
                      !result->from_cache) {
             std::lock_guard<std::mutex> cache_lock(s->m);
             // Skip the Put if an invalidation sweep ran since we started
-            // the engine call: this result's plan/strategy metadata
-            // predates the materialization that triggered the sweep.
+            // the engine call (this result's plan/strategy metadata
+            // predates the materialization that triggered the sweep), or
+            // the engine republished its catalog meanwhile (concurrent
+            // ingest / delete — the result reflects a superseded epoch).
             if (cache_epoch_.load(std::memory_order_acquire) ==
-                epoch_before) {
+                    epoch_before &&
+                engine_->CurrentEpoch() == engine_epoch_before) {
               s->cache.Put(key, *result);
             }
           }
@@ -464,6 +468,7 @@ void QueryService::SubmitTraceFetchAsync(
           out.trace.queue_wait_sec = NowSeconds() - submit_sec;
           const uint64_t epoch_before =
               cache_epoch_.load(std::memory_order_acquire);
+          const uint64_t engine_epoch_before = engine_->CurrentEpoch();
           // Install the trace for this thread: every TraceSpan /
           // AccumSpan the engine and storage layers open during this
           // Fetch lands in out.trace.
@@ -479,7 +484,8 @@ void QueryService::SubmitTraceFetchAsync(
                      !result->from_cache) {
             std::lock_guard<std::mutex> cache_lock(s->m);
             if (cache_epoch_.load(std::memory_order_acquire) ==
-                epoch_before) {
+                    epoch_before &&
+                engine_->CurrentEpoch() == engine_epoch_before) {
               s->cache.Put(key, *result);
             }
           }

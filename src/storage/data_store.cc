@@ -83,19 +83,23 @@ PartitionId DataStore::CreatePartition() {
 }
 
 Result<ChunkId> DataStore::AddChunk(PartitionId partition, ColumnChunk chunk) {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
-  auto it = open_.find(partition);
-  if (it == open_.end()) {
-    return Status::InvalidArgument("partition " + std::to_string(partition) +
-                                   " is not open");
+  ChunkId id = 0;
+  bool needs_seal = false;
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    auto it = open_.find(partition);
+    if (it == open_.end()) {
+      return Status::InvalidArgument("partition " + std::to_string(partition) +
+                                     " is not open");
+    }
+    id = next_chunk_++;
+    logical_bytes_.fetch_add(chunk.byte_size(), std::memory_order_relaxed);
+    MISTIQUE_RETURN_NOT_OK(it->second->Add(id, std::move(chunk)));
+    chunk_partition_[id] = partition;
+    needs_seal = it->second->data_bytes() >= options_.partition_target_bytes;
   }
-  const ChunkId id = next_chunk_++;
-  logical_bytes_.fetch_add(chunk.byte_size(), std::memory_order_relaxed);
-  MISTIQUE_RETURN_NOT_OK(it->second->Add(id, std::move(chunk)));
-  chunk_partition_[id] = partition;
-  if (it->second->data_bytes() >= options_.partition_target_bytes) {
-    MISTIQUE_RETURN_NOT_OK(SealPartitionLocked(partition));
-  }
+  // Seal outside the lock: compression + file I/O must not block readers.
+  if (needs_seal) MISTIQUE_RETURN_NOT_OK(SealPartition(partition));
   return id;
 }
 
@@ -218,39 +222,54 @@ Result<std::shared_ptr<const Partition>> DataStore::LoadPartition(
 }
 
 Status DataStore::SealPartition(PartitionId id) {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
-  return SealPartitionLocked(id);
-}
+  // Phase 1 — brief exclusive: pin the open partition. It stays in open_
+  // so a concurrent GetChunk still resolves its chunks; the caller's
+  // single-writer discipline guarantees no concurrent Add relocates its
+  // storage while we serialize it.
+  std::shared_ptr<Partition> p;
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    auto it = open_.find(id);
+    if (it == open_.end()) return Status::OK();  // Already sealed.
+    p = it->second;
+  }
 
-Status DataStore::SealPartitionLocked(PartitionId id) {
-  auto it = open_.find(id);
-  if (it == open_.end()) return Status::OK();  // Already sealed.
-  std::shared_ptr<Partition> p = it->second;
-
+  // Phase 2 — unlocked: serialize, compress, write the file. Readers are
+  // unaffected: the partition is still served from open_, and the new
+  // file stays invisible until phase 3 indexes it.
   MISTIQUE_ASSIGN_OR_RETURN(const Codec* codec, GetCodec(options_.codec));
   MISTIQUE_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, p->Serialize(*codec));
-  MISTIQUE_RETURN_NOT_OK(disk_.WritePartition(id, bytes));
+  MISTIQUE_RETURN_NOT_OK(disk_.WritePartitionFileOnly(id, bytes));
+
+  // Phase 3 — brief exclusive: index the file, hand the still-decompressed
+  // partition to the buffer pool, and erase from open_ last so a
+  // concurrent reader never sees the partition neither open nor persisted.
   {
-    std::lock_guard<std::mutex> pool_lock(pool_mutex_);
-    memory_.Insert(std::shared_ptr<const Partition>(p));
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    disk_.IndexWrittenPartition(id, bytes.size());
+    {
+      std::lock_guard<std::mutex> pool_lock(pool_mutex_);
+      memory_.Insert(std::shared_ptr<const Partition>(p));
+    }
+    open_.erase(id);
   }
-  // Erase from open_ last so a concurrent reader never sees the partition
-  // neither open nor persisted.
-  open_.erase(id);
   return Status::OK();
 }
 
 Status DataStore::Flush() {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
-  // Collect ids first: SealPartitionLocked mutates open_.
+  // Collect ids first (SealPartition mutates open_), then seal each with
+  // compression and file I/O outside the lock.
   std::vector<PartitionId> ids;
-  ids.reserve(open_.size());
-  for (const auto& [id, p] : open_) {
-    (void)p;
-    ids.push_back(id);
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    ids.reserve(open_.size());
+    for (const auto& [id, p] : open_) {
+      (void)p;
+      ids.push_back(id);
+    }
   }
   for (PartitionId id : ids) {
-    MISTIQUE_RETURN_NOT_OK(SealPartitionLocked(id));
+    MISTIQUE_RETURN_NOT_OK(SealPartition(id));
   }
   return Status::OK();
 }

@@ -71,9 +71,14 @@ struct ChunkRef {
 /// readers that miss on the same sealed partition coordinate through a
 /// single-flight table so exactly one of them pays the disk read +
 /// decompression. Mutating operations (AddChunk, Seal*, Drop*, Rewrite*,
-/// RecoverIndex) take `mutex_` exclusively; callers must additionally keep
-/// them exclusive with respect to in-flight reads that hold ChunkRefs into
-/// open partitions (the Mistique layer's reader/writer lock does this).
+/// RecoverIndex) take `mutex_` exclusively for their index updates, but
+/// must be serialized against *each other* by the caller — the Mistique
+/// layer's single-writer mutex provides this, which is what lets
+/// SealPartition run compression and file I/O without holding `mutex_`.
+/// Callers must additionally keep mutators exclusive with respect to
+/// in-flight reads that hold ChunkRefs into open partitions; under MVCC
+/// (docs/MVCC.md) published snapshots reference only sealed chunks, so
+/// snapshot readers never hold such refs.
 class DataStore {
  public:
   DataStore() : memory_(0) {}
@@ -112,7 +117,11 @@ class DataStore {
   Result<PartitionId> PartitionOf(ChunkId id) const;
 
   /// Seals one open partition: serializes, compresses, persists, and moves
-  /// it into the buffer pool. No-op (OK) if already sealed.
+  /// it into the buffer pool. No-op (OK) if already sealed. Compression
+  /// and the file write run without `mutex_` held (docs/MVCC.md): the
+  /// partition stays resolvable from `open_` until the sealed file is
+  /// indexed, so concurrent readers never block on the I/O and never see
+  /// the partition neither open nor persisted.
   Status SealPartition(PartitionId id);
 
   /// Seals every open partition (called at the end of a logging session).
@@ -188,9 +197,6 @@ class DataStore {
     Status status;
     std::shared_ptr<const Partition> partition;
   };
-
-  /// Seal body; requires `mutex_` held exclusively.
-  Status SealPartitionLocked(PartitionId id);
 
   /// Returns the decompressed sealed partition `pid`, from the buffer pool
   /// or disk (single-flight).

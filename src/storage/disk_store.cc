@@ -115,15 +115,22 @@ std::string DiskStore::PathFor(PartitionId id) const {
 
 Status DiskStore::WritePartition(PartitionId id,
                                  const std::vector<uint8_t>& bytes) {
-  if (directory_.empty()) return Status::Internal("disk store not opened");
-  MISTIQUE_RETURN_NOT_OK(
-      WriteEnvelopeFileAtomic(PathFor(id), bytes, sync_, "partition"));
+  MISTIQUE_RETURN_NOT_OK(WritePartitionFileOnly(id, bytes));
+  IndexWrittenPartition(id, bytes.size());
+  return Status::OK();
+}
 
+Status DiskStore::WritePartitionFileOnly(PartitionId id,
+                                         const std::vector<uint8_t>& bytes) {
+  if (directory_.empty()) return Status::Internal("disk store not opened");
+  return WriteEnvelopeFileAtomic(PathFor(id), bytes, sync_, "partition");
+}
+
+void DiskStore::IndexWrittenPartition(PartitionId id, uint64_t payload_bytes) {
   auto it = sizes_.find(id);
   if (it != sizes_.end()) total_bytes_ -= it->second;
-  sizes_[id] = bytes.size();
-  total_bytes_ += bytes.size();
-  return Status::OK();
+  sizes_[id] = payload_bytes;
+  total_bytes_ += payload_bytes;
 }
 
 Result<std::vector<uint8_t>> DiskStore::ReadPartition(PartitionId id) const {

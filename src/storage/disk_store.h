@@ -42,6 +42,16 @@ class DiskStore {
   /// holding `bytes`. No temp file survives any error path.
   Status WritePartition(PartitionId id, const std::vector<uint8_t>& bytes);
 
+  /// The two halves of WritePartition, for callers that must not hold
+  /// their store-wide lock across file I/O (DataStore::SealPartition).
+  /// WritePartitionFileOnly performs only the atomic file write — the new
+  /// file stays invisible to readers (Contains/ReadPartition miss) until
+  /// IndexWrittenPartition registers its payload size under the caller's
+  /// lock. The caller must not write the same partition concurrently.
+  Status WritePartitionFileOnly(PartitionId id,
+                                const std::vector<uint8_t>& bytes);
+  void IndexWrittenPartition(PartitionId id, uint64_t payload_bytes);
+
   /// Reads and verifies a partition's serialized bytes. NotFound if never
   /// written, kDataLoss if the stored checksum does not match.
   Result<std::vector<uint8_t>> ReadPartition(PartitionId id) const;

@@ -209,6 +209,9 @@ TEST_F(MistiqueTradTest, QueryCountTracked) {
   req.intermediate = "pred_test";
   ASSERT_OK(mq.Fetch(req).status());
   ASSERT_OK(mq.Fetch(req).status());
+  // Snapshot readers count queries in a side table that folds into the
+  // live catalog at the next writer operation (docs/MVCC.md).
+  ASSERT_OK(mq.Flush());
   ASSERT_OK_AND_ASSIGN(const IntermediateInfo* interm,
                        std::as_const(mq.metadata())
                            .FindIntermediate(id, "pred_test"));

@@ -286,6 +286,10 @@ TEST_F(ReopenTest, WalReplayRestoresPostSnapshotQueryStats) {
       ASSERT_OK(
           mq.GetIntermediates({"zillow.P1_v0.pred_test.pred"}).status());
     }
+    // Fold the reader-side query counts into the live catalog so they are
+    // observable (Flush folds without saving the catalog — the stats'
+    // only on-disk trace stays the WAL).
+    ASSERT_OK(mq.Flush());
     n_query_before = NQueryOf(mq, "zillow", "P1_v0", "pred_test");
     EXPECT_GE(n_query_before, 3u);
     // No SaveCatalog here: the process "crashes" with stats only in the WAL.
