@@ -23,17 +23,18 @@ STORE=/tmp/mistique_quickstart/store
 smoke_init
 # Router on BASE_PORT, shards on the next three.
 BASE_PORT=$(pick_port_block "${CLUSTER_SMOKE_PORT:-7450}" 4)
-ROUTER="127.0.0.1:$BASE_PORT"
 SHARD_PIDS=("" "" "")
+SHARD_PORTS=($((BASE_PORT + 1)) $((BASE_PORT + 2)) $((BASE_PORT + 3)))
 ROUTER_PID=""
-
-shard_port() { echo $((BASE_PORT + 1 + $1)); }
 
 start_shard() {  # start_shard <index>
   local i="$1"
   spawn_server "$WORK/shard$i.log" "serving" \
-      "$CLI" "$WORK/shard$i" serve "$(shard_port "$i")" 2
+      "$CLI" "$WORK/shard$i" serve "${SHARD_PORTS[$i]}" 2
   SHARD_PIDS[$i]=$SPAWNED_PID
+  # spawn_server may have moved the shard if its picked port was stolen;
+  # the router endpoints below must name the port it actually bound.
+  SHARD_PORTS[$i]=${SPAWNED_PORT:-${SHARD_PORTS[$i]}}
 }
 
 echo "== seed store =="
@@ -58,9 +59,11 @@ echo "== start 3 shard servers + router on :$BASE_PORT =="
 for i in 0 1 2; do start_shard "$i"; done
 spawn_server "$WORK/router.log" "routing" \
     "$CLI" cluster route "$BASE_PORT" \
-    "127.0.0.1:$(shard_port 0)" "127.0.0.1:$(shard_port 1)" \
-    "127.0.0.1:$(shard_port 2)"
+    "127.0.0.1:${SHARD_PORTS[0]}" "127.0.0.1:${SHARD_PORTS[1]}" \
+    "127.0.0.1:${SHARD_PORTS[2]}"
 ROUTER_PID=$SPAWNED_PID
+BASE_PORT=${SPAWNED_PORT:-$BASE_PORT}
+ROUTER="127.0.0.1:$BASE_PORT"
 
 echo "== routed fetch is byte-identical to the oracle =="
 "$CLI" remote "$ROUTER" fetch "$KEY" 25 2>/dev/null > "$WORK/routed_fetch.csv"

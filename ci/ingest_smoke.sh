@@ -28,6 +28,8 @@ echo "== start train_serve on :$PORT ($EPOCHS epochs x $ROWS rows) =="
 spawn_server "$WORK/server.log" "serving" \
     "$CLI" "$STORE" train_serve "$PORT" 4 "$EPOCHS" "$ROWS"
 SERVER_PID=$SPAWNED_PID
+PORT=${SPAWNED_PORT:-$PORT}
+ADDR="127.0.0.1:$PORT"
 
 echo "== live queries against each checkpoint as it publishes =="
 for e in $(seq 0 $((EPOCHS - 1))); do

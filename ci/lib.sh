@@ -82,13 +82,50 @@ wait_for_marker() {
 # spawn_server <log> <ready_pattern> <cmd...>: starts <cmd...> in the
 # background with output to <log>, registers it for cleanup, and waits for
 # <ready_pattern>. The pid lands in $SPAWNED_PID.
+#
+# pick_port only probes — the server binds later, so a concurrent job can
+# grab the port in that pick-then-bind window. If the process dies before
+# readiness with a bind error in its log, the helper picks a fresh port,
+# substitutes the stale one across the command line (bare "7433" args and
+# "host:7433" endpoints), and respawns. $SPAWNED_PORT holds the re-picked
+# port, or "" when the original command line was used; callers that need
+# the port later should do PORT=${SPAWNED_PORT:-$PORT} after spawning.
 spawn_server() {
   local log="$1" pattern="$2"
   shift 2
-  "$@" > "$log" 2>&1 &
-  SPAWNED_PID=$!
-  smoke_track "$SPAWNED_PID"
-  wait_for_marker "$log" "$pattern" "$SPAWNED_PID"
+  local args=("$@") attempt stale fresh i
+  SPAWNED_PORT=""
+  for attempt in 1 2 3; do
+    "${args[@]}" > "$log" 2>&1 &
+    SPAWNED_PID=$!
+    smoke_track "$SPAWNED_PID"
+    if wait_for_marker "$log" "$pattern" "$SPAWNED_PID" 2>/dev/null; then
+      return 0
+    fi
+    # Retry only the lost bind race: the process is dead and its log names
+    # the port it could not bind. A hung-but-alive process or any other
+    # death is a real failure and falls through to the dump below.
+    stale=$(grep -o 'bind [^ :]*:[0-9]*' "$log" 2>/dev/null | tail -1 |
+            grep -o '[0-9]*$' || true)
+    if kill -0 "$SPAWNED_PID" 2>/dev/null || [[ -z "$stale" ]]; then
+      break
+    fi
+    wait "$SPAWNED_PID" 2>/dev/null || true
+    smoke_untrack "$SPAWNED_PID"
+    fresh=$(pick_port $((stale + 1)))
+    for i in "${!args[@]}"; do
+      if [[ "${args[$i]}" == "$stale" ]]; then
+        args[$i]="$fresh"
+      elif [[ "${args[$i]}" == *":$stale" ]]; then
+        args[$i]="${args[$i]%:"$stale"}:$fresh"
+      fi
+    done
+    SPAWNED_PORT="$fresh"
+    echo "port $stale was taken after picking; retrying on $fresh" >&2
+  done
+  echo "process $SPAWNED_PID never logged '$pattern'" >&2
+  cat "$log" >&2 || true
+  return 1
 }
 
 # stop_clean <pid> <log> [summary_pattern]: SIGTERM, require exit 0 (clean

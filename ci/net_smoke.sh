@@ -26,6 +26,7 @@ echo "== seed store =="
 echo "== start server on :$PORT =="
 spawn_server "$WORK/server.log" "serving" "$CLI" "$STORE" serve "$PORT" 4
 SERVER_PID=$SPAWNED_PID
+PORT=${SPAWNED_PORT:-$PORT}
 
 echo "== ping =="
 "$CLI" remote "127.0.0.1:$PORT" ping

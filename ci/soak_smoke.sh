@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Bounded soak: the randomized adversarial harness (bench/soak_harness)
+# at CI scale. Two seeds, 8 concurrent clients, crash injection ON, both
+# single-node and 3-shard cluster modes (~60s total), then a self-check
+# run that corrupts a sealed partition on purpose and asserts the
+# harness CATCHES it — proving the invariant net can actually fail.
+#
+# On any failure the failing seed and all server logs are left in
+# $ARTIFACT_DIR (default /tmp/mistique_soak_artifacts) for upload.
+#
+# Usage: ci/soak_smoke.sh [build_dir]   (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+HARNESS="$BUILD_DIR/bench/soak_harness"
+ARTIFACT_DIR="${ARTIFACT_DIR:-/tmp/mistique_soak_artifacts}"
+SEEDS=(${SOAK_SEEDS:-42 1337})
+CLIENTS="${SOAK_CLIENTS:-8}"
+DURATION="${SOAK_DURATION_SEC:-12}"
+
+rm -rf "$ARTIFACT_DIR"
+mkdir -p "$ARTIFACT_DIR"
+
+run_soak() {  # run_soak <tag> <args...>
+  local tag="$1"; shift
+  local workdir="$ARTIFACT_DIR/$tag"
+  echo "== soak $tag: $HARNESS $* =="
+  if SOAK_WORKDIR="$workdir" "$HARNESS" "$@" 2>&1 | tee "$ARTIFACT_DIR/$tag.out"; then
+    # Green: drop the stores/logs so only failures upload anything big.
+    rm -rf "$workdir" "$ARTIFACT_DIR/$tag.out"
+    return 0
+  fi
+  echo "$tag: $HARNESS $*" >> "$ARTIFACT_DIR/FAILING_SEEDS"
+  echo "soak $tag FAILED — logs kept in $workdir"
+  return 1
+}
+
+for seed in "${SEEDS[@]}"; do
+  run_soak "seed$seed" \
+    --seed "$seed" --clients "$CLIENTS" --duration-sec "$DURATION" \
+    --mode both --crash
+done
+
+# The net must catch a real fault: an intentional bit-flip in a sealed
+# partition has to be detected and reported with a repro command.
+run_soak "selfcheck" --seed 5 --self-check
+
+rmdir "$ARTIFACT_DIR" 2>/dev/null || true
+echo "soak smoke OK (seeds: ${SEEDS[*]}, $CLIENTS clients, crash injection on)"

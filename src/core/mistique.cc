@@ -689,8 +689,14 @@ Result<uint64_t> Mistique::Vacuum() {
     for (ChunkId chunk : ids) {
       if (!dead.count(chunk)) keep.insert(chunk);
     }
+    // A crash here leaves earlier partitions rewritten and this one (and
+    // later ones) still carrying dead chunks; Open re-derives them dead.
+    MISTIQUE_FAULT("vacuum.rewrite");
     MISTIQUE_RETURN_NOT_OK(store_.RewritePartition(pid, keep));
   }
+  // A crash here loses only the kVacuumDone marker; the rewrites above
+  // are already durable and the dead set is empty either way.
+  MISTIQUE_FAULT("vacuum.done");
   dead_chunks_.clear();
   if (wal_.is_open()) {
     MISTIQUE_RETURN_NOT_OK(wal_.Append(

@@ -28,6 +28,15 @@ const std::vector<std::string>& FaultPointLabels() {
       // the window where a crash leaves orphan chunks but no catalog
       // trace, so reopening recovers to the previous published epoch.
       "mvcc.publish",
+      // Mistique::Vacuum: between partition rewrites (some partitions
+      // already rewritten without their dead chunks, others still holding
+      // them) and after the rewrites but before the kVacuumDone WAL
+      // record. Both windows must recover to a store that serves every
+      // surviving model byte-identically and re-derives the remaining
+      // dead chunks at the next Open — the delete/vacuum/crash
+      // interleavings the soak harness drives (docs/TESTING.md).
+      "vacuum.rewrite",
+      "vacuum.done",
   };
   return kLabels;
 }

@@ -15,6 +15,7 @@ namespace {
 struct MvccMetrics {
   obs::Gauge* current_epoch;
   obs::Gauge* pinned_readers;
+  obs::Gauge* min_pinned_epoch;
   obs::Gauge* retired_snapshots;
   obs::Counter* publishes_total;
   obs::Counter* snapshots_reclaimed_total;
@@ -26,6 +27,10 @@ struct MvccMetrics {
     pinned_readers = reg.GetGauge(
         "mistique_mvcc_pinned_readers",
         "Readers currently holding a snapshot pin (any epoch).");
+    min_pinned_epoch = reg.GetGauge(
+        "mistique_mvcc_min_pinned_epoch",
+        "Oldest epoch a live pin references (0 = no pins). Never exceeds "
+        "mistique_mvcc_current_epoch.");
     retired_snapshots = reg.GetGauge(
         "mistique_mvcc_retired_snapshots",
         "Superseded snapshots kept alive for still-pinned readers.");
@@ -97,6 +102,7 @@ ReadPin SnapshotManager::Pin() {
   pins_[epoch_]++;
   total_pins_++;
   Metrics().pinned_readers->Set(static_cast<int64_t>(total_pins_));
+  UpdateMinPinnedGaugeLocked();
   return ReadPin(this, epoch_, current_);
 }
 
@@ -115,6 +121,7 @@ void SnapshotManager::Unpin(uint64_t epoch) {
     CollectReclaimableLocked(&freed);
     Metrics().pinned_readers->Set(static_cast<int64_t>(total_pins_));
     Metrics().retired_snapshots->Set(static_cast<int64_t>(retired_.size()));
+    UpdateMinPinnedGaugeLocked();
   }
   readers_cv_.notify_all();
   freed.clear();
@@ -123,6 +130,14 @@ void SnapshotManager::Unpin(uint64_t epoch) {
 uint64_t SnapshotManager::MinPinnedEpochLocked() const {
   return pins_.empty() ? std::numeric_limits<uint64_t>::max()
                        : pins_.begin()->first;
+}
+
+void SnapshotManager::UpdateMinPinnedGaugeLocked() const {
+  const uint64_t min_pinned = MinPinnedEpochLocked();
+  Metrics().min_pinned_epoch->Set(
+      min_pinned == std::numeric_limits<uint64_t>::max()
+          ? 0
+          : static_cast<int64_t>(min_pinned));
 }
 
 void SnapshotManager::CollectReclaimableLocked(
@@ -161,6 +176,12 @@ uint64_t SnapshotManager::retired_snapshots() const {
 uint64_t SnapshotManager::snapshots_reclaimed() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return reclaimed_;
+}
+
+uint64_t SnapshotManager::min_pinned_epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t min_pinned = MinPinnedEpochLocked();
+  return min_pinned == std::numeric_limits<uint64_t>::max() ? 0 : min_pinned;
 }
 
 }  // namespace mvcc

@@ -100,6 +100,10 @@ class SnapshotManager {
   uint64_t pinned_readers() const;
   uint64_t retired_snapshots() const;
   uint64_t snapshots_reclaimed() const;
+  /// Oldest epoch any live pin references, 0 when nothing is pinned.
+  /// Soak-harness checkers assert it never exceeds epoch() and that
+  /// vacuum-style reader barriers saw it advance past the delete epoch.
+  uint64_t min_pinned_epoch() const;
 
  private:
   friend class ReadPin;
@@ -114,6 +118,9 @@ class SnapshotManager {
   void CollectReclaimableLocked(std::vector<SnapshotState>* freed);
   /// Smallest pinned epoch, or UINT64_MAX with no pins. Requires mutex_.
   uint64_t MinPinnedEpochLocked() const;
+  /// Mirrors MinPinnedEpochLocked into the min-pinned-epoch gauge (0 with
+  /// no pins). Requires mutex_.
+  void UpdateMinPinnedGaugeLocked() const;
 
   mutable std::mutex mutex_;
   std::condition_variable readers_cv_;

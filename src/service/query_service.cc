@@ -412,6 +412,11 @@ std::string QueryService::MetricsText() const {
   obs::AppendGaugeText("mistique_service_open_sessions",
                        "Diagnosis sessions currently open.",
                        static_cast<double>(stats.open_sessions), &out);
+  obs::AppendGaugeText(
+      "mistique_service_inflight",
+      "Admitted requests whose completion has not been delivered yet "
+      "(queued + running + in delivery). Zero after a clean drain.",
+      static_cast<double>(inflight()), &out);
   return out;
 }
 

@@ -181,6 +181,14 @@ class QueryService {
   size_t num_workers() const { return pool_->num_threads(); }
   Mistique* engine() const { return engine_; }
 
+  /// Admitted requests whose completion has not yet been delivered.
+  /// Drain waits on this reaching zero; soak-harness drain checkers read
+  /// it (and the mistique_service_inflight gauge) to assert no admitted
+  /// response was lost across a clean shutdown.
+  uint64_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Session {
     explicit Session(size_t cache_entries) : cache(cache_entries) {}

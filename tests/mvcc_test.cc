@@ -100,6 +100,52 @@ TEST(SnapshotManagerTest, WaitForReadersBeforeBlocksUntilPinDrops) {
   EXPECT_TRUE(drained.load(std::memory_order_acquire));
 }
 
+// Vacuum racing long-pinned readers: the delete publishes epoch 3, then
+// vacuum's WaitForReadersBefore(3) barrier must hold — and the pre-delete
+// snapshot must stay unreclaimed — until the LAST pre-delete pin drops,
+// not merely the first. (The soak harness drives this same interleaving
+// end-to-end with concurrent network readers; this pins down the
+// manager-level contract it relies on.)
+TEST(SnapshotManagerTest, WaitForReadersBeforeHoldsUntilLastPreDeletePin) {
+  mvcc::SnapshotManager mgr;
+  std::atomic<int> destroyed{0};
+  mgr.Publish(TaggedState(1, &destroyed));
+  mgr.Publish(TaggedState(2, &destroyed));
+
+  // Two independent readers pin the pre-delete snapshot (epoch 2).
+  mvcc::ReadPin early = mgr.Pin();
+  mvcc::ReadPin late = mgr.Pin();
+  EXPECT_EQ(mgr.min_pinned_epoch(), 2u);
+
+  // The "delete" publishes epoch 3 and vacuum waits for pre-delete pins.
+  mgr.Publish(TaggedState(3, &destroyed));
+  std::atomic<bool> barrier_passed{false};
+  std::thread vacuum([&] {
+    mgr.WaitForReadersBefore(3);
+    barrier_passed.store(true, std::memory_order_release);
+  });
+
+  // Dropping ONE of the two pins must not open the barrier or let the
+  // reclaimer free the epoch-2 snapshot the surviving pin still reads.
+  early.Release();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(barrier_passed.load(std::memory_order_acquire));
+  EXPECT_EQ(mgr.min_pinned_epoch(), 2u);
+  EXPECT_EQ(TagOf(late.state()), 2);
+  // Epoch 1 was never pinned past its retirement, so it may be gone, but
+  // the pinned epoch-2 snapshot must not be.
+  EXPECT_EQ(mgr.retired_snapshots(), 1u);
+  EXPECT_LE(destroyed.load(), 1);
+
+  // The last pre-delete pin drops: barrier opens, snapshot reclaimed.
+  late.Release();
+  vacuum.join();
+  EXPECT_TRUE(barrier_passed.load(std::memory_order_acquire));
+  EXPECT_EQ(mgr.min_pinned_epoch(), 0u);
+  EXPECT_EQ(mgr.retired_snapshots(), 0u);
+  EXPECT_EQ(destroyed.load(), 2);
+}
+
 TEST(SnapshotManagerTest, MovedPinTransfersOwnership) {
   mvcc::SnapshotManager mgr;
   std::atomic<int> destroyed{0};

@@ -378,6 +378,219 @@ TEST(WireTest, FuzzedPayloadDecodersNeverCrash) {
   }
 }
 
+// The PR 6/PR 5 frame families (shard map, health, catalog, metrics,
+// traces) get the same treatment as the original payloads: a round-trip
+// through a fully-populated value, then truncation at every byte of the
+// valid encoding — every strict prefix must fail typed, never crash or
+// decode a partial value as success.
+
+wire::ShardMapInfo SampleShardMap() {
+  wire::ShardMapInfo map;
+  map.version = 42;
+  map.vnodes_per_shard = 16;
+  map.shards.resize(3);
+  for (uint32_t i = 0; i < 3; ++i) {
+    map.shards[i].shard_id = i;
+    map.shards[i].host = "127.0.0.1";
+    map.shards[i].port = static_cast<uint16_t>(7451 + i);
+    map.shards[i].health = static_cast<uint8_t>(i);  // up/suspect/down
+  }
+  return map;
+}
+
+wire::CatalogInfo SampleCatalog() {
+  wire::CatalogInfo catalog;
+  catalog.models.resize(2);
+  catalog.models[0].project = "zillow";
+  catalog.models[0].model = "P1_v0";
+  catalog.models[0].kind = 0;
+  catalog.models[0].intermediates.resize(2);
+  catalog.models[0].intermediates[0].name = "train_merged";
+  catalog.models[0].intermediates[0].stage_index = 3;
+  catalog.models[0].intermediates[0].num_rows = 4096;
+  catalog.models[0].intermediates[0].columns = {"logerror", "taxamount"};
+  catalog.models[0].intermediates[1].name = "pred";
+  catalog.models[0].intermediates[1].stage_index = 7;
+  catalog.models[0].intermediates[1].num_rows = 4096;
+  catalog.models[0].intermediates[1].columns = {"pred"};
+  catalog.models[1].project = "cifar";
+  catalog.models[1].model = "ckpt_e0";
+  catalog.models[1].kind = 1;
+  return catalog;
+}
+
+obs::QueryTrace SampleTrace() {
+  obs::QueryTrace trace(99, "fetch zillow.P1_v0.pred");
+  trace.est_read_sec = 0.25;
+  trace.est_rerun_sec = 4.5;
+  trace.strategy = "read";
+  trace.cache_hit = false;
+  trace.materialized_now = true;
+  trace.mispredicted = true;
+  trace.queue_wait_sec = 0.001;
+  trace.total_sec = 0.3;
+  trace.AddEvent("disk_read", 0, 0.01, 0.2, 8192);
+  trace.AddEvent("decompress", 1, 0.05, 0.1, 65536);
+  trace.Accumulate("dedup_resolve", 0.02, 512);
+  return trace;
+}
+
+TEST(WireTest, ShardMapHealthCatalogMetricsTraceRoundTrip) {
+  const wire::ShardMapInfo map = SampleShardMap();
+  wire::ShardMapInfo map_out;
+  ASSERT_OK(wire::DecodeShardMap(wire::EncodeShardMap(map), &map_out));
+  EXPECT_EQ(map_out.version, 42u);
+  EXPECT_EQ(map_out.vnodes_per_shard, 16u);
+  ASSERT_EQ(map_out.shards.size(), 3u);
+  EXPECT_EQ(map_out.shards[2].shard_id, 2u);
+  EXPECT_EQ(map_out.shards[2].host, "127.0.0.1");
+  EXPECT_EQ(map_out.shards[2].port, 7453);
+  EXPECT_EQ(map_out.shards[2].health, 2);
+
+  wire::HealthInfo health;
+  health.state = 1;
+  health.queued = 11;
+  health.running = 4;
+  health.open_sessions = 7;
+  wire::HealthInfo health_out;
+  ASSERT_OK(wire::DecodeHealth(wire::EncodeHealth(health), &health_out));
+  EXPECT_EQ(health_out.state, 1);
+  EXPECT_EQ(health_out.queued, 11u);
+  EXPECT_EQ(health_out.running, 4u);
+  EXPECT_EQ(health_out.open_sessions, 7u);
+
+  const wire::CatalogInfo catalog = SampleCatalog();
+  wire::CatalogInfo catalog_out;
+  ASSERT_OK(wire::DecodeCatalog(wire::EncodeCatalog(catalog), &catalog_out));
+  ASSERT_EQ(catalog_out.models.size(), 2u);
+  EXPECT_EQ(catalog_out.models[0].project, "zillow");
+  ASSERT_EQ(catalog_out.models[0].intermediates.size(), 2u);
+  EXPECT_EQ(catalog_out.models[0].intermediates[0].columns,
+            (std::vector<std::string>{"logerror", "taxamount"}));
+  EXPECT_EQ(catalog_out.models[0].intermediates[1].stage_index, 7);
+  EXPECT_EQ(catalog_out.models[1].kind, 1);
+  EXPECT_TRUE(catalog_out.models[1].intermediates.empty());
+
+  const std::string exposition = "mistique_fetch_total 3\n# HELP x y\n";
+  std::string text_out;
+  ASSERT_OK(
+      wire::DecodeMetricsText(wire::EncodeMetricsText(exposition), &text_out));
+  EXPECT_EQ(text_out, exposition);
+
+  const obs::QueryTrace trace = SampleTrace();
+  wire::TraceResultSummary summary;
+  summary.rows = 25;
+  summary.cols = 2;
+  summary.used_read = true;
+  obs::QueryTrace trace_out;
+  wire::TraceResultSummary summary_out;
+  ASSERT_OK(wire::DecodeQueryTrace(wire::EncodeQueryTrace(trace, summary),
+                                   &trace_out, &summary_out));
+  EXPECT_EQ(trace_out.trace_id, 99u);
+  EXPECT_EQ(trace_out.description, trace.description);
+  EXPECT_DOUBLE_EQ(trace_out.est_read_sec, 0.25);
+  EXPECT_DOUBLE_EQ(trace_out.est_rerun_sec, 4.5);
+  EXPECT_EQ(trace_out.strategy, "read");
+  EXPECT_TRUE(trace_out.materialized_now);
+  EXPECT_TRUE(trace_out.mispredicted);
+  ASSERT_EQ(trace_out.events().size(), 2u);
+  EXPECT_EQ(trace_out.events()[1].name, "decompress");
+  EXPECT_EQ(trace_out.events()[1].depth, 1u);
+  EXPECT_EQ(trace_out.events()[1].bytes, 65536u);
+  ASSERT_EQ(trace_out.stage_totals().size(), 1u);
+  EXPECT_EQ(trace_out.stage_totals()[0].name, "dedup_resolve");
+  EXPECT_EQ(summary_out.rows, 25u);
+  EXPECT_EQ(summary_out.cols, 2u);
+  EXPECT_TRUE(summary_out.used_read);
+}
+
+TEST(WireTest, NewPayloadsRejectTruncationAtEveryByte) {
+  wire::TraceResultSummary summary;
+  summary.rows = 25;
+  summary.cols = 2;
+  summary.used_read = true;
+  const std::string encodings[] = {
+      wire::EncodeShardMap(SampleShardMap()),
+      wire::EncodeHealth(wire::HealthInfo{1, 11, 4, 7}),
+      wire::EncodeCatalog(SampleCatalog()),
+      wire::EncodeMetricsText("mistique_fetch_total 3\n"),
+      wire::EncodeQueryTrace(SampleTrace(), summary),
+  };
+  const char* names[] = {"shardmap", "health", "catalog", "metrics", "trace"};
+  for (size_t which = 0; which < 5; ++which) {
+    const std::string& good = encodings[which];
+    ASSERT_FALSE(good.empty()) << names[which];
+    for (size_t len = 0; len < good.size(); ++len) {
+      const std::string prefix = good.substr(0, len);
+      Status st;
+      switch (which) {
+        case 0: {
+          wire::ShardMapInfo out;
+          st = wire::DecodeShardMap(prefix, &out);
+          break;
+        }
+        case 1: {
+          wire::HealthInfo out;
+          st = wire::DecodeHealth(prefix, &out);
+          break;
+        }
+        case 2: {
+          wire::CatalogInfo out;
+          st = wire::DecodeCatalog(prefix, &out);
+          break;
+        }
+        case 3: {
+          std::string out;
+          st = wire::DecodeMetricsText(prefix, &out);
+          break;
+        }
+        case 4: {
+          obs::QueryTrace out;
+          wire::TraceResultSummary sout;
+          st = wire::DecodeQueryTrace(prefix, &out, &sout);
+          break;
+        }
+      }
+      EXPECT_FALSE(st.ok())
+          << names[which] << " decoded a truncation at byte " << len << "/"
+          << good.size();
+    }
+  }
+}
+
+TEST(WireTest, NewMsgTypesAreValidAndFuzzSafe) {
+  for (uint8_t t = static_cast<uint8_t>(wire::MsgType::kMetricsReq);
+       t <= static_cast<uint8_t>(wire::MsgType::kCatalogResp); ++t) {
+    EXPECT_TRUE(wire::IsValidMsgType(t)) << "type " << int{t};
+  }
+  EXPECT_FALSE(wire::IsValidMsgType(0));
+  EXPECT_FALSE(wire::IsValidMsgType(
+      static_cast<uint8_t>(wire::MsgType::kCatalogResp) + 1));
+
+  // Same LCG-garbage discipline as FuzzedPayloadDecodersNeverCrash, for
+  // the decoders added since.
+  uint64_t state = 0xA5A5A5A55A5A5A5Aull;
+  auto next = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<uint8_t>(state >> 33);
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string payload(static_cast<size_t>(next()), '\0');
+    for (char& c : payload) c = static_cast<char>(next());
+    wire::ShardMapInfo map;
+    wire::HealthInfo health;
+    wire::CatalogInfo catalog;
+    std::string text;
+    obs::QueryTrace trace;
+    wire::TraceResultSummary summary;
+    (void)wire::DecodeShardMap(payload, &map);
+    (void)wire::DecodeHealth(payload, &health);
+    (void)wire::DecodeCatalog(payload, &catalog);
+    (void)wire::DecodeMetricsText(payload, &text);
+    (void)wire::DecodeQueryTrace(payload, &trace, &summary);
+  }
+}
+
 TEST(WireTest, HandshakeEncodingAndVersionCheck) {
   const std::string hello = wire::EncodeHello();
   ASSERT_EQ(hello.size(), wire::kHandshakeBytes);

@@ -32,7 +32,8 @@ TEST_P(DataStoreModelTest, RandomWorkloadMatchesReference) {
   DataStore store;
   ASSERT_OK(store.Open(opts));
 
-  Rng rng(GetParam());
+  TestSeed seed(GetParam());
+  Rng rng(seed);
   std::map<ChunkId, std::vector<double>> reference;
   std::vector<PartitionId> open_partitions;
 
@@ -112,7 +113,8 @@ TEST_P(FetchEquivalenceTest, RandomSubsetsAgree) {
   ASSERT_OK_AND_ASSIGN(const ModelInfo* model,
                        std::as_const(mq.metadata()).GetModel(id));
 
-  Rng rng(GetParam());
+  TestSeed seed(GetParam());
+  Rng rng(seed);
   for (int round = 0; round < 10; ++round) {
     // Random intermediate, random column subset, random row subset.
     const IntermediateInfo& interm =
@@ -177,7 +179,8 @@ TEST_P(ScanEquivalenceTest, RandomPredicatesAgree) {
                        BuildZillowPipeline(1, 0, dir.path()));
   ASSERT_OK(mq.LogPipeline(pipeline.get(), "zillow").status());
 
-  Rng rng(GetParam());
+  TestSeed seed(GetParam());
+  Rng rng(seed);
   const char* columns[] = {"taxamount", "bedroomcnt", "latitude",
                            "yearbuilt"};
   for (int round = 0; round < 8; ++round) {

@@ -39,7 +39,8 @@ TEST(Float16ExhaustiveTest, EveryHalfRoundTripsExactly) {
 class LzssFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(LzssFuzzTest, RandomStructuredBuffersRoundTrip) {
-  Rng rng(GetParam());
+  TestSeed seed(GetParam());
+  Rng rng(seed);
   LzssCodec codec;
   for (int round = 0; round < 20; ++round) {
     // Mix of runs, repeats of earlier content, and noise — adversarial for

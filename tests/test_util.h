@@ -1,12 +1,46 @@
 #ifndef MISTIQUE_TESTS_TEST_UTIL_H_
 #define MISTIQUE_TESTS_TEST_UTIL_H_
 
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 
 #include "gtest/gtest.h"
 
 namespace mistique {
+
+/// Seed source for randomized tests: `default_seed` unless the
+/// MISTIQUE_TEST_SEED env var overrides it (how a soak or CI failure is
+/// replayed, docs/TESTING.md). Declare one per test body; if the test
+/// fails, the destructor prints the effective seed and the exact
+/// environment setting that reproduces the run.
+class TestSeed {
+ public:
+  explicit TestSeed(uint64_t default_seed) : seed_(default_seed) {
+    if (const char* env = std::getenv("MISTIQUE_TEST_SEED")) {
+      if (env[0] != '\0') seed_ = std::strtoull(env, nullptr, 0);
+    }
+  }
+  ~TestSeed() {
+    if (::testing::Test::HasFailure()) {
+      const auto* info =
+          ::testing::UnitTest::GetInstance()->current_test_info();
+      std::fprintf(stderr,
+                   "[  SEED    ] reproduce with: MISTIQUE_TEST_SEED=%llu "
+                   "--gtest_filter=%s.%s\n",
+                   static_cast<unsigned long long>(seed_),
+                   info ? info->test_suite_name() : "?",
+                   info ? info->name() : "?");
+    }
+  }
+  uint64_t value() const { return seed_; }
+  operator uint64_t() const { return seed_; }
+
+ private:
+  uint64_t seed_;
+};
 
 /// Creates a unique directory under the build tree for a test and removes
 /// it on destruction.
