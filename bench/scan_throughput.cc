@@ -1,0 +1,176 @@
+// Compressed-domain scan throughput: packed kernels vs decode fallback.
+//
+// Builds a store with one quantized column per (scheme, kbits) case, then
+// times the same POINTQ predicate twice through the SAME engine API —
+// once with enable_packed_scan (the src/scan/ kernels evaluate the
+// predicate on the stored words) and once with the decode fallback
+// (DecodeAsDouble + scalar filter). Row sets must be identical; the
+// 8-bit KBIT case is the headline number ci/scan_smoke.sh gates on.
+//
+// Knobs (env):
+//   SCAN_ROWS         rows per column           (default 2097152)
+//   SCAN_ITERS        timed repetitions, best-of (default 5)
+//   SCAN_MIN_SPEEDUP  fail unless the 8-bit KBIT POINTQ speedup meets
+//                     this (default 0 = report only; CI passes 2.0)
+//
+// Both paths run against a warm buffer pool, so the ratio is kernel
+// compute, not I/O — the packed path additionally reads 8x fewer bytes
+// cold, which bench/fig5_query_times.cc already covers.
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/mistique.h"
+#include "quantize/quantizer.h"
+#include "scan/scan_kernels.h"
+
+namespace mistique {
+namespace bench {
+namespace {
+
+struct Case {
+  QuantScheme scheme;
+  int kbits;
+  const char* label;
+};
+
+double TimeScans(Mistique* mq, const ScanRequest& req, int iters,
+                 std::vector<uint64_t>* row_ids) {
+  double best = 1e300;
+  for (int i = 0; i < iters; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    ScanResult r = CheckOk(mq->Scan(req), "Scan");
+    const double sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (sec < best) best = sec;
+    *row_ids = std::move(r.row_ids);
+  }
+  return best;
+}
+
+int Run() {
+  const uint64_t rows =
+      static_cast<uint64_t>(EnvInt("SCAN_ROWS", 1 << 21));
+  const int iters = EnvInt("SCAN_ITERS", 5);
+  const double min_speedup = EnvDouble("SCAN_MIN_SPEEDUP", 0.0);
+
+  PrintHeader("Compressed-domain scan: packed kernels vs decode fallback");
+  std::printf("rows=%llu iters=%d kernel_tier=%s gate=%.1fx\n\n",
+              static_cast<unsigned long long>(rows), iters,
+              scan::KernelTier(), min_speedup);
+
+  const Case cases[] = {
+      {QuantScheme::kKBit, 8, "KBIT_QT k=8"},
+      {QuantScheme::kKBit, 4, "KBIT_QT k=4"},
+      {QuantScheme::kKBit, 2, "KBIT_QT k=2"},
+      {QuantScheme::kThreshold, 8, "THRESHOLD_QT"},
+  };
+
+  std::printf("%-14s %12s %12s %10s %12s\n", "case", "decode", "packed",
+              "speedup", "match_rows");
+  double gated_speedup = -1.0;
+  double gated_packed_sec = 0.0;
+  for (const Case& c : cases) {
+    BenchDir dir(std::string("scan_tput_") + std::to_string(c.kbits) +
+                 (c.scheme == QuantScheme::kThreshold ? "t" : "k"));
+    MistiqueOptions opts;
+    opts.store.directory = dir.path() + "/store";
+    opts.strategy = StorageStrategy::kDedup;
+    opts.row_block_size = 4096;
+
+    // One dense column, quantized at import (opt-in path).
+    {
+      Mistique writer;
+      CheckOk(writer.Open(opts), "Open(writer)");
+      ImportIntermediate interm;
+      interm.name = "act";
+      interm.stage_index = 1;
+      interm.num_rows = rows;
+      interm.column_names = {"v"};
+      interm.columns.resize(1);
+      interm.columns[0].reserve(rows);
+      for (uint64_t r = 0; r < rows; ++r) {
+        interm.columns[0].push_back(
+            std::sin(0.000917 * static_cast<double>(r)) +
+            0.2 * std::sin(0.0413 * static_cast<double>(r)));
+      }
+      interm.scheme = c.scheme;
+      interm.kbits = c.kbits;
+      CheckOk(writer.ImportModel("bench", "m", {interm}).status(),
+              "ImportModel");
+      CheckOk(writer.Flush(), "Flush");
+    }
+
+    ScanRequest req;
+    req.project = "bench";
+    req.model = "m";
+    req.intermediate = "act";
+    req.predicate_column = "v";
+    // Mid-selectivity band (~35% of a +/-1.2 waveform) so the predicate
+    // does real work without the result vector dominating either path.
+    req.lo = -0.35;
+    req.hi = 0.45;
+
+    std::vector<uint64_t> decode_rows;
+    std::vector<uint64_t> packed_rows;
+    double decode_sec;
+    double packed_sec;
+    {
+      MistiqueOptions baseline = opts;
+      baseline.enable_packed_scan = false;
+      Mistique mq;
+      CheckOk(mq.Open(baseline), "Open(decode)");
+      TimeScans(&mq, req, 1, &decode_rows);  // warm the buffer pool
+      decode_sec = TimeScans(&mq, req, iters, &decode_rows);
+    }
+    {
+      Mistique mq;
+      CheckOk(mq.Open(opts), "Open(packed)");
+      TimeScans(&mq, req, 1, &packed_rows);
+      packed_sec = TimeScans(&mq, req, iters, &packed_rows);
+    }
+
+    // The whole point: the packed path is an optimization, not an
+    // approximation. Row sets must match exactly.
+    if (packed_rows != decode_rows) {
+      std::fprintf(stderr,
+                   "FATAL: %s packed scan diverged from decode path "
+                   "(%zu vs %zu rows)\n",
+                   c.label, packed_rows.size(), decode_rows.size());
+      return 1;
+    }
+
+    const double speedup = decode_sec / packed_sec;
+    std::printf("%-14s %9.2f ms %9.2f ms %9.2fx %12zu\n", c.label,
+                decode_sec * 1e3, packed_sec * 1e3, speedup,
+                packed_rows.size());
+    if (c.scheme == QuantScheme::kKBit && c.kbits == 8) {
+      gated_speedup = speedup;
+      gated_packed_sec = packed_sec;
+    }
+  }
+
+  std::printf("\npacked scan throughput (8-bit): %.0f Mvalues/s\n",
+              static_cast<double>(rows) / gated_packed_sec / 1e6);
+  if (min_speedup > 0.0 && gated_speedup < min_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: 8-bit KBIT POINTQ speedup %.2fx below the %.1fx "
+                 "gate\n",
+                 gated_speedup, min_speedup);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace mistique
+
+int main() { return mistique::bench::Run(); }

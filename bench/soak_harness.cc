@@ -6,11 +6,13 @@
 //
 //   soak_harness [--seed S] [--clients N] [--duration-sec D]
 //                [--mode single|cluster|both] [--crash] [--self-check]
+//                [--pressure]
 //
 // The driver spawns this same binary as server children, drives them
 // with N concurrent wire-protocol clients each running a seeded random
-// op mix (fetch / traced fetch / scan / session churn / catalog / stats
-// / health), while a supervisor thread SIGKILLs and restarts servers —
+// op mix (fetch / traced fetch / scan / compressed-domain scan over
+// quantized columns / session churn / catalog / stats / health), while
+// a supervisor thread SIGKILLs and restarts servers —
 // some restarts armed with MISTIQUE_FAULT_POINT so the child _Exit(91)s
 // mid-write at a labeled crash point. A churn thread inside the
 // single-node server concurrently imports, deletes, and vacuums models
@@ -20,6 +22,9 @@
 //   - every successful read is byte-identical to the closed-form oracle
 //     (values are a pure function of (model index, row), so any process
 //     can re-derive the expected bytes without shared state);
+//   - packed scans over quantized (KBIT/THRESHOLD) columns return exactly
+//     the row set of the decompress oracle (fetch + client-side filter),
+//     and reconstructed values stay on <= 2^k centers;
 //   - reads fail only in tolerated ways (unavailable / degraded /
 //     deadline / overload; not-found only for churned models) — a
 //     cluster scan is typed-degraded, never silently partial;
@@ -37,6 +42,7 @@
 //
 // Child modes (internal):
 //   soak_harness --serve-child <store_dir> <port> <workers> <churn_seed>
+//                [pressure]
 //   soak_harness --router-child <port> <host:port>...
 
 #include <arpa/inet.h>
@@ -46,6 +52,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -115,10 +122,58 @@ int FormulaIndexFor(const std::string& project, const std::string& model) {
   return -1;
 }
 
-MistiqueOptions StoreOptions(const std::string& dir) {
+// Quantized static models soak.q0..qN-1: seeded through ImportModel's
+// opt-in quantization so their columns take the compressed-domain scan
+// path (docs/SCAN.md). Their values are lossy, so the scan oracle is the
+// decompress path itself: a scan's row set must equal a client-side
+// filter of the *fetched* (reconstructed) column — never the raw QCol.
+struct QuantSpec {
+  QuantScheme scheme;
+  int kbits;
+};
+constexpr int kQuantModels = 3;
+// 8-bit (SIMD kernel), 3-bit (sub-byte SWAR kernel), 1-bit bitmap.
+constexpr QuantSpec kQuantSpecs[kQuantModels] = {
+    {QuantScheme::kKBit, 8},
+    {QuantScheme::kKBit, 3},
+    {QuantScheme::kThreshold, 8},
+};
+
+double QCol(int qindex, uint64_t row) {
+  return std::sin(0.31 * static_cast<double>(row) + qindex) *
+         (1.0 + qindex);
+}
+
+std::vector<ImportIntermediate> QuantModel(int qindex) {
+  ImportIntermediate interm;
+  interm.name = "pred";
+  interm.stage_index = 1;
+  interm.num_rows = kRows;
+  interm.column_names = {"pred"};
+  interm.columns.resize(1);
+  for (uint64_t r = 0; r < kRows; ++r) {
+    interm.columns[0].push_back(QCol(qindex, r));
+  }
+  interm.scheme = kQuantSpecs[qindex].scheme;
+  interm.kbits = kQuantSpecs[qindex].kbits;
+  return {std::move(interm)};
+}
+
+/// Index for a soak.qJ model, or -1.
+int QuantIndexFor(const std::string& project, const std::string& model) {
+  if (project != "soak" || model.size() < 2 || model[0] != 'q') return -1;
+  const int j = std::atoi(model.c_str() + 1);
+  return j >= 0 && j < kQuantModels ? j : -1;
+}
+
+MistiqueOptions StoreOptions(const std::string& dir, bool pressure = false) {
   MistiqueOptions opts;
   opts.store.directory = dir;
   opts.store.partition_target_bytes = 8 * 1024;  // many partitions
+  // The --pressure preset shrinks the buffer pool to a few partitions'
+  // worth, so every client read contends on pin/evict instead of being
+  // absorbed by a warm pool.
+  if (pressure) opts.store.memory_budget_bytes = 64 * 1024;
   opts.strategy = StorageStrategy::kDedup;
   opts.row_block_size = 32;
   return opts;
@@ -192,9 +247,9 @@ void ChurnLoop(Mistique* mq, uint64_t seed) {
 }
 
 int RunServeChild(const std::string& store_dir, uint16_t port, size_t workers,
-                  uint64_t churn_seed) {
+                  uint64_t churn_seed, bool pressure) {
   Mistique mq;
-  const Status open_status = mq.Open(StoreOptions(store_dir));
+  const Status open_status = mq.Open(StoreOptions(store_dir, pressure));
   if (!open_status.ok()) {
     std::fprintf(stderr, "error: %s\n", open_status.ToString().c_str());
     return 1;
@@ -437,6 +492,9 @@ struct Config {
   std::string mode = "both";  // single | cluster | both
   bool crash = false;
   bool self_check = false;
+  /// Tiny buffer-pool preset: serve children run with a 64KB
+  /// memory_budget_bytes so every read contends on pin/evict.
+  bool pressure = false;
   std::string self_path;  // argv[0], for respawns and repro lines
 };
 
@@ -448,6 +506,7 @@ std::string ReproCommand(const Config& cfg) {
                     " --mode " + cfg.mode;
   if (cfg.crash) cmd += " --crash";
   if (cfg.self_check) cmd += " --self-check";
+  if (cfg.pressure) cmd += " --pressure";
   return cmd;
 }
 
@@ -558,7 +617,7 @@ void ClientWorker(const Config& cfg, uint16_t port, int client_index,
       } else if (!ToleratedCode(r.status().code())) {
         Violate(desc + ": " + r.status().ToString());
       }
-    } else if (dice < 60) {  // predicate scan with a computable answer
+    } else if (dice < 52) {  // predicate scan with a computable answer
       const int idx = static_cast<int>(rng.NextBelow(kStaticModels));
       const uint64_t a = rng.NextBelow(kRows);
       const uint64_t b = a + rng.NextBelow(kRows - a);
@@ -597,6 +656,66 @@ void ClientWorker(const Config& cfg, uint16_t port, int client_index,
       } else if (!ToleratedCode(r.status().code())) {
         Violate(desc + ": " + r.status().ToString());
       }
+    } else if (dice < 60) {  // compressed-domain scan vs the decompress oracle
+      // Quantized values are lossy, so the oracle is the decompress path:
+      // fetch the reconstructed column, filter it client-side, and demand
+      // the packed scan return exactly that row set.
+      const int q = static_cast<int>(rng.NextBelow(kQuantModels));
+      FetchRequest freq;
+      freq.project = "soak";
+      freq.model = "q" + std::to_string(q);
+      freq.intermediate = "pred";
+      freq.n_ex = kRows;
+      Result<FetchResult> f = client.Fetch(freq);
+      const std::string desc = where("qscan soak.q" + std::to_string(q));
+      if (!f.ok()) {
+        if (!ToleratedCode(f.status().code())) {
+          Violate(desc + ": oracle fetch: " + f.status().ToString());
+        }
+      } else if (f->columns.size() != 1 || f->columns[0].size() != kRows) {
+        Violate(desc + ": oracle fetch wrong shape");
+      } else {
+        const std::vector<double>& vals = f->columns[0];
+        // Reconstructed values live on at most 2^k centers.
+        std::vector<double> distinct(vals);
+        std::sort(distinct.begin(), distinct.end());
+        distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                       distinct.end());
+        const size_t max_centers =
+            1ull << (kQuantSpecs[q].scheme == QuantScheme::kThreshold
+                         ? 1
+                         : kQuantSpecs[q].kbits);
+        if (distinct.size() > max_centers) {
+          Violate(desc + ": " + std::to_string(distinct.size()) +
+                  " distinct values from a " +
+                  std::to_string(max_centers) + "-center quantizer");
+        }
+        // A predicate anchored at observed values hits real bin edges.
+        const double a = vals[rng.NextBelow(kRows)];
+        const double b = vals[rng.NextBelow(kRows)];
+        ScanRequest req;
+        req.project = "soak";
+        req.model = "q" + std::to_string(q);
+        req.intermediate = "pred";
+        req.predicate_column = "pred";
+        req.lo = std::min(a, b);
+        req.hi = std::max(a, b);
+        Result<ScanResult> r = client.Scan(req);
+        if (r.ok()) {
+          std::vector<uint64_t> want;
+          for (uint64_t i = 0; i < kRows; ++i) {
+            if (vals[i] >= req.lo && vals[i] <= req.hi) want.push_back(i);
+          }
+          if (r->row_ids != want) {
+            Violate(desc + ": packed scan returned " +
+                    std::to_string(r->row_ids.size()) +
+                    " rows, decompress oracle says " +
+                    std::to_string(want.size()));
+          }
+        } else if (!ToleratedCode(r.status().code())) {
+          Violate(desc + ": " + r.status().ToString());
+        }
+      }
     } else if (dice < 70) {  // fetch a churned (import/delete racing) model
       int churn_index = -1;
       {
@@ -628,11 +747,15 @@ void ClientWorker(const Config& cfg, uint16_t port, int client_index,
       const std::string desc = where("catalog");
       if (r.ok()) {
         std::vector<bool> seen(kStaticModels, false);
+        std::vector<bool> seen_quant(kQuantModels, false);
         std::vector<int> churn_now;
         for (const wire::CatalogModel& model : r->models) {
           const int idx = FormulaIndexFor(model.project, model.model);
+          const int qidx = QuantIndexFor(model.project, model.model);
           if (model.project == "soak" && idx >= 0 && idx < kStaticModels) {
             seen[static_cast<size_t>(idx)] = true;
+          } else if (qidx >= 0) {
+            seen_quant[static_cast<size_t>(qidx)] = true;
           } else if (model.project == "churn" && idx >= 0) {
             churn_now.push_back(idx - kChurnBase);
           }
@@ -640,6 +763,12 @@ void ClientWorker(const Config& cfg, uint16_t port, int client_index,
         for (int i = 0; i < kStaticModels; ++i) {
           if (!seen[static_cast<size_t>(i)]) {
             Violate(desc + ": static model soak.m" + std::to_string(i) +
+                    " missing from a successful catalog listing");
+          }
+        }
+        for (int i = 0; i < kQuantModels; ++i) {
+          if (!seen_quant[static_cast<size_t>(i)]) {
+            Violate(desc + ": quantized model soak.q" + std::to_string(i) +
                     " missing from a successful catalog listing");
           }
         }
@@ -813,6 +942,11 @@ void BuildSeedStore(const std::string& dir) {
                 .status(),
             "seed import");
   }
+  for (int q = 0; q < kQuantModels; ++q) {
+    CheckOk(mq.ImportModel("soak", "q" + std::to_string(q), QuantModel(q))
+                .status(),
+            "seed quant import");
+  }
   CheckOk(mq.Flush(), "seed flush");
   CheckOk(mq.SaveCatalog(), "seed save");
 }
@@ -866,6 +1000,60 @@ std::vector<int> VerifyStoreOracle(const std::string& dir,
     }
     const std::string& project = (*model)->project;
     const std::string& name = (*model)->name;
+    const int qidx = QuantIndexFor(project, name);
+    if (qidx >= 0) {
+      // Quantized model: fetch must succeed with the right shape, values
+      // must lie on at most 2^k centers, and an in-process scan must be
+      // byte-identical to filtering the decompressed column.
+      Result<FetchResult> qr =
+          mq.GetIntermediates({project + "." + name + ".pred.*"}, kRows);
+      if (!qr.ok()) {
+        Violate(who + ": post-hoc quant fetch " + name + ": " +
+                qr.status().ToString());
+        continue;
+      }
+      if (qr->columns.size() != 1 || qr->columns[0].size() != kRows) {
+        Violate(who + ": post-hoc quant fetch " + name + " wrong shape");
+        continue;
+      }
+      const std::vector<double>& vals = qr->columns[0];
+      std::vector<double> distinct(vals);
+      std::sort(distinct.begin(), distinct.end());
+      distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                     distinct.end());
+      const size_t max_centers =
+          1ull << (kQuantSpecs[qidx].scheme == QuantScheme::kThreshold
+                       ? 1
+                       : kQuantSpecs[qidx].kbits);
+      if (distinct.size() > max_centers) {
+        Violate(who + ": quant model " + name + " has " +
+                std::to_string(distinct.size()) + " distinct values from a " +
+                std::to_string(max_centers) + "-center quantizer");
+      }
+      ScanRequest sreq;
+      sreq.project = project;
+      sreq.model = name;
+      sreq.intermediate = "pred";
+      sreq.predicate_column = "pred";
+      sreq.lo = distinct.front();
+      sreq.hi = distinct[distinct.size() / 2];
+      Result<ScanResult> sr = mq.Scan(sreq);
+      if (!sr.ok()) {
+        Violate(who + ": post-hoc quant scan " + name + ": " +
+                sr.status().ToString());
+        continue;
+      }
+      std::vector<uint64_t> want;
+      for (uint64_t r = 0; r < kRows; ++r) {
+        if (vals[r] >= sreq.lo && vals[r] <= sreq.hi) want.push_back(r);
+      }
+      if (sr->row_ids != want) {
+        Violate(who + ": post-hoc quant scan " + name + " returned " +
+                std::to_string(sr->row_ids.size()) +
+                " rows, decompress oracle says " + std::to_string(want.size()));
+      }
+      continue;
+    }
     const int idx = FormulaIndexFor(project, name);
     if (idx < 0) {
       Violate(who + ": unexpected model " + project + "." + name);
@@ -930,7 +1118,8 @@ void RunSingleNode(Config cfg, const std::string& workdir) {
   server.log = workdir + "/single_server.log";
   server.args = {cfg.self_path, "--serve-child", store_dir,
                  std::to_string(server.port), "4",
-                 std::to_string(cfg.seed + 1)};  // churn on
+                 std::to_string(cfg.seed + 1),  // churn on
+                 cfg.pressure ? "1" : "0"};
   if (!EnsureUp(&server, "", 1, "[single spawn]")) return;
 
   ChurnView churn;
@@ -1008,7 +1197,8 @@ void RunCluster(Config cfg, const std::string& workdir) {
     // would not match the router's hash placement.
     shards[i].args = {cfg.self_path, "--serve-child",
                       shard_prefix + std::to_string(i),
-                      std::to_string(shards[i].port), "2", "0"};
+                      std::to_string(shards[i].port), "2", "0",
+                      cfg.pressure ? "1" : "0"};
     if (!EnsureUp(&shards[i], "", 1, "[cluster shard spawn]")) return;
     endpoints.push_back("127.0.0.1:" + std::to_string(shards[i].port));
   }
@@ -1137,7 +1327,7 @@ int RunSelfCheck(Config cfg, const std::string& workdir) {
   server.port = PickPort();
   server.log = workdir + "/selfcheck_server.log";
   server.args = {cfg.self_path, "--serve-child", store_dir,
-                 std::to_string(server.port), "2", "0"};
+                 std::to_string(server.port), "2", "0", "0"};
   if (!EnsureUp(&server, "", 1, "[self-check spawn]")) return 1;
 
   // Probe every static model so the corrupted partition is read, then
@@ -1199,11 +1389,12 @@ int RunSelfCheck(Config cfg, const std::string& workdir) {
 int Main(int argc, char** argv) {
   // Internal child modes first: exact argv contracts, no flag parsing.
   if (argc >= 2 && std::strcmp(argv[1], "--serve-child") == 0) {
-    if (argc != 6) return 2;
+    if (argc != 6 && argc != 7) return 2;
     return RunServeChild(
         argv[2], static_cast<uint16_t>(std::strtoul(argv[3], nullptr, 10)),
         std::strtoull(argv[4], nullptr, 10),
-        std::strtoull(argv[5], nullptr, 10));
+        std::strtoull(argv[5], nullptr, 10),
+        argc == 7 && std::strcmp(argv[6], "1") == 0);
   }
   if (argc >= 2 && std::strcmp(argv[1], "--router-child") == 0) {
     if (argc < 4) return 2;
@@ -1232,10 +1423,13 @@ int Main(int argc, char** argv) {
       cfg.crash = true;
     } else if (arg == "--self-check") {
       cfg.self_check = true;
+    } else if (arg == "--pressure") {
+      cfg.pressure = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--seed S] [--clients N] [--duration-sec D] "
-                   "[--mode single|cluster|both] [--crash] [--self-check]\n",
+                   "[--mode single|cluster|both] [--crash] [--self-check] "
+                   "[--pressure]\n",
                    argv[0]);
       return 2;
     }
@@ -1255,9 +1449,12 @@ int Main(int argc, char** argv) {
     scratch = std::make_unique<bench::BenchDir>("soak_harness");
     workdir = scratch->path();
   }
-  std::printf("soak: seed=%llu clients=%d duration=%.0fs mode=%s crash=%s\n",
-              static_cast<unsigned long long>(cfg.seed), cfg.clients,
-              cfg.duration_sec, cfg.mode.c_str(), cfg.crash ? "on" : "off");
+  std::printf(
+      "soak: seed=%llu clients=%d duration=%.0fs mode=%s crash=%s "
+      "pressure=%s\n",
+      static_cast<unsigned long long>(cfg.seed), cfg.clients,
+      cfg.duration_sec, cfg.mode.c_str(), cfg.crash ? "on" : "off",
+      cfg.pressure ? "on" : "off");
 
   if (cfg.self_check) return RunSelfCheck(cfg, workdir);
 

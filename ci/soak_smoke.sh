@@ -41,6 +41,13 @@ for seed in "${SEEDS[@]}"; do
     --mode both --crash
 done
 
+# Buffer-pool pressure: a 64KB memory budget makes every read (including
+# the compressed-domain scans over quantized columns) contend on
+# pin/evict instead of hitting a warm pool.
+run_soak "pressure" \
+  --seed "${SEEDS[0]}" --clients "$CLIENTS" --duration-sec "$DURATION" \
+  --mode single --crash --pressure
+
 # The net must catch a real fault: an intentional bit-flip in a sealed
 # partition has to be detected and reported with a repro command.
 run_soak "selfcheck" --seed 5 --self-check

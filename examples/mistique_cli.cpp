@@ -90,6 +90,8 @@ int Usage() {
       "  fetch <proj.model.interm.col> [n]   remote fetch, print n values\n"
       "  trace <proj.model.interm.col> [n]   remote traced fetch\n"
       "  scan <proj.model.interm> <col> <lo> <hi>   remote predicate scan\n"
+      "  tracescan <proj.model.interm> <col> <lo> <hi>   remote traced scan\n"
+      "                                  (zone-map + scan_packed stages)\n"
       "  shardmap                        routing table (routers only)\n"
       "  health                          liveness + load probe\n"
       "  catalog                         model catalog (shape only)\n"
@@ -214,7 +216,7 @@ int RunRemote(int argc, char** argv) {
                  result.used_read ? "read" : "re-run");
     return 0;
   }
-  if (command == "scan" && argc == 8) {
+  if ((command == "scan" || command == "tracescan") && argc == 8) {
     ScanRequest scan;
     const std::string target = argv[4];
     const size_t d1 = target.find('.');
@@ -229,6 +231,15 @@ int RunRemote(int argc, char** argv) {
     scan.predicate_column = argv[5];
     scan.lo = std::atof(argv[6]);
     scan.hi = std::atof(argv[7]);
+    if (command == "tracescan") {
+      wire::TraceResultSummary summary;
+      const obs::QueryTrace trace = Check(client.TraceScan(scan, &summary));
+      std::fputs(trace.Format().c_str(), stdout);
+      std::fprintf(stderr, "(%llu matching rows x %llu cols, remote)\n",
+                   static_cast<unsigned long long>(summary.rows),
+                   static_cast<unsigned long long>(summary.cols));
+      return 0;
+    }
     ScanResult result = Check(client.Scan(scan));
     for (uint64_t row : result.row_ids) {
       std::printf("%llu\n", static_cast<unsigned long long>(row));

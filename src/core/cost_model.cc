@@ -5,6 +5,8 @@
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
+#include "scan/packed_view.h"
+#include "scan/scan_kernels.h"
 
 namespace mistique {
 
@@ -46,7 +48,41 @@ Status CostModel::Calibrate(DataStore* store, size_t probe_bytes) {
         ->Set(static_cast<int64_t>(params_.read_bytes_per_sec));
   }
   // The probe is scratch data; leave no footprint behind.
-  return store->DropPartition(pid);
+  MISTIQUE_RETURN_NOT_OK(store->DropPartition(pid));
+
+  // Second probe: ρ_p, the packed-scannable read path. Same cold
+  // file-read + decompress, but the predicate runs on the packed words
+  // (src/scan/) instead of dequantizing — so bytes/sec here is the rate
+  // the kernels actually sustain over stored KBIT/THRESHOLD bytes.
+  Rng prng(124);
+  std::vector<uint8_t> bins(probe_bytes);
+  for (uint8_t& b : bins) b = static_cast<uint8_t>(prng.NextBelow(256));
+  const PartitionId ppid = store->CreatePartition();
+  MISTIQUE_ASSIGN_OR_RETURN(ChunkId pchunk,
+                            store->AddChunk(ppid, ColumnChunk::FromBins(bins)));
+  MISTIQUE_RETURN_NOT_OK(store->SealPartition(ppid));
+  Stopwatch pwatch;
+  MISTIQUE_ASSIGN_OR_RETURN(std::vector<uint8_t> pbytes,
+                            store->disk().ReadPartition(ppid));
+  MISTIQUE_ASSIGN_OR_RETURN(Partition ppartition,
+                            Partition::Deserialize(pbytes));
+  MISTIQUE_ASSIGN_OR_RETURN(const ColumnChunk* pcold, ppartition.Get(pchunk));
+  if (auto view = scan::PackedView::Of(*pcold)) {
+    std::vector<uint64_t> hits;
+    scan::CmpPacked(*view, 64, 191, 0, &hits);
+    const double psecs = pwatch.ElapsedSeconds();
+    if (psecs > 1e-7 && !hits.empty()) {
+      params_.packed_read_bytes_per_sec =
+          static_cast<double>(probe_bytes) / psecs;
+      obs::GlobalMetrics()
+          .GetGauge("mistique_cost_model_packed_read_bytes_per_sec",
+                    "Calibrated rho_p (effective packed-scan bandwidth, "
+                    "bytes/sec) used for KBIT/THRESHOLD read-time "
+                    "estimates.")
+          ->Set(static_cast<int64_t>(params_.packed_read_bytes_per_sec));
+    }
+  }
+  return store->DropPartition(ppid);
 }
 
 double CostModel::RerunSeconds(const ModelInfo& model,
@@ -79,7 +115,10 @@ double CostModel::ReadSeconds(const IntermediateInfo& intermediate,
   const double bytes = intermediate.stored_bytes_per_ex *
                        static_cast<double>(rows_read) *
                        std::clamp(column_fraction, 0.0, 1.0);
-  return bytes / params_.read_bytes_per_sec;
+  const double rate = PackedScannable(intermediate)
+                          ? params_.packed_read_bytes_per_sec
+                          : params_.read_bytes_per_sec;
+  return bytes / rate;
 }
 
 double CostModel::Gamma(const ModelInfo& model,

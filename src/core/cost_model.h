@@ -17,6 +17,13 @@ struct CostModelParams {
   /// ρ: bytes/sec for streaming model input from its source (Eq. 3's input
   /// term). Input is pre-fetched in most experiments, making this large.
   double input_bytes_per_sec = 2e9;
+  /// ρ_p: effective bytes/sec for intermediates stored in a packed
+  /// scannable encoding (KBIT_QT / THRESHOLD_QT). The compressed-domain
+  /// kernels (src/scan/) skip dequantization and evaluate predicates on
+  /// the packed words, so the per-byte cost is well below ρ_d; Calibrate
+  /// measures it on the same store probe. Seen by ADAPTIVE decisions:
+  /// a cheaper t_read raises γ for quantized intermediates.
+  double packed_read_bytes_per_sec = 1.6e9;
 };
 
 /// MISTIQUE's query + storage cost models (Eq. 2-5). All model-specific
@@ -45,9 +52,18 @@ class CostModel {
 
   /// Eq. 4: seconds to read n_ex examples of the stored intermediate
   /// (optionally only `column_fraction` of its columns). Reads whole
-  /// RowBlocks, so n_ex rounds up to block granularity.
+  /// RowBlocks, so n_ex rounds up to block granularity. Intermediates in
+  /// a packed scannable encoding are costed at ρ_p instead of ρ_d.
   double ReadSeconds(const IntermediateInfo& intermediate, uint64_t n_ex,
                      double column_fraction = 1.0) const;
+
+  /// True when `intermediate`'s encoding qualifies for the
+  /// compressed-domain read path (src/scan/): KBIT_QT and THRESHOLD_QT
+  /// columns are bit-width-packed and scanned without dequantizing.
+  static bool PackedScannable(const IntermediateInfo& intermediate) {
+    return intermediate.scheme == QuantScheme::kKBit ||
+           intermediate.scheme == QuantScheme::kThreshold;
+  }
 
   /// The read-vs-rerun decision: true = read the stored intermediate.
   bool ShouldRead(const ModelInfo& model, const IntermediateInfo& intermediate,

@@ -12,6 +12,8 @@
 #include "metadata/catalog_wal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "scan/packed_view.h"
+#include "scan/scan_kernels.h"
 
 namespace mistique {
 
@@ -28,6 +30,10 @@ struct EngineMetrics {
   obs::Counter* engine_cache_lookups;
   obs::Counter* materializations_total;
   obs::Counter* mispredictions_total;
+  obs::Counter* scan_packed_blocks_total;
+  obs::Counter* scan_packed_rows_total;
+  obs::Counter* scan_decode_blocks_total;
+  obs::Counter* scan_packed_gather_total;
   EngineMetrics() {
     obs::MetricsRegistry& reg = obs::GlobalMetrics();
     fetch_total = reg.GetCounter(
@@ -55,6 +61,21 @@ struct EngineMetrics {
         "Fetches where the chosen strategy's actual time exceeded the "
         "alternative's estimate (only counted when both strategies were "
         "viable and force_read was unset).");
+    scan_packed_blocks_total = reg.GetCounter(
+        "mistique_scan_packed_blocks_total",
+        "RowBlocks evaluated by the compressed-domain kernels (predicate "
+        "run on packed words, no dequantization).");
+    scan_packed_rows_total = reg.GetCounter(
+        "mistique_scan_packed_rows_total",
+        "Rows matched by the compressed-domain scan kernels.");
+    scan_decode_blocks_total = reg.GetCounter(
+        "mistique_scan_decode_blocks_total",
+        "RowBlocks a scan evaluated via full decode (encoding not "
+        "packed-scannable).");
+    scan_packed_gather_total = reg.GetCounter(
+        "mistique_scan_packed_gather_total",
+        "Fetch chunks whose requested rows were gathered directly from "
+        "the packed encoding instead of decoding the whole chunk.");
   }
 };
 
@@ -945,10 +966,22 @@ Status Mistique::StageImport(
     interm.stage_index = in.stage_index;
     interm.num_rows = in.num_rows;
     interm.row_block_size = options_.row_block_size;
-    // Imports are always stored at full precision: the source shard
-    // already quantized at log time, so its fetch results ARE the stored
-    // domain — re-quantizing here would compound the error.
-    interm.scheme = QuantScheme::kNone;
+    // Imports default to full precision: the source shard already
+    // quantized at log time, so its fetch results ARE the stored domain —
+    // re-quantizing would compound the error. Callers with raw data may
+    // opt into a quantized encoding; the quantizer is fitted over every
+    // column of this intermediate so one table covers them all.
+    if (in.scheme == QuantScheme::kNone) {
+      interm.scheme = QuantScheme::kNone;
+    } else {
+      std::vector<double> sample;
+      for (const std::vector<double>& column : in.columns) {
+        sample.insert(sample.end(), column.begin(), column.end());
+      }
+      MISTIQUE_RETURN_NOT_OK(FitQuantizer(in.scheme, in.kbits,
+                                          options_.threshold_alpha, sample,
+                                          &interm));
+    }
     uint64_t encoded = 0;
     for (size_t c = 0; c < in.columns.size(); ++c) {
       ColumnInfo col;
@@ -1266,6 +1299,36 @@ Status Mistique::ReadColumns(const ModelInfo& model,
       }
       MISTIQUE_ASSIGN_OR_RETURN(const ColumnChunk* chunk,
                                 get_chunk(col.chunks[block_idx]));
+      // Packed-scannable chunks decode in place: only the requested
+      // offsets are pulled out of the packed words (one shifted word
+      // load + center lookup each), skipping the whole-chunk scratch
+      // decode. Reconstructed values are identical to DecodeAsDouble's.
+      const bool is_bit = chunk->dtype() == DType::kBit;
+      std::optional<scan::PackedView> view =
+          is_bit || (recon != nullptr && !recon->centers.empty())
+              ? scan::PackedView::Of(*chunk)
+              : std::nullopt;
+      if (view) {
+        obs::AccumSpan span("decode");
+        Metrics().scan_packed_gather_total->Increment();
+        std::vector<double>& out_col = out->columns[oi];
+        for (size_t k = r; k < r_end; ++k) {
+          const uint64_t offset = rows[k] % block;
+          if (offset >= view->n) {
+            return Status::OutOfRange("row offset beyond chunk");
+          }
+          const uint64_t bin = view->Get(offset);
+          if (is_bit) {
+            out_col[k] = bin ? 1.0 : 0.0;
+          } else if (bin < recon->centers.size()) {
+            out_col[k] = recon->centers[bin];
+          } else {
+            return Status::InvalidArgument("bin index out of range: " +
+                                           std::to_string(bin));
+          }
+        }
+        continue;
+      }
       Result<std::vector<double>> decoded_or = [&] {
         obs::AccumSpan span("decode");
         return chunk->DecodeAsDouble(recon);
@@ -1913,6 +1976,33 @@ Result<ScanResult> Mistique::Scan(const ScanRequest& request) {
         interm->scheme == QuantScheme::kKBit ? &interm->recon : nullptr;
     num_row_blocks = interm->NumRowBlocks();
 
+    // Compressed-domain predicate translation (docs/SCAN.md): bin centers
+    // are non-decreasing, so "reconstructed value in [lo, hi]" is exactly
+    // "stored bin in [lo_bin, hi_bin]" — translated once per query, then
+    // qualified chunks are scanned on their packed words without
+    // dequantizing a single cell. THRESHOLD_QT bitmaps reconstruct to
+    // {0, 1}, i.e. a two-entry center table.
+    static const std::vector<double> kThresholdCenters = {0.0, 1.0};
+    const std::vector<double>* centers = nullptr;
+    if (interm->scheme == QuantScheme::kKBit &&
+        !interm->recon.centers.empty()) {
+      centers = &interm->recon.centers;
+    } else if (interm->scheme == QuantScheme::kThreshold) {
+      centers = &kThresholdCenters;
+    }
+    const bool packed_pred = centers != nullptr;
+    int64_t lo_bin = 0;
+    int64_t hi_bin = -1;
+    if (packed_pred) {
+      lo_bin = std::lower_bound(centers->begin(), centers->end(),
+                                request.lo) -
+               centers->begin();
+      hi_bin = (std::upper_bound(centers->begin(), centers->end(),
+                                 request.hi) -
+                centers->begin()) -
+               1;
+    }
+
     if (pcol.materialized && !pcol.chunks.empty()) {
       const uint64_t block = interm->row_block_size;
       for (size_t b = 0; b < pcol.chunks.size(); ++b) {
@@ -1942,6 +2032,25 @@ Result<ScanResult> Mistique::Scan(const ScanRequest& request) {
           rerun_fallback = true;
           break;
         }
+        std::optional<scan::PackedView> view =
+            packed_pred && options_.enable_packed_scan
+                ? scan::PackedView::Of(*ref->chunk)
+                : std::nullopt;
+        if (view) {
+          // Packed path: predicate evaluated on the stored words.
+          obs::AccumSpan span("scan_packed");
+          const size_t before = out.row_ids.size();
+          if (lo_bin <= hi_bin) {
+            scan::CmpPacked(*view, static_cast<uint64_t>(lo_bin),
+                            static_cast<uint64_t>(hi_bin), b * block,
+                            &out.row_ids);
+          }
+          Metrics().scan_packed_blocks_total->Increment();
+          Metrics().scan_packed_rows_total->Add(out.row_ids.size() - before);
+          continue;
+        }
+        obs::AccumSpan span("scan_decode");
+        Metrics().scan_decode_blocks_total->Increment();
         MISTIQUE_ASSIGN_OR_RETURN(std::vector<double> decoded,
                                   ref->chunk->DecodeAsDouble(recon));
         for (size_t offset = 0; offset < decoded.size(); ++offset) {

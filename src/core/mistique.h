@@ -73,6 +73,13 @@ struct MistiqueOptions {
   /// off by default so unit tests stay fast).
   bool calibrate_on_open = false;
 
+  /// Evaluate POINTQ/TOPK/COL_DIFF predicates directly on bit-packed
+  /// quantized words (src/scan/) when the column qualifies. Off forces the
+  /// decode fallback for every block — the results are byte-identical
+  /// either way, so this exists only as the baseline for
+  /// bench/scan_throughput and as a debugging escape hatch.
+  bool enable_packed_scan = true;
+
   /// Where DNN checkpoints are written (defaults to <store.directory>/ckpt).
   std::string checkpoint_dir;
 };
@@ -145,6 +152,15 @@ struct ImportIntermediate {
   uint64_t num_rows = 0;
   std::vector<std::string> column_names;
   std::vector<std::vector<double>> columns;
+  /// Storage encoding for the imported columns. Defaults to full
+  /// precision — the right choice for rebalance ingest, where the source
+  /// shard already quantized at log time and re-quantizing would compound
+  /// the error. Opt into kKBit/kThreshold only for data that has never
+  /// been quantized (e.g. synthetic stores); the quantizer is fitted over
+  /// all of this intermediate's columns, and the resulting columns take
+  /// the compressed-domain scan path (docs/SCAN.md).
+  QuantScheme scheme = QuantScheme::kNone;
+  int kbits = 8;  ///< for kKBit
 };
 
 /// Snapshot of the catalog's shape (no chunk ids or quantization tables):

@@ -96,6 +96,12 @@ class Client {
   Result<obs::QueryTrace> TraceFetch(const FetchRequest& request,
                                      wire::TraceResultSummary* summary =
                                          nullptr);
+  /// A traced scan: same shape as TraceFetch but over the predicate scan
+  /// path — the trace shows zone-map pruning plus the scan_packed /
+  /// decode stage split (docs/SCAN.md). Matching data is not returned.
+  Result<obs::QueryTrace> TraceScan(const ScanRequest& request,
+                                    wire::TraceResultSummary* summary =
+                                        nullptr);
 
   bool connected() const { return fd_ >= 0; }
   /// Session id on the server; 0 when none is open.

@@ -215,6 +215,33 @@ FrameDisposition ServiceHandler::HandleFrame(uint64_t conn_token,
           });
       return FrameDisposition::kOk;
     }
+    case wire::MsgType::kTraceScanReq: {
+      uint64_t session = 0;
+      ScanRequest request;
+      // Same payload as kScanReq; only the response shape differs.
+      const Status decoded =
+          wire::DecodeScanRequest(frame.payload, &session, &request);
+      if (!decoded.ok()) {
+        respond(wire::MsgType::kErrorResp, wire::EncodeError(decoded));
+        return FrameDisposition::kMalformed;
+      }
+      service_->SubmitTraceScanAsync(
+          session, std::move(request), -1, frame.request_id,
+          [respond = std::move(respond)](Result<TracedScan> result) {
+            if (!result.ok()) {
+              respond(wire::MsgType::kErrorResp,
+                      wire::EncodeError(result.status()));
+              return;
+            }
+            wire::TraceResultSummary summary;
+            summary.rows = result->result.row_ids.size();
+            summary.cols = result->result.columns.size();
+            summary.used_read = true;  // scans always read the store
+            respond(wire::MsgType::kTraceResp,
+                    wire::EncodeQueryTrace(result->trace, summary));
+          });
+      return FrameDisposition::kOk;
+    }
     default:
       // A response type sent by a client: well-formed but nonsensical.
       respond(wire::MsgType::kErrorResp,

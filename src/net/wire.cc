@@ -23,7 +23,7 @@ void PutLe(std::string* out, uint64_t v, size_t bytes) {
 
 bool IsValidMsgType(uint8_t t) {
   return t >= static_cast<uint8_t>(MsgType::kPingReq) &&
-         t <= static_cast<uint8_t>(MsgType::kCatalogResp);
+         t <= static_cast<uint8_t>(MsgType::kTraceScanReq);
 }
 
 /// Message tag identifying a router's typed degraded kUnavailable (see

@@ -74,6 +74,10 @@ enum class MsgType : uint8_t {
   // streaming them over with ordinary fetches.
   kCatalogReq = 22,
   kCatalogResp = 23,      ///< payload: CatalogInfo
+  // Traced scan (additive, v1): same payload as kScanReq, answered with
+  // kTraceResp — how the compressed-domain scan_packed stage timings are
+  // observed remotely (docs/SCAN.md).
+  kTraceScanReq = 24,
 };
 
 /// True iff `t` names a known frame type (decode guard).

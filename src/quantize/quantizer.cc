@@ -65,7 +65,10 @@ Result<ColumnChunk> KBitQuantizer::Quantize(
   std::vector<uint8_t> bins(values.size());
   for (size_t i = 0; i < values.size(); ++i) bins[i] = BinOf(values[i]);
   if (k_ == 8) return ColumnChunk::FromBins(bins);
-  return ColumnChunk::FromPackedBins(bins, k_);
+  // Word-aligned so the src/scan/ kernels can evaluate predicates on the
+  // packed words directly; kPacked (bit-contiguous) stays readable for
+  // chunks sealed before this layout existed.
+  return ColumnChunk::FromPackedWords(bins, k_);
 }
 
 Result<KBitQuantizer> KBitQuantizer::FromTables(int k,

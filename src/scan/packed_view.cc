@@ -1,0 +1,41 @@
+#include "scan/packed_view.h"
+
+namespace mistique {
+namespace scan {
+
+bool PackedView::Qualifies(const ColumnChunk& chunk) {
+  switch (chunk.dtype()) {
+    case DType::kPackedW:
+      return chunk.bit_width() >= 1 && chunk.bit_width() <= 8;
+    case DType::kUInt8:
+    case DType::kBit:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::optional<PackedView> PackedView::Of(const ColumnChunk& chunk) {
+  if (!Qualifies(chunk)) return std::nullopt;
+  PackedView v;
+  v.data = chunk.data().data();
+  v.size_bytes = chunk.data().size();
+  v.n = chunk.num_values();
+  switch (chunk.dtype()) {
+    case DType::kPackedW:
+      v.bits = chunk.bit_width();
+      break;
+    case DType::kUInt8:
+      v.bits = 8;
+      break;
+    case DType::kBit:
+      v.bits = 1;
+      break;
+    default:
+      return std::nullopt;
+  }
+  return v;
+}
+
+}  // namespace scan
+}  // namespace mistique

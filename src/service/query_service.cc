@@ -512,4 +512,59 @@ Result<TracedFetch> QueryService::TraceFetch(SessionId session,
   return future.get();
 }
 
+void QueryService::SubmitTraceScanAsync(
+    SessionId session, ScanRequest request, double deadline_sec,
+    uint64_t trace_id, std::function<void(Result<TracedScan>)> done) {
+  if (deadline_sec < 0) deadline_sec = options_.default_deadline_sec;
+
+  Status reject;
+  std::shared_ptr<Session> s = Admit(session, &reject);
+  if (s == nullptr) {
+    done(reject);
+    return;
+  }
+
+  // Scans are never session-cached (results depend on predicate bounds,
+  // not just the intermediate), so unlike TraceFetch there is no cache
+  // branch: every traced scan runs through the engine.
+  const std::string description =
+      request.project + "." + request.model + "." + request.intermediate;
+
+  if (!TryEnqueue(&reject)) {
+    done(reject);
+    return;
+  }
+  const double submit_sec = NowSeconds();
+  pool_->Submit([this, submit_sec, deadline_sec, trace_id,
+                 description = std::move(description), done = std::move(done),
+                 request = std::move(request)]() mutable {
+    RunTask<TracedScan>(submit_sec, deadline_sec, done,
+                        [&]() -> Result<TracedScan> {
+                          TracedScan out;
+                          out.trace = obs::QueryTrace(trace_id, description);
+                          out.trace.queue_wait_sec = NowSeconds() - submit_sec;
+                          Result<ScanResult> result = [&] {
+                            obs::TraceScope scope(&out.trace);
+                            return engine_->Scan(request);
+                          }();
+                          out.trace.total_sec = out.trace.Elapsed();
+                          if (!result.ok()) return result.status();
+                          out.result = std::move(*result);
+                          return out;
+                        });
+  });
+}
+
+Result<TracedScan> QueryService::TraceScan(SessionId session,
+                                           const ScanRequest& request,
+                                           uint64_t trace_id) {
+  auto promise = std::make_shared<std::promise<Result<TracedScan>>>();
+  std::future<Result<TracedScan>> future = promise->get_future();
+  SubmitTraceScanAsync(session, request, /*deadline_sec=*/-1, trace_id,
+                       [promise](Result<TracedScan> result) {
+                         promise->set_value(std::move(result));
+                       });
+  return future.get();
+}
+
 }  // namespace mistique

@@ -86,6 +86,14 @@ struct TracedFetch {
   obs::QueryTrace trace;
 };
 
+/// A scan result bundled with its per-query trace — how the
+/// compressed-domain `scan_packed` stage (docs/SCAN.md) is observed
+/// end to end.
+struct TracedScan {
+  ScanResult result;
+  obs::QueryTrace trace;
+};
+
 /// Serves concurrent Fetch/GetIntermediates/Scan traffic from many
 /// diagnosis sessions against one Mistique engine (the ROADMAP's
 /// "many users, one store" surface).
@@ -177,6 +185,16 @@ class QueryService {
   /// Synchronous convenience for SubmitTraceFetchAsync.
   Result<TracedFetch> TraceFetch(SessionId session, const FetchRequest& request,
                                  uint64_t trace_id = 0);
+
+  /// Traced scan: SubmitScanAsync semantics with an obs::QueryTrace
+  /// installed around the engine call, so the reply shows zone-map
+  /// pruning and the scan_packed / decode stage split.
+  void SubmitTraceScanAsync(SessionId session, ScanRequest request,
+                            double deadline_sec, uint64_t trace_id,
+                            std::function<void(Result<TracedScan>)> done);
+  /// Synchronous convenience for SubmitTraceScanAsync.
+  Result<TracedScan> TraceScan(SessionId session, const ScanRequest& request,
+                               uint64_t trace_id = 0);
 
   size_t num_workers() const { return pool_->num_threads(); }
   Mistique* engine() const { return engine_; }

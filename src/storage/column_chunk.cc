@@ -10,13 +10,13 @@ namespace mistique {
 namespace {
 
 const char* kDTypeNames[] = {"float64", "float32", "float16", "uint8",
-                             "bit",     "int64",   "packed"};
+                             "bit",     "int64",   "packed",  "packedw"};
 
 }  // namespace
 
 const char* DTypeName(DType t) {
   const auto idx = static_cast<size_t>(t);
-  return idx < 7 ? kDTypeNames[idx] : "unknown";
+  return idx < 8 ? kDTypeNames[idx] : "unknown";
 }
 
 ColumnChunk ColumnChunk::FromDoubles(const std::vector<double>& values,
@@ -82,6 +82,26 @@ ColumnChunk ColumnChunk::FromPackedBins(const std::vector<uint8_t>& bins,
                      static_cast<uint8_t>(bits));
 }
 
+ColumnChunk ColumnChunk::FromPackedWords(const std::vector<uint8_t>& bins,
+                                         int bits) {
+  if (bits >= 8) return FromBins(bins);
+  if (bits < 1) bits = 1;
+  const size_t per_word = PackedWFieldsPerWord(static_cast<size_t>(bits));
+  std::vector<uint8_t> data(PackedWByteSize(static_cast<size_t>(bits),
+                                            bins.size()),
+                            0);
+  for (size_t i = 0; i < bins.size(); ++i) {
+    const size_t word = i / per_word;
+    const size_t shift = (i % per_word) * static_cast<size_t>(bits);
+    uint64_t w;
+    std::memcpy(&w, data.data() + word * sizeof(uint64_t), sizeof(w));
+    w |= static_cast<uint64_t>(bins[i]) << shift;
+    std::memcpy(data.data() + word * sizeof(uint64_t), &w, sizeof(w));
+  }
+  return ColumnChunk(DType::kPackedW, bins.size(), std::move(data),
+                     static_cast<uint8_t>(bits));
+}
+
 Result<std::vector<double>> ColumnChunk::DecodeAsDouble(
     const ReconstructionTable* recon) const {
   std::vector<double> out(num_values_);
@@ -142,6 +162,26 @@ Result<std::vector<double>> ColumnChunk::DecodeAsDouble(
         }
         if (bin >= recon->centers.size()) {
           return Status::InvalidArgument("packed bin index out of range");
+        }
+        out[i] = recon->centers[bin];
+      }
+      break;
+    }
+    case DType::kPackedW: {
+      if (recon == nullptr || recon->centers.empty()) {
+        return Status::InvalidArgument(
+            "packedw chunk decode requires a reconstruction table");
+      }
+      const size_t per_word = PackedWFieldsPerWord(bit_width_);
+      const uint64_t mask =
+          bit_width_ >= 64 ? ~0ull : (1ull << bit_width_) - 1;
+      for (uint64_t i = 0; i < num_values_; ++i) {
+        uint64_t w;
+        std::memcpy(&w, data_.data() + (i / per_word) * sizeof(uint64_t),
+                    sizeof(w));
+        const uint64_t bin = (w >> ((i % per_word) * bit_width_)) & mask;
+        if (bin >= recon->centers.size()) {
+          return Status::InvalidArgument("packedw bin index out of range");
         }
         out[i] = recon->centers[bin];
       }

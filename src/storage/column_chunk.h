@@ -51,6 +51,13 @@ class ColumnChunk {
   static ColumnChunk FromPackedBins(const std::vector<uint8_t>& bins,
                                     int bits);
 
+  /// Packs bin indices into the word-aligned kPackedW layout: floor(64/bits)
+  /// fields per little-endian u64 word, LSB-first within the word, spare
+  /// high bits zero. Fields never straddle a word, so scan kernels can load
+  /// whole words and compare all lanes at once. 1 <= bits <= 8.
+  static ColumnChunk FromPackedWords(const std::vector<uint8_t>& bins,
+                                     int bits);
+
   DType dtype() const { return dtype_; }
   uint64_t num_values() const { return num_values_; }
   /// Bits per stored value (meaningful for kPacked; equals DTypeBits

@@ -17,6 +17,9 @@ enum class DType : uint8_t {
   kInt64 = 5,    ///< integer ids (row_id, parcelid, categorical codes)
   kPacked = 6,   ///< k-bit packed bin indices (KBIT_QT with k<8); the bit
                  ///< width travels in ColumnChunk::bit_width()
+  kPackedW = 7,  ///< word-aligned k-bit bin indices: floor(64/k) fields per
+                 ///< little-endian u64 word, LSB-first, spare high bits
+                 ///< zero. Scannable in place by src/scan/ kernels.
 };
 
 /// Printable name ("float64", "bit", ...).
@@ -39,6 +42,8 @@ inline size_t DTypeBits(DType t) {
       return 64;
     case DType::kPacked:
       return 8;  // Upper bound; actual width is per-chunk (bit_width()).
+    case DType::kPackedW:
+      return 8;  // Upper bound; actual width is per-chunk (bit_width()).
   }
   return 64;
 }
@@ -46,6 +51,20 @@ inline size_t DTypeBits(DType t) {
 /// Bytes needed to store `n` values of type `t` (bit type rounds up).
 inline size_t DTypeByteSize(DType t, size_t n) {
   return (DTypeBits(t) * n + 7) / 8;
+}
+
+/// Fields per 64-bit word in the kPackedW layout. Fields never straddle a
+/// word boundary: with b-bit fields, floor(64/b) fit and the remaining
+/// 64 mod b high bits stay zero.
+inline size_t PackedWFieldsPerWord(size_t bits) {
+  return bits >= 1 && bits <= 64 ? 64 / bits : 1;
+}
+
+/// Bytes needed to store `n` values at `bits` bits each in the kPackedW
+/// word-aligned layout (whole little-endian u64 words).
+inline size_t PackedWByteSize(size_t bits, size_t n) {
+  const size_t per_word = PackedWFieldsPerWord(bits);
+  return ((n + per_word - 1) / per_word) * sizeof(uint64_t);
 }
 
 }  // namespace mistique

@@ -114,7 +114,7 @@ Result<Partition> Partition::Deserialize(const std::vector<uint8_t>& bytes) {
     MISTIQUE_RETURN_NOT_OK(r.GetU8(&e.bit_width));
     MISTIQUE_RETURN_NOT_OK(r.GetU64(&e.num_values));
     MISTIQUE_RETURN_NOT_OK(r.GetU64(&e.length));
-    if (dtype_tag > static_cast<uint8_t>(DType::kPacked)) {
+    if (dtype_tag > static_cast<uint8_t>(DType::kPackedW)) {
       return Status::Corruption("bad dtype tag in partition directory");
     }
     e.dtype = static_cast<DType>(dtype_tag);

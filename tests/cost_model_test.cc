@@ -78,6 +78,40 @@ TEST(CostModelTest, ShouldReadFlipsAcrossLayers) {
   EXPECT_TRUE(cm.ShouldRead(model, layer21, 50000));
 }
 
+TEST(CostModelTest, PackedReadRateFlipsReadVsRerun) {
+  // ρ_d = 100MB/s, ρ_p = 1.6GB/s: for a KBIT intermediate the read-time
+  // estimate uses the packed-scan rate, and that alone can flip the
+  // ADAPTIVE read-vs-rerun decision.
+  CostModelParams params = Params();
+  params.packed_read_bytes_per_sec = 1.6e9;
+  CostModel cm(params);
+  const ModelInfo model = DnnModel();
+
+  // 51200 rows x 10KB/ex = 512MB stored. Rerun ≈ 1.2 (load) + 0.63
+  // (input) + 0.51 (forward) ≈ 2.3s. Reading at ρ_d is 5.12s (worse
+  // than rerun), at ρ_p 0.32s (better).
+  IntermediateInfo interm = MakeInterm(51200, 1e-5, 10000);
+
+  interm.scheme = QuantScheme::kNone;
+  EXPECT_FALSE(CostModel::PackedScannable(interm));
+  EXPECT_FALSE(cm.ShouldRead(model, interm, 51200));
+
+  interm.scheme = QuantScheme::kKBit;
+  EXPECT_TRUE(CostModel::PackedScannable(interm));
+  EXPECT_TRUE(cm.ShouldRead(model, interm, 51200));
+  EXPECT_NEAR(cm.ReadSeconds(interm, 51200), 512e6 / 1.6e9, 1e-9);
+
+  interm.scheme = QuantScheme::kThreshold;
+  EXPECT_TRUE(CostModel::PackedScannable(interm));
+
+  // With ρ_p degraded to ρ_d (e.g. a calibration probe on spinning
+  // rust), the same quantized intermediate goes back to rerun.
+  params.packed_read_bytes_per_sec = params.read_bytes_per_sec;
+  CostModel slow(params);
+  interm.scheme = QuantScheme::kKBit;
+  EXPECT_FALSE(slow.ShouldRead(model, interm, 51200));
+}
+
 TEST(CostModelTest, UnmaterializedNeverRead) {
   CostModel cm(Params());
   const ModelInfo model = DnnModel();
@@ -119,6 +153,9 @@ TEST(CostModelTest, CalibrateMeasuresRealBandwidth) {
   // Anything plausible: 1MB/s .. 100GB/s.
   EXPECT_GT(cm.params().read_bytes_per_sec, 1e6);
   EXPECT_LT(cm.params().read_bytes_per_sec, 1e11);
+  // The second probe calibrates ρ_p over the packed-scan path.
+  EXPECT_GT(cm.params().packed_read_bytes_per_sec, 1e6);
+  EXPECT_LT(cm.params().packed_read_bytes_per_sec, 1e12);
   // The calibration probe must not leave storage behind.
   EXPECT_EQ(store.stored_bytes(), 0u);
   EXPECT_EQ(store.open_bytes(), 0u);

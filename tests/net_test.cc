@@ -23,6 +23,8 @@
 #include "net/client.h"
 #include "net/server.h"
 #include "net/wire.h"
+#include "nn/cifar.h"
+#include "nn/model_zoo.h"
 #include "pipeline/templates.h"
 #include "pipeline/zillow.h"
 #include "service/query_service.h"
@@ -560,12 +562,12 @@ TEST(WireTest, NewPayloadsRejectTruncationAtEveryByte) {
 
 TEST(WireTest, NewMsgTypesAreValidAndFuzzSafe) {
   for (uint8_t t = static_cast<uint8_t>(wire::MsgType::kMetricsReq);
-       t <= static_cast<uint8_t>(wire::MsgType::kCatalogResp); ++t) {
+       t <= static_cast<uint8_t>(wire::MsgType::kTraceScanReq); ++t) {
     EXPECT_TRUE(wire::IsValidMsgType(t)) << "type " << int{t};
   }
   EXPECT_FALSE(wire::IsValidMsgType(0));
   EXPECT_FALSE(wire::IsValidMsgType(
-      static_cast<uint8_t>(wire::MsgType::kCatalogResp) + 1));
+      static_cast<uint8_t>(wire::MsgType::kTraceScanReq) + 1));
 
   // Same LCG-garbage discipline as FuzzedPayloadDecodersNeverCrash, for
   // the decoders added since.
@@ -728,6 +730,58 @@ TEST_F(NetTest, RemoteScanMatchesInProcess) {
   ASSERT_OK_AND_ASSIGN(ScanResult remote, client.Scan(scan));
   EXPECT_EQ(remote.row_ids, ref.row_ids);
   EXPECT_EQ(remote.columns, ref.columns);
+}
+
+TEST_F(NetTest, RemoteTraceScanCarriesStagesAndSummary) {
+  // A quantized DNN store so the scan runs the packed kernels; the
+  // remote trace must show the scan_packed stage (docs/SCAN.md).
+  TempDir qdir("net_tracescan");
+  Mistique qmq;
+  {
+    CifarConfig config;
+    config.num_examples = 96;
+    const CifarData data = GenerateCifar(config);
+    auto input = std::make_shared<Tensor>(data.images);
+    MistiqueOptions opts;
+    opts.store.directory = qdir.path() + "/store";
+    opts.strategy = StorageStrategy::kDedup;
+    opts.row_block_size = 32;
+    opts.dnn_scheme = QuantScheme::kKBit;
+    opts.kbits = 4;
+    ASSERT_OK(qmq.Open(opts));
+    DnnScaleConfig scale;
+    scale.cnn_scale = 0.2;
+    auto net = BuildCifarCnn(scale);
+    ASSERT_OK(qmq.LogNetwork(net.get(), input, "cifar", "cnn").status());
+    ASSERT_OK(qmq.Flush());
+  }
+  QueryService qservice(&qmq, {});
+  net::Server qserver(&qservice, {});
+  ASSERT_OK(qserver.Start());
+
+  ScanRequest scan;
+  scan.project = "cifar";
+  scan.model = "cnn";
+  scan.intermediate = "layer7";
+  scan.predicate_column = "n0";
+  scan.lo = -1e30;
+  scan.hi = 1e30;
+  ASSERT_OK_AND_ASSIGN(ScanResult ref, qmq.Scan(scan));
+  ASSERT_EQ(ref.row_ids.size(), 96u);
+
+  net::ClientOptions copts;
+  copts.port = qserver.port();
+  net::Client client(copts);
+  wire::TraceResultSummary summary;
+  ASSERT_OK_AND_ASSIGN(obs::QueryTrace trace,
+                       client.TraceScan(scan, &summary));
+  EXPECT_EQ(summary.rows, ref.row_ids.size());
+  EXPECT_EQ(trace.description, "cifar.cnn.layer7");
+  EXPECT_GT(trace.total_sec, 0.0);
+  // The compressed-domain kernel stage survived the wire round-trip.
+  EXPECT_GT(trace.StageSeconds("scan_packed"), 0.0);
+  EXPECT_EQ(trace.StageSeconds("scan_decode"), 0.0);
+  qserver.Stop();
 }
 
 TEST_F(NetTest, ErrorsTravelTyped) {

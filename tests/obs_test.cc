@@ -344,8 +344,10 @@ TEST(WireObsTest, NewMsgTypesAreValid) {
       static_cast<uint8_t>(wire::MsgType::kTraceResp)));
   EXPECT_TRUE(wire::IsValidMsgType(
       static_cast<uint8_t>(wire::MsgType::kCatalogResp)));
+  EXPECT_TRUE(wire::IsValidMsgType(
+      static_cast<uint8_t>(wire::MsgType::kTraceScanReq)));
   EXPECT_FALSE(wire::IsValidMsgType(
-      static_cast<uint8_t>(wire::MsgType::kCatalogResp) + 1));
+      static_cast<uint8_t>(wire::MsgType::kTraceScanReq) + 1));
 }
 
 // --- End-to-end: engine + service ---

@@ -77,7 +77,12 @@ TEST_P(KBitWidthTest, PackedSizeMatchesK) {
   ASSERT_OK(q.Fit(GaussianSample(4000, 11)));
   const size_t n = 1024;
   ASSERT_OK_AND_ASSIGN(ColumnChunk c, q.Quantize(GaussianSample(n, 12)));
-  EXPECT_EQ(c.byte_size(), (n * static_cast<size_t>(k) + 7) / 8);
+  // k<8 uses the word-aligned scannable layout (floor(64/k) fields per u64
+  // word); k==8 stays one byte per bin.
+  const size_t expected =
+      k == 8 ? n : PackedWByteSize(static_cast<size_t>(k), n);
+  EXPECT_EQ(c.byte_size(), expected);
+  EXPECT_EQ(c.dtype(), k == 8 ? DType::kUInt8 : DType::kPackedW);
   ASSERT_OK_AND_ASSIGN(std::vector<double> decoded,
                        c.DecodeAsDouble(&q.reconstruction()));
   EXPECT_EQ(decoded.size(), n);
