@@ -13,6 +13,12 @@
 //
 // Knobs: MQ_EXAMPLES (default 256), MQ_ITERS (paired rounds, default 40),
 // MQ_BLOCK (fetches per timed pass, default 45).
+//
+// MQ_FLIGHTREC=1 measures the flight-recorder path instead: the ON pass
+// adds the per-request sampling draw plus span capture + Record() for
+// the sampled slice (MQ_SAMPLE_RATE, default 0.01) on top of the obs
+// runtime; the OFF pass is the plain fetch. This is the CI obs-smoke
+// gate: always-on retrospection must stay under the same 2% budget.
 
 #include <algorithm>
 #include <chrono>
@@ -24,7 +30,9 @@
 #include "core/mistique.h"
 #include "nn/cifar.h"
 #include "nn/model_zoo.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 using namespace mistique;         // NOLINT: bench brevity.
 using namespace mistique::bench;  // NOLINT
@@ -45,6 +53,8 @@ int main() {
   const int num_examples = EnvInt("MQ_EXAMPLES", 256);
   const size_t iters = static_cast<size_t>(EnvInt("MQ_ITERS", 40));
   const size_t block = static_cast<size_t>(EnvInt("MQ_BLOCK", 45));
+  const bool flightrec = EnvInt("MQ_FLIGHTREC", 0) != 0;
+  const double sample_rate = EnvInt("MQ_SAMPLE_RATE_PCT", 1) / 100.0;
 
   BenchDir dir("obs_overhead");
   CifarConfig data_config;
@@ -86,19 +96,39 @@ int main() {
   }
 
   std::printf("# obs_overhead: %zu paired rounds, %zu fetches/pass, "
-              "%zu layers, %d examples (obs compiled %s)\n",
+              "%zu layers, %d examples (obs compiled %s%s)\n",
               iters, block, requests.size(), num_examples,
-              obs::kCompiledIn ? "in" : "OUT");
+              obs::kCompiledIn ? "in" : "OUT",
+              flightrec ? ", flight recorder mode" : "");
+
+  // Flight-recorder mode: the ON pass pays the per-request sampling draw
+  // and, for the sampled slice, a span-traced fetch recorded into a
+  // bounded ring — exactly what a serving node does for plain traffic.
+  obs::FlightRecorderOptions recorder_options;
+  recorder_options.sample_rate = sample_rate;
+  obs::FlightRecorder recorder(recorder_options);
 
   // One sample = one timed pass over every layer (identical work in both
   // modes). Each round times an ON pass and an OFF pass back to back, in
   // alternating order, and records the paired ratio — the pairing cancels
   // frequency-scaling and cache drift that per-fetch timings cannot.
   const auto run_pass = [&](bool enabled) {
-    obs::SetEnabled(enabled);
+    if (!flightrec) obs::SetEnabled(enabled);
     const auto start = std::chrono::steady_clock::now();
     for (size_t i = 0; i < block; ++i) {
-      CheckOk(mq.Fetch(requests[i % requests.size()]), "fetch");
+      const FetchRequest& req = requests[i % requests.size()];
+      if (flightrec && enabled && recorder.Sample()) {
+        obs::QueryTrace trace(obs::NewTraceId(), "bench fetch");
+        trace.sampled = true;
+        {
+          obs::TraceScope scope(&trace);
+          CheckOk(mq.Fetch(req), "fetch");
+        }
+        trace.total_sec = trace.Elapsed();
+        recorder.Record(std::move(trace));
+      } else {
+        CheckOk(mq.Fetch(req), "fetch");
+      }
     }
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                          start)

@@ -11,7 +11,8 @@
 // The driver spawns this same binary as server children, drives them
 // with N concurrent wire-protocol clients each running a seeded random
 // op mix (fetch / traced fetch / scan / compressed-domain scan over
-// quantized columns / session churn / catalog / stats / health), while
+// quantized columns / distributed-trace + flight-recorder retrospection
+// / session churn / catalog / stats / health), while
 // a supervisor thread SIGKILLs and restarts servers —
 // some restarts armed with MISTIQUE_FAULT_POINT so the child _Exit(91)s
 // mid-write at a labeled crash point. A churn thread inside the
@@ -63,6 +64,7 @@
 #include <fstream>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -77,6 +79,8 @@
 #include "durability/fault_injection.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 #include "service/query_service.h"
 
 namespace mistique {
@@ -258,6 +262,10 @@ int RunServeChild(const std::string& store_dir, uint16_t port, size_t workers,
     std::printf("recovery: %s\n", warning.c_str());
   }
 
+  // Aggressive retrospection policy: the soak clients dump/cross-check
+  // the recorder continuously, so it should actually hold traces.
+  obs::GlobalFlightRecorder().SetPolicy(/*sample_rate=*/0.25,
+                                        /*slow_threshold_sec=*/0.05);
   QueryServiceOptions service_options;
   service_options.num_workers = workers;
   QueryService service(&mq, service_options);
@@ -322,6 +330,8 @@ int RunRouterChild(uint16_t port, const std::vector<std::string>& endpoints) {
                      static_cast<uint16_t>(std::strtoul(
                          endpoints[i].c_str() + colon + 1, nullptr, 10))});
   }
+  obs::GlobalFlightRecorder().SetPolicy(/*sample_rate=*/0.25,
+                                        /*slow_threshold_sec=*/0.05);
   cluster::Router router(cluster::ShardMap(1, specs));
   CheckOk(router.Start(), "router start");
 
@@ -552,6 +562,62 @@ void VerifyFetchResult(const FetchResult& result, int formula_index,
               std::to_string(Col0(formula_index, r)) + ")");
       return;
     }
+  }
+}
+
+/// A trace handed out by the flight recorder (or a response envelope)
+/// must be internally consistent: rings copy/move traces whole under a
+/// lock, so a torn or partially-written trace — garbage ids, unnamed
+/// events, negative offsets, stage sums exceeding the recorded total —
+/// is a synchronization bug, not bad luck. `slack` absorbs timer
+/// coarseness, never tearing.
+void VerifyTraceIntegrity(const obs::QueryTrace& trace,
+                          const std::string& where, int depth = 0) {
+  if (trace.trace_id == 0) Violate(where + ": zero trace id");
+  if (trace.node.empty()) Violate(where + ": empty node");
+  if (!std::isfinite(trace.total_sec) || trace.total_sec < 0 ||
+      trace.total_sec > 3600) {
+    Violate(where + ": implausible total_sec " +
+            std::to_string(trace.total_sec));
+  }
+  constexpr double kSlack = 0.25;
+  double top_level = 0;
+  for (const obs::TraceEvent& event : trace.events()) {
+    if (event.name.empty()) Violate(where + ": unnamed event");
+    if (!std::isfinite(event.start_sec) || event.start_sec < 0 ||
+        !std::isfinite(event.duration_sec) || event.duration_sec < 0) {
+      Violate(where + ": negative/garbage event timing in " + event.name);
+    }
+    if (event.depth == 0) top_level += event.duration_sec;
+  }
+  double stage_sum = 0;
+  for (const obs::TraceStageTotal& stage : trace.stage_totals()) {
+    if (stage.name.empty()) Violate(where + ": unnamed stage total");
+    if (stage.count == 0) Violate(where + ": zero-count stage total");
+    if (!std::isfinite(stage.total_sec) || stage.total_sec < 0) {
+      Violate(where + ": garbage stage total in " + stage.name);
+    }
+    stage_sum += stage.total_sec;
+  }
+  // Stage times are measured inside the request, so neither the
+  // top-level span sum nor the per-chunk accumulator sum can exceed the
+  // request's own recorded latency.
+  if (trace.total_sec > 0) {
+    if (top_level > trace.total_sec + kSlack) {
+      Violate(where + ": top-level span sum " + std::to_string(top_level) +
+              "s exceeds total " + std::to_string(trace.total_sec) + "s");
+    }
+    if (stage_sum > trace.total_sec + kSlack) {
+      Violate(where + ": stage sum " + std::to_string(stage_sum) +
+              "s exceeds total " + std::to_string(trace.total_sec) + "s");
+    }
+  }
+  if (depth > 4) {
+    Violate(where + ": trace tree deeper than any hop count we run");
+    return;
+  }
+  for (const obs::QueryTrace& child : trace.children) {
+    VerifyTraceIntegrity(child, where + " >child", depth + 1);
   }
 }
 
@@ -793,6 +859,73 @@ void ClientWorker(const Config& cfg, uint16_t port, int client_index,
         Violate(where("health") + ": unexpected draining state");
       } else if (!r.ok() && !ToleratedCode(r.status().code())) {
         Violate(where("health") + ": " + r.status().ToString());
+      }
+    } else if (dice < 96) {  // distributed trace + flight recorder
+      const uint64_t flavor = rng.NextBelow(4);
+      if (flavor < 2) {
+        // Enveloped traced fetch: the hop's trace rides back with the
+        // response. Its stage times were measured inside the request, so
+        // their sum is bounded by the latency this client observed over
+        // the wire (plus generous slack for retries and coarse clocks).
+        const int idx = static_cast<int>(rng.NextBelow(kStaticModels));
+        const uint64_t n_ex = 1 + rng.NextBelow(kRows);
+        FetchRequest req;
+        req.project = "soak";
+        req.model = "m" + std::to_string(idx);
+        req.intermediate = "pred";
+        req.n_ex = n_ex;
+        client.SetTraceContext({obs::NewTraceId(), 0, true});
+        const auto start = std::chrono::steady_clock::now();
+        Result<FetchResult> r = client.Fetch(req);
+        const double wire_sec = std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() - start)
+                                    .count();
+        std::optional<obs::QueryTrace> trace = client.TakeLastTrace();
+        client.ClearTraceContext();
+        const std::string desc = where("dtrace soak.m" + std::to_string(idx));
+        if (r.ok()) {
+          VerifyFetchResult(*r, idx, n_ex, desc);
+          if (trace.has_value()) {
+            VerifyTraceIntegrity(*trace, desc);
+            if (!trace->sampled) Violate(desc + ": unsampled trace echoed");
+            double stage_sum = 0;
+            for (const obs::TraceStageTotal& stage : trace->stage_totals()) {
+              stage_sum += stage.total_sec;
+            }
+            if (stage_sum > wire_sec + 1.0) {
+              Violate(desc + ": trace stage sum " +
+                      std::to_string(stage_sum) +
+                      "s exceeds wire latency " + std::to_string(wire_sec) +
+                      "s");
+            }
+          } else {
+            Violate(desc + ": sampled envelope came back without a trace");
+          }
+        } else if (!ToleratedCode(r.status().code())) {
+          Violate(desc + ": " + r.status().ToString());
+        }
+      } else {
+        // Retrospection under churn: whatever the rings return must be
+        // whole — never a torn/partial trace.
+        const bool slow = flavor == 3;
+        Result<std::vector<obs::QueryTrace>> r =
+            slow ? client.SlowLog(8) : client.TraceDump(8);
+        const std::string desc = where(slow ? "slowlog" : "trace-dump");
+        if (r.ok()) {
+          for (size_t i = 0; i < r->size(); ++i) {
+            VerifyTraceIntegrity((*r)[i], desc + " #" + std::to_string(i));
+          }
+          if (slow) {
+            for (size_t i = 1; i < r->size(); ++i) {
+              if ((*r)[i - 1].total_sec < (*r)[i].total_sec) {
+                Violate(desc + ": slow log not sorted slowest-first");
+                break;
+              }
+            }
+          }
+        } else if (!ToleratedCode(r.status().code())) {
+          Violate(desc + ": " + r.status().ToString());
+        }
       }
     } else {  // session churn: drop server-side cache state
       const Status st = client.CloseSession();

@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# Observability smoke (docs/OBSERVABILITY.md): 2-shard cluster behind the
+# router with a trace-everything policy, mixed traffic, then verify the
+# retrospection surfaces end to end:
+#   - dtrace through the router returns ONE assembled tree — a @router
+#     root with the owning shard's child subtree grafted under it,
+#   - remote slowlog answers over the wire on the router AND on a shard
+#     (cross-shard: the same partition shows up in both nodes' logs with
+#     per-stage timings),
+#   - remote flightrec dumps recent sampled traces and the Chrome
+#     trace_event export parses as JSON,
+#   - the obs_overhead paired-ratio gate stays < 2% with the flight
+#     recorder enabled at a 1% sample rate.
+#
+# Usage: ci/obs_smoke.sh [build_dir]   (default: build)
+set -euo pipefail
+source "$(dirname "$0")/lib.sh"
+
+BUILD_DIR="${1:-build}"
+CLI="$BUILD_DIR/examples/mistique_cli"
+KEY="zillow.P1_v0.train_merged.logerror"
+SCAN_TARGET="zillow.P1_v0.train_merged"
+STORE=/tmp/mistique_quickstart/store
+
+smoke_init
+# Router on BASE_PORT, shards on the next two.
+BASE_PORT=$(pick_port_block "${OBS_SMOKE_PORT:-7470}" 3)
+SHARD_PORTS=($((BASE_PORT + 1)) $((BASE_PORT + 2)))
+SHARD_PIDS=("" "")
+
+echo "== seed store =="
+"$BUILD_DIR/examples/quickstart" > /dev/null
+
+echo "== split across 2 shards =="
+"$CLI" cluster split "$STORE" "$WORK/shard" 2 | tee "$WORK/split.txt"
+
+echo "== start 2 shard servers + router, trace-everything policy =="
+# Sample every request and treat every query as slow, so each surface
+# below is deterministically populated.
+export MISTIQUE_TRACE_SAMPLE_RATE=1.0
+export MISTIQUE_TRACE_SLOW_SEC=0.000001
+for i in 0 1; do
+  spawn_server "$WORK/shard$i.log" "serving" \
+      "$CLI" "$WORK/shard$i" serve "${SHARD_PORTS[$i]}" 2
+  SHARD_PIDS[$i]=$SPAWNED_PID
+  SHARD_PORTS[$i]=${SPAWNED_PORT:-${SHARD_PORTS[$i]}}
+done
+spawn_server "$WORK/router.log" "routing" \
+    "$CLI" cluster route "$BASE_PORT" \
+    "127.0.0.1:${SHARD_PORTS[0]}" "127.0.0.1:${SHARD_PORTS[1]}"
+ROUTER_PID=$SPAWNED_PID
+BASE_PORT=${SPAWNED_PORT:-$BASE_PORT}
+ROUTER="127.0.0.1:$BASE_PORT"
+
+echo "== mixed traffic through the router =="
+"$CLI" remote "$ROUTER" fetch "$KEY" 25 > /dev/null 2>&1
+"$CLI" remote "$ROUTER" scan "$SCAN_TARGET" taxamount 0 1e9 > /dev/null 2>&1
+"$CLI" remote "$ROUTER" session "$KEY" 3 10 > /dev/null
+
+echo "== dtrace: one assembled tree, @router root + shard child =="
+"$CLI" remote "$ROUTER" dtrace "$KEY" 25 "$WORK/trace.json" 2>/dev/null \
+    | tee "$WORK/dtrace.txt"
+grep -q "@router" "$WORK/dtrace.txt" || { echo "no @router root"; exit 1; }
+grep -q "@store" "$WORK/dtrace.txt" || {
+  echo "no shard child grafted into the tree"; exit 1; }
+
+echo "== Chrome trace_event export parses as JSON =="
+[[ -s "$WORK/trace.json" ]] || { echo "empty chrome export"; exit 1; }
+if command -v python3 > /dev/null; then
+  python3 -c "import json; json.load(open('$WORK/trace.json'))" || {
+    echo "chrome export is not valid JSON"; exit 1; }
+else
+  grep -q '"ph"' "$WORK/trace.json"
+fi
+
+echo "== remote slowlog answers over the wire at the router =="
+"$CLI" remote "$ROUTER" slowlog 5 2>/dev/null | tee "$WORK/router_slowlog.txt"
+grep -q -- "--- trace" "$WORK/router_slowlog.txt" || {
+  echo "router slowlog came back empty"; exit 1; }
+grep -q "zillow.P1_v0" "$WORK/router_slowlog.txt" || {
+  echo "router slowlog does not name the hot partition"; exit 1; }
+
+echo "== ...and cross-shard: the owning shard's slowlog has stage timings =="
+for i in 0 1; do
+  "$CLI" remote "127.0.0.1:${SHARD_PORTS[$i]}" slowlog 5 2>/dev/null \
+      > "$WORK/shard${i}_slowlog.txt" || true
+done
+grep -l "zillow.P1_v0" "$WORK/shard0_slowlog.txt" "$WORK/shard1_slowlog.txt" \
+    > "$WORK/owner_slowlog.lst" || {
+  echo "no shard slowlog names the partition"; exit 1; }
+# The shard-side entries carry the engine's per-stage breakdown.
+grep -q "actual:     total" $(cat "$WORK/owner_slowlog.lst") || {
+  echo "shard slowlog is missing per-query timings"; exit 1; }
+
+echo "== remote flightrec dumps recent sampled traces =="
+"$CLI" remote "$ROUTER" flightrec 5 2>/dev/null | tee "$WORK/flightrec.txt"
+grep -q -- "--- trace" "$WORK/flightrec.txt" || {
+  echo "flight recorder came back empty"; exit 1; }
+
+echo "== SIGTERM -> clean drain (router, then shards) =="
+stop_clean "$ROUTER_PID" "$WORK/router.log" "routed:"
+for i in 0 1; do
+  stop_clean "${SHARD_PIDS[$i]}" "$WORK/shard$i.log"
+done
+
+echo "== flight-recorder overhead gate (< 2% at 1% sample rate) =="
+unset MISTIQUE_TRACE_SAMPLE_RATE MISTIQUE_TRACE_SLOW_SEC
+MQ_FLIGHTREC=1 MQ_SAMPLE_RATE_PCT=1 "$BUILD_DIR/bench/obs_overhead" \
+    | tee "$WORK/overhead.txt"
+PCT=$(sed -n 's/.*ratio): \([+-][0-9.]*\)%.*/\1/p' "$WORK/overhead.txt")
+[[ -n "$PCT" ]] || { echo "could not parse overhead ratio"; exit 1; }
+awk -v p="$PCT" 'BEGIN { exit !(p < 2.0) }' || {
+  echo "flight-recorder overhead $PCT% breaches the 2% budget"; exit 1; }
+echo "overhead $PCT% within budget"
+
+echo "obs smoke OK"

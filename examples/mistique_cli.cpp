@@ -14,6 +14,8 @@
 //   mistique_cli <store_dir> train_serve [port] [workers] [epochs] [rows]
 //   mistique_cli <store_dir> metrics
 //   mistique_cli <store_dir> trace <project.model.intermediate.column> [n]
+//   mistique_cli <store_dir> flightrec [n] [chrome.json]
+//   mistique_cli <store_dir> slowlog [n]
 //
 // Remote mode talks the wire protocol to a running `serve` instance; no
 // store directory needed on the client machine:
@@ -23,6 +25,9 @@
 //   mistique_cli remote <host:port> metrics
 //   mistique_cli remote <host:port> fetch <project.model.intermediate.column> [n]
 //   mistique_cli remote <host:port> trace <project.model.intermediate.column> [n]
+//   mistique_cli remote <host:port> dtrace <project.model.intermediate.column> [n] [chrome.json]
+//   mistique_cli remote <host:port> flightrec [n] [chrome.json]
+//   mistique_cli remote <host:port> slowlog [n]
 //   mistique_cli remote <host:port> session <project.model.intermediate.column> [S] [Q]
 
 #include <csignal>
@@ -32,6 +37,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -44,6 +50,8 @@
 #include "net/server.h"
 #include "nn/cifar.h"
 #include "nn/model_zoo.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 #include "service/query_service.h"
 
 using namespace mistique;  // NOLINT: CLI brevity.
@@ -83,6 +91,10 @@ int Usage() {
       "  metrics                         Prometheus-style metric exposition\n"
       "  trace <proj.model.interm.col> [n]   fetch with a cost-decision\n"
       "                                  trace (estimates vs actual stages)\n"
+      "  flightrec [n] [json]            profile every intermediate fully\n"
+      "                                  sampled, dump the flight recorder\n"
+      "                                  (optional Chrome trace_event json)\n"
+      "  slowlog [n]                     same workload, slowest-first view\n"
       "       mistique_cli remote <host:port> <command>\n"
       "  ping                            round-trip liveness check\n"
       "  stats                           remote service + query statistics\n"
@@ -92,6 +104,12 @@ int Usage() {
       "  scan <proj.model.interm> <col> <lo> <hi>   remote predicate scan\n"
       "  tracescan <proj.model.interm> <col> <lo> <hi>   remote traced scan\n"
       "                                  (zone-map + scan_packed stages)\n"
+      "  dtrace <proj.model.interm.col> [n] [json]   distributed traced\n"
+      "                                  fetch: prints the assembled\n"
+      "                                  cross-node trace tree\n"
+      "  flightrec [n] [json]            recent sampled traces retained by\n"
+      "                                  the remote node's flight recorder\n"
+      "  slowlog [n]                     the remote node's slow-query log\n"
       "  shardmap                        routing table (routers only)\n"
       "  health                          liveness + load probe\n"
       "  catalog                         model catalog (shape only)\n"
@@ -114,6 +132,47 @@ int Usage() {
 std::atomic<bool> g_shutdown{false};
 
 void HandleSignal(int /*sig*/) { g_shutdown.store(true); }
+
+/// Serving modes honor MISTIQUE_TRACE_SAMPLE_RATE / MISTIQUE_TRACE_SLOW_SEC:
+/// the flight-recorder policy knobs (docs/OBSERVABILITY.md) without a
+/// config file. Unset variables keep the recorder defaults.
+void ApplyTracePolicyFromEnv() {
+  obs::FlightRecorder& recorder = obs::GlobalFlightRecorder();
+  double rate = recorder.sample_rate();
+  double slow = recorder.slow_threshold_sec();
+  if (const char* env = std::getenv("MISTIQUE_TRACE_SAMPLE_RATE")) {
+    rate = std::atof(env);
+  }
+  if (const char* env = std::getenv("MISTIQUE_TRACE_SLOW_SEC")) {
+    slow = std::atof(env);
+  }
+  recorder.SetPolicy(rate, slow);
+}
+
+void PrintTraceList(const std::vector<obs::QueryTrace>& traces) {
+  if (traces.empty()) {
+    std::printf("(no traces retained)\n");
+    return;
+  }
+  for (size_t i = 0; i < traces.size(); ++i) {
+    std::printf("--- trace %zu/%zu ---\n", i + 1, traces.size());
+    std::fputs(traces[i].Format().c_str(), stdout);
+  }
+}
+
+/// Writes the Chrome trace_event JSON for `trace` (load the file via
+/// chrome://tracing or ui.perfetto.dev).
+void ExportChromeJson(const obs::QueryTrace& trace, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    std::exit(1);
+  }
+  const std::string json = obs::TraceToChromeJson(trace);
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote Chrome trace to %s\n", path);
+}
 
 /// Splits "host:port"; exits on malformed input.
 net::ClientOptions ParseEndpoint(const std::string& endpoint) {
@@ -249,6 +308,43 @@ int RunRemote(int argc, char** argv) {
                  result.row_ids.size(),
                  static_cast<unsigned long long>(result.blocks_scanned),
                  static_cast<unsigned long long>(result.blocks_pruned));
+    return 0;
+  }
+  if (command == "slowlog") {
+    const uint32_t n =
+        argc >= 5 ? static_cast<uint32_t>(std::strtoul(argv[4], nullptr, 10))
+                  : 0;
+    PrintTraceList(Check(client.SlowLog(n)));
+    return 0;
+  }
+  if (command == "flightrec") {
+    const uint32_t n =
+        argc >= 5 ? static_cast<uint32_t>(std::strtoul(argv[4], nullptr, 10))
+                  : 0;
+    const std::vector<obs::QueryTrace> traces = Check(client.TraceDump(n));
+    PrintTraceList(traces);
+    if (argc >= 6 && !traces.empty()) ExportChromeJson(traces.front(), argv[5]);
+    return 0;
+  }
+  if (command == "dtrace" && argc >= 5) {
+    // Distributed traced fetch: the request travels in a kTracedReq
+    // envelope, so a router answers with its assembled per-shard tree.
+    const uint64_t n = argc >= 6 ? std::strtoull(argv[5], nullptr, 10) : 10;
+    FetchRequest request =
+        Check(Mistique::ParseIntermediateKeys({argv[4]}, n));
+    client.SetTraceContext({obs::NewTraceId(), 0, true});
+    FetchResult result = Check(client.Fetch(request));
+    std::optional<obs::QueryTrace> trace = client.TakeLastTrace();
+    client.ClearTraceContext();
+    if (trace.has_value()) {
+      std::fputs(trace->Format().c_str(), stdout);
+      if (argc >= 7) ExportChromeJson(*trace, argv[6]);
+    } else {
+      std::printf("(hop attached no trace)\n");
+    }
+    const size_t rows = result.columns.empty() ? 0 : result.columns[0].size();
+    std::fprintf(stderr, "(%zu rows x %zu cols, remote)\n", rows,
+                 result.columns.size());
     return 0;
   }
   if (command == "shardmap") {
@@ -430,6 +526,7 @@ int RunCluster(int argc, char** argv) {
       specs.push_back({static_cast<uint32_t>(i - 4), endpoint.host,
                        endpoint.port});
     }
+    ApplyTracePolicyFromEnv();
     cluster::Router router(cluster::ShardMap(1, specs));
     Check(router.Start());
 
@@ -655,6 +752,7 @@ int main(int argc, char** argv) {
                   : 0;
     const size_t workers = argc >= 5 ? std::strtoull(argv[4], nullptr, 10) : 4;
 
+    ApplyTracePolicyFromEnv();
     QueryServiceOptions service_options;
     service_options.num_workers = workers;
     QueryService service(&mq, service_options);
@@ -702,6 +800,7 @@ int main(int argc, char** argv) {
     const int epochs = argc >= 6 ? std::atoi(argv[5]) : 4;
     const int rows = argc >= 7 ? std::atoi(argv[6]) : 256;
 
+    ApplyTracePolicyFromEnv();
     QueryServiceOptions service_options;
     service_options.num_workers = workers;
     QueryService service(&mq, service_options);
@@ -763,6 +862,37 @@ int main(int argc, char** argv) {
     // catalog recovery above already populated.
     QueryService service(&mq);
     std::fputs(service.MetricsText().c_str(), stdout);
+    return 0;
+  }
+  if (command == "flightrec" || command == "slowlog") {
+    // Local profiling: fetch every intermediate once through a
+    // fully-sampled service, then dump what the recorder retained —
+    // `flightrec` shows the recent ring (newest first), `slowlog` the
+    // slowest queries. A tiny slow threshold means everything also
+    // lands in the slow log, so both views work on a one-shot workload.
+    const size_t n = argc >= 4 ? std::strtoull(argv[3], nullptr, 10) : 0;
+    obs::FlightRecorder& recorder = obs::GlobalFlightRecorder();
+    recorder.SetPolicy(1.0, 1e-9);
+    QueryService service(&mq);
+    const SessionId session = service.OpenSession();
+    for (ModelId id : mq.metadata().ListModels()) {
+      const ModelInfo* model = Check(mq.metadata().GetModel(id));
+      for (const IntermediateInfo& interm : model->intermediates) {
+        FetchRequest req;
+        req.project = model->project;
+        req.model = model->name;
+        req.intermediate = interm.name;
+        req.n_ex = interm.num_rows < 32 ? interm.num_rows : 32;
+        (void)service.Fetch(session, req);
+      }
+    }
+    Check(service.CloseSession(session));
+    const std::vector<obs::QueryTrace> traces =
+        command == "slowlog" ? recorder.SlowLog(n) : recorder.Dump(n);
+    PrintTraceList(traces);
+    if (command == "flightrec" && argc >= 5 && !traces.empty()) {
+      ExportChromeJson(traces.front(), argv[4]);
+    }
     return 0;
   }
   if (command == "trace" && argc >= 4) {

@@ -16,10 +16,23 @@ std::string ShardLabel(const ShardSpec& spec) {
          std::to_string(spec.port) + ")";
 }
 
+std::string DescribeFetch(const FetchRequest& request) {
+  return request.project + "." + request.model + "." + request.intermediate;
+}
+
+std::string DescribeScan(const ScanRequest& request) {
+  return request.project + "." + request.model + "." + request.intermediate +
+         " scan(" + request.predicate_column + ")";
+}
+
 }  // namespace
 
 Router::Router(ShardMap map, RouterOptions options)
-    : map_(std::move(map)), options_(std::move(options)) {
+    : map_(std::move(map)),
+      options_(std::move(options)),
+      recorder_(options_.flight_recorder != nullptr
+                    ? options_.flight_recorder
+                    : &obs::GlobalFlightRecorder()) {
   pool_ = std::make_shared<ShardClientPool>(
       map_, options_.shard_client, options_.max_idle_clients_per_shard);
   up_.reserve(map_.shards().size());
@@ -207,8 +220,112 @@ Result<FetchResult> Router::ForwardFetch(size_t shard_index,
   return st;
 }
 
+Result<FetchResult> Router::ForwardTracedFetch(size_t shard_index,
+                                               const FetchRequest& request,
+                                               obs::QueryTrace* root) {
+  const std::string label = ShardLabel(map_.shards()[shard_index]);
+  const uint64_t trace_id = root->trace_id;
+  auto graft = [root, &label](std::optional<obs::QueryTrace> child) {
+    if (!child.has_value()) return;
+    if (child->node.empty()) child->node = label;
+    root->children.push_back(std::move(*child));
+  };
+
+  if (options_.hedge_delay_sec <= 0) {
+    std::optional<obs::QueryTrace> child;
+    const double start = root->Elapsed();
+    Result<FetchResult> result = Forward<FetchResult>(
+        shard_index, [&request, &child, trace_id](net::Client* client) {
+          // Fresh span id per attempt, so a retried forward's child trace
+          // is distinguishable from the first try's. The context must be
+          // cleared before the lease returns to the pool: pooled clients
+          // are reused for un-traced traffic.
+          client->SetTraceContext({trace_id, obs::NewTraceId(), true});
+          Result<FetchResult> r = client->Fetch(request);
+          child = client->TakeLastTrace();
+          client->ClearTraceContext();
+          return r;
+        });
+    root->AddEvent("forward " + label, 0, start, root->Elapsed() - start, 0);
+    graft(std::move(child));
+    return result;
+  }
+
+  if (!ShardUp(shard_index)) {
+    return DegradedShard(shard_index, "request not forwarded");
+  }
+  // The hedged twin of ForwardFetch: both attempts carry the trace
+  // context, the first answer wins, and only the winner's child trace is
+  // grafted (the loser finishes on its own and its trace dies with it —
+  // we cannot wait for a response we hedged away from). The root gets
+  // one attempt span per launch, winner tagged, so hedge wins are
+  // visible in the assembled tree.
+  struct HedgeState {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::optional<Result<FetchResult>> result;
+    std::optional<obs::QueryTrace> child;
+    bool hedge_won = false;
+  };
+  auto state = std::make_shared<HedgeState>();
+  auto attempt = [state, pool = pool_, shard_index, request, trace_id,
+                  hedge_wins = hedge_wins_](bool is_hedge) {
+    ShardClientPool::Lease lease = pool->Checkout(shard_index);
+    lease->SetTraceContext({trace_id, obs::NewTraceId(), true});
+    Result<FetchResult> r = lease->Fetch(request);
+    std::optional<obs::QueryTrace> child = lease->TakeLastTrace();
+    lease->ClearTraceContext();
+    std::lock_guard<std::mutex> lock(state->mutex);
+    if (!state->result.has_value()) {
+      if (is_hedge) hedge_wins->Increment();
+      state->hedge_won = is_hedge;
+      state->result.emplace(std::move(r));
+      state->child = std::move(child);
+      state->cv.notify_all();
+    }
+  };
+  const double primary_start = root->Elapsed();
+  double hedge_start = 0;
+  bool hedged = false;
+  std::thread([attempt] { attempt(false); }).detach();
+  std::unique_lock<std::mutex> lock(state->mutex);
+  const bool primary_done = state->cv.wait_for(
+      lock, std::chrono::duration<double>(options_.hedge_delay_sec),
+      [&state] { return state->result.has_value(); });
+  if (!primary_done) {
+    hedges_->Increment();
+    hedged = true;
+    hedge_start = root->Elapsed();
+    std::thread([attempt] { attempt(true); }).detach();
+  }
+  state->cv.wait(lock, [&state] { return state->result.has_value(); });
+  Result<FetchResult> result = std::move(*state->result);
+  std::optional<obs::QueryTrace> child = std::move(state->child);
+  const bool hedge_won = state->hedge_won;
+  lock.unlock();
+
+  const double settled = root->Elapsed();
+  root->AddEvent(
+      std::string("attempt primary ") + label + (hedge_won ? "" : " (won)"),
+      0, primary_start, settled - primary_start, 0);
+  if (hedged) {
+    root->AddEvent(
+        std::string("attempt hedge ") + label + (hedge_won ? " (won)" : ""),
+        0, hedge_start, settled - hedge_start, 0);
+  }
+  graft(std::move(child));
+  if (result.ok()) return result;
+  const Status st = result.status();
+  if (st.code() == StatusCode::kUnavailable && !wire::IsDegraded(st)) {
+    MarkShard(shard_index, false);
+    return DegradedShard(shard_index, "forward failed (" + st.message() + ")");
+  }
+  return st;
+}
+
 void Router::HandleFetch(FetchRequest request, net::Responder respond) {
   fetches_->Increment();
+  const auto start = std::chrono::steady_clock::now();
   const size_t owner =
       map_.OwnerIndex(ShardMap::PartitionKey(request.project, request.model));
   Result<FetchResult> result = ForwardFetch(owner, request);
@@ -217,6 +334,52 @@ void Router::HandleFetch(FetchRequest request, net::Responder respond) {
     return;
   }
   respond(wire::MsgType::kFetchResp, wire::EncodeFetchResult(*result));
+  // Unsampled traffic still feeds the slow-query log: a spanless
+  // decision record (spans cannot be reconstructed after the fact).
+  const double total = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  const double slow = recorder_->slow_threshold_sec();
+  if (slow > 0 && total >= slow) {
+    obs::QueryTrace trace(obs::NewTraceId(), DescribeFetch(request));
+    trace.node = options_.node_name;
+    trace.strategy = "forward";
+    trace.total_sec = total;
+    recorder_->Record(std::move(trace));
+  }
+}
+
+void Router::HandleTracedFetch(FetchRequest request, wire::TraceContext ctx,
+                               bool enveloped, net::Responder respond) {
+  fetches_->Increment();
+  traces_->Increment();
+  obs::QueryTrace root(ctx.trace_id, DescribeFetch(request));
+  root.node = options_.node_name;
+  root.parent_span_id = ctx.parent_span_id;
+  root.sampled = true;
+  root.strategy = "forward";
+  const size_t owner =
+      map_.OwnerIndex(ShardMap::PartitionKey(request.project, request.model));
+  Result<FetchResult> result = ForwardTracedFetch(owner, request, &root);
+  root.total_sec = root.Elapsed();
+  if (!result.ok()) {
+    // The failed tree is still worth retaining — a degraded forward in
+    // the flight recorder explains itself better than a counter. Errors
+    // answer bare (not enveloped) like the shard side does; the client's
+    // unwrap path treats kErrorResp uniformly.
+    recorder_->Record(root);
+    respond(wire::MsgType::kErrorResp, wire::EncodeError(result.status()));
+    return;
+  }
+  if (enveloped) {
+    respond(wire::MsgType::kTracedResp,
+            wire::EncodeTracedResponse(wire::MsgType::kFetchResp,
+                                       wire::EncodeFetchResult(*result),
+                                       &root));
+  } else {
+    respond(wire::MsgType::kFetchResp, wire::EncodeFetchResult(*result));
+  }
+  recorder_->Record(std::move(root));
 }
 
 void Router::HandleTraceFetch(FetchRequest request, uint64_t trace_id,
@@ -237,27 +400,39 @@ void Router::HandleTraceFetch(FetchRequest request, uint64_t trace_id,
   respond(wire::MsgType::kTraceResp, wire::EncodeQueryTrace(*trace, summary));
 }
 
-void Router::HandleScan(ScanRequest request, net::Responder respond) {
-  scans_->Increment();
+Result<ScanResult> Router::ScatterScan(const ScanRequest& request,
+                                       obs::QueryTrace* root) {
   const size_t n = map_.shards().size();
   // Scatter: every shard in parallel. Scans must see the whole key space
   // (a stale placement could leave rows off the ring owner), so a single
   // unreachable shard makes the scan degraded — never silently partial.
   std::vector<Result<ScanResult>> results(
       n, Result<ScanResult>(Status::Internal("unprobed")));
+  std::vector<std::optional<obs::QueryTrace>> kids(n);
   std::vector<std::thread> threads;
   threads.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    threads.emplace_back([this, i, &request, &results] {
+    threads.emplace_back([this, i, root, &request, &results, &kids] {
       if (!ShardUp(i)) {
         results[i] = Status::Unavailable("down at scatter time");
         return;
       }
       ShardClientPool::Lease lease = pool_->Checkout(i);
-      results[i] = lease->Scan(request);
+      if (root != nullptr) {
+        lease->SetTraceContext({root->trace_id, obs::NewTraceId(), true});
+        results[i] = lease->Scan(request);
+        kids[i] = lease->TakeLastTrace();
+        lease->ClearTraceContext();
+      } else {
+        results[i] = lease->Scan(request);
+      }
     });
   }
   for (std::thread& t : threads) t.join();
+  if (root != nullptr) {
+    root->AddEvent("scatter " + std::to_string(n) + " shards", 0, 0,
+                   root->Elapsed(), 0);
+  }
 
   ScanResult merged;
   std::vector<const ScanResult*> parts;
@@ -266,29 +441,39 @@ void Router::HandleScan(ScanRequest request, net::Responder respond) {
       merged.blocks_scanned += results[i]->blocks_scanned;
       merged.blocks_pruned += results[i]->blocks_pruned;
       parts.push_back(&*results[i]);
+      if (root != nullptr && kids[i].has_value()) {
+        if (kids[i]->node.empty()) kids[i]->node = ShardLabel(map_.shards()[i]);
+        root->children.push_back(std::move(*kids[i]));
+      }
       continue;
     }
     const Status st = results[i].status();
     // Shards that simply do not hold this model answer kNotFound: an
-    // empty contribution, not a failure.
-    if (st.code() == StatusCode::kNotFound) continue;
+    // empty contribution, not a failure. In a traced scan they still
+    // appear as synthesized children, so the assembled tree always shows
+    // one child per live shard the scatter touched.
+    if (st.code() == StatusCode::kNotFound) {
+      if (root != nullptr) {
+        obs::QueryTrace child(root->trace_id, "no rows on this shard");
+        child.node = ShardLabel(map_.shards()[i]);
+        child.parent_span_id = root->trace_id;
+        child.sampled = true;
+        child.strategy = "not-found";
+        root->children.push_back(std::move(child));
+      }
+      continue;
+    }
     if (st.code() == StatusCode::kUnavailable) {
       MarkShard(i, false);
-      respond(wire::MsgType::kErrorResp,
-              wire::EncodeError(DegradedShard(
-                  i, "scan aborted (results would be incomplete)")));
-      return;
+      return DegradedShard(i, "scan aborted (results would be incomplete)");
     }
     // A semantic error (bad predicate column, etc.) — relay it.
-    respond(wire::MsgType::kErrorResp, wire::EncodeError(st));
-    return;
+    return st;
   }
   if (parts.empty()) {
-    respond(wire::MsgType::kErrorResp,
-            wire::EncodeError(Status::NotFound(
-                "no shard holds " +
-                ShardMap::PartitionKey(request.project, request.model))));
-    return;
+    return Status::NotFound(
+        "no shard holds " +
+        ShardMap::PartitionKey(request.project, request.model));
   }
 
   // Gather: with model-granularity partitioning exactly one shard
@@ -329,7 +514,56 @@ void Router::HandleScan(ScanRequest request, net::Responder respond) {
       }
     }
   }
-  respond(wire::MsgType::kScanResp, wire::EncodeScanResult(merged));
+  return merged;
+}
+
+void Router::HandleScan(ScanRequest request, net::Responder respond) {
+  scans_->Increment();
+  const auto start = std::chrono::steady_clock::now();
+  Result<ScanResult> merged = ScatterScan(request, nullptr);
+  if (!merged.ok()) {
+    respond(wire::MsgType::kErrorResp, wire::EncodeError(merged.status()));
+    return;
+  }
+  respond(wire::MsgType::kScanResp, wire::EncodeScanResult(*merged));
+  const double total = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  const double slow = recorder_->slow_threshold_sec();
+  if (slow > 0 && total >= slow) {
+    obs::QueryTrace trace(obs::NewTraceId(), DescribeScan(request));
+    trace.node = options_.node_name;
+    trace.strategy = "scatter-gather";
+    trace.total_sec = total;
+    recorder_->Record(std::move(trace));
+  }
+}
+
+void Router::HandleTracedScan(ScanRequest request, wire::TraceContext ctx,
+                              bool enveloped, net::Responder respond) {
+  scans_->Increment();
+  traces_->Increment();
+  obs::QueryTrace root(ctx.trace_id, DescribeScan(request));
+  root.node = options_.node_name;
+  root.parent_span_id = ctx.parent_span_id;
+  root.sampled = true;
+  root.strategy = "scatter-gather";
+  Result<ScanResult> merged = ScatterScan(request, &root);
+  root.total_sec = root.Elapsed();
+  if (!merged.ok()) {
+    recorder_->Record(root);
+    respond(wire::MsgType::kErrorResp, wire::EncodeError(merged.status()));
+    return;
+  }
+  if (enveloped) {
+    respond(wire::MsgType::kTracedResp,
+            wire::EncodeTracedResponse(wire::MsgType::kScanResp,
+                                       wire::EncodeScanResult(*merged),
+                                       &root));
+  } else {
+    respond(wire::MsgType::kScanResp, wire::EncodeScanResult(*merged));
+  }
+  recorder_->Record(std::move(root));
 }
 
 void Router::HandleStats(net::Responder respond) {
@@ -439,6 +673,30 @@ net::FrameDisposition Router::HandleFrame(uint64_t conn_token,
       respond(wire::MsgType::kMetricsResp,
               wire::EncodeMetricsText(obs::GlobalMetrics().TextExposition()));
       return net::FrameDisposition::kOk;
+    case wire::MsgType::kTraceDumpReq: {
+      uint32_t max = 0;
+      const Status decoded = wire::DecodeTraceQuery(frame.payload, &max);
+      if (!decoded.ok()) {
+        respond(wire::MsgType::kErrorResp, wire::EncodeError(decoded));
+        return net::FrameDisposition::kMalformed;
+      }
+      // Inline: retrospection must answer even when the worker pool is
+      // saturated — that is exactly when you want the flight recorder.
+      respond(wire::MsgType::kTraceDumpResp,
+              wire::EncodeTraceList(recorder_->Dump(max)));
+      return net::FrameDisposition::kOk;
+    }
+    case wire::MsgType::kSlowLogReq: {
+      uint32_t max = 0;
+      const Status decoded = wire::DecodeTraceQuery(frame.payload, &max);
+      if (!decoded.ok()) {
+        respond(wire::MsgType::kErrorResp, wire::EncodeError(decoded));
+        return net::FrameDisposition::kMalformed;
+      }
+      respond(wire::MsgType::kSlowLogResp,
+              wire::EncodeTraceList(recorder_->SlowLog(max)));
+      return net::FrameDisposition::kOk;
+    }
     default:
       break;
   }
@@ -472,10 +730,20 @@ net::FrameDisposition Router::HandleFrame(uint64_t conn_token,
       }
       const bool trace = frame.type == wire::MsgType::kTraceFetchReq;
       const uint64_t id = frame.request_id;
-      workers_->Submit([this, trace, id, request = std::move(request),
+      // Router-side self-sampling: a slice of plain traffic routes
+      // through the traced path so the flight recorder holds assembled
+      // trees even when no client asked for tracing. The response stays
+      // byte-identical to the untraced path.
+      const bool self_sample = !trace && recorder_->Sample();
+      workers_->Submit([this, trace, self_sample, id,
+                        request = std::move(request),
                         tracked = std::move(tracked)]() mutable {
         if (trace) {
           HandleTraceFetch(std::move(request), id, std::move(tracked));
+        } else if (self_sample) {
+          wire::TraceContext ctx{obs::NewTraceId(), 0, true};
+          HandleTracedFetch(std::move(request), ctx, /*enveloped=*/false,
+                            std::move(tracked));
         } else {
           HandleFetch(std::move(request), std::move(tracked));
         }
@@ -491,11 +759,77 @@ net::FrameDisposition Router::HandleFrame(uint64_t conn_token,
         tracked(wire::MsgType::kErrorResp, wire::EncodeError(decoded));
         return net::FrameDisposition::kMalformed;
       }
-      workers_->Submit([this, request = std::move(request),
+      const bool self_sample = recorder_->Sample();
+      workers_->Submit([this, self_sample, request = std::move(request),
                         tracked = std::move(tracked)]() mutable {
-        HandleScan(std::move(request), std::move(tracked));
+        if (self_sample) {
+          wire::TraceContext ctx{obs::NewTraceId(), 0, true};
+          HandleTracedScan(std::move(request), ctx, /*enveloped=*/false,
+                           std::move(tracked));
+        } else {
+          HandleScan(std::move(request), std::move(tracked));
+        }
       });
       return net::FrameDisposition::kOk;
+    }
+    case wire::MsgType::kTracedReq: {
+      wire::TraceContext ctx;
+      wire::MsgType inner_type = wire::MsgType::kPingReq;
+      std::string inner_payload;
+      const Status decoded = wire::DecodeTracedRequest(
+          frame.payload, &ctx, &inner_type, &inner_payload);
+      if (!decoded.ok()) {
+        tracked(wire::MsgType::kErrorResp, wire::EncodeError(decoded));
+        return net::FrameDisposition::kMalformed;
+      }
+      if (ctx.sampled && inner_type == wire::MsgType::kFetchReq) {
+        uint64_t session = 0;
+        FetchRequest request;
+        const Status inner_decoded =
+            wire::DecodeFetchRequest(inner_payload, &session, &request);
+        if (!inner_decoded.ok()) {
+          tracked(wire::MsgType::kErrorResp, wire::EncodeError(inner_decoded));
+          return net::FrameDisposition::kMalformed;
+        }
+        workers_->Submit([this, ctx, request = std::move(request),
+                          tracked = std::move(tracked)]() mutable {
+          HandleTracedFetch(std::move(request), ctx, /*enveloped=*/true,
+                            std::move(tracked));
+        });
+        return net::FrameDisposition::kOk;
+      }
+      if (ctx.sampled && inner_type == wire::MsgType::kScanReq) {
+        uint64_t session = 0;
+        ScanRequest request;
+        const Status inner_decoded =
+            wire::DecodeScanRequest(inner_payload, &session, &request);
+        if (!inner_decoded.ok()) {
+          tracked(wire::MsgType::kErrorResp, wire::EncodeError(inner_decoded));
+          return net::FrameDisposition::kMalformed;
+        }
+        workers_->Submit([this, ctx, request = std::move(request),
+                          tracked = std::move(tracked)]() mutable {
+          HandleTracedScan(std::move(request), ctx, /*enveloped=*/true,
+                           std::move(tracked));
+        });
+        return net::FrameDisposition::kOk;
+      }
+      // Unsampled or non-fetch/scan inner request: dispatch it as if it
+      // had arrived bare, wrapping the answer back into the envelope.
+      // The wrapping responder closes over `tracked` (not `respond`), so
+      // the in-flight count this branch already took stays balanced even
+      // though the recursive call may take its own.
+      wire::Frame inner_frame;
+      inner_frame.type = inner_type;
+      inner_frame.request_id = frame.request_id;
+      inner_frame.payload = std::move(inner_payload);
+      net::Responder wrapping =
+          [tracked = std::move(tracked)](wire::MsgType type,
+                                         std::string payload) {
+            tracked(wire::MsgType::kTracedResp,
+                    wire::EncodeTracedResponse(type, payload, nullptr));
+          };
+      return HandleFrame(conn_token, inner_frame, std::move(wrapping));
     }
     case wire::MsgType::kStatsReq:
       workers_->Submit([this, tracked = std::move(tracked)]() mutable {

@@ -16,7 +16,9 @@
 #include "common/thread_pool.h"
 #include "net/client.h"
 #include "net/frame_handler.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/query_service.h"
 
 namespace mistique {
@@ -46,6 +48,12 @@ struct RouterOptions {
   /// papers over a slow connection or a stalled worker, not a dead
   /// machine.)
   double hedge_delay_sec = 0;
+  /// Flight recorder fed with assembled trace trees (sampled traffic)
+  /// and slow queries; nullptr = the process-global recorder.
+  obs::FlightRecorder* flight_recorder = nullptr;
+  /// `node` stamped on traces this router produces, so multi-hop trees
+  /// read unambiguously ("router", "edge-router", ...).
+  std::string node_name = "router";
 
   RouterOptions() {
     shard_client.connect_timeout_sec = 2;
@@ -131,11 +139,34 @@ class Router : public net::FrameHandler {
   /// Forward with optional tail-latency hedging (fetch/trace path).
   Result<FetchResult> ForwardFetch(size_t shard_index,
                                    const FetchRequest& request);
+  /// ForwardFetch under a trace: every attempt propagates the trace
+  /// context to its shard, attempt spans (primary + hedge, winner
+  /// tagged) land in `root`, and the winning shard's child trace is
+  /// grafted under it.
+  Result<FetchResult> ForwardTracedFetch(size_t shard_index,
+                                         const FetchRequest& request,
+                                         obs::QueryTrace* root);
+  /// The scatter-gather scan shared by the plain and traced paths. With
+  /// a non-null `root`, every scattered shard call carries the trace
+  /// context and contributes one child trace (shards that answered
+  /// kNotFound get a synthesized "not-found" child, so the tree always
+  /// shows one child per live shard the scatter touched).
+  Result<ScanResult> ScatterScan(const ScanRequest& request,
+                                 obs::QueryTrace* root);
 
   void HandleFetch(FetchRequest request, net::Responder respond);
   void HandleTraceFetch(FetchRequest request, uint64_t trace_id,
                         net::Responder respond);
   void HandleScan(ScanRequest request, net::Responder respond);
+  /// Distributed-trace fetch/scan: builds this hop's root trace, runs
+  /// the forward/scatter under it, assembles the tree, records it, and
+  /// answers either in a kTracedResp envelope (`enveloped`, requests
+  /// that arrived as kTracedReq) or as the plain response type
+  /// (router-side self-sampling of un-enveloped traffic).
+  void HandleTracedFetch(FetchRequest request, wire::TraceContext ctx,
+                         bool enveloped, net::Responder respond);
+  void HandleTracedScan(ScanRequest request, wire::TraceContext ctx,
+                        bool enveloped, net::Responder respond);
   void HandleStats(net::Responder respond);
   void HandleCatalog(net::Responder respond);
 
@@ -145,6 +176,7 @@ class Router : public net::FrameHandler {
 
   ShardMap map_;
   RouterOptions options_;
+  obs::FlightRecorder* recorder_;
   /// shared_ptr so detached hedge losers can outlive the router safely.
   std::shared_ptr<ShardClientPool> pool_;
   std::unique_ptr<ThreadPool> workers_;

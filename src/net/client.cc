@@ -234,6 +234,23 @@ Status Client::ExpectType(const wire::Frame& frame, wire::MsgType expected) {
                           std::to_string(static_cast<int>(frame.type)));
 }
 
+Status Client::UnwrapTracedResponse(wire::Frame* response,
+                                    wire::MsgType expect) {
+  MISTIQUE_RETURN_NOT_OK(ExpectType(*response, wire::MsgType::kTracedResp));
+  wire::MsgType inner_type = wire::MsgType::kPingResp;
+  std::string inner_payload;
+  bool has_trace = false;
+  obs::QueryTrace trace;
+  MISTIQUE_RETURN_NOT_OK(wire::DecodeTracedResponse(
+      response->payload, &inner_type, &inner_payload, &has_trace, &trace));
+  if (has_trace) last_trace_ = std::move(trace);
+  // Rewrite the frame in place so the caller decodes the inner response
+  // exactly as if it had arrived bare.
+  response->type = inner_type;
+  response->payload = std::move(inner_payload);
+  return ExpectType(*response, expect);
+}
+
 Status Client::OpenSessionInternal() {
   wire::Frame resp;
   MISTIQUE_RETURN_NOT_OK(
@@ -265,8 +282,20 @@ Status Client::Call(wire::MsgType type, bool with_session,
     if (st.ok()) {
       // Re-encoded each attempt: a reopened session changes the id
       // embedded in the payload.
-      st = Roundtrip(type, encode(session_), response);
-      if (st.ok()) return ExpectType(*response, expect);
+      if (trace_ctx_.has_value()) {
+        // Trace context installed: ship the request inside a kTracedReq
+        // envelope so the trace identity propagates, and unwrap the
+        // response envelope (stashing any attached trace) before the
+        // caller decodes it.
+        st = Roundtrip(wire::MsgType::kTracedReq,
+                       wire::EncodeTracedRequest(*trace_ctx_, type,
+                                                 encode(session_)),
+                       response);
+        if (st.ok()) return UnwrapTracedResponse(response, expect);
+      } else {
+        st = Roundtrip(type, encode(session_), response);
+        if (st.ok()) return ExpectType(*response, expect);
+      }
     }
     if (st.code() != StatusCode::kUnavailable) return st;
     if (attempts >= options_.max_reconnect_attempts) {
@@ -432,6 +461,28 @@ Result<obs::QueryTrace> Client::TraceScan(const ScanRequest& request,
       wire::DecodeQueryTrace(resp.payload, &trace, &local));
   if (summary != nullptr) *summary = local;
   return trace;
+}
+
+Result<std::vector<obs::QueryTrace>> Client::TraceDump(uint32_t max) {
+  wire::Frame resp;
+  MISTIQUE_RETURN_NOT_OK(Call(
+      wire::MsgType::kTraceDumpReq, /*with_session=*/false,
+      [max](SessionId) { return wire::EncodeTraceQuery(max); },
+      wire::MsgType::kTraceDumpResp, &resp));
+  std::vector<obs::QueryTrace> traces;
+  MISTIQUE_RETURN_NOT_OK(wire::DecodeTraceList(resp.payload, &traces));
+  return traces;
+}
+
+Result<std::vector<obs::QueryTrace>> Client::SlowLog(uint32_t max) {
+  wire::Frame resp;
+  MISTIQUE_RETURN_NOT_OK(Call(
+      wire::MsgType::kSlowLogReq, /*with_session=*/false,
+      [max](SessionId) { return wire::EncodeTraceQuery(max); },
+      wire::MsgType::kSlowLogResp, &resp));
+  std::vector<obs::QueryTrace> traces;
+  MISTIQUE_RETURN_NOT_OK(wire::DecodeTraceList(resp.payload, &traces));
+  return traces;
 }
 
 }  // namespace net

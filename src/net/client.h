@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "common/random.h"
 #include "common/status.h"
@@ -103,6 +105,31 @@ class Client {
                                     wire::TraceResultSummary* summary =
                                         nullptr);
 
+  /// --- Distributed tracing (docs/OBSERVABILITY.md) ---
+
+  /// Installs a trace context: until cleared, every request travels in a
+  /// kTracedReq envelope carrying it, so the receiving node (shard or
+  /// router) roots its spans under (trace_id, parent_span_id). When the
+  /// context is sampled, the hop's trace rides back in the response
+  /// envelope and is stashed for TakeLastTrace(). Responses are
+  /// otherwise byte-identical to un-enveloped calls.
+  void SetTraceContext(const wire::TraceContext& ctx) { trace_ctx_ = ctx; }
+  void ClearTraceContext() { trace_ctx_.reset(); }
+  bool has_trace_context() const { return trace_ctx_.has_value(); }
+  /// The trace attached to the most recent enveloped response (empty if
+  /// the hop attached none); consuming it clears the stash.
+  std::optional<obs::QueryTrace> TakeLastTrace() {
+    std::optional<obs::QueryTrace> out = std::move(last_trace_);
+    last_trace_.reset();
+    return out;
+  }
+
+  /// Flight-recorder retrospection: recently sampled traces (newest
+  /// first) / the slow-query log (slowest first) of the remote node.
+  /// `max` = 0 returns everything retained.
+  Result<std::vector<obs::QueryTrace>> TraceDump(uint32_t max = 0);
+  Result<std::vector<obs::QueryTrace>> SlowLog(uint32_t max = 0);
+
   bool connected() const { return fd_ >= 0; }
   /// Session id on the server; 0 when none is open.
   SessionId session_id() const { return session_; }
@@ -130,6 +157,9 @@ class Client {
   /// Interprets a response frame: expected type => OK, kErrorResp =>
   /// its decoded status, anything else => kInternal.
   static Status ExpectType(const wire::Frame& frame, wire::MsgType expected);
+  /// Unpacks a kTracedResp envelope in place (stashing any attached
+  /// trace), then applies ExpectType to the inner response.
+  Status UnwrapTracedResponse(wire::Frame* response, wire::MsgType expect);
   Status SendAll(const void* data, size_t len);
   Status RecvAll(void* data, size_t len);
   /// Opens a server-side session on the current connection.
@@ -143,6 +173,8 @@ class Client {
   uint64_t reconnects_ = 0;
   uint64_t failed_attempts_ = 0;
   Rng jitter_rng_;
+  std::optional<wire::TraceContext> trace_ctx_;
+  std::optional<obs::QueryTrace> last_trace_;
 };
 
 }  // namespace net

@@ -242,6 +242,118 @@ FrameDisposition ServiceHandler::HandleFrame(uint64_t conn_token,
           });
       return FrameDisposition::kOk;
     }
+    case wire::MsgType::kTracedReq: {
+      // Distributed-trace envelope: an ordinary request riding with a
+      // TraceContext. Sampled fetch/scan run through the traced submit
+      // paths so the response envelope can carry this hop's span tree;
+      // everything else (and unsampled traffic) dispatches recursively
+      // and answers in a trace-less envelope.
+      wire::TraceContext ctx;
+      wire::MsgType inner_type = wire::MsgType::kPingReq;
+      std::string inner_payload;
+      const Status decoded = wire::DecodeTracedRequest(
+          frame.payload, &ctx, &inner_type, &inner_payload);
+      if (!decoded.ok()) {
+        respond(wire::MsgType::kErrorResp, wire::EncodeError(decoded));
+        return FrameDisposition::kMalformed;
+      }
+      if (ctx.sampled && inner_type == wire::MsgType::kFetchReq) {
+        uint64_t session = 0;
+        FetchRequest request;
+        const Status inner_decoded =
+            wire::DecodeFetchRequest(inner_payload, &session, &request);
+        if (!inner_decoded.ok()) {
+          respond(wire::MsgType::kErrorResp,
+                  wire::EncodeError(inner_decoded));
+          return FrameDisposition::kMalformed;
+        }
+        service_->SubmitTraceFetchAsync(
+            session, std::move(request), -1, ctx.trace_id,
+            [respond = std::move(respond),
+             ctx](Result<TracedFetch> result) {
+              if (!result.ok()) {
+                respond(wire::MsgType::kErrorResp,
+                        wire::EncodeError(result.status()));
+                return;
+              }
+              result->trace.parent_span_id = ctx.parent_span_id;
+              respond(wire::MsgType::kTracedResp,
+                      wire::EncodeTracedResponse(
+                          wire::MsgType::kFetchResp,
+                          wire::EncodeFetchResult(result->result),
+                          &result->trace));
+            });
+        return FrameDisposition::kOk;
+      }
+      if (ctx.sampled && inner_type == wire::MsgType::kScanReq) {
+        uint64_t session = 0;
+        ScanRequest request;
+        const Status inner_decoded =
+            wire::DecodeScanRequest(inner_payload, &session, &request);
+        if (!inner_decoded.ok()) {
+          respond(wire::MsgType::kErrorResp,
+                  wire::EncodeError(inner_decoded));
+          return FrameDisposition::kMalformed;
+        }
+        service_->SubmitTraceScanAsync(
+            session, std::move(request), -1, ctx.trace_id,
+            [respond = std::move(respond),
+             ctx](Result<TracedScan> result) {
+              if (!result.ok()) {
+                respond(wire::MsgType::kErrorResp,
+                        wire::EncodeError(result.status()));
+                return;
+              }
+              result->trace.parent_span_id = ctx.parent_span_id;
+              respond(wire::MsgType::kTracedResp,
+                      wire::EncodeTracedResponse(
+                          wire::MsgType::kScanResp,
+                          wire::EncodeScanResult(result->result),
+                          &result->trace));
+            });
+        return FrameDisposition::kOk;
+      }
+      // Unsampled or non-fetch/scan inner request: dispatch it as if it
+      // had arrived bare, wrapping whatever it answers back into the
+      // envelope (error responses ride inside it too, so the client's
+      // unwrap path is uniform).
+      wire::Frame inner_frame;
+      inner_frame.type = inner_type;
+      inner_frame.request_id = frame.request_id;
+      inner_frame.payload = std::move(inner_payload);
+      Responder wrapping =
+          [respond = std::move(respond)](wire::MsgType type,
+                                         std::string payload) {
+            respond(wire::MsgType::kTracedResp,
+                    wire::EncodeTracedResponse(type, payload, nullptr));
+          };
+      return HandleFrame(conn_token, inner_frame, std::move(wrapping));
+    }
+    case wire::MsgType::kTraceDumpReq: {
+      uint32_t max = 0;
+      const Status decoded = wire::DecodeTraceQuery(frame.payload, &max);
+      if (!decoded.ok()) {
+        respond(wire::MsgType::kErrorResp, wire::EncodeError(decoded));
+        return FrameDisposition::kMalformed;
+      }
+      // Inline like kStatsReq: a few brief ring-shard mutexes, no engine
+      // work — retrospection must answer even when the queue is full.
+      respond(wire::MsgType::kTraceDumpResp,
+              wire::EncodeTraceList(service_->flight_recorder()->Dump(max)));
+      return FrameDisposition::kOk;
+    }
+    case wire::MsgType::kSlowLogReq: {
+      uint32_t max = 0;
+      const Status decoded = wire::DecodeTraceQuery(frame.payload, &max);
+      if (!decoded.ok()) {
+        respond(wire::MsgType::kErrorResp, wire::EncodeError(decoded));
+        return FrameDisposition::kMalformed;
+      }
+      respond(
+          wire::MsgType::kSlowLogResp,
+          wire::EncodeTraceList(service_->flight_recorder()->SlowLog(max)));
+      return FrameDisposition::kOk;
+    }
     default:
       // A response type sent by a client: well-formed but nonsensical.
       respond(wire::MsgType::kErrorResp,

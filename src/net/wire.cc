@@ -23,7 +23,7 @@ void PutLe(std::string* out, uint64_t v, size_t bytes) {
 
 bool IsValidMsgType(uint8_t t) {
   return t >= static_cast<uint8_t>(MsgType::kPingReq) &&
-         t <= static_cast<uint8_t>(MsgType::kTraceScanReq);
+         t <= static_cast<uint8_t>(MsgType::kSlowLogResp);
 }
 
 /// Message tag identifying a router's typed degraded kUnavailable (see
@@ -543,12 +543,17 @@ namespace {
 /// + u64.
 constexpr size_t kMinTraceEventBytes = 4 + 4 + 8 + 8 + 8;
 constexpr size_t kMinStageTotalBytes = 4 + 8 + 8 + 8;
-}  // namespace
+/// Smallest possible encoded trace (all strings empty, no events/totals/
+/// children): id 8 + desc 4 + strategy 4 + 4 f64 + flags 1 + two counts
+/// 8 + summary 17 + node 4 + parent 8 + sampled 1 + child count 4.
+constexpr size_t kMinTraceBytes = 8 + 4 + 4 + 32 + 1 + 8 + 17 + 4 + 8 + 1 + 4;
+/// Hop count bound on the child-trace recursion: real trees are client ->
+/// router -> shard (depth 2); anything deeper than this is a hostile
+/// payload, not a cluster.
+constexpr int kMaxTraceTreeDepth = 8;
 
-std::string EncodeQueryTrace(const obs::QueryTrace& trace,
-                             const TraceResultSummary& summary) {
-  std::string out;
-  Writer w(&out);
+void EncodeTraceInto(Writer& w, const obs::QueryTrace& trace,
+                     const TraceResultSummary& summary) {
   w.PutU64(trace.trace_id);
   w.PutString(trace.description);
   w.PutString(trace.strategy);
@@ -579,12 +584,22 @@ std::string EncodeQueryTrace(const obs::QueryTrace& trace,
   w.PutU64(summary.rows);
   w.PutU64(summary.cols);
   w.PutU8(summary.used_read ? 1 : 0);
-  return out;
+  // Distributed-trace tail (additive within v1: every in-tree decoder
+  // reads it; only the frozen kStatsResp payload is pinned by layout).
+  w.PutString(trace.node);
+  w.PutU64(trace.parent_span_id);
+  w.PutU8(trace.sampled ? 1 : 0);
+  w.PutU32(static_cast<uint32_t>(trace.children.size()));
+  for (const obs::QueryTrace& child : trace.children) {
+    EncodeTraceInto(w, child, TraceResultSummary{});
+  }
 }
 
-Status DecodeQueryTrace(const std::string& payload, obs::QueryTrace* trace,
-                        TraceResultSummary* summary) {
-  Reader r(payload.data(), payload.size());
+Status DecodeTraceInto(Reader& r, obs::QueryTrace* trace,
+                       TraceResultSummary* summary, int depth) {
+  if (depth > kMaxTraceTreeDepth) {
+    return Status::Corruption("trace tree nests deeper than any cluster");
+  }
   uint64_t trace_id = 0;
   std::string description;
   MISTIQUE_RETURN_NOT_OK(r.GetU64(&trace_id));
@@ -631,6 +646,152 @@ Status DecodeQueryTrace(const std::string& payload, obs::QueryTrace* trace,
   uint8_t used_read = 0;
   MISTIQUE_RETURN_NOT_OK(r.GetU8(&used_read));
   summary->used_read = used_read != 0;
+  MISTIQUE_RETURN_NOT_OK(r.GetString(&trace->node));
+  MISTIQUE_RETURN_NOT_OK(r.GetU64(&trace->parent_span_id));
+  uint8_t sampled = 0;
+  MISTIQUE_RETURN_NOT_OK(r.GetU8(&sampled));
+  trace->sampled = sampled != 0;
+  uint32_t n_children = 0;
+  MISTIQUE_RETURN_NOT_OK(r.GetU32(&n_children));
+  if (r.remaining() / kMinTraceBytes < n_children) {
+    return Status::Corruption("truncated payload reading child traces");
+  }
+  trace->children.resize(n_children);
+  for (uint32_t i = 0; i < n_children; ++i) {
+    TraceResultSummary child_summary;
+    MISTIQUE_RETURN_NOT_OK(
+        DecodeTraceInto(r, &trace->children[i], &child_summary, depth + 1));
+  }
+  return Status::OK();
+}
+}  // namespace
+
+std::string EncodeQueryTrace(const obs::QueryTrace& trace,
+                             const TraceResultSummary& summary) {
+  std::string out;
+  Writer w(&out);
+  EncodeTraceInto(w, trace, summary);
+  return out;
+}
+
+Status DecodeQueryTrace(const std::string& payload, obs::QueryTrace* trace,
+                        TraceResultSummary* summary) {
+  Reader r(payload.data(), payload.size());
+  MISTIQUE_RETURN_NOT_OK(DecodeTraceInto(r, trace, summary, 0));
+  return r.ExpectEnd();
+}
+
+std::string EncodeTracedRequest(const TraceContext& ctx, MsgType inner_type,
+                                std::string_view inner_payload) {
+  std::string out;
+  Writer w(&out);
+  w.PutU64(ctx.trace_id);
+  w.PutU64(ctx.parent_span_id);
+  w.PutU8(ctx.sampled ? 1 : 0);
+  w.PutU8(static_cast<uint8_t>(inner_type));
+  w.PutString(inner_payload);
+  return out;
+}
+
+Status DecodeTracedRequest(const std::string& payload, TraceContext* ctx,
+                           MsgType* inner_type, std::string* inner_payload) {
+  Reader r(payload.data(), payload.size());
+  MISTIQUE_RETURN_NOT_OK(r.GetU64(&ctx->trace_id));
+  MISTIQUE_RETURN_NOT_OK(r.GetU64(&ctx->parent_span_id));
+  uint8_t sampled = 0;
+  MISTIQUE_RETURN_NOT_OK(r.GetU8(&sampled));
+  ctx->sampled = sampled != 0;
+  uint8_t inner = 0;
+  MISTIQUE_RETURN_NOT_OK(r.GetU8(&inner));
+  if (!IsValidMsgType(inner)) {
+    return Status::Corruption("traced envelope with unknown inner type");
+  }
+  if (inner == static_cast<uint8_t>(MsgType::kTracedReq) ||
+      inner == static_cast<uint8_t>(MsgType::kTracedResp)) {
+    return Status::Corruption("traced envelope nests another envelope");
+  }
+  *inner_type = static_cast<MsgType>(inner);
+  MISTIQUE_RETURN_NOT_OK(r.GetString(inner_payload));
+  return r.ExpectEnd();
+}
+
+std::string EncodeTracedResponse(MsgType inner_type,
+                                 std::string_view inner_payload,
+                                 const obs::QueryTrace* trace) {
+  std::string out;
+  Writer w(&out);
+  w.PutU8(static_cast<uint8_t>(inner_type));
+  w.PutString(inner_payload);
+  w.PutU8(trace != nullptr ? 1 : 0);
+  if (trace != nullptr) {
+    EncodeTraceInto(w, *trace, TraceResultSummary{});
+  }
+  return out;
+}
+
+Status DecodeTracedResponse(const std::string& payload, MsgType* inner_type,
+                            std::string* inner_payload, bool* has_trace,
+                            obs::QueryTrace* trace) {
+  Reader r(payload.data(), payload.size());
+  uint8_t inner = 0;
+  MISTIQUE_RETURN_NOT_OK(r.GetU8(&inner));
+  if (!IsValidMsgType(inner)) {
+    return Status::Corruption("traced envelope with unknown inner type");
+  }
+  if (inner == static_cast<uint8_t>(MsgType::kTracedReq) ||
+      inner == static_cast<uint8_t>(MsgType::kTracedResp)) {
+    return Status::Corruption("traced envelope nests another envelope");
+  }
+  *inner_type = static_cast<MsgType>(inner);
+  MISTIQUE_RETURN_NOT_OK(r.GetString(inner_payload));
+  uint8_t flag = 0;
+  MISTIQUE_RETURN_NOT_OK(r.GetU8(&flag));
+  *has_trace = flag != 0;
+  *trace = obs::QueryTrace();
+  if (*has_trace) {
+    TraceResultSummary summary;
+    MISTIQUE_RETURN_NOT_OK(DecodeTraceInto(r, trace, &summary, 0));
+  }
+  return r.ExpectEnd();
+}
+
+std::string EncodeTraceQuery(uint32_t max) {
+  std::string out;
+  Writer w(&out);
+  w.PutU32(max);
+  return out;
+}
+
+Status DecodeTraceQuery(const std::string& payload, uint32_t* max) {
+  Reader r(payload.data(), payload.size());
+  MISTIQUE_RETURN_NOT_OK(r.GetU32(max));
+  return r.ExpectEnd();
+}
+
+std::string EncodeTraceList(const std::vector<obs::QueryTrace>& traces) {
+  std::string out;
+  Writer w(&out);
+  w.PutU32(static_cast<uint32_t>(traces.size()));
+  for (const obs::QueryTrace& trace : traces) {
+    EncodeTraceInto(w, trace, TraceResultSummary{});
+  }
+  return out;
+}
+
+Status DecodeTraceList(const std::string& payload,
+                       std::vector<obs::QueryTrace>* traces) {
+  Reader r(payload.data(), payload.size());
+  uint32_t count = 0;
+  MISTIQUE_RETURN_NOT_OK(r.GetU32(&count));
+  if (r.remaining() / kMinTraceBytes < count) {
+    return Status::Corruption("truncated payload reading trace list");
+  }
+  traces->clear();
+  traces->resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    TraceResultSummary summary;
+    MISTIQUE_RETURN_NOT_OK(DecodeTraceInto(r, &(*traces)[i], &summary, 0));
+  }
   return r.ExpectEnd();
 }
 

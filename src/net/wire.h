@@ -78,6 +78,19 @@ enum class MsgType : uint8_t {
   // kTraceResp — how the compressed-domain scan_packed stage timings are
   // observed remotely (docs/SCAN.md).
   kTraceScanReq = 24,
+  // Distributed-tracing envelope (additive, v1): kTracedReq wraps any
+  // ordinary request payload together with a TraceContext, so trace
+  // identity propagates hop to hop without touching the inner payload
+  // encodings. The response envelope carries the ordinary response plus
+  // (when the context was sampled) the hop's assembled QueryTrace.
+  kTracedReq = 25,      ///< payload: TraceContext + inner type + payload
+  kTracedResp = 26,     ///< payload: inner type + payload + opt. trace
+  // Flight-recorder retrospection (docs/OBSERVABILITY.md): dump the ring
+  // of recently sampled traces / the slow-query log of a running node.
+  kTraceDumpReq = 27,   ///< payload: u32 max entries (0 = all)
+  kTraceDumpResp = 28,  ///< payload: u32 count + count QueryTraces
+  kSlowLogReq = 29,     ///< payload: u32 max entries (0 = all)
+  kSlowLogResp = 30,    ///< payload: u32 count + count QueryTraces
 };
 
 /// True iff `t` names a known frame type (decode guard).
@@ -239,6 +252,44 @@ std::string EncodeQueryTrace(const obs::QueryTrace& trace,
                              const TraceResultSummary& summary);
 Status DecodeQueryTrace(const std::string& payload, obs::QueryTrace* trace,
                         TraceResultSummary* summary);
+
+/// --- Distributed tracing (docs/OBSERVABILITY.md) ---
+
+/// Trace identity carried hop to hop by the kTracedReq envelope. The
+/// receiving node roots its spans under (trace_id, parent_span_id);
+/// `sampled` false means "propagate identity, do not capture spans" —
+/// the request still travels in an envelope so the caller's sampling
+/// decision is authoritative cluster-wide.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
+  bool sampled = false;
+};
+
+std::string EncodeTracedRequest(const TraceContext& ctx, MsgType inner_type,
+                                std::string_view inner_payload);
+/// Rejects nested envelopes (an envelope wrapping an envelope is always
+/// a malformed or malicious frame) and unknown inner types.
+Status DecodeTracedRequest(const std::string& payload, TraceContext* ctx,
+                           MsgType* inner_type, std::string* inner_payload);
+
+std::string EncodeTracedResponse(MsgType inner_type,
+                                 std::string_view inner_payload,
+                                 const obs::QueryTrace* trace);
+/// `has_trace` reports whether the hop attached a trace; when false,
+/// `trace` is left default-constructed.
+Status DecodeTracedResponse(const std::string& payload, MsgType* inner_type,
+                            std::string* inner_payload, bool* has_trace,
+                            obs::QueryTrace* trace);
+
+/// kTraceDumpReq / kSlowLogReq payload: max entries wanted (0 = all).
+std::string EncodeTraceQuery(uint32_t max);
+Status DecodeTraceQuery(const std::string& payload, uint32_t* max);
+
+/// kTraceDumpResp / kSlowLogResp payload: a list of trace trees.
+std::string EncodeTraceList(const std::vector<obs::QueryTrace>& traces);
+Status DecodeTraceList(const std::string& payload,
+                       std::vector<obs::QueryTrace>* traces);
 
 /// --- Cluster payloads ---
 

@@ -1,0 +1,133 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace mistique {
+namespace obs {
+
+namespace {
+
+/// xorshift64* — one multiply + three shifts per draw; statistically
+/// fine for a sampling coin flip and never contended (thread-local).
+struct SampleRng {
+  uint64_t state;
+  SampleRng() : state(NewTraceId() | 1) {}
+  double NextDouble() {
+    uint64_t x = state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state = x;
+    return static_cast<double>((x * 0x2545F4914F6CDD1DULL) >> 11) *
+           (1.0 / 9007199254740992.0);  // 53-bit mantissa in [0,1)
+  }
+};
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(const FlightRecorderOptions& options)
+    : sample_rate_(options.sample_rate),
+      slow_threshold_(options.slow_threshold_sec),
+      shards_(kShards) {
+  const size_t per_shard =
+      std::max<size_t>(1, (options.capacity + kShards - 1) / kShards);
+  for (Shard& shard : shards_) {
+    shard.ring.resize(per_shard);
+  }
+  slowlog_.ring.resize(std::max<size_t>(1, options.slowlog_capacity));
+}
+
+bool FlightRecorder::Sample() {
+  const double rate = sample_rate_.load(std::memory_order_relaxed);
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  thread_local SampleRng rng;
+  return rng.NextDouble() < rate;
+}
+
+void FlightRecorder::SetPolicy(double sample_rate,
+                               double slow_threshold_sec) {
+  sample_rate_.store(sample_rate, std::memory_order_relaxed);
+  slow_threshold_.store(slow_threshold_sec, std::memory_order_relaxed);
+}
+
+void FlightRecorder::Record(QueryTrace trace) {
+  const double threshold = slow_threshold_.load(std::memory_order_relaxed);
+  const bool slow = threshold > 0.0 && trace.total_sec >= threshold;
+  const bool sampled = trace.sampled;
+  if (!slow && !sampled) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (slow) {
+    // seq starts at 1; 0 marks an empty slot.
+    const uint64_t seq =
+        slow_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::lock_guard<std::mutex> lock(slowlog_.mutex);
+    Entry& slot = slowlog_.ring[seq % slowlog_.ring.size()];
+    slot.seq = seq;
+    slot.trace = trace;  // copy: the trace may also go to the main ring
+    slow_recorded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (sampled) {
+    const uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    Shard& shard = shards_[internal::ThreadShard(kShards)];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    Entry& slot = shard.ring[seq % shard.ring.size()];
+    slot.seq = seq;
+    slot.trace = std::move(trace);
+    recorded_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<QueryTrace> FlightRecorder::Dump(size_t max) const {
+  std::vector<Entry> entries;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const Entry& entry : shard.ring) {
+      if (entry.seq != 0) entries.push_back(entry);
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.seq > b.seq; });
+  if (max != 0 && entries.size() > max) entries.resize(max);
+  std::vector<QueryTrace> out;
+  out.reserve(entries.size());
+  for (Entry& entry : entries) out.push_back(std::move(entry.trace));
+  return out;
+}
+
+std::vector<QueryTrace> FlightRecorder::SlowLog(size_t max) const {
+  std::vector<QueryTrace> out;
+  {
+    std::lock_guard<std::mutex> lock(slowlog_.mutex);
+    for (const Entry& entry : slowlog_.ring) {
+      if (entry.seq != 0) out.push_back(entry.trace);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const QueryTrace& a, const QueryTrace& b) {
+              return a.total_sec > b.total_sec;
+            });
+  if (max != 0 && out.size() > max) out.resize(max);
+  return out;
+}
+
+void FlightRecorder::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (Entry& entry : shard.ring) entry = Entry{};
+  }
+  std::lock_guard<std::mutex> lock(slowlog_.mutex);
+  for (Entry& entry : slowlog_.ring) entry = Entry{};
+}
+
+FlightRecorder& GlobalFlightRecorder() {
+  static FlightRecorder* recorder = new FlightRecorder();  // leaked
+  return *recorder;
+}
+
+}  // namespace obs
+}  // namespace mistique

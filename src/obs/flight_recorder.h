@@ -1,0 +1,112 @@
+#ifndef MISTIQUE_OBS_FLIGHT_RECORDER_H_
+#define MISTIQUE_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/trace.h"
+
+// Always-on retrospective capture (docs/OBSERVABILITY.md): a fixed-size
+// sharded ring of recently completed QueryTraces plus a separate
+// slow-query ring. The serving layers feed every completed query's
+// trace through Record() under the sampling policy:
+//
+//   - sampled traffic (Sample() true at admission, default 1%) carries
+//     full span trees and lands in the main ring;
+//   - anything slower than the slow threshold is captured regardless of
+//     the sampling decision — unsampled slow queries arrive as spanless
+//     decision records (strategy, queue wait, total) because spans
+//     cannot be reconstructed retroactively — and lands in the slow log.
+//
+// Rings are mutex-per-shard; traces are moved whole under the lock, so
+// a dump never observes a torn/partial trace. Capacity bounds memory:
+// the recorder never allocates per-query beyond the trace it is handed.
+
+namespace mistique {
+namespace obs {
+
+struct FlightRecorderOptions {
+  size_t capacity = 256;          ///< main ring, across all shards
+  size_t slowlog_capacity = 64;   ///< slow-query ring
+  double sample_rate = 0.01;      ///< probability a query is span-traced
+  double slow_threshold_sec = 0.1;  ///< always capture above this latency
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(
+      const FlightRecorderOptions& options = FlightRecorderOptions());
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// One cheap coin flip per request (thread-local xorshift RNG, no
+  /// lock): should this request carry a full span trace?
+  bool Sample();
+
+  /// Updates the sampling policy at runtime (CLI env knobs, tests).
+  void SetPolicy(double sample_rate, double slow_threshold_sec);
+  double sample_rate() const {
+    return sample_rate_.load(std::memory_order_relaxed);
+  }
+  double slow_threshold_sec() const {
+    return slow_threshold_.load(std::memory_order_relaxed);
+  }
+
+  /// Hands a completed query's trace to the recorder. The recorder
+  /// decides retention: slow traces (total_sec >= threshold) go to the
+  /// slow log, sampled traces to the main ring, the rest are dropped.
+  void Record(QueryTrace trace);
+
+  /// Newest-first recent traces from the main ring, at most `max`
+  /// (0 = all retained).
+  std::vector<QueryTrace> Dump(size_t max = 0) const;
+
+  /// Retained slow queries, slowest first, at most `max` (0 = all).
+  std::vector<QueryTrace> SlowLog(size_t max = 0) const;
+
+  void Clear();
+
+  uint64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  uint64_t slow_recorded() const {
+    return slow_recorded_.load(std::memory_order_relaxed);
+  }
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    uint64_t seq = 0;  ///< global recording order (0 = empty slot)
+    QueryTrace trace;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<Entry> ring;  ///< fixed size; slot = seq % ring.size()
+  };
+
+  static constexpr size_t kShards = 4;
+
+  std::atomic<double> sample_rate_;
+  std::atomic<double> slow_threshold_;
+  std::atomic<uint64_t> seq_{0};
+  std::atomic<uint64_t> slow_seq_{0};
+  std::atomic<uint64_t> recorded_{0};
+  std::atomic<uint64_t> slow_recorded_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::vector<Shard> shards_;
+  Shard slowlog_;
+};
+
+/// Process-wide recorder the CLI serve/route modes and the default
+/// QueryService/Router wiring share. Leaked singleton, like
+/// GlobalMetrics().
+FlightRecorder& GlobalFlightRecorder();
+
+}  // namespace obs
+}  // namespace mistique
+
+#endif  // MISTIQUE_OBS_FLIGHT_RECORDER_H_

@@ -123,10 +123,33 @@ std::string FormatBound(double v) {
   return FormatDouble(v);
 }
 
+/// HELP text escaping per the Prometheus exposition format: backslash
+/// and line feed must be escaped or a multi-line help string corrupts
+/// the whole scrape (every raw "\n" starts what the parser reads as a
+/// new, malformed sample line).
+std::string EscapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 void AppendHeader(const std::string& name, const std::string& help,
                   const char* type, std::string* out) {
   if (!help.empty()) {
-    out->append("# HELP ").append(name).append(" ").append(help).append("\n");
+    out->append("# HELP ")
+        .append(name)
+        .append(" ")
+        .append(EscapeHelp(help))
+        .append("\n");
   }
   out->append("# TYPE ").append(name).append(" ").append(type).append("\n");
 }

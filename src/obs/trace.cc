@@ -1,7 +1,10 @@
 #include "obs/trace.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <random>
 
 namespace mistique {
 namespace obs {
@@ -17,6 +20,24 @@ std::string FormatMs(double seconds) {
 }  // namespace
 
 QueryTrace* CurrentTrace() { return t_current; }
+
+uint64_t NewTraceId() {
+  // A random per-process base keeps ids from colliding across cluster
+  // nodes; the counter keeps them unique (and cheap) within a process.
+  static const uint64_t base = [] {
+    std::random_device rd;
+    uint64_t seed = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+    // Mix so low bits differ too even if random_device is weak.
+    seed ^= seed >> 33;
+    seed *= 0xff51afd7ed558ccdULL;
+    seed ^= seed >> 33;
+    return seed;
+  }();
+  static std::atomic<uint64_t> counter{1};
+  const uint64_t id =
+      base ^ counter.fetch_add(1, std::memory_order_relaxed);
+  return id == 0 ? 1 : id;
+}
 
 TraceScope::TraceScope(QueryTrace* trace) : previous_(t_current) {
   t_current = trace;
@@ -68,6 +89,10 @@ std::string QueryTrace::Format() const {
   std::string out;
   out += "trace " + std::to_string(trace_id);
   if (!description.empty()) out += " (" + description + ")";
+  if (!node.empty()) out += " @" + node;
+  if (parent_span_id != 0) {
+    out += "  parent_span=" + std::to_string(parent_span_id);
+  }
   out += "\n";
   out += "  strategy:   " + (strategy.empty() ? "-" : strategy);
   if (cache_hit) out += "  [cache hit]";
@@ -108,6 +133,18 @@ std::string QueryTrace::Format() const {
     if (t.bytes > 0) out += ", " + std::to_string(t.bytes) + "B";
     out += ")\n";
   }
+  // Child traces (per-shard subtrees assembled by the router), indented
+  // one level per hop.
+  for (const QueryTrace& child : children) {
+    const std::string rendered = child.Format();
+    size_t pos = 0;
+    while (pos < rendered.size()) {
+      size_t end = rendered.find('\n', pos);
+      if (end == std::string::npos) end = rendered.size();
+      out += "  | " + rendered.substr(pos, end - pos) + "\n";
+      pos = end + 1;
+    }
+  }
   return out;
 }
 
@@ -135,6 +172,108 @@ AccumSpan::AccumSpan(const char* name) : trace_(t_current) {
 AccumSpan::~AccumSpan() {
   if (trace_ == nullptr) return;
   trace_->Accumulate(name_, trace_->Elapsed() - start_sec_, bytes_);
+}
+
+// --- Chrome trace_event export ---
+
+namespace {
+
+void AppendJsonEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+/// Walks a trace tree emitting complete ("X") events. Each distinct node
+/// maps to one pid; each trace in the tree gets its own tid so sibling
+/// shard traces render side by side.
+struct ChromeEmitter {
+  std::string* out;
+  std::vector<std::string> nodes;
+  int next_tid = 1;
+  bool first = true;
+
+  int PidFor(const std::string& node) {
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i] == node) return static_cast<int>(i) + 1;
+    }
+    nodes.push_back(node);
+    return static_cast<int>(nodes.size());
+  }
+
+  void Event(const std::string& name, int pid, int tid, double ts_us,
+             double dur_us) {
+    if (!first) out->append(",");
+    first = false;
+    out->append("\n{\"ph\":\"X\",\"name\":\"");
+    AppendJsonEscaped(name, out);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f}", pid,
+                  tid, ts_us, dur_us);
+    out->append(buf);
+  }
+
+  void Emit(const QueryTrace& trace, double base_us) {
+    const int pid = PidFor(trace.node.empty() ? "node" : trace.node);
+    const int tid = next_tid++;
+    std::string label = "trace " + std::to_string(trace.trace_id);
+    if (!trace.description.empty()) label += " " + trace.description;
+    if (!trace.strategy.empty()) label += " [" + trace.strategy + "]";
+    Event(label, pid, tid, base_us, trace.total_sec * 1e6);
+    for (const TraceEvent& e : trace.events()) {
+      Event(e.name, pid, tid, base_us + e.start_sec * 1e6,
+            e.duration_sec * 1e6);
+    }
+    // Child traces start on the parent's timeline; clocks across nodes
+    // are not synchronized, so nesting (not absolute skew) is what the
+    // export preserves.
+    for (const QueryTrace& child : trace.children) {
+      Emit(child, base_us + trace.queue_wait_sec * 1e6);
+    }
+  }
+};
+
+}  // namespace
+
+std::string TraceToChromeJson(const QueryTrace& trace) {
+  std::string out = "[";
+  ChromeEmitter emitter;
+  emitter.out = &out;
+  emitter.Emit(trace, 0.0);
+  for (size_t i = 0; i < emitter.nodes.size(); ++i) {
+    out += ",\n{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+           std::to_string(i + 1) + ",\"tid\":0,\"args\":{\"name\":\"";
+    AppendJsonEscaped(emitter.nodes[i], &out);
+    out += "\"}}";
+  }
+  out += "\n]\n";
+  return out;
 }
 
 }  // namespace obs

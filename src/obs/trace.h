@@ -52,6 +52,15 @@ class QueryTrace {
   uint64_t trace_id = 0;
   std::string description;
 
+  /// --- Distributed-trace identity (docs/OBSERVABILITY.md) ---
+  std::string node;             ///< which process produced this span tree
+                                ///< ("store", "router", "shard0", ...)
+  uint64_t parent_span_id = 0;  ///< span in the parent trace this child
+                                ///< hangs under; 0 = root
+  bool sampled = false;         ///< captured under the sampling policy
+  /// Per-shard child traces assembled by the router (empty on leaves).
+  std::vector<QueryTrace> children;
+
   /// --- Cost-model decision record (filled by the engine) ---
   double est_read_sec = -1;   ///< Eq. 4 t_read estimate; -1 = not reached
   double est_rerun_sec = -1;  ///< Eq. 2/3 t_rerun estimate
@@ -89,7 +98,8 @@ class QueryTrace {
   double StageSeconds(const std::string& name) const;
 
   /// Human-readable rendering: decision record, span tree (indented by
-  /// depth), then the aggregate stage table.
+  /// depth), the aggregate stage table, then child traces indented one
+  /// level per hop.
   std::string Format() const;
 
   /// Current span nesting depth; maintained by TraceSpan.
@@ -105,6 +115,16 @@ class QueryTrace {
 /// The trace the current thread is executing under; nullptr when the
 /// query is untraced.
 QueryTrace* CurrentTrace();
+
+/// Process-unique trace/span id: a per-process random base XOR'd with an
+/// atomic counter. Never returns 0 (0 means "no parent" on the wire).
+uint64_t NewTraceId();
+
+/// Renders an assembled trace tree as Chrome trace_event JSON (load via
+/// chrome://tracing or https://ui.perfetto.dev). Each distinct `node`
+/// becomes a pid; spans become complete ("X") events with microsecond
+/// timestamps offset so a child trace nests under its parent's timeline.
+std::string TraceToChromeJson(const QueryTrace& trace);
 
 /// RAII: installs `trace` as the thread's current trace, restoring the
 /// previous one (normally nullptr) on destruction.

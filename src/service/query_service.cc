@@ -8,9 +8,22 @@ namespace mistique {
 QueryService::QueryService(Mistique* engine, QueryServiceOptions options)
     : engine_(engine),
       options_(std::move(options)),
+      recorder_(options_.flight_recorder != nullptr
+                    ? options_.flight_recorder
+                    : &obs::GlobalFlightRecorder()),
       bytes_read_at_start_(engine->store().disk_read_bytes()) {
   pool_ = std::make_unique<ThreadPool>(options_.num_workers);
 }
+
+namespace {
+std::string DescribeFetch(const FetchRequest& request) {
+  return request.project + "." + request.model + "." + request.intermediate;
+}
+std::string DescribeScan(const ScanRequest& request) {
+  return request.project + "." + request.model + "." + request.intermediate +
+         " scan(" + request.predicate_column + ")";
+}
+}  // namespace
 
 QueryService::~QueryService() {
   // Drain the queue before any other member is torn down: queued tasks
@@ -146,6 +159,12 @@ void QueryService::SubmitFetchAsync(
     return;
   }
 
+  // Sampling decision happens at admission (one thread-local RNG draw):
+  // a sampled request carries a full span trace through the engine and
+  // lands in the flight recorder even though the caller asked for a
+  // plain fetch.
+  const bool sampled = recorder_->Sample();
+
   // Per-session result cache: hits bypass the queue entirely, so a
   // session replaying its working set costs no worker time.
   const uint64_t key = Mistique::RequestKey(request);
@@ -159,6 +178,14 @@ void QueryService::SubmitFetchAsync(
       hit.from_cache = true;
       hit.fetch_seconds = 0;
       cache_lock.unlock();
+      if (sampled) {
+        obs::QueryTrace trace(obs::NewTraceId(), DescribeFetch(request));
+        trace.node = options_.node_name;
+        trace.sampled = true;
+        trace.strategy = "session-cache";
+        trace.cache_hit = true;
+        recorder_->Record(std::move(trace));
+      }
       done(std::move(hit));
       return;
     }
@@ -169,7 +196,7 @@ void QueryService::SubmitFetchAsync(
     return;
   }
   const double submit_sec = NowSeconds();
-  pool_->Submit([this, s, key, submit_sec, deadline_sec,
+  pool_->Submit([this, s, key, submit_sec, deadline_sec, sampled,
                  done = std::move(done),
                  request = std::move(request)]() mutable {
     RunTask<FetchResult>(
@@ -178,7 +205,43 @@ void QueryService::SubmitFetchAsync(
           const uint64_t epoch_before =
               cache_epoch_.load(std::memory_order_acquire);
           const uint64_t engine_epoch_before = engine_->CurrentEpoch();
-          Result<FetchResult> result = engine_->Fetch(request);
+          const double queue_wait = NowSeconds() - submit_sec;
+          Result<FetchResult> result = Status::Internal("unreached");
+          if (sampled) {
+            obs::QueryTrace trace(obs::NewTraceId(), DescribeFetch(request));
+            trace.node = options_.node_name;
+            trace.sampled = true;
+            trace.queue_wait_sec = queue_wait;
+            {
+              obs::TraceScope scope(&trace);
+              result = engine_->Fetch(request);
+            }
+            trace.total_sec = trace.Elapsed();
+            recorder_->Record(std::move(trace));
+          } else {
+            const double t0 = NowSeconds();
+            result = engine_->Fetch(request);
+            // Unsampled-but-slow: retroactive capture. Spans cannot be
+            // reconstructed after the fact, so the slow log gets a
+            // spanless decision record (strategy, waits, total).
+            const double total = NowSeconds() - t0;
+            const double threshold = recorder_->slow_threshold_sec();
+            if (threshold > 0 && total >= threshold) {
+              obs::QueryTrace trace(obs::NewTraceId(),
+                                    DescribeFetch(request));
+              trace.node = options_.node_name;
+              trace.queue_wait_sec = queue_wait;
+              trace.total_sec = total;
+              if (result.ok()) {
+                trace.cache_hit = result->from_cache;
+                trace.materialized_now = result->materialized_now;
+                trace.strategy = result->from_cache ? "engine-cache"
+                                 : result->used_read ? "read"
+                                                     : "rerun";
+              }
+              recorder_->Record(std::move(trace));
+            }
+          }
           if (!result.ok()) return result;
           if (result->materialized_now) {
             // The store changed shape; cached plans/results are stale in
@@ -215,17 +278,45 @@ void QueryService::SubmitScanAsync(
     return;
   }
 
+  const bool sampled = recorder_->Sample();
   if (!TryEnqueue(&reject)) {
     done(reject);
     return;
   }
   const double submit_sec = NowSeconds();
-  pool_->Submit([this, submit_sec, deadline_sec, done = std::move(done),
+  pool_->Submit([this, submit_sec, deadline_sec, sampled,
+                 done = std::move(done),
                  request = std::move(request)]() mutable {
-    RunTask<ScanResult>(submit_sec, deadline_sec, done,
-                        [&]() -> Result<ScanResult> {
-                          return engine_->Scan(request);
-                        });
+    RunTask<ScanResult>(
+        submit_sec, deadline_sec, done, [&]() -> Result<ScanResult> {
+          const double queue_wait = NowSeconds() - submit_sec;
+          if (sampled) {
+            obs::QueryTrace trace(obs::NewTraceId(), DescribeScan(request));
+            trace.node = options_.node_name;
+            trace.sampled = true;
+            trace.queue_wait_sec = queue_wait;
+            Result<ScanResult> result = [&] {
+              obs::TraceScope scope(&trace);
+              return engine_->Scan(request);
+            }();
+            trace.total_sec = trace.Elapsed();
+            recorder_->Record(std::move(trace));
+            return result;
+          }
+          const double t0 = NowSeconds();
+          Result<ScanResult> result = engine_->Scan(request);
+          const double total = NowSeconds() - t0;
+          const double threshold = recorder_->slow_threshold_sec();
+          if (threshold > 0 && total >= threshold) {
+            obs::QueryTrace trace(obs::NewTraceId(), DescribeScan(request));
+            trace.node = options_.node_name;
+            trace.queue_wait_sec = queue_wait;
+            trace.total_sec = total;
+            trace.strategy = "scan";
+            recorder_->Record(std::move(trace));
+          }
+          return result;
+        });
   });
 }
 
@@ -449,6 +540,9 @@ void QueryService::SubmitTraceFetchAsync(
       hit.trace = obs::QueryTrace(trace_id, description);
       hit.trace.strategy = "session-cache";
       hit.trace.cache_hit = true;
+      hit.trace.node = options_.node_name;
+      hit.trace.sampled = true;
+      recorder_->Record(hit.trace);
       done(std::move(hit));
       return;
     }
@@ -470,6 +564,8 @@ void QueryService::SubmitTraceFetchAsync(
           // reported separately so span offsets line up with the
           // engine-side work they describe.
           out.trace = obs::QueryTrace(trace_id, description);
+          out.trace.node = options_.node_name;
+          out.trace.sampled = true;
           out.trace.queue_wait_sec = NowSeconds() - submit_sec;
           const uint64_t epoch_before =
               cache_epoch_.load(std::memory_order_acquire);
@@ -482,6 +578,7 @@ void QueryService::SubmitTraceFetchAsync(
             return engine_->Fetch(request);
           }();
           out.trace.total_sec = out.trace.Elapsed();
+          recorder_->Record(out.trace);
           if (!result.ok()) return result.status();
           if (result->materialized_now) {
             InvalidateSessionCaches();
@@ -542,12 +639,15 @@ void QueryService::SubmitTraceScanAsync(
                         [&]() -> Result<TracedScan> {
                           TracedScan out;
                           out.trace = obs::QueryTrace(trace_id, description);
+                          out.trace.node = options_.node_name;
+                          out.trace.sampled = true;
                           out.trace.queue_wait_sec = NowSeconds() - submit_sec;
                           Result<ScanResult> result = [&] {
                             obs::TraceScope scope(&out.trace);
                             return engine_->Scan(request);
                           }();
                           out.trace.total_sec = out.trace.Elapsed();
+                          recorder_->Record(out.trace);
                           if (!result.ok()) return result.status();
                           out.result = std::move(*result);
                           return out;

@@ -17,6 +17,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/mistique.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -48,6 +49,15 @@ struct QueryServiceOptions {
   /// dequeued, before the deadline check. Lets tests park workers
   /// deterministically to exercise queue-full and deadline paths.
   std::function<void()> pre_execute_hook;
+  /// Flight recorder fed every completed query under its sampling
+  /// policy (docs/OBSERVABILITY.md): sampled queries carry full span
+  /// traces, slow ones always land in the slow log. nullptr = the
+  /// process-global recorder.
+  obs::FlightRecorder* flight_recorder = nullptr;
+  /// Node label stamped on traces this service produces ("store",
+  /// "shard0", ...) so assembled cluster trees say where each subtree
+  /// ran.
+  std::string node_name = "store";
 };
 
 /// A point-in-time snapshot of service health.
@@ -199,6 +209,9 @@ class QueryService {
   size_t num_workers() const { return pool_->num_threads(); }
   Mistique* engine() const { return engine_; }
 
+  /// The flight recorder this service feeds (never nullptr).
+  obs::FlightRecorder* flight_recorder() const { return recorder_; }
+
   /// Admitted requests whose completion has not yet been delivered.
   /// Drain waits on this reaching zero; soak-harness drain checkers read
   /// it (and the mistique_service_inflight gauge) to assert no admitted
@@ -240,6 +253,7 @@ class QueryService {
 
   Mistique* engine_;
   QueryServiceOptions options_;
+  obs::FlightRecorder* recorder_;  ///< resolved from options; never null
 
   std::atomic<uint64_t> queued_{0};
   std::atomic<uint64_t> running_{0};

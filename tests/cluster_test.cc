@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cmath>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <thread>
@@ -23,6 +24,7 @@
 #include "net/client.h"
 #include "net/server.h"
 #include "net/wire.h"
+#include "obs/trace.h"
 #include "service/query_service.h"
 #include "test_util.h"
 
@@ -700,6 +702,121 @@ TEST_F(RouterTest, HedgedFetchStillMatchesOracle) {
     ASSERT_OK_AND_ASSIGN(FetchResult ref, oracle_.Fetch(FetchReq(model)));
     EXPECT_EQ(remote.columns, ref.columns) << model;
   }
+  front.Stop();
+  hedged->Stop();
+}
+
+// Tentpole acceptance: a traced scan through the router comes back as
+// ONE assembled tree — router root, one child per live shard the
+// scatter touched — while the merged rows stay byte-identical to the
+// untraced path.
+TEST_F(RouterTest, TracedScatterScanAssemblesOneChildPerLiveShard) {
+  net::Client client(RouterClientOpts());
+  ScanRequest scan;
+  scan.project = "proj";
+  scan.model = "m2";
+  scan.intermediate = "pred";
+  scan.predicate_column = "score";
+  scan.lo = 0;
+  scan.hi = 1;
+  scan.columns = {"pred", "score"};
+  ASSERT_OK_AND_ASSIGN(ScanResult ref, oracle_.Scan(scan));
+  ASSERT_FALSE(ref.row_ids.empty());
+
+  const uint64_t trace_id = obs::NewTraceId();
+  client.SetTraceContext({trace_id, 0, true});
+  ASSERT_OK_AND_ASSIGN(ScanResult remote, client.Scan(scan));
+  std::optional<obs::QueryTrace> trace = client.TakeLastTrace();
+  client.ClearTraceContext();
+
+  EXPECT_EQ(remote.row_ids, ref.row_ids);
+  EXPECT_EQ(remote.columns, ref.columns);
+  EXPECT_EQ(remote.column_names, ref.column_names);
+
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->trace_id, trace_id);
+  EXPECT_EQ(trace->node, "router");
+  EXPECT_EQ(trace->strategy, "scatter-gather");
+  EXPECT_TRUE(trace->sampled);
+  EXPECT_GT(trace->total_sec, 0.0);
+  ASSERT_EQ(trace->children.size(), 3u);  // one child per live shard
+
+  size_t with_rows = 0;
+  size_t not_found = 0;
+  for (const obs::QueryTrace& child : trace->children) {
+    EXPECT_EQ(child.trace_id, trace_id) << child.node;
+    EXPECT_TRUE(child.sampled) << child.node;
+    EXPECT_FALSE(child.node.empty());
+    if (child.strategy == "not-found") {
+      ++not_found;
+    } else {
+      ++with_rows;
+      // The owning shard's child carries its own engine scan stages.
+      EXPECT_GT(child.StageSeconds("scan_decode") +
+                    child.StageSeconds("scan_packed"),
+                0.0)
+          << child.node;
+      EXPECT_GT(child.total_sec, 0.0) << child.node;
+    }
+  }
+  // The model lives on exactly one shard; the other two scatter legs
+  // answered not-found and were synthesized into the tree so shard
+  // coverage stays visible.
+  EXPECT_EQ(with_rows, 1u);
+  EXPECT_EQ(not_found, 2u);
+}
+
+// Tentpole acceptance: hedged duplicates become visible in the trace —
+// the root carries one attempt span per launch, the winner tagged, and
+// only the winning attempt's child trace is grafted.
+TEST_F(RouterTest, HedgedTracedFetchShowsBothAttemptsInRoot) {
+  RouterOptions hedged_options;
+  hedged_options.health_interval_sec = 0.05;
+  hedged_options.hedge_delay_sec = 0.0001;  // hedge almost every request
+  auto hedged = std::make_unique<Router>(router_->map(), hedged_options);
+  ASSERT_OK(hedged->Start());
+  net::Server front(hedged.get());
+  ASSERT_OK(front.Start());
+
+  net::ClientOptions copts;
+  copts.port = front.port();
+  net::Client client(copts);
+
+  bool saw_hedge_attempt = false;
+  for (int i = 0; i < kModels; ++i) {
+    const std::string model = "m" + std::to_string(i);
+    const uint64_t trace_id = obs::NewTraceId();
+    client.SetTraceContext({trace_id, 0, true});
+    ASSERT_OK_AND_ASSIGN(FetchResult remote, client.Fetch(FetchReq(model)));
+    std::optional<obs::QueryTrace> trace = client.TakeLastTrace();
+    client.ClearTraceContext();
+
+    ASSERT_OK_AND_ASSIGN(FetchResult ref, oracle_.Fetch(FetchReq(model)));
+    EXPECT_EQ(remote.columns, ref.columns) << model;
+
+    ASSERT_TRUE(trace.has_value()) << model;
+    EXPECT_EQ(trace->trace_id, trace_id) << model;
+    EXPECT_EQ(trace->strategy, "forward") << model;
+    ASSERT_EQ(trace->children.size(), 1u) << model;  // winner's child only
+    EXPECT_EQ(trace->children[0].trace_id, trace_id) << model;
+
+    bool primary = false;
+    bool hedge = false;
+    int won = 0;
+    for (const obs::TraceEvent& event : trace->events()) {
+      if (event.name.rfind("attempt primary", 0) == 0) primary = true;
+      if (event.name.rfind("attempt hedge", 0) == 0) hedge = true;
+      if (event.name.find(" (won)") != std::string::npos) ++won;
+    }
+    EXPECT_TRUE(primary) << model;
+    EXPECT_EQ(won, 1) << model;  // exactly the winning attempt is tagged
+    saw_hedge_attempt = saw_hedge_attempt || hedge;
+  }
+  // With a 0.1 ms hedge delay at least one of the eight fetches hedged;
+  // both attempts must then be visible in that request's root.
+  EXPECT_TRUE(saw_hedge_attempt);
+  EXPECT_GT(hedged->Stats().hedges, 0u);
+
   front.Stop();
   hedged->Stop();
 }

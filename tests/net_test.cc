@@ -24,6 +24,7 @@
 #include "net/server.h"
 #include "net/wire.h"
 #include "nn/cifar.h"
+#include "obs/flight_recorder.h"
 #include "nn/model_zoo.h"
 #include "pipeline/templates.h"
 #include "pipeline/zillow.h"
@@ -560,14 +561,72 @@ TEST(WireTest, NewPayloadsRejectTruncationAtEveryByte) {
   }
 }
 
+TEST(WireTest, TracedEnvelopePayloadsRejectTruncationAtEveryByte) {
+  wire::TraceContext ctx;
+  ctx.trace_id = 0x1122334455667788ull;
+  ctx.parent_span_id = 0x99;
+  ctx.sampled = true;
+  const obs::QueryTrace trace = SampleTrace();
+  std::vector<obs::QueryTrace> list;
+  list.push_back(trace);
+  list.push_back(trace);
+
+  const std::string encodings[] = {
+      wire::EncodeTracedRequest(ctx, wire::MsgType::kFetchReq, "inner"),
+      wire::EncodeTracedResponse(wire::MsgType::kFetchResp, "body", &trace),
+      wire::EncodeTraceQuery(7),
+      wire::EncodeTraceList(list),
+  };
+  const char* names[] = {"traced_req", "traced_resp", "trace_query",
+                         "trace_list"};
+  for (size_t which = 0; which < 4; ++which) {
+    const std::string& good = encodings[which];
+    ASSERT_FALSE(good.empty()) << names[which];
+    for (size_t len = 0; len < good.size(); ++len) {
+      const std::string prefix = good.substr(0, len);
+      Status st;
+      switch (which) {
+        case 0: {
+          wire::TraceContext c;
+          auto t = wire::MsgType::kErrorResp;
+          std::string p;
+          st = wire::DecodeTracedRequest(prefix, &c, &t, &p);
+          break;
+        }
+        case 1: {
+          auto t = wire::MsgType::kErrorResp;
+          std::string p;
+          bool has = false;
+          obs::QueryTrace tr;
+          st = wire::DecodeTracedResponse(prefix, &t, &p, &has, &tr);
+          break;
+        }
+        case 2: {
+          uint32_t max = 0;
+          st = wire::DecodeTraceQuery(prefix, &max);
+          break;
+        }
+        case 3: {
+          std::vector<obs::QueryTrace> out;
+          st = wire::DecodeTraceList(prefix, &out);
+          break;
+        }
+      }
+      EXPECT_FALSE(st.ok())
+          << names[which] << " decoded a truncation at byte " << len << "/"
+          << good.size();
+    }
+  }
+}
+
 TEST(WireTest, NewMsgTypesAreValidAndFuzzSafe) {
   for (uint8_t t = static_cast<uint8_t>(wire::MsgType::kMetricsReq);
-       t <= static_cast<uint8_t>(wire::MsgType::kTraceScanReq); ++t) {
+       t <= static_cast<uint8_t>(wire::MsgType::kSlowLogResp); ++t) {
     EXPECT_TRUE(wire::IsValidMsgType(t)) << "type " << int{t};
   }
   EXPECT_FALSE(wire::IsValidMsgType(0));
   EXPECT_FALSE(wire::IsValidMsgType(
-      static_cast<uint8_t>(wire::MsgType::kTraceScanReq) + 1));
+      static_cast<uint8_t>(wire::MsgType::kSlowLogResp) + 1));
 
   // Same LCG-garbage discipline as FuzzedPayloadDecodersNeverCrash, for
   // the decoders added since.
@@ -590,6 +649,17 @@ TEST(WireTest, NewMsgTypesAreValidAndFuzzSafe) {
     (void)wire::DecodeCatalog(payload, &catalog);
     (void)wire::DecodeMetricsText(payload, &text);
     (void)wire::DecodeQueryTrace(payload, &trace, &summary);
+    wire::TraceContext ctx;
+    auto inner = wire::MsgType::kErrorResp;
+    std::string inner_payload;
+    bool has_trace = false;
+    uint32_t max = 0;
+    std::vector<obs::QueryTrace> traces;
+    (void)wire::DecodeTracedRequest(payload, &ctx, &inner, &inner_payload);
+    (void)wire::DecodeTracedResponse(payload, &inner, &inner_payload,
+                                     &has_trace, &trace);
+    (void)wire::DecodeTraceQuery(payload, &max);
+    (void)wire::DecodeTraceList(payload, &traces);
   }
 }
 
@@ -782,6 +852,79 @@ TEST_F(NetTest, RemoteTraceScanCarriesStagesAndSummary) {
   EXPECT_GT(trace.StageSeconds("scan_packed"), 0.0);
   EXPECT_EQ(trace.StageSeconds("scan_decode"), 0.0);
   qserver.Stop();
+}
+
+TEST_F(NetTest, TracedFetchEnvelopeReturnsTraceAndIdenticalBytes) {
+  obs::FlightRecorderOptions ropts;
+  ropts.sample_rate = 0.0;         // only explicit envelopes carry traces
+  ropts.slow_threshold_sec = 0.0;  // slow log off
+  obs::FlightRecorder recorder(ropts);
+  QueryServiceOptions sopts;
+  sopts.flight_recorder = &recorder;
+  StartServer(sopts);
+  ASSERT_OK_AND_ASSIGN(FetchResult ref, mq_.Fetch(FetchReq()));
+
+  net::Client client(ClientOpts());
+  const uint64_t trace_id = obs::NewTraceId();
+  client.SetTraceContext({trace_id, 42, true});
+  ASSERT_OK_AND_ASSIGN(FetchResult traced, client.Fetch(FetchReq()));
+  std::optional<obs::QueryTrace> trace = client.TakeLastTrace();
+  client.ClearTraceContext();
+
+  // Tracing must not perturb results: bit-identical to the plain path.
+  EXPECT_EQ(traced.column_names, ref.column_names);
+  EXPECT_EQ(traced.columns, ref.columns);
+  EXPECT_EQ(traced.row_ids, ref.row_ids);
+
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->trace_id, trace_id);
+  EXPECT_EQ(trace->parent_span_id, 42u);
+  EXPECT_EQ(trace->node, "store");
+  EXPECT_TRUE(trace->sampled);
+  EXPECT_GT(trace->total_sec, 0.0);
+  EXPECT_FALSE(trace->events().empty());
+
+  // The hop also recorded itself into its flight recorder.
+  const std::vector<obs::QueryTrace> dump = recorder.Dump();
+  ASSERT_FALSE(dump.empty());
+  EXPECT_EQ(dump[0].trace_id, trace_id);
+
+  // Context cleared: the next call rides plain frames, no trace left.
+  ASSERT_OK(client.Fetch(FetchReq(17)).status());
+  EXPECT_FALSE(client.TakeLastTrace().has_value());
+}
+
+TEST_F(NetTest, TraceDumpAndSlowLogTravelOverWire) {
+  obs::FlightRecorderOptions ropts;
+  ropts.sample_rate = 0.0;
+  ropts.slow_threshold_sec = 1e-9;  // every query qualifies as slow
+  obs::FlightRecorder recorder(ropts);
+  QueryServiceOptions sopts;
+  sopts.flight_recorder = &recorder;
+  StartServer(sopts);
+
+  net::Client client(ClientOpts());
+  client.SetTraceContext({obs::NewTraceId(), 0, true});
+  ASSERT_OK(client.Fetch(FetchReq(16)).status());
+  ASSERT_OK(client.Fetch(FetchReq(32)).status());
+  client.ClearTraceContext();
+
+  ASSERT_OK_AND_ASSIGN(std::vector<obs::QueryTrace> dump,
+                       client.TraceDump(0));
+  ASSERT_GE(dump.size(), 2u);
+  for (const obs::QueryTrace& t : dump) {
+    EXPECT_EQ(t.node, "store");
+    EXPECT_TRUE(t.sampled);
+    EXPECT_NE(t.trace_id, 0u);
+  }
+  ASSERT_OK_AND_ASSIGN(std::vector<obs::QueryTrace> one, client.TraceDump(1));
+  EXPECT_EQ(one.size(), 1u);
+
+  ASSERT_OK_AND_ASSIGN(std::vector<obs::QueryTrace> slow, client.SlowLog(0));
+  ASSERT_GE(slow.size(), 2u);
+  for (size_t i = 1; i < slow.size(); ++i) {
+    EXPECT_GE(slow[i - 1].total_sec, slow[i].total_sec);
+  }
 }
 
 TEST_F(NetTest, ErrorsTravelTyped) {

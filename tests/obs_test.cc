@@ -1,5 +1,7 @@
 #include <atomic>
+#include <chrono>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -7,6 +9,7 @@
 #include "core/cost_model.h"
 #include "gtest/gtest.h"
 #include "net/wire.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "pipeline/templates.h"
@@ -171,6 +174,20 @@ TEST(RegistryTest, CumulativeBucketCounts) {
             std::string::npos);
   EXPECT_NE(text.find("h_seconds_bucket{le=\"+Inf\"} 2\n"),
             std::string::npos);
+}
+
+/// Regression: HELP text containing a raw line feed or backslash used to
+/// pass through unescaped, and every raw "\n" inside the help string made
+/// the Prometheus parser read the remainder as a malformed sample line,
+/// corrupting the whole scrape.
+TEST(RegistryTest, HelpTextEscapesNewlinesAndBackslashes) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("esc_total", "first line\nsecond \\ line")->Add(1);
+  const std::string text = registry.TextExposition();
+  EXPECT_NE(text.find("# HELP esc_total first line\\nsecond \\\\ line\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find("first line\nsecond"), std::string::npos);
+  EXPECT_NE(text.find("esc_total 1\n"), std::string::npos);
 }
 
 // --- Trace spans ---
@@ -346,8 +363,324 @@ TEST(WireObsTest, NewMsgTypesAreValid) {
       static_cast<uint8_t>(wire::MsgType::kCatalogResp)));
   EXPECT_TRUE(wire::IsValidMsgType(
       static_cast<uint8_t>(wire::MsgType::kTraceScanReq)));
+  EXPECT_TRUE(wire::IsValidMsgType(
+      static_cast<uint8_t>(wire::MsgType::kTracedReq)));
+  EXPECT_TRUE(wire::IsValidMsgType(
+      static_cast<uint8_t>(wire::MsgType::kSlowLogResp)));
   EXPECT_FALSE(wire::IsValidMsgType(
-      static_cast<uint8_t>(wire::MsgType::kTraceScanReq) + 1));
+      static_cast<uint8_t>(wire::MsgType::kSlowLogResp) + 1));
+}
+
+// --- Distributed-trace identity and tree payloads ---
+
+TEST(TraceTest, NewTraceIdsAreNonZeroAndDistinct) {
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t id = obs::NewTraceId();
+    EXPECT_NE(id, 0u);
+    EXPECT_TRUE(seen.insert(id).second) << "duplicate trace id " << id;
+  }
+}
+
+TEST(TraceTest, ChromeJsonExportCoversNodesAndEvents) {
+  obs::QueryTrace root(3, "router fetch");
+  root.node = "router";
+  root.sampled = true;
+  root.total_sec = 0.01;
+  root.AddEvent("forward shard-0", 0, 0.0, 0.01, 0);
+  obs::QueryTrace child(3, "shard fetch");
+  child.node = "shard-0";
+  child.AddEvent("dedup_resolve", 0, 0.0, 0.004, 128);
+  root.children.push_back(std::move(child));
+
+  const std::string json = obs::TraceToChromeJson(root);
+  // A bare trace_event array chrome://tracing / Perfetto load directly.
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("forward shard-0"), std::string::npos);
+  EXPECT_NE(json.find("dedup_resolve"), std::string::npos);
+  // Each node becomes a named process so shards separate visually.
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("router"), std::string::npos);
+  EXPECT_NE(json.find("shard-0"), std::string::npos);
+}
+
+TEST(WireObsTest, TraceTreeRoundTripsWithChildren) {
+  obs::QueryTrace root(7001, "router scan");
+  root.node = "router";
+  root.parent_span_id = 42;
+  root.sampled = true;
+  root.strategy = "scatter-gather";
+  root.total_sec = 0.5;
+  root.AddEvent("scatter 3 shards", 0, 0.0, 0.5, 0);
+
+  obs::QueryTrace child(7001, "shard scan");
+  child.node = "shard-0";
+  child.parent_span_id = 9001;
+  child.sampled = true;
+  child.Accumulate("scan_packed", 0.01, 4096);
+  obs::QueryTrace grandchild(7001, "leaf");
+  grandchild.node = "shard-0";
+  grandchild.sampled = true;
+  child.children.push_back(std::move(grandchild));
+  root.children.push_back(std::move(child));
+
+  obs::QueryTrace sibling(7001, "no rows on this shard");
+  sibling.node = "shard-1";
+  sibling.strategy = "not-found";
+  sibling.sampled = true;
+  root.children.push_back(std::move(sibling));
+
+  const std::string payload =
+      wire::EncodeQueryTrace(root, wire::TraceResultSummary{});
+  obs::QueryTrace got;
+  wire::TraceResultSummary summary;
+  ASSERT_OK(wire::DecodeQueryTrace(payload, &got, &summary));
+
+  EXPECT_EQ(got.node, "router");
+  EXPECT_EQ(got.parent_span_id, 42u);
+  EXPECT_TRUE(got.sampled);
+  ASSERT_EQ(got.children.size(), 2u);
+  EXPECT_EQ(got.children[0].node, "shard-0");
+  EXPECT_EQ(got.children[0].parent_span_id, 9001u);
+  ASSERT_EQ(got.children[0].stage_totals().size(), 1u);
+  EXPECT_EQ(got.children[0].stage_totals()[0].name, "scan_packed");
+  EXPECT_EQ(got.children[0].stage_totals()[0].bytes, 4096u);
+  ASSERT_EQ(got.children[0].children.size(), 1u);
+  EXPECT_EQ(got.children[0].children[0].description, "leaf");
+  EXPECT_EQ(got.children[1].strategy, "not-found");
+  EXPECT_EQ(got.children[1].node, "shard-1");
+
+  // Every truncation of a tree payload is rejected, never misparsed.
+  for (size_t len = 0; len < payload.size(); ++len) {
+    obs::QueryTrace out;
+    wire::TraceResultSummary sout;
+    EXPECT_FALSE(
+        wire::DecodeQueryTrace(payload.substr(0, len), &out, &sout).ok())
+        << "tree decoded at truncation " << len;
+  }
+}
+
+TEST(WireObsTest, TraceListRoundTripsAndRejectsTruncation) {
+  std::vector<obs::QueryTrace> traces;
+  traces.emplace_back(1, "first");
+  traces.back().node = "shard-a";
+  traces.emplace_back(2, "second");
+  traces.back().sampled = true;
+  traces.back().total_sec = 0.2;
+
+  const std::string payload = wire::EncodeTraceList(traces);
+  std::vector<obs::QueryTrace> got;
+  ASSERT_OK(wire::DecodeTraceList(payload, &got));
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].trace_id, 1u);
+  EXPECT_EQ(got[0].node, "shard-a");
+  EXPECT_TRUE(got[1].sampled);
+  EXPECT_DOUBLE_EQ(got[1].total_sec, 0.2);
+
+  for (size_t len = 0; len < payload.size(); ++len) {
+    std::vector<obs::QueryTrace> out;
+    EXPECT_FALSE(wire::DecodeTraceList(payload.substr(0, len), &out).ok())
+        << "list decoded at truncation " << len;
+  }
+}
+
+TEST(WireObsTest, TracedEnvelopeRoundTripsAndRejectsNesting) {
+  wire::TraceContext ctx;
+  ctx.trace_id = 0xDEADBEEFull;
+  ctx.parent_span_id = 77;
+  ctx.sampled = true;
+  const std::string inner = wire::EncodeTraceQuery(5);
+  const std::string payload =
+      wire::EncodeTracedRequest(ctx, wire::MsgType::kTraceDumpReq, inner);
+
+  wire::TraceContext got_ctx;
+  auto inner_type = wire::MsgType::kErrorResp;
+  std::string inner_payload;
+  ASSERT_OK(wire::DecodeTracedRequest(payload, &got_ctx, &inner_type,
+                                      &inner_payload));
+  EXPECT_EQ(got_ctx.trace_id, 0xDEADBEEFull);
+  EXPECT_EQ(got_ctx.parent_span_id, 77u);
+  EXPECT_TRUE(got_ctx.sampled);
+  EXPECT_EQ(inner_type, wire::MsgType::kTraceDumpReq);
+  EXPECT_EQ(inner_payload, inner);
+
+  uint32_t max = 0;
+  ASSERT_OK(wire::DecodeTraceQuery(inner_payload, &max));
+  EXPECT_EQ(max, 5u);
+
+  // An envelope wrapping an envelope is always a malformed frame.
+  const std::string nested =
+      wire::EncodeTracedRequest(ctx, wire::MsgType::kTracedReq, payload);
+  EXPECT_FALSE(wire::DecodeTracedRequest(nested, &got_ctx, &inner_type,
+                                         &inner_payload)
+                   .ok());
+}
+
+TEST(WireObsTest, TracedResponseCarriesOptionalTrace) {
+  obs::QueryTrace trace(5, "hop");
+  trace.node = "store";
+  trace.sampled = true;
+  const std::string with =
+      wire::EncodeTracedResponse(wire::MsgType::kFetchResp, "body", &trace);
+  auto type = wire::MsgType::kErrorResp;
+  std::string body;
+  bool has_trace = false;
+  obs::QueryTrace got;
+  ASSERT_OK(wire::DecodeTracedResponse(with, &type, &body, &has_trace, &got));
+  EXPECT_EQ(type, wire::MsgType::kFetchResp);
+  EXPECT_EQ(body, "body");
+  EXPECT_TRUE(has_trace);
+  EXPECT_EQ(got.node, "store");
+
+  const std::string without =
+      wire::EncodeTracedResponse(wire::MsgType::kErrorResp, "err", nullptr);
+  ASSERT_OK(
+      wire::DecodeTracedResponse(without, &type, &body, &has_trace, &got));
+  EXPECT_EQ(type, wire::MsgType::kErrorResp);
+  EXPECT_EQ(body, "err");
+  EXPECT_FALSE(has_trace);
+}
+
+// --- Flight recorder ---
+
+obs::QueryTrace MakeRecorderTrace(uint64_t id, double total, bool sampled) {
+  obs::QueryTrace trace(id, "q" + std::to_string(id));
+  trace.node = "store";
+  trace.sampled = sampled;
+  trace.total_sec = total;
+  return trace;
+}
+
+TEST(FlightRecorderTest, SamplePolicyExtremes) {
+  obs::FlightRecorderOptions options;
+  options.sample_rate = 0.0;
+  obs::FlightRecorder recorder(options);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(recorder.Sample());
+  recorder.SetPolicy(1.0, 0.1);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(recorder.Sample());
+  EXPECT_DOUBLE_EQ(recorder.sample_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(recorder.slow_threshold_sec(), 0.1);
+}
+
+TEST(FlightRecorderTest, RecordRoutesSlowAndSampledSeparately) {
+  obs::FlightRecorderOptions options;
+  options.slow_threshold_sec = 0.05;
+  obs::FlightRecorder recorder(options);
+
+  recorder.Record(MakeRecorderTrace(1, 0.01, /*sampled=*/true));   // ring only
+  recorder.Record(MakeRecorderTrace(2, 0.01, /*sampled=*/false));  // dropped
+  recorder.Record(MakeRecorderTrace(3, 0.20, /*sampled=*/false));  // slow only
+  recorder.Record(MakeRecorderTrace(4, 0.30, /*sampled=*/true));   // both
+
+  EXPECT_EQ(recorder.recorded(), 2u);
+  EXPECT_EQ(recorder.slow_recorded(), 2u);
+  EXPECT_EQ(recorder.dropped(), 1u);
+
+  const std::vector<obs::QueryTrace> dump = recorder.Dump();
+  ASSERT_EQ(dump.size(), 2u);
+  EXPECT_EQ(dump[0].trace_id, 4u);  // newest first
+  EXPECT_EQ(dump[1].trace_id, 1u);
+
+  const std::vector<obs::QueryTrace> slow = recorder.SlowLog();
+  ASSERT_EQ(slow.size(), 2u);
+  EXPECT_EQ(slow[0].trace_id, 4u);  // slowest first
+  EXPECT_EQ(slow[1].trace_id, 3u);
+}
+
+TEST(FlightRecorderTest, DumpIsNewestFirstAndCapacityBounded) {
+  obs::FlightRecorderOptions options;
+  options.capacity = 8;  // 2 slots per internal shard
+  options.slow_threshold_sec = 0.0;  // disable the slow log
+  obs::FlightRecorder recorder(options);
+  for (uint64_t id = 1; id <= 100; ++id) {
+    recorder.Record(MakeRecorderTrace(id, 10.0, /*sampled=*/true));
+  }
+  const std::vector<obs::QueryTrace> dump = recorder.Dump();
+  ASSERT_FALSE(dump.empty());
+  ASSERT_LE(dump.size(), 8u);
+  EXPECT_EQ(dump[0].trace_id, 100u);
+  for (size_t i = 1; i < dump.size(); ++i) {
+    EXPECT_GT(dump[i - 1].trace_id, dump[i].trace_id);
+  }
+  EXPECT_EQ(recorder.slow_recorded(), 0u);  // threshold 0 = never slow
+  const std::vector<obs::QueryTrace> capped = recorder.Dump(1);
+  ASSERT_EQ(capped.size(), 1u);
+  EXPECT_EQ(capped[0].trace_id, 100u);
+}
+
+TEST(FlightRecorderTest, SlowLogIsSlowestFirstAndClearEmptiesRings) {
+  obs::FlightRecorderOptions options;
+  options.slow_threshold_sec = 0.01;
+  obs::FlightRecorder recorder(options);
+  const double totals[] = {0.02, 0.5, 0.1, 0.3};
+  for (size_t i = 0; i < 4; ++i) {
+    recorder.Record(MakeRecorderTrace(i + 1, totals[i], /*sampled=*/true));
+  }
+  const std::vector<obs::QueryTrace> slow = recorder.SlowLog();
+  ASSERT_EQ(slow.size(), 4u);
+  EXPECT_DOUBLE_EQ(slow[0].total_sec, 0.5);
+  EXPECT_DOUBLE_EQ(slow[1].total_sec, 0.3);
+  EXPECT_DOUBLE_EQ(slow[2].total_sec, 0.1);
+  EXPECT_DOUBLE_EQ(slow[3].total_sec, 0.02);
+  EXPECT_EQ(recorder.SlowLog(2).size(), 2u);
+
+  recorder.Clear();
+  EXPECT_TRUE(recorder.Dump().empty());
+  EXPECT_TRUE(recorder.SlowLog().empty());
+}
+
+/// Traces move whole under a shard mutex, so a concurrent dump must
+/// never observe a half-written (torn) trace: the description, span
+/// events, and id always agree.
+TEST(FlightRecorderTest, ConcurrentRecordAndDumpSeeNoTornTraces) {
+  obs::FlightRecorderOptions options;
+  options.capacity = 32;
+  options.slow_threshold_sec = 0.5;
+  obs::FlightRecorder recorder(options);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> torn{0};
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&recorder, &stop, t] {
+      uint64_t id = static_cast<uint64_t>(t) * 1000000 + 1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        obs::QueryTrace trace(id, "q" + std::to_string(id));
+        trace.node = "store";
+        trace.sampled = true;
+        trace.total_sec = 1.0;  // also exercises the slow-log copy
+        const size_t n_events = static_cast<size_t>(id % 4) + 1;
+        for (size_t e = 0; e < n_events; ++e) {
+          trace.AddEvent("ev" + std::to_string(id % 4), 0, 0.0, 0.001, 0);
+        }
+        recorder.Record(std::move(trace));
+        ++id;
+      }
+    });
+  }
+  std::thread reader([&recorder, &stop, &torn] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::vector<obs::QueryTrace> traces = recorder.Dump();
+      std::vector<obs::QueryTrace> slow = recorder.SlowLog();
+      traces.insert(traces.end(), slow.begin(), slow.end());
+      for (const obs::QueryTrace& trace : traces) {
+        const size_t want_events =
+            static_cast<size_t>(trace.trace_id % 4) + 1;
+        if (trace.description != "q" + std::to_string(trace.trace_id) ||
+            trace.node != "store" ||
+            trace.events().size() != want_events) {
+          torn.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  stop.store(true);
+  for (auto& w : writers) w.join();
+  reader.join();
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_GT(recorder.recorded(), 0u);
 }
 
 // --- End-to-end: engine + service ---
